@@ -1,0 +1,70 @@
+//! Microbenchmarks for the extension subsystems: vendor dialect codecs,
+//! telemetry scanning, TE routing, defragmentation and 1+1 protection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexwan_bench::instances::{default_config, tbackbone_instance};
+use flexwan_core::planning::plan;
+use flexwan_core::protect::plan_protected;
+use flexwan_core::te::{network_from_plan, route_traffic, TrafficDemand};
+use flexwan_core::Scheme;
+use flexwan_ctrl::datastream::{FiberCutDetector, TelemetrySim, TelemetryStore};
+use flexwan_ctrl::model::Vendor;
+use flexwan_ctrl::{vendor, StandardConfig};
+use flexwan_optical::spectrum::{PixelRange, PixelWidth};
+use std::hint::black_box;
+
+fn bench_extensions(c: &mut Criterion) {
+    // Vendor dialect round trip.
+    let cfg = StandardConfig::MuxPort {
+        port: 7,
+        passband: Some(PixelRange::new(40, PixelWidth::new(9))),
+    };
+    c.bench_function("vendor/encode_decode_roundtrip", |b| {
+        b.iter(|| {
+            for v in Vendor::ALL {
+                let native = vendor::encode(v, black_box(&cfg));
+                let _ = vendor::decode(v, &native).unwrap();
+            }
+        })
+    });
+
+    // Telemetry: one full tick + scan over the T-backbone fiber plant.
+    let backbone = tbackbone_instance();
+    let sim = TelemetrySim::new(&backbone.optical);
+    c.bench_function("telemetry/tick_and_scan", |b| {
+        b.iter_batched(
+            || {
+                let mut store = TelemetryStore::new(16);
+                sim.tick(&mut store, 0, &[]);
+                store
+            },
+            |mut store| {
+                sim.tick(&mut store, 1, &[]);
+                FiberCutDetector::default().scan(black_box(&store))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // TE: route the full traffic matrix over the planned IP capacities.
+    let pcfg = default_config();
+    let p = plan(Scheme::FlexWan, &backbone.optical, &backbone.ip, &pcfg);
+    let net = network_from_plan(backbone.optical.num_nodes(), &backbone.ip, &p, None);
+    let traffic: Vec<TrafficDemand> = backbone
+        .ip
+        .links()
+        .iter()
+        .map(|l| TrafficDemand { src: l.src, dst: l.dst, gbps: 0.6 * l.demand_gbps as f64 })
+        .collect();
+    c.bench_function("te/route_traffic_full_matrix", |b| {
+        b.iter(|| route_traffic(black_box(&net), &traffic, 2))
+    });
+
+    // 1+1 protection planning on the full backbone.
+    c.bench_function("protect/plan_protected_tbackbone", |b| {
+        b.iter(|| plan_protected(Scheme::FlexWan, &backbone.optical, &backbone.ip, &pcfg))
+    });
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Microbenchmarks: shortest-path and K-shortest-routes on the two
+//! evaluation topologies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexwan_bench::instances::{cernet_instance, tbackbone_instance};
+use flexwan_topo::ksp::{k_shortest_paths, shortest_path};
+use flexwan_topo::route::k_shortest_routes;
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn bench_ksp(c: &mut Criterion) {
+    let tb = tbackbone_instance();
+    let cer = cernet_instance();
+    let none = HashSet::new();
+    let tb_link = tb.ip.links()[0];
+    let cer_link = cer.ip.links()[0];
+
+    c.bench_function("dijkstra/tbackbone", |b| {
+        b.iter(|| shortest_path(&tb.optical, black_box(tb_link.src), tb_link.dst, &none))
+    });
+    c.bench_function("dijkstra/cernet", |b| {
+        b.iter(|| shortest_path(&cer.optical, black_box(cer_link.src), cer_link.dst, &none))
+    });
+    c.bench_function("yen_k5/tbackbone", |b| {
+        b.iter(|| k_shortest_paths(&tb.optical, black_box(tb_link.src), tb_link.dst, 5, &none))
+    });
+    c.bench_function("routes_k5/tbackbone", |b| {
+        b.iter(|| k_shortest_routes(&tb.optical, black_box(tb_link.src), tb_link.dst, 5, &none))
+    });
+}
+
+criterion_group!(benches, bench_ksp);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Macrobenchmarks: format-selection DP, spectrum first-fit, and the full
+//! planning pipeline per scheme on the T-backbone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexwan_bench::instances::{default_config, tbackbone_instance};
+use flexwan_core::planning::format_dp::select_formats;
+use flexwan_core::planning::{plan, SpectrumState};
+use flexwan_core::Scheme;
+use flexwan_optical::spectrum::{PixelWidth, SpectrumGrid};
+use flexwan_optical::transponder::Svt;
+use flexwan_topo::route::k_shortest_routes;
+use std::hint::black_box;
+
+fn bench_planning(c: &mut Criterion) {
+    c.bench_function("format_dp/svt_2t_600km", |b| {
+        b.iter(|| select_formats(&Svt, black_box(2000), 600, 1e-3))
+    });
+
+    let b = tbackbone_instance();
+    let cfg = default_config();
+    let route = k_shortest_routes(
+        &b.optical,
+        b.ip.links()[0].src,
+        b.ip.links()[0].dst,
+        1,
+        &Default::default(),
+    )
+    .remove(0);
+    c.bench_function("spectrum/allocate_route", |bch| {
+        bch.iter_batched(
+            || SpectrumState::new(SpectrumGrid::c_band(), b.optical.num_edges()),
+            |mut s| s.allocate_route(black_box(&route), PixelWidth::new(8), 1),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    for scheme in Scheme::ALL {
+        c.bench_function(&format!("plan/tbackbone/{scheme}"), |bch| {
+            bch.iter(|| plan(black_box(scheme), &b.optical, &b.ip, &cfg))
+        });
+    }
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

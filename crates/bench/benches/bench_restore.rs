@@ -1,0 +1,35 @@
+//! Macrobenchmarks: restoring one conduit-cut scenario against the
+//! FlexWAN plan (1× and 5× demand).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexwan_bench::instances::{default_config, tbackbone_instance};
+use flexwan_core::planning::plan;
+use flexwan_core::restore::{conduit_cut_scenarios, restore};
+use flexwan_core::Scheme;
+use std::hint::black_box;
+
+fn bench_restore(c: &mut Criterion) {
+    let b = tbackbone_instance();
+    let cfg = default_config();
+    let scenarios = conduit_cut_scenarios(&b.optical);
+    // The most disruptive scenario: the one hitting the most wavelengths.
+    for scale in [1u64, 5] {
+        let ip = b.ip.scaled(scale);
+        let p = plan(Scheme::FlexWan, &b.optical, &ip, &cfg);
+        let worst = scenarios
+            .iter()
+            .max_by_key(|s| {
+                p.wavelengths
+                    .iter()
+                    .filter(|w| w.path.edges.iter().any(|e| s.cuts.contains(e)))
+                    .count()
+            })
+            .expect("scenarios exist");
+        c.bench_function(&format!("restore/worst_conduit_{scale}x"), |bch| {
+            bch.iter(|| restore(black_box(&p), &b.optical, &ip, worst, &[], &cfg))
+        });
+    }
+}
+
+criterion_group!(benches, bench_restore);
+criterion_main!(benches);

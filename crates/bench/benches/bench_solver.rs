@@ -1,0 +1,49 @@
+//! Microbenchmarks: the LP simplex and the branch & bound MIP solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexwan_solver::{LinExpr, Model, Sense};
+use std::hint::black_box;
+
+/// A dense LP: max c·x st A·x ≤ b with n vars and 2n rows.
+fn dense_lp(n: usize) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..n).map(|i| m.nonneg(format!("x{i}"))).collect();
+    for r in 0..2 * n {
+        let expr = LinExpr::sum(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (((r * 7 + i * 3) % 5 + 1) as f64) * v),
+        );
+        m.le(expr, (10 + r % 7) as f64);
+    }
+    let obj = LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| ((i % 4 + 1) as f64) * v));
+    m.set_objective(Sense::Maximize, obj);
+    m
+}
+
+/// A 0/1 knapsack MIP with n items.
+fn knapsack(n: usize) -> Model {
+    let mut m = Model::new();
+    let items: Vec<_> = (0..n).map(|i| m.binary(format!("b{i}"))).collect();
+    let w = LinExpr::sum(items.iter().enumerate().map(|(i, &v)| ((i * 13 % 17 + 3) as f64) * v));
+    m.le(w, (4 * n) as f64);
+    let value = LinExpr::sum(items.iter().enumerate().map(|(i, &v)| ((i * 7 % 11 + 1) as f64) * v));
+    m.set_objective(Sense::Maximize, value);
+    m
+}
+
+fn bench_solver(c: &mut Criterion) {
+    for n in [10usize, 25] {
+        let m = dense_lp(n);
+        c.bench_function(&format!("simplex/lp_{n}v"), |b| b.iter(|| black_box(&m).solve()));
+    }
+    for n in [12usize, 18] {
+        let m = knapsack(n);
+        c.bench_function(&format!("branch_bound/knapsack_{n}"), |b| {
+            b.iter(|| black_box(&m).solve())
+        });
+    }
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

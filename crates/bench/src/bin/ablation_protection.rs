@@ -1,0 +1,67 @@
+//! Ablation (extension): restoration (§8) vs 1+1 dedicated protection.
+//! Protection recovers instantly and deterministically but doubles the
+//! hardware; restoration shares spare spectrum across failures and costs
+//! nothing up front, at the price of recomputation and spectrum hunting.
+
+use flexwan_bench::instances::{default_config, tbackbone_instance};
+use flexwan_bench::table;
+use flexwan_core::planning::plan;
+use flexwan_core::protect::plan_protected;
+use flexwan_core::restore::{conduit_cut_scenarios, restore, restore_report};
+use flexwan_core::Scheme;
+
+fn main() {
+    table::banner(
+        "Ablation: restoration vs 1+1 protection",
+        "FlexWAN at 1x demand: hardware cost and capability under conduit cuts.",
+    );
+    let b = tbackbone_instance();
+    let cfg = default_config();
+    let scenarios = conduit_cut_scenarios(&b.optical);
+
+    // Restoration-based resilience (the paper's approach).
+    let p = plan(Scheme::FlexWan, &b.optical, &b.ip, &cfg);
+    let results: Vec<_> = scenarios
+        .iter()
+        .map(|s| (s.probability, restore(&p, &b.optical, &b.ip, s, &[], &cfg)))
+        .collect();
+    let rest_cap = restore_report(&results).mean_capability();
+
+    // 1+1 protection.
+    let pp = plan_protected(Scheme::FlexWan, &b.optical, &b.ip, &cfg);
+    let prot_cap: f64 = scenarios
+        .iter()
+        .map(|s| s.probability * pp.capability_under(&b.ip, s))
+        .sum::<f64>()
+        / scenarios.iter().map(|s| s.probability).sum::<f64>();
+
+    let rows = vec![
+        vec![
+            "restoration (paper)".to_string(),
+            p.transponder_count().to_string(),
+            format!("{:.0}", p.spectrum_usage_ghz()),
+            format!("{:.3}", rest_cap),
+            "recompute + retune (seconds)".to_string(),
+        ],
+        vec![
+            "1+1 protection".to_string(),
+            pp.transponder_count().to_string(),
+            format!("{:.0}", pp.spectrum_usage_ghz()),
+            format!("{:.3}", prot_cap),
+            "instant switch (ms)".to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        table::render(
+            &["resilience", "transponders", "spectrum GHz", "mean capability", "recovery"],
+            &rows
+        )
+    );
+    println!(
+        "unprotectable links under 1+1 (no conduit-disjoint route pair): {}",
+        pp.unprotectable.len()
+    );
+    println!("restoration matches protection's capability at a fraction of the");
+    println!("hardware — the economics behind §8's restoration-first design.");
+}

@@ -1,0 +1,40 @@
+//! Ablation (DESIGN.md §5.5): FlexWAN+ spare fraction — how much of the
+//! transponder saving to reinvest as restoration spares.
+
+use flexwan_bench::instances::{default_config, tbackbone_instance};
+use flexwan_bench::table;
+use flexwan_core::planning::plan;
+use flexwan_core::restore::{conduit_cut_scenarios, flexwan_plus_extra_spares, restore, restore_report};
+use flexwan_core::Scheme;
+
+fn main() {
+    table::banner(
+        "Ablation: FlexWAN+ spare fraction",
+        "Mean restoration capability at 5x as the spare pool scales.",
+    );
+    let b = tbackbone_instance();
+    let cfg = default_config();
+    let ip5 = b.ip.scaled(5);
+    let p = plan(Scheme::FlexWan, &b.optical, &ip5, &cfg);
+    let full = flexwan_plus_extra_spares(&b.optical, &ip5, &cfg);
+    let scenarios = conduit_cut_scenarios(&b.optical);
+    let rows: Vec<Vec<String>> = [0.0, 0.5, 1.0, 2.0]
+        .iter()
+        .map(|&frac| {
+            let spares: Vec<u32> =
+                full.iter().map(|&s| (f64::from(s) * frac).round() as u32).collect();
+            let results: Vec<_> = scenarios
+                .iter()
+                .map(|s| (s.probability, restore(&p, &b.optical, &ip5, s, &spares, &cfg)))
+                .collect();
+            let rep = restore_report(&results);
+            let extra: u32 = spares.iter().sum();
+            vec![
+                format!("{:.1}x half-saving", frac),
+                extra.to_string(),
+                format!("{:.3}", rep.mean_capability()),
+            ]
+        })
+        .collect();
+    println!("{}", table::render(&["spare pool", "extra transponders", "mean capability"], &rows));
+}

@@ -1,0 +1,23 @@
+//! Figure 2(b): maximum data rate supported by the BVT (RADWAN) and the
+//! SVT (FlexWAN) as a function of transmission distance.
+
+use flexwan_bench::experiments::max_rate_curves;
+use flexwan_bench::table;
+
+fn main() {
+    table::banner(
+        "Figure 2(b)",
+        "Max data rate (Gbps) vs required distance; '-' = unreachable.",
+    );
+    let distances: Vec<u32> = (1..=25).map(|i| i * 200).collect();
+    let rows: Vec<Vec<String>> = max_rate_curves(&distances)
+        .into_iter()
+        .map(|(d, svt, bvt, fixed)| {
+            vec![d.to_string(), table::opt(svt), table::opt(bvt), table::opt(fixed)]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["distance (km)", "SVT (FlexWAN)", "BVT (RADWAN)", "100G fixed"], &rows)
+    );
+}

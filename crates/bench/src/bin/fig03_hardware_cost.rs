@@ -1,0 +1,35 @@
+//! Figure 3: hardware cost of provisioning 800 Gbps WAN capacity at
+//! different optical path lengths — (a) minimum transponder pairs and
+//! (b) spectrum usage, SVT vs BVT.
+
+use flexwan_bench::experiments::provision_800g;
+use flexwan_bench::table;
+
+fn main() {
+    table::banner(
+        "Figure 3",
+        "Provisioning 800 Gbps: transponder pairs (a) and spectrum GHz (b).",
+    );
+    let lengths: Vec<u32> = vec![100, 200, 300, 600, 900, 1100, 1500, 1800, 2000];
+    let rows: Vec<Vec<String>> = provision_800g(&lengths)
+        .into_iter()
+        .map(|r| {
+            let fmt = |v: Option<(usize, f64)>| match v {
+                Some((n, ghz)) => (n.to_string(), format!("{ghz:.1}")),
+                None => ("-".into(), "-".into()),
+            };
+            let (svt_n, svt_g) = fmt(r.svt);
+            let (bvt_n, bvt_g) = fmt(r.bvt);
+            vec![r.length_km.to_string(), svt_n, bvt_n, svt_g, bvt_g]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["path (km)", "SVT pairs", "BVT pairs", "SVT GHz", "BVT GHz"],
+            &rows
+        )
+    );
+    println!("paper anchors: <300 km → 1 SVT pair vs 3 BVT pairs (225 GHz vs ≤150 GHz);");
+    println!("               1800 km → SVT uses half the BVT transponders.");
+}

@@ -1,0 +1,30 @@
+//! Figure 11 / Table 2: SVT data rates and optical reaches per channel
+//! spacing — the paper's testbed measurement, regenerated on the
+//! simulated physical layer (flexwan-physim).
+
+use flexwan_bench::experiments::svt_reach_table;
+use flexwan_bench::table;
+
+fn main() {
+    table::banner(
+        "Figure 11 / Table 2",
+        "SVT reach (km) per (rate, spacing): paper testbed vs simulated testbed.",
+    );
+    let rows: Vec<Vec<String>> = svt_reach_table()
+        .into_iter()
+        .map(|r| {
+            let ratio = f64::from(r.derived_km) / f64::from(r.paper_km);
+            vec![
+                format!("{} Gbps", r.rate_gbps),
+                format!("{} GHz", r.spacing_ghz),
+                r.paper_km.to_string(),
+                r.derived_km.to_string(),
+                format!("{ratio:.2}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["rate", "spacing", "paper km", "simulated km", "ratio"], &rows)
+    );
+}

@@ -1,0 +1,49 @@
+//! Extension experiment: where to add capacity next. The dual values of
+//! the TE max-throughput LP price each IP link's capacity — the classic
+//! planner's signal for the next fiber build, here computed on the
+//! overloaded (5x) T-backbone.
+
+use flexwan_bench::instances::{default_config, tbackbone_instance};
+use flexwan_bench::table;
+use flexwan_core::planning::plan;
+use flexwan_core::te::{link_capacity_values, network_from_plan, TrafficDemand};
+use flexwan_core::Scheme;
+
+fn main() {
+    table::banner(
+        "Shadow prices (extension)",
+        "Marginal value of IP-link capacity at 5x demand (TE LP duals).",
+    );
+    let b = tbackbone_instance();
+    let cfg = default_config();
+    let ip = b.ip.scaled(5);
+    let p = plan(Scheme::FlexWan, &b.optical, &ip, &cfg);
+    let net = network_from_plan(b.optical.num_nodes(), &ip, &p, None);
+    let traffic: Vec<TrafficDemand> = ip
+        .links()
+        .iter()
+        .map(|l| TrafficDemand { src: l.src, dst: l.dst, gbps: 0.9 * l.demand_gbps as f64 })
+        .collect();
+    let values = link_capacity_values(&net, &traffic, 2).expect("connected");
+    let mut ranked: Vec<(usize, f64)> = values.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let rows: Vec<Vec<String>> = ranked
+        .iter()
+        .take(8)
+        .map(|&(i, v)| {
+            let l = &ip.links()[i];
+            vec![
+                format!("{}–{}", b.optical.node(l.src).name, b.optical.node(l.dst).name),
+                format!("{}", l.demand_gbps),
+                format!("{:.0}", net.capacity_gbps[i]),
+                format!("{v:.2}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["IP link", "demand Gbps", "capacity Gbps", "Gbps carried per +1 Gbps"], &rows)
+    );
+    let priced = values.iter().filter(|&&v| v > 1e-9).count();
+    println!("{priced} of {} links carry a positive shadow price — the build-next list.", values.len());
+}

@@ -1,0 +1,34 @@
+//! Table 1: optical backbone infrastructure comparison — data rate,
+//! channel spacing and OLS passband flexibility per approach.
+
+use flexwan_bench::table;
+use flexwan_core::Scheme;
+use flexwan_optical::WssKind;
+
+fn main() {
+    table::banner(
+        "Table 1",
+        "Infrastructure comparison of the three backbone approaches.",
+    );
+    let rows: Vec<Vec<String>> = Scheme::ALL
+        .iter()
+        .map(|&s| {
+            let rates = s.transponder().rates();
+            let spacings: std::collections::BTreeSet<u16> =
+                s.transponder().formats().iter().map(|f| f.spacing.pixels()).collect();
+            vec![
+                s.to_string(),
+                if rates.len() == 1 { "fixed".into() } else { format!("variable ({} rates)", rates.len()) },
+                if spacings.len() == 1 { "fixed".into() } else { format!("variable ({} widths)", spacings.len()) },
+                match s.wss() {
+                    WssKind::FixedGrid { spacing } => format!("fix-grid {spacing}"),
+                    WssKind::PixelWise => "dynamic (pixel-wise)".into(),
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["approach", "data rate", "channel spacing", "OLS passband"], &rows)
+    );
+}

@@ -1,0 +1,38 @@
+//! Canonical evaluation instances: the synthetic T-backbone and the
+//! CERNET backbone, with the planner configuration used throughout §7–§8.
+
+use flexwan_core::planning::PlannerConfig;
+use flexwan_topo::cernet::cernet;
+use flexwan_topo::demand::ArrowDemandConfig;
+use flexwan_topo::tbackbone::{t_backbone, Backbone, TBackboneConfig};
+
+/// The default T-backbone instance (seeded; see `flexwan-topo`).
+pub fn tbackbone_instance() -> Backbone {
+    t_backbone(&TBackboneConfig::default())
+}
+
+/// The default CERNET instance with ARROW-style demands.
+pub fn cernet_instance() -> Backbone {
+    cernet(&ArrowDemandConfig::default())
+}
+
+/// The planner configuration used by every §7–§8 experiment: K = 5
+/// candidate routes (the backbone's parallel-conduit structure rewards a
+/// slightly deeper route set), ε = 10⁻³, the full C-band.
+pub fn default_config() -> PlannerConfig {
+    PlannerConfig { k_paths: 5, ..PlannerConfig::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_stable() {
+        let a = tbackbone_instance();
+        let b = tbackbone_instance();
+        assert_eq!(a.optical, b.optical);
+        let c = cernet_instance();
+        assert_eq!(c.optical.num_nodes(), 35);
+    }
+}

@@ -1,0 +1,30 @@
+//! FlexWAN core: the paper's primary contribution.
+//!
+//! * [`scheme`] — the three backbone architectures (100G-WAN, RADWAN,
+//!   FlexWAN) behind one interface;
+//! * [`wavelength`] — the provisioned-wavelength type;
+//! * [`planning`] — cost-minimal WAN capacity provisioning (Algorithm 1):
+//!   exact MIP + scalable heuristic + reporting;
+//! * [`restore`] — optical restoration (§8): failure scenarios, greedy and
+//!   exact restorers, capability reporting;
+//! * [`te`] — IP-layer traffic engineering (path-based multi-commodity
+//!   flow) quantifying what planned/restored capacity means for traffic.
+//!
+//! Everything is deterministic: same inputs ⇒ same plan, byte for byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod defrag;
+pub mod planning;
+pub mod protect;
+pub mod restore;
+pub mod scheme;
+pub mod te;
+pub mod wavelength;
+
+pub use planning::{max_feasible_scale, plan, Plan, PlannerConfig};
+pub use restore::{one_fiber_scenarios, restore, FailureScenario, Restoration};
+pub use protect::{plan_protected, ProtectedPlan};
+pub use scheme::Scheme;
+pub use wavelength::Wavelength;

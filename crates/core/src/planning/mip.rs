@@ -1,0 +1,237 @@
+//! The exact Algorithm 1 formulation, built verbatim on `flexwan-solver`.
+//!
+//! Decision variables are the paper's `γ^{e,k}_{j,q}` (wavelength of
+//! format `j` starting at pixel order `q` on path `k` of link `e`);
+//! `λ^{e,k}_j = Σ_q γ` and `ξ^{e,k}_{φ,w} = Σ_{j,q} γ·s^{j,q}_w` are
+//! substituted into the constraints rather than materialized, which keeps
+//! the model pure-binary without changing its feasible set:
+//!
+//! * capacity (1): `Σ_k Σ_j d_j λ^{e,k}_j ≥ c_e`;
+//! * reach (2): enforced structurally — formats with `l_j < |P_{e,k}|`
+//!   get no variables;
+//! * conflict (3) + consistency (4) + status (5): for every fiber `φ` and
+//!   slot `w`, `Σ γ·s^{j,q}_w·π^{e,k}_φ ≤ 1` (a wavelength occupies the
+//!   same slots on every fiber of its path by construction of `s`);
+//! * transponder count (6): `λ = Σ_q γ` is the substitution itself.
+//!
+//! This model is exponential in practice (the paper runs Gurobi "within
+//! hours"); it exists to validate the scalable heuristic on small
+//! instances, and the validation tests live in
+//! `tests/planning_exact_vs_heuristic.rs`.
+
+use flexwan_solver::{LinExpr, Model, Sense, SolveOptions, Status};
+use flexwan_topo::graph::Graph;
+use flexwan_topo::ip::IpTopology;
+use flexwan_topo::ksp::k_shortest_paths;
+use flexwan_topo::path::Path;
+
+use crate::planning::format_dp::reachable_formats;
+use crate::planning::heuristic::PlannerConfig;
+use crate::scheme::Scheme;
+use crate::wavelength::Wavelength;
+
+/// An exact optimum of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct ExactPlan {
+    /// Objective value `Σλ + ε·Σλ·Y` (spacing in GHz).
+    pub objective: f64,
+    /// The provisioned wavelengths.
+    pub wavelengths: Vec<Wavelength>,
+}
+
+/// Solves Algorithm 1 exactly. Returns `None` when the instance is
+/// infeasible (or the node limit was exhausted without an incumbent —
+/// callers size their instances to avoid this; see module docs).
+pub fn solve_exact(
+    scheme: Scheme,
+    optical: &Graph,
+    ip: &IpTopology,
+    cfg: &PlannerConfig,
+    opts: &SolveOptions,
+) -> Option<ExactPlan> {
+    let align = scheme.alignment_pixels();
+    let model_t = scheme.transponder();
+    let pixels = cfg.grid.pixels();
+    let none = std::collections::HashSet::new();
+
+    let mut m = Model::new();
+    // Variable registry: (link idx, path idx, format, start pixel) per γ.
+    struct GammaVar {
+        link: usize,
+        path: usize,
+        format: flexwan_optical::TransponderFormat,
+        start: u32,
+        var: flexwan_solver::Var,
+    }
+    let mut gammas: Vec<GammaVar> = Vec::new();
+    let mut paths_per_link: Vec<Vec<Path>> = Vec::new();
+
+    for (li, link) in ip.links().iter().enumerate() {
+        let paths = k_shortest_paths(optical, link.src, link.dst, cfg.k_paths, &none);
+        for (ki, path) in paths.iter().enumerate() {
+            for format in reachable_formats(model_t, path.length_km) {
+                let w = u32::from(format.spacing.pixels());
+                let mut q = 0u32;
+                while q + w <= pixels {
+                    let var = m.binary(format!(
+                        "g_e{li}_k{ki}_d{}_y{}_q{q}",
+                        format.data_rate_gbps,
+                        format.spacing.pixels()
+                    ));
+                    gammas.push(GammaVar { link: li, path: ki, format, start: q, var });
+                    q += align;
+                }
+            }
+        }
+        paths_per_link.push(paths);
+    }
+
+    // (1) capacity per link.
+    for (li, link) in ip.links().iter().enumerate() {
+        let expr = LinExpr::sum(
+            gammas
+                .iter()
+                .filter(|g| g.link == li)
+                .map(|g| f64::from(g.format.data_rate_gbps) * g.var),
+        );
+        m.ge(expr, link.demand_gbps as f64);
+    }
+
+    // (3)/(4)/(5): per (fiber, slot) at most one occupying wavelength.
+    for fiber in optical.edges() {
+        for w in 0..pixels {
+            let expr = LinExpr::sum(
+                gammas
+                    .iter()
+                    .filter(|g| {
+                        paths_per_link[g.link][g.path].uses_edge(fiber.id)
+                            && g.start <= w
+                            && w < g.start + u32::from(g.format.spacing.pixels())
+                    })
+                    .map(|g| 1.0 * g.var),
+            );
+            if !expr.terms.is_empty() {
+                m.le(expr, 1.0);
+            }
+        }
+    }
+
+    // Objective: Σ (1 + ε·Y_j) γ.
+    let obj = LinExpr::sum(
+        gammas
+            .iter()
+            .map(|g| (1.0 + cfg.epsilon * g.format.spacing.ghz()) * g.var),
+    );
+    m.set_objective(Sense::Minimize, obj);
+
+    let sol = m.solve_with(opts);
+    match sol.status {
+        Status::Optimal => {}
+        Status::NodeLimit if !sol.objective.is_nan() => {}
+        _ => return None,
+    }
+
+    let wavelengths = gammas
+        .iter()
+        .filter(|g| sol.value(g.var) > 0.5)
+        .map(|g| Wavelength {
+            link: ip.links()[g.link].id,
+            path_index: g.path,
+            path: paths_per_link[g.link][g.path].clone(),
+            format: g.format,
+            channel: flexwan_optical::PixelRange::new(g.start, g.format.spacing),
+        })
+        .collect();
+    Some(ExactPlan { objective: sol.objective, wavelengths })
+}
+
+impl ExactPlan {
+    /// Number of transponder pairs in the optimum.
+    pub fn transponder_count(&self) -> usize {
+        self.wavelengths.len()
+    }
+
+    /// Spectrum usage `Σ λ·Y`, GHz.
+    pub fn spectrum_usage_ghz(&self) -> f64 {
+        self.wavelengths.iter().map(|w| w.format.spacing.ghz()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexwan_optical::spectrum::SpectrumGrid;
+
+    fn cfg(pixels: u32) -> PlannerConfig {
+        PlannerConfig { grid: SpectrumGrid::new(pixels), k_paths: 2, ..Default::default() }
+    }
+
+    fn opts() -> SolveOptions {
+        SolveOptions { max_nodes: 20_000, ..Default::default() }
+    }
+
+    #[test]
+    fn single_link_matches_hand_optimum() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, 200);
+        let mut ip = IpTopology::new();
+        ip.add_link(a, b, 800);
+        let exact = solve_exact(Scheme::FlexWan, &g, &ip, &cfg(16), &opts()).unwrap();
+        // One 800 G @ 125 GHz: objective 1 + 0.125.
+        assert_eq!(exact.transponder_count(), 1);
+        assert!((exact.objective - 1.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conflict_forces_second_fiber_or_infeasible() {
+        // One 10-px fiber, two 800 G links over it at 200 km: each needs
+        // 10 px → cannot both fit → infeasible.
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, 200);
+        let mut ip = IpTopology::new();
+        ip.add_link(a, b, 800);
+        ip.add_link(a, b, 800);
+        assert!(solve_exact(Scheme::FlexWan, &g, &ip, &cfg(10), &opts()).is_none());
+        // With a parallel fiber the instance becomes feasible.
+        g.add_edge(a, b, 240);
+        let exact = solve_exact(Scheme::FlexWan, &g, &ip, &cfg(11), &opts()).unwrap();
+        assert_eq!(exact.transponder_count(), 2);
+    }
+
+    #[test]
+    fn fixed_grid_alignment_in_exact_model() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, 500);
+        let mut ip = IpTopology::new();
+        ip.add_link(a, b, 300);
+        let exact = solve_exact(Scheme::Radwan, &g, &ip, &cfg(18), &opts()).unwrap();
+        assert_eq!(exact.transponder_count(), 1); // one 300 G BVT
+        for w in &exact.wavelengths {
+            assert_eq!(w.channel.start % 6, 0);
+        }
+    }
+
+    #[test]
+    fn multi_fiber_consistency() {
+        // Two-hop path: the chosen slots must be identical on both fibers,
+        // which the formulation guarantees structurally; verify via the
+        // extracted wavelengths' single channel.
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 100);
+        g.add_edge(b, c, 100);
+        let mut ip = IpTopology::new();
+        ip.add_link(a, c, 400);
+        let exact = solve_exact(Scheme::FlexWan, &g, &ip, &cfg(8), &opts()).unwrap();
+        assert_eq!(exact.transponder_count(), 1);
+        assert_eq!(exact.wavelengths[0].path.num_hops(), 2);
+    }
+}

@@ -1,0 +1,21 @@
+//! Network planning (§5, Algorithm 1): provision WAN capacity at minimum
+//! hardware cost.
+//!
+//! Two interchangeable solvers:
+//! * [`mip`] — the paper's exact formulation on `flexwan-solver`, used on
+//!   small instances to validate correctness;
+//! * [`heuristic`] — the scalable two-phase decomposition ([`format_dp`]
+//!   + [`spectrum`]) used on full evaluation topologies.
+
+pub mod format_dp;
+pub mod heuristic;
+pub mod incremental;
+pub mod mip;
+pub mod report;
+pub mod spectrum;
+
+pub use heuristic::{max_feasible_scale, plan, LinkOrder, Plan, PlannerConfig};
+pub use incremental::plan_incremental;
+pub use mip::{solve_exact, ExactPlan};
+pub use report::{cdf, mean, percent_saved, report, PlanReport};
+pub use spectrum::SpectrumState;

@@ -1,0 +1,363 @@
+//! Optical restoration (§8): maximize revived capacity after fiber cuts.
+//!
+//! Given a deployed plan and a failure scenario:
+//!
+//! 1. wavelengths traversing a cut fiber are *affected*: their capacity is
+//!    lost, their spectrum (on surviving fibers too) is reclaimed, and
+//!    their transponders become the spare pool `N_e` (constraint (8));
+//! 2. restoration paths are re-computed with KSP on the post-failure
+//!    topology (the paper's `P'_{e,k}`);
+//! 3. capacity is revived greedily, most-affected links first: on each
+//!    restoration path, repeatedly place the highest-rate format that
+//!    (a) does not overshoot the affected capacity `c'_e` (constraint
+//!    (7)), (b) reaches over the restoration path (constraint (2)), and
+//!    (c) fits the residual spectrum (constraints (3)–(5), via the same
+//!    joint first-fit as planning).
+//!
+//! FlexWAN+ (Figure 16) adds half the transponders FlexWAN *saved* on each
+//! link back into the spare pool; see
+//! [`flexwan_plus_extra_spares`].
+
+use flexwan_topo::graph::Graph;
+use flexwan_topo::ip::{IpLinkId, IpTopology};
+use flexwan_topo::route::{k_shortest_routes, Route};
+
+use crate::planning::format_dp::{reachable_formats, select_formats};
+use crate::planning::heuristic::{Plan, PlannerConfig};
+use crate::planning::spectrum::SpectrumState;
+use crate::restore::scenario::FailureScenario;
+use crate::scheme::Scheme;
+use crate::wavelength::Wavelength;
+
+/// A wavelength revived on a restoration path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestoredWavelength {
+    /// The wavelength as re-provisioned.
+    pub wavelength: Wavelength,
+    /// Length of the link's original (pre-failure) optical path, km — for
+    /// the restored-vs-original gap of Figure 15(a).
+    pub original_length_km: u32,
+}
+
+/// The outcome of restoring one failure scenario.
+#[derive(Debug, Clone)]
+pub struct Restoration {
+    /// The scenario restored.
+    pub scenario_id: usize,
+    /// Capacity lost to the cuts, Gbps (`Σ c'_e`).
+    pub affected_gbps: u64,
+    /// Capacity revived, Gbps.
+    pub restored_gbps: u64,
+    /// The revived wavelengths.
+    pub restored: Vec<RestoredWavelength>,
+    /// Links that lost capacity, with (lost, revived) Gbps.
+    pub per_link: Vec<(IpLinkId, u64, u64)>,
+}
+
+impl Restoration {
+    /// Restoration capability: revived / lost (1.0 when nothing was lost —
+    /// a scenario that cuts only unused fibers costs nothing).
+    pub fn capability(&self) -> f64 {
+        if self.affected_gbps == 0 {
+            1.0
+        } else {
+            self.restored_gbps as f64 / self.affected_gbps as f64
+        }
+    }
+}
+
+/// Restores `scenario` against `plan`. `extra_spares[link.0]` adds spare
+/// transponders beyond the failed ones (all-zero slice = plain FlexWAN /
+/// baseline behaviour; see [`flexwan_plus_extra_spares`]).
+pub fn restore(
+    plan: &Plan,
+    optical: &Graph,
+    ip: &IpTopology,
+    scenario: &FailureScenario,
+    extra_spares: &[u32],
+    cfg: &PlannerConfig,
+) -> Restoration {
+    assert!(extra_spares.is_empty() || extra_spares.len() >= ip.num_links());
+    let banned = scenario.banned();
+    let align = plan.scheme.alignment_pixels();
+    let model = plan.scheme.transponder();
+
+    // Partition wavelengths; rebuild surviving spectrum occupancy.
+    let mut spectrum = SpectrumState::new(cfg.grid, optical.num_edges());
+    let mut affected: Vec<&Wavelength> = Vec::new();
+    for w in &plan.wavelengths {
+        if w.path.edges.iter().any(|e| banned.contains(e)) {
+            affected.push(w);
+        } else {
+            spectrum
+                .occupy_exact(&w.path, &w.channel)
+                .expect("surviving plan channels are conflict-free");
+        }
+    }
+
+    // Per-link lost capacity, spare transponders and original path length.
+    struct Hit {
+        link: IpLinkId,
+        lost_gbps: u64,
+        spares: u32,
+        original_length_km: u32,
+    }
+    let mut hits: Vec<Hit> = Vec::new();
+    for w in &affected {
+        match hits.iter_mut().find(|h| h.link == w.link) {
+            Some(h) => {
+                h.lost_gbps += u64::from(w.format.data_rate_gbps);
+                h.spares += 1;
+                h.original_length_km = h.original_length_km.max(w.path.length_km);
+            }
+            None => hits.push(Hit {
+                link: w.link,
+                lost_gbps: u64::from(w.format.data_rate_gbps),
+                spares: 1,
+                original_length_km: w.path.length_km,
+            }),
+        }
+    }
+    for h in &mut hits {
+        if !extra_spares.is_empty() {
+            h.spares += extra_spares[h.link.0 as usize];
+        }
+    }
+    // Most-affected links first (deterministic tie-break by link id).
+    hits.sort_by_key(|h| (std::cmp::Reverse(h.lost_gbps), h.link));
+
+    let affected_gbps: u64 = hits.iter().map(|h| h.lost_gbps).sum();
+    let mut restored: Vec<RestoredWavelength> = Vec::new();
+    let mut per_link = Vec::new();
+
+    for hit in &hits {
+        let link = ip.link(hit.link);
+        let routes: Vec<Route> =
+            k_shortest_routes(optical, link.src, link.dst, cfg.k_paths, &banned);
+        let mut remaining = hit.lost_gbps;
+        let mut spares = hit.spares;
+        'routes: for (k, route) in routes.iter().enumerate() {
+            loop {
+                if remaining < 100 || spares == 0 {
+                    break 'routes;
+                }
+                // Highest revivable rate not overshooting c'_e, narrowest
+                // spacing first within a rate (constraint (7) + objective).
+                let mut candidates = reachable_formats(model, route.length_km);
+                candidates.retain(|f| u64::from(f.data_rate_gbps) <= remaining);
+                candidates.sort_by_key(|f| {
+                    (std::cmp::Reverse(f.data_rate_gbps), f.spacing)
+                });
+                let mut placed = false;
+                for format in candidates {
+                    if let Some((channel, chosen)) =
+                        spectrum.allocate_route(route, format.spacing, align)
+                    {
+                        remaining -= u64::from(format.data_rate_gbps);
+                        spares -= 1;
+                        restored.push(RestoredWavelength {
+                            wavelength: Wavelength {
+                                link: hit.link,
+                                path_index: k,
+                                path: route.realize(optical, &chosen),
+                                format,
+                                channel,
+                            },
+                            original_length_km: hit.original_length_km,
+                        });
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    continue 'routes; // this route's spectrum is exhausted
+                }
+            }
+        }
+        per_link.push((hit.link, hit.lost_gbps, hit.lost_gbps - remaining));
+    }
+
+    let restored_gbps = per_link.iter().map(|&(_, _, r)| r).sum();
+    Restoration { scenario_id: scenario.id, affected_gbps, restored_gbps, restored, per_link }
+}
+
+/// FlexWAN+ spare pool (Figure 16): for each IP link, half of the
+/// transponders FlexWAN saved relative to RADWAN on that link's shortest
+/// path, rounded up. Computed from the format-selection DP alone (spare
+/// transponders sit at the terminals; they occupy no spectrum until used).
+pub fn flexwan_plus_extra_spares(
+    optical: &Graph,
+    ip: &IpTopology,
+    cfg: &PlannerConfig,
+) -> Vec<u32> {
+    let none = std::collections::HashSet::new();
+    ip.links()
+        .iter()
+        .map(|l| {
+            let Some(path) = flexwan_topo::ksp::shortest_path(optical, l.src, l.dst, &none)
+            else {
+                return 0;
+            };
+            let count = |scheme: Scheme| -> Option<u32> {
+                select_formats(scheme.transponder(), l.demand_gbps, path.length_km, cfg.epsilon)
+                    .map(|v| v.len() as u32)
+            };
+            match (count(Scheme::Radwan), count(Scheme::FlexWan)) {
+                (Some(rad), Some(flex)) if rad > flex => (rad - flex).div_ceil(2),
+                _ => 0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planning::heuristic::plan;
+    use flexwan_optical::spectrum::SpectrumGrid;
+    use flexwan_topo::graph::EdgeId;
+
+    /// Square topology: the primary a–b fiber (600 km) plus a long detour
+    /// a–c–b (1200 km), mirroring §3.3's restoration example.
+    fn square() -> (Graph, IpTopology) {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 600); // primary
+        g.add_edge(a, c, 600);
+        g.add_edge(c, b, 600); // detour: 1200 km total
+        let mut ip = IpTopology::new();
+        ip.add_link(a, b, 300);
+        (g, ip)
+    }
+
+    fn cfg() -> PlannerConfig {
+        PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() }
+    }
+
+    #[test]
+    fn section_3_3_example_radwan_degrades_flexwan_revives() {
+        let (g, ip) = square();
+        let cut = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+
+        // RADWAN: 300 G over 600 km; restoration path 1200 km exceeds the
+        // 8QAM reach (1100 km) → drops to 200 G: capability 2/3.
+        let rad = plan(Scheme::Radwan, &g, &ip, &cfg());
+        assert!(rad.is_feasible());
+        let r = restore(&rad, &g, &ip, &cut, &[], &cfg());
+        assert_eq!(r.affected_gbps, 300);
+        assert_eq!(r.restored_gbps, 200);
+        assert!((r.capability() - 2.0 / 3.0).abs() < 1e-9);
+
+        // FlexWAN: widens the spacing (300 G @ 87.5 GHz reaches 1500 km)
+        // and revives everything.
+        let flex = plan(Scheme::FlexWan, &g, &ip, &cfg());
+        let r = restore(&flex, &g, &ip, &cut, &[], &cfg());
+        assert_eq!(r.restored_gbps, 300);
+        assert!((r.capability() - 1.0).abs() < 1e-9);
+        assert_eq!(r.restored[0].wavelength.format.spacing.ghz(), 87.5);
+    }
+
+    #[test]
+    fn restored_paths_avoid_cut_fibers() {
+        let (g, ip) = square();
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg());
+        let cut = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+        let r = restore(&p, &g, &ip, &cut, &[], &cfg());
+        for rw in &r.restored {
+            assert!(!rw.wavelength.path.uses_edge(EdgeId(0)));
+            assert!(rw.wavelength.format.reach_km >= rw.wavelength.path.length_km);
+        }
+    }
+
+    #[test]
+    fn unaffected_scenario_has_full_capability() {
+        let (g, ip) = square();
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg());
+        // Cut a fiber the plan does not use (the detour).
+        let cut = FailureScenario { id: 1, cuts: vec![EdgeId(1)], probability: 1.0 };
+        let r = restore(&p, &g, &ip, &cut, &[], &cfg());
+        assert_eq!(r.affected_gbps, 0);
+        assert_eq!(r.capability(), 1.0);
+        assert!(r.restored.is_empty());
+    }
+
+    #[test]
+    fn restoration_respects_surviving_spectrum() {
+        // Make the detour spectrally tiny so restoration cannot fully fit.
+        let (g, ip) = square();
+        let tight = PlannerConfig { grid: SpectrumGrid::new(7), ..Default::default() };
+        let p = plan(Scheme::FlexWan, &g, &ip, &tight);
+        assert!(p.is_feasible()); // 300 G @ 75 GHz = 6 px fits in 7
+        let cut = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+        let r = restore(&p, &g, &ip, &cut, &[], &tight);
+        // Restoration path needs 87.5 GHz = 7 px for 300 G; it fits the
+        // empty detour exactly — but a 7-px grid cannot host 7 px if any
+        // pixel is taken; with the detour empty it can.
+        assert_eq!(r.restored_gbps, 300);
+        // Now verify the conflict case: pre-occupy the detour by adding a
+        // second link that lives there.
+        let mut ip2 = IpTopology::new();
+        ip2.add_link(flexwan_topo::graph::NodeId(0), flexwan_topo::graph::NodeId(1), 300);
+        ip2.add_link(flexwan_topo::graph::NodeId(0), flexwan_topo::graph::NodeId(2), 300);
+        let p2 = plan(Scheme::FlexWan, &g, &ip2, &tight);
+        assert!(p2.is_feasible());
+        let r2 = restore(&p2, &g, &ip2, &cut, &[], &tight);
+        // Link a–c holds 6 px of the a–c fiber, leaving 1 px: the 7 px
+        // restoration channel cannot fit → capability 0 for the cut link.
+        assert_eq!(r2.restored_gbps, 0);
+        assert!(r2.capability() < 1.0);
+    }
+
+    #[test]
+    fn spares_cap_restoration() {
+        // Force restoration to a longer path where formats carry less:
+        // reviving 300 G needs ≥2 wavelengths but only 1 spare exists.
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 100); // primary
+        g.add_edge(a, c, 1200);
+        g.add_edge(c, b, 1200); // detour 2400 km
+        let mut ip = IpTopology::new();
+        ip.add_link(a, b, 300);
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg());
+        assert_eq!(p.transponder_count(), 1); // one 300 G wavelength
+        let cut = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+        let r = restore(&p, &g, &ip, &cut, &[], &cfg());
+        // 2400 km: best SVT rate is 200 G (75 GHz reach 2000? no — 2400
+        // needs 100 G @ 75 GHz, reach 5000; 200 G tops at 2000). One spare
+        // → 100 G revived of 300 G.
+        assert_eq!(r.restored_gbps, 100);
+        // FlexWAN+ spares lift it: with 2 extra spares, 300 G of demand
+        // revives 100 G × 3.
+        let r_plus = restore(&p, &g, &ip, &cut, &[2], &cfg());
+        assert_eq!(r_plus.restored_gbps, 300);
+    }
+
+    #[test]
+    fn flexwan_plus_spares_come_from_savings() {
+        let (g, ip) = square();
+        let spares = flexwan_plus_extra_spares(&g, &ip, &cfg());
+        // 300 G at 600 km: RADWAN 1 × 300 G, FlexWAN 1 × 300 G → no
+        // savings on this link.
+        assert_eq!(spares, vec![0]);
+        // A fat short link: 800 G at 600 km → RADWAN 3 (300+300+200),
+        // FlexWAN 2 (400+400 @ 75)… savings 1 → ceil(1/2) = 1.
+        let mut ip2 = IpTopology::new();
+        ip2.add_link(flexwan_topo::graph::NodeId(0), flexwan_topo::graph::NodeId(1), 800);
+        let spares2 = flexwan_plus_extra_spares(&g, &ip2, &cfg());
+        assert_eq!(spares2, vec![1]);
+    }
+
+    #[test]
+    fn never_overshoots_affected_capacity() {
+        let (g, ip) = square();
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg());
+        let cut = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+        let r = restore(&p, &g, &ip, &cut, &[9], &cfg());
+        assert!(r.restored_gbps <= r.affected_gbps, "constraint (7) violated");
+    }
+}

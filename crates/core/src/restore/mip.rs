@@ -1,0 +1,242 @@
+//! The exact restoration formulation of §8 (maximize restored capacity
+//! under constraints (7)–(13)), built on `flexwan-solver`.
+//!
+//! As with planning, γ'-variables are pure binaries per (affected link,
+//! restoration path, format, aligned start pixel); λ' and ξ' are
+//! substitutions. The residual spectrum `φ_w` (slot status after planning
+//! minus the failed wavelengths' reclaimed spectrum) enters constraint (9)
+//! as per-slot availability. Used to validate the greedy restorer on
+//! small instances.
+
+use flexwan_solver::{LinExpr, Model, Sense, SolveOptions, Status};
+use flexwan_topo::graph::Graph;
+use flexwan_topo::ip::IpTopology;
+use flexwan_topo::ksp::k_shortest_paths;
+use flexwan_topo::path::Path;
+
+use crate::planning::format_dp::reachable_formats;
+use crate::planning::heuristic::{Plan, PlannerConfig};
+use crate::planning::spectrum::SpectrumState;
+use crate::restore::scenario::FailureScenario;
+use crate::wavelength::Wavelength;
+
+/// An exact restoration optimum.
+#[derive(Debug, Clone)]
+pub struct ExactRestoration {
+    /// Maximum restorable capacity, Gbps.
+    pub restored_gbps: u64,
+    /// Capacity lost to the scenario, Gbps.
+    pub affected_gbps: u64,
+}
+
+/// Solves the §8 restoration MIP exactly. `extra_spares` as in
+/// [`crate::restore::heuristic::restore`]. Returns `None` if the solver
+/// hits its node limit with no incumbent (callers size instances small).
+pub fn solve_exact(
+    plan: &Plan,
+    optical: &Graph,
+    ip: &IpTopology,
+    scenario: &FailureScenario,
+    extra_spares: &[u32],
+    cfg: &PlannerConfig,
+    opts: &SolveOptions,
+) -> Option<ExactRestoration> {
+    let banned = scenario.banned();
+    let align = plan.scheme.alignment_pixels();
+    let model_t = plan.scheme.transponder();
+    let pixels = cfg.grid.pixels();
+
+    // Residual spectrum: surviving wavelengths only (constraint (9)'s φ_w).
+    let mut spectrum = SpectrumState::new(cfg.grid, optical.num_edges());
+    let mut affected: Vec<&Wavelength> = Vec::new();
+    for w in &plan.wavelengths {
+        if w.path.edges.iter().any(|e| banned.contains(e)) {
+            affected.push(w);
+        } else {
+            spectrum
+                .occupy_exact(&w.path, &w.channel)
+                .expect("surviving plan channels are conflict-free");
+        }
+    }
+    // Per affected link: c'_e and N_e.
+    let mut per_link: Vec<(usize, u64, u32)> = Vec::new(); // (link idx, c', N)
+    for w in &affected {
+        match per_link.iter_mut().find(|(li, _, _)| *li == w.link.0 as usize) {
+            Some((_, c, n)) => {
+                *c += u64::from(w.format.data_rate_gbps);
+                *n += 1;
+            }
+            None => per_link.push((w.link.0 as usize, u64::from(w.format.data_rate_gbps), 1)),
+        }
+    }
+    let affected_gbps: u64 = per_link.iter().map(|&(_, c, _)| c).sum();
+    if affected_gbps == 0 {
+        return Some(ExactRestoration { restored_gbps: 0, affected_gbps: 0 });
+    }
+    for (li, _, n) in &mut per_link {
+        if !extra_spares.is_empty() {
+            *n += extra_spares[*li];
+        }
+    }
+
+    let mut m = Model::new();
+    struct GammaVar {
+        link_slot: usize, // index into per_link
+        path: usize,
+        rate: u32,
+        width: u32,
+        start: u32,
+        var: flexwan_solver::Var,
+    }
+    let mut gammas: Vec<GammaVar> = Vec::new();
+    let mut paths_per_slot: Vec<Vec<Path>> = Vec::new();
+    for (slot, &(li, _, _)) in per_link.iter().enumerate() {
+        let link = &ip.links()[li];
+        let paths = k_shortest_paths(optical, link.src, link.dst, cfg.k_paths, &banned);
+        for (ki, path) in paths.iter().enumerate() {
+            for format in reachable_formats(model_t, path.length_km) {
+                let w = u32::from(format.spacing.pixels());
+                let mut q = 0u32;
+                while q + w <= pixels {
+                    // Prune starts overlapping residual occupancy on any
+                    // fiber of the path (constraint (9) pre-filter).
+                    let range = flexwan_optical::PixelRange::new(q, format.spacing);
+                    let free = path
+                        .edges
+                        .iter()
+                        .all(|e| spectrum.mask(*e).is_free(&range));
+                    if free {
+                        let var = m.binary(format!("r_s{slot}_k{ki}_d{}_q{q}", format.data_rate_gbps));
+                        gammas.push(GammaVar {
+                            link_slot: slot,
+                            path: ki,
+                            rate: format.data_rate_gbps,
+                            width: w,
+                            start: q,
+                            var,
+                        });
+                    }
+                    q += align;
+                }
+            }
+        }
+        paths_per_slot.push(paths);
+    }
+
+    // (7) restored ≤ c'_e and (8) transponders ≤ N_e, per affected link.
+    for (slot, &(_, c, n)) in per_link.iter().enumerate() {
+        let rate_expr = LinExpr::sum(
+            gammas
+                .iter()
+                .filter(|g| g.link_slot == slot)
+                .map(|g| f64::from(g.rate) * g.var),
+        );
+        m.le(rate_expr, c as f64);
+        let count_expr = LinExpr::sum(
+            gammas.iter().filter(|g| g.link_slot == slot).map(|g| 1.0 * g.var),
+        );
+        m.le(count_expr, f64::from(n));
+    }
+
+    // (9)+(10)–(13): per (surviving fiber, slot) at most one restored
+    // wavelength (residual occupancy already pruned structurally).
+    for fiber in optical.edges() {
+        if banned.contains(&fiber.id) {
+            continue;
+        }
+        for w in 0..pixels {
+            let expr = LinExpr::sum(
+                gammas
+                    .iter()
+                    .filter(|g| {
+                        paths_per_slot[g.link_slot][g.path].uses_edge(fiber.id)
+                            && g.start <= w
+                            && w < g.start + g.width
+                    })
+                    .map(|g| 1.0 * g.var),
+            );
+            if expr.terms.len() > 1 {
+                m.le(expr, 1.0);
+            }
+        }
+    }
+
+    // Maximize restored capacity.
+    let obj = LinExpr::sum(gammas.iter().map(|g| f64::from(g.rate) * g.var));
+    m.set_objective(Sense::Maximize, obj);
+    let sol = m.solve_with(opts);
+    match sol.status {
+        Status::Optimal => {}
+        Status::NodeLimit if !sol.objective.is_nan() => {}
+        _ => return None,
+    }
+    Some(ExactRestoration {
+        restored_gbps: sol.objective.round() as u64,
+        affected_gbps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planning::heuristic::plan;
+    use crate::restore::heuristic::restore;
+    use crate::scheme::Scheme;
+    use flexwan_optical::spectrum::SpectrumGrid;
+    use flexwan_topo::graph::EdgeId;
+
+    fn square() -> (Graph, IpTopology) {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 600);
+        g.add_edge(a, c, 600);
+        g.add_edge(c, b, 600);
+        let mut ip = IpTopology::new();
+        ip.add_link(a, b, 300);
+        (g, ip)
+    }
+
+    fn cfg(pixels: u32) -> PlannerConfig {
+        PlannerConfig { grid: SpectrumGrid::new(pixels), k_paths: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn exact_matches_greedy_on_easy_instance() {
+        let (g, ip) = square();
+        let c = cfg(16);
+        let p = plan(Scheme::FlexWan, &g, &ip, &c);
+        let cut = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+        let exact =
+            solve_exact(&p, &g, &ip, &cut, &[], &c, &SolveOptions::default()).unwrap();
+        let greedy = restore(&p, &g, &ip, &cut, &[], &c);
+        assert_eq!(exact.affected_gbps, greedy.affected_gbps);
+        assert_eq!(exact.restored_gbps, 300);
+        assert_eq!(greedy.restored_gbps, exact.restored_gbps);
+    }
+
+    #[test]
+    fn exact_restoration_bounded_by_affected() {
+        let (g, ip) = square();
+        let c = cfg(16);
+        let p = plan(Scheme::FlexWan, &g, &ip, &c);
+        let cut = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+        // Plenty of extra spares: constraint (7) still caps at affected.
+        let exact =
+            solve_exact(&p, &g, &ip, &cut, &[9, 9], &c, &SolveOptions::default()).unwrap();
+        assert!(exact.restored_gbps <= exact.affected_gbps);
+    }
+
+    #[test]
+    fn no_loss_when_unused_fiber_cut() {
+        let (g, ip) = square();
+        let c = cfg(16);
+        let p = plan(Scheme::FlexWan, &g, &ip, &c);
+        let cut = FailureScenario { id: 1, cuts: vec![EdgeId(1)], probability: 1.0 };
+        let exact =
+            solve_exact(&p, &g, &ip, &cut, &[], &c, &SolveOptions::default()).unwrap();
+        assert_eq!(exact.affected_gbps, 0);
+        assert_eq!(exact.restored_gbps, 0);
+    }
+}

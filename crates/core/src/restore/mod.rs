@@ -1,0 +1,17 @@
+//! Optical restoration (§8): maximize revived capacity after fiber cuts.
+//!
+//! * [`scenario`] — deterministic 1-failure and probabilistic cut sets;
+//! * [`heuristic`] — the scalable greedy restorer;
+//! * [`mip`] — the exact constraints-(7)–(13) formulation for validation;
+//! * [`report`] — restoration capability and path-stretch metrics
+//!   (Figures 15–16).
+
+pub mod heuristic;
+pub mod mip;
+pub mod report;
+pub mod scenario;
+
+pub use heuristic::{flexwan_plus_extra_spares, restore, Restoration, RestoredWavelength};
+pub use mip::{solve_exact as solve_restoration_exact, ExactRestoration};
+pub use report::{report as restore_report, RestoreReport};
+pub use scenario::{conduit_cut_scenarios, one_fiber_scenarios, probabilistic_scenarios, FailureScenario};

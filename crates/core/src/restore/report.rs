@@ -1,0 +1,109 @@
+//! Restoration metrics: the quantities behind Figures 15 and 16.
+
+use crate::restore::heuristic::Restoration;
+
+/// Metrics aggregated over a set of failure scenarios.
+#[derive(Debug, Clone)]
+pub struct RestoreReport {
+    /// Per-scenario restoration capability (revived / lost).
+    pub capabilities: Vec<f64>,
+    /// Scenario probabilities (aligned with `capabilities`).
+    pub probabilities: Vec<f64>,
+    /// Per restored wavelength: restored path length − original path
+    /// length, km (Figure 15(a)).
+    pub length_gaps_km: Vec<i64>,
+    /// Per restored wavelength: restored length / original length
+    /// (the ">10×" extremes of §3.3).
+    pub length_ratios: Vec<f64>,
+}
+
+/// Builds the report from per-scenario restorations.
+pub fn report(restorations: &[(f64, Restoration)]) -> RestoreReport {
+    let mut capabilities = Vec::with_capacity(restorations.len());
+    let mut probabilities = Vec::with_capacity(restorations.len());
+    let mut length_gaps_km = Vec::new();
+    let mut length_ratios = Vec::new();
+    for (prob, r) in restorations {
+        capabilities.push(r.capability());
+        probabilities.push(*prob);
+        for rw in &r.restored {
+            let restored_len = i64::from(rw.wavelength.path.length_km);
+            let original_len = i64::from(rw.original_length_km);
+            length_gaps_km.push(restored_len - original_len);
+            if original_len > 0 {
+                length_ratios.push(restored_len as f64 / original_len as f64);
+            }
+        }
+    }
+    RestoreReport { capabilities, probabilities, length_gaps_km, length_ratios }
+}
+
+impl RestoreReport {
+    /// Probability-weighted mean restoration capability (Figure 15(b)'s
+    /// "average restoration capability in all failure scenarios").
+    pub fn mean_capability(&self) -> f64 {
+        let total_p: f64 = self.probabilities.iter().sum();
+        if total_p == 0.0 {
+            return 1.0;
+        }
+        self.capabilities
+            .iter()
+            .zip(&self.probabilities)
+            .map(|(c, p)| c * p)
+            .sum::<f64>()
+            / total_p
+    }
+
+    /// Fraction of restored wavelengths whose path got longer
+    /// (§8: "90 % of the restored paths are longer than their original").
+    pub fn fraction_longer(&self) -> f64 {
+        if self.length_gaps_km.is_empty() {
+            return 0.0;
+        }
+        self.length_gaps_km.iter().filter(|&&g| g > 0).count() as f64
+            / self.length_gaps_km.len() as f64
+    }
+
+    /// The largest restored-to-original length ratio observed.
+    pub fn max_length_ratio(&self) -> f64 {
+        self.length_ratios.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restore::heuristic::Restoration;
+
+    fn dummy(affected: u64, restored: u64, id: usize) -> Restoration {
+        Restoration {
+            scenario_id: id,
+            affected_gbps: affected,
+            restored_gbps: restored,
+            restored: Vec::new(),
+            per_link: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn weighted_mean_capability() {
+        let rs = vec![(0.5, dummy(100, 100, 0)), (0.5, dummy(100, 50, 1))];
+        let rep = report(&rs);
+        assert!((rep.mean_capability() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_benign() {
+        let rep = report(&[]);
+        assert_eq!(rep.mean_capability(), 1.0);
+        assert_eq!(rep.fraction_longer(), 0.0);
+        assert_eq!(rep.max_length_ratio(), 0.0);
+    }
+
+    #[test]
+    fn unaffected_scenarios_count_as_full() {
+        let rs = vec![(1.0, dummy(0, 0, 0))];
+        let rep = report(&rs);
+        assert_eq!(rep.mean_capability(), 1.0);
+    }
+}

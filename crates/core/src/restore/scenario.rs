@@ -1,0 +1,182 @@
+//! Failure scenarios (§8): deterministic 1-failures and probabilistic
+//! fiber-cut scenarios per the link failure models of [17, 40].
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use flexwan_topo::graph::{EdgeId, Graph};
+
+/// A fiber-cut scenario: the set of simultaneously cut fibers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureScenario {
+    /// Scenario index within its set.
+    pub id: usize,
+    /// The cut fibers.
+    pub cuts: Vec<EdgeId>,
+    /// Scenario probability (uniform for the deterministic 1-failure set;
+    /// length-weighted for the probabilistic set).
+    pub probability: f64,
+}
+
+impl FailureScenario {
+    /// Whether fiber `e` is cut in this scenario.
+    pub fn is_cut(&self, e: EdgeId) -> bool {
+        self.cuts.contains(&e)
+    }
+
+    /// The cut set as a hash set (the `banned` argument of the path
+    /// algorithms).
+    pub fn banned(&self) -> std::collections::HashSet<EdgeId> {
+        self.cuts.iter().copied().collect()
+    }
+}
+
+/// Every single-fiber-cut scenario (the deterministic k=1 failure model of
+/// [40]), uniformly weighted.
+pub fn one_fiber_scenarios(g: &Graph) -> Vec<FailureScenario> {
+    let n = g.num_edges();
+    g.edges()
+        .iter()
+        .map(|e| FailureScenario {
+            id: e.id.0 as usize,
+            cuts: vec![e.id],
+            probability: 1.0 / n as f64,
+        })
+        .collect()
+}
+
+/// One scenario per *conduit*: parallel fibers between the same node pair
+/// share a physical conduit, so a backhoe severs them together. This is
+/// the failure set the §8 evaluation uses (a "fiber cut" takes out the
+/// whole cable, not one pair).
+pub fn conduit_cut_scenarios(g: &Graph) -> Vec<FailureScenario> {
+    let groups = flexwan_topo::route::conduits(g);
+    let n = groups.len();
+    groups
+        .into_iter()
+        .enumerate()
+        .map(|(id, cuts)| FailureScenario { id, cuts, probability: 1.0 / n as f64 })
+        .collect()
+}
+
+/// `n` probabilistic scenarios (the model of [17]): each scenario cuts one
+/// or (with probability `double_cut_prob`) two fibers, drawn with
+/// probability proportional to fiber length — long-haul fibers are cut
+/// more often (construction work scales with route length).
+pub fn probabilistic_scenarios(
+    g: &Graph,
+    n: usize,
+    double_cut_prob: f64,
+    seed: u64,
+) -> Vec<FailureScenario> {
+    assert!((0.0..=1.0).contains(&double_cut_prob));
+    assert!(g.num_edges() >= 2, "need at least two fibers");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let total: u64 = g.edges().iter().map(|e| u64::from(e.length_km)).sum();
+    let draw = |rng: &mut ChaCha8Rng| -> EdgeId {
+        let mut t = rng.gen_range(0..total);
+        for e in g.edges() {
+            let l = u64::from(e.length_km);
+            if t < l {
+                return e.id;
+            }
+            t -= l;
+        }
+        g.edges().last().expect("non-empty").id
+    };
+    (0..n)
+        .map(|id| {
+            let first = draw(&mut rng);
+            let mut cuts = vec![first];
+            if rng.gen::<f64>() < double_cut_prob {
+                let mut second = draw(&mut rng);
+                while second == first {
+                    second = draw(&mut rng);
+                }
+                cuts.push(second);
+            }
+            FailureScenario { id, cuts, probability: 1.0 / n as f64 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 100);
+        g.add_edge(b, c, 2000); // long fiber, cut often
+        g.add_edge(c, d, 100);
+        g.add_edge(d, a, 100);
+        g
+    }
+
+    #[test]
+    fn one_fiber_covers_every_edge() {
+        let g = square();
+        let s = one_fiber_scenarios(&g);
+        assert_eq!(s.len(), 4);
+        let total_p: f64 = s.iter().map(|x| x.probability).sum();
+        assert!((total_p - 1.0).abs() < 1e-12);
+        for (i, sc) in s.iter().enumerate() {
+            assert_eq!(sc.cuts.len(), 1);
+            assert!(sc.is_cut(EdgeId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn conduit_scenarios_group_parallels() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 100);
+        g.add_edge(a, b, 102); // same conduit
+        g.add_edge(b, c, 300);
+        let s = conduit_cut_scenarios(&g);
+        assert_eq!(s.len(), 2);
+        let ab = s.iter().find(|sc| sc.cuts.len() == 2).expect("a-b conduit");
+        assert!(ab.is_cut(EdgeId(0)) && ab.is_cut(EdgeId(1)));
+        let total_p: f64 = s.iter().map(|x| x.probability).sum();
+        assert!((total_p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilistic_weighted_by_length() {
+        let g = square();
+        let s = probabilistic_scenarios(&g, 400, 0.0, 5);
+        let long_cuts = s.iter().filter(|sc| sc.is_cut(EdgeId(1))).count();
+        // Fiber 1 carries 2000 of 2300 km → ~87 % of cuts.
+        assert!(
+            long_cuts > 300,
+            "long fiber cut only {long_cuts}/400 times"
+        );
+    }
+
+    #[test]
+    fn double_cuts_present_and_distinct() {
+        let g = square();
+        let s = probabilistic_scenarios(&g, 200, 0.5, 9);
+        let doubles: Vec<_> = s.iter().filter(|sc| sc.cuts.len() == 2).collect();
+        assert!(!doubles.is_empty());
+        for d in doubles {
+            assert_ne!(d.cuts[0], d.cuts[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = square();
+        assert_eq!(
+            probabilistic_scenarios(&g, 50, 0.3, 1),
+            probabilistic_scenarios(&g, 50, 0.3, 1)
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! The three optical-backbone architectures compared throughout the paper
+//! (Table 1): fixed-rate 100G-WAN, rate-adaptive RADWAN, and FlexWAN.
+//!
+//! A [`Scheme`] bundles the transponder generation with the OLS grid
+//! behaviour, so the planning and restoration algorithms treat all three
+//! uniformly — the baselines differ only in the capability tables and the
+//! spectrum-alignment rule, exactly as in the paper.
+
+use flexwan_optical::spectrum::PixelWidth;
+use flexwan_optical::transponder::{Bvt, FixedGrid100G, Svt, TransponderModel};
+use flexwan_optical::WssKind;
+
+/// An optical-backbone architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Fixed-rate WAN: 100 Gbps over a rigid 50 GHz grid (Microsoft-style
+    /// [27, 28]).
+    FixedGrid100G,
+    /// Rate-adaptive WAN: BVTs over a rigid 75 GHz grid [47, 49].
+    Radwan,
+    /// FlexWAN: SVTs over the pixel-wise spectrum-sliced OLS.
+    FlexWan,
+}
+
+impl Scheme {
+    /// All schemes, in the paper's presentation order.
+    pub const ALL: [Scheme; 3] = [Scheme::FixedGrid100G, Scheme::Radwan, Scheme::FlexWan];
+
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::FixedGrid100G => "100G-WAN",
+            Scheme::Radwan => "RADWAN",
+            Scheme::FlexWan => "FlexWAN",
+        }
+    }
+
+    /// The transponder generation deployed under this scheme.
+    pub fn transponder(self) -> &'static dyn TransponderModel {
+        match self {
+            Scheme::FixedGrid100G => &FixedGrid100G,
+            Scheme::Radwan => &Bvt,
+            Scheme::FlexWan => &Svt,
+        }
+    }
+
+    /// The WSS technology of the scheme's OLS equipment.
+    pub fn wss(self) -> WssKind {
+        match self {
+            Scheme::FixedGrid100G => WssKind::FixedGrid { spacing: PixelWidth::new(4) },
+            Scheme::Radwan => WssKind::FixedGrid { spacing: PixelWidth::new(6) },
+            Scheme::FlexWan => WssKind::PixelWise,
+        }
+    }
+
+    /// Spectrum-allocation alignment in pixels: fixed-grid schemes may only
+    /// start channels on grid boundaries; FlexWAN starts anywhere.
+    pub fn alignment_pixels(self) -> u32 {
+        match self.wss() {
+            WssKind::FixedGrid { spacing } => u32::from(spacing.pixels()),
+            WssKind::PixelWise => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_feature_matrix() {
+        // Table 1: data rate fixed/variable/variable; spacing
+        // fixed/fixed/variable; passband fix-grid/fix-grid/dynamic.
+        assert_eq!(Scheme::FixedGrid100G.transponder().rates(), vec![100]);
+        assert_eq!(Scheme::Radwan.transponder().rates(), vec![100, 200, 300]);
+        assert!(Scheme::FlexWan.transponder().rates().len() == 8);
+
+        // Spacing variability: number of distinct spacings.
+        let spacings = |s: Scheme| {
+            let mut v: Vec<u16> =
+                s.transponder().formats().iter().map(|f| f.spacing.pixels()).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        assert_eq!(spacings(Scheme::FixedGrid100G), vec![4]);
+        assert_eq!(spacings(Scheme::Radwan), vec![6]);
+        assert_eq!(spacings(Scheme::FlexWan).len(), 9);
+
+        assert_eq!(Scheme::FixedGrid100G.alignment_pixels(), 4);
+        assert_eq!(Scheme::Radwan.alignment_pixels(), 6);
+        assert_eq!(Scheme::FlexWan.alignment_pixels(), 1);
+    }
+
+    #[test]
+    fn grid_matches_transponder_spacing() {
+        // For the rigid schemes, every format's spacing must equal the OLS
+        // grid or the passbands could never match the wavelengths.
+        for s in [Scheme::FixedGrid100G, Scheme::Radwan] {
+            let WssKind::FixedGrid { spacing } = s.wss() else {
+                panic!("{s} should be fixed-grid")
+            };
+            for f in s.transponder().formats() {
+                assert_eq!(f.spacing, spacing, "{s}: {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(Scheme::FlexWan.to_string(), "FlexWAN");
+        assert_eq!(Scheme::ALL.len(), 3);
+    }
+}

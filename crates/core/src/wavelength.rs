@@ -1,0 +1,71 @@
+//! A planned wavelength: the unit of provisioned capacity.
+
+use flexwan_optical::format::TransponderFormat;
+use flexwan_optical::spectrum::PixelRange;
+use flexwan_topo::ip::IpLinkId;
+use flexwan_topo::path::Path;
+
+/// One wavelength provisioned by the planner (or restorer): a pair of
+/// transponders at `format`, carried over `path`, occupying `channel` on
+/// every fiber of the path (the spectrum-consistency invariant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wavelength {
+    /// The IP link whose capacity this wavelength carries.
+    pub link: IpLinkId,
+    /// Index of the candidate path used (the `k` of `P_{e,k}`).
+    pub path_index: usize,
+    /// The optical path traversed.
+    pub path: Path,
+    /// The transponder operating point.
+    pub format: TransponderFormat,
+    /// The spectrum occupied on every fiber of the path.
+    pub channel: PixelRange,
+}
+
+impl Wavelength {
+    /// Reach margin: optical reach − path length (the *gap* of Figure
+    /// 14(a)); negative would violate the reach constraint and is rejected
+    /// by construction elsewhere.
+    pub fn reach_gap_km(&self) -> i64 {
+        i64::from(self.format.reach_km) - i64::from(self.path.length_km)
+    }
+
+    /// Link spectral efficiency of the wavelength, bit/s/Hz (Figure 14(b)).
+    pub fn spectral_efficiency(&self) -> f64 {
+        self.format.spectral_efficiency()
+    }
+}
+
+impl std::fmt::Display for Wavelength {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "link {} path#{} {}: {} @ {}",
+            self.link.0, self.path_index, self.path, self.format, self.channel
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexwan_optical::spectrum::PixelWidth;
+    use flexwan_topo::graph::Graph;
+
+    #[test]
+    fn gap_and_efficiency() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let e = g.add_edge(a, b, 500);
+        let w = Wavelength {
+            link: IpLinkId(0),
+            path_index: 0,
+            path: Path::new(&g, vec![a, b], vec![e]),
+            format: TransponderFormat::derive(400, PixelWidth::from_ghz(75.0).unwrap(), 600),
+            channel: PixelRange::new(0, PixelWidth::new(6)),
+        };
+        assert_eq!(w.reach_gap_km(), 100);
+        assert!((w.spectral_efficiency() - 400.0 / 75.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,128 @@
+//! Standard configuration documents (the "Yang file" of §4.4).
+//!
+//! The DevMgr "issues a Yang file containing detailed configuration
+//! parameters to configure the device through the Netconf protocol". Our
+//! stand-in keeps the semantics — structured, self-describing,
+//! serializable configuration documents — encoded with serde/JSON instead
+//! of YANG/XML (substitution recorded in DESIGN.md §1).
+
+use serde::{Deserialize, Serialize};
+
+use flexwan_optical::format::TransponderFormat;
+use flexwan_optical::spectrum::PixelRange;
+
+/// A standard (vendor-agnostic) configuration payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StandardConfig {
+    /// Configure a transponder's line side: modulation format, FEC, baud
+    /// and the spectrum its wavelength must occupy.
+    Transponder {
+        /// The operating point to program into FEC/DSP/EOM.
+        format: TransponderFormat,
+        /// The assigned spectrum.
+        channel: PixelRange,
+        /// Administratively enable/disable the line.
+        enabled: bool,
+    },
+    /// Configure one MUX filter port's passband.
+    MuxPort {
+        /// The faceplate port.
+        port: u16,
+        /// The passband; `None` clears the port.
+        passband: Option<PixelRange>,
+    },
+    /// Add an express passband between two ROADM degrees.
+    RoadmExpress {
+        /// Ingress degree.
+        from_degree: u16,
+        /// Egress degree.
+        to_degree: u16,
+        /// The passband to express.
+        passband: PixelRange,
+    },
+    /// Remove a ROADM express passband.
+    RoadmRelease {
+        /// Ingress degree.
+        from_degree: u16,
+        /// Egress degree.
+        to_degree: u16,
+        /// The passband to remove.
+        passband: PixelRange,
+    },
+    /// Set an amplifier's gain.
+    AmplifierGain {
+        /// Target gain, dB.
+        gain_db: f64,
+    },
+}
+
+/// The YANG-file stand-in: a named, versioned configuration document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigDocument {
+    /// Monotonic revision stamped by the controller.
+    pub revision: u64,
+    /// The configuration payload.
+    pub config: StandardConfig,
+}
+
+impl ConfigDocument {
+    /// Serializes to the wire form (JSON standing in for YANG/XML).
+    pub fn to_wire(&self) -> String {
+        serde_json::to_string(self).expect("config documents always serialize")
+    }
+
+    /// Parses the wire form.
+    pub fn from_wire(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexwan_optical::spectrum::PixelWidth;
+
+    fn sample() -> ConfigDocument {
+        ConfigDocument {
+            revision: 7,
+            config: StandardConfig::Transponder {
+                format: TransponderFormat::derive(
+                    400,
+                    PixelWidth::from_ghz(100.0).unwrap(),
+                    1500,
+                ),
+                channel: PixelRange::new(16, PixelWidth::new(8)),
+                enabled: true,
+            },
+        }
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let doc = sample();
+        let wire = doc.to_wire();
+        assert!(wire.contains("\"revision\":7"));
+        let back = ConfigDocument::from_wire(&wire).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn malformed_wire_rejected() {
+        assert!(ConfigDocument::from_wire("{not yang}").is_err());
+    }
+
+    #[test]
+    fn all_variants_serialize() {
+        let r = PixelRange::new(0, PixelWidth::new(6));
+        for cfg in [
+            StandardConfig::MuxPort { port: 3, passband: Some(r) },
+            StandardConfig::MuxPort { port: 3, passband: None },
+            StandardConfig::RoadmExpress { from_degree: 0, to_degree: 1, passband: r },
+            StandardConfig::RoadmRelease { from_degree: 0, to_degree: 1, passband: r },
+            StandardConfig::AmplifierGain { gain_db: 17.5 },
+        ] {
+            let doc = ConfigDocument { revision: 1, config: cfg };
+            assert_eq!(ConfigDocument::from_wire(&doc.to_wire()).unwrap(), doc);
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! The centralized optical controller (§4.4): global manager + DevMgr.
+//!
+//! Builds one MUX and one ROADM (vendor-diverse) per optical site, spawns
+//! transponders per planned wavelength, and pushes a [`Plan`] to the
+//! devices: line-configs to transponders, filter-port passbands to the
+//! endpoint MUXes, and express passbands to every intermediate ROADM —
+//! "the centralized controller uses the same configuration parameters as
+//! the wavelength's spectrum to configure the passband of these devices"
+//! (§4.3), which is what makes channel inconsistency impossible.
+
+use std::collections::HashMap;
+
+use flexwan_core::planning::Plan;
+use flexwan_optical::devices::{Mux, Roadm};
+use flexwan_optical::spectrum::SpectrumGrid;
+use flexwan_optical::WssKind;
+use flexwan_topo::graph::{EdgeId, Graph, NodeId};
+
+use crate::config::{ConfigDocument, StandardConfig};
+use crate::journal::ConfigJournal;
+use crate::device::{spawn_device, DeviceHandle, Hardware};
+use crate::model::{DeviceDescriptor, DeviceId, DeviceKind, Vendor};
+use crate::transaction::{Transaction, TxError};
+use crate::vendor;
+
+/// Filter ports per site MUX.
+const MUX_PORTS: u16 = 64;
+
+/// The device manager: registry plus live sessions.
+#[derive(Debug, Default)]
+pub struct DevMgr {
+    devices: HashMap<DeviceId, DeviceHandle>,
+    factory: HashMap<DeviceId, Hardware>,
+    next_id: u32,
+}
+
+impl DevMgr {
+    fn allocate(&mut self, vendor: Vendor, kind: DeviceKind, site: NodeId) -> DeviceDescriptor {
+        let id = DeviceId(self.next_id);
+        self.next_id += 1;
+        DeviceDescriptor { id, vendor, kind, mgmt_ip: DeviceDescriptor::mgmt_ip_for(id), site }
+    }
+
+    /// Spawns and registers a device, remembering its factory hardware.
+    pub fn register(&mut self, vendor: Vendor, kind: DeviceKind, site: NodeId, hw: Hardware) -> DeviceId {
+        let descriptor = self.allocate(vendor, kind, site);
+        let id = descriptor.id;
+        self.factory.insert(id, hw.clone());
+        self.devices.insert(id, spawn_device(descriptor, hw));
+        id
+    }
+
+    /// Simulates a field replacement: the device at `id` is swapped for a
+    /// factory-fresh unit (same identity, empty configuration) — the
+    /// configuration-drift scenario [`Controller::reconcile`] repairs.
+    pub fn reset_device(&mut self, id: DeviceId) {
+        let old = self.devices.remove(&id).expect("unknown device");
+        let descriptor = old.descriptor.clone();
+        drop(old); // shuts the old device thread down
+        let hw = self.factory.get(&id).expect("factory image recorded").clone();
+        self.devices.insert(id, spawn_device(descriptor, hw));
+    }
+
+    /// The handle for `id`.
+    pub fn device(&self, id: DeviceId) -> &DeviceHandle {
+        &self.devices[&id]
+    }
+
+    /// Number of managed devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether no devices are managed.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+}
+
+/// Outcome of pushing a plan to the device plane.
+#[derive(Debug, Clone, Default)]
+pub struct ApplyReport {
+    /// Transponder line-configs acknowledged.
+    pub transponders_configured: usize,
+    /// MUX filter ports acknowledged.
+    pub mux_ports_configured: usize,
+    /// ROADM expresses acknowledged.
+    pub expresses_configured: usize,
+    /// Rejections, with device and cause.
+    pub rejections: Vec<(DeviceId, String)>,
+}
+
+impl ApplyReport {
+    /// Whether every configuration was acknowledged.
+    pub fn is_clean(&self) -> bool {
+        self.rejections.is_empty()
+    }
+}
+
+/// Outcome of a [`Controller::reconcile`] pass.
+#[derive(Debug, Clone, Default)]
+pub struct ReconcileReport {
+    /// Configurations re-issued to repair drift.
+    pub repaired: usize,
+    /// Repairs the devices rejected (need escalation).
+    pub failures: Vec<(DeviceId, String)>,
+}
+
+impl ReconcileReport {
+    /// Whether the plane is fully reconciled.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The centralized controller.
+pub struct Controller {
+    /// Device manager.
+    pub devmgr: DevMgr,
+    mux_at: HashMap<NodeId, DeviceId>,
+    roadm_at: HashMap<NodeId, DeviceId>,
+    next_port: HashMap<NodeId, u16>,
+    degree_of: HashMap<(NodeId, EdgeId), u16>,
+    revision: u64,
+    journal: ConfigJournal,
+}
+
+impl Controller {
+    /// Builds the OLS device plane for `optical`: per site one MUX and one
+    /// ROADM (vendor assigned round-robin by site — multi-vendor by
+    /// construction), with `wss`/`grid` equipment.
+    pub fn build(optical: &Graph, wss: WssKind, grid: SpectrumGrid) -> Controller {
+        let mut devmgr = DevMgr::default();
+        let mut mux_at = HashMap::new();
+        let mut roadm_at = HashMap::new();
+        let mut degree_of = HashMap::new();
+        for node in optical.nodes() {
+            let vendor = Vendor::ALL[node.id.0 as usize % Vendor::ALL.len()];
+            let mux = devmgr.register(
+                vendor,
+                DeviceKind::Mux,
+                node.id,
+                Hardware::Mux(Mux::new(wss, grid, MUX_PORTS)),
+            );
+            mux_at.insert(node.id, mux);
+            let incident = optical.incident_edges(node.id);
+            for (i, e) in incident.iter().enumerate() {
+                degree_of.insert((node.id, *e), i as u16);
+            }
+            let roadm = devmgr.register(
+                vendor,
+                DeviceKind::Roadm,
+                node.id,
+                Hardware::Roadm(Roadm::new(wss, grid, incident.len() as u16)),
+            );
+            roadm_at.insert(node.id, roadm);
+        }
+        Controller {
+            devmgr,
+            mux_at,
+            roadm_at,
+            next_port: HashMap::new(),
+            degree_of,
+            revision: 0,
+            journal: ConfigJournal::new(),
+        }
+    }
+
+    /// The controller's configuration audit trail.
+    pub fn journal(&self) -> &ConfigJournal {
+        &self.journal
+    }
+
+    fn send(&mut self, id: DeviceId, cfg: StandardConfig) -> Result<(), (DeviceId, String)> {
+        self.revision += 1;
+        let handle = &self.devmgr.devices[&id];
+        // The controller logs the standard document; the device receives
+        // its native dialect.
+        let _doc = ConfigDocument { revision: self.revision, config: cfg.clone() };
+        let native = vendor::encode(handle.descriptor.vendor, &cfg);
+        let result = handle
+            .session
+            .edit_config(self.revision, native)
+            .map(|_| ())
+            .map_err(|e| (id, e.to_string()));
+        if result.is_ok() {
+            self.journal.record(self.revision, id, cfg);
+        }
+        result
+    }
+
+    /// Pushes every wavelength of `plan` to the device plane.
+    pub fn apply_plan(&mut self, plan: &Plan, optical: &Graph) -> ApplyReport {
+        let mut report = ApplyReport::default();
+        for w in &plan.wavelengths {
+            // 1. Transponders at both ends (vendor follows the site).
+            for site in [w.path.source(), w.path.destination()] {
+                let vendor = Vendor::ALL[site.0 as usize % Vendor::ALL.len()];
+                let t = self.devmgr.register(
+                    vendor,
+                    DeviceKind::Transponder,
+                    site,
+                    Hardware::Transponder(None),
+                );
+                match self.send(
+                    t,
+                    StandardConfig::Transponder {
+                        format: w.format,
+                        channel: w.channel,
+                        enabled: true,
+                    },
+                ) {
+                    Ok(()) => report.transponders_configured += 1,
+                    Err(r) => report.rejections.push(r),
+                }
+            }
+            // 2. MUX filter ports at both ends, passband = the channel.
+            for site in [w.path.source(), w.path.destination()] {
+                let mux = self.mux_at[&site];
+                let port = {
+                    let p = self.next_port.entry(site).or_insert(0);
+                    let port = *p;
+                    *p += 1;
+                    port
+                };
+                if port >= MUX_PORTS {
+                    report.rejections.push((mux, format!("site {site:?} out of filter ports")));
+                    continue;
+                }
+                match self.send(mux, StandardConfig::MuxPort { port, passband: Some(w.channel) }) {
+                    Ok(()) => report.mux_ports_configured += 1,
+                    Err(r) => report.rejections.push(r),
+                }
+            }
+            // 3. Express passbands at intermediate ROADMs.
+            for i in 1..w.path.nodes.len().saturating_sub(1) {
+                let node = w.path.nodes[i];
+                let from = self.degree_of[&(node, w.path.edges[i - 1])];
+                let to = self.degree_of[&(node, w.path.edges[i])];
+                let roadm = self.roadm_at[&node];
+                match self.send(
+                    roadm,
+                    StandardConfig::RoadmExpress { from_degree: from, to_degree: to, passband: w.channel },
+                ) {
+                    Ok(()) => report.expresses_configured += 1,
+                    Err(r) => report.rejections.push(r),
+                }
+            }
+        }
+        let _ = optical;
+        report
+    }
+
+    /// Applies one wavelength's configuration **atomically**: transponder
+    /// line-configs, endpoint MUX passbands and intermediate ROADM
+    /// expresses either all land or none do (first rejection rolls the
+    /// applied prefix back). See [`crate::transaction`].
+    pub fn apply_wavelength_atomic(
+        &mut self,
+        w: &flexwan_core::Wavelength,
+    ) -> Result<usize, TxError> {
+        let mut tx = Transaction::new();
+        // 1. Transponders (registered up front; rollback disables them).
+        for site in [w.path.source(), w.path.destination()] {
+            let vendor = Vendor::ALL[site.0 as usize % Vendor::ALL.len()];
+            let t = self.devmgr.register(
+                vendor,
+                DeviceKind::Transponder,
+                site,
+                Hardware::Transponder(None),
+            );
+            tx.step(
+                t,
+                StandardConfig::Transponder { format: w.format, channel: w.channel, enabled: true },
+                StandardConfig::Transponder { format: w.format, channel: w.channel, enabled: false },
+            );
+        }
+        // 2. Endpoint MUX filter ports.
+        for site in [w.path.source(), w.path.destination()] {
+            let mux = self.mux_at[&site];
+            let p = self.next_port.entry(site).or_insert(0);
+            let port = *p;
+            *p += 1;
+            tx.step(
+                mux,
+                StandardConfig::MuxPort { port, passband: Some(w.channel) },
+                StandardConfig::MuxPort { port, passband: None },
+            );
+        }
+        // 3. Intermediate ROADM expresses.
+        for i in 1..w.path.nodes.len().saturating_sub(1) {
+            let node = w.path.nodes[i];
+            let from = self.degree_of[&(node, w.path.edges[i - 1])];
+            let to = self.degree_of[&(node, w.path.edges[i])];
+            tx.step(
+                self.roadm_at[&node],
+                StandardConfig::RoadmExpress { from_degree: from, to_degree: to, passband: w.channel },
+                StandardConfig::RoadmRelease { from_degree: from, to_degree: to, passband: w.channel },
+            );
+        }
+        tx.execute(|d, cfg| self.send(d, cfg.clone()).map_err(|(_, e)| e))
+    }
+
+    /// Repairs configuration drift: re-audits `plan` against live device
+    /// state and re-issues the missing passbands/expresses (e.g. after a
+    /// device was swapped for a factory-fresh unit in the field).
+    pub fn reconcile(&mut self, plan: &Plan) -> ReconcileReport {
+        let mut repaired = 0;
+        let mut failures = Vec::new();
+        for w in &plan.wavelengths {
+            for site in [w.path.source(), w.path.destination()] {
+                let mux_id = self.mux_at[&site];
+                let passes = {
+                    let mux = self.devmgr.device(mux_id);
+                    match mux.session.get_state() {
+                        Ok(state) => match state.hardware {
+                            crate::device::Hardware::Mux(m) => {
+                                (0..MUX_PORTS).any(|p| m.passes(p, &w.channel).unwrap_or(false))
+                            }
+                            _ => false,
+                        },
+                        Err(_) => false,
+                    }
+                };
+                if !passes {
+                    let p = self.next_port.entry(site).or_insert(0);
+                    let port = *p;
+                    *p += 1;
+                    match self.send(mux_id, StandardConfig::MuxPort { port, passband: Some(w.channel) }) {
+                        Ok(()) => repaired += 1,
+                        Err(e) => failures.push(e),
+                    }
+                }
+            }
+            for i in 1..w.path.nodes.len().saturating_sub(1) {
+                let node = w.path.nodes[i];
+                let from = self.degree_of[&(node, w.path.edges[i - 1])];
+                let to = self.degree_of[&(node, w.path.edges[i])];
+                let roadm_id = self.roadm_at[&node];
+                let expressed = {
+                    let roadm = self.devmgr.device(roadm_id);
+                    match roadm.session.get_state() {
+                        Ok(state) => match state.hardware {
+                            crate::device::Hardware::Roadm(r) => {
+                                r.expresses(from, to, &w.channel).unwrap_or(false)
+                            }
+                            _ => false,
+                        },
+                        Err(_) => false,
+                    }
+                };
+                if !expressed {
+                    match self.send(
+                        roadm_id,
+                        StandardConfig::RoadmExpress { from_degree: from, to_degree: to, passband: w.channel },
+                    ) {
+                        Ok(()) => repaired += 1,
+                        Err(e) => failures.push(e),
+                    }
+                }
+            }
+        }
+        ReconcileReport { repaired, failures }
+    }
+
+    /// End-to-end audit: re-reads device state and verifies that every
+    /// wavelength's channel is passed by its endpoint MUXes and expressed
+    /// by every intermediate ROADM (the §4.3 channel-consistency check).
+    pub fn audit_plan(&self, plan: &Plan) -> Vec<String> {
+        let mut findings = Vec::new();
+        // Collect endpoint passbands per site once.
+        for (wi, w) in plan.wavelengths.iter().enumerate() {
+            for site in [w.path.source(), w.path.destination()] {
+                let mux = self.devmgr.device(self.mux_at[&site]);
+                let state = match mux.session.get_state() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        findings.push(format!("wavelength {wi}: mux at {site:?} unreachable: {e}"));
+                        continue;
+                    }
+                };
+                let crate::device::Hardware::Mux(m) = state.hardware else {
+                    findings.push(format!("device at {site:?} is not a MUX"));
+                    continue;
+                };
+                let passed = (0..MUX_PORTS)
+                    .any(|p| m.passes(p, &w.channel).unwrap_or(false));
+                if !passed {
+                    findings.push(format!(
+                        "wavelength {wi}: channel {} not passed by any filter port at {site:?} (channel inconsistency)",
+                        w.channel
+                    ));
+                }
+            }
+            for i in 1..w.path.nodes.len().saturating_sub(1) {
+                let node = w.path.nodes[i];
+                let roadm = self.devmgr.device(self.roadm_at[&node]);
+                let Ok(state) = roadm.session.get_state() else {
+                    findings.push(format!("wavelength {wi}: roadm at {node:?} unreachable"));
+                    continue;
+                };
+                let crate::device::Hardware::Roadm(r) = state.hardware else { continue };
+                let from = self.degree_of[&(node, w.path.edges[i - 1])];
+                let to = self.degree_of[&(node, w.path.edges[i])];
+                if !r.expresses(from, to, &w.channel).unwrap_or(false) {
+                    findings.push(format!(
+                        "wavelength {wi}: channel {} not expressed at {node:?} (channel inconsistency)",
+                        w.channel
+                    ));
+                }
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexwan_core::planning::{plan, PlannerConfig};
+    use flexwan_core::Scheme;
+    use flexwan_topo::ip::IpTopology;
+
+    fn backbone() -> (Graph, IpTopology) {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 150);
+        g.add_edge(b, c, 200);
+        g.add_edge(a, c, 500);
+        let mut ip = IpTopology::new();
+        ip.add_link(a, c, 600);
+        ip.add_link(a, b, 400);
+        (g, ip)
+    }
+
+    #[test]
+    fn plan_applies_cleanly_and_audits_consistent() {
+        let (g, ip) = backbone();
+        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        assert!(p.is_feasible());
+        let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+        let report = ctrl.apply_plan(&p, &g);
+        assert!(report.is_clean(), "rejections: {:?}", report.rejections);
+        assert_eq!(report.transponders_configured, 2 * p.wavelengths.len());
+        assert_eq!(report.mux_ports_configured, 2 * p.wavelengths.len());
+        // §4.3's result: zero inconsistency under centralized control.
+        let findings = ctrl.audit_plan(&p);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn radwan_plan_applies_on_fixed_grid_ols() {
+        let (g, ip) = backbone();
+        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let p = plan(Scheme::Radwan, &g, &ip, &cfg);
+        assert!(p.is_feasible());
+        let mut ctrl = Controller::build(&g, Scheme::Radwan.wss(), cfg.grid);
+        let report = ctrl.apply_plan(&p, &g);
+        assert!(report.is_clean(), "rejections: {:?}", report.rejections);
+        assert!(ctrl.audit_plan(&p).is_empty());
+    }
+
+    #[test]
+    fn flexwan_plan_rejected_by_legacy_fixed_grid_ols() {
+        // Deploying FlexWAN wavelengths over a rigid 75 GHz OLS must fail
+        // at the devices — the §9 "smooth evolution" motivation.
+        let (g, ip) = backbone();
+        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        // 600 G at 500 km → 100 GHz spacing: not a 75 GHz slot.
+        let mut ctrl = Controller::build(&g, Scheme::Radwan.wss(), cfg.grid);
+        let report = ctrl.apply_plan(&p, &g);
+        assert!(!report.is_clean(), "legacy OLS should reject pixel-wise channels");
+    }
+
+    #[test]
+    fn atomic_apply_rolls_back_on_mid_path_rejection() {
+        // Fixed-grid OLS + an off-grid FlexWAN channel: the first MUX step
+        // rejects, and the already-configured transponders must be
+        // disabled again.
+        let (g, ip) = backbone();
+        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        let off_grid = p
+            .wavelengths
+            .iter()
+            .find(|w| w.channel.start % 6 != 0 || w.channel.width.pixels() != 6)
+            .expect("plan contains an off-75GHz-grid channel");
+        let mut ctrl = Controller::build(&g, Scheme::Radwan.wss(), cfg.grid);
+        let before_devices = ctrl.devmgr.len();
+        let err = ctrl.apply_wavelength_atomic(off_grid).unwrap_err();
+        assert!(err.rollback_failures.is_empty(), "{err:?}");
+        assert!(err.rolled_back >= 2, "transponders were applied first");
+        // The registered transponders exist but are administratively down.
+        assert_eq!(ctrl.devmgr.len(), before_devices + 2);
+        for id in (0..ctrl.devmgr.len() as u32).map(DeviceId) {
+            let Ok(state) = ctrl.devmgr.device(id).session.get_state() else { continue };
+            if let crate::device::Hardware::Transponder(Some(t)) = state.hardware {
+                assert!(!t.enabled, "rolled-back transponder still enabled");
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_apply_succeeds_on_pixel_wise_plane() {
+        let (g, ip) = backbone();
+        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+        for w in &p.wavelengths {
+            let steps = ctrl.apply_wavelength_atomic(w).unwrap();
+            assert!(steps >= 4, "2 transponders + 2 mux ports at least");
+        }
+        assert!(ctrl.audit_plan(&p).is_empty());
+    }
+
+    #[test]
+    fn reconcile_repairs_field_swapped_device() {
+        let (g, ip) = backbone();
+        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+        assert!(ctrl.apply_plan(&p, &g).is_clean());
+        assert!(ctrl.audit_plan(&p).is_empty());
+        // A MUX is swapped for a factory-fresh unit: drift appears…
+        let mux0 = ctrl.mux_at[&p.wavelengths[0].path.source()];
+        ctrl.devmgr.reset_device(mux0);
+        assert!(!ctrl.audit_plan(&p).is_empty(), "drift must be visible");
+        // …and reconcile repairs it.
+        let rep = ctrl.reconcile(&p);
+        assert!(rep.is_clean(), "{:?}", rep.failures);
+        assert!(rep.repaired > 0);
+        assert!(ctrl.audit_plan(&p).is_empty(), "plane reconciled");
+        // A second pass is a no-op (reconcile is idempotent).
+        assert_eq!(ctrl.reconcile(&p).repaired, 0);
+    }
+
+    #[test]
+    fn journal_records_acknowledged_configs_only() {
+        let (g, ip) = backbone();
+        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+        let report = ctrl.apply_plan(&p, &g);
+        assert!(report.is_clean());
+        let total = report.transponders_configured
+            + report.mux_ports_configured
+            + report.expresses_configured;
+        assert_eq!(ctrl.journal().len(), total);
+        // Forensics: what was the first MUX's first port running?
+        let mux = ctrl.mux_at[&p.wavelengths[0].path.source()];
+        assert!(ctrl.journal().latest(mux).is_some());
+        // Rejected configs are absent: a legacy plane rejects everything
+        // off-grid and journals nothing for those sends.
+        let mut legacy = Controller::build(&g, Scheme::Radwan.wss(), cfg.grid);
+        let rep2 = legacy.apply_plan(&p, &g);
+        let total2 = rep2.transponders_configured
+            + rep2.mux_ports_configured
+            + rep2.expresses_configured;
+        assert_eq!(legacy.journal().len(), total2);
+        assert!(legacy.journal().len() < ctrl.journal().len());
+    }
+
+    #[test]
+    fn vendor_diversity_is_real() {
+        let (g, _) = backbone();
+        let ctrl = Controller::build(&g, WssKind::PixelWise, SpectrumGrid::new(96));
+        let vendors: std::collections::HashSet<_> = ctrl
+            .devmgr
+            .devices
+            .values()
+            .map(|d| d.descriptor.vendor)
+            .collect();
+        assert_eq!(vendors.len(), 3, "three sites → three vendors");
+    }
+}

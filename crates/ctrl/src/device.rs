@@ -1,0 +1,297 @@
+//! Simulated optical devices: one thread per device, speaking its vendor's
+//! native dialect over a NETCONF-style session.
+//!
+//! A device validates configuration against its *hardware* model from
+//! `flexwan-optical` — a fixed-grid MUX rejects off-grid passbands exactly
+//! like the real device would — so controller logic is exercised against
+//! honest failure modes.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::unbounded;
+use serde::{Deserialize, Serialize};
+
+use flexwan_optical::devices::{Mux, Roadm};
+use flexwan_optical::format::TransponderFormat;
+use flexwan_optical::spectrum::PixelRange;
+
+use crate::config::StandardConfig;
+use crate::model::DeviceDescriptor;
+use crate::netconf::{NetconfReply, NetconfRequest, NetconfSession};
+use crate::vendor;
+
+/// The line-side state of a transponder device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransponderState {
+    /// Programmed operating point.
+    pub format: TransponderFormat,
+    /// Assigned spectrum.
+    pub channel: PixelRange,
+    /// Administrative state.
+    pub enabled: bool,
+}
+
+/// The hardware behind a device thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Hardware {
+    /// A transponder (unconfigured until the first line-config).
+    Transponder(Option<TransponderState>),
+    /// A MUX with its filter ports.
+    Mux(Mux),
+    /// A ROADM with its degrees.
+    Roadm(Roadm),
+    /// An amplifier (gain only).
+    Amplifier {
+        /// Current gain, dB.
+        gain_db: f64,
+    },
+}
+
+/// A device's full state snapshot, as returned by get-state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceState {
+    /// Identity and placement.
+    pub descriptor: DeviceDescriptor,
+    /// Hardware state.
+    pub hardware: Hardware,
+    /// Last acknowledged configuration revision (0 = factory).
+    pub last_revision: u64,
+}
+
+impl DeviceState {
+    fn apply(&mut self, cfg: &StandardConfig) -> Result<(), String> {
+        match (&mut self.hardware, cfg) {
+            (Hardware::Transponder(state), StandardConfig::Transponder { format, channel, enabled }) => {
+                if format.spacing != channel.width {
+                    return Err(format!(
+                        "channel width {} does not match format spacing {}",
+                        channel.width, format.spacing
+                    ));
+                }
+                *state = Some(TransponderState {
+                    format: *format,
+                    channel: *channel,
+                    enabled: *enabled,
+                });
+                Ok(())
+            }
+            (Hardware::Mux(mux), StandardConfig::MuxPort { port, passband }) => match passband {
+                Some(r) => mux.set_passband(*port, *r).map_err(|e| e.to_string()),
+                None => mux.clear_passband(*port).map_err(|e| e.to_string()),
+            },
+            (Hardware::Roadm(roadm), StandardConfig::RoadmExpress { from_degree, to_degree, passband }) => {
+                roadm.add_passband(*from_degree, *passband).map_err(|e| e.to_string())?;
+                if let Err(e) = roadm.add_passband(*to_degree, *passband) {
+                    // Keep the two degrees atomic.
+                    roadm
+                        .remove_passband(*from_degree, *passband)
+                        .expect("just added");
+                    return Err(e.to_string());
+                }
+                Ok(())
+            }
+            (Hardware::Roadm(roadm), StandardConfig::RoadmRelease { from_degree, to_degree, passband }) => {
+                roadm.remove_passband(*from_degree, *passband).map_err(|e| e.to_string())?;
+                roadm.remove_passband(*to_degree, *passband).map_err(|e| e.to_string())
+            }
+            (Hardware::Amplifier { gain_db }, StandardConfig::AmplifierGain { gain_db: g }) => {
+                if !(0.0..=40.0).contains(g) {
+                    return Err(format!("gain {g} dB outside the EDFA's 0–40 dB range"));
+                }
+                *gain_db = *g;
+                Ok(())
+            }
+            (hw, cfg) => Err(format!("config {cfg:?} not applicable to {hw:?}")),
+        }
+    }
+}
+
+/// A running simulated device: descriptor + session; the thread exits when
+/// the handle is dropped.
+#[derive(Debug)]
+pub struct DeviceHandle {
+    /// Identity and placement.
+    pub descriptor: DeviceDescriptor,
+    /// The controller's session to the device.
+    pub session: NetconfSession,
+    join: Option<JoinHandle<()>>,
+}
+
+impl Drop for DeviceHandle {
+    fn drop(&mut self) {
+        self.session.shutdown();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Spawns a device thread with the given hardware.
+pub fn spawn_device(descriptor: DeviceDescriptor, hardware: Hardware) -> DeviceHandle {
+    let (req_tx, req_rx) = unbounded::<NetconfRequest>();
+    let (rep_tx, rep_rx) = unbounded::<NetconfReply>();
+    let vendor_kind = descriptor.vendor;
+    let mut state = DeviceState { descriptor: descriptor.clone(), hardware, last_revision: 0 };
+    let join = std::thread::spawn(move || {
+        while let Ok(req) = req_rx.recv() {
+            match req {
+                NetconfRequest::Shutdown => break,
+                NetconfRequest::GetState => {
+                    if rep_tx.send(NetconfReply::State(Box::new(state.clone()))).is_err() {
+                        break;
+                    }
+                }
+                NetconfRequest::EditConfig { revision, native } => {
+                    // The device only understands its own dialect.
+                    let reply = match vendor::decode(vendor_kind, &native) {
+                        Err(e) => NetconfReply::Rejected { revision, cause: e.to_string() },
+                        Ok(cfg) => match state.apply(&cfg) {
+                            Ok(()) => {
+                                state.last_revision = revision;
+                                NetconfReply::Ok { revision }
+                            }
+                            Err(cause) => NetconfReply::Rejected { revision, cause },
+                        },
+                    };
+                    if rep_tx.send(reply).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    });
+    DeviceHandle { descriptor, session: NetconfSession { req: req_tx, rep: rep_rx }, join: Some(join) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DeviceId, DeviceKind, Vendor};
+    use flexwan_optical::spectrum::{PixelWidth, SpectrumGrid};
+    use flexwan_optical::WssKind;
+    use flexwan_topo::graph::NodeId;
+
+    fn descriptor(kind: DeviceKind, vendor: Vendor) -> DeviceDescriptor {
+        DeviceDescriptor {
+            id: DeviceId(1),
+            vendor,
+            kind,
+            mgmt_ip: DeviceDescriptor::mgmt_ip_for(DeviceId(1)),
+            site: NodeId(0),
+        }
+    }
+
+    #[test]
+    fn transponder_configures_over_its_dialect() {
+        for vendor in Vendor::ALL {
+            let h = spawn_device(
+                descriptor(DeviceKind::Transponder, vendor),
+                Hardware::Transponder(None),
+            );
+            let format =
+                TransponderFormat::derive(400, PixelWidth::from_ghz(100.0).unwrap(), 1500);
+            let cfg = StandardConfig::Transponder {
+                format,
+                channel: PixelRange::new(8, PixelWidth::new(8)),
+                enabled: true,
+            };
+            let rev = h.session.edit_config(42, vendor::encode(vendor, &cfg)).unwrap();
+            assert_eq!(rev, 42);
+            let st = h.session.get_state().unwrap();
+            assert_eq!(st.last_revision, 42);
+            match st.hardware {
+                Hardware::Transponder(Some(t)) => {
+                    assert_eq!(t.format.data_rate_gbps, 400);
+                    assert!(t.enabled);
+                }
+                other => panic!("unexpected state {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn device_rejects_foreign_dialect() {
+        // A VendorB device receives a VendorA-encoded document: the field
+        // names don't exist in its dialect.
+        let h = spawn_device(
+            descriptor(DeviceKind::Mux, Vendor::VendorB),
+            Hardware::Mux(Mux::new(WssKind::PixelWise, SpectrumGrid::new(64), 8)),
+        );
+        let cfg = StandardConfig::MuxPort {
+            port: 1,
+            passband: Some(PixelRange::new(0, PixelWidth::new(6))),
+        };
+        let foreign = vendor::encode(Vendor::VendorA, &cfg);
+        let err = h.session.edit_config(1, foreign).unwrap_err();
+        assert!(matches!(err, crate::netconf::SessionError::Rejected(_)));
+        // And accepts its own.
+        h.session.edit_config(2, vendor::encode(Vendor::VendorB, &cfg)).unwrap();
+    }
+
+    #[test]
+    fn fixed_grid_mux_rejects_offgrid_passband() {
+        let h = spawn_device(
+            descriptor(DeviceKind::Mux, Vendor::VendorA),
+            Hardware::Mux(Mux::new(
+                WssKind::FixedGrid { spacing: PixelWidth::new(6) },
+                SpectrumGrid::new(48),
+                4,
+            )),
+        );
+        let bad = StandardConfig::MuxPort {
+            port: 0,
+            passband: Some(PixelRange::new(3, PixelWidth::new(6))),
+        };
+        assert!(h.session.edit_config(1, vendor::encode(Vendor::VendorA, &bad)).is_err());
+        let good = StandardConfig::MuxPort {
+            port: 0,
+            passband: Some(PixelRange::new(6, PixelWidth::new(6))),
+        };
+        h.session.edit_config(2, vendor::encode(Vendor::VendorA, &good)).unwrap();
+    }
+
+    #[test]
+    fn roadm_express_is_atomic() {
+        let mut roadm = Roadm::new(WssKind::PixelWise, SpectrumGrid::new(32), 2);
+        // Pre-occupy degree 1 so the second half of an express fails.
+        roadm.add_passband(1, PixelRange::new(0, PixelWidth::new(8))).unwrap();
+        let h = spawn_device(descriptor(DeviceKind::Roadm, Vendor::VendorC), Hardware::Roadm(roadm));
+        let cfg = StandardConfig::RoadmExpress {
+            from_degree: 0,
+            to_degree: 1,
+            passband: PixelRange::new(4, PixelWidth::new(6)),
+        };
+        assert!(h.session.edit_config(1, vendor::encode(Vendor::VendorC, &cfg)).is_err());
+        // Degree 0 must have been rolled back.
+        let st = h.session.get_state().unwrap();
+        match st.hardware {
+            Hardware::Roadm(r) => assert!(r.passbands(0).unwrap().is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn amplifier_gain_bounds() {
+        let h = spawn_device(
+            descriptor(DeviceKind::Amplifier, Vendor::VendorA),
+            Hardware::Amplifier { gain_db: 16.0 },
+        );
+        assert!(h
+            .session
+            .edit_config(1, vendor::encode(Vendor::VendorA, &StandardConfig::AmplifierGain { gain_db: 99.0 }))
+            .is_err());
+        h.session
+            .edit_config(2, vendor::encode(Vendor::VendorA, &StandardConfig::AmplifierGain { gain_db: 21.0 }))
+            .unwrap();
+    }
+
+    #[test]
+    fn mismatched_config_kind_rejected() {
+        let h = spawn_device(
+            descriptor(DeviceKind::Amplifier, Vendor::VendorA),
+            Hardware::Amplifier { gain_db: 16.0 },
+        );
+        let cfg = StandardConfig::MuxPort { port: 0, passband: None };
+        assert!(h.session.edit_config(1, vendor::encode(Vendor::VendorA, &cfg)).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Configuration journal: the controller's audit trail.
+//!
+//! Every acknowledged configuration is recorded with its revision stamp.
+//! Production controllers keep exactly this ledger: it answers "what was
+//! device X running at revision R?" during incident forensics, feeds the
+//! §4.4 fault-tolerance story (a promoted replica replays the journal),
+//! and gives [`crate::controller::Controller::config_at`]-style rollback
+//! a source of truth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::StandardConfig;
+use crate::model::DeviceId;
+
+/// One acknowledged configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// Controller-wide revision (monotonic).
+    pub revision: u64,
+    /// The configured device.
+    pub device: DeviceId,
+    /// The standard-form configuration that was applied.
+    pub config: StandardConfig,
+}
+
+/// Append-only ledger of acknowledged configurations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ConfigJournal {
+    entries: Vec<JournalEntry>,
+}
+
+impl ConfigJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        ConfigJournal::default()
+    }
+
+    /// Records an acknowledged configuration. Revisions must be strictly
+    /// increasing (the controller stamps them).
+    pub fn record(&mut self, revision: u64, device: DeviceId, config: StandardConfig) {
+        debug_assert!(
+            self.entries.last().map_or(true, |e| e.revision < revision),
+            "journal revisions must be strictly increasing"
+        );
+        self.entries.push(JournalEntry { revision, device, config });
+    }
+
+    /// Every entry, in revision order.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Entries touching `device`, in revision order.
+    pub fn history(&self, device: DeviceId) -> impl Iterator<Item = &JournalEntry> {
+        self.entries.iter().filter(move |e| e.device == device)
+    }
+
+    /// The most recent configuration of `device`.
+    pub fn latest(&self, device: DeviceId) -> Option<&JournalEntry> {
+        self.history(device).last()
+    }
+
+    /// The configuration `device` was running at controller revision
+    /// `revision` (the last entry with revision ≤ the bound).
+    pub fn config_at(&self, device: DeviceId, revision: u64) -> Option<&StandardConfig> {
+        self.history(device)
+            .take_while(|e| e.revision <= revision)
+            .last()
+            .map(|e| &e.config)
+    }
+
+    /// Devices touched between two revisions (exclusive, inclusive) — the
+    /// change set a replica must replay to catch up from `from`.
+    pub fn changed_between(&self, from: u64, to: u64) -> Vec<DeviceId> {
+        let mut ids: Vec<DeviceId> = self
+            .entries
+            .iter()
+            .filter(|e| e.revision > from && e.revision <= to)
+            .map(|e| e.device)
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexwan_optical::spectrum::{PixelRange, PixelWidth};
+
+    fn cfg(port: u16) -> StandardConfig {
+        StandardConfig::MuxPort {
+            port,
+            passband: Some(PixelRange::new(u32::from(port), PixelWidth::new(4))),
+        }
+    }
+
+    #[test]
+    fn history_and_latest() {
+        let mut j = ConfigJournal::new();
+        j.record(1, DeviceId(0), cfg(0));
+        j.record(2, DeviceId(1), cfg(1));
+        j.record(3, DeviceId(0), cfg(2));
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.history(DeviceId(0)).count(), 2);
+        assert_eq!(j.latest(DeviceId(0)).unwrap().revision, 3);
+        assert_eq!(j.latest(DeviceId(2)), None);
+    }
+
+    #[test]
+    fn config_at_picks_the_right_revision() {
+        let mut j = ConfigJournal::new();
+        j.record(5, DeviceId(7), cfg(0));
+        j.record(9, DeviceId(7), cfg(1));
+        assert_eq!(j.config_at(DeviceId(7), 4), None);
+        assert_eq!(j.config_at(DeviceId(7), 5), Some(&cfg(0)));
+        assert_eq!(j.config_at(DeviceId(7), 8), Some(&cfg(0)));
+        assert_eq!(j.config_at(DeviceId(7), 9), Some(&cfg(1)));
+        assert_eq!(j.config_at(DeviceId(7), 100), Some(&cfg(1)));
+    }
+
+    #[test]
+    fn change_sets() {
+        let mut j = ConfigJournal::new();
+        j.record(1, DeviceId(0), cfg(0));
+        j.record(2, DeviceId(1), cfg(1));
+        j.record(3, DeviceId(1), cfg(2));
+        j.record(4, DeviceId(2), cfg(3));
+        assert_eq!(j.changed_between(1, 3), vec![DeviceId(1)]);
+        assert_eq!(j.changed_between(0, 4), vec![DeviceId(0), DeviceId(1), DeviceId(2)]);
+        assert!(j.changed_between(4, 4).is_empty());
+    }
+
+    #[test]
+    fn journal_serializes() {
+        let mut j = ConfigJournal::new();
+        j.record(1, DeviceId(3), cfg(9));
+        let s = serde_json::to_string(&j).unwrap();
+        let back: ConfigJournal = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.entries(), j.entries());
+    }
+}

@@ -1,0 +1,51 @@
+//! Centralized, vendor-agnostic optical controller (§4.3–§4.4).
+//!
+//! * [`model`] — the standard device model abstracting heterogeneous
+//!   vendor hardware into logic components;
+//! * [`config`] — standard configuration documents (the YANG-file
+//!   stand-in; see DESIGN.md §1);
+//! * [`vendor`] — lossless adapters to three distinct vendor dialects;
+//! * [`netconf`] — the edit-config/get-state session layer;
+//! * [`device`] — simulated device actors (one thread each) that validate
+//!   configuration against their hardware models;
+//! * [`controller`] — global manager + DevMgr: pushes a plan to the
+//!   device plane and audits end-to-end channel consistency;
+//! * [`issues`] — the spectrum-issue finders and the uncoordinated
+//!   multi-vendor counterfactual (Figure 5);
+//! * [`datastream`] — 1 s telemetry and real-time fiber-cut detection;
+//! * [`orchestrator`] — the closed telemetry→detection→restoration→
+//!   configuration loop;
+//! * [`transaction`] — atomic multi-device configuration with rollback;
+//! * [`recovery`] — zero-touch misconnection recovery and the OLS
+//!   evolution cost model (§9);
+//! * [`ha`] — geo-replicated controller failover (§4.4 fault tolerance).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod controller;
+pub mod datastream;
+pub mod device;
+pub mod ha;
+pub mod issues;
+pub mod journal;
+pub mod model;
+pub mod netconf;
+pub mod orchestrator;
+pub mod recovery;
+pub mod transaction;
+pub mod vendor;
+
+pub use config::{ConfigDocument, StandardConfig};
+pub use controller::{ApplyReport, Controller, DevMgr};
+pub use datastream::{FiberCutDetector, TelemetrySim, TelemetryStore};
+pub use device::{spawn_device, DeviceHandle, DeviceState, Hardware};
+pub use ha::{ControllerCluster, Replica};
+pub use issues::{find_conflicts, find_inconsistencies, SpectrumIssue};
+pub use journal::{ConfigJournal, JournalEntry};
+pub use model::{DeviceDescriptor, DeviceId, DeviceKind, Vendor};
+pub use netconf::{NetconfSession, SessionError};
+pub use orchestrator::{Orchestrator, TickOutcome};
+pub use recovery::{recover_misconnection, RecoveryOutcome};
+pub use transaction::{Transaction, TxError};

@@ -1,0 +1,174 @@
+//! The standard device model (§4.3).
+//!
+//! "We utilize a standard device model for each type of device so that the
+//! heterogeneous devices across vendors are uniformly abstracted into a
+//! group of logic components. Then, the device model provides the mapping
+//! of these abstracted logic components to specify the detailed workflow
+//! between them." — [`StandardDeviceModel`] is that abstraction: per
+//! device kind, the ordered logic components and the signal workflow
+//! between them. Vendor adapters ([`crate::vendor`]) translate standard
+//! configuration into native dialects, so the controller never speaks a
+//! vendor-specific language.
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use flexwan_topo::graph::NodeId;
+
+/// Controller-wide device identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+/// Equipment vendor. Vendor diversity is deliberate in production (§9:
+/// "essential to prevent monopolies and mitigate concurrent optical
+/// failures").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    /// Vendor A: configures spectrum in GHz offsets.
+    VendorA,
+    /// Vendor B: configures spectrum in 12.5 GHz slice indices.
+    VendorB,
+    /// Vendor C: configures spectrum in MHz with its own field names.
+    VendorC,
+}
+
+impl Vendor {
+    /// All vendors.
+    pub const ALL: [Vendor; 3] = [Vendor::VendorA, Vendor::VendorB, Vendor::VendorC];
+}
+
+/// Device category in the optical layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// An optical transponder (SVT/BVT/fixed).
+    Transponder,
+    /// An AWG multiplexer with a WSS filter stage.
+    Mux,
+    /// A reconfigurable optical add-drop multiplexer.
+    Roadm,
+    /// An inline EDFA amplifier.
+    Amplifier,
+}
+
+/// A logic component inside a device, per the standard model (§4.2's
+/// transponder internals, §4.2's OLS internals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogicComponent {
+    /// Forward-error-correction module (adjustable overhead in the SVT).
+    FecModule,
+    /// Digital signal processor (baud rate × modulation mesh).
+    Dsp,
+    /// Electro-optic modulator (channel spacing).
+    Eom,
+    /// A MUX filter port (one passband).
+    FilterPort,
+    /// A WSS switching module (pixel-wise or fixed-grid).
+    WssModule,
+    /// Gain block of an amplifier.
+    GainBlock,
+    /// The device's control unit (receives configuration parameters).
+    ControlUnit,
+}
+
+/// The standard model of one device kind: its logic components in signal
+/// order, i.e. the workflow mapping of §4.3.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StandardDeviceModel {
+    /// The device kind modeled.
+    pub kind: DeviceKind,
+    /// Components in signal-flow order (electrical → optical).
+    pub workflow: Vec<LogicComponent>,
+}
+
+impl StandardDeviceModel {
+    /// The standard model for `kind`.
+    pub fn for_kind(kind: DeviceKind) -> StandardDeviceModel {
+        use LogicComponent::*;
+        let workflow = match kind {
+            // Figure 7: control unit drives FEC → DSP → EOM.
+            DeviceKind::Transponder => vec![ControlUnit, FecModule, Dsp, Eom],
+            DeviceKind::Mux => vec![ControlUnit, FilterPort, WssModule],
+            DeviceKind::Roadm => vec![ControlUnit, WssModule],
+            DeviceKind::Amplifier => vec![ControlUnit, GainBlock],
+        };
+        StandardDeviceModel { kind, workflow }
+    }
+
+    /// Whether the model contains `component`.
+    pub fn has(&self, component: LogicComponent) -> bool {
+        self.workflow.contains(&component)
+    }
+}
+
+/// A device registered with the controller: identity, vendor, kind, its
+/// management IP (the controller "uses this IP address to locate the
+/// optical device", §4.3) and the ROADM site it sits at.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceDescriptor {
+    /// Controller-wide identifier.
+    pub id: DeviceId,
+    /// Equipment vendor.
+    pub vendor: Vendor,
+    /// Device category.
+    pub kind: DeviceKind,
+    /// Management-plane IPv4 address.
+    pub mgmt_ip: Ipv4Addr,
+    /// The optical site hosting the device.
+    pub site: NodeId,
+}
+
+impl DeviceDescriptor {
+    /// Allocates the conventional management address for device `id`:
+    /// 10.x.y.z from the id (deterministic, collision-free for < 2²⁴
+    /// devices).
+    pub fn mgmt_ip_for(id: DeviceId) -> Ipv4Addr {
+        let n = id.0;
+        Ipv4Addr::new(10, (n >> 16) as u8, (n >> 8) as u8, n as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transponder_workflow_matches_figure7() {
+        let m = StandardDeviceModel::for_kind(DeviceKind::Transponder);
+        assert_eq!(
+            m.workflow,
+            vec![
+                LogicComponent::ControlUnit,
+                LogicComponent::FecModule,
+                LogicComponent::Dsp,
+                LogicComponent::Eom
+            ]
+        );
+        assert!(m.has(LogicComponent::Eom));
+        assert!(!m.has(LogicComponent::FilterPort));
+    }
+
+    #[test]
+    fn every_kind_has_control_unit_first() {
+        for kind in [
+            DeviceKind::Transponder,
+            DeviceKind::Mux,
+            DeviceKind::Roadm,
+            DeviceKind::Amplifier,
+        ] {
+            let m = StandardDeviceModel::for_kind(kind);
+            assert_eq!(m.workflow[0], LogicComponent::ControlUnit, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn mgmt_ips_unique() {
+        let a = DeviceDescriptor::mgmt_ip_for(DeviceId(1));
+        let b = DeviceDescriptor::mgmt_ip_for(DeviceId(256));
+        let c = DeviceDescriptor::mgmt_ip_for(DeviceId(65536));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(a, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(c, Ipv4Addr::new(10, 1, 0, 0));
+    }
+}

@@ -1,0 +1,123 @@
+//! The configuration session layer (NETCONF stand-in).
+//!
+//! Each managed device holds a session: a request/reply channel pair with
+//! edit-config / get-state semantics and timeouts. The wire payload is the
+//! vendor-*native* document — translation to the standard model happens at
+//! the controller edge ([`crate::vendor`]), so a device only ever sees its
+//! own dialect, exactly as in a real multi-vendor backbone.
+
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use serde_json::Value;
+
+use crate::device::DeviceState;
+
+/// Default session timeout. Devices are in-process; anything slower than
+/// this is a wedged device thread.
+pub const SESSION_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A request sent to a device.
+#[derive(Debug)]
+pub enum NetconfRequest {
+    /// Apply a vendor-native configuration document.
+    EditConfig {
+        /// Controller revision stamp.
+        revision: u64,
+        /// Vendor-native payload.
+        native: Value,
+    },
+    /// Read the device's current state.
+    GetState,
+    /// Terminate the device thread.
+    Shutdown,
+}
+
+/// A reply from a device.
+#[derive(Debug)]
+pub enum NetconfReply {
+    /// Configuration applied; echoes the revision.
+    Ok {
+        /// The applied revision.
+        revision: u64,
+    },
+    /// Configuration rejected.
+    Rejected {
+        /// The failed revision.
+        revision: u64,
+        /// Human-readable cause.
+        cause: String,
+    },
+    /// State snapshot.
+    State(Box<DeviceState>),
+}
+
+/// Session errors at the controller edge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The device rejected the configuration.
+    Rejected(String),
+    /// The device did not answer within the timeout (or disconnected).
+    Unreachable,
+    /// The device answered with the wrong reply kind (protocol bug).
+    ProtocolViolation,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Rejected(c) => write!(f, "device rejected configuration: {c}"),
+            SessionError::Unreachable => write!(f, "device unreachable"),
+            SessionError::ProtocolViolation => write!(f, "protocol violation"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// The controller's end of a device session.
+#[derive(Debug, Clone)]
+pub struct NetconfSession {
+    pub(crate) req: Sender<NetconfRequest>,
+    pub(crate) rep: Receiver<NetconfReply>,
+}
+
+impl NetconfSession {
+    fn recv(&self) -> Result<NetconfReply, SessionError> {
+        match self.rep.recv_timeout(SESSION_TIMEOUT) {
+            Ok(r) => Ok(r),
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                Err(SessionError::Unreachable)
+            }
+        }
+    }
+
+    /// Sends a native configuration document; returns the acknowledged
+    /// revision.
+    pub fn edit_config(&self, revision: u64, native: Value) -> Result<u64, SessionError> {
+        self.req
+            .send(NetconfRequest::EditConfig { revision, native })
+            .map_err(|_| SessionError::Unreachable)?;
+        match self.recv()? {
+            NetconfReply::Ok { revision } => Ok(revision),
+            NetconfReply::Rejected { cause, .. } => Err(SessionError::Rejected(cause)),
+            NetconfReply::State(_) => Err(SessionError::ProtocolViolation),
+        }
+    }
+
+    /// Reads the device state.
+    pub fn get_state(&self) -> Result<DeviceState, SessionError> {
+        self.req.send(NetconfRequest::GetState).map_err(|_| SessionError::Unreachable)?;
+        match self.recv()? {
+            NetconfReply::State(s) => Ok(*s),
+            NetconfReply::Ok { .. } | NetconfReply::Rejected { .. } => {
+                Err(SessionError::ProtocolViolation)
+            }
+        }
+    }
+
+    /// Asks the device thread to exit (best-effort).
+    pub fn shutdown(&self) {
+        let _ = self.req.send(NetconfRequest::Shutdown);
+    }
+}

@@ -1,0 +1,238 @@
+//! The closed loop of §4.4: telemetry → fiber-cut detection → optical
+//! restoration → device configuration.
+//!
+//! "Once an optical failure happens, the optical TopoMgr will notify the
+//! optical restoration module to generate the optimal restoration plan."
+//! The [`Orchestrator`] owns that loop: each telemetry tick it runs the
+//! cut detector; on a new cut it computes the restoration plan (the §8
+//! algorithm over the live plan) and pushes the revived wavelengths to
+//! the device plane atomically; on fiber repair it retires the
+//! restoration wavelengths again.
+
+use std::collections::HashSet;
+
+use flexwan_core::planning::{Plan, PlannerConfig};
+use flexwan_core::restore::{restore, FailureScenario};
+use flexwan_core::Wavelength;
+use flexwan_topo::graph::{EdgeId, Graph};
+use flexwan_topo::ip::IpTopology;
+
+use crate::controller::Controller;
+use crate::datastream::{FiberCutDetector, TelemetryStore};
+
+/// What the orchestrator did on one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TickOutcome {
+    /// Telemetry healthy, nothing to do.
+    Quiet,
+    /// New cuts detected and restoration applied.
+    Restored {
+        /// The newly cut fibers.
+        cuts: Vec<EdgeId>,
+        /// Capacity lost and revived, Gbps.
+        lost_gbps: u64,
+        /// Capacity revived, Gbps.
+        revived_gbps: u64,
+        /// Device-plane rejections during apply (should be none).
+        apply_rejections: usize,
+    },
+    /// Previously cut fibers recovered; restoration wavelengths retired.
+    Repaired {
+        /// The fibers that came back.
+        fibers: Vec<EdgeId>,
+        /// Restoration wavelengths retired.
+        retired: usize,
+    },
+}
+
+/// The telemetry-driven restoration loop.
+pub struct Orchestrator<'a> {
+    optical: &'a Graph,
+    ip: &'a IpTopology,
+    cfg: PlannerConfig,
+    plan: Plan,
+    detector: FiberCutDetector,
+    extra_spares: Vec<u32>,
+    /// Fibers currently believed cut.
+    active_cuts: HashSet<EdgeId>,
+    /// Restoration wavelengths currently live.
+    restoration: Vec<Wavelength>,
+    scenario_counter: usize,
+}
+
+impl<'a> Orchestrator<'a> {
+    /// An orchestrator guarding `plan`.
+    pub fn new(
+        optical: &'a Graph,
+        ip: &'a IpTopology,
+        plan: Plan,
+        cfg: PlannerConfig,
+        extra_spares: Vec<u32>,
+    ) -> Self {
+        Orchestrator {
+            optical,
+            ip,
+            cfg,
+            plan,
+            detector: FiberCutDetector::default(),
+            extra_spares,
+            active_cuts: HashSet::new(),
+            restoration: Vec::new(),
+            scenario_counter: 0,
+        }
+    }
+
+    /// The restoration wavelengths currently live.
+    pub fn live_restoration(&self) -> &[Wavelength] {
+        &self.restoration
+    }
+
+    /// Fibers currently believed cut.
+    pub fn active_cuts(&self) -> &HashSet<EdgeId> {
+        &self.active_cuts
+    }
+
+    /// Processes one telemetry tick: detect state changes and react.
+    /// `controller` receives the resulting device configuration.
+    pub fn tick(&mut self, store: &TelemetryStore, controller: &mut Controller) -> TickOutcome {
+        let flagged: HashSet<EdgeId> = self.detector.scan(store).into_iter().collect();
+
+        // Repair first: fibers that were cut and are now clean.
+        let repaired: Vec<EdgeId> =
+            self.active_cuts.difference(&flagged).copied().collect();
+        if !repaired.is_empty() {
+            for f in &repaired {
+                self.active_cuts.remove(f);
+            }
+            // Retire all restoration wavelengths; the original plan's
+            // wavelengths resume on the repaired fibers. (Production
+            // systems revert lazily; retiring eagerly keeps the invariant
+            // "restoration exists iff cuts exist" simple and testable.)
+            let retired = self.restoration.len();
+            self.restoration.clear();
+            return TickOutcome::Repaired { fibers: repaired, retired };
+        }
+
+        // New cuts.
+        let new_cuts: Vec<EdgeId> = flagged.difference(&self.active_cuts).copied().collect();
+        if new_cuts.is_empty() {
+            return TickOutcome::Quiet;
+        }
+        self.active_cuts.extend(new_cuts.iter().copied());
+        self.scenario_counter += 1;
+        let scenario = FailureScenario {
+            id: self.scenario_counter,
+            cuts: self.active_cuts.iter().copied().collect(),
+            probability: 1.0,
+        };
+        let r = restore(&self.plan, self.optical, self.ip, &scenario, &self.extra_spares, &self.cfg);
+        let mut apply_rejections = 0;
+        for rw in &r.restored {
+            if controller.apply_wavelength_atomic(&rw.wavelength).is_err() {
+                apply_rejections += 1;
+            } else {
+                self.restoration.push(rw.wavelength.clone());
+            }
+        }
+        TickOutcome::Restored {
+            cuts: new_cuts,
+            lost_gbps: r.affected_gbps,
+            revived_gbps: r.restored_gbps,
+            apply_rejections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datastream::TelemetrySim;
+    use flexwan_core::planning::plan;
+    use flexwan_core::Scheme;
+    use flexwan_optical::spectrum::SpectrumGrid;
+    use flexwan_optical::WssKind;
+    use flexwan_topo::graph::Graph;
+
+    fn world() -> (Graph, IpTopology, PlannerConfig) {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 600);
+        g.add_edge(a, c, 600);
+        g.add_edge(c, b, 600);
+        let mut ip = IpTopology::new();
+        ip.add_link(a, b, 300);
+        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        (g, ip, cfg)
+    }
+
+    #[test]
+    fn cut_restore_repair_cycle() {
+        let (g, ip, cfg) = world();
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        let primary = p.wavelengths[0].path.edges[0];
+        let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+        let mut orch = Orchestrator::new(&g, &ip, p, cfg, Vec::new());
+        let sim = TelemetrySim::new(&g);
+        let mut store = TelemetryStore::new(30);
+
+        // Healthy ticks.
+        for t in 0..5 {
+            sim.tick(&mut store, t, &[]);
+            assert_eq!(orch.tick(&store, &mut ctrl), TickOutcome::Quiet);
+        }
+        // The backhoe strikes.
+        sim.tick(&mut store, 5, &[primary]);
+        match orch.tick(&store, &mut ctrl) {
+            TickOutcome::Restored { cuts, lost_gbps, revived_gbps, apply_rejections } => {
+                assert_eq!(cuts, vec![primary]);
+                assert_eq!(lost_gbps, 300);
+                assert_eq!(revived_gbps, 300, "FlexWAN revives fully (§3.3)");
+                assert_eq!(apply_rejections, 0);
+            }
+            other => panic!("expected restoration, got {other:?}"),
+        }
+        assert_eq!(orch.live_restoration().len(), 1);
+        assert!(!orch.live_restoration()[0].path.uses_edge(primary));
+
+        // Sustained outage: no duplicate restoration.
+        sim.tick(&mut store, 6, &[primary]);
+        assert_eq!(orch.tick(&store, &mut ctrl), TickOutcome::Quiet);
+        assert_eq!(orch.live_restoration().len(), 1);
+
+        // Repair.
+        sim.tick(&mut store, 7, &[]);
+        match orch.tick(&store, &mut ctrl) {
+            TickOutcome::Repaired { fibers, retired } => {
+                assert_eq!(fibers, vec![primary]);
+                assert_eq!(retired, 1);
+            }
+            other => panic!("expected repair, got {other:?}"),
+        }
+        assert!(orch.active_cuts().is_empty());
+        assert!(orch.live_restoration().is_empty());
+    }
+
+    #[test]
+    fn unaffected_cut_restores_nothing() {
+        let (g, ip, cfg) = world();
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        let unused = flexwan_topo::graph::EdgeId(1); // detour fiber, no traffic
+        assert!(!p.wavelengths.iter().any(|w| w.path.uses_edge(unused)));
+        let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+        let mut orch = Orchestrator::new(&g, &ip, p, cfg, Vec::new());
+        let sim = TelemetrySim::new(&g);
+        let mut store = TelemetryStore::new(30);
+        sim.tick(&mut store, 0, &[]);
+        sim.tick(&mut store, 1, &[unused]);
+        match orch.tick(&store, &mut ctrl) {
+            TickOutcome::Restored { lost_gbps, revived_gbps, .. } => {
+                assert_eq!(lost_gbps, 0);
+                assert_eq!(revived_gbps, 0);
+            }
+            other => panic!("expected (empty) restoration, got {other:?}"),
+        }
+        assert!(orch.live_restoration().is_empty());
+    }
+}

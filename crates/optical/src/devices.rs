@@ -1,0 +1,337 @@
+//! Optical line system devices (§2, §4.2).
+//!
+//! The OLS between two transponders consists of MUX/AWG multiplexers whose
+//! filter ports pass one channel each, ROADMs that steer wavelengths between
+//! fibers, and EDFA amplifiers every 50–100 km span. The crucial FlexWAN
+//! hardware change is the wavelength-selective switch ([`WssKind`]): a
+//! fixed-grid WSS can only realize passbands aligned to the rigid grid,
+//! while the LCoS pixel-wise WSS realizes any contiguous pixel run — this is
+//! what lets the OLS passband follow the SVT's variable channel spacing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::OpticalError;
+use crate::spectrum::{PixelRange, PixelWidth, SpectrumGrid};
+
+/// The wavelength-selective switch technology of a MUX/ROADM (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WssKind {
+    /// Legacy fixed-grid WSS: every passband must start on a multiple of
+    /// the grid spacing and be exactly one grid slot wide.
+    FixedGrid {
+        /// The rigid grid spacing (50 GHz for 100G-WAN, 75 GHz for RADWAN).
+        spacing: PixelWidth,
+    },
+    /// LCoS-based pixel-wise WSS: any contiguous pixel run is realizable.
+    PixelWise,
+}
+
+impl WssKind {
+    /// Validates that `range` is realizable as a passband on this WSS.
+    pub fn validate_passband(&self, range: &PixelRange) -> Result<(), OpticalError> {
+        match *self {
+            WssKind::PixelWise => Ok(()),
+            WssKind::FixedGrid { spacing } => {
+                let g = u32::from(spacing.pixels());
+                if range.start % g != 0 || range.width != spacing {
+                    Err(OpticalError::OffGridPassband {
+                        range: *range,
+                        grid_pixels: spacing.pixels(),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// One filter port of a MUX: passes exactly one configured passband (or
+/// nothing, when unconfigured).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterPort {
+    /// Port index on the device faceplate.
+    pub port: u16,
+    /// Currently configured passband, if any.
+    pub passband: Option<PixelRange>,
+}
+
+/// An arrayed-waveguide-grating multiplexer with a WSS stage.
+///
+/// Combines the channels entering its filter ports onto the line fiber; each
+/// port's passband must match the spectrum of the wavelength connected to it
+/// or the signal is clipped (*channel inconsistency*, Figure 5(a)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mux {
+    /// WSS technology of the filter stage.
+    pub wss: WssKind,
+    /// Spectrum dimensioning of the line side.
+    pub grid: SpectrumGrid,
+    ports: Vec<FilterPort>,
+}
+
+impl Mux {
+    /// A MUX with `num_ports` unconfigured filter ports.
+    pub fn new(wss: WssKind, grid: SpectrumGrid, num_ports: u16) -> Self {
+        let ports = (0..num_ports).map(|port| FilterPort { port, passband: None }).collect();
+        Mux { wss, grid, ports }
+    }
+
+    /// The filter ports.
+    pub fn ports(&self) -> &[FilterPort] {
+        &self.ports
+    }
+
+    /// Configures `port`'s passband to `range` (replacing any previous
+    /// passband). Fails if the port does not exist, the range leaves the
+    /// band, or the WSS cannot realize it.
+    pub fn set_passband(&mut self, port: u16, range: PixelRange) -> Result<(), OpticalError> {
+        if !self.grid.contains(&range) {
+            return Err(OpticalError::OutOfBand { range, band_pixels: self.grid.pixels() });
+        }
+        self.wss.validate_passband(&range)?;
+        let p = self
+            .ports
+            .get_mut(usize::from(port))
+            .ok_or(OpticalError::NoSuchPort { port })?;
+        p.passband = Some(range);
+        Ok(())
+    }
+
+    /// Clears `port`'s passband.
+    pub fn clear_passband(&mut self, port: u16) -> Result<(), OpticalError> {
+        let p = self
+            .ports
+            .get_mut(usize::from(port))
+            .ok_or(OpticalError::NoSuchPort { port })?;
+        p.passband = None;
+        Ok(())
+    }
+
+    /// The passband configured on `port`, if any.
+    pub fn passband(&self, port: u16) -> Result<Option<PixelRange>, OpticalError> {
+        self.ports
+            .get(usize::from(port))
+            .map(|p| p.passband)
+            .ok_or(OpticalError::NoSuchPort { port })
+    }
+
+    /// Whether a wavelength occupying `channel` would pass `port` without
+    /// clipping: the configured passband must contain the channel.
+    pub fn passes(&self, port: u16, channel: &PixelRange) -> Result<bool, OpticalError> {
+        Ok(match self.passband(port)? {
+            Some(pb) => pb.contains(channel),
+            None => false,
+        })
+    }
+}
+
+/// A reconfigurable optical add-drop multiplexer: steers pixel ranges
+/// between its degrees (attached fibers).
+///
+/// Each degree holds a set of express passbands; a wavelength routed from
+/// degree *i* to degree *j* needs a matching passband on both.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Roadm {
+    /// WSS technology of every degree.
+    pub wss: WssKind,
+    /// Spectrum dimensioning.
+    pub grid: SpectrumGrid,
+    degrees: Vec<Vec<PixelRange>>,
+}
+
+impl Roadm {
+    /// A ROADM with `num_degrees` degrees and no passbands configured.
+    pub fn new(wss: WssKind, grid: SpectrumGrid, num_degrees: u16) -> Self {
+        Roadm { wss, grid, degrees: vec![Vec::new(); usize::from(num_degrees)] }
+    }
+
+    /// Number of degrees.
+    pub fn num_degrees(&self) -> u16 {
+        self.degrees.len() as u16
+    }
+
+    /// Adds an express passband on `degree`. Fails on unknown degree,
+    /// off-band or off-grid ranges, or overlap with an existing passband on
+    /// the same degree (which would make routing ambiguous).
+    pub fn add_passband(&mut self, degree: u16, range: PixelRange) -> Result<(), OpticalError> {
+        if !self.grid.contains(&range) {
+            return Err(OpticalError::OutOfBand { range, band_pixels: self.grid.pixels() });
+        }
+        self.wss.validate_passband(&range)?;
+        let d = self
+            .degrees
+            .get_mut(usize::from(degree))
+            .ok_or(OpticalError::NoSuchPort { port: degree })?;
+        if d.iter().any(|existing| existing.overlaps(&range)) {
+            return Err(OpticalError::SpectrumConflict { range });
+        }
+        d.push(range);
+        Ok(())
+    }
+
+    /// Removes a previously added passband from `degree`.
+    pub fn remove_passband(&mut self, degree: u16, range: PixelRange) -> Result<(), OpticalError> {
+        let d = self
+            .degrees
+            .get_mut(usize::from(degree))
+            .ok_or(OpticalError::NoSuchPort { port: degree })?;
+        match d.iter().position(|r| r == &range) {
+            Some(i) => {
+                d.swap_remove(i);
+                Ok(())
+            }
+            None => Err(OpticalError::DoubleRelease { range }),
+        }
+    }
+
+    /// Passbands configured on `degree`.
+    pub fn passbands(&self, degree: u16) -> Result<&[PixelRange], OpticalError> {
+        self.degrees
+            .get(usize::from(degree))
+            .map(Vec::as_slice)
+            .ok_or(OpticalError::NoSuchPort { port: degree })
+    }
+
+    /// Whether a wavelength occupying `channel` can be expressed between
+    /// `from` and `to`: both degrees need a passband containing it.
+    pub fn expresses(
+        &self,
+        from: u16,
+        to: u16,
+        channel: &PixelRange,
+    ) -> Result<bool, OpticalError> {
+        let has = |deg: u16| -> Result<bool, OpticalError> {
+            Ok(self.passbands(deg)?.iter().any(|pb| pb.contains(channel)))
+        };
+        Ok(has(from)? && has(to)?)
+    }
+}
+
+/// An erbium-doped fiber amplifier placed every 50–100 km span (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Amplifier {
+    /// Gain in dB (compensates the preceding span's attenuation).
+    pub gain_db: f64,
+    /// Noise figure in dB (ASE noise contribution).
+    pub noise_figure_db: f64,
+}
+
+impl Amplifier {
+    /// A typical production EDFA: 5 dB noise figure at the given gain.
+    pub fn edfa(gain_db: f64) -> Self {
+        Amplifier { gain_db, noise_figure_db: 5.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(px: u16) -> PixelWidth {
+        PixelWidth::new(px)
+    }
+
+    #[test]
+    fn fixed_grid_wss_rejects_unaligned() {
+        let wss = WssKind::FixedGrid { spacing: w(6) }; // 75 GHz grid
+        assert!(wss.validate_passband(&PixelRange::new(0, w(6))).is_ok());
+        assert!(wss.validate_passband(&PixelRange::new(6, w(6))).is_ok());
+        // Misaligned start.
+        assert!(wss.validate_passband(&PixelRange::new(3, w(6))).is_err());
+        // Wrong width (even if aligned).
+        assert!(wss.validate_passband(&PixelRange::new(0, w(8))).is_err());
+    }
+
+    #[test]
+    fn pixel_wise_wss_accepts_anything() {
+        let wss = WssKind::PixelWise;
+        assert!(wss.validate_passband(&PixelRange::new(3, w(7))).is_ok());
+        assert!(wss.validate_passband(&PixelRange::new(0, w(12))).is_ok());
+    }
+
+    #[test]
+    fn mux_passband_lifecycle() {
+        let mut mux = Mux::new(WssKind::PixelWise, SpectrumGrid::new(64), 4);
+        let ch = PixelRange::new(8, w(8)); // 100 GHz channel
+        mux.set_passband(2, ch).unwrap();
+        assert_eq!(mux.passband(2).unwrap(), Some(ch));
+        assert!(mux.passes(2, &ch).unwrap());
+        // A wider wavelength would clip: channel inconsistency.
+        assert!(!mux.passes(2, &PixelRange::new(8, w(10))).unwrap());
+        // Unconfigured port passes nothing.
+        assert!(!mux.passes(0, &ch).unwrap());
+        mux.clear_passband(2).unwrap();
+        assert_eq!(mux.passband(2).unwrap(), None);
+    }
+
+    #[test]
+    fn mux_rejects_bad_port_and_band() {
+        let mut mux = Mux::new(WssKind::PixelWise, SpectrumGrid::new(16), 2);
+        assert!(matches!(
+            mux.set_passband(5, PixelRange::new(0, w(4))),
+            Err(OpticalError::NoSuchPort { port: 5 })
+        ));
+        assert!(matches!(
+            mux.set_passband(0, PixelRange::new(14, w(4))),
+            Err(OpticalError::OutOfBand { .. })
+        ));
+    }
+
+    #[test]
+    fn fixed_grid_mux_models_misconnection_rigidity() {
+        // §9 zero-touch recovery: on a fixed-grid MUX a transponder wired to
+        // the wrong filter port cannot be fixed in software...
+        let mut fixed = Mux::new(
+            WssKind::FixedGrid { spacing: w(6) },
+            SpectrumGrid::new(48),
+            4,
+        );
+        let wavelength = PixelRange::new(9, w(6)); // off-grid position
+        assert!(fixed.set_passband(1, wavelength).is_err());
+        // ...while the pixel-wise MUX retunes the port to the wavelength.
+        let mut sliced = Mux::new(WssKind::PixelWise, SpectrumGrid::new(48), 4);
+        sliced.set_passband(1, wavelength).unwrap();
+        assert!(sliced.passes(1, &wavelength).unwrap());
+    }
+
+    #[test]
+    fn roadm_express_requires_both_degrees() {
+        let mut r = Roadm::new(WssKind::PixelWise, SpectrumGrid::new(64), 3);
+        let ch = PixelRange::new(10, w(6));
+        r.add_passband(0, ch).unwrap();
+        assert!(!r.expresses(0, 1, &ch).unwrap());
+        r.add_passband(1, ch).unwrap();
+        assert!(r.expresses(0, 1, &ch).unwrap());
+        assert!(!r.expresses(0, 2, &ch).unwrap());
+    }
+
+    #[test]
+    fn roadm_rejects_overlapping_passbands_per_degree() {
+        let mut r = Roadm::new(WssKind::PixelWise, SpectrumGrid::new(64), 2);
+        r.add_passband(0, PixelRange::new(0, w(6))).unwrap();
+        assert!(matches!(
+            r.add_passband(0, PixelRange::new(4, w(6))),
+            Err(OpticalError::SpectrumConflict { .. })
+        ));
+        // Same range on a *different* degree is fine.
+        r.add_passband(1, PixelRange::new(4, w(6))).unwrap();
+    }
+
+    #[test]
+    fn roadm_remove_passband() {
+        let mut r = Roadm::new(WssKind::PixelWise, SpectrumGrid::new(64), 2);
+        let ch = PixelRange::new(0, w(4));
+        r.add_passband(0, ch).unwrap();
+        r.remove_passband(0, ch).unwrap();
+        assert!(r.passbands(0).unwrap().is_empty());
+        assert!(r.remove_passband(0, ch).is_err());
+    }
+
+    #[test]
+    fn edfa_defaults() {
+        let a = Amplifier::edfa(20.0);
+        assert_eq!(a.gain_db, 20.0);
+        assert_eq!(a.noise_figure_db, 5.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for the optical-layer substrate.
+
+use crate::spectrum::PixelRange;
+
+/// Errors raised by spectrum bookkeeping and device configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpticalError {
+    /// A GHz value is not a positive exact multiple of the 12.5 GHz pixel.
+    NotOnPixelGrid {
+        /// The offending value in GHz.
+        ghz: f64,
+    },
+    /// A pixel range extends past the end of the band.
+    OutOfBand {
+        /// The offending range.
+        range: PixelRange,
+        /// Number of pixels in the band.
+        band_pixels: u32,
+    },
+    /// An allocation would overlap spectrum already occupied in the fiber —
+    /// the *channel conflict* of Figure 5(b).
+    SpectrumConflict {
+        /// The range that could not be allocated.
+        range: PixelRange,
+    },
+    /// A release covered pixels that were already free.
+    DoubleRelease {
+        /// The range that was (partially) already free.
+        range: PixelRange,
+    },
+    /// A passband request is not realizable on a fixed-grid WSS (§4.2): it
+    /// is not aligned to, or not exactly as wide as, the rigid grid.
+    OffGridPassband {
+        /// The requested passband.
+        range: PixelRange,
+        /// The rigid grid spacing in pixels.
+        grid_pixels: u16,
+    },
+    /// A device port referenced by a configuration does not exist.
+    NoSuchPort {
+        /// The requested port index.
+        port: u16,
+    },
+}
+
+impl std::fmt::Display for OpticalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpticalError::NotOnPixelGrid { ghz } => {
+                write!(f, "{ghz} GHz is not a positive multiple of the 12.5 GHz pixel grid")
+            }
+            OpticalError::OutOfBand { range, band_pixels } => {
+                write!(f, "pixel range {range} exceeds the {band_pixels}-pixel band")
+            }
+            OpticalError::SpectrumConflict { range } => {
+                write!(f, "channel conflict: pixels in {range} are already occupied")
+            }
+            OpticalError::DoubleRelease { range } => {
+                write!(f, "double release: pixels in {range} were already free")
+            }
+            OpticalError::OffGridPassband { range, grid_pixels } => {
+                write!(
+                    f,
+                    "passband {range} is not realizable on a fixed {}-pixel grid WSS",
+                    grid_pixels
+                )
+            }
+            OpticalError::NoSuchPort { port } => write!(f, "no such filter port {port}"),
+        }
+    }
+}
+
+impl std::error::Error for OpticalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectrum::PixelWidth;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OpticalError::SpectrumConflict {
+            range: PixelRange::new(4, PixelWidth::new(6)),
+        };
+        let s = e.to_string();
+        assert!(s.contains("channel conflict"), "{s}");
+        let e = OpticalError::NotOnPixelGrid { ghz: 55.0 };
+        assert!(e.to_string().contains("55"));
+    }
+}

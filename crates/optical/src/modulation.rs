@@ -1,0 +1,182 @@
+//! Modulation formats and Shannon-Hartley helpers.
+//!
+//! The paper's motivation (§3.1) rests on the Shannon-Hartley theorem
+//! `C = W·log2(1 + S/N)`: a wavelength's achievable data rate is bounded by
+//! its channel spacing `W` and its SNR. Short paths have high SNR, so a
+//! higher-order modulation (more bits per symbol) can be used; conversely a
+//! higher rate at fixed spacing needs exponentially more SNR, which is why
+//! FlexWAN instead widens the spacing (the SVT of §4.2).
+
+use serde::{Deserialize, Serialize};
+
+/// A modulation format of the DSP engine inside a transponder.
+///
+/// `Pcs` is probabilistic constellation shaping [Cho & Winzer 2019], which
+/// the SVT uses for finer-granularity data rates: it realizes a fractional
+/// number of information bits per symbol on a QAM template. We store the
+/// information rate in tenths of a bit per symbol (per polarization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Modulation {
+    /// Binary phase-shift keying: 1 bit/symbol.
+    Bpsk,
+    /// Quadrature phase-shift keying: 2 bits/symbol.
+    Qpsk,
+    /// 8-ary QAM: 3 bits/symbol.
+    Qam8,
+    /// 16-ary QAM: 4 bits/symbol.
+    Qam16,
+    /// 32-ary QAM: 5 bits/symbol.
+    Qam32,
+    /// 64-ary QAM: 6 bits/symbol.
+    Qam64,
+    /// 256-ary QAM: 8 bits/symbol.
+    Qam256,
+    /// Probabilistically shaped QAM carrying `decibits`/10 bits per symbol.
+    Pcs {
+        /// Information bits per symbol × 10 (e.g. 35 ⇒ 3.5 bits/symbol).
+        decibits: u16,
+    },
+}
+
+impl Modulation {
+    /// Information bits carried per symbol per polarization.
+    pub fn bits_per_symbol(self) -> f64 {
+        match self {
+            Modulation::Bpsk => 1.0,
+            Modulation::Qpsk => 2.0,
+            Modulation::Qam8 => 3.0,
+            Modulation::Qam16 => 4.0,
+            Modulation::Qam32 => 5.0,
+            Modulation::Qam64 => 6.0,
+            Modulation::Qam256 => 8.0,
+            Modulation::Pcs { decibits } => f64::from(decibits) / 10.0,
+        }
+    }
+
+    /// The densest fixed (non-shaped) format carrying at least
+    /// `bits_per_symbol`, if one exists within 256QAM.
+    pub fn densest_fixed_at_least(bits_per_symbol: f64) -> Option<Modulation> {
+        use Modulation::*;
+        [Bpsk, Qpsk, Qam8, Qam16, Qam32, Qam64, Qam256]
+            .into_iter()
+            .find(|m| m.bits_per_symbol() + 1e-9 >= bits_per_symbol)
+    }
+
+    /// A PCS format carrying exactly `bits_per_symbol` (rounded to 0.1 bit).
+    pub fn pcs(bits_per_symbol: f64) -> Modulation {
+        assert!(bits_per_symbol > 0.0, "PCS rate must be positive");
+        Modulation::Pcs { decibits: (bits_per_symbol * 10.0).round() as u16 }
+    }
+
+    /// Human-readable name (e.g. `8QAM`, `PCS-3.5b`).
+    pub fn name(self) -> String {
+        match self {
+            Modulation::Bpsk => "BPSK".into(),
+            Modulation::Qpsk => "QPSK".into(),
+            Modulation::Qam8 => "8QAM".into(),
+            Modulation::Qam16 => "16QAM".into(),
+            Modulation::Qam32 => "32QAM".into(),
+            Modulation::Qam64 => "64QAM".into(),
+            Modulation::Qam256 => "256QAM".into(),
+            Modulation::Pcs { decibits } => format!("PCS-{:.1}b", f64::from(decibits) / 10.0),
+        }
+    }
+}
+
+impl std::fmt::Display for Modulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Shannon-Hartley capacity `C = W·log2(1 + SNR)` in Gbps for a channel of
+/// `spacing_ghz` GHz at linear signal-to-noise ratio `snr_linear`, per
+/// polarization. Multiply by 2 for dual-polarization coherent systems.
+pub fn shannon_capacity_gbps(spacing_ghz: f64, snr_linear: f64) -> f64 {
+    assert!(spacing_ghz > 0.0 && snr_linear >= 0.0);
+    spacing_ghz * (1.0 + snr_linear).log2()
+}
+
+/// Minimum linear SNR needed to carry `rate_gbps` over `spacing_ghz` GHz on
+/// a dual-polarization channel, from inverting Shannon-Hartley.
+pub fn shannon_required_snr(rate_gbps: f64, spacing_ghz: f64) -> f64 {
+    assert!(spacing_ghz > 0.0 && rate_gbps >= 0.0);
+    // Dual polarization: each polarization carries rate/2 over the spacing.
+    let se_per_pol = rate_gbps / (2.0 * spacing_ghz);
+    2f64.powf(se_per_pol) - 1.0
+}
+
+/// Converts a linear power ratio to decibels.
+pub fn to_db(linear: f64) -> f64 {
+    10.0 * linear.log10()
+}
+
+/// Converts decibels to a linear power ratio.
+pub fn from_db(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_per_symbol_ladder() {
+        assert_eq!(Modulation::Bpsk.bits_per_symbol(), 1.0);
+        assert_eq!(Modulation::Qpsk.bits_per_symbol(), 2.0);
+        assert_eq!(Modulation::Qam8.bits_per_symbol(), 3.0);
+        assert_eq!(Modulation::Qam256.bits_per_symbol(), 8.0);
+        assert_eq!(Modulation::pcs(3.5).bits_per_symbol(), 3.5);
+    }
+
+    #[test]
+    fn densest_fixed_selection() {
+        assert_eq!(Modulation::densest_fixed_at_least(2.0), Some(Modulation::Qpsk));
+        assert_eq!(Modulation::densest_fixed_at_least(2.1), Some(Modulation::Qam8));
+        assert_eq!(Modulation::densest_fixed_at_least(7.2), Some(Modulation::Qam256));
+        assert_eq!(Modulation::densest_fixed_at_least(8.5), None);
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(Modulation::Qam8.name(), "8QAM");
+        assert_eq!(Modulation::pcs(3.5).name(), "PCS-3.5b");
+    }
+
+    #[test]
+    fn shannon_capacity_monotonic_in_snr_and_width() {
+        let c1 = shannon_capacity_gbps(75.0, 3.0);
+        let c2 = shannon_capacity_gbps(75.0, 7.0);
+        let c3 = shannon_capacity_gbps(150.0, 3.0);
+        assert!(c2 > c1);
+        assert!((c3 - 2.0 * c1).abs() < 1e-9, "capacity linear in width");
+        // 75 GHz at SNR=3 (linear) → 75·log2(4) = 150 Gbps per polarization.
+        assert!((c1 - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shannon_inverse_round_trips() {
+        // 300 Gbps over 75 GHz dual-pol → 2 b/s/Hz/pol → SNR = 3.
+        let snr = shannon_required_snr(300.0, 75.0);
+        assert!((snr - 3.0).abs() < 1e-9);
+        let cap = 2.0 * shannon_capacity_gbps(75.0, snr);
+        assert!((cap - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_motivation_800g_needs_wider_spacing() {
+        // §3.1: 800 Gbps is not supportable at 75 GHz even with 256QAM
+        // (SE = 5.33 b/s/Hz/pol needs SNR ≈ 39 ⇒ ~16 dB + impairments),
+        // while at 112.5 GHz the required SNR drops by ~5 dB.
+        let snr_75 = shannon_required_snr(800.0, 75.0);
+        let snr_112 = shannon_required_snr(800.0, 112.5);
+        assert!(to_db(snr_75) - to_db(snr_112) > 4.0);
+    }
+
+    #[test]
+    fn db_round_trip() {
+        for v in [0.1, 1.0, 3.16, 100.0] {
+            assert!((from_db(to_db(v)) - v).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! Spectrum model: the C-band sliced into 12.5 GHz pixels.
+//!
+//! FlexWAN's spectrum-sliced optical line system (§4.2) replaces the rigid
+//! 50/75 GHz grid with an LCoS-based pixel-wise WSS whose granularity is a
+//! 12.5 GHz *pixel*. A wavelength occupies a run of **contiguous** pixels
+//! ([`PixelRange`]); the number of pixels is its channel spacing
+//! ([`PixelWidth`]). Per-fiber occupancy is tracked with a bitmap
+//! ([`SpectrumMask`]) supporting the first-fit contiguous searches used by
+//! the planning and restoration algorithms.
+//!
+//! All spacings in the paper (50, 62.5, 75, …, 150 GHz — Table 2) are exact
+//! multiples of 12.5 GHz, so the whole planning problem is integer pixel
+//! arithmetic: no floating-point comparisons decide feasibility.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::OpticalError;
+
+/// Width of one spectrum pixel in GHz (the LCoS WSS granularity, §4.2).
+pub const PIXEL_GHZ: f64 = 12.5;
+
+/// Total C-band width modeled by default, in GHz (ITU-T C-band ≈ 4.8 THz).
+pub const C_BAND_GHZ: f64 = 4800.0;
+
+/// Default number of pixels in the C-band: 4800 / 12.5.
+pub const C_BAND_PIXELS: u32 = (C_BAND_GHZ / PIXEL_GHZ) as u32;
+
+/// A channel spacing expressed as a whole number of 12.5 GHz pixels.
+///
+/// Examples: 50 GHz = 4 pixels, 75 GHz = 6 pixels, 150 GHz = 12 pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PixelWidth(u16);
+
+impl PixelWidth {
+    /// Creates a spacing of `pixels` pixels. Must be non-zero.
+    pub fn new(pixels: u16) -> Self {
+        assert!(pixels > 0, "channel spacing must be at least one pixel");
+        PixelWidth(pixels)
+    }
+
+    /// Converts a GHz spacing to pixels; fails unless it is a positive exact
+    /// multiple of 12.5 GHz (the grid the hardware can realize).
+    pub fn from_ghz(ghz: f64) -> Result<Self, OpticalError> {
+        if !(ghz > 0.0) {
+            return Err(OpticalError::NotOnPixelGrid { ghz });
+        }
+        let pixels = ghz / PIXEL_GHZ;
+        let rounded = pixels.round();
+        if (pixels - rounded).abs() > 1e-9 || rounded < 1.0 || rounded > f64::from(u16::MAX) {
+            return Err(OpticalError::NotOnPixelGrid { ghz });
+        }
+        Ok(PixelWidth(rounded as u16))
+    }
+
+    /// The spacing in pixels.
+    pub fn pixels(self) -> u16 {
+        self.0
+    }
+
+    /// The spacing in GHz.
+    pub fn ghz(self) -> f64 {
+        f64::from(self.0) * PIXEL_GHZ
+    }
+}
+
+impl std::fmt::Display for PixelWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} GHz", self.ghz())
+    }
+}
+
+/// A contiguous run of pixels `[start, start + width)` within a fiber's
+/// spectrum: the spectrum occupied by one wavelength, or the passband
+/// configured on one WSS/filter port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PixelRange {
+    /// Index of the first pixel occupied.
+    pub start: u32,
+    /// Number of contiguous pixels occupied (the channel spacing).
+    pub width: PixelWidth,
+}
+
+impl PixelRange {
+    /// Creates the range `[start, start + width)`.
+    pub fn new(start: u32, width: PixelWidth) -> Self {
+        PixelRange { start, width }
+    }
+
+    /// One-past-the-last pixel index.
+    pub fn end(&self) -> u32 {
+        self.start + u32::from(self.width.pixels())
+    }
+
+    /// Whether two ranges share at least one pixel.
+    pub fn overlaps(&self, other: &PixelRange) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// Whether `self` fully contains `other`.
+    pub fn contains(&self, other: &PixelRange) -> bool {
+        self.start <= other.start && other.end() <= self.end()
+    }
+
+    /// Iterates over the pixel indices in the range.
+    pub fn pixels(&self) -> impl Iterator<Item = u32> {
+        self.start..self.end()
+    }
+
+    /// Lower frequency bound of the range relative to the band start, GHz.
+    pub fn low_ghz(&self) -> f64 {
+        f64::from(self.start) * PIXEL_GHZ
+    }
+
+    /// Upper frequency bound of the range relative to the band start, GHz.
+    pub fn high_ghz(&self) -> f64 {
+        f64::from(self.end()) * PIXEL_GHZ
+    }
+}
+
+impl std::fmt::Display for PixelRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}..{})px ({:.1}-{:.1} GHz)", self.start, self.end(), self.low_ghz(), self.high_ghz())
+    }
+}
+
+/// The spectrum dimensioning of a fiber/band: how many pixels exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpectrumGrid {
+    pixels: u32,
+}
+
+impl SpectrumGrid {
+    /// A grid with `pixels` pixels of 12.5 GHz each.
+    pub fn new(pixels: u32) -> Self {
+        assert!(pixels > 0, "spectrum grid must have at least one pixel");
+        SpectrumGrid { pixels }
+    }
+
+    /// The full ITU-T C-band (4.8 THz → 384 pixels), the deployment default.
+    pub fn c_band() -> Self {
+        SpectrumGrid { pixels: C_BAND_PIXELS }
+    }
+
+    /// Number of pixels in the band.
+    pub fn pixels(&self) -> u32 {
+        self.pixels
+    }
+
+    /// Total width of the band in GHz.
+    pub fn total_ghz(&self) -> f64 {
+        f64::from(self.pixels) * PIXEL_GHZ
+    }
+
+    /// Whether `range` lies entirely within the band.
+    pub fn contains(&self, range: &PixelRange) -> bool {
+        range.end() <= self.pixels
+    }
+}
+
+impl Default for SpectrumGrid {
+    fn default() -> Self {
+        SpectrumGrid::c_band()
+    }
+}
+
+/// Per-fiber spectrum occupancy bitmap.
+///
+/// Bit `i` set means pixel `i` is occupied by some wavelength. The planner
+/// allocates wavelengths with [`SpectrumMask::first_fit`] /
+/// [`SpectrumMask::first_fit_joint`], which by construction enforce the
+/// paper's spectrum-conflict constraint (3) (each pixel used at most once
+/// per fiber) and — via the joint search — the spectrum-consistency
+/// constraint (4) (same pixels on every fiber of a path).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpectrumMask {
+    words: Vec<u64>,
+    pixels: u32,
+}
+
+impl SpectrumMask {
+    /// An all-free mask over `grid`.
+    pub fn new(grid: SpectrumGrid) -> Self {
+        let words = vec![0u64; grid.pixels().div_ceil(64) as usize];
+        SpectrumMask { words, pixels: grid.pixels() }
+    }
+
+    /// Number of pixels tracked by the mask.
+    pub fn pixels(&self) -> u32 {
+        self.pixels
+    }
+
+    fn check_range(&self, range: &PixelRange) -> Result<(), OpticalError> {
+        if range.end() > self.pixels {
+            return Err(OpticalError::OutOfBand { range: *range, band_pixels: self.pixels });
+        }
+        Ok(())
+    }
+
+    /// Whether pixel `i` is occupied.
+    pub fn is_occupied(&self, pixel: u32) -> bool {
+        debug_assert!(pixel < self.pixels);
+        self.words[(pixel / 64) as usize] & (1u64 << (pixel % 64)) != 0
+    }
+
+    /// Whether every pixel in `range` is free.
+    pub fn is_free(&self, range: &PixelRange) -> bool {
+        range.end() <= self.pixels && range.pixels().all(|p| !self.is_occupied(p))
+    }
+
+    /// Marks every pixel in `range` occupied; fails if any is already
+    /// occupied (a channel conflict) or out of band.
+    pub fn occupy(&mut self, range: &PixelRange) -> Result<(), OpticalError> {
+        self.check_range(range)?;
+        if !self.is_free(range) {
+            return Err(OpticalError::SpectrumConflict { range: *range });
+        }
+        for p in range.pixels() {
+            self.words[(p / 64) as usize] |= 1u64 << (p % 64);
+        }
+        Ok(())
+    }
+
+    /// Frees every pixel in `range`; fails if any was already free (double
+    /// release indicates a bookkeeping bug) or out of band.
+    pub fn release(&mut self, range: &PixelRange) -> Result<(), OpticalError> {
+        self.check_range(range)?;
+        if range.pixels().any(|p| !self.is_occupied(p)) {
+            return Err(OpticalError::DoubleRelease { range: *range });
+        }
+        for p in range.pixels() {
+            self.words[(p / 64) as usize] &= !(1u64 << (p % 64));
+        }
+        Ok(())
+    }
+
+    /// Count of occupied pixels.
+    pub fn occupied_pixels(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Count of free pixels.
+    pub fn free_pixels(&self) -> u32 {
+        self.pixels - self.occupied_pixels()
+    }
+
+    /// Occupied spectrum in GHz.
+    pub fn occupied_ghz(&self) -> f64 {
+        f64::from(self.occupied_pixels()) * PIXEL_GHZ
+    }
+
+    /// Lowest-starting contiguous free run of `width` pixels, if any.
+    pub fn first_fit(&self, width: PixelWidth) -> Option<PixelRange> {
+        Self::first_fit_joint(&[self], width)
+    }
+
+    /// Lowest-starting contiguous run of `width` pixels that is free in
+    /// **every** mask simultaneously.
+    ///
+    /// This is the allocation primitive for a wavelength whose optical path
+    /// traverses several fibers: the paper's spectrum-consistency constraint
+    /// requires the wavelength to occupy the *same* pixels on each fiber.
+    pub fn first_fit_joint(masks: &[&SpectrumMask], width: PixelWidth) -> Option<PixelRange> {
+        Self::first_fit_joint_aligned(masks, width, 1)
+    }
+
+    /// Like [`SpectrumMask::first_fit_joint`] but only considering start
+    /// pixels that are multiples of `align`.
+    ///
+    /// `align = 1` is the pixel-wise WSS of FlexWAN; `align = grid width`
+    /// models the rigid-grid OLS of the 100G-WAN and RADWAN baselines,
+    /// where every passband must sit on the fixed grid.
+    pub fn first_fit_joint_aligned(
+        masks: &[&SpectrumMask],
+        width: PixelWidth,
+        align: u32,
+    ) -> Option<PixelRange> {
+        assert!(align >= 1, "alignment must be at least one pixel");
+        let pixels = masks.first()?.pixels;
+        debug_assert!(masks.iter().all(|m| m.pixels == pixels), "masks must share a grid");
+        let need = u32::from(width.pixels());
+        if need > pixels {
+            return None;
+        }
+        let mut start = 0u32;
+        'outer: while start + need <= pixels {
+            // Scan the candidate window; on collision jump past it (to the
+            // next aligned start after the colliding pixel).
+            for p in start..start + need {
+                if masks.iter().any(|m| m.is_occupied(p)) {
+                    let next = p + 1;
+                    start = next.div_ceil(align) * align;
+                    continue 'outer;
+                }
+            }
+            return Some(PixelRange::new(start, width));
+        }
+        None
+    }
+
+    /// All maximal free runs as (start, length-in-pixels) pairs, in order.
+    ///
+    /// Used by fragmentation diagnostics and the restoration report.
+    pub fn free_runs(&self) -> Vec<(u32, u32)> {
+        let mut runs = Vec::new();
+        let mut start = None;
+        for p in 0..self.pixels {
+            if self.is_occupied(p) {
+                if let Some(s) = start.take() {
+                    runs.push((s, p - s));
+                }
+            } else if start.is_none() {
+                start = Some(p);
+            }
+        }
+        if let Some(s) = start {
+            runs.push((s, self.pixels - s));
+        }
+        runs
+    }
+
+    /// Largest contiguous free run length, in pixels.
+    pub fn largest_free_run(&self) -> u32 {
+        self.free_runs().into_iter().map(|(_, len)| len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(px: u16) -> PixelWidth {
+        PixelWidth::new(px)
+    }
+
+    #[test]
+    fn pixel_width_ghz_round_trip() {
+        for ghz in [50.0, 62.5, 75.0, 87.5, 100.0, 112.5, 125.0, 137.5, 150.0] {
+            let pw = PixelWidth::from_ghz(ghz).unwrap();
+            assert_eq!(pw.ghz(), ghz);
+        }
+    }
+
+    #[test]
+    fn pixel_width_rejects_off_grid() {
+        assert!(PixelWidth::from_ghz(55.0).is_err());
+        assert!(PixelWidth::from_ghz(0.0).is_err());
+        assert!(PixelWidth::from_ghz(-12.5).is_err());
+        assert!(PixelWidth::from_ghz(12.4).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pixel")]
+    fn pixel_width_rejects_zero() {
+        let _ = PixelWidth::new(0);
+    }
+
+    #[test]
+    fn range_overlap_and_contains() {
+        let a = PixelRange::new(0, w(4));
+        let b = PixelRange::new(4, w(4));
+        let c = PixelRange::new(3, w(4));
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        let big = PixelRange::new(0, w(8));
+        assert!(big.contains(&a));
+        assert!(big.contains(&b));
+        assert!(!a.contains(&big));
+    }
+
+    #[test]
+    fn range_frequency_bounds() {
+        let r = PixelRange::new(4, w(6)); // 75 GHz channel starting at 50 GHz
+        assert_eq!(r.low_ghz(), 50.0);
+        assert_eq!(r.high_ghz(), 125.0);
+    }
+
+    #[test]
+    fn c_band_has_384_pixels() {
+        assert_eq!(SpectrumGrid::c_band().pixels(), 384);
+        assert_eq!(SpectrumGrid::c_band().total_ghz(), 4800.0);
+    }
+
+    #[test]
+    fn occupy_then_conflict() {
+        let mut m = SpectrumMask::new(SpectrumGrid::new(16));
+        m.occupy(&PixelRange::new(0, w(6))).unwrap();
+        assert!(matches!(
+            m.occupy(&PixelRange::new(5, w(4))),
+            Err(OpticalError::SpectrumConflict { .. })
+        ));
+        // Adjacent (non-overlapping) allocation succeeds.
+        m.occupy(&PixelRange::new(6, w(4))).unwrap();
+        assert_eq!(m.occupied_pixels(), 10);
+    }
+
+    #[test]
+    fn occupy_out_of_band() {
+        let mut m = SpectrumMask::new(SpectrumGrid::new(8));
+        assert!(matches!(
+            m.occupy(&PixelRange::new(6, w(4))),
+            Err(OpticalError::OutOfBand { .. })
+        ));
+    }
+
+    #[test]
+    fn release_round_trip_and_double_release() {
+        let mut m = SpectrumMask::new(SpectrumGrid::new(64));
+        let r = PixelRange::new(10, w(6));
+        m.occupy(&r).unwrap();
+        assert_eq!(m.occupied_pixels(), 6);
+        m.release(&r).unwrap();
+        assert_eq!(m.occupied_pixels(), 0);
+        assert!(matches!(m.release(&r), Err(OpticalError::DoubleRelease { .. })));
+    }
+
+    #[test]
+    fn first_fit_finds_lowest_gap() {
+        let mut m = SpectrumMask::new(SpectrumGrid::new(32));
+        m.occupy(&PixelRange::new(0, w(4))).unwrap();
+        m.occupy(&PixelRange::new(6, w(4))).unwrap();
+        // Gap [4,6) is too small for 4 px; next free run starts at 10.
+        assert_eq!(m.first_fit(w(4)), Some(PixelRange::new(10, w(4))));
+        // But a 2 px request fits in the gap.
+        assert_eq!(m.first_fit(w(2)), Some(PixelRange::new(4, w(2))));
+    }
+
+    #[test]
+    fn first_fit_none_when_fragmented() {
+        let mut m = SpectrumMask::new(SpectrumGrid::new(12));
+        // Occupy every other pair: free runs of 2 px only.
+        for s in [2u32, 6, 10] {
+            m.occupy(&PixelRange::new(s, w(2))).unwrap();
+        }
+        assert!(m.first_fit(w(3)).is_none());
+        assert_eq!(m.largest_free_run(), 2);
+    }
+
+    #[test]
+    fn joint_first_fit_respects_all_masks() {
+        let grid = SpectrumGrid::new(16);
+        let mut a = SpectrumMask::new(grid);
+        let mut b = SpectrumMask::new(grid);
+        a.occupy(&PixelRange::new(0, w(6))).unwrap();
+        b.occupy(&PixelRange::new(6, w(6))).unwrap();
+        // Individually each has a 6 px run below 12, jointly only [12,16) —
+        // too small for 6 px.
+        assert_eq!(SpectrumMask::first_fit_joint(&[&a, &b], w(6)), None);
+        assert_eq!(
+            SpectrumMask::first_fit_joint(&[&a, &b], w(4)),
+            Some(PixelRange::new(12, w(4)))
+        );
+    }
+
+    #[test]
+    fn joint_first_fit_crosses_word_boundary() {
+        let grid = SpectrumGrid::new(384);
+        let mut a = SpectrumMask::new(grid);
+        a.occupy(&PixelRange::new(0, PixelWidth::new(62))).unwrap();
+        // Next fit must straddle the 64-bit word boundary at pixel 64.
+        assert_eq!(a.first_fit(w(6)), Some(PixelRange::new(62, w(6))));
+    }
+
+    #[test]
+    fn aligned_first_fit_respects_grid() {
+        let grid = SpectrumGrid::new(32);
+        let mut m = SpectrumMask::new(grid);
+        // Occupy [0,3): a pixel-wise fit for 4 px starts at 3; a 4-aligned
+        // fit must start at 4.
+        m.occupy(&PixelRange::new(0, w(3))).unwrap();
+        assert_eq!(m.first_fit(w(4)), Some(PixelRange::new(3, w(4))));
+        assert_eq!(
+            SpectrumMask::first_fit_joint_aligned(&[&m], w(4), 4),
+            Some(PixelRange::new(4, w(4)))
+        );
+    }
+
+    #[test]
+    fn aligned_first_fit_skips_blocked_grid_slots() {
+        let grid = SpectrumGrid::new(24);
+        let mut m = SpectrumMask::new(grid);
+        // Pixel 5 blocks the grid slot [4,10); slots [0,6) blocked at 0.
+        m.occupy(&PixelRange::new(0, w(1))).unwrap();
+        m.occupy(&PixelRange::new(11, w(1))).unwrap();
+        // 6-aligned, 6 wide: slot [0,6) blocked (pixel 0), [6,12) blocked
+        // (pixel 11), so [12,18).
+        assert_eq!(
+            SpectrumMask::first_fit_joint_aligned(&[&m], w(6), 6),
+            Some(PixelRange::new(12, w(6)))
+        );
+    }
+
+    #[test]
+    fn free_runs_reports_maximal_runs() {
+        let mut m = SpectrumMask::new(SpectrumGrid::new(16));
+        m.occupy(&PixelRange::new(4, w(4))).unwrap();
+        assert_eq!(m.free_runs(), vec![(0, 4), (8, 8)]);
+    }
+}

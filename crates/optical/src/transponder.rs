@@ -1,0 +1,291 @@
+//! The three transponder generations compared in the paper.
+//!
+//! * [`FixedGrid100G`] — the fixed-rate transponder of 100G-WAN
+//!   (Microsoft-style [27, 28]): one format, 100 Gbps over 50 GHz with
+//!   3000 km reach.
+//! * [`Bvt`] — RADWAN's bandwidth-variable transponder adapted to 75 GHz
+//!   spacing (§2): 100/200/300 Gbps at BPSK/QPSK/8QAM with 5000/2000/1100 km
+//!   reach. Variable *rate*, fixed *spacing*.
+//! * [`Svt`] — FlexWAN's spacing-variable transponder: the full Table 2
+//!   capability matrix, with both rate and spacing variable.
+//!
+//! All three expose the same [`TransponderModel`] interface consumed by the
+//! planning and restoration algorithms, so baselines and FlexWAN run through
+//! identical code paths.
+
+use std::sync::OnceLock;
+
+use crate::format::TransponderFormat;
+use crate::spectrum::PixelWidth;
+
+/// Capability interface of a transponder generation.
+pub trait TransponderModel {
+    /// Short human-readable model name.
+    fn name(&self) -> &'static str;
+
+    /// Every operating point the transponder supports, in no particular
+    /// order. The slice is owned by the model and never changes.
+    fn formats(&self) -> &[TransponderFormat];
+
+    /// Operating points able to serve a path of `distance_km`
+    /// (the optical-reach constraint (2) of Algorithm 1).
+    fn formats_reaching(&self, distance_km: u32) -> Vec<TransponderFormat> {
+        self.formats().iter().filter(|f| f.reaches(distance_km)).copied().collect()
+    }
+
+    /// Highest data rate achievable at `distance_km`, if any format reaches
+    /// (the curve of Figure 2(b)).
+    fn max_rate_at(&self, distance_km: u32) -> Option<u32> {
+        self.formats_reaching(distance_km).iter().map(|f| f.data_rate_gbps).max()
+    }
+
+    /// Cheapest format carrying exactly `rate_gbps` over `distance_km`:
+    /// minimum spacing, then maximum reach as tie-break.
+    fn best_format_for(&self, rate_gbps: u32, distance_km: u32) -> Option<TransponderFormat> {
+        self.formats()
+            .iter()
+            .filter(|f| f.data_rate_gbps == rate_gbps && f.reaches(distance_km))
+            .min_by_key(|f| (f.spacing, std::cmp::Reverse(f.reach_km)))
+            .copied()
+    }
+
+    /// The distinct data rates the model supports, ascending.
+    fn rates(&self) -> Vec<u32> {
+        let mut r: Vec<u32> = self.formats().iter().map(|f| f.data_rate_gbps).collect();
+        r.sort_unstable();
+        r.dedup();
+        r
+    }
+}
+
+fn px(ghz: f64) -> PixelWidth {
+    PixelWidth::from_ghz(ghz).expect("spacing is on the 12.5 GHz grid")
+}
+
+/// The fixed-rate 100 Gbps transponder of 100G-WAN.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedGrid100G;
+
+impl TransponderModel for FixedGrid100G {
+    fn name(&self) -> &'static str {
+        "100G-WAN fixed transponder"
+    }
+
+    fn formats(&self) -> &[TransponderFormat] {
+        static F: OnceLock<Vec<TransponderFormat>> = OnceLock::new();
+        F.get_or_init(|| vec![TransponderFormat::derive(100, px(50.0), 3000)])
+    }
+}
+
+/// RADWAN's bandwidth-variable transponder at 75 GHz spacing (§2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bvt;
+
+impl TransponderModel for Bvt {
+    fn name(&self) -> &'static str {
+        "RADWAN bandwidth-variable transponder"
+    }
+
+    fn formats(&self) -> &[TransponderFormat] {
+        static F: OnceLock<Vec<TransponderFormat>> = OnceLock::new();
+        F.get_or_init(|| {
+            vec![
+                TransponderFormat::derive(100, px(75.0), 5000),
+                TransponderFormat::derive(200, px(75.0), 2000),
+                TransponderFormat::derive(300, px(75.0), 1100),
+            ]
+        })
+    }
+}
+
+/// FlexWAN's spacing-variable transponder: the Table 2 capability matrix
+/// measured on the production-level testbed (§6, Appendix A.2).
+///
+/// `(data rate Gbps, channel spacing GHz, optical reach km)`; spacings span
+/// 50–150 GHz in 12.5 GHz steps. Entries marked `/` in the paper (not
+/// recommended) are absent.
+pub const SVT_TABLE: &[(u32, f64, u32)] = &[
+    // 50 GHz
+    (100, 50.0, 3000),
+    (200, 50.0, 1000),
+    // 62.5 GHz
+    (200, 62.5, 1500),
+    // 75 GHz
+    (100, 75.0, 5000),
+    (200, 75.0, 2000),
+    (300, 75.0, 1100),
+    (400, 75.0, 600),
+    // 87.5 GHz
+    (300, 87.5, 1500),
+    (400, 87.5, 1000),
+    (500, 87.5, 600),
+    (600, 87.5, 300),
+    // 100 GHz
+    (300, 100.0, 2000),
+    (400, 100.0, 1500),
+    (500, 100.0, 900),
+    (600, 100.0, 400),
+    (700, 100.0, 200),
+    // 112.5 GHz
+    (400, 112.5, 1600),
+    (500, 112.5, 1100),
+    (600, 112.5, 500),
+    (700, 112.5, 300),
+    (800, 112.5, 150),
+    // 125 GHz
+    (400, 125.0, 1700),
+    (500, 125.0, 1200),
+    (600, 125.0, 600),
+    (700, 125.0, 350),
+    (800, 125.0, 200),
+    // 137.5 GHz
+    (400, 137.5, 1800),
+    (500, 137.5, 1300),
+    (600, 137.5, 700),
+    (700, 137.5, 450),
+    (800, 137.5, 250),
+    // 150 GHz
+    (400, 150.0, 1900),
+    (500, 150.0, 1400),
+    (600, 150.0, 800),
+    (700, 150.0, 500),
+    (800, 150.0, 300),
+];
+
+/// FlexWAN's spacing-variable transponder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Svt;
+
+impl TransponderModel for Svt {
+    fn name(&self) -> &'static str {
+        "FlexWAN spacing-variable transponder"
+    }
+
+    fn formats(&self) -> &[TransponderFormat] {
+        static F: OnceLock<Vec<TransponderFormat>> = OnceLock::new();
+        F.get_or_init(|| {
+            SVT_TABLE
+                .iter()
+                .map(|&(rate, ghz, reach)| TransponderFormat::derive(rate, px(ghz), reach))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svt_table_is_complete() {
+        assert_eq!(Svt.formats().len(), 36);
+        // Every spacing between 50 and 150 GHz present.
+        let mut spacings: Vec<f64> = Svt.formats().iter().map(|f| f.spacing.ghz()).collect();
+        spacings.sort_by(f64::total_cmp);
+        spacings.dedup();
+        assert_eq!(spacings, vec![50.0, 62.5, 75.0, 87.5, 100.0, 112.5, 125.0, 137.5, 150.0]);
+    }
+
+    #[test]
+    fn svt_reach_decreases_with_rate_at_fixed_spacing() {
+        // Within every spacing column of Table 2, higher rate ⇒ shorter reach.
+        for ghz in [50.0, 62.5, 75.0, 87.5, 100.0, 112.5, 125.0, 137.5, 150.0] {
+            let mut col: Vec<_> = Svt
+                .formats()
+                .iter()
+                .filter(|f| f.spacing.ghz() == ghz)
+                .map(|f| (f.data_rate_gbps, f.reach_km))
+                .collect();
+            col.sort_unstable();
+            for pair in col.windows(2) {
+                assert!(pair[0].1 > pair[1].1, "at {ghz} GHz: {:?} !> {:?}", pair[0], pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn svt_reach_increases_with_spacing_at_fixed_rate() {
+        // Within every rate row of Table 2 (≥300G where multiple spacings
+        // exist contiguously), wider spacing ⇒ longer reach.
+        for rate in [300u32, 400, 500, 600, 700, 800] {
+            let mut row: Vec<_> = Svt
+                .formats()
+                .iter()
+                .filter(|f| f.data_rate_gbps == rate)
+                .map(|f| (f.spacing, f.reach_km))
+                .collect();
+            row.sort_unstable_by_key(|&(s, _)| s);
+            for pair in row.windows(2) {
+                assert!(pair[0].1 < pair[1].1, "{rate}G: {:?} !< {:?}", pair[0], pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn fig2b_max_rate_curves() {
+        // Figure 2(b): SVT dominates BVT everywhere, dramatically at short
+        // distances.
+        assert_eq!(Svt.max_rate_at(150), Some(800));
+        assert_eq!(Svt.max_rate_at(300), Some(800));
+        assert_eq!(Svt.max_rate_at(500), Some(700));
+        assert_eq!(Svt.max_rate_at(800), Some(600));
+        assert_eq!(Svt.max_rate_at(1400), Some(500));
+        assert_eq!(Svt.max_rate_at(1900), Some(400));
+        assert_eq!(Svt.max_rate_at(2000), Some(300));
+        assert_eq!(Svt.max_rate_at(5000), Some(100));
+        assert_eq!(Svt.max_rate_at(5001), None);
+
+        assert_eq!(Bvt.max_rate_at(300), Some(300));
+        assert_eq!(Bvt.max_rate_at(1100), Some(300));
+        assert_eq!(Bvt.max_rate_at(1101), Some(200));
+        assert_eq!(Bvt.max_rate_at(2001), Some(100));
+        assert_eq!(Bvt.max_rate_at(5001), None);
+
+        assert_eq!(FixedGrid100G.max_rate_at(3000), Some(100));
+        assert_eq!(FixedGrid100G.max_rate_at(3001), None);
+
+        for d in (100..=5000).step_by(100) {
+            let svt = Svt.max_rate_at(d).unwrap_or(0);
+            let bvt = Bvt.max_rate_at(d).unwrap_or(0);
+            assert!(svt >= bvt, "SVT must dominate BVT at {d} km");
+        }
+    }
+
+    #[test]
+    fn best_format_prefers_narrow_spacing() {
+        // 400G over 500 km: 75 GHz (reach 600) suffices — no need for 87.5+.
+        let f = Svt.best_format_for(400, 500).unwrap();
+        assert_eq!(f.spacing.ghz(), 75.0);
+        // 400G over 1200 km: 75 (600), 87.5 (1000) too short; 100 GHz (1500).
+        let f = Svt.best_format_for(400, 1200).unwrap();
+        assert_eq!(f.spacing.ghz(), 100.0);
+        // 800G over 400 km: impossible at any spacing (max reach 300).
+        assert!(Svt.best_format_for(800, 400).is_none());
+    }
+
+    #[test]
+    fn rates_listing() {
+        assert_eq!(FixedGrid100G.rates(), vec![100]);
+        assert_eq!(Bvt.rates(), vec![100, 200, 300]);
+        assert_eq!(Svt.rates(), vec![100, 200, 300, 400, 500, 600, 700, 800]);
+    }
+
+    #[test]
+    fn restoration_example_from_section_3_3() {
+        // §3.3: primary path 600 km at 300 Gbps (BVT reach 1100 km).
+        // Restoration path 1200 km: BVT must drop to 200 Gbps, SVT can keep
+        // 300 Gbps by widening the spacing to 87.5 GHz (reach 1500 km).
+        assert_eq!(Bvt.max_rate_at(1200), Some(200));
+        let f = Svt.best_format_for(300, 1200).unwrap();
+        assert_eq!(f.spacing.ghz(), 87.5);
+    }
+
+    #[test]
+    fn section8_restoration_example() {
+        // §8: wavelength planned at 500 Gbps over 1200 km occupies 125 GHz;
+        // on a 2000 km restored path the SVT falls back to 300 Gbps.
+        let f = Svt.best_format_for(500, 1200).unwrap();
+        assert_eq!(f.spacing.ghz(), 125.0);
+        assert_eq!(Svt.max_rate_at(2000), Some(300));
+    }
+}

@@ -1,0 +1,156 @@
+//! Bit-error-rate model: pre-FEC BER per modulation, FEC thresholds, and
+//! the post-FEC decision the testbed measures (§6).
+//!
+//! "The post-FEC BER indicates whether the signal can be correctly decoded
+//! … positive values show that the SNR is too low to merit error-free
+//! decoding" — we reproduce exactly that semantics: the FEC decoder output
+//! is error-free (post-FEC BER = 0) iff the pre-FEC BER is at or below the
+//! code's correction threshold.
+
+use flexwan_optical::format::FecOverhead;
+
+use crate::units::q_function;
+
+/// Densest constellation the SVT's DSP can realize, in information bits
+/// per symbol per polarization (PCS on a 64QAM template). §3.1: "extremely
+/// high-order modulation formats necessitate precise signal generation and
+/// are more susceptible to optical impairments" — the hardware caps out
+/// regardless of SNR, which is why 800 Gbps is impossible at 75 GHz even
+/// over a back-to-back link (Table 2's "/" entries at narrow spacings).
+pub const DSP_MAX_BITS_PER_SYMBOL: f64 = 6.0;
+
+/// Pre-FEC BER correction threshold of a soft-decision FEC with the given
+/// overhead: the 15 % code corrects up to ~1.25e-2, the 27 % code up to
+/// ~4e-2 (standard SD-FEC figures; more redundancy ⇒ more correctable
+/// errors ⇒ longer reach, as §4.2 describes).
+pub fn fec_threshold(fec: FecOverhead) -> f64 {
+    match fec.percent() {
+        p if p >= 25 => 4.0e-2,
+        p if p >= 12 => 1.25e-2,
+        _ => 3.8e-3, // hard-decision-class codes (not used by the SVT)
+    }
+}
+
+/// Pre-FEC bit error rate of a coherent channel carrying
+/// `bits_per_symbol` (per polarization) at linear SNR `snr`.
+///
+/// For ≤1.5 bits/symbol the BPSK expression `Q(√(2·SNR))` applies; above
+/// that, the standard square-QAM union-bound approximation with effective
+/// constellation size `M = 2^bits` (fractional `M` models PCS-shaped
+/// constellations, whose performance interpolates between the square
+/// QAMs). Clamped to the physical range `[0, 0.5]`.
+pub fn pre_fec_ber(bits_per_symbol: f64, snr: f64) -> f64 {
+    assert!(bits_per_symbol > 0.0 && snr >= 0.0);
+    let ber = if bits_per_symbol <= 1.5 {
+        q_function((2.0 * snr).sqrt())
+    } else {
+        let m = 2f64.powf(bits_per_symbol);
+        let coef = (4.0 / bits_per_symbol) * (1.0 - 1.0 / m.sqrt());
+        coef * q_function((3.0 * snr / (m - 1.0)).sqrt())
+    };
+    ber.clamp(0.0, 0.5)
+}
+
+/// Post-FEC BER: zero (error-free) when the pre-FEC BER is within the
+/// code's threshold, otherwise the uncorrected error rate passes through.
+pub fn post_fec_ber(pre_fec: f64, fec: FecOverhead) -> f64 {
+    if pre_fec <= fec_threshold(fec) {
+        0.0
+    } else {
+        pre_fec
+    }
+}
+
+/// Minimum linear SNR at which `bits_per_symbol` decodes error-free under
+/// `fec` — found by bisection ([`pre_fec_ber`] is decreasing in SNR).
+pub fn required_snr_linear(bits_per_symbol: f64, fec: FecOverhead) -> f64 {
+    let threshold = fec_threshold(fec);
+    let (mut lo, mut hi) = (0.0f64, 1e9f64);
+    debug_assert!(pre_fec_ber(bits_per_symbol, hi) <= threshold);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if pre_fec_ber(bits_per_symbol, mid) > threshold {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::ratio_to_db;
+
+    #[test]
+    fn ber_decreases_with_snr() {
+        for bits in [1.0, 2.0, 3.5, 5.2] {
+            let mut prev = 0.6;
+            for snr_db in 0..30 {
+                let snr = 10f64.powf(snr_db as f64 / 10.0);
+                let b = pre_fec_ber(bits, snr);
+                assert!(b <= prev + 1e-15, "bits={bits} snr_db={snr_db}");
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn ber_increases_with_order_at_fixed_snr() {
+        let snr = 10f64.powf(1.2); // ~12 dB
+        let b2 = pre_fec_ber(2.0, snr);
+        let b4 = pre_fec_ber(4.0, snr);
+        let b6 = pre_fec_ber(6.0, snr);
+        assert!(b2 < b4 && b4 < b6);
+    }
+
+    #[test]
+    fn bpsk_known_point() {
+        // BPSK at 9.6 dB SNR → BER ≈ 1e-5 (classic figure: Q(√(2·9.12))).
+        let snr = 10f64.powf(0.96);
+        let b = pre_fec_ber(1.0, snr);
+        assert!((1e-6..1e-4).contains(&b), "ber={b}");
+    }
+
+    #[test]
+    fn post_fec_thresholding() {
+        assert_eq!(post_fec_ber(1.0e-2, FecOverhead::LOW), 0.0);
+        assert!(post_fec_ber(2.0e-2, FecOverhead::LOW) > 0.0);
+        assert_eq!(post_fec_ber(2.0e-2, FecOverhead::HIGH), 0.0);
+        assert!(post_fec_ber(5.0e-2, FecOverhead::HIGH) > 0.0);
+    }
+
+    #[test]
+    fn high_fec_needs_less_snr() {
+        for bits in [1.0, 2.0, 4.0] {
+            let lo = required_snr_linear(bits, FecOverhead::HIGH);
+            let hi = required_snr_linear(bits, FecOverhead::LOW);
+            assert!(
+                lo < hi,
+                "bits={bits}: 27% FEC should need less SNR ({} vs {})",
+                ratio_to_db(lo),
+                ratio_to_db(hi)
+            );
+        }
+    }
+
+    #[test]
+    fn required_snr_is_tight() {
+        let bits = 3.5;
+        let snr = required_snr_linear(bits, FecOverhead::LOW);
+        assert_eq!(post_fec_ber(pre_fec_ber(bits, snr * 1.001), FecOverhead::LOW), 0.0);
+        assert!(post_fec_ber(pre_fec_ber(bits, snr * 0.97), FecOverhead::LOW) > 0.0);
+    }
+
+    #[test]
+    fn qam_requires_exponentially_more_snr() {
+        // Doubling bits/symbol roughly squares the required linear SNR —
+        // the Shannon-driven effect behind the SVT design (§3.1).
+        let s2 = required_snr_linear(2.0, FecOverhead::LOW);
+        let s4 = required_snr_linear(4.0, FecOverhead::LOW);
+        let s6 = required_snr_linear(6.0, FecOverhead::LOW);
+        assert!(s4 / s2 > 3.0);
+        assert!(s6 / s4 > 3.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Physical-layer testbed simulator for the FlexWAN reproduction (§6).
+//!
+//! Stands in for the paper's production-level vendor testbed: engineered
+//! links of 50–100 km amplified spans ([`link`]), ASE-noise accumulation
+//! and OSNR ([`noise`]), modulation/FEC bit-error-rate models ([`ber`]),
+//! the GN-model nonlinear-interference layer with launch-power
+//! optimization ([`nonlinear`]), and the reach-sweep measurement harness
+//! ([`testbed`]) that regenerates the SVT capability matrix (Table 2 /
+//! Figure 11) from physics.
+//!
+//! The model is linear (ASE-limited) with a single calibrated
+//! implementation-penalty constant standing in for nonlinearity and
+//! transceiver imperfections; DESIGN.md §1 records the substitution and
+//! EXPERIMENTS.md the per-entry agreement with the paper's Table 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ber;
+pub mod link;
+pub mod noise;
+pub mod nonlinear;
+pub mod testbed;
+pub mod units;
+
+pub use ber::{fec_threshold, post_fec_ber, pre_fec_ber, required_snr_linear};
+pub use link::{LinkDesign, Span, ATTENUATION_DB_PER_KM, DEFAULT_SPAN_KM};
+pub use noise::{osnr_db, osnr_linear, osnr_to_snr_linear, DEFAULT_CARRIER_THZ};
+pub use nonlinear::{optimize_launch, snr_with_nli, PowerOptimum, DEFAULT_ETA_PER_MW2};
+pub use testbed::{derive_svt_table, DerivedEntry, LineConfig, Testbed};

@@ -1,0 +1,131 @@
+//! Link engineering: fiber spans and amplifier placement.
+//!
+//! §6: "We introduce an amplifier for each 50~100 km fiber which is
+//! consistent with the production network." A [`LinkDesign`] places one
+//! EDFA per span, each exactly compensating its span's loss, so the signal
+//! launch power is restored at every amplifier while ASE noise accumulates.
+
+use flexwan_optical::Amplifier;
+
+/// Standard single-mode fiber attenuation at 1550 nm, dB/km.
+pub const ATTENUATION_DB_PER_KM: f64 = 0.2;
+
+/// Default span length between amplifiers, km (within the paper's
+/// 50–100 km practice).
+pub const DEFAULT_SPAN_KM: f64 = 80.0;
+
+/// One fiber span terminated by an amplifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Span length, km.
+    pub length_km: f64,
+    /// The EDFA at the span's end.
+    pub amplifier: Amplifier,
+}
+
+impl Span {
+    /// Fiber loss over the span, dB.
+    pub fn loss_db(&self) -> f64 {
+        self.length_km * ATTENUATION_DB_PER_KM
+    }
+}
+
+/// An engineered line: a sequence of spans covering a total length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkDesign {
+    spans: Vec<Span>,
+}
+
+impl LinkDesign {
+    /// Engineers a link of `length_km` with spans of at most
+    /// [`DEFAULT_SPAN_KM`], splitting the distance evenly (production
+    /// practice: equalized spans). Zero-length links have no spans.
+    pub fn for_length(length_km: f64) -> Self {
+        Self::with_span(length_km, DEFAULT_SPAN_KM)
+    }
+
+    /// Engineers a link with a custom maximum span length.
+    pub fn with_span(length_km: f64, max_span_km: f64) -> Self {
+        assert!(length_km >= 0.0 && max_span_km > 0.0);
+        if length_km == 0.0 {
+            return LinkDesign { spans: Vec::new() };
+        }
+        let n = (length_km / max_span_km).ceil() as usize;
+        let each = length_km / n as f64;
+        let spans = (0..n)
+            .map(|_| {
+                let loss = each * ATTENUATION_DB_PER_KM;
+                Span { length_km: each, amplifier: Amplifier::edfa(loss) }
+            })
+            .collect();
+        LinkDesign { spans }
+    }
+
+    /// The spans.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of amplifiers (= spans).
+    pub fn num_amplifiers(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Total length, km.
+    pub fn length_km(&self) -> f64 {
+        self.spans.iter().map(|s| s.length_km).sum()
+    }
+
+    /// Total fiber loss, dB (fully compensated by the amplifiers).
+    pub fn total_loss_db(&self) -> f64 {
+        self.spans.iter().map(|s| s.loss_db()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_count_matches_practice() {
+        let l = LinkDesign::for_length(600.0);
+        // 600 km / 80 km → 8 spans of 75 km.
+        assert_eq!(l.num_amplifiers(), 8);
+        assert!((l.spans()[0].length_km - 75.0).abs() < 1e-9);
+        assert!((l.length_km() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spans_within_production_range() {
+        for km in [120.0, 450.0, 1100.0, 5000.0] {
+            let l = LinkDesign::for_length(km);
+            for s in l.spans() {
+                assert!(s.length_km <= 80.0 + 1e-9, "span {} too long", s.length_km);
+                assert!(s.length_km > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gain_compensates_loss() {
+        let l = LinkDesign::for_length(320.0);
+        for s in l.spans() {
+            assert!((s.amplifier.gain_db - s.loss_db()).abs() < 1e-9);
+        }
+        assert!((l.total_loss_db() - 320.0 * 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_length_link() {
+        let l = LinkDesign::for_length(0.0);
+        assert_eq!(l.num_amplifiers(), 0);
+        assert_eq!(l.total_loss_db(), 0.0);
+    }
+
+    #[test]
+    fn short_link_single_span() {
+        let l = LinkDesign::for_length(30.0);
+        assert_eq!(l.num_amplifiers(), 1);
+        assert!((l.spans()[0].length_km - 30.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Amplified-spontaneous-emission noise accumulation and OSNR.
+//!
+//! Every EDFA adds ASE noise `P_ase = h·ν·NF·G·B_ref` (referred to its
+//! output, in the reference bandwidth). With each span's loss exactly
+//! compensated by its amplifier, noise contributions reach the link end
+//! with net unit gain and simply add, while the signal stays at launch
+//! power — the textbook multi-span OSNR model that underlies the paper's
+//! "longer distance ⇒ lower SNR ⇒ lower data rate" relation (§2, §6).
+
+use crate::link::LinkDesign;
+use crate::units::{db_to_ratio, dbm_to_mw, ratio_to_db};
+
+/// Planck constant, J·s.
+const PLANCK_J_S: f64 = 6.626_070_15e-34;
+
+/// Reference bandwidth for OSNR, Hz (0.1 nm at 1550 nm ≈ 12.5 GHz).
+pub const OSNR_REF_BANDWIDTH_HZ: f64 = 12.5e9;
+
+/// Default optical carrier frequency, THz (C-band center).
+pub const DEFAULT_CARRIER_THZ: f64 = 193.4;
+
+/// ASE noise power of one amplifier in the reference bandwidth, mW.
+pub fn amplifier_ase_mw(gain_db: f64, noise_figure_db: f64, carrier_thz: f64) -> f64 {
+    let g = db_to_ratio(gain_db);
+    let nf = db_to_ratio(noise_figure_db);
+    // h·ν·NF·G·B, J/s = W; ×1e3 → mW.
+    PLANCK_J_S * carrier_thz * 1e12 * nf * g * OSNR_REF_BANDWIDTH_HZ * 1e3
+}
+
+/// OSNR (linear, in the reference bandwidth) at the end of `link` for a
+/// channel launched at `launch_power_dbm`.
+pub fn osnr_linear(link: &LinkDesign, launch_power_dbm: f64, carrier_thz: f64) -> f64 {
+    let p_sig = dbm_to_mw(launch_power_dbm);
+    let p_ase: f64 = link
+        .spans()
+        .iter()
+        .map(|s| amplifier_ase_mw(s.amplifier.gain_db, s.amplifier.noise_figure_db, carrier_thz))
+        .sum();
+    if p_ase == 0.0 {
+        f64::INFINITY // back-to-back: no amplified spans, no ASE
+    } else {
+        p_sig / p_ase
+    }
+}
+
+/// OSNR in dB; see [`osnr_linear`].
+pub fn osnr_db(link: &LinkDesign, launch_power_dbm: f64, carrier_thz: f64) -> f64 {
+    ratio_to_db(osnr_linear(link, launch_power_dbm, carrier_thz))
+}
+
+/// Converts OSNR (reference bandwidth) to SNR in the signal's symbol-rate
+/// bandwidth: `SNR = OSNR · B_ref / baud`.
+pub fn osnr_to_snr_linear(osnr_linear: f64, baud_gbd: f64) -> f64 {
+    assert!(baud_gbd > 0.0);
+    osnr_linear * OSNR_REF_BANDWIDTH_HZ / (baud_gbd * 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkDesign;
+
+    #[test]
+    fn single_span_osnr_matches_closed_form() {
+        // Classic link-budget formula:
+        // OSNR ≈ P_launch + 58 − NF − span_loss (dB) for one span.
+        let link = LinkDesign::with_span(80.0, 80.0);
+        let osnr = osnr_db(&link, 0.0, DEFAULT_CARRIER_THZ);
+        let expected = 0.0 + 58.0 - 5.0 - 16.0;
+        assert!((osnr - expected).abs() < 0.2, "osnr={osnr} expected≈{expected}");
+    }
+
+    #[test]
+    fn osnr_drops_3db_when_spans_double() {
+        let l1 = LinkDesign::with_span(800.0, 80.0); // 10 spans
+        let l2 = LinkDesign::with_span(1600.0, 80.0); // 20 spans
+        let d = osnr_db(&l1, 0.0, DEFAULT_CARRIER_THZ) - osnr_db(&l2, 0.0, DEFAULT_CARRIER_THZ);
+        assert!((d - 3.0103).abs() < 0.01, "delta={d}");
+    }
+
+    #[test]
+    fn osnr_increases_with_launch_power() {
+        let l = LinkDesign::for_length(400.0);
+        let low = osnr_db(&l, -3.0, DEFAULT_CARRIER_THZ);
+        let high = osnr_db(&l, 3.0, DEFAULT_CARRIER_THZ);
+        assert!((high - low - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn back_to_back_is_noiseless() {
+        let l = LinkDesign::for_length(0.0);
+        assert!(osnr_linear(&l, 0.0, DEFAULT_CARRIER_THZ).is_infinite());
+    }
+
+    #[test]
+    fn snr_scales_with_baud() {
+        // Wider symbol rate integrates more noise: SNR halves when baud
+        // doubles.
+        let s1 = osnr_to_snr_linear(1000.0, 32.0);
+        let s2 = osnr_to_snr_linear(1000.0, 64.0);
+        assert!((s1 / s2 - 2.0).abs() < 1e-12);
+        // At baud = B_ref the two coincide.
+        assert!((osnr_to_snr_linear(77.0, 12.5) - 77.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,171 @@
+//! Nonlinear interference (GN model) and launch-power optimization.
+//!
+//! The baseline testbed model is ASE-limited with a fixed implementation
+//! penalty. Real coherent systems are also limited by Kerr nonlinearity:
+//! raising launch power raises OSNR but generates nonlinear interference
+//! (NLI) that grows with the *cube* of the power. The incoherent
+//! Gaussian-noise (GN) model captures this with an effective noise
+//! `P_NLI = N_spans · η · P³`, which yields the classic results this
+//! module implements and tests:
+//!
+//! * an **optimal launch power** `P* = (P_ASE,total / (2·N·η))^⅓`,
+//! * at which `P_NLI = P_ASE / 2` (nonlinear noise is half the linear
+//!   noise), and
+//! * a "nonlinear cliff": past the optimum SNR falls 2 dB for every
+//!   1 dB of excess power (the `1/(N·η·P²)` law).
+//!
+//! This explains why the paper's testbed (§6) runs at a fixed per-channel
+//! launch power rather than cranking amplifiers up, and why our
+//! linear-model calibration carries an aggregate penalty constant.
+
+use crate::link::LinkDesign;
+use crate::noise::{amplifier_ase_mw, DEFAULT_CARRIER_THZ};
+use crate::units::{dbm_to_mw, mw_to_dbm, ratio_to_db};
+
+/// GN-model NLI efficiency `η` (mW⁻²): `P_NLI = η·P³` per span.
+///
+/// For standard single-mode fiber and ~50–100 GBd channels, η is of order
+/// 1e-3 mW⁻² per span; the exact value depends on dispersion, nonlinear
+/// coefficient and channel load, all folded into this one constant (the
+/// same modeling altitude as the rest of `flexwan-physim`).
+pub const DEFAULT_ETA_PER_MW2: f64 = 1.4e-3;
+
+/// Effective linear SNR of a span chain with both ASE and NLI noise:
+/// `SNR = P / (P_ASE + N·η·P³)` (incoherent NLI accumulation).
+pub fn snr_with_nli(launch_mw: f64, total_ase_mw: f64, eta: f64, n_spans: usize) -> f64 {
+    assert!(launch_mw > 0.0 && total_ase_mw >= 0.0 && eta >= 0.0);
+    let p_nli = n_spans as f64 * eta * launch_mw.powi(3);
+    launch_mw / (total_ase_mw + p_nli)
+}
+
+/// The launch power maximizing [`snr_with_nli`], mW:
+/// `P* = (P_ASE,total / (2·N·η))^⅓`.
+pub fn optimal_launch_mw(total_ase_mw: f64, eta: f64, n_spans: usize) -> f64 {
+    assert!(total_ase_mw > 0.0 && eta > 0.0 && n_spans > 0);
+    (total_ase_mw / (2.0 * n_spans as f64 * eta)).cbrt()
+}
+
+/// Launch-power analysis of an engineered link at the OSNR reference
+/// bandwidth: the optimum and the SNR it achieves.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerOptimum {
+    /// Optimal per-channel launch power, dBm.
+    pub launch_dbm: f64,
+    /// Effective linear SNR (reference bandwidth) at the optimum.
+    pub snr_linear: f64,
+}
+
+/// Computes the optimal launch power for `link` under the GN model.
+pub fn optimize_launch(link: &LinkDesign, eta: f64) -> Option<PowerOptimum> {
+    let n = link.num_amplifiers();
+    if n == 0 {
+        return None; // back-to-back: more power is always better
+    }
+    let total_ase: f64 = link
+        .spans()
+        .iter()
+        .map(|s| amplifier_ase_mw(s.amplifier.gain_db, s.amplifier.noise_figure_db, DEFAULT_CARRIER_THZ))
+        .sum();
+    let p = optimal_launch_mw(total_ase, eta, n);
+    Some(PowerOptimum {
+        launch_dbm: mw_to_dbm(p),
+        snr_linear: snr_with_nli(p, total_ase, eta, n),
+    })
+}
+
+/// SNR (dB) of `link` at an explicit launch power under the GN model —
+/// the curve the `fig_power_dome` sweep prints.
+pub fn snr_db_at_launch(link: &LinkDesign, launch_dbm: f64, eta: f64) -> f64 {
+    let total_ase: f64 = link
+        .spans()
+        .iter()
+        .map(|s| amplifier_ase_mw(s.amplifier.gain_db, s.amplifier.noise_figure_db, DEFAULT_CARRIER_THZ))
+        .sum();
+    ratio_to_db(snr_with_nli(dbm_to_mw(launch_dbm), total_ase, eta, link.num_amplifiers()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkDesign;
+
+    #[test]
+    fn optimum_balances_nli_at_half_ase() {
+        let (ase, eta, n) = (1e-5, DEFAULT_ETA_PER_MW2, 10);
+        let p = optimal_launch_mw(ase, eta, n);
+        let p_nli = n as f64 * eta * p.powi(3);
+        assert!((p_nli - ase / 2.0).abs() / ase < 1e-9, "NLI must equal ASE/2 at P*");
+    }
+
+    #[test]
+    fn optimum_is_a_maximum() {
+        let (ase, eta, n) = (2e-5, DEFAULT_ETA_PER_MW2, 8);
+        let p = optimal_launch_mw(ase, eta, n);
+        let best = snr_with_nli(p, ase, eta, n);
+        for factor in [0.5, 0.8, 1.25, 2.0] {
+            assert!(
+                snr_with_nli(p * factor, ase, eta, n) < best,
+                "P*×{factor} should be worse"
+            );
+        }
+    }
+
+    #[test]
+    fn nonlinear_cliff_slope() {
+        // Far above optimum, SNR ≈ 1/(ηNP²): +3 dB of power costs ~6 dB
+        // of SNR (−2 dB per dB).
+        let (ase, eta, n) = (1e-5, DEFAULT_ETA_PER_MW2, 10);
+        let p = optimal_launch_mw(ase, eta, n) * 10.0; // deep nonlinear
+        let s1 = ratio_to_db(snr_with_nli(p, ase, eta, n));
+        let s2 = ratio_to_db(snr_with_nli(p * 2.0, ase, eta, n)); // +3 dB
+        assert!((s1 - s2 - 6.02).abs() < 0.2, "slope {:.2} dB", s1 - s2);
+    }
+
+    #[test]
+    fn linear_regime_gains_db_for_db() {
+        let (ase, eta, n) = (1e-5, DEFAULT_ETA_PER_MW2, 10);
+        let p = optimal_launch_mw(ase, eta, n) / 30.0; // deep linear
+        let s1 = ratio_to_db(snr_with_nli(p, ase, eta, n));
+        let s2 = ratio_to_db(snr_with_nli(p * 2.0, ase, eta, n));
+        assert!((s2 - s1 - 3.0).abs() < 0.2, "slope {:.2} dB", s2 - s1);
+    }
+
+    #[test]
+    fn link_level_optimum_in_plausible_range() {
+        // 800 km link: production systems run around −2…+3 dBm per channel.
+        let link = LinkDesign::for_length(800.0);
+        let opt = optimize_launch(&link, DEFAULT_ETA_PER_MW2).unwrap();
+        assert!(
+            (-4.0..=4.0).contains(&opt.launch_dbm),
+            "optimal launch {:.1} dBm out of range",
+            opt.launch_dbm
+        );
+        // The optimum beats ±3 dB on the same link.
+        let lo = snr_db_at_launch(&link, opt.launch_dbm - 3.0, DEFAULT_ETA_PER_MW2);
+        let hi = snr_db_at_launch(&link, opt.launch_dbm + 3.0, DEFAULT_ETA_PER_MW2);
+        let best = ratio_to_db(opt.snr_linear);
+        assert!(best > lo && best > hi);
+    }
+
+    #[test]
+    fn optimal_power_is_per_span_and_snr_scales_down() {
+        // Classic GN-model result: ASE and NLI both accumulate linearly
+        // in span count, so the *optimal power* depends only on the
+        // per-span balance — identical spans ⇒ identical P* — while the
+        // achievable SNR still degrades with distance.
+        let short = optimize_launch(&LinkDesign::for_length(160.0), DEFAULT_ETA_PER_MW2).unwrap();
+        let long = optimize_launch(&LinkDesign::for_length(3200.0), DEFAULT_ETA_PER_MW2).unwrap();
+        assert!(
+            (long.launch_dbm - short.launch_dbm).abs() < 0.3,
+            "P* should not depend on span count ({:.2} vs {:.2} dBm)",
+            long.launch_dbm,
+            short.launch_dbm
+        );
+        assert!(long.snr_linear < short.snr_linear);
+    }
+
+    #[test]
+    fn back_to_back_has_no_finite_optimum() {
+        assert!(optimize_launch(&LinkDesign::for_length(0.0), DEFAULT_ETA_PER_MW2).is_none());
+    }
+}

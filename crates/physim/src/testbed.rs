@@ -1,0 +1,295 @@
+//! The production-level testbed of §6, as a simulator.
+//!
+//! The paper's procedure: "we control the format of SVT and gradually
+//! increase the fiber length. If the post-FEC BER increases from 0 to a
+//! positive number, we obtain the maximum transmission distance at the
+//! current format." [`Testbed::max_reach_km`] reproduces exactly that
+//! sweep over the simulated link (spans + EDFAs + ASE + BER), and
+//! [`derive_svt_table`] regenerates the full Table 2 capability matrix
+//! from physics rather than from the paper's constants.
+//!
+//! Calibration: a single implementation-penalty constant (default 9.5 dB,
+//! covering fiber nonlinearity, transceiver imperfections and operator
+//! margin, none of which the linear ASE model captures) anchors the
+//! simulated reaches to the measured Table 2 — the per-entry agreement is
+//! recorded in EXPERIMENTS.md.
+
+use flexwan_optical::format::FecOverhead;
+use flexwan_optical::spectrum::PixelWidth;
+
+use crate::ber::{post_fec_ber, pre_fec_ber};
+use crate::link::LinkDesign;
+use crate::noise::{osnr_linear, osnr_to_snr_linear, DEFAULT_CARRIER_THZ};
+use crate::units::db_to_ratio;
+
+/// Testbed configuration (§6 setup).
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// Per-channel launch power, dBm.
+    pub launch_power_dbm: f64,
+    /// Maximum amplifier span, km.
+    pub span_km: f64,
+    /// Aggregate implementation penalty subtracted from the linear-model
+    /// SNR, dB.
+    pub penalty_db: f64,
+    /// Extra penalty per GHz of spacing below 75 GHz, dB/GHz: cascaded WSS
+    /// filter narrowing bites channels whose guard band is proportionally
+    /// small (why Table 2's 50 GHz column is shorter-reached than 75 GHz at
+    /// equal rate).
+    pub narrow_filter_db_per_ghz: f64,
+    /// Optical carrier frequency, THz.
+    pub carrier_thz: f64,
+}
+
+impl Default for Testbed {
+    fn default() -> Self {
+        Testbed {
+            launch_power_dbm: 0.0,
+            span_km: 80.0,
+            penalty_db: 9.5,
+            narrow_filter_db_per_ghz: 0.12,
+            carrier_thz: DEFAULT_CARRIER_THZ,
+        }
+    }
+}
+
+/// A transponder line configuration under test: the adjustable component
+/// settings of the SVT (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineConfig {
+    /// Net data rate, Gbps.
+    pub data_rate_gbps: u32,
+    /// Channel spacing.
+    pub spacing: PixelWidth,
+    /// FEC overhead selected in the FEC module.
+    pub fec: FecOverhead,
+}
+
+impl LineConfig {
+    /// Symbol rate implied by the spacing (one 12.5 GHz pixel of guard
+    /// band, matching
+    /// [`flexwan_optical::format::TransponderFormat::derive`]).
+    pub fn baud_gbd(&self) -> f64 {
+        self.spacing.ghz() - 12.5
+    }
+
+    /// Information bits per symbol per polarization.
+    pub fn bits_per_symbol(&self) -> f64 {
+        f64::from(self.data_rate_gbps) * self.fec.rate_multiplier() / (2.0 * self.baud_gbd())
+    }
+}
+
+impl Testbed {
+    /// Effective linear SNR of `cfg` after `length_km` of line:
+    /// ASE-limited SNR minus the implementation penalty and the
+    /// narrow-channel filtering penalty.
+    pub fn snr_linear(&self, cfg: &LineConfig, length_km: f64) -> f64 {
+        let link = LinkDesign::with_span(length_km, self.span_km);
+        let osnr = osnr_linear(&link, self.launch_power_dbm, self.carrier_thz);
+        let filter_db = self.narrow_filter_db_per_ghz * (75.0 - cfg.spacing.ghz()).max(0.0);
+        osnr_to_snr_linear(osnr, cfg.baud_gbd()) / db_to_ratio(self.penalty_db + filter_db)
+    }
+
+    /// The §6 measurement: post-FEC BER of `cfg` at `length_km`. A
+    /// configuration demanding a denser constellation than the DSP can
+    /// generate ([`crate::ber::DSP_MAX_BITS_PER_SYMBOL`]) never decodes,
+    /// at any distance.
+    pub fn post_fec_ber(&self, cfg: &LineConfig, length_km: f64) -> f64 {
+        if cfg.bits_per_symbol() > crate::ber::DSP_MAX_BITS_PER_SYMBOL {
+            return 0.5;
+        }
+        let snr = self.snr_linear(cfg, length_km);
+        post_fec_ber(pre_fec_ber(cfg.bits_per_symbol(), snr), cfg.fec)
+    }
+
+    /// Maximum error-free distance of `cfg`, km (0 when even back-to-back
+    /// transmission fails). Resolution 10 km, found by bisection — the
+    /// post-FEC BER is monotone in distance, so this equals the paper's
+    /// incremental sweep.
+    pub fn max_reach_km(&self, cfg: &LineConfig) -> u32 {
+        const STEP: f64 = 10.0;
+        const MAX_KM: f64 = 20_000.0;
+        if self.post_fec_ber(cfg, STEP) > 0.0 {
+            return 0;
+        }
+        if self.post_fec_ber(cfg, MAX_KM) == 0.0 {
+            return MAX_KM as u32;
+        }
+        let (mut lo, mut hi) = (STEP, MAX_KM); // lo passes, hi fails
+        while hi - lo > STEP {
+            let mid = 0.5 * (lo + hi);
+            if self.post_fec_ber(cfg, mid) == 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        ((lo / STEP).floor() * STEP) as u32
+    }
+
+    /// Best reach for a (rate, spacing) operating point across the SVT's
+    /// selectable FEC overheads — the transponder control unit picks the
+    /// FEC that maximizes reach.
+    pub fn best_reach_km(&self, data_rate_gbps: u32, spacing: PixelWidth) -> u32 {
+        [FecOverhead::LOW, FecOverhead::HIGH]
+            .into_iter()
+            .map(|fec| self.max_reach_km(&LineConfig { data_rate_gbps, spacing, fec }))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One derived capability entry (a Table 2 cell).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivedEntry {
+    /// Net data rate, Gbps.
+    pub data_rate_gbps: u32,
+    /// Channel spacing, GHz.
+    pub spacing_ghz: f64,
+    /// Measured maximum reach, km.
+    pub reach_km: u32,
+}
+
+/// Regenerates the SVT capability matrix (Table 2 / Figure 11) by sweeping
+/// rates 100–800 Gbps across spacings 50–150 GHz on the simulated testbed.
+/// Entries with derived reach < 100 km are omitted (the paper's "/" = not
+/// recommended).
+pub fn derive_svt_table(testbed: &Testbed) -> Vec<DerivedEntry> {
+    let mut out = Vec::new();
+    for px in 4..=12u16 {
+        let spacing = PixelWidth::new(px);
+        for rate in (100..=800).step_by(100) {
+            let reach = testbed.best_reach_km(rate as u32, spacing);
+            if reach >= 100 {
+                out.push(DerivedEntry {
+                    data_rate_gbps: rate as u32,
+                    spacing_ghz: spacing.ghz(),
+                    reach_km: reach,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexwan_optical::transponder::SVT_TABLE;
+
+    fn px(ghz: f64) -> PixelWidth {
+        PixelWidth::from_ghz(ghz).unwrap()
+    }
+
+    #[test]
+    fn ber_transitions_once_with_distance() {
+        // §6: post-FEC BER goes from 0 to positive exactly once as length
+        // grows.
+        let tb = Testbed::default();
+        let cfg = LineConfig { data_rate_gbps: 300, spacing: px(75.0), fec: FecOverhead::HIGH };
+        let reach = tb.max_reach_km(&cfg);
+        assert!(reach > 0);
+        assert_eq!(tb.post_fec_ber(&cfg, f64::from(reach)), 0.0);
+        assert!(tb.post_fec_ber(&cfg, f64::from(reach) + 200.0) > 0.0);
+    }
+
+    #[test]
+    fn anchor_point_100g_75ghz() {
+        // Calibration anchor: 100 G @ 75 GHz measures 5000 km in Table 2;
+        // the simulator must land in the same regime.
+        let tb = Testbed::default();
+        let reach = tb.best_reach_km(100, px(75.0));
+        assert!(
+            (3500..=7500).contains(&reach),
+            "100G@75GHz derived reach {reach} km vs paper 5000 km"
+        );
+    }
+
+    #[test]
+    fn derived_table_shape_matches_table2() {
+        // For every Table 2 entry the derived reach must be within a
+        // factor of [0.4, 2.6] — the linear-ASE + constant-penalty model
+        // reproduces the shape, not exact production measurements.
+        let tb = Testbed::default();
+        for &(rate, ghz, paper_reach) in SVT_TABLE {
+            let derived = tb.best_reach_km(rate, px(ghz));
+            let ratio = f64::from(derived) / f64::from(paper_reach);
+            assert!(
+                (0.4..=2.6).contains(&ratio),
+                "{rate}G@{ghz}GHz: derived {derived} km vs paper {paper_reach} km (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn derived_reach_monotone_in_spacing() {
+        // Fig 11: at fixed rate, wider spacing ⇒ longer (or equal) reach.
+        let tb = Testbed::default();
+        for rate in [300u32, 400, 500, 800] {
+            let mut prev = 0;
+            for pxw in 4..=12u16 {
+                let r = tb.best_reach_km(rate, PixelWidth::new(pxw));
+                assert!(r >= prev, "{rate}G: reach fell from {prev} to {r} at {pxw}px");
+                prev = r;
+            }
+        }
+    }
+
+    #[test]
+    fn derived_reach_monotone_in_rate() {
+        // Fig 11: at fixed spacing, higher rate ⇒ shorter (or equal) reach.
+        let tb = Testbed::default();
+        for pxw in [6u16, 8, 10, 12] {
+            let mut prev = u32::MAX;
+            for rate in (100..=800).step_by(100) {
+                let r = tb.best_reach_km(rate as u32, PixelWidth::new(pxw));
+                assert!(r <= prev, "{pxw}px: reach rose from {prev} to {r} at {rate}G");
+                prev = r;
+            }
+        }
+    }
+
+    #[test]
+    fn table_omits_unreachable_cells() {
+        // Table 2 marks 800 G at ≤100 GHz as "/" (not recommended): the
+        // derived table must also exclude them.
+        let tb = Testbed::default();
+        let table = derive_svt_table(&tb);
+        assert!(!table
+            .iter()
+            .any(|e| e.data_rate_gbps == 800 && e.spacing_ghz <= 87.5));
+        // And must include the workhorse entries.
+        assert!(table
+            .iter()
+            .any(|e| e.data_rate_gbps == 100 && e.spacing_ghz == 75.0));
+        assert!(table
+            .iter()
+            .any(|e| e.data_rate_gbps == 800 && e.spacing_ghz == 150.0));
+    }
+
+    #[test]
+    fn fec_choice_matters() {
+        // The high-overhead FEC must strictly extend reach for long-haul
+        // points (that is its purpose, §4.2).
+        let tb = Testbed::default();
+        let low = tb.max_reach_km(&LineConfig {
+            data_rate_gbps: 100,
+            spacing: px(75.0),
+            fec: FecOverhead::LOW,
+        });
+        let high = tb.max_reach_km(&LineConfig {
+            data_rate_gbps: 100,
+            spacing: px(75.0),
+            fec: FecOverhead::HIGH,
+        });
+        assert!(high > low, "27% FEC reach {high} ≤ 15% FEC reach {low}");
+    }
+
+    #[test]
+    fn higher_launch_power_extends_reach() {
+        let base = Testbed::default();
+        let hot = Testbed { launch_power_dbm: 3.0, ..Testbed::default() };
+        let cfg = LineConfig { data_rate_gbps: 400, spacing: px(100.0), fec: FecOverhead::HIGH };
+        assert!(hot.max_reach_km(&cfg) > base.max_reach_km(&cfg));
+    }
+}

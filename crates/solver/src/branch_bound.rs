@@ -1,0 +1,337 @@
+//! Branch & bound for mixed-integer programs.
+//!
+//! Best-first search on the LP-relaxation bound; branching on the most
+//! fractional integer variable, with branches expressed as tightened
+//! variable bounds. The paper reports Gurobi closes its MIPs via LP
+//! relaxation "with a gap of less than 0.1 %" — our exact solver proves
+//! full optimality on the (small) instances it is used for.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::model::{Model, Sense, Solution, SolveOptions, Status, VarKind};
+use crate::simplex::{relax, solve_lp};
+
+/// A search node: tightened bounds over the base model.
+#[derive(Debug, Clone)]
+struct Node {
+    /// LP bound of the parent (priority).
+    bound: f64,
+    /// (var index, new lower, new upper) deltas relative to the base model.
+    bounds: Vec<(usize, f64, f64)>,
+    depth: usize,
+}
+
+/// Max-heap ordering by *best* bound: for minimization, lowest bound
+/// first; among equal bounds, deepest node first (diving finds an
+/// incumbent quickly, which unlocks pruning).
+struct Prioritized {
+    key: f64,
+    node: Node,
+}
+
+impl PartialEq for Prioritized {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.node.depth == other.node.depth
+    }
+}
+impl Eq for Prioritized {}
+impl PartialOrd for Prioritized {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Prioritized {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the smallest key popped first,
+        // then the deepest node.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.node.depth.cmp(&other.node.depth))
+    }
+}
+
+/// Solves a MIP by branch & bound. Called through
+/// [`Model::solve_with`] when integer variables are present.
+pub fn solve_mip(model: &Model, opts: &SolveOptions) -> Solution {
+    let minimize = model.sense != Some(Sense::Maximize);
+    // Work on the relaxation; integer kinds live in `model`.
+    let mut base = relax(model);
+
+    // Cut-and-branch: strengthen the root with violated knapsack cover
+    // cuts (valid for every integer point, so they apply to all nodes).
+    for _round in 0..4 {
+        let root = solve_lp(&base);
+        if root.status != Status::Optimal {
+            break;
+        }
+        let cuts = crate::cuts::cover_cuts(model, &root, 16);
+        if cuts.is_empty() {
+            break;
+        }
+        for c in cuts {
+            base.le(c.expr, c.rhs);
+        }
+    }
+    let int_vars: Vec<usize> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind != VarKind::Continuous)
+        .map(|(i, _)| i)
+        .collect();
+
+    let root = Node { bound: if minimize { f64::NEG_INFINITY } else { f64::INFINITY }, bounds: Vec::new(), depth: 0 };
+    let mut heap = BinaryHeap::new();
+    heap.push(Prioritized { key: if minimize { f64::NEG_INFINITY } else { f64::NEG_INFINITY }, node: root });
+
+    let mut incumbent: Option<Solution> = None;
+    let mut nodes = 0usize;
+    let better = |a: f64, b: f64| if minimize { a < b - 1e-9 } else { a > b + 1e-9 };
+
+    while let Some(Prioritized { node, .. }) = heap.pop() {
+        nodes += 1;
+        if nodes > opts.max_nodes {
+            return match incumbent {
+                Some(mut s) => {
+                    s.status = Status::NodeLimit;
+                    s
+                }
+                None => Solution {
+                    status: Status::NodeLimit,
+                    objective: f64::NAN,
+                    values: vec![f64::NAN; model.num_vars()],
+                },
+            };
+        }
+        // Prune against the incumbent using the parent's bound.
+        if let Some(inc) = &incumbent {
+            if node.bound.is_finite() && !better(node.bound, inc.objective) {
+                continue;
+            }
+        }
+        // Apply bound deltas and solve the relaxation.
+        let mut lp = base.clone();
+        for &(v, lo, hi) in &node.bounds {
+            let vd = &mut lp.vars[v];
+            vd.lower = vd.lower.max(lo);
+            vd.upper = vd.upper.min(hi);
+            if vd.lower > vd.upper {
+                // Empty domain: infeasible branch.
+                continue;
+            }
+        }
+        if node.bounds.iter().any(|&(v, _, _)| lp.vars[v].lower > lp.vars[v].upper) {
+            continue;
+        }
+        let sol = solve_lp(&lp);
+        match sol.status {
+            Status::Infeasible => continue,
+            Status::Unbounded => {
+                // An unbounded relaxation at the root means the MIP itself
+                // is unbounded (or infeasible; we report unbounded as LP
+                // theory prescribes for rational data).
+                if node.depth == 0 {
+                    return Solution {
+                        status: Status::Unbounded,
+                        objective: sol.objective,
+                        values: sol.values,
+                    };
+                }
+                continue;
+            }
+            _ => {}
+        }
+        // Bound prune.
+        if let Some(inc) = &incumbent {
+            if !better(sol.objective, inc.objective) {
+                continue;
+            }
+        }
+        // Find the most fractional integer variable.
+        let frac = int_vars
+            .iter()
+            .map(|&v| {
+                let x = sol.values[v];
+                let f = (x - x.round()).abs();
+                (v, x, f)
+            })
+            .filter(|&(_, _, f)| f > opts.int_tol)
+            .max_by(|a, b| {
+                // Most fractional: distance to nearest half, inverted.
+                let da = (a.2 - 0.5).abs();
+                let db = (b.2 - 0.5).abs();
+                db.partial_cmp(&da).unwrap_or(Ordering::Equal)
+            });
+        match frac {
+            None => {
+                // Integral: round residue and accept as incumbent.
+                let mut vals = sol.values.clone();
+                for &v in &int_vars {
+                    vals[v] = vals[v].round();
+                }
+                let cand = Solution { status: Status::Optimal, objective: sol.objective, values: vals };
+                let accept = incumbent
+                    .as_ref()
+                    .map_or(true, |inc| better(cand.objective, inc.objective));
+                if accept {
+                    incumbent = Some(cand);
+                }
+            }
+            Some((v, x, _)) => {
+                let down_hi = x.floor();
+                let up_lo = x.ceil();
+                let mut down = node.bounds.clone();
+                down.push((v, f64::NEG_INFINITY, down_hi));
+                let mut up = node.bounds;
+                up.push((v, up_lo, f64::INFINITY));
+                let key = if minimize { sol.objective } else { -sol.objective };
+                heap.push(Prioritized {
+                    key,
+                    node: Node { bound: sol.objective, bounds: down, depth: node.depth + 1 },
+                });
+                heap.push(Prioritized {
+                    key,
+                    node: Node { bound: sol.objective, bounds: up, depth: node.depth + 1 },
+                });
+            }
+        }
+    }
+
+    incumbent.unwrap_or(Solution {
+        status: Status::Infeasible,
+        objective: f64::NAN,
+        values: vec![f64::NAN; model.num_vars()],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    #[test]
+    fn integer_rounding_differs_from_lp() {
+        // max x + y st 2x + 3y ≤ 12, 6x + 5y ≤ 30, x,y ∈ ℤ≥0.
+        // LP optimum is fractional; best integer solution obj = 5 (e.g. 3,2).
+        let mut m = Model::new();
+        let x = m.integer("x", 0, 100);
+        let y = m.integer("y", 0, 100);
+        m.le(2.0 * x + 3.0 * y, 12.0);
+        m.le(6.0 * x + 5.0 * y, 30.0);
+        m.set_objective(Sense::Maximize, x + y);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 5.0).abs() < 1e-6, "obj={}", s.objective);
+        assert!(m.is_feasible(&s.values, 1e-6));
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // Classic 0/1 knapsack: values [60,100,120], weights [10,20,30], cap 50 → 220.
+        let mut m = Model::new();
+        let items: Vec<_> = (0..3).map(|i| m.binary(format!("x{i}"))).collect();
+        m.le(
+            10.0 * items[0] + (20.0 * items[1] + 30.0 * items[2]),
+            50.0,
+        );
+        m.set_objective(
+            Sense::Maximize,
+            60.0 * items[0] + (100.0 * items[1] + 120.0 * items[2]),
+        );
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 220.0).abs() < 1e-6);
+        assert_eq!(s.int_value(items[0]), 0);
+        assert_eq!(s.int_value(items[1]), 1);
+        assert_eq!(s.int_value(items[2]), 1);
+    }
+
+    #[test]
+    fn assignment_problem_3x3() {
+        // min cost assignment; cost matrix rows→cols.
+        let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let mut m = Model::new();
+        let mut x = Vec::new();
+        for i in 0..3 {
+            let row: Vec<_> = (0..3).map(|j| m.binary(format!("x{i}{j}"))).collect();
+            x.push(row);
+        }
+        for i in 0..3 {
+            let e = crate::expr::LinExpr::sum((0..3).map(|j| 1.0 * x[i][j]));
+            m.eq(e, 1.0);
+        }
+        for j in 0..3 {
+            let e = crate::expr::LinExpr::sum((0..3).map(|i| 1.0 * x[i][j]));
+            m.eq(e, 1.0);
+        }
+        let obj = crate::expr::LinExpr::sum(
+            (0..3).flat_map(|i| (0..3).map(move |j| (i, j))).map(|(i, j)| cost[i][j] * x[i][j]),
+        );
+        m.set_objective(Sense::Minimize, obj);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        // Optimal: (0,1)+(1,0)+(2,2) = 1+2+2 = 5.
+        assert!((s.objective - 5.0).abs() < 1e-6, "obj={}", s.objective);
+        assert!(m.is_feasible(&s.values, 1e-6));
+    }
+
+    #[test]
+    fn infeasible_mip() {
+        let mut m = Model::new();
+        let x = m.integer("x", 0, 10);
+        // 2x = 5 has no integer solution; LP relaxation is feasible (2.5).
+        m.eq(2.0 * x, 5.0);
+        m.set_objective(Sense::Minimize, 1.0 * x);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min 3y + x st y ∈ ℤ, y ≥ 1.3 (so y ≥ 2), x ≥ 2.6 − y continuous.
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.integer("y", 0, 10);
+        m.ge(1.0 * y, 1.3);
+        m.ge(x + y, 2.6);
+        m.set_objective(Sense::Minimize, 3.0 * y + x);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.int_value(y), 2);
+        assert!((s.value(x) - 0.6).abs() < 1e-6);
+        assert!((s.objective - 6.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_reports() {
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..12).map(|i| m.binary(format!("b{i}"))).collect();
+        let w: Vec<f64> = (0..12).map(|i| (i * 7 % 13 + 3) as f64).collect();
+        let e = crate::expr::LinExpr::sum(xs.iter().zip(&w).map(|(&x, &wi)| wi * x));
+        m.le(e.clone(), 40.0);
+        m.set_objective(Sense::Maximize, e);
+        let s = m.solve_with(&SolveOptions { max_nodes: 0, ..Default::default() });
+        // With no node budget we cannot prove optimality.
+        assert_eq!(s.status, Status::NodeLimit);
+    }
+
+    #[test]
+    fn equality_mip_with_multiple_formats() {
+        // A miniature of the paper's transponder count problem: pick
+        // integer counts n100, n200, n400 with 100·n1+200·n2+400·n4 ≥ 700,
+        // minimizing count — optimum 2 (400+400 = 800 ≥ 700).
+        let mut m = Model::new();
+        let n1 = m.integer("n100", 0, 8);
+        let n2 = m.integer("n200", 0, 8);
+        let n4 = m.integer("n400", 0, 8);
+        m.ge(100.0 * n1 + (200.0 * n2 + 400.0 * n4), 700.0);
+        m.set_objective(Sense::Minimize, n1 + n2 + n4);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 2.0).abs() < 1e-6, "obj={}", s.objective);
+        assert_eq!(s.int_value(n4), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Cutting planes: knapsack cover cuts.
+//!
+//! Algorithm 1's capacity rows (`Σ d_j λ ≥ c`) and the per-slot conflict
+//! rows are knapsack-structured over binaries, the classic habitat of
+//! *cover cuts*: if a set `C` of binaries cannot all be 1 without
+//! violating `Σ a_j x_j ≤ b`, then `Σ_{j∈C} x_j ≤ |C| − 1` is valid. The
+//! branch & bound layer separates violated covers at the root
+//! (cut-and-branch), which tightens the LP bound before any branching.
+
+use crate::expr::{LinExpr, Var};
+use crate::model::{Cmp, Model, Solution, VarKind};
+
+/// A generated cut: `expr ≤ rhs`.
+#[derive(Debug, Clone)]
+pub struct Cut {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Separates violated minimal cover cuts against the LP solution `lp`.
+///
+/// Only `≤` rows whose support is entirely binary with positive
+/// coefficients are considered (the canonical knapsack form). Returns at
+/// most `max_cuts` cuts, strongest violation first.
+pub fn cover_cuts(model: &Model, lp: &Solution, max_cuts: usize) -> Vec<Cut> {
+    let mut cuts: Vec<(f64, Cut)> = Vec::new();
+    for c in &model.constraints {
+        if c.cmp != Cmp::Le {
+            continue;
+        }
+        let e = c.expr.simplified();
+        let b = c.rhs - e.constant;
+        if b <= 0.0 || e.terms.is_empty() {
+            continue;
+        }
+        if !e.terms.iter().all(|&(v, k)| k > 0.0 && model.vars[v.0].kind == VarKind::Binary) {
+            continue;
+        }
+        // Greedy cover: take items by ascending (1 − x*)/a until Σa > b.
+        let mut items: Vec<(Var, f64, f64)> = e
+            .terms
+            .iter()
+            .map(|&(v, a)| (v, a, (1.0 - lp.value(v)).max(0.0)))
+            .collect();
+        items.sort_by(|x, y| {
+            (x.2 / x.1).partial_cmp(&(y.2 / y.1)).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut cover: Vec<(Var, f64, f64)> = Vec::new();
+        let mut weight = 0.0;
+        for &(v, a, slack) in &items {
+            if weight > b {
+                break;
+            }
+            cover.push((v, a, slack));
+            weight += a;
+        }
+        if weight <= b {
+            continue; // all items together fit: no cover exists
+        }
+        // Minimalize: drop items whose removal keeps it a cover.
+        let mut i = 0;
+        while i < cover.len() {
+            if weight - cover[i].1 > b {
+                weight -= cover[i].1;
+                cover.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        // Violation: Σ x* > |C| − 1  ⇔  Σ (1 − x*) < 1.
+        let slack_sum: f64 = cover.iter().map(|&(_, _, s)| s).sum();
+        if slack_sum < 1.0 - 1e-6 && cover.len() >= 2 {
+            let expr = LinExpr::sum(cover.iter().map(|&(v, _, _)| 1.0 * v));
+            let rhs = (cover.len() - 1) as f64;
+            cuts.push((1.0 - slack_sum, Cut { expr, rhs }));
+        }
+    }
+    cuts.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    cuts.truncate(max_cuts);
+    cuts.into_iter().map(|(_, c)| c).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense, Status};
+    use crate::simplex::{relax, solve_lp};
+
+    /// 3 items of weight 2 with capacity 3: any two form a cover.
+    fn knapsack_3x2() -> (Model, Vec<Var>) {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..3).map(|i| m.binary(format!("x{i}"))).collect();
+        let w = LinExpr::sum(vars.iter().map(|&v| 2.0 * v));
+        m.le(w, 3.0);
+        let obj = LinExpr::sum(vars.iter().map(|&v| 1.0 * v));
+        m.set_objective(Sense::Maximize, obj);
+        (m, vars)
+    }
+
+    #[test]
+    fn separates_violated_cover() {
+        let (m, _) = knapsack_3x2();
+        let lp = solve_lp(&relax(&m));
+        assert_eq!(lp.status, Status::Optimal);
+        // LP packs 1.5 items; the cover {i, j} with x* summing 1.5 > 1 is
+        // violated.
+        let cuts = cover_cuts(&m, &lp, 8);
+        assert!(!cuts.is_empty(), "expected a violated cover");
+        for cut in &cuts {
+            // Valid for every integer-feasible point: both vars cannot be 1.
+            assert_eq!(cut.rhs, 1.0);
+            assert_eq!(cut.expr.terms.len(), 2);
+            // And violated by the LP point.
+            assert!(cut.expr.eval(&lp.values) > cut.rhs + 1e-6);
+        }
+    }
+
+    #[test]
+    fn no_cuts_when_lp_is_integral() {
+        let mut m = Model::new();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.le(x + y, 2.0); // never binding
+        m.set_objective(Sense::Maximize, x + y);
+        let lp = solve_lp(&relax(&m));
+        assert!(cover_cuts(&m, &lp, 8).is_empty());
+    }
+
+    #[test]
+    fn ignores_non_knapsack_rows() {
+        let mut m = Model::new();
+        let x = m.binary("x");
+        let y = m.nonneg("y"); // continuous: row not eligible
+        m.le(2.0 * x + y, 1.0);
+        m.ge(1.0 * x, 0.0); // Ge: not eligible
+        m.set_objective(Sense::Maximize, x + y);
+        let lp = solve_lp(&relax(&m));
+        assert!(cover_cuts(&m, &lp, 8).is_empty());
+    }
+
+    #[test]
+    fn cuts_preserve_the_integer_optimum() {
+        let (m, vars) = knapsack_3x2();
+        let lp = solve_lp(&relax(&m));
+        let cuts = cover_cuts(&m, &lp, 8);
+        let mut cut_model = m.clone();
+        for c in &cuts {
+            cut_model.le(c.expr.clone(), c.rhs);
+        }
+        let with = cut_model.solve();
+        let without = m.solve();
+        assert_eq!(with.status, Status::Optimal);
+        assert!((with.objective - without.objective).abs() < 1e-6);
+        assert_eq!(with.objective.round() as i64, 1);
+        let _ = vars;
+    }
+}

@@ -1,0 +1,228 @@
+//! Linear expressions over decision variables.
+//!
+//! Mirrors the modeling surface of algebraic MIP front-ends (the paper uses
+//! Julia/JuMP + Gurobi): variables combine with `+`, `-` and scalar `*`
+//! into [`LinExpr`]s that become objectives and constraint left-hand sides.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A decision variable handle (index into its [`crate::model::Model`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub usize);
+
+/// A linear expression `Σ coeff·var + constant`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    /// Terms as (variable, coefficient) pairs; may contain duplicates until
+    /// [`LinExpr::simplified`].
+    pub terms: Vec<(Var, f64)>,
+    /// Constant offset.
+    pub constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: f64) -> Self {
+        LinExpr { terms: Vec::new(), constant: c }
+    }
+
+    /// A single-term expression `coeff·var`.
+    pub fn term(var: Var, coeff: f64) -> Self {
+        LinExpr { terms: vec![(var, coeff)], constant: 0.0 }
+    }
+
+    /// Adds `coeff·var` in place.
+    pub fn add_term(&mut self, var: Var, coeff: f64) {
+        self.terms.push((var, coeff));
+    }
+
+    /// Returns an equivalent expression with one entry per variable
+    /// (coefficients summed, zero coefficients dropped) sorted by variable.
+    pub fn simplified(&self) -> LinExpr {
+        let mut terms = self.terms.clone();
+        terms.sort_by_key(|(v, _)| *v);
+        let mut out: Vec<(Var, f64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|(_, c)| *c != 0.0);
+        LinExpr { terms: out, constant: self.constant }
+    }
+
+    /// Evaluates the expression at `values` (indexed by variable).
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant + self.terms.iter().map(|(v, c)| c * values[v.0]).sum::<f64>()
+    }
+
+    /// Sums an iterator of expressions.
+    pub fn sum(items: impl IntoIterator<Item = LinExpr>) -> LinExpr {
+        let mut acc = LinExpr::zero();
+        for e in items {
+            acc.terms.extend(e.terms);
+            acc.constant += e.constant;
+        }
+        acc
+    }
+}
+
+impl From<Var> for LinExpr {
+    fn from(v: Var) -> Self {
+        LinExpr::term(v, 1.0)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant(c)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self.terms.extend(rhs.terms);
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl Add<Var> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: Var) -> LinExpr {
+        self + LinExpr::from(rhs)
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: f64) -> LinExpr {
+        self.constant += rhs;
+        self
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: LinExpr) -> LinExpr {
+        self.terms.extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+        self.constant -= rhs.constant;
+        self
+    }
+}
+
+impl Sub<Var> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: Var) -> LinExpr {
+        self - LinExpr::from(rhs)
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: f64) -> LinExpr {
+        self.constant -= rhs;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: f64) -> LinExpr {
+        for (_, c) in &mut self.terms {
+            *c *= rhs;
+        }
+        self.constant *= rhs;
+        self
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self * -1.0
+    }
+}
+
+impl Add<LinExpr> for Var {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::from(self) + rhs
+    }
+}
+
+impl Add<Var> for Var {
+    type Output = LinExpr;
+    fn add(self, rhs: Var) -> LinExpr {
+        LinExpr::from(self) + rhs
+    }
+}
+
+impl Sub<Var> for Var {
+    type Output = LinExpr;
+    fn sub(self, rhs: Var) -> LinExpr {
+        LinExpr::from(self) - rhs
+    }
+}
+
+impl Mul<f64> for Var {
+    type Output = LinExpr;
+    fn mul(self, rhs: f64) -> LinExpr {
+        LinExpr::term(self, rhs)
+    }
+}
+
+impl Mul<Var> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: Var) -> LinExpr {
+        LinExpr::term(rhs, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_simplifies() {
+        let x = Var(0);
+        let y = Var(1);
+        let e = (2.0 * x + y + 3.0) + (x * -2.0) - 1.0;
+        let s = e.simplified();
+        // 2x - 2x cancels; y + 2 remains.
+        assert_eq!(s.terms, vec![(y, 1.0)]);
+        assert_eq!(s.constant, 2.0);
+    }
+
+    #[test]
+    fn eval() {
+        let x = Var(0);
+        let y = Var(1);
+        let e = 3.0 * x + 2.0 * y + 1.0;
+        assert_eq!(e.eval(&[2.0, 0.5]), 8.0);
+    }
+
+    #[test]
+    fn sum_of_terms() {
+        let vars: Vec<Var> = (0..4).map(Var).collect();
+        let e = LinExpr::sum(vars.iter().map(|&v| 1.0 * v)).simplified();
+        assert_eq!(e.terms.len(), 4);
+        assert_eq!(e.eval(&[1.0, 1.0, 1.0, 1.0]), 4.0);
+    }
+
+    #[test]
+    fn negation_and_subtraction() {
+        let x = Var(0);
+        let e = -(2.0 * x + 4.0);
+        assert_eq!(e.eval(&[1.0]), -6.0);
+        let d = (x - Var(1)).simplified();
+        assert_eq!(d.eval(&[5.0, 3.0]), 2.0);
+    }
+}

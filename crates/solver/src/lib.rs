@@ -1,0 +1,38 @@
+//! Linear and mixed-integer optimization for the FlexWAN reproduction.
+//!
+//! The paper solves its network-planning and restoration formulations with
+//! Gurobi via Julia (§7). Gurobi is proprietary and unavailable offline, so
+//! this crate provides a from-scratch replacement with the same modeling
+//! surface:
+//!
+//! * [`expr`] — linear expressions over decision variables with natural
+//!   operator syntax;
+//! * [`model`] — a [`Model`](model::Model) of variables (continuous,
+//!   integer, binary), linear constraints and a min/max objective;
+//! * [`simplex`] — a dense two-phase primal simplex for LPs, with a
+//!   Dantzig→Bland pricing switch for guaranteed termination;
+//! * [`branch_bound`] — best-first branch & bound for MIPs on top of the
+//!   LP relaxation;
+//! * [`presolve`] — model reductions (singleton rows, fixings, bound
+//!   tightening) applied before the heavy machinery;
+//! * [`cuts`] — knapsack cover cuts separated at the branch & bound root
+//!   (cut-and-branch).
+//!
+//! The solver is *exact*: it is used to validate the scalable planning
+//! heuristics on small instances (see `flexwan-core`), exactly as the
+//! paper validates against its MIP optimum.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch_bound;
+pub mod cuts;
+pub mod expr;
+pub mod model;
+pub mod presolve;
+pub mod simplex;
+
+pub use expr::{LinExpr, Var};
+pub use model::{Cmp, Model, Sense, Solution, SolveOptions, Status, VarKind};
+pub use presolve::{presolve, solve_presolved, Presolved, Reduction};
+pub use simplex::{solve_lp, solve_lp_with_duals};

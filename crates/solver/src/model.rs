@@ -1,0 +1,298 @@
+//! Optimization model: variables, linear constraints, objective.
+//!
+//! The stand-in for the Gurobi/JuMP modeling layer the paper uses (§7).
+//! A [`Model`] with only continuous variables is solved by the two-phase
+//! simplex ([`crate::simplex`]); models with integer or binary variables go
+//! through branch & bound ([`crate::branch_bound`]).
+
+use crate::expr::{LinExpr, Var};
+
+/// Variable domain kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer-valued within its bounds.
+    Integer,
+    /// Integer in {0, 1}.
+    Binary,
+}
+
+/// A variable definition.
+#[derive(Debug, Clone)]
+pub struct VarDef {
+    /// Diagnostic name.
+    pub name: String,
+    /// Domain kind.
+    pub kind: VarKind,
+    /// Lower bound (finite; the planning formulations are all bounded).
+    pub lower: f64,
+    /// Upper bound; `f64::INFINITY` for unbounded-above.
+    pub upper: f64,
+}
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// A linear constraint `expr cmp rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Left-hand side (constant folded into `rhs` at solve time).
+    pub expr: LinExpr,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Objective sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Solver outcome status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal solution was found.
+    Optimal,
+    /// No feasible solution exists.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// Branch & bound hit its node limit before proving optimality; the
+    /// incumbent (if any) is returned.
+    NodeLimit,
+}
+
+/// A solution: status, objective value, and per-variable values.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Outcome status.
+    pub status: Status,
+    /// Objective value (meaningful for `Optimal` and `NodeLimit` with
+    /// incumbent).
+    pub objective: f64,
+    /// Variable values indexed by [`Var`].
+    pub values: Vec<f64>,
+}
+
+impl Solution {
+    /// Value of `v` in the solution.
+    pub fn value(&self, v: Var) -> f64 {
+        self.values[v.0]
+    }
+
+    /// Value of `v` rounded to the nearest integer (for integer variables).
+    pub fn int_value(&self, v: Var) -> i64 {
+        self.values[v.0].round() as i64
+    }
+}
+
+/// Options controlling the solve.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Integrality tolerance for branch & bound.
+    pub int_tol: f64,
+    /// Maximum branch & bound nodes explored.
+    pub max_nodes: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { int_tol: 1e-6, max_nodes: 200_000 }
+    }
+}
+
+/// An optimization model under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+    pub(crate) sense: Option<Sense>,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Adds a variable with explicit kind and bounds.
+    pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind, lower: f64, upper: f64) -> Var {
+        assert!(lower.is_finite(), "lower bound must be finite");
+        assert!(lower <= upper, "empty variable domain");
+        let v = Var(self.vars.len());
+        let (lower, upper) = match kind {
+            VarKind::Binary => (0.0, 1.0),
+            _ => (lower, upper),
+        };
+        self.vars.push(VarDef { name: name.into(), kind, lower, upper });
+        v
+    }
+
+    /// Adds a continuous variable in `[lower, upper]`.
+    pub fn continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> Var {
+        self.add_var(name, VarKind::Continuous, lower, upper)
+    }
+
+    /// Adds a non-negative continuous variable.
+    pub fn nonneg(&mut self, name: impl Into<String>) -> Var {
+        self.add_var(name, VarKind::Continuous, 0.0, f64::INFINITY)
+    }
+
+    /// Adds an integer variable in `[lower, upper]`.
+    pub fn integer(&mut self, name: impl Into<String>, lower: i64, upper: i64) -> Var {
+        self.add_var(name, VarKind::Integer, lower as f64, upper as f64)
+    }
+
+    /// Adds a binary variable.
+    pub fn binary(&mut self, name: impl Into<String>) -> Var {
+        self.add_var(name, VarKind::Binary, 0.0, 1.0)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the model has any integer/binary variable.
+    pub fn is_mip(&self) -> bool {
+        self.vars.iter().any(|v| v.kind != VarKind::Continuous)
+    }
+
+    /// Adds the constraint `expr cmp rhs`.
+    pub fn add_constraint(&mut self, expr: LinExpr, cmp: Cmp, rhs: f64) {
+        let e = expr.simplified();
+        for (v, _) in &e.terms {
+            assert!(v.0 < self.vars.len(), "constraint references unknown variable");
+        }
+        self.constraints.push(Constraint { expr: e, cmp, rhs });
+    }
+
+    /// Adds `expr ≤ rhs`.
+    pub fn le(&mut self, expr: impl Into<LinExpr>, rhs: f64) {
+        self.add_constraint(expr.into(), Cmp::Le, rhs);
+    }
+
+    /// Adds `expr ≥ rhs`.
+    pub fn ge(&mut self, expr: impl Into<LinExpr>, rhs: f64) {
+        self.add_constraint(expr.into(), Cmp::Ge, rhs);
+    }
+
+    /// Adds `expr = rhs`.
+    pub fn eq(&mut self, expr: impl Into<LinExpr>, rhs: f64) {
+        self.add_constraint(expr.into(), Cmp::Eq, rhs);
+    }
+
+    /// Sets the objective.
+    pub fn set_objective(&mut self, sense: Sense, expr: impl Into<LinExpr>) {
+        self.sense = Some(sense);
+        self.objective = expr.into().simplified();
+    }
+
+    /// Solves with default options.
+    pub fn solve(&self) -> Solution {
+        self.solve_with(&SolveOptions::default())
+    }
+
+    /// Solves with explicit options: simplex for pure LPs, branch & bound
+    /// when integer variables are present.
+    pub fn solve_with(&self, opts: &SolveOptions) -> Solution {
+        assert!(self.sense.is_some(), "objective must be set before solving");
+        if self.is_mip() {
+            crate::branch_bound::solve_mip(self, opts)
+        } else {
+            crate::simplex::solve_lp(self)
+        }
+    }
+
+    /// Checks whether `values` satisfies every constraint and bound within
+    /// `tol` — used by tests and by callers validating heuristics against
+    /// the exact model.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (i, vd) in self.vars.iter().enumerate() {
+            let v = values[i];
+            if v < vd.lower - tol || v > vd.upper + tol {
+                return false;
+            }
+            if vd.kind != VarKind::Continuous && (v - v.round()).abs() > tol {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let lhs = c.expr.eval(values);
+            match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_accounting() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.integer("y", 0, 10);
+        m.le(x + y, 5.0);
+        m.set_objective(Sense::Maximize, x + y);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert!(m.is_mip());
+    }
+
+    #[test]
+    fn feasibility_checker() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.integer("y", 0, 10);
+        m.le(x + 2.0 * y, 8.0);
+        m.set_objective(Sense::Maximize, x + y);
+        assert!(m.is_feasible(&[2.0, 3.0], 1e-9));
+        assert!(!m.is_feasible(&[3.0, 3.0], 1e-9)); // violates constraint
+        assert!(!m.is_feasible(&[2.0, 2.5], 1e-9)); // fractional integer
+        assert!(!m.is_feasible(&[-1.0, 0.0], 1e-9)); // bound
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn rejects_foreign_vars() {
+        let mut m = Model::new();
+        let _x = m.nonneg("x");
+        m.le(LinExpr::term(Var(5), 1.0), 1.0);
+    }
+
+    #[test]
+    fn binary_bounds_forced() {
+        let mut m = Model::new();
+        let b = m.add_var("b", VarKind::Binary, -5.0, 5.0);
+        assert_eq!(m.vars[b.0].lower, 0.0);
+        assert_eq!(m.vars[b.0].upper, 1.0);
+    }
+}

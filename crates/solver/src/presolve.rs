@@ -1,0 +1,456 @@
+//! Presolve: problem reductions applied before the simplex/branch & bound
+//! machinery, mirroring what production MIP solvers do first.
+//!
+//! Implemented reductions (applied to fixpoint):
+//!
+//! * **empty rows** — constraints with no variables are checked against
+//!   their right-hand side and dropped (or declare infeasibility);
+//! * **singleton rows** — `a·x ⋈ b` rows become variable bounds;
+//! * **fixed variables** — `lower == upper` variables are substituted
+//!   into every row and the objective;
+//! * **bound tightening** — each row's activity bounds imply tighter
+//!   variable bounds (one sweep per fixpoint round), with integral
+//!   rounding for integer/binary variables;
+//! * **infeasibility detection** — empty domains and unsatisfiable rows
+//!   surface immediately, without a simplex run.
+//!
+//! [`presolve`] returns a reduced model plus the mapping needed to lift a
+//! reduced-space solution back to the original variables; equivalence is
+//! checked by randomized tests against the raw solver.
+
+use crate::expr::LinExpr;
+use crate::model::{Cmp, Model, Solution, Status, VarKind};
+
+/// Outcome of presolving a model.
+#[derive(Debug, Clone)]
+pub enum Presolved {
+    /// The problem was proven infeasible during reduction.
+    Infeasible,
+    /// A reduced model plus the lift-back mapping.
+    Reduced(Reduction),
+}
+
+/// A reduced model and how to undo the reduction.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The reduced model (possibly with zero variables).
+    pub model: Model,
+    /// For each original variable: `Ok(new index)` if it survived,
+    /// `Err(fixed value)` if it was eliminated.
+    map: Vec<Result<usize, f64>>,
+    /// Number of original variables.
+    n_original: usize,
+}
+
+impl Reduction {
+    /// Lifts a reduced-space solution back to original variable order.
+    pub fn lift(&self, reduced: &Solution) -> Solution {
+        let mut values = vec![0.0; self.n_original];
+        for (orig, m) in self.map.iter().enumerate() {
+            values[orig] = match m {
+                Ok(new) => reduced.values[*new],
+                Err(v) => *v,
+            };
+        }
+        Solution { status: reduced.status, objective: reduced.objective, values }
+    }
+
+    /// Number of variables eliminated by presolve.
+    pub fn eliminated_vars(&self) -> usize {
+        self.map.iter().filter(|m| m.is_err()).count()
+    }
+}
+
+const TOL: f64 = 1e-9;
+
+/// Runs presolve to fixpoint. The reduced model optimizes the same
+/// objective over the same feasible set (projected onto surviving
+/// variables); its optimal objective equals the original's.
+pub fn presolve(model: &Model) -> Presolved {
+    // Working copies of bounds; constraints as (terms, cmp, rhs).
+    let mut lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+    let mut upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+    let kinds: Vec<VarKind> = model.vars.iter().map(|v| v.kind).collect();
+    let mut rows: Vec<(Vec<(usize, f64)>, Cmp, f64)> = model
+        .constraints
+        .iter()
+        .map(|c| {
+            let e = c.expr.simplified();
+            (
+                e.terms.iter().map(|&(v, k)| (v.0, k)).collect(),
+                c.cmp,
+                c.rhs - e.constant,
+            )
+        })
+        .collect();
+    let n = model.vars.len();
+    let mut fixed: Vec<Option<f64>> = vec![None; n];
+
+    let integral = |j: usize| kinds[j] != VarKind::Continuous;
+    let round_bounds = |j: usize, lo: &mut f64, hi: &mut f64, int: bool| {
+        let _ = j;
+        if int {
+            *lo = lo.ceil();
+            *hi = hi.floor();
+        }
+    };
+
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed {
+        changed = false;
+        rounds += 1;
+        assert!(rounds < 100, "presolve failed to reach a fixpoint");
+
+        // 1. Substitute fixed variables into rows.
+        for (terms, _, rhs) in &mut rows {
+            terms.retain(|&(j, k)| {
+                if let Some(v) = fixed[j] {
+                    *rhs -= k * v;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        // 2. Empty and singleton rows.
+        let mut keep = Vec::with_capacity(rows.len());
+        for (terms, cmp, rhs) in rows.drain(..) {
+            match terms.len() {
+                0 => {
+                    let ok = match cmp {
+                        Cmp::Le => 0.0 <= rhs + TOL,
+                        Cmp::Ge => 0.0 >= rhs - TOL,
+                        Cmp::Eq => rhs.abs() <= TOL,
+                    };
+                    if !ok {
+                        return Presolved::Infeasible;
+                    }
+                    changed = true;
+                }
+                1 => {
+                    let (j, k) = terms[0];
+                    debug_assert!(k != 0.0);
+                    let bound = rhs / k;
+                    // a·x ≤ b  ⇔  x ≤ b/a (a>0) / x ≥ b/a (a<0).
+                    match (cmp, k > 0.0) {
+                        (Cmp::Le, true) | (Cmp::Ge, false) => {
+                            if bound < upper[j] - TOL {
+                                upper[j] = bound;
+                                changed = true;
+                            }
+                        }
+                        (Cmp::Ge, true) | (Cmp::Le, false) => {
+                            if bound > lower[j] + TOL {
+                                lower[j] = bound;
+                                changed = true;
+                            }
+                        }
+                        (Cmp::Eq, _) => {
+                            if bound < upper[j] - TOL {
+                                upper[j] = bound;
+                                changed = true;
+                            }
+                            if bound > lower[j] + TOL {
+                                lower[j] = bound;
+                                changed = true;
+                            }
+                        }
+                    }
+                    round_bounds(j, &mut lower[j], &mut upper[j], integral(j));
+                }
+                _ => keep.push((terms, cmp, rhs)),
+            }
+        }
+        rows = keep;
+
+        // 3. Bound tightening from row activity.
+        for (terms, cmp, rhs) in &rows {
+            // Activity bounds: min/max of Σ k·x over current boxes.
+            let mut act_min = 0.0f64;
+            let mut act_max = 0.0f64;
+            for &(j, k) in terms {
+                let (lo, hi) = (lower[j], upper[j]);
+                if k > 0.0 {
+                    act_min += k * lo;
+                    act_max += k * hi;
+                } else {
+                    act_min += k * hi;
+                    act_max += k * lo;
+                }
+            }
+            // Row-level infeasibility.
+            match cmp {
+                Cmp::Le if act_min > rhs + 1e-7 => return Presolved::Infeasible,
+                Cmp::Ge if act_max < rhs - 1e-7 => return Presolved::Infeasible,
+                Cmp::Eq if act_min > rhs + 1e-7 || act_max < rhs - 1e-7 => {
+                    return Presolved::Infeasible
+                }
+                _ => {}
+            }
+            // Per-variable implied bounds (only for ≤ / ≥ directions that
+            // constrain; Eq constrains both ways).
+            for &(j, k) in terms {
+                if act_min.is_infinite() && act_max.is_infinite() {
+                    break;
+                }
+                let (lo, hi) = (lower[j], upper[j]);
+                // residual activity without j:
+                let (term_min, term_max) = if k > 0.0 { (k * lo, k * hi) } else { (k * hi, k * lo) };
+                let rest_min = act_min - term_min;
+                let rest_max = act_max - term_max;
+                let tighten_le = *cmp != Cmp::Ge; // Le or Eq: Σ ≤ rhs
+                let tighten_ge = *cmp != Cmp::Le; // Ge or Eq: Σ ≥ rhs
+                if tighten_le && rest_min.is_finite() {
+                    // k·x ≤ rhs − rest_min.
+                    let b = (rhs - rest_min) / k;
+                    if k > 0.0 {
+                        if b < upper[j] - 1e-7 {
+                            upper[j] = b;
+                            changed = true;
+                        }
+                    } else if b > lower[j] + 1e-7 {
+                        lower[j] = b;
+                        changed = true;
+                    }
+                }
+                if tighten_ge && rest_max.is_finite() {
+                    // k·x ≥ rhs − rest_max.
+                    let b = (rhs - rest_max) / k;
+                    if k > 0.0 {
+                        if b > lower[j] + 1e-7 {
+                            lower[j] = b;
+                            changed = true;
+                        }
+                    } else if b < upper[j] - 1e-7 {
+                        upper[j] = b;
+                        changed = true;
+                    }
+                }
+                round_bounds(j, &mut lower[j], &mut upper[j], integral(j));
+            }
+        }
+
+        // 4. Fix variables and detect empty domains.
+        for j in 0..n {
+            if fixed[j].is_some() {
+                continue;
+            }
+            if lower[j] > upper[j] + 1e-7 {
+                return Presolved::Infeasible;
+            }
+            if (upper[j] - lower[j]).abs() <= TOL {
+                fixed[j] = Some(lower[j]);
+                changed = true;
+            }
+        }
+    }
+
+    // Build the reduced model.
+    let mut reduced = Model::new();
+    let mut map: Vec<Result<usize, f64>> = Vec::with_capacity(n);
+    for j in 0..n {
+        match fixed[j] {
+            Some(v) => map.push(Err(v)),
+            None => {
+                let nv = reduced.add_var(
+                    model.vars[j].name.clone(),
+                    kinds[j],
+                    lower[j],
+                    upper[j],
+                );
+                map.push(Ok(nv.0));
+            }
+        }
+    }
+    for (terms, cmp, rhs) in rows {
+        let mut e = LinExpr::zero();
+        for (j, k) in terms {
+            let Ok(nj) = map[j] else { unreachable!("fixed vars substituted") };
+            e.add_term(crate::expr::Var(nj), k);
+        }
+        reduced.add_constraint(e, cmp, rhs);
+    }
+    // Objective: substitute fixed vars into the constant.
+    let mut obj = LinExpr::zero();
+    let mut constant = model.objective.constant;
+    for &(v, c) in &model.objective.simplified().terms {
+        match map[v.0] {
+            Ok(nj) => obj.add_term(crate::expr::Var(nj), c),
+            Err(val) => constant += c * val,
+        }
+    }
+    obj.constant = constant;
+    reduced.set_objective(model.sense.unwrap_or(crate::model::Sense::Minimize), obj);
+
+    Presolved::Reduced(Reduction { model: reduced, map, n_original: n })
+}
+
+/// Solves `model` via presolve + the appropriate solver, lifting the
+/// solution back to original variable space.
+pub fn solve_presolved(model: &Model, opts: &crate::model::SolveOptions) -> Solution {
+    match presolve(model) {
+        Presolved::Infeasible => Solution {
+            status: Status::Infeasible,
+            objective: f64::NAN,
+            values: vec![f64::NAN; model.num_vars()],
+        },
+        Presolved::Reduced(red) => {
+            let inner = if red.model.num_vars() == 0 {
+                // Everything fixed: the objective is a constant; check the
+                // (already validated) rows were all dropped.
+                Solution {
+                    status: Status::Optimal,
+                    objective: if model.sense == Some(crate::model::Sense::Maximize) {
+                        red.model.objective.constant
+                    } else {
+                        red.model.objective.constant
+                    },
+                    values: Vec::new(),
+                }
+            } else if red.model.is_mip() {
+                crate::branch_bound::solve_mip(&red.model, opts)
+            } else {
+                crate::simplex::solve_lp(&red.model)
+            };
+            red.lift(&inner)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Sense, SolveOptions};
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.nonneg("y");
+        m.le(2.0 * x, 10.0); // x ≤ 5
+        m.ge(3.0 * y, 6.0); // y ≥ 2
+        m.le(x + y, 100.0);
+        m.set_objective(Sense::Maximize, x + y);
+        let Presolved::Reduced(red) = presolve(&m) else { panic!("feasible") };
+        assert_eq!(red.model.num_constraints(), 1, "singletons absorbed");
+        let s = solve_presolved(&m, &SolveOptions::default());
+        let raw = m.solve();
+        assert!((s.objective - raw.objective).abs() < 1e-6);
+        assert!(m.is_feasible(&s.values, 1e-6));
+    }
+
+    #[test]
+    fn fixed_vars_are_substituted() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 4.0, 4.0);
+        let y = m.nonneg("y");
+        m.le(x + y, 10.0); // ⇒ y ≤ 6
+        m.set_objective(Sense::Maximize, 2.0 * x + y);
+        let Presolved::Reduced(red) = presolve(&m) else { panic!("feasible") };
+        assert_eq!(red.eliminated_vars(), 1);
+        let s = solve_presolved(&m, &SolveOptions::default());
+        assert!((s.value(x) - 4.0).abs() < 1e-9);
+        assert!((s.value(y) - 6.0).abs() < 1e-6);
+        assert!((s.objective - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible_bounds() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 2.0);
+        m.ge(1.0 * x, 5.0);
+        m.set_objective(Sense::Minimize, 1.0 * x);
+        assert!(matches!(presolve(&m), Presolved::Infeasible));
+        assert_eq!(solve_presolved(&m, &SolveOptions::default()).status, Status::Infeasible);
+    }
+
+    #[test]
+    fn detects_infeasible_activity() {
+        // x, y ∈ [0, 1], x + y ≥ 3: impossible by activity bounds alone.
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 1.0);
+        let y = m.continuous("y", 0.0, 1.0);
+        m.ge(x + y, 3.0);
+        m.set_objective(Sense::Minimize, x + y);
+        assert!(matches!(presolve(&m), Presolved::Infeasible));
+    }
+
+    #[test]
+    fn integer_bound_rounding() {
+        let mut m = Model::new();
+        let x = m.integer("x", 0, 10);
+        m.le(2.0 * x, 7.0); // x ≤ 3.5 → x ≤ 3
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        let Presolved::Reduced(red) = presolve(&m) else { panic!("feasible") };
+        assert_eq!(red.model.vars[0].upper, 3.0);
+        let s = solve_presolved(&m, &SolveOptions::default());
+        assert!((s.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fully_fixed_model() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 2.0, 2.0);
+        let y = m.continuous("y", 3.0, 3.0);
+        m.le(x + y, 6.0);
+        m.set_objective(Sense::Minimize, x + 2.0 * y);
+        let s = solve_presolved(&m, &SolveOptions::default());
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 8.0).abs() < 1e-9);
+        assert_eq!(s.values, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn equivalence_on_random_models() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..40 {
+            let mut m = Model::new();
+            let nv = rng.gen_range(2..6);
+            let vars: Vec<_> = (0..nv)
+                .map(|i| {
+                    if rng.gen_bool(0.4) {
+                        m.integer(format!("x{i}"), 0, rng.gen_range(1..8))
+                    } else {
+                        m.continuous(format!("x{i}"), 0.0, rng.gen_range(1.0..8.0))
+                    }
+                })
+                .collect();
+            for _ in 0..rng.gen_range(1..5) {
+                let mut e = LinExpr::zero();
+                for &v in &vars {
+                    if rng.gen_bool(0.7) {
+                        e.add_term(v, rng.gen_range(-3.0f64..4.0));
+                    }
+                }
+                let rhs = rng.gen_range(-2.0f64..12.0);
+                match rng.gen_range(0..3) {
+                    0 => m.le(e, rhs),
+                    1 => m.ge(e, rhs),
+                    _ => m.le(e, rhs.abs()), // equalities get tight; keep it mild
+                }
+            }
+            let mut obj = LinExpr::zero();
+            for &v in &vars {
+                obj.add_term(v, rng.gen_range(-3.0f64..3.0));
+            }
+            m.set_objective(Sense::Maximize, obj);
+
+            let raw = m.solve();
+            let pre = solve_presolved(&m, &SolveOptions::default());
+            assert_eq!(raw.status, pre.status, "status mismatch");
+            if raw.status == Status::Optimal {
+                assert!(
+                    (raw.objective - pre.objective).abs() < 1e-5,
+                    "objective mismatch: raw {} vs presolved {}",
+                    raw.objective,
+                    pre.objective
+                );
+                assert!(m.is_feasible(&pre.values, 1e-5));
+            }
+        }
+    }
+}

@@ -1,0 +1,830 @@
+//! Two-phase primal simplex with native bounded variables.
+//!
+//! Variables live in `[0, u]` after a lower-bound shift; upper bounds are
+//! handled by the *upper-bounded simplex* technique (nonbasic variables
+//! rest at either bound, entering steps may terminate in a bound flip
+//! instead of a pivot) rather than by explicit constraint rows. This
+//! matters enormously for the branch & bound layer: every binary variable
+//! would otherwise add a row, and the paper's Algorithm 1 instances are
+//! binary-heavy.
+//!
+//! Dantzig pricing with an automatic switch to Bland's rule after an
+//! iteration budget guarantees termination on degenerate problems.
+
+use crate::model::{Cmp, Model, Sense, Solution, Status, VarKind};
+
+const EPS: f64 = 1e-9;
+
+/// Solves a pure-LP [`Model`] (integer kinds are relaxed if present; the
+/// MIP layer relies on this).
+pub fn solve_lp(model: &Model) -> Solution {
+    Tableau::build(model).solve(model).0
+}
+
+/// Solves a pure LP and additionally returns the dual value (shadow
+/// price) of every constraint: `∂objective/∂rhs` at the optimum, in the
+/// model's own sense (a maximization's binding `≤` capacity row gets a
+/// non-negative dual — the marginal value of one more unit of rhs).
+/// `None` when the LP is not solved to optimality.
+pub fn solve_lp_with_duals(model: &Model) -> (Solution, Option<Vec<f64>>) {
+    Tableau::build(model).solve(model)
+}
+
+/// Where a nonbasic variable currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum At {
+    Lower,
+    Upper,
+    Basic,
+}
+
+/// Standard-form tableau with bounded structural variables.
+///
+/// Columns: `[structural (shifted, ∈ [0, u]) | slack/surplus | artificial]`.
+/// The matrix is kept canonical w.r.t. the current basis (basis columns
+/// are unit columns), `beta[i]` is the value of the `i`-th basic variable.
+struct Tableau {
+    a: Vec<Vec<f64>>,
+    /// Current basic-variable values (≥ 0, ≤ their bound).
+    beta: Vec<f64>,
+    /// Upper bound per column (∞ for slacks/artificials and unbounded
+    /// structurals).
+    upper: Vec<f64>,
+    /// Phase-2 cost per column.
+    cost: Vec<f64>,
+    basis: Vec<usize>,
+    status: Vec<At>,
+    artificials: std::ops::Range<usize>,
+    /// Per original constraint row: the column that was the identity unit
+    /// for that row at build time plus its sign (+1 slack/artificial, −1
+    /// surplus) — the handle for reading dual values out of the final
+    /// canonical tableau.
+    row_marker: Vec<(usize, f64)>,
+    /// Constant objective offset from lower-bound shifts, in the internal
+    /// minimization sense.
+    offset: f64,
+    negated: bool,
+}
+
+enum IterOutcome {
+    Optimal,
+    Unbounded,
+}
+
+impl Tableau {
+    fn build(model: &Model) -> Tableau {
+        let n = model.vars.len();
+        let negated = model.sense == Some(Sense::Maximize);
+
+        let mut cost = vec![0.0; n];
+        for &(v, c) in &model.objective.terms {
+            cost[v.0] += if negated { -c } else { c };
+        }
+        let mut offset = if negated { -model.objective.constant } else { model.objective.constant };
+        for (j, vd) in model.vars.iter().enumerate() {
+            offset += cost[j] * vd.lower;
+        }
+
+        // Rows: model constraints, shifted by variable lower bounds and
+        // normalized to rhs ≥ 0.
+        struct Row {
+            coeffs: Vec<(usize, f64)>,
+            cmp: Cmp,
+            rhs: f64,
+            /// −1 when the row was negated during normalization (the dual
+            /// of the original row flips sign with it).
+            flipped_sign: f64,
+        }
+        let mut rows: Vec<Row> = Vec::with_capacity(model.constraints.len());
+        for c in &model.constraints {
+            let mut rhs = c.rhs - c.expr.constant;
+            let mut coeffs = Vec::with_capacity(c.expr.terms.len());
+            for &(v, k) in &c.expr.terms {
+                rhs -= k * model.vars[v.0].lower;
+                coeffs.push((v.0, k));
+            }
+            rows.push(Row { coeffs, cmp: c.cmp, rhs, flipped_sign: 1.0 });
+        }
+        for r in &mut rows {
+            if r.rhs < 0.0 {
+                r.rhs = -r.rhs;
+                for (_, k) in &mut r.coeffs {
+                    *k = -*k;
+                }
+                r.flipped_sign = -1.0;
+                r.cmp = match r.cmp {
+                    Cmp::Le => Cmp::Ge,
+                    Cmp::Ge => Cmp::Le,
+                    Cmp::Eq => Cmp::Eq,
+                };
+            }
+        }
+
+        let m = rows.len();
+        let n_slack = rows.iter().filter(|r| r.cmp != Cmp::Eq).count();
+        let n_art = rows.iter().filter(|r| r.cmp != Cmp::Le).count();
+        let cols = n + n_slack + n_art;
+        let mut a = vec![vec![0.0; cols]; m];
+        let mut beta = vec![0.0; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut row_marker = vec![(usize::MAX, 1.0); m];
+        let mut next_slack = n;
+        let mut next_art = n + n_slack;
+        for (i, r) in rows.iter().enumerate() {
+            for &(j, k) in &r.coeffs {
+                a[i][j] += k;
+            }
+            beta[i] = r.rhs;
+            match r.cmp {
+                Cmp::Le => {
+                    a[i][next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    row_marker[i] = (next_slack, r.flipped_sign);
+                    next_slack += 1;
+                }
+                Cmp::Ge => {
+                    a[i][next_slack] = -1.0;
+                    next_slack += 1;
+                    a[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    row_marker[i] = (next_art, r.flipped_sign);
+                    next_art += 1;
+                }
+                Cmp::Eq => {
+                    a[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    row_marker[i] = (next_art, r.flipped_sign);
+                    next_art += 1;
+                }
+            }
+        }
+        cost.resize(cols, 0.0);
+
+        let mut upper = vec![f64::INFINITY; cols];
+        for (j, vd) in model.vars.iter().enumerate() {
+            upper[j] = vd.upper - vd.lower;
+        }
+        let mut status = vec![At::Lower; cols];
+        for &b in &basis {
+            status[b] = At::Basic;
+        }
+
+        Tableau {
+            a,
+            beta,
+            upper,
+            cost,
+            basis,
+            status,
+            artificials: (n + n_slack)..cols,
+            row_marker,
+            offset,
+            negated,
+        }
+    }
+
+    /// Dual value (shadow price, ∂objective/∂rhs in the *model's* sense)
+    /// of each original constraint row, valid at phase-2 optimality.
+    ///
+    /// For row `i` with build-time unit column `u_i` (its slack or
+    /// artificial), `y_i = c_B·B⁻¹·e_i = c_B·a[:, u_i]` (surplus columns
+    /// carry `−e_i`, handled by the marker sign; normalization flips are
+    /// undone the same way). Maximization problems were solved as negated
+    /// minimizations, so the sign flips back at the end.
+    fn duals(&self, cost: &[f64]) -> Vec<f64> {
+        self.row_marker
+            .iter()
+            .map(|&(col, sign)| {
+                let mut y = 0.0;
+                for (i, &b) in self.basis.iter().enumerate() {
+                    let cb = cost[b];
+                    if cb != 0.0 {
+                        y += cb * self.a[i][col];
+                    }
+                }
+                let y = y * sign;
+                if self.negated {
+                    -y
+                } else {
+                    y
+                }
+            })
+            .collect()
+    }
+
+    /// Runs phases 1 and 2; returns the solution plus (at optimality)
+    /// the constraint duals.
+    fn solve(mut self, model: &Model) -> (Solution, Option<Vec<f64>>) {
+        let n_model = model.vars.len();
+        let infeasible = Solution {
+            status: Status::Infeasible,
+            objective: f64::NAN,
+            values: vec![f64::NAN; n_model],
+        };
+
+        if !self.artificials.is_empty() {
+            let cols = self.cost.len();
+            let phase1: Vec<f64> = (0..cols)
+                .map(|j| if self.artificials.contains(&j) { 1.0 } else { 0.0 })
+                .collect();
+            match self.iterate(&phase1, true) {
+                IterOutcome::Optimal => {
+                    if self.objective_of(&phase1) > 1e-6 {
+                        return (infeasible, None);
+                    }
+                }
+                IterOutcome::Unbounded => unreachable!("phase-1 objective bounded below by 0"),
+            }
+            self.drive_out_artificials();
+        }
+
+        let cost = self.cost.clone();
+        match self.iterate(&cost, false) {
+            IterOutcome::Unbounded => (
+                Solution {
+                    status: Status::Unbounded,
+                    objective: if self.negated { f64::INFINITY } else { f64::NEG_INFINITY },
+                    values: vec![f64::NAN; n_model],
+                },
+                None,
+            ),
+            IterOutcome::Optimal => {
+                let mut values = vec![0.0; n_model];
+                for j in 0..n_model {
+                    values[j] = self.value_of(j);
+                }
+                for (j, vd) in model.vars.iter().enumerate() {
+                    values[j] += vd.lower;
+                }
+                let total = self.objective_of(&cost) + self.offset;
+                let duals = self.duals(&cost);
+                (
+                    Solution {
+                        status: Status::Optimal,
+                        objective: if self.negated { -total } else { total },
+                        values,
+                    },
+                    Some(duals),
+                )
+            }
+        }
+    }
+
+    /// Current value of column `j` in shifted coordinates.
+    fn value_of(&self, j: usize) -> f64 {
+        match self.status[j] {
+            At::Lower => 0.0,
+            At::Upper => self.upper[j],
+            At::Basic => {
+                let i = self.basis.iter().position(|&b| b == j).expect("basic col in basis");
+                self.beta[i]
+            }
+        }
+    }
+
+    /// Objective of the current solution under `cost`.
+    fn objective_of(&self, cost: &[f64]) -> f64 {
+        let mut obj = 0.0;
+        for (i, &b) in self.basis.iter().enumerate() {
+            obj += cost[b] * self.beta[i];
+        }
+        for j in 0..cost.len() {
+            if self.status[j] == At::Upper {
+                obj += cost[j] * self.upper[j];
+            }
+        }
+        obj
+    }
+
+    /// After phase 1, pivot basic artificials out (or leave redundant rows
+    /// harmlessly basic at zero).
+    fn drive_out_artificials(&mut self) {
+        for i in 0..self.basis.len() {
+            if self.artificials.contains(&self.basis[i]) {
+                debug_assert!(self.beta[i].abs() <= 1e-6, "artificial basic at nonzero");
+                if let Some(j) = (0..self.artificials.start).find(|&j| {
+                    self.status[j] != At::Basic && self.a[i][j].abs() > EPS
+                }) {
+                    self.pivot(i, j, self.value_of(j));
+                }
+            }
+        }
+    }
+
+    /// Reduced cost of nonbasic column `j` under `cost`.
+    fn reduced_cost(&self, cost: &[f64], j: usize) -> f64 {
+        let mut r = cost[j];
+        for (i, &b) in self.basis.iter().enumerate() {
+            let cb = cost[b];
+            if cb != 0.0 {
+                r -= cb * self.a[i][j];
+            }
+        }
+        r
+    }
+
+    /// Bounded-variable simplex iterations minimizing `cost`. In phase 2
+    /// (`allow_artificials == false`) artificial columns never enter.
+    fn iterate(&mut self, cost: &[f64], allow_artificials: bool) -> IterOutcome {
+        let m = self.a.len();
+        let cols = self.cost.len();
+        if m == 0 {
+            // No constraints: push every profitable bounded column to its
+            // better bound; unbounded if a profitable column has u = ∞.
+            for j in 0..cols {
+                let r = cost[j];
+                if r < -EPS {
+                    if self.upper[j].is_infinite() {
+                        return IterOutcome::Unbounded;
+                    }
+                    self.status[j] = At::Upper;
+                }
+            }
+            return IterOutcome::Optimal;
+        }
+        let budget_dantzig = 50 * (m + cols);
+        let hard_cap = budget_dantzig + 500 * (m + cols);
+        let mut iters = 0usize;
+        loop {
+            iters += 1;
+            assert!(iters < hard_cap, "simplex exceeded {hard_cap} iterations");
+            let bland = iters > budget_dantzig;
+
+            // Entering: at-lower with r < 0 (increase) or at-upper with
+            // r > 0 (decrease).
+            let mut entering: Option<(usize, f64)> = None; // (col, direction)
+            let mut best = 1e-7;
+            for j in 0..cols {
+                if self.status[j] == At::Basic {
+                    continue;
+                }
+                if !allow_artificials && self.artificials.contains(&j) {
+                    continue;
+                }
+                let r = self.reduced_cost(cost, j);
+                let (viol, dir) = match self.status[j] {
+                    At::Lower => (-r, 1.0),
+                    At::Upper => (r, -1.0),
+                    At::Basic => unreachable!(),
+                };
+                if viol > best {
+                    entering = Some((j, dir));
+                    if bland {
+                        break;
+                    }
+                    best = viol;
+                }
+            }
+            let Some((j, dir)) = entering else {
+                return IterOutcome::Optimal;
+            };
+
+            // Ratio test: step t ≥ 0 of the entering variable away from
+            // its bound. Basic i changes by −t·dir·a[i][j].
+            let mut t_max = self.upper[j]; // entering reaches its other bound
+            let mut leave: Option<(usize, At)> = None; // (row, bound it hits)
+            for i in 0..m {
+                let delta = dir * self.a[i][j];
+                if delta > EPS {
+                    // Basic decreases toward 0.
+                    let t = self.beta[i] / delta;
+                    if t < t_max - EPS
+                        || (t < t_max + EPS
+                            && leave.map_or(false, |(li, _)| self.basis[i] < self.basis[li]))
+                    {
+                        t_max = t.max(0.0);
+                        leave = Some((i, At::Lower));
+                    }
+                } else if delta < -EPS {
+                    // Basic increases toward its upper bound.
+                    let ub = self.upper[self.basis[i]];
+                    if ub.is_finite() {
+                        let t = (ub - self.beta[i]) / (-delta);
+                        if t < t_max - EPS
+                            || (t < t_max + EPS
+                                && leave.map_or(false, |(li, _)| self.basis[i] < self.basis[li]))
+                        {
+                            t_max = t.max(0.0);
+                            leave = Some((i, At::Upper));
+                        }
+                    }
+                }
+            }
+            if t_max.is_infinite() {
+                return IterOutcome::Unbounded;
+            }
+
+            match leave {
+                None => {
+                    // Bound flip: entering crosses to its other bound.
+                    debug_assert!(self.upper[j].is_finite());
+                    for i in 0..m {
+                        self.beta[i] -= t_max * dir * self.a[i][j];
+                        if self.beta[i] < 0.0 && self.beta[i] > -1e-9 {
+                            self.beta[i] = 0.0;
+                        }
+                    }
+                    self.status[j] = match self.status[j] {
+                        At::Lower => At::Upper,
+                        At::Upper => At::Lower,
+                        At::Basic => unreachable!(),
+                    };
+                }
+                Some((row, hit)) => {
+                    // Entering becomes basic at value (from-lower: t; from
+                    // upper: u − t).
+                    let entering_value = match self.status[j] {
+                        At::Lower => t_max,
+                        At::Upper => self.upper[j] - t_max,
+                        At::Basic => unreachable!(),
+                    };
+                    // Update the other basics for the step.
+                    for i in 0..m {
+                        if i != row {
+                            self.beta[i] -= t_max * dir * self.a[i][j];
+                            if self.beta[i] < 0.0 && self.beta[i] > -1e-9 {
+                                self.beta[i] = 0.0;
+                            }
+                        }
+                    }
+                    let leaving = self.basis[row];
+                    self.status[leaving] = hit;
+                    self.pivot(row, j, entering_value);
+                }
+            }
+        }
+    }
+
+    /// Gauss-Jordan pivot making column `col` basic in `row` with the
+    /// given basic value.
+    fn pivot(&mut self, row: usize, col: usize, value: f64) {
+        let m = self.a.len();
+        let cols = self.a[0].len();
+        let p = self.a[row][col];
+        debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
+        for j in 0..cols {
+            self.a[row][j] /= p;
+        }
+        for i in 0..m {
+            if i != row {
+                let f = self.a[i][col];
+                if f != 0.0 {
+                    for j in 0..cols {
+                        self.a[i][j] -= f * self.a[row][j];
+                    }
+                }
+            }
+        }
+        self.basis[row] = col;
+        self.status[col] = At::Basic;
+        self.beta[row] = value.max(0.0);
+    }
+}
+
+/// Relaxes integer/binary kinds to continuous (for LP relaxations).
+pub fn relax(model: &Model) -> Model {
+    let mut m = model.clone();
+    for v in &mut m.vars {
+        v.kind = VarKind::Continuous;
+    }
+    m
+}
+
+/// Convenience: the value of `v` rounded if its kind is integral.
+pub fn rounded_value(model: &Model, sol: &Solution, v: crate::expr::Var) -> f64 {
+    match model.vars[v.0].kind {
+        VarKind::Continuous => sol.value(v),
+        _ => sol.value(v).round(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    #[test]
+    fn textbook_max_lp() {
+        // max 3x + 2y st x + y ≤ 4, x + 3y ≤ 6, x,y ≥ 0 → (4,0), obj 12.
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.nonneg("y");
+        m.le(x + y, 4.0);
+        m.le(x + 3.0 * y, 6.0);
+        m.set_objective(Sense::Maximize, 3.0 * x + 2.0 * y);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 12.0).abs() < 1e-6, "obj={}", s.objective);
+        assert!((s.value(x) - 4.0).abs() < 1e-6);
+        assert!(s.value(y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_with_ge_constraints() {
+        // min 2x + 3y st x + y ≥ 10, x ≥ 2, y ≥ 3 → x=7,y=3, obj 23.
+        let mut m = Model::new();
+        let x = m.continuous("x", 2.0, f64::INFINITY);
+        let y = m.continuous("y", 3.0, f64::INFINITY);
+        m.ge(x + y, 10.0);
+        m.set_objective(Sense::Minimize, 2.0 * x + 3.0 * y);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 23.0).abs() < 1e-6, "obj={}", s.objective);
+        assert!((s.value(x) - 7.0).abs() < 1e-6);
+        assert!((s.value(y) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y st x + 2y = 4, x − y = 1 → x=2,y=1, obj 3.
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.nonneg("y");
+        m.eq(x + 2.0 * y, 4.0);
+        m.eq(x - y, 1.0);
+        m.set_objective(Sense::Minimize, x + y);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.value(x) - 2.0).abs() < 1e-6);
+        assert!((s.value(y) - 1.0).abs() < 1e-6);
+        assert!((s.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        m.le(1.0 * x, 1.0);
+        m.ge(1.0 * x, 2.0);
+        m.set_objective(Sense::Minimize, 1.0 * x);
+        assert_eq!(m.solve().status, Status::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.nonneg("y");
+        m.ge(x - y, 1.0);
+        m.set_objective(Sense::Maximize, x + y);
+        assert_eq!(m.solve().status, Status::Unbounded);
+    }
+
+    #[test]
+    fn bounded_above_is_not_unbounded() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 5.0);
+        m.set_objective(Sense::Maximize, 2.0 * x);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 10.0).abs() < 1e-6);
+        assert!((s.value(x) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x st x ≥ −3 → −3.
+        let mut m = Model::new();
+        let x = m.continuous("x", -3.0, 10.0);
+        m.set_objective(Sense::Minimize, 1.0 * x);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective + 3.0).abs() < 1e-6);
+        assert!((s.value(x) + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn objective_constant_carried() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 2.0);
+        m.set_objective(Sense::Minimize, 1.0 * x + 100.0);
+        let s = m.solve();
+        assert!((s.objective - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.nonneg("y");
+        let z = m.nonneg("z");
+        m.le(x + y + z, 1.0);
+        m.le(x + y, 1.0);
+        m.le(1.0 * x, 1.0);
+        m.set_objective(Sense::Maximize, 2.0 * x + 1.0 * y + 1.0 * z);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solution_is_feasible_for_model() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 1.0, 4.0);
+        let y = m.continuous("y", 0.0, 3.0);
+        m.le(2.0 * x + y, 7.0);
+        m.ge(x + y, 2.0);
+        m.set_objective(Sense::Maximize, x + 2.0 * y);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!(m.is_feasible(&s.values, 1e-6));
+        // Optimum: y=3, then x ≤ 2 → obj 8.
+        assert!((s.objective - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.nonneg("y");
+        m.eq(x + y, 2.0);
+        m.eq(x + y, 2.0);
+        m.eq(x - y, 0.0);
+        m.set_objective(Sense::Minimize, x + y);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.value(x) - 1.0).abs() < 1e-6);
+        assert!((s.value(y) - 1.0).abs() < 1e-6);
+    }
+
+    // --- bounded-variable-specific behaviour ---
+
+    #[test]
+    fn bound_flip_without_pivot() {
+        // max x + y st x + y ≤ 10, x ≤ 3, y ≤ 4 (bounds, not rows)
+        // → x=3, y=4, obj 7; reaching it requires nonbasic bound flips.
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 3.0);
+        let y = m.continuous("y", 0.0, 4.0);
+        m.le(x + y, 10.0);
+        m.set_objective(Sense::Maximize, x + y);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 7.0).abs() < 1e-6, "obj={}", s.objective);
+        assert!((s.value(x) - 3.0).abs() < 1e-6);
+        assert!((s.value(y) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn basic_variable_leaves_at_upper() {
+        // max 2x + y st x − y ≤ 1, x ≤ 4, y ≤ 2 → x=3,y=2? check: x−y≤1 →
+        // x ≤ 3; obj 8.
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 4.0);
+        let y = m.continuous("y", 0.0, 2.0);
+        m.le(x - y, 1.0);
+        m.set_objective(Sense::Maximize, 2.0 * x + y);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 8.0).abs() < 1e-6, "obj={}", s.objective);
+        assert!((s.value(x) - 3.0).abs() < 1e-6);
+        assert!((s.value(y) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binaries_relaxed_without_extra_rows() {
+        // 40 relaxed binaries, one knapsack row: the LP must solve fast
+        // and land on the fractional knapsack optimum.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..40).map(|i| m.continuous(format!("x{i}"), 0.0, 1.0)).collect();
+        let w = crate::expr::LinExpr::sum(vars.iter().map(|&v| 1.0 * v));
+        m.le(w, 10.5);
+        let obj = crate::expr::LinExpr::sum(
+            vars.iter().enumerate().map(|(i, &v)| ((i % 5 + 1) as f64) * v),
+        );
+        m.set_objective(Sense::Maximize, obj);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        // 8 items of value 5, then 2 of value 4, then 0.5 of value 4:
+        // = 40 + 8 + 2 = 50? Compute exactly: capacities of 10.5 units of
+        // weight 1; best values: 8×5 + 2.5×4 = 50.
+        assert!((s.objective - 50.0).abs() < 1e-6, "obj={}", s.objective);
+        assert!(m.is_feasible(&s.values, 1e-6));
+    }
+
+    #[test]
+    fn fixed_variable_via_equal_bounds() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 2.5, 2.5);
+        let y = m.continuous("y", 0.0, 10.0);
+        m.le(x + y, 5.0);
+        m.set_objective(Sense::Maximize, 3.0 * x + y);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.value(x) - 2.5).abs() < 1e-6);
+        assert!((s.value(y) - 2.5).abs() < 1e-6);
+        assert!((s.objective - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_via_bounds_and_row() {
+        // x ∈ [0, 2], y ∈ [0, 2], x + y ≥ 5 → infeasible.
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 2.0);
+        let y = m.continuous("y", 0.0, 2.0);
+        m.ge(x + y, 5.0);
+        m.set_objective(Sense::Minimize, x + y);
+        assert_eq!(m.solve().status, Status::Infeasible);
+    }
+
+    #[test]
+    fn duals_match_finite_differences() {
+        // max 3x + 2y st x + y ≤ 4, x + 3y ≤ 6: optimum (4, 0) with the
+        // first row binding (dual 3) and the second slack (dual 0).
+        let build = |r1: f64, r2: f64| {
+            let mut m = Model::new();
+            let x = m.nonneg("x");
+            let y = m.nonneg("y");
+            m.le(x + y, r1);
+            m.le(x + 3.0 * y, r2);
+            m.set_objective(Sense::Maximize, 3.0 * x + 2.0 * y);
+            m
+        };
+        let (sol, duals) = solve_lp_with_duals(&build(4.0, 6.0));
+        assert_eq!(sol.status, Status::Optimal);
+        let duals = duals.unwrap();
+        assert!((duals[0] - 3.0).abs() < 1e-6, "{duals:?}");
+        assert!(duals[1].abs() < 1e-6, "{duals:?}");
+        // Finite difference on the binding row agrees.
+        let d = 1e-3;
+        let bumped = build(4.0 + d, 6.0).solve();
+        assert!(((bumped.objective - sol.objective) / d - duals[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duals_for_min_with_ge_row() {
+        // min 2x + 3y st x + y ≥ 10 (binding): dual = 2 (the cheaper
+        // variable absorbs extra requirement).
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.nonneg("y");
+        m.ge(x + y, 10.0);
+        m.set_objective(Sense::Minimize, 2.0 * x + 3.0 * y);
+        let (sol, duals) = solve_lp_with_duals(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((duals.unwrap()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duals_for_equality_row() {
+        // min x + y st x + 2y = 4, x − y = 1 → duals from y = cB·B⁻¹:
+        // finite-difference check on the first equality.
+        let build = |r: f64| {
+            let mut m = Model::new();
+            let x = m.nonneg("x");
+            let y = m.nonneg("y");
+            m.eq(x + 2.0 * y, r);
+            m.eq(x - y, 1.0);
+            m.set_objective(Sense::Minimize, x + y);
+            m
+        };
+        let (sol, duals) = solve_lp_with_duals(&build(4.0));
+        let duals = duals.unwrap();
+        let d = 1e-3;
+        let bumped = build(4.0 + d).solve();
+        assert!(
+            ((bumped.objective - sol.objective) / d - duals[0]).abs() < 1e-5,
+            "dual {} vs fd {}",
+            duals[0],
+            (bumped.objective - sol.objective) / d
+        );
+    }
+
+    #[test]
+    fn duals_with_negative_rhs_row() {
+        // A row that gets normalized (rhs < 0): −x ≤ −2 ⇔ x ≥ 2; dual of
+        // the *original* row must match finite differences on it.
+        let build = |r: f64| {
+            let mut m = Model::new();
+            let x = m.continuous("x", 0.0, 10.0);
+            m.le(-1.0 * x, r);
+            m.set_objective(Sense::Minimize, 5.0 * x);
+            m
+        };
+        let (sol, duals) = solve_lp_with_duals(&build(-2.0));
+        let duals = duals.unwrap();
+        let d = 1e-3;
+        let bumped = build(-2.0 + d).solve();
+        assert!(
+            ((bumped.objective - sol.objective) / d - duals[0]).abs() < 1e-5,
+            "dual {} vs fd {}",
+            duals[0],
+            (bumped.objective - sol.objective) / d
+        );
+    }
+
+    #[test]
+    fn minimize_pushes_to_upper_when_profitable() {
+        // min −x with x ∈ [0, 7] and a slack row: x ends at its upper
+        // bound without the row binding.
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 7.0);
+        let y = m.nonneg("y");
+        m.le(x + y, 100.0);
+        m.set_objective(Sense::Minimize, -1.0 * x);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.value(x) - 7.0).abs() < 1e-6);
+        assert!((s.objective + 7.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,63 @@
+//! Geographic helpers for building topologies from city coordinates.
+
+/// Mean Earth radius, km.
+const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Ratio of deployed fiber length to great-circle distance. Long-haul
+/// fiber follows highways/railways, so real routes are 20–40 % longer than
+/// geodesics; 1.3 is the customary planning factor.
+pub const FIBER_DETOUR_FACTOR: f64 = 1.3;
+
+/// Great-circle (haversine) distance between two (lat, lon) points, km.
+pub fn haversine_km(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (lat1, lon1) = (a.0.to_radians(), a.1.to_radians());
+    let (lat2, lon2) = (b.0.to_radians(), b.1.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// Deployed fiber length between two coordinates: great-circle distance
+/// times the detour factor, rounded to whole km and at least 1 km.
+pub fn fiber_km(a: (f64, f64), b: (f64, f64)) -> u32 {
+    ((haversine_km(a, b) * FIBER_DETOUR_FACTOR).round() as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BEIJING: (f64, f64) = (39.90, 116.40);
+    const SHANGHAI: (f64, f64) = (31.23, 121.47);
+    const GUANGZHOU: (f64, f64) = (23.13, 113.26);
+
+    #[test]
+    fn beijing_shanghai_distance() {
+        // Known great-circle distance ≈ 1070 km.
+        let d = haversine_km(BEIJING, SHANGHAI);
+        assert!((1000.0..1150.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn beijing_guangzhou_distance() {
+        // ≈ 1890 km great-circle.
+        let d = haversine_km(BEIJING, GUANGZHOU);
+        assert!((1800.0..1980.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn symmetric_and_zero_on_identity() {
+        let d1 = haversine_km(BEIJING, SHANGHAI);
+        let d2 = haversine_km(SHANGHAI, BEIJING);
+        assert!((d1 - d2).abs() < 1e-9);
+        assert!(haversine_km(BEIJING, BEIJING) < 1e-9);
+    }
+
+    #[test]
+    fn fiber_km_applies_detour() {
+        let f = fiber_km(BEIJING, SHANGHAI);
+        let d = haversine_km(BEIJING, SHANGHAI);
+        assert_eq!(f, (d * 1.3).round() as u32);
+    }
+}

@@ -1,0 +1,237 @@
+//! Undirected weighted multigraph used for both the IP and optical layers.
+//!
+//! Nodes are ROADM sites (optical layer) or routers (IP layer); edges are
+//! fibers with a physical length in km. The graph is append-only — failures
+//! are modeled by passing a set of banned edges to the path algorithms
+//! rather than by mutating the topology, which keeps failure-scenario
+//! evaluation cheap and side-effect free.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (ROADM site / router).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge (fiber segment between adjacent sites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+/// A node with a human-readable site name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// The node's identifier.
+    pub id: NodeId,
+    /// Site name (city / POP).
+    pub name: String,
+}
+
+/// An undirected fiber edge with a physical length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// The edge's identifier.
+    pub id: EdgeId,
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Physical fiber length, km.
+    pub length_km: u32,
+}
+
+impl Edge {
+    /// The endpoint opposite `n`; panics if `n` is not an endpoint.
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.a {
+            self.b
+        } else {
+            assert_eq!(n, self.b, "node {n:?} is not an endpoint of edge {:?}", self.id);
+            self.a
+        }
+    }
+}
+
+/// An undirected weighted multigraph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    adjacency: Vec<Vec<EdgeId>>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds a node named `name`, returning its id.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { id, name: name.into() });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected edge between `a` and `b` with the given length.
+    /// Parallel edges (common in real backbones: multiple fiber pairs along
+    /// one conduit) are allowed; self-loops are not.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, length_km: u32) -> EdgeId {
+        assert!(a != b, "self-loop fibers are not meaningful");
+        assert!((a.0 as usize) < self.nodes.len() && (b.0 as usize) < self.nodes.len());
+        assert!(length_km > 0, "fiber length must be positive");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { id, a, b, length_km });
+        self.adjacency[a.0 as usize].push(id);
+        self.adjacency[b.0 as usize].push(id);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The node with id `n`.
+    pub fn node(&self, n: NodeId) -> &Node {
+        &self.nodes[n.0 as usize]
+    }
+
+    /// The edge with id `e`.
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.0 as usize]
+    }
+
+    /// Looks a node up by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.name == name).map(|n| n.id)
+    }
+
+    /// Edges incident to `n`.
+    pub fn incident_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.adjacency[n.0 as usize]
+    }
+
+    /// Neighbor nodes of `n` with the connecting edge, skipping `banned`
+    /// edges.
+    pub fn neighbors<'a>(
+        &'a self,
+        n: NodeId,
+        banned: &'a HashSet<EdgeId>,
+    ) -> impl Iterator<Item = (EdgeId, NodeId)> + 'a {
+        self.adjacency[n.0 as usize]
+            .iter()
+            .filter(move |e| !banned.contains(e))
+            .map(move |&e| (e, self.edge(e).other(n)))
+    }
+
+    /// Whether the graph is connected when `banned` edges are removed
+    /// (single-component check by BFS from node 0).
+    pub fn is_connected(&self, banned: &HashSet<EdgeId>) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for (_, m) in self.neighbors(n, banned) {
+                if !seen[m.0 as usize] {
+                    seen[m.0 as usize] = true;
+                    count += 1;
+                    stack.push(m);
+                }
+            }
+        }
+        count == self.nodes.len()
+    }
+
+    /// Total fiber kilometers in the graph.
+    pub fn total_fiber_km(&self) -> u64 {
+        self.edges.iter().map(|e| u64::from(e.length_km)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Graph, [NodeId; 3], [EdgeId; 3]) {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let ab = g.add_edge(a, b, 100);
+        let bc = g.add_edge(b, c, 200);
+        let ca = g.add_edge(c, a, 300);
+        (g, [a, b, c], [ab, bc, ca])
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let (g, [a, b, _c], [ab, ..]) = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.node_by_name("b"), Some(b));
+        assert_eq!(g.node_by_name("zzz"), None);
+        assert_eq!(g.edge(ab).other(a), b);
+        assert_eq!(g.edge(ab).other(b), a);
+        assert_eq!(g.total_fiber_km(), 600);
+    }
+
+    #[test]
+    fn neighbors_respect_banned() {
+        let (g, [a, ..], [ab, _, ca]) = triangle();
+        let none = HashSet::new();
+        assert_eq!(g.neighbors(a, &none).count(), 2);
+        let banned: HashSet<_> = [ab].into_iter().collect();
+        let n: Vec<_> = g.neighbors(a, &banned).collect();
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].0, ca);
+    }
+
+    #[test]
+    fn connectivity_under_cuts() {
+        let (g, _, [ab, bc, ca]) = triangle();
+        assert!(g.is_connected(&HashSet::new()));
+        assert!(g.is_connected(&[ab].into_iter().collect()));
+        assert!(!g.is_connected(&[ab, ca].into_iter().collect()));
+        let _ = bc;
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let e1 = g.add_edge(a, b, 80);
+        let e2 = g.add_edge(a, b, 90);
+        assert_ne!(e1, e2);
+        assert_eq!(g.incident_edges(a).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        g.add_edge(a, a, 10);
+    }
+}

@@ -1,0 +1,198 @@
+//! Routes: node-distinct paths with per-hop parallel-fiber choice.
+//!
+//! Production conduits carry several fiber pairs between the same two
+//! sites. Treating each pair as an independent KSP edge makes Yen's
+//! algorithm enumerate permutations of pairs along one physical route
+//! before it ever finds a second route. A [`Route`] collapses the
+//! parallels: it fixes the node sequence and records, per hop, *all*
+//! usable parallel fibers — the spectrum assigner then picks any free
+//! pair per hop.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::ksp::k_shortest_paths;
+use crate::path::Path;
+
+/// A node-distinct route with the parallel-fiber alternatives per hop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Visited nodes, source first.
+    pub nodes: Vec<NodeId>,
+    /// For each hop, the usable parallel fibers (ascending length, then
+    /// id — deterministic).
+    pub hops: Vec<Vec<EdgeId>>,
+    /// Conservative route length: per hop, the *longest* usable parallel
+    /// (safe for the optical-reach constraint whatever pair is chosen).
+    pub length_km: u32,
+}
+
+impl Route {
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The destination node.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("routes are non-empty")
+    }
+
+    /// Materializes a [`Path`] from one chosen fiber per hop.
+    pub fn realize(&self, graph: &Graph, chosen: &[EdgeId]) -> Path {
+        assert_eq!(chosen.len(), self.hops.len(), "one fiber per hop");
+        Path::new(graph, self.nodes.clone(), chosen.to_vec())
+    }
+
+    /// Whether any hop can use fiber `e`.
+    pub fn may_use(&self, e: EdgeId) -> bool {
+        self.hops.iter().any(|h| h.contains(&e))
+    }
+}
+
+/// The `k` shortest node-distinct routes from `src` to `dst`, avoiding
+/// `banned` fibers. Parallel fibers between the same node pair are
+/// collapsed into hop alternatives; route length (for ordering and for
+/// the reach constraint) uses the longest usable parallel per hop.
+pub fn k_shortest_routes(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    banned: &HashSet<EdgeId>,
+) -> Vec<Route> {
+    // Collapsed graph: one edge per unordered node pair, weight = max
+    // usable parallel length (so route ordering matches the conservative
+    // route length).
+    let mut groups: HashMap<(NodeId, NodeId), Vec<EdgeId>> = HashMap::new();
+    for e in graph.edges() {
+        if banned.contains(&e.id) {
+            continue;
+        }
+        let key = if e.a <= e.b { (e.a, e.b) } else { (e.b, e.a) };
+        groups.entry(key).or_default().push(e.id);
+    }
+    let mut collapsed = Graph::new();
+    for n in graph.nodes() {
+        collapsed.add_node(n.name.clone());
+    }
+    // Map collapsed edge id → parallel group (sorted), in insertion order.
+    let mut group_of: Vec<Vec<EdgeId>> = Vec::new();
+    let mut keys: Vec<(NodeId, NodeId)> = groups.keys().copied().collect();
+    keys.sort();
+    for key in keys {
+        let mut members = groups.remove(&key).expect("key from map");
+        members.sort_by_key(|&e| (graph.edge(e).length_km, e));
+        let max_len = members
+            .iter()
+            .map(|&e| graph.edge(e).length_km)
+            .max()
+            .expect("non-empty group");
+        collapsed.add_edge(key.0, key.1, max_len);
+        group_of.push(members);
+    }
+
+    k_shortest_paths(&collapsed, src, dst, k, &HashSet::new())
+        .into_iter()
+        .map(|p| Route {
+            length_km: p.length_km,
+            hops: p.edges.iter().map(|e| group_of[e.0 as usize].clone()).collect(),
+            nodes: p.nodes,
+        })
+        .collect()
+}
+
+/// Groups fibers into conduits: parallel fibers between the same node
+/// pair share a physical conduit, so a backhoe severs them together.
+/// Returns the conduit members, deterministically ordered.
+pub fn conduits(graph: &Graph) -> Vec<Vec<EdgeId>> {
+    let mut groups: HashMap<(NodeId, NodeId), Vec<EdgeId>> = HashMap::new();
+    for e in graph.edges() {
+        let key = if e.a <= e.b { (e.a, e.b) } else { (e.b, e.a) };
+        groups.entry(key).or_default().push(e.id);
+    }
+    let mut keys: Vec<(NodeId, NodeId)> = groups.keys().copied().collect();
+    keys.sort();
+    keys.into_iter()
+        .map(|k| {
+            let mut v = groups.remove(&k).expect("key from map");
+            v.sort();
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a ==2 fibers== b ==2 fibers== c, plus a direct long a–c fiber.
+    fn plant() -> (Graph, [NodeId; 3]) {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 50); // e0
+        g.add_edge(a, b, 52); // e1
+        g.add_edge(b, c, 60); // e2
+        g.add_edge(b, c, 62); // e3
+        g.add_edge(a, c, 400); // e4
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn routes_are_node_distinct() {
+        let (g, [a, _, c]) = plant();
+        let routes = k_shortest_routes(&g, a, c, 5, &HashSet::new());
+        // Exactly two node-distinct routes: a-b-c and a-c.
+        assert_eq!(routes.len(), 2);
+        assert_eq!(routes[0].nodes.len(), 3);
+        assert_eq!(routes[0].length_km, 52 + 62, "max parallel lengths");
+        assert_eq!(routes[0].hops[0], vec![EdgeId(0), EdgeId(1)]);
+        assert_eq!(routes[1].nodes, vec![a, c]);
+        assert_eq!(routes[1].length_km, 400);
+    }
+
+    #[test]
+    fn banned_fibers_shrink_hops() {
+        let (g, [a, _, c]) = plant();
+        let banned: HashSet<_> = [EdgeId(0)].into_iter().collect();
+        let routes = k_shortest_routes(&g, a, c, 5, &banned);
+        assert_eq!(routes[0].hops[0], vec![EdgeId(1)]);
+        // Banning the whole first conduit removes the route.
+        let banned: HashSet<_> = [EdgeId(0), EdgeId(1)].into_iter().collect();
+        let routes = k_shortest_routes(&g, a, c, 5, &banned);
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].nodes, vec![a, c]);
+    }
+
+    #[test]
+    fn realize_builds_concrete_path() {
+        let (g, [a, _, c]) = plant();
+        let routes = k_shortest_routes(&g, a, c, 1, &HashSet::new());
+        let p = routes[0].realize(&g, &[EdgeId(1), EdgeId(2)]);
+        assert_eq!(p.length_km, 52 + 60);
+        assert_eq!(p.destination(), c);
+    }
+
+    #[test]
+    fn conduit_grouping() {
+        let (g, _) = plant();
+        let cs = conduits(&g);
+        assert_eq!(cs.len(), 3);
+        assert!(cs.contains(&vec![EdgeId(0), EdgeId(1)]));
+        assert!(cs.contains(&vec![EdgeId(2), EdgeId(3)]));
+        assert!(cs.contains(&vec![EdgeId(4)]));
+    }
+
+    #[test]
+    fn may_use() {
+        let (g, [a, _, c]) = plant();
+        let routes = k_shortest_routes(&g, a, c, 1, &HashSet::new());
+        assert!(routes[0].may_use(EdgeId(0)));
+        assert!(routes[0].may_use(EdgeId(3)));
+        assert!(!routes[0].may_use(EdgeId(4)));
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: plan cost-effective WAN capacity over a small optical
+//! backbone with all three schemes and compare hardware costs.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use flexwan::core::planning::{plan, PlannerConfig};
+use flexwan::core::Scheme;
+use flexwan::topo::graph::Graph;
+use flexwan::topo::ip::IpTopology;
+
+fn main() {
+    // 1. Describe the optical topology: four ROADM sites, five fibers.
+    //    (Lengths in km; parallel fibers between the same sites are fine.)
+    let mut optical = Graph::new();
+    let sfo = optical.add_node("SFO");
+    let sjc = optical.add_node("SJC");
+    let lax = optical.add_node("LAX");
+    let sea = optical.add_node("SEA");
+    optical.add_edge(sfo, sjc, 80); // metro pair
+    optical.add_edge(sfo, sjc, 82);
+    optical.add_edge(sjc, lax, 550);
+    optical.add_edge(sfo, sea, 1300);
+    optical.add_edge(lax, sea, 1850);
+
+    // 2. Describe the IP links and their bandwidth demands (Gbps).
+    let mut ip = IpTopology::new();
+    ip.add_link(sfo, sjc, 1600); // fat metro link
+    ip.add_link(sjc, lax, 800);
+    ip.add_link(sfo, sea, 400);
+    ip.add_link(lax, sea, 300);
+
+    // 3. Plan each scheme and compare.
+    let cfg = PlannerConfig::default();
+    println!("{:<10} {:>12} {:>14} {:>10}", "scheme", "transponders", "spectrum (GHz)", "feasible");
+    for scheme in Scheme::ALL {
+        let p = plan(scheme, &optical, &ip, &cfg);
+        println!(
+            "{:<10} {:>12} {:>14.1} {:>10}",
+            scheme.name(),
+            p.transponder_count(),
+            p.spectrum_usage_ghz(),
+            p.is_feasible()
+        );
+    }
+
+    // 4. Inspect FlexWAN's wavelengths: rate/spacing tailored per path.
+    let p = plan(Scheme::FlexWan, &optical, &ip, &cfg);
+    println!("\nFlexWAN wavelength plan:");
+    for w in &p.wavelengths {
+        println!("  {w}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Restoration drill: the §3.3 scenario end-to-end — a fiber cut is
+//! detected from one-second telemetry, and the lost capacity is revived
+//! on a longer path. RADWAN must degrade the data rate; FlexWAN widens
+//! the channel spacing instead and revives everything.
+//!
+//! ```text
+//! cargo run --example restoration_drill
+//! ```
+
+use flexwan::core::planning::{plan, PlannerConfig};
+use flexwan::core::restore::{restore, FailureScenario};
+use flexwan::core::Scheme;
+use flexwan::ctrl::datastream::{FiberCutDetector, TelemetrySim, TelemetryStore};
+use flexwan::topo::graph::Graph;
+use flexwan::topo::ip::IpTopology;
+
+fn main() {
+    // The §3.3 topology: a 600 km primary path and a 1200 km detour.
+    let mut optical = Graph::new();
+    let a = optical.add_node("A");
+    let b = optical.add_node("B");
+    let c = optical.add_node("C");
+    let primary = optical.add_edge(a, b, 600);
+    optical.add_edge(a, c, 600);
+    optical.add_edge(c, b, 600);
+
+    let mut ip = IpTopology::new();
+    ip.add_link(a, b, 300); // 300 Gbps demand on the A–B link
+
+    let cfg = PlannerConfig::default();
+
+    // --- Detection: the data-stream module watches per-fiber rx power. ---
+    let sim = TelemetrySim::new(&optical);
+    let mut store = TelemetryStore::new(60);
+    let detector = FiberCutDetector::default();
+    for tick in 0..10 {
+        sim.tick(&mut store, tick, &[]); // healthy seconds
+    }
+    sim.tick(&mut store, 10, &[primary]); // the backhoe strikes
+    let cut_fibers = detector.scan(&store);
+    println!("tick 10: telemetry flags cut fibers {cut_fibers:?}");
+    let scenario = FailureScenario { id: 0, cuts: cut_fibers, probability: 1.0 };
+
+    // --- Restoration under each scheme. ---
+    for scheme in [Scheme::Radwan, Scheme::FlexWan] {
+        let p = plan(scheme, &optical, &ip, &cfg);
+        let before = &p.wavelengths[0];
+        println!("\n{}:", scheme.name());
+        println!("  planned : {before}");
+        let r = restore(&p, &optical, &ip, &scenario, &[], &cfg);
+        for rw in &r.restored {
+            println!("  restored: {}", rw.wavelength);
+        }
+        println!(
+            "  revived {} of {} Gbps → restoration capability {:.0}%",
+            r.restored_gbps,
+            r.affected_gbps,
+            100.0 * r.capability()
+        );
+    }
+    println!("\nFlexWAN keeps the full 300 Gbps by widening the channel to 87.5 GHz;");
+    println!("RADWAN is stuck at 75 GHz and must drop to 200 Gbps (paper §3.3).");
+}

@@ -1,0 +1,251 @@
+//! `flexwan` — command-line front-end to the FlexWAN reproduction.
+//!
+//! ```text
+//! flexwan plan     --topology net.json [--scheme flexwan|radwan|100g] [--scale N] [--k K] [--defrag N]
+//! flexwan restore  --topology net.json [--scheme …] --cut A-B [--cut C-D] [--plus]
+//! flexwan export   --builtin tbackbone|cernet [--out net.json]
+//! flexwan svt-table
+//! flexwan help
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace carries no CLI
+//! dependency); see `flexwan help` for the full reference.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use flexwan::core::planning::{plan, PlannerConfig};
+use flexwan::core::restore::{flexwan_plus_extra_spares, restore, FailureScenario};
+use flexwan::core::Scheme;
+use flexwan::io::TopologyFile;
+use flexwan::optical::transponder::SVT_TABLE;
+use flexwan::topo::tbackbone::Backbone;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `flexwan help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    let opts = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "plan" => cmd_plan(&opts),
+        "restore" => cmd_restore(&opts),
+        "export" => cmd_export(&opts),
+        "svt-table" => {
+            cmd_svt_table();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+/// Parsed `--flag value` pairs (repeatable flags collect).
+struct Opts(HashMap<String, Vec<String>>);
+
+impl Opts {
+    fn one(&self, key: &str) -> Option<&str> {
+        self.0.get(key).and_then(|v| v.last()).map(String::as_str)
+    }
+    fn many(&self, key: &str) -> &[String] {
+        self.0.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+    fn flag(&self, key: &str) -> bool {
+        self.0.contains_key(key)
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Opts, String> {
+    let mut map: HashMap<String, Vec<String>> = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {a}"));
+        };
+        // Boolean flags: --plus; valued flags take the next token.
+        if matches!(key, "plus") {
+            map.entry(key.to_string()).or_default();
+            i += 1;
+        } else {
+            let v = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+            map.entry(key.to_string()).or_default().push(v.clone());
+            i += 2;
+        }
+    }
+    Ok(Opts(map))
+}
+
+fn load_backbone(opts: &Opts) -> Result<Backbone, String> {
+    if let Some(path) = opts.one("topology") {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        TopologyFile::from_json(&json)
+            .and_then(|tf| tf.build())
+            .map_err(|e| e.to_string())
+    } else if let Some(builtin) = opts.one("builtin") {
+        builtin_backbone(builtin)
+    } else {
+        Err("need --topology FILE or --builtin NAME".into())
+    }
+}
+
+fn builtin_backbone(name: &str) -> Result<Backbone, String> {
+    match name {
+        "tbackbone" => Ok(flexwan::topo::tbackbone::t_backbone(&Default::default())),
+        "cernet" => Ok(flexwan::topo::cernet::cernet(&Default::default())),
+        other => Err(format!("unknown builtin {other} (tbackbone|cernet)")),
+    }
+}
+
+fn parse_scheme(opts: &Opts) -> Result<Scheme, String> {
+    match opts.one("scheme").unwrap_or("flexwan") {
+        "flexwan" => Ok(Scheme::FlexWan),
+        "radwan" => Ok(Scheme::Radwan),
+        "100g" | "100g-wan" => Ok(Scheme::FixedGrid100G),
+        other => Err(format!("unknown scheme {other} (flexwan|radwan|100g)")),
+    }
+}
+
+fn parse_config(opts: &Opts) -> Result<PlannerConfig, String> {
+    let mut cfg = PlannerConfig::default();
+    if let Some(k) = opts.one("k") {
+        cfg.k_paths = k.parse().map_err(|_| format!("bad --k {k}"))?;
+    }
+    if let Some(d) = opts.one("defrag") {
+        cfg.defrag_moves = d.parse().map_err(|_| format!("bad --defrag {d}"))?;
+    }
+    if let Some(e) = opts.one("epsilon") {
+        cfg.epsilon = e.parse().map_err(|_| format!("bad --epsilon {e}"))?;
+    }
+    Ok(cfg)
+}
+
+fn cmd_plan(opts: &Opts) -> Result<(), String> {
+    let b = load_backbone(opts)?;
+    let scheme = parse_scheme(opts)?;
+    let cfg = parse_config(opts)?;
+    let scale: u64 = opts.one("scale").unwrap_or("1").parse().map_err(|_| "bad --scale")?;
+    let ip = b.ip.scaled(scale);
+    let p = plan(scheme, &b.optical, &ip, &cfg);
+    println!(
+        "{}: {} wavelengths, {:.1} GHz spectrum, demand {} Gbps, unmet {} Gbps",
+        scheme.name(),
+        p.transponder_count(),
+        p.spectrum_usage_ghz(),
+        ip.total_demand_gbps(),
+        p.unmet_gbps()
+    );
+    for w in &p.wavelengths {
+        println!("  {w}");
+    }
+    if !p.is_feasible() {
+        println!("NOT FEASIBLE: {} links unmet", p.unmet.len());
+    }
+    Ok(())
+}
+
+fn cmd_restore(opts: &Opts) -> Result<(), String> {
+    let b = load_backbone(opts)?;
+    let scheme = parse_scheme(opts)?;
+    let cfg = parse_config(opts)?;
+    let scale: u64 = opts.one("scale").unwrap_or("1").parse().map_err(|_| "bad --scale")?;
+    let ip = b.ip.scaled(scale);
+    // Cuts are named A-B (all parallel fibers between A and B are cut).
+    let mut cuts = Vec::new();
+    for spec in opts.many("cut") {
+        let (a, b_name) = spec
+            .split_once('-')
+            .ok_or_else(|| format!("--cut wants SRC-DST, got {spec}"))?;
+        let na = b.optical.node_by_name(a).ok_or_else(|| format!("unknown node {a}"))?;
+        let nb = b
+            .optical
+            .node_by_name(b_name)
+            .ok_or_else(|| format!("unknown node {b_name}"))?;
+        let members: Vec<_> = b
+            .optical
+            .edges()
+            .iter()
+            .filter(|e| (e.a == na && e.b == nb) || (e.a == nb && e.b == na))
+            .map(|e| e.id)
+            .collect();
+        if members.is_empty() {
+            return Err(format!("no fiber between {a} and {b_name}"));
+        }
+        cuts.extend(members);
+    }
+    if cuts.is_empty() {
+        return Err("need at least one --cut SRC-DST".into());
+    }
+    let p = plan(scheme, &b.optical, &ip, &cfg);
+    let spares = if opts.flag("plus") {
+        flexwan_plus_extra_spares(&b.optical, &ip, &cfg)
+    } else {
+        Vec::new()
+    };
+    let scenario = FailureScenario { id: 0, cuts, probability: 1.0 };
+    let r = restore(&p, &b.optical, &ip, &scenario, &spares, &cfg);
+    println!(
+        "{}: affected {} Gbps, restored {} Gbps (capability {:.1}%)",
+        scheme.name(),
+        r.affected_gbps,
+        r.restored_gbps,
+        100.0 * r.capability()
+    );
+    for rw in &r.restored {
+        println!("  {}", rw.wavelength);
+    }
+    Ok(())
+}
+
+fn cmd_export(opts: &Opts) -> Result<(), String> {
+    let name = opts.one("builtin").ok_or("need --builtin tbackbone|cernet")?;
+    let b = builtin_backbone(name)?;
+    let json = TopologyFile::from_backbone(&b).to_json();
+    match opts.one("out") {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_svt_table() {
+    println!("SVT capability table (Table 2): rate, spacing → optical reach");
+    for &(rate, ghz, reach) in SVT_TABLE {
+        println!("  {rate:>4} Gbps @ {ghz:>6.1} GHz → {reach:>5} km");
+    }
+}
+
+fn print_help() {
+    println!(
+        "flexwan — FlexWAN (SIGCOMM 2023) reproduction CLI
+
+USAGE:
+  flexwan plan     --topology FILE | --builtin NAME
+                   [--scheme flexwan|radwan|100g] [--scale N]
+                   [--k K] [--epsilon E] [--defrag MOVES]
+  flexwan restore  --topology FILE | --builtin NAME --cut SRC-DST ...
+                   [--scheme …] [--scale N] [--plus]
+  flexwan export   --builtin tbackbone|cernet [--out FILE]
+  flexwan svt-table
+  flexwan help
+
+The topology FILE is JSON: {{nodes, fibers: [{{a,b,km}}], links: [{{src,dst,gbps}}]}}."
+    );
+}

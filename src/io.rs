@@ -1,0 +1,226 @@
+//! JSON topology interchange: load/save backbones for the `flexwan` CLI
+//! and for downstream users who keep their network descriptions in files.
+//!
+//! The format is deliberately small:
+//!
+//! ```json
+//! {
+//!   "nodes": ["SFO", "SJC", "LAX"],
+//!   "fibers": [ {"a": "SFO", "b": "SJC", "km": 80},
+//!               {"a": "SJC", "b": "LAX", "km": 550} ],
+//!   "links":  [ {"src": "SFO", "dst": "LAX", "gbps": 800} ]
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use flexwan_topo::graph::Graph;
+use flexwan_topo::ip::IpTopology;
+use flexwan_topo::tbackbone::Backbone;
+
+/// A fiber segment in the interchange format.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FiberSpec {
+    /// One endpoint's node name.
+    pub a: String,
+    /// The other endpoint's node name.
+    pub b: String,
+    /// Length in km.
+    pub km: u32,
+}
+
+/// An IP link in the interchange format.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Source node name.
+    pub src: String,
+    /// Destination node name.
+    pub dst: String,
+    /// Bandwidth-capacity demand, Gbps (multiple of 100).
+    pub gbps: u64,
+}
+
+/// A whole backbone description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologyFile {
+    /// ROADM site names (order defines node ids).
+    pub nodes: Vec<String>,
+    /// Fiber plant.
+    pub fibers: Vec<FiberSpec>,
+    /// IP links with demands.
+    pub links: Vec<LinkSpec>,
+}
+
+/// Errors loading a topology file.
+#[derive(Debug)]
+pub enum LoadError {
+    /// JSON syntax / shape problems.
+    Json(serde_json::Error),
+    /// Semantic problems (unknown node names, empty sections, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Json(e) => write!(f, "topology JSON error: {e}"),
+            LoadError::Invalid(m) => write!(f, "invalid topology: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<serde_json::Error> for LoadError {
+    fn from(e: serde_json::Error) -> Self {
+        LoadError::Json(e)
+    }
+}
+
+impl TopologyFile {
+    /// Parses the interchange JSON.
+    pub fn from_json(json: &str) -> Result<Self, LoadError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("topology files always serialize")
+    }
+
+    /// Builds the in-memory [`Backbone`].
+    pub fn build(&self) -> Result<Backbone, LoadError> {
+        if self.nodes.is_empty() {
+            return Err(LoadError::Invalid("no nodes".into()));
+        }
+        let mut g = Graph::new();
+        let mut by_name = std::collections::HashMap::new();
+        for name in &self.nodes {
+            if by_name.contains_key(name.as_str()) {
+                return Err(LoadError::Invalid(format!("duplicate node name {name}")));
+            }
+            by_name.insert(name.clone(), g.add_node(name.clone()));
+        }
+        let resolve = |name: &str| {
+            by_name
+                .get(name)
+                .copied()
+                .ok_or_else(|| LoadError::Invalid(format!("unknown node {name}")))
+        };
+        for f in &self.fibers {
+            let (a, b) = (resolve(&f.a)?, resolve(&f.b)?);
+            if a == b {
+                return Err(LoadError::Invalid(format!("self-loop fiber at {}", f.a)));
+            }
+            if f.km == 0 {
+                return Err(LoadError::Invalid(format!("zero-length fiber {}–{}", f.a, f.b)));
+            }
+            g.add_edge(a, b, f.km);
+        }
+        let mut ip = IpTopology::new();
+        for l in &self.links {
+            let (src, dst) = (resolve(&l.src)?, resolve(&l.dst)?);
+            if src == dst {
+                return Err(LoadError::Invalid(format!("self-loop IP link at {}", l.src)));
+            }
+            if l.gbps == 0 || l.gbps % 100 != 0 {
+                return Err(LoadError::Invalid(format!(
+                    "IP link {}–{} demand {} must be a positive multiple of 100 Gbps",
+                    l.src, l.dst, l.gbps
+                )));
+            }
+            ip.add_link(src, dst, l.gbps);
+        }
+        Ok(Backbone { optical: g, ip })
+    }
+
+    /// Exports a [`Backbone`] into the interchange format.
+    pub fn from_backbone(b: &Backbone) -> TopologyFile {
+        TopologyFile {
+            nodes: b.optical.nodes().iter().map(|n| n.name.clone()).collect(),
+            fibers: b
+                .optical
+                .edges()
+                .iter()
+                .map(|e| FiberSpec {
+                    a: b.optical.node(e.a).name.clone(),
+                    b: b.optical.node(e.b).name.clone(),
+                    km: e.length_km,
+                })
+                .collect(),
+            links: b
+                .ip
+                .links()
+                .iter()
+                .map(|l| LinkSpec {
+                    src: b.optical.node(l.src).name.clone(),
+                    dst: b.optical.node(l.dst).name.clone(),
+                    gbps: l.demand_gbps,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "nodes": ["A", "B", "C"],
+        "fibers": [ {"a": "A", "b": "B", "km": 100},
+                    {"a": "B", "b": "C", "km": 200},
+                    {"a": "A", "b": "C", "km": 400} ],
+        "links":  [ {"src": "A", "dst": "C", "gbps": 600} ]
+    }"#;
+
+    #[test]
+    fn round_trips() {
+        let tf = TopologyFile::from_json(SAMPLE).unwrap();
+        let b = tf.build().unwrap();
+        assert_eq!(b.optical.num_nodes(), 3);
+        assert_eq!(b.optical.num_edges(), 3);
+        assert_eq!(b.ip.num_links(), 1);
+        let back = TopologyFile::from_backbone(&b);
+        let rebuilt = TopologyFile::from_json(&back.to_json()).unwrap().build().unwrap();
+        assert_eq!(rebuilt.optical, b.optical);
+        assert_eq!(rebuilt.ip, b.ip);
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let bad = SAMPLE.replace("\"src\": \"A\"", "\"src\": \"Z\"");
+        let tf = TopologyFile::from_json(&bad).unwrap();
+        assert!(matches!(tf.build(), Err(LoadError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_bad_demand() {
+        let bad = SAMPLE.replace("600", "650");
+        let tf = TopologyFile::from_json(&bad).unwrap();
+        let err = tf.build().unwrap_err();
+        assert!(err.to_string().contains("multiple of 100"));
+    }
+
+    #[test]
+    fn rejects_duplicate_nodes_and_self_loops() {
+        let dup = SAMPLE.replace("\"C\"]", "\"A\"]");
+        assert!(TopologyFile::from_json(&dup).unwrap().build().is_err());
+        let selfloop = SAMPLE.replace("{\"a\": \"A\", \"b\": \"B\", \"km\": 100}", "{\"a\": \"A\", \"b\": \"A\", \"km\": 100}");
+        assert!(TopologyFile::from_json(&selfloop).unwrap().build().is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(matches!(TopologyFile::from_json("{nope"), Err(LoadError::Json(_))));
+    }
+
+    #[test]
+    fn plannable_end_to_end() {
+        use flexwan_core::planning::{plan, PlannerConfig};
+        use flexwan_core::Scheme;
+        let b = TopologyFile::from_json(SAMPLE).unwrap().build().unwrap();
+        let p = plan(Scheme::FlexWan, &b.optical, &b.ip, &PlannerConfig::default());
+        assert!(p.is_feasible());
+    }
+}

@@ -1,0 +1,34 @@
+//! # flexwan
+//!
+//! Facade crate of the FlexWAN reproduction (SIGCOMM 2023): re-exports
+//! the whole workspace behind one dependency so applications can
+//! `use flexwan::…` for everything.
+//!
+//! * [`optical`] — spectrum pixels/masks, modulation, the three
+//!   transponder generations (fixed 100G, RADWAN BVT, FlexWAN SVT),
+//!   MUX/ROADM/amplifier hardware models;
+//! * [`topo`] — IP/optical topologies, K-shortest paths and
+//!   parallel-conduit routes, the synthetic T-backbone and the CERNET
+//!   backbone, demand generators;
+//! * [`solver`] — the LP (simplex) + MIP (branch & bound) optimizer that
+//!   stands in for Gurobi;
+//! * [`physim`] — the §6 testbed simulator: spans, EDFA noise, OSNR,
+//!   post-FEC BER, reach sweeps;
+//! * [`core`] — the paper's contribution: Algorithm 1 network planning
+//!   and §8 optical restoration, exact and heuristic, plus FlexWAN+;
+//! * [`ctrl`] — the centralized multi-vendor controller, simulated
+//!   devices, telemetry, failure detection, recovery and HA.
+//!
+//! Start with [`core::planning::plan`] and the `examples/` directory.
+
+#![forbid(unsafe_code)]
+
+pub mod io;
+pub mod validate;
+
+pub use flexwan_core as core;
+pub use flexwan_ctrl as ctrl;
+pub use flexwan_optical as optical;
+pub use flexwan_physim as physim;
+pub use flexwan_solver as solver;
+pub use flexwan_topo as topo;

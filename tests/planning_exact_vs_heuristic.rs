@@ -1,0 +1,122 @@
+//! Validates the scalable planning heuristic against the exact
+//! Algorithm 1 MIP on randomized small instances (DESIGN.md §3.2) — the
+//! same methodology the paper uses against its Gurobi optimum.
+
+use flexwan::core::planning::{plan, solve_exact, PlannerConfig};
+use flexwan::core::Scheme;
+use flexwan::optical::spectrum::SpectrumGrid;
+use flexwan::solver::SolveOptions;
+use flexwan::topo::graph::Graph;
+use flexwan::topo::ip::IpTopology;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Objective value of a heuristic plan under the paper's objective.
+fn heuristic_objective(p: &flexwan::core::planning::Plan, epsilon: f64) -> f64 {
+    p.wavelengths
+        .iter()
+        .map(|w| 1.0 + epsilon * w.format.spacing.ghz())
+        .sum()
+}
+
+/// A random 3-node instance with 1–2 links and small spectrum.
+fn random_instance(seed: u64) -> (Graph, IpTopology, PlannerConfig) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let a = g.add_node("a");
+    let b = g.add_node("b");
+    let c = g.add_node("c");
+    g.add_edge(a, b, rng.gen_range(100..800));
+    g.add_edge(b, c, rng.gen_range(100..800));
+    g.add_edge(a, c, rng.gen_range(200..1500));
+    let mut ip = IpTopology::new();
+    let links = rng.gen_range(1..=2);
+    for _ in 0..links {
+        let (src, dst) = match rng.gen_range(0..3) {
+            0 => (a, b),
+            1 => (b, c),
+            _ => (a, c),
+        };
+        ip.add_link(src, dst, 100 * rng.gen_range(1..=5));
+    }
+    let cfg = PlannerConfig {
+        grid: SpectrumGrid::new(rng.gen_range(12..18)),
+        k_paths: 2,
+        ..Default::default()
+    };
+    (g, ip, cfg)
+}
+
+#[test]
+fn heuristic_matches_exact_when_both_feasible() {
+    let opts = SolveOptions { max_nodes: 50_000, ..Default::default() };
+    let mut compared = 0;
+    for seed in 0..18u64 {
+        let (g, ip, cfg) = random_instance(seed);
+        for scheme in [Scheme::FlexWan, Scheme::Radwan] {
+            let exact = solve_exact(scheme, &g, &ip, &cfg, &opts);
+            let heur = plan(scheme, &g, &ip, &cfg);
+            match exact {
+                Some(e) => {
+                    assert!(
+                        heur.is_feasible(),
+                        "seed {seed} {scheme}: exact feasible (obj {:.3}) but heuristic unmet {:?}",
+                        e.objective,
+                        heur.unmet
+                    );
+                    let h_obj = heuristic_objective(&heur, cfg.epsilon);
+                    // The heuristic must be within 30 % of the optimum and
+                    // is usually equal on these small instances.
+                    assert!(
+                        h_obj <= e.objective * 1.3 + 1e-9,
+                        "seed {seed} {scheme}: heuristic {h_obj:.3} vs exact {:.3}",
+                        e.objective
+                    );
+                    compared += 1;
+                }
+                None => {
+                    // Exact infeasible ⇒ the heuristic may not fully
+                    // provision either (it can never do better than the
+                    // exact model allows).
+                    assert!(
+                        !heur.is_feasible(),
+                        "seed {seed} {scheme}: exact infeasible but heuristic claims feasible"
+                    );
+                }
+            }
+        }
+    }
+    assert!(compared >= 12, "only {compared} feasible comparisons — fixtures too tight");
+}
+
+#[test]
+fn heuristic_equals_exact_transponder_count_on_single_link() {
+    // With one link and ample spectrum the heuristic's per-link DP is
+    // exact, so the counts must match exactly.
+    let opts = SolveOptions { max_nodes: 50_000, ..Default::default() };
+    for seed in 100..110u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, rng.gen_range(100..1800));
+        let mut ip = IpTopology::new();
+        ip.add_link(a, b, 100 * rng.gen_range(1..=6));
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(24),
+            k_paths: 1,
+            ..Default::default()
+        };
+        let exact = solve_exact(Scheme::FlexWan, &g, &ip, &cfg, &opts)
+            .expect("ample spectrum is feasible");
+        let heur = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        assert_eq!(
+            heur.transponder_count(),
+            exact.transponder_count(),
+            "seed {seed}"
+        );
+        let h_obj = heuristic_objective(&heur, cfg.epsilon);
+        assert!((h_obj - exact.objective).abs() < 1e-6, "seed {seed}: {h_obj} vs {}", exact.objective);
+    }
+}

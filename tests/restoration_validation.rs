@@ -1,0 +1,126 @@
+//! Validates the greedy restorer against the exact §8 restoration MIP on
+//! randomized small instances, and checks restoration invariants.
+
+use flexwan::core::planning::{plan, PlannerConfig};
+use flexwan::core::restore::{one_fiber_scenarios, restore, solve_restoration_exact};
+use flexwan::core::Scheme;
+use flexwan::optical::spectrum::SpectrumGrid;
+use flexwan::solver::SolveOptions;
+use flexwan::topo::graph::Graph;
+use flexwan::topo::ip::IpTopology;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn random_instance(seed: u64) -> (Graph, IpTopology, PlannerConfig) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let a = g.add_node("a");
+    let b = g.add_node("b");
+    let c = g.add_node("c");
+    let d = g.add_node("d");
+    g.add_edge(a, b, rng.gen_range(100..700));
+    g.add_edge(b, c, rng.gen_range(100..700));
+    g.add_edge(c, d, rng.gen_range(100..700));
+    g.add_edge(d, a, rng.gen_range(100..700));
+    g.add_edge(a, c, rng.gen_range(300..1200));
+    let mut ip = IpTopology::new();
+    for _ in 0..rng.gen_range(1..=2) {
+        let (src, dst) = match rng.gen_range(0..3) {
+            0 => (a, b),
+            1 => (a, c),
+            _ => (b, d),
+        };
+        ip.add_link(src, dst, 100 * rng.gen_range(1..=4));
+    }
+    let cfg = PlannerConfig {
+        grid: SpectrumGrid::new(rng.gen_range(14..22)),
+        k_paths: 2,
+        ..Default::default()
+    };
+    (g, ip, cfg)
+}
+
+#[test]
+fn greedy_restoration_close_to_exact() {
+    let opts = SolveOptions { max_nodes: 50_000, ..Default::default() };
+    let mut compared = 0;
+    for seed in 0..12u64 {
+        let (g, ip, cfg) = random_instance(seed);
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        if !p.is_feasible() {
+            continue;
+        }
+        for scenario in one_fiber_scenarios(&g) {
+            let greedy = restore(&p, &g, &ip, &scenario, &[], &cfg);
+            let Some(exact) = solve_restoration_exact(&p, &g, &ip, &scenario, &[], &cfg, &opts)
+            else {
+                continue;
+            };
+            assert_eq!(greedy.affected_gbps, exact.affected_gbps, "seed {seed}");
+            // Greedy never exceeds the optimum and stays within 70 % of it
+            // (it is usually equal on these instances).
+            assert!(
+                greedy.restored_gbps <= exact.restored_gbps,
+                "seed {seed} scenario {}: greedy {} > exact {}",
+                scenario.id,
+                greedy.restored_gbps,
+                exact.restored_gbps
+            );
+            if exact.restored_gbps > 0 {
+                assert!(
+                    greedy.restored_gbps as f64 >= 0.7 * exact.restored_gbps as f64,
+                    "seed {seed} scenario {}: greedy {} far below exact {}",
+                    scenario.id,
+                    greedy.restored_gbps,
+                    exact.restored_gbps
+                );
+            }
+            compared += 1;
+        }
+    }
+    assert!(compared >= 20, "only {compared} comparisons ran");
+}
+
+#[test]
+fn restoration_invariants_hold() {
+    for seed in 40..55u64 {
+        let (g, ip, cfg) = random_instance(seed);
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        for scenario in one_fiber_scenarios(&g) {
+            let r = restore(&p, &g, &ip, &scenario, &[], &cfg);
+            // (7): never revive more than was lost.
+            assert!(r.restored_gbps <= r.affected_gbps);
+            for rw in &r.restored {
+                // (2): reach covers the restoration path.
+                assert!(rw.wavelength.format.reach_km >= rw.wavelength.path.length_km);
+                // Restored paths avoid every cut fiber.
+                for cut in &scenario.cuts {
+                    assert!(!rw.wavelength.path.uses_edge(*cut));
+                }
+            }
+            // (3): no overlapping channels on any fiber among surviving +
+            // restored wavelengths.
+            let mut all: Vec<(&flexwan::topo::Path, flexwan::optical::PixelRange)> = Vec::new();
+            for w in &p.wavelengths {
+                if !w.path.edges.iter().any(|e| scenario.cuts.contains(e)) {
+                    all.push((&w.path, w.channel));
+                }
+            }
+            for rw in &r.restored {
+                all.push((&rw.wavelength.path, rw.wavelength.channel));
+            }
+            for e in g.edges() {
+                let on_fiber: Vec<_> = all
+                    .iter()
+                    .filter(|(path, _)| path.uses_edge(e.id))
+                    .collect();
+                for (i, (_, c1)) in on_fiber.iter().enumerate() {
+                    for (_, c2) in &on_fiber[i + 1..] {
+                        assert!(!c1.overlaps(c2), "seed {seed}: overlap on fiber {:?}", e.id);
+                    }
+                }
+            }
+        }
+    }
+}
