@@ -120,8 +120,11 @@ pub fn capacity_weighted_lengths(backbone: &Backbone) -> Vec<(u32, u64)> {
         .collect()
 }
 
+/// One Figure 2(b) sample: (distance km, SVT, BVT, fixed-grid 100G max rates).
+pub type RateCurveRow = (u32, Option<u32>, Option<u32>, Option<u32>);
+
 /// Figure 2(b): max data rate per transponder generation vs distance.
-pub fn max_rate_curves(distances_km: &[u32]) -> Vec<(u32, Option<u32>, Option<u32>, Option<u32>)> {
+pub fn max_rate_curves(distances_km: &[u32]) -> Vec<RateCurveRow> {
     distances_km
         .iter()
         .map(|&d| (d, Svt.max_rate_at(d), Bvt.max_rate_at(d), FixedGrid100G.max_rate_at(d)))

@@ -32,7 +32,7 @@ pub fn select_formats(
     epsilon: f64,
 ) -> Option<Vec<TransponderFormat>> {
     assert!(demand_gbps > 0, "demand must be positive");
-    assert!(demand_gbps % 100 == 0, "demands are multiples of 100 Gbps");
+    assert!(demand_gbps.is_multiple_of(100), "demands are multiples of 100 Gbps");
     let candidates = reachable_formats(model, distance_km);
     if candidates.is_empty() {
         return None;
@@ -68,7 +68,7 @@ pub fn select_formats(
     for t in 1..=units {
         let mut best: Option<Cell> = None;
         for (idx, f) in candidates.iter().enumerate() {
-            let rate_units = (f.data_rate_gbps / 100) as u32;
+            let rate_units = f.data_rate_gbps / 100;
             let prev_t = t.saturating_sub(rate_units as usize);
             let Some(prev) = dp[prev_t] else { continue };
             let cand = Cell {
@@ -78,7 +78,7 @@ pub fn select_formats(
                 rate_units: prev.rate_units + rate_units,
                 choice: idx,
             };
-            if best.map_or(true, |b| cand.better_than(&b)) {
+            if best.is_none_or(|b| cand.better_than(&b)) {
                 best = Some(cand);
             }
         }

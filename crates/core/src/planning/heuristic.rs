@@ -158,10 +158,8 @@ pub fn plan(scheme: Scheme, optical: &Graph, ip: &IpTopology, cfg: &PlannerConfi
         }),
         LinkOrder::InputOrder => {}
         LinkOrder::Random(seed) => {
-            use rand::seq::SliceRandom;
-            use rand::SeedableRng;
-            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-            order.shuffle(&mut rng);
+            let mut rng = flexwan_util::rng::ChaCha8Rng::seed_from_u64(seed);
+            rng.shuffle(&mut order);
         }
     }
 

@@ -1,9 +1,7 @@
 //! Failure scenarios (§8): deterministic 1-failures and probabilistic
 //! fiber-cut scenarios per the link failure models of [17, 40].
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use flexwan_util::rng::ChaCha8Rng;
 
 use flexwan_topo::graph::{EdgeId, Graph};
 
@@ -89,7 +87,7 @@ pub fn probabilistic_scenarios(
         .map(|id| {
             let first = draw(&mut rng);
             let mut cuts = vec![first];
-            if rng.gen::<f64>() < double_cut_prob {
+            if rng.gen_f64() < double_cut_prob {
                 let mut second = draw(&mut rng);
                 while second == first {
                     second = draw(&mut rng);

@@ -1,0 +1,149 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the real criterion
+//! crate (and its large dependency tree) cannot be fetched. This crate
+//! implements the subset of the API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], [`criterion_group!`] and
+//! [`criterion_main!`] — with a simple median-of-samples timer instead of
+//! criterion's statistical machinery. Numbers are indicative, not
+//! publication-grade, but the benches compile, run, and report.
+
+use std::time::{Duration, Instant};
+
+/// How warm-up and measurement are sized. Kept deliberately small so the
+/// full bench suite finishes in seconds.
+const WARMUP_ITERS: u64 = 3;
+const SAMPLES: usize = 15;
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Batch sizing hint, mirroring criterion's enum. The shim only uses it
+/// to decide how many routine calls share one setup call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input: many iterations per batch.
+    SmallInput,
+    /// Large per-iteration input: one iteration per batch.
+    LargeInput,
+    /// Input of unknown size: a moderate batch.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { samples: Vec::new(), iters_per_sample: 1 }
+    }
+
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the per-sample iteration count so each sample
+        // lasts roughly TARGET_SAMPLE.
+        let start = Instant::now();
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let per = start.elapsed() / (WARMUP_ITERS as u32);
+        self.iters_per_sample = if per.is_zero() {
+            1000
+        } else {
+            (TARGET_SAMPLE.as_nanos() / per.as_nanos().max(1)).clamp(1, 10_000) as u64
+        };
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed() / (self.iters_per_sample as u32));
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine(setup()));
+        }
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+        self.iters_per_sample = 1;
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// The benchmark driver. Construct with [`Criterion::default`].
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints the median sample time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        let med = b.median();
+        println!("{name:<50} median {med:>12.3?}  ({SAMPLES} samples)");
+        self
+    }
+}
+
+/// Declares a benchmark group: a runner function that invokes each listed
+/// bench with a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs >= WARMUP_ITERS + SAMPLES as u64);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut b = Bencher::new();
+        b.iter_batched(|| vec![1u32; 16], |v| v.iter().sum::<u32>(), BatchSize::SmallInput);
+        assert_eq!(b.samples.len(), SAMPLES);
+    }
+}

@@ -6,13 +6,13 @@
 //! serializable configuration documents — encoded with serde/JSON instead
 //! of YANG/XML (substitution recorded in DESIGN.md §1).
 
-use serde::{Deserialize, Serialize};
 
 use flexwan_optical::format::TransponderFormat;
 use flexwan_optical::spectrum::PixelRange;
+use flexwan_util::json::{self, FromJson, ToJson, Value};
 
 /// A standard (vendor-agnostic) configuration payload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StandardConfig {
     /// Configure a transponder's line side: modulation format, FEC, baud
     /// and the spectrum its wavelength must occupy.
@@ -57,7 +57,7 @@ pub enum StandardConfig {
 }
 
 /// The YANG-file stand-in: a named, versioned configuration document.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConfigDocument {
     /// Monotonic revision stamped by the controller.
     pub revision: u64,
@@ -68,12 +68,101 @@ pub struct ConfigDocument {
 impl ConfigDocument {
     /// Serializes to the wire form (JSON standing in for YANG/XML).
     pub fn to_wire(&self) -> String {
-        serde_json::to_string(self).expect("config documents always serialize")
+        json::to_string(self)
     }
 
     /// Parses the wire form.
-    pub fn from_wire(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_wire(s: &str) -> Result<Self, json::Error> {
+        json::from_str(s)
+    }
+}
+
+// ---- JSON wire encoding (externally tagged, as serde derived) ----
+
+impl ToJson for StandardConfig {
+    fn to_json(&self) -> Value {
+        let (tag, body) = match self {
+            StandardConfig::Transponder { format, channel, enabled } => (
+                "Transponder",
+                Value::obj([
+                    ("format", format.to_json()),
+                    ("channel", channel.to_json()),
+                    ("enabled", enabled.to_json()),
+                ]),
+            ),
+            StandardConfig::MuxPort { port, passband } => (
+                "MuxPort",
+                Value::obj([("port", port.to_json()), ("passband", passband.to_json())]),
+            ),
+            StandardConfig::RoadmExpress { from_degree, to_degree, passband } => (
+                "RoadmExpress",
+                Value::obj([
+                    ("from_degree", from_degree.to_json()),
+                    ("to_degree", to_degree.to_json()),
+                    ("passband", passband.to_json()),
+                ]),
+            ),
+            StandardConfig::RoadmRelease { from_degree, to_degree, passband } => (
+                "RoadmRelease",
+                Value::obj([
+                    ("from_degree", from_degree.to_json()),
+                    ("to_degree", to_degree.to_json()),
+                    ("passband", passband.to_json()),
+                ]),
+            ),
+            StandardConfig::AmplifierGain { gain_db } => {
+                ("AmplifierGain", Value::obj([("gain_db", gain_db.to_json())]))
+            }
+        };
+        Value::obj([(tag, body)])
+    }
+}
+
+impl FromJson for StandardConfig {
+    fn from_json(v: &Value) -> Result<Self, json::Error> {
+        if let Some(b) = v.get("Transponder") {
+            return Ok(StandardConfig::Transponder {
+                format: b.field("format")?,
+                channel: b.field("channel")?,
+                enabled: b.field("enabled")?,
+            });
+        }
+        if let Some(b) = v.get("MuxPort") {
+            return Ok(StandardConfig::MuxPort {
+                port: b.field("port")?,
+                passband: b.field("passband")?,
+            });
+        }
+        if let Some(b) = v.get("RoadmExpress") {
+            return Ok(StandardConfig::RoadmExpress {
+                from_degree: b.field("from_degree")?,
+                to_degree: b.field("to_degree")?,
+                passband: b.field("passband")?,
+            });
+        }
+        if let Some(b) = v.get("RoadmRelease") {
+            return Ok(StandardConfig::RoadmRelease {
+                from_degree: b.field("from_degree")?,
+                to_degree: b.field("to_degree")?,
+                passband: b.field("passband")?,
+            });
+        }
+        if let Some(b) = v.get("AmplifierGain") {
+            return Ok(StandardConfig::AmplifierGain { gain_db: b.field("gain_db")? });
+        }
+        Err(json::Error::new("unknown standard-config variant"))
+    }
+}
+
+impl ToJson for ConfigDocument {
+    fn to_json(&self) -> Value {
+        Value::obj([("revision", self.revision.to_json()), ("config", self.config.to_json())])
+    }
+}
+
+impl FromJson for ConfigDocument {
+    fn from_json(v: &Value) -> Result<Self, json::Error> {
+        Ok(ConfigDocument { revision: v.field("revision")?, config: v.field("config")? })
     }
 }
 

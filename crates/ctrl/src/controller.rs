@@ -9,17 +9,22 @@
 //! (§4.3), which is what makes channel inconsistency impossible.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
 
 use flexwan_core::planning::Plan;
 use flexwan_optical::devices::{Mux, Roadm};
 use flexwan_optical::spectrum::SpectrumGrid;
 use flexwan_optical::WssKind;
 use flexwan_topo::graph::{EdgeId, Graph, NodeId};
+use flexwan_util::rng::ChaCha8Rng;
 
 use crate::config::{ConfigDocument, StandardConfig};
 use crate::journal::ConfigJournal;
-use crate::device::{spawn_device, DeviceHandle, Hardware};
+use crate::device::{config_in_effect, spawn_device, DeviceHandle, Hardware};
+use crate::faults::FaultInjector;
 use crate::model::{DeviceDescriptor, DeviceId, DeviceKind, Vendor};
+use crate::netconf::SessionError;
 use crate::transaction::{Transaction, TxError};
 use crate::vendor;
 
@@ -32,6 +37,7 @@ pub struct DevMgr {
     devices: HashMap<DeviceId, DeviceHandle>,
     factory: HashMap<DeviceId, Hardware>,
     next_id: u32,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl DevMgr {
@@ -46,8 +52,21 @@ impl DevMgr {
         let descriptor = self.allocate(vendor, kind, site);
         let id = descriptor.id;
         self.factory.insert(id, hw.clone());
-        self.devices.insert(id, spawn_device(descriptor, hw));
+        let mut handle = spawn_device(descriptor, hw);
+        if let Some(inj) = &self.injector {
+            handle.session.arm(id, inj.clone());
+        }
+        self.devices.insert(id, handle);
         id
+    }
+
+    /// Arms every session (present and future) with a fault injector: all
+    /// requests to the device plane then pass through it.
+    pub fn arm_faults(&mut self, injector: Arc<FaultInjector>) {
+        for (id, handle) in self.devices.iter_mut() {
+            handle.session.arm(*id, injector.clone());
+        }
+        self.injector = Some(injector);
     }
 
     /// Simulates a field replacement: the device at `id` is swapped for a
@@ -58,7 +77,12 @@ impl DevMgr {
         let descriptor = old.descriptor.clone();
         drop(old); // shuts the old device thread down
         let hw = self.factory.get(&id).expect("factory image recorded").clone();
-        self.devices.insert(id, spawn_device(descriptor, hw));
+        let mut handle = spawn_device(descriptor, hw);
+        if let Some(inj) = &self.injector {
+            handle.session.arm(id, inj.clone());
+            inj.device_restarted(id);
+        }
+        self.devices.insert(id, handle);
     }
 
     /// The handle for `id`.
@@ -113,6 +137,85 @@ impl ReconcileReport {
     }
 }
 
+/// Retry policy for device sends: capped exponential backoff with full
+/// jitter. Backoff only spends wall-clock time — it never changes *what*
+/// the controller sends, so seeded chaos runs stay deterministic.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per send, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(16),
+        }
+    }
+}
+
+/// Consecutive failed *sends* (after internal retries) that open a
+/// device's circuit breaker.
+pub const BREAKER_THRESHOLD: u32 = 3;
+
+/// Per-device circuit breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Quarantined: sends fail fast without touching the device.
+    Open,
+    /// Probing: one request is allowed through to test recovery.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+}
+
+impl Default for Breaker {
+    fn default() -> Self {
+        Breaker { state: BreakerState::Closed, consecutive_failures: 0 }
+    }
+}
+
+/// Controller-side resilience counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CtrlStats {
+    /// Sends issued (apply, reconcile, rollback — everything).
+    pub sends: u64,
+    /// Individual retry attempts beyond each send's first attempt.
+    pub retries: u64,
+    /// Rejections resolved by reading state back: the config was already
+    /// in effect (its ack had been lost).
+    pub read_repairs: u64,
+    /// Circuit breakers opened.
+    pub breaker_trips: u64,
+    /// Crashed devices replaced and rolled forward from the journal.
+    pub devices_restarted: u64,
+}
+
+/// Outcome of a [`Controller::converge`] run.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergeReport {
+    /// Convergence passes executed.
+    pub passes: usize,
+    /// Configurations re-issued by reconciliation across all passes.
+    pub repaired: usize,
+    /// Devices replaced and rolled forward from the journal.
+    pub restarted: Vec<DeviceId>,
+    /// Whether the plane reached the audited-clean fixed point.
+    pub converged: bool,
+}
+
 /// The centralized controller.
 pub struct Controller {
     /// Device manager.
@@ -123,6 +226,10 @@ pub struct Controller {
     degree_of: HashMap<(NodeId, EdgeId), u16>,
     revision: u64,
     journal: ConfigJournal,
+    retry: RetryPolicy,
+    breakers: HashMap<DeviceId, Breaker>,
+    backoff_rng: ChaCha8Rng,
+    stats: CtrlStats,
 }
 
 impl Controller {
@@ -163,6 +270,10 @@ impl Controller {
             degree_of,
             revision: 0,
             journal: ConfigJournal::new(),
+            retry: RetryPolicy::default(),
+            breakers: HashMap::new(),
+            backoff_rng: ChaCha8Rng::seed_from_u64(0x0C0FFEE),
+            stats: CtrlStats::default(),
         }
     }
 
@@ -171,22 +282,129 @@ impl Controller {
         &self.journal
     }
 
-    fn send(&mut self, id: DeviceId, cfg: StandardConfig) -> Result<(), (DeviceId, String)> {
-        self.revision += 1;
-        let handle = &self.devmgr.devices[&id];
-        // The controller logs the standard document; the device receives
-        // its native dialect.
-        let _doc = ConfigDocument { revision: self.revision, config: cfg.clone() };
-        let native = vendor::encode(handle.descriptor.vendor, &cfg);
-        let result = handle
-            .session
-            .edit_config(self.revision, native)
-            .map(|_| ())
-            .map_err(|e| (id, e.to_string()));
-        if result.is_ok() {
-            self.journal.record(self.revision, id, cfg);
+    /// Arms the whole device plane with a fault injector (chaos harness).
+    pub fn arm_faults(&mut self, injector: Arc<FaultInjector>) {
+        self.devmgr.arm_faults(injector);
+    }
+
+    /// Replaces the retry policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        assert!(policy.max_attempts >= 1);
+        self.retry = policy;
+    }
+
+    /// Resilience counters.
+    pub fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    /// The circuit-breaker state of `id`.
+    pub fn breaker_state(&self, id: DeviceId) -> BreakerState {
+        self.breakers.get(&id).map_or(BreakerState::Closed, |b| b.state)
+    }
+
+    /// Devices currently quarantined behind an open breaker.
+    pub fn quarantined(&self) -> Vec<DeviceId> {
+        let mut q: Vec<DeviceId> = self
+            .breakers
+            .iter()
+            .filter(|(_, b)| b.state == BreakerState::Open)
+            .map(|(id, _)| *id)
+            .collect();
+        q.sort();
+        q
+    }
+
+    fn breaker_ok(&mut self, id: DeviceId) {
+        let b = self.breakers.entry(id).or_default();
+        b.state = BreakerState::Closed;
+        b.consecutive_failures = 0;
+    }
+
+    /// Records a failed send; returns true if the breaker just opened.
+    fn breaker_fail(&mut self, id: DeviceId) -> bool {
+        let b = self.breakers.entry(id).or_default();
+        b.consecutive_failures += 1;
+        if b.consecutive_failures >= BREAKER_THRESHOLD && b.state != BreakerState::Open {
+            b.state = BreakerState::Open;
+            self.stats.breaker_trips += 1;
+            return true;
         }
-        result
+        false
+    }
+
+    /// Sleeps the jittered exponential backoff before retry `attempt`.
+    fn backoff(&mut self, attempt: u32) {
+        let shift = (attempt - 1).min(10);
+        let exp = self.retry.base_backoff.saturating_mul(1u32 << shift);
+        let capped = exp.min(self.retry.max_backoff);
+        let nanos = capped.as_nanos() as u64;
+        if nanos == 0 {
+            return;
+        }
+        // Full jitter over [nanos/2, nanos]: desynchronizes retry storms.
+        let jittered = nanos / 2 + self.backoff_rng.gen_range(0..nanos / 2 + 1);
+        std::thread::sleep(Duration::from_nanos(jittered));
+    }
+
+    fn send(&mut self, id: DeviceId, cfg: StandardConfig) -> Result<(), (DeviceId, String)> {
+        self.stats.sends += 1;
+        if self.breaker_state(id) == BreakerState::Open {
+            return Err((id, "circuit open: device quarantined".into()));
+        }
+        let mut saw_timeout = false;
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            self.revision += 1;
+            let revision = self.revision;
+            let handle = &self.devmgr.devices[&id];
+            // The controller logs the standard document; the device
+            // receives its native dialect.
+            let _doc = ConfigDocument { revision, config: cfg.clone() };
+            let native = vendor::encode(handle.descriptor.vendor, &cfg);
+            match handle.session.edit_config(revision, native) {
+                Ok(_) => {
+                    self.journal.record(revision, id, cfg);
+                    self.breaker_ok(id);
+                    return Ok(());
+                }
+                Err(SessionError::Rejected(cause)) => {
+                    // The device answered: it is reachable.
+                    self.breaker_ok(id);
+                    if saw_timeout {
+                        // An earlier attempt may have been applied with
+                        // its ack lost; re-sending a non-idempotent config
+                        // (ROADM express) then self-conflicts. Read the
+                        // state back before believing the rejection.
+                        if let Ok(state) = self.devmgr.devices[&id].session.get_state() {
+                            if config_in_effect(&state, &cfg) {
+                                self.stats.read_repairs += 1;
+                                self.journal.record(revision, id, cfg);
+                                return Ok(());
+                            }
+                        }
+                    }
+                    return Err((id, cause));
+                }
+                Err(e @ (SessionError::Unreachable | SessionError::ProtocolViolation)) => {
+                    if matches!(e, SessionError::Unreachable) {
+                        saw_timeout = true;
+                    }
+                    if attempt >= self.retry.max_attempts {
+                        if self.breaker_fail(id) {
+                            return Err((
+                                id,
+                                format!("{e} after {attempt} attempts; circuit opened"),
+                            ));
+                        }
+                        return Err((id, format!("{e} after {attempt} attempts")));
+                    }
+                    self.stats.retries += 1;
+                    self.backoff(attempt);
+                }
+            }
+        }
     }
 
     /// Pushes every wavelength of `plan` to the device plane.
@@ -259,6 +477,12 @@ impl Controller {
         &mut self,
         w: &flexwan_core::Wavelength,
     ) -> Result<usize, TxError> {
+        let tx = self.wavelength_transaction(w);
+        tx.execute(|d, cfg| self.send(d, cfg.clone()).map_err(|(_, e)| e))
+    }
+
+    /// Builds the transactional step list lighting wavelength `w`.
+    fn wavelength_transaction(&mut self, w: &flexwan_core::Wavelength) -> Transaction {
         let mut tx = Transaction::new();
         // 1. Transponders (registered up front; rollback disables them).
         for site in [w.path.source(), w.path.destination()] {
@@ -298,7 +522,7 @@ impl Controller {
                 StandardConfig::RoadmRelease { from_degree: from, to_degree: to, passband: w.channel },
             );
         }
-        tx.execute(|d, cfg| self.send(d, cfg.clone()).map_err(|(_, e)| e))
+        tx
     }
 
     /// Repairs configuration drift: re-audits `plan` against live device
@@ -411,6 +635,96 @@ impl Controller {
             }
         }
         findings
+    }
+
+    /// Re-pushes the journaled entries of `id` with revision strictly
+    /// greater than `after` — rolling a replaced or lagging device forward
+    /// to its journaled state. Returns false if any replay send failed
+    /// (the device stays quarantined for the next pass).
+    fn roll_forward(&mut self, id: DeviceId, after: u64) -> bool {
+        let pending: Vec<(u64, StandardConfig)> = self
+            .journal
+            .history(id)
+            .filter(|e| e.revision > after)
+            .map(|e| (e.revision, e.config.clone()))
+            .collect();
+        let handle = &self.devmgr.devices[&id];
+        let vendor_kind = handle.descriptor.vendor;
+        for (rev, cfg) in pending {
+            let native = vendor::encode(vendor_kind, &cfg);
+            // Replays go through the session directly: the entries are
+            // already journaled, so journaling them again would duplicate
+            // the ledger.
+            if self.devmgr.devices[&id].session.edit_config(rev, native).is_err() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Half-open probe of one quarantined device: if it answers, close the
+    /// breaker (rolling it forward if its revision lags the journal); if
+    /// it does not, assume the thread crashed, replace it with a
+    /// factory-fresh unit and replay its journaled history.
+    fn probe_quarantined(&mut self, id: DeviceId, report: &mut ConvergeReport) {
+        self.breakers.entry(id).or_default().state = BreakerState::HalfOpen;
+        let latest = self.journal.latest(id).map_or(0, |e| e.revision);
+        match self.devmgr.devices[&id].session.get_state() {
+            Ok(state) => {
+                if state.last_revision >= latest || self.roll_forward(id, state.last_revision) {
+                    self.breaker_ok(id);
+                } else {
+                    self.breakers.entry(id).or_default().state = BreakerState::Open;
+                }
+            }
+            Err(_) => {
+                // Dead or still unreachable: restart from the factory
+                // image and roll the whole journaled history forward.
+                self.devmgr.reset_device(id);
+                self.stats.devices_restarted += 1;
+                report.restarted.push(id);
+                if self.roll_forward(id, 0) {
+                    self.breaker_ok(id);
+                } else {
+                    self.breakers.entry(id).or_default().state = BreakerState::Open;
+                }
+            }
+        }
+    }
+
+    /// The self-healing loop: repeatedly probes quarantined devices
+    /// (restarting crashed ones and rolling them forward from the
+    /// journal), reconciles drift against `plan`, and audits — until the
+    /// plane is clean or `max_passes` passes have run.
+    pub fn converge(&mut self, plan: &Plan, max_passes: usize) -> ConvergeReport {
+        let mut report = ConvergeReport::default();
+        for _ in 0..max_passes {
+            report.passes += 1;
+            for id in self.quarantined() {
+                self.probe_quarantined(id, &mut report);
+            }
+            let rec = self.reconcile(plan);
+            report.repaired += rec.repaired;
+            if rec.is_clean() && self.quarantined().is_empty() && self.audit_plan(plan).is_empty()
+            {
+                report.converged = true;
+                return report;
+            }
+        }
+        report
+    }
+
+    /// [`Controller::apply_wavelength_atomic`] with a per-transaction
+    /// budget: at most `budget` apply-steps are attempted before the
+    /// transaction gives up and rolls back (rollback sends are not
+    /// budgeted — partial state must never leak).
+    pub fn apply_wavelength_atomic_with_budget(
+        &mut self,
+        w: &flexwan_core::Wavelength,
+        budget: usize,
+    ) -> Result<usize, TxError> {
+        let tx = self.wavelength_transaction(w);
+        tx.execute_with_budget(budget, |d, cfg| self.send(d, cfg.clone()).map_err(|(_, e)| e))
     }
 }
 

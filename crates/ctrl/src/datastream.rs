@@ -38,7 +38,7 @@ impl TelemetryStore {
     /// Ingests one sample (samples are expected in tick order per fiber).
     pub fn ingest(&mut self, s: TelemetrySample) {
         let v = self.series.entry(s.fiber).or_default();
-        debug_assert!(v.last().map_or(true, |&(t, _)| t <= s.tick), "out-of-order sample");
+        debug_assert!(v.last().is_none_or(|&(t, _)| t <= s.tick), "out-of-order sample");
         v.push((s.tick, s.rx_power_dbm));
         if v.len() > self.window {
             v.remove(0);

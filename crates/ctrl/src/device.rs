@@ -8,8 +8,7 @@
 
 use std::thread::JoinHandle;
 
-use crossbeam::channel::unbounded;
-use serde::{Deserialize, Serialize};
+use flexwan_util::sync::unbounded;
 
 use flexwan_optical::devices::{Mux, Roadm};
 use flexwan_optical::format::TransponderFormat;
@@ -21,7 +20,7 @@ use crate::netconf::{NetconfReply, NetconfRequest, NetconfSession};
 use crate::vendor;
 
 /// The line-side state of a transponder device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransponderState {
     /// Programmed operating point.
     pub format: TransponderFormat,
@@ -32,7 +31,7 @@ pub struct TransponderState {
 }
 
 /// The hardware behind a device thread.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Hardware {
     /// A transponder (unconfigured until the first line-config).
     Transponder(Option<TransponderState>),
@@ -48,7 +47,7 @@ pub enum Hardware {
 }
 
 /// A device's full state snapshot, as returned by get-state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceState {
     /// Identity and placement.
     pub descriptor: DeviceDescriptor,
@@ -160,7 +159,44 @@ pub fn spawn_device(descriptor: DeviceDescriptor, hardware: Hardware) -> DeviceH
             }
         }
     });
-    DeviceHandle { descriptor, session: NetconfSession { req: req_tx, rep: rep_rx }, join: Some(join) }
+    let session = NetconfSession {
+        req: req_tx,
+        rep: rep_rx,
+        device: descriptor.id,
+        injector: None,
+    };
+    DeviceHandle { descriptor, session, join: Some(join) }
+}
+
+/// Whether `state` already reflects `cfg`.
+///
+/// The retry layer needs this to disambiguate "rejected because already
+/// applied": after a reply is lost past the session timeout, the config
+/// may well be in effect, and a blind re-send of a non-idempotent config
+/// (a ROADM express self-conflicts with its own passband) is rejected even
+/// though the intent holds.
+pub fn config_in_effect(state: &DeviceState, cfg: &StandardConfig) -> bool {
+    match (&state.hardware, cfg) {
+        (Hardware::Transponder(Some(t)), StandardConfig::Transponder { format, channel, enabled }) => {
+            t.format == *format && t.channel == *channel && t.enabled == *enabled
+        }
+        (Hardware::Mux(m), StandardConfig::MuxPort { port, passband }) => {
+            m.passband(*port).ok().as_ref() == Some(passband)
+        }
+        (Hardware::Roadm(r), StandardConfig::RoadmExpress { from_degree, to_degree, passband }) => {
+            r.expresses(*from_degree, *to_degree, passband).unwrap_or(false)
+        }
+        (Hardware::Roadm(r), StandardConfig::RoadmRelease { from_degree, to_degree, passband }) => {
+            let released = |d: u16| {
+                r.passbands(d).map(|pbs| !pbs.contains(passband)).unwrap_or(false)
+            };
+            released(*from_degree) && released(*to_degree)
+        }
+        (Hardware::Amplifier { gain_db }, StandardConfig::AmplifierGain { gain_db: g }) => {
+            (gain_db - g).abs() < 1e-9
+        }
+        _ => false,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,493 @@
+//! Deterministic fault injection for the control plane (the chaos harness).
+//!
+//! Production controllers earn their resilience claims against injected
+//! failure, not clean-room tests. [`FaultInjector`] interposes at the
+//! NETCONF session boundary ([`crate::netconf::NetconfSession`]) and can,
+//! per device and per request, drop a request on the floor, delay the
+//! reply past [`crate::netconf::SESSION_TIMEOUT`], reject the first N
+//! edit-configs, crash the device thread outright, or serve stale state —
+//! all driven by a seeded [`ChaCha8Rng`] so every chaos run replays
+//! exactly. Two companion pieces cover the other layers:
+//! [`ClusterFaultSchedule`] scripts heartbeat loss and region partitions
+//! against [`crate::ha::ControllerCluster`], and [`PhysicalFault`] maps
+//! fiber cuts and amplifier failures through the `flexwan-physim` testbed
+//! into the [`FailureScenario`]s the restoration path consumes.
+//!
+//! Faults are *verdicts*, not wall-clock sleeps: a "delayed" reply is
+//! modeled as delivered-then-discarded (the device applies the config, the
+//! controller times out), so chaos tests stay fast and fully
+//! deterministic.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+
+use flexwan_core::restore::FailureScenario;
+use flexwan_physim::testbed::Testbed;
+use flexwan_topo::graph::{EdgeId, Graph};
+use flexwan_util::rng::ChaCha8Rng;
+
+use crate::device::DeviceState;
+use crate::ha::ControllerCluster;
+use crate::model::DeviceId;
+
+/// Fault rates and counters applied to one device's session.
+///
+/// All probabilities are per-request in `[0, 1]`; the default is the
+/// all-zeros plan (no faults).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceFaults {
+    /// Probability an edit-config or get-state request is silently dropped
+    /// before it reaches the device (the controller times out; the config
+    /// is **not** applied).
+    pub drop_prob: f64,
+    /// Probability the device applies an edit-config but its reply is
+    /// delayed past [`crate::netconf::SESSION_TIMEOUT`] and discarded (the
+    /// controller times out; the config **is** applied — the
+    /// applied-but-unacknowledged drift every retry layer must survive).
+    pub delay_reply_prob: f64,
+    /// Reject this many edit-configs outright before behaving normally
+    /// (models a device booting, or an operator lock).
+    pub reject_first: u32,
+    /// Probability a get-state reply is served from a stale snapshot of an
+    /// earlier state read instead of the live device.
+    pub stale_state_prob: f64,
+    /// Crash the device thread on the edit-config attempt after this many
+    /// attempts have been observed (one-shot; the thread exits and every
+    /// later request fails until the controller restarts the device).
+    pub crash_after: Option<u32>,
+}
+
+impl DeviceFaults {
+    /// Whether this is the all-zeros (fault-free) plan.
+    pub fn is_none(&self) -> bool {
+        *self == DeviceFaults::default()
+    }
+}
+
+/// A seeded, per-device fault plan.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// RNG seed: the same plan + the same request sequence replays the
+    /// same faults.
+    pub seed: u64,
+    /// Faults applied to devices without a per-device override.
+    pub default: DeviceFaults,
+    /// Per-device overrides.
+    pub per_device: HashMap<DeviceId, DeviceFaults>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults on any device.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan applying `faults` to every device.
+    pub fn uniform(seed: u64, faults: DeviceFaults) -> Self {
+        FaultPlan { seed, default: faults, per_device: HashMap::new() }
+    }
+
+    /// Builder: override the faults for one device.
+    pub fn device(mut self, id: DeviceId, faults: DeviceFaults) -> Self {
+        self.per_device.insert(id, faults);
+        self
+    }
+
+    /// The faults in effect for `id`.
+    pub fn faults_for(&self, id: DeviceId) -> &DeviceFaults {
+        self.per_device.get(&id).unwrap_or(&self.default)
+    }
+}
+
+/// What the injector decided about one edit-config request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EditVerdict {
+    /// Pass the request through untouched.
+    Deliver,
+    /// Drop the request: the device never sees it.
+    Drop,
+    /// Reject the request without delivering it.
+    Reject,
+    /// Deliver the request but discard the (late) reply.
+    DelayReply,
+    /// Crash the device thread.
+    Crash,
+}
+
+/// What the injector decided about one get-state request.
+#[derive(Debug, Clone)]
+pub enum StateVerdict {
+    /// Pass the request through untouched.
+    Deliver,
+    /// Drop the request: the controller times out.
+    Drop,
+    /// Serve this stale snapshot instead of reading the device.
+    Stale(Box<DeviceState>),
+}
+
+/// Counters of every fault the injector actually fired.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultStats {
+    /// Requests delivered untouched.
+    pub delivered: u64,
+    /// Requests dropped.
+    pub drops: u64,
+    /// Replies delayed past the session timeout (config applied).
+    pub delayed_replies: u64,
+    /// Edit-configs rejected by injection.
+    pub rejects: u64,
+    /// Device threads crashed.
+    pub crashes: u64,
+    /// Stale state snapshots served.
+    pub stale_reads: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    plan: FaultPlan,
+    rng: ChaCha8Rng,
+    /// Edit-config attempts seen per device (drives `crash_after`).
+    attempts: HashMap<DeviceId, u32>,
+    /// Injected rejections issued per device (drives `reject_first`).
+    rejected: HashMap<DeviceId, u32>,
+    /// Devices whose thread we crashed and that have not been restarted.
+    crashed_pending: HashSet<DeviceId>,
+    /// Devices that already consumed their one-shot crash.
+    crash_done: HashSet<DeviceId>,
+    /// Last state snapshot seen per device (source of stale reads).
+    snapshots: HashMap<DeviceId, DeviceState>,
+    stats: FaultStats,
+}
+
+/// The seeded fault injector shared by every armed session.
+///
+/// Thread-safe (sessions live on the controller thread, but handles are
+/// cloneable); all decisions come from one seeded RNG consumed in request
+/// order, so a single-threaded controller replays bit-identically.
+#[derive(Debug)]
+pub struct FaultInjector {
+    inner: Mutex<Inner>,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(plan.seed);
+        FaultInjector {
+            inner: Mutex::new(Inner {
+                plan,
+                rng,
+                attempts: HashMap::new(),
+                rejected: HashMap::new(),
+                crashed_pending: HashSet::new(),
+                crash_done: HashSet::new(),
+                snapshots: HashMap::new(),
+                stats: FaultStats::default(),
+            }),
+        }
+    }
+
+    /// Decides the fate of one edit-config request to `dev`.
+    pub fn on_edit_config(&self, dev: DeviceId) -> EditVerdict {
+        let mut g = self.inner.lock().expect("injector poisoned");
+        if g.crashed_pending.contains(&dev) {
+            // The thread is already dead; let the send fail naturally.
+            return EditVerdict::Deliver;
+        }
+        let faults = g.plan.faults_for(dev).clone();
+        let attempt = {
+            let a = g.attempts.entry(dev).or_insert(0);
+            *a += 1;
+            *a
+        };
+        if let Some(n) = faults.crash_after {
+            if attempt > n && !g.crash_done.contains(&dev) {
+                g.crashed_pending.insert(dev);
+                g.crash_done.insert(dev);
+                g.stats.crashes += 1;
+                return EditVerdict::Crash;
+            }
+        }
+        if g.rejected.get(&dev).copied().unwrap_or(0) < faults.reject_first {
+            *g.rejected.entry(dev).or_insert(0) += 1;
+            g.stats.rejects += 1;
+            return EditVerdict::Reject;
+        }
+        if faults.drop_prob > 0.0 && g.rng.gen_f64() < faults.drop_prob {
+            g.stats.drops += 1;
+            return EditVerdict::Drop;
+        }
+        if faults.delay_reply_prob > 0.0 && g.rng.gen_f64() < faults.delay_reply_prob {
+            g.stats.delayed_replies += 1;
+            return EditVerdict::DelayReply;
+        }
+        g.stats.delivered += 1;
+        EditVerdict::Deliver
+    }
+
+    /// Decides the fate of one get-state request to `dev`.
+    pub fn on_get_state(&self, dev: DeviceId) -> StateVerdict {
+        let mut g = self.inner.lock().expect("injector poisoned");
+        if g.crashed_pending.contains(&dev) {
+            return StateVerdict::Deliver;
+        }
+        let faults = g.plan.faults_for(dev).clone();
+        if faults.drop_prob > 0.0 && g.rng.gen_f64() < faults.drop_prob {
+            g.stats.drops += 1;
+            return StateVerdict::Drop;
+        }
+        if faults.stale_state_prob > 0.0 {
+            if let Some(snap) = g.snapshots.get(&dev).cloned() {
+                if g.rng.gen_f64() < faults.stale_state_prob {
+                    g.stats.stale_reads += 1;
+                    return StateVerdict::Stale(Box::new(snap));
+                }
+            }
+        }
+        g.stats.delivered += 1;
+        StateVerdict::Deliver
+    }
+
+    /// Records a fresh state read (the pool stale reads are served from).
+    pub fn record_state(&self, dev: DeviceId, state: DeviceState) {
+        let mut g = self.inner.lock().expect("injector poisoned");
+        g.snapshots.insert(dev, state);
+    }
+
+    /// Notes that the controller restarted `dev` (a crashed thread was
+    /// replaced); the crash stays consumed — it is one-shot.
+    pub fn device_restarted(&self, dev: DeviceId) {
+        let mut g = self.inner.lock().expect("injector poisoned");
+        g.crashed_pending.remove(&dev);
+    }
+
+    /// Lifts every fault: the plan becomes fault-free (stats are kept).
+    /// Models the "faults clear" phase of a chaos scenario so permanent
+    /// faults (`drop_prob = 1.0`, …) can end.
+    pub fn lift(&self) {
+        let mut g = self.inner.lock().expect("injector poisoned");
+        g.plan.default = DeviceFaults::default();
+        g.plan.per_device.clear();
+    }
+
+    /// Counters of the faults fired so far.
+    pub fn stats(&self) -> FaultStats {
+        self.inner.lock().expect("injector poisoned").stats.clone()
+    }
+}
+
+// ---- Cluster-level faults (heartbeat loss, region partition) ----
+
+#[derive(Debug, Clone)]
+enum ClusterFault {
+    /// One replica misses heartbeats in rounds `[from, until)`.
+    Silence { replica: usize, from: usize, until: usize },
+    /// Every replica in a region is partitioned away in rounds
+    /// `[from, until)`.
+    Partition { region: String, from: usize, until: usize },
+}
+
+/// A scripted schedule of cluster-level faults, indexed by heartbeat
+/// round. Drive it with [`ControllerCluster::heartbeat_round_faulted`].
+#[derive(Debug, Clone, Default)]
+pub struct ClusterFaultSchedule {
+    entries: Vec<ClusterFault>,
+}
+
+impl ClusterFaultSchedule {
+    /// An empty (fault-free) schedule.
+    pub fn new() -> Self {
+        ClusterFaultSchedule::default()
+    }
+
+    /// Builder: replica `replica` loses heartbeats in rounds
+    /// `[from, until)`.
+    pub fn silence(mut self, replica: usize, from: usize, until: usize) -> Self {
+        self.entries.push(ClusterFault::Silence { replica, from, until });
+        self
+    }
+
+    /// Builder: region `region` is partitioned away in rounds
+    /// `[from, until)`.
+    pub fn partition(mut self, region: &str, from: usize, until: usize) -> Self {
+        self.entries.push(ClusterFault::Partition { region: region.to_string(), from, until });
+        self
+    }
+
+    /// Whether `replica` (in `region`) answers the heartbeat of `round`.
+    pub fn responds(&self, round: usize, replica: usize, region: &str) -> bool {
+        !self.entries.iter().any(|f| match f {
+            ClusterFault::Silence { replica: r, from, until } => {
+                *r == replica && (*from..*until).contains(&round)
+            }
+            ClusterFault::Partition { region: reg, from, until } => {
+                reg == region && (*from..*until).contains(&round)
+            }
+        })
+    }
+
+    /// The replicas of `cluster` answering the heartbeat of `round`.
+    pub fn responding(&self, round: usize, cluster: &ControllerCluster) -> Vec<usize> {
+        cluster
+            .replicas()
+            .iter()
+            .filter(|r| self.responds(round, r.id, &r.region))
+            .map(|r| r.id)
+            .collect()
+    }
+}
+
+// ---- Physical-plant faults (fiber cut, amplifier failure) ----
+
+/// A physical failure in the optical plant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhysicalFault {
+    /// The fiber is severed (backhoe).
+    FiberCut(EdgeId),
+    /// An inline amplifier on the fiber fails: the light must cross the
+    /// whole fiber on launch power alone.
+    AmplifierFailure(EdgeId),
+}
+
+impl PhysicalFault {
+    /// The fiber the fault sits on.
+    pub fn fiber(&self) -> EdgeId {
+        match self {
+            PhysicalFault::FiberCut(e) | PhysicalFault::AmplifierFailure(e) => *e,
+        }
+    }
+}
+
+/// Maps physical faults into the [`FailureScenario`] the restoration path
+/// consumes. A cut always takes the fiber down; an amplifier failure takes
+/// it down only if the fiber is longer than one amplifier span of
+/// `testbed` (a single-span fiber has no inline EDFA to lose, so the
+/// signal survives).
+pub fn physical_scenario(
+    id: usize,
+    faults: &[PhysicalFault],
+    g: &Graph,
+    testbed: &Testbed,
+) -> FailureScenario {
+    let mut cuts: Vec<EdgeId> = Vec::new();
+    for f in faults {
+        let down = match f {
+            PhysicalFault::FiberCut(_) => true,
+            PhysicalFault::AmplifierFailure(e) => {
+                let length_km = g
+                    .edges()
+                    .iter()
+                    .find(|ed| ed.id == *e)
+                    .map(|ed| f64::from(ed.length_km))
+                    .unwrap_or(f64::INFINITY);
+                length_km > testbed.span_km
+            }
+        };
+        if down {
+            cuts.push(f.fiber());
+        }
+    }
+    cuts.sort();
+    cuts.dedup();
+    FailureScenario { id, cuts, probability: 1.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_always_delivers() {
+        let inj = FaultInjector::new(FaultPlan::none());
+        for _ in 0..100 {
+            assert_eq!(inj.on_edit_config(DeviceId(0)), EditVerdict::Deliver);
+            assert!(matches!(inj.on_get_state(DeviceId(0)), StateVerdict::Deliver));
+        }
+        let s = inj.stats();
+        assert_eq!(s.drops + s.delayed_replies + s.rejects + s.crashes + s.stale_reads, 0);
+    }
+
+    #[test]
+    fn same_seed_same_verdicts() {
+        let plan = FaultPlan::uniform(
+            7,
+            DeviceFaults { drop_prob: 0.4, delay_reply_prob: 0.3, ..Default::default() },
+        );
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        for i in 0..200 {
+            let dev = DeviceId(i % 5);
+            assert_eq!(a.on_edit_config(dev), b.on_edit_config(dev));
+        }
+    }
+
+    #[test]
+    fn reject_first_is_per_device_and_finite() {
+        let plan =
+            FaultPlan::uniform(1, DeviceFaults { reject_first: 2, ..Default::default() });
+        let inj = FaultInjector::new(plan);
+        for dev in [DeviceId(0), DeviceId(1)] {
+            assert_eq!(inj.on_edit_config(dev), EditVerdict::Reject);
+            assert_eq!(inj.on_edit_config(dev), EditVerdict::Reject);
+            assert_eq!(inj.on_edit_config(dev), EditVerdict::Deliver);
+        }
+        assert_eq!(inj.stats().rejects, 4);
+    }
+
+    #[test]
+    fn crash_fires_once_then_passes_through() {
+        let plan = FaultPlan::none()
+            .device(DeviceId(3), DeviceFaults { crash_after: Some(1), ..Default::default() });
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.on_edit_config(DeviceId(3)), EditVerdict::Deliver);
+        assert_eq!(inj.on_edit_config(DeviceId(3)), EditVerdict::Crash);
+        // Dead thread: verdicts pass through until the restart is noted…
+        assert_eq!(inj.on_edit_config(DeviceId(3)), EditVerdict::Deliver);
+        inj.device_restarted(DeviceId(3));
+        // …and the crash never re-fires after the restart.
+        for _ in 0..10 {
+            assert_eq!(inj.on_edit_config(DeviceId(3)), EditVerdict::Deliver);
+        }
+        assert_eq!(inj.stats().crashes, 1);
+    }
+
+    #[test]
+    fn lift_clears_all_faults() {
+        let plan = FaultPlan::uniform(2, DeviceFaults { drop_prob: 1.0, ..Default::default() });
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.on_edit_config(DeviceId(0)), EditVerdict::Drop);
+        inj.lift();
+        assert_eq!(inj.on_edit_config(DeviceId(0)), EditVerdict::Deliver);
+        assert_eq!(inj.stats().drops, 1);
+    }
+
+    #[test]
+    fn cluster_schedule_scripts_silence_and_partitions() {
+        let sched = ClusterFaultSchedule::new().silence(1, 2, 5).partition("west", 4, 6);
+        assert!(sched.responds(0, 1, "east"));
+        assert!(!sched.responds(2, 1, "east"));
+        assert!(!sched.responds(4, 0, "west"));
+        assert!(sched.responds(6, 0, "west"));
+    }
+
+    #[test]
+    fn amplifier_failure_spares_single_span_fiber() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let short = g.add_edge(a, b, 60); // one span: no inline EDFA
+        let long = g.add_edge(b, c, 800); // many spans
+        let tb = Testbed::default(); // 80 km spans
+        let s = physical_scenario(
+            0,
+            &[PhysicalFault::AmplifierFailure(short), PhysicalFault::AmplifierFailure(long)],
+            &g,
+            &tb,
+        );
+        assert!(!s.is_cut(short), "single-span fiber survives an amp failure");
+        assert!(s.is_cut(long));
+        let s2 = physical_scenario(1, &[PhysicalFault::FiberCut(short)], &g, &tb);
+        assert!(s2.is_cut(short), "a cut always takes the fiber down");
+    }
+}

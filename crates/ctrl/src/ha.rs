@@ -114,6 +114,18 @@ impl ControllerCluster {
         }
     }
 
+    /// Runs the heartbeat of `round` under a scripted fault schedule
+    /// ([`crate::faults::ClusterFaultSchedule`]): replicas silenced or
+    /// partitioned in that round simply fail to respond.
+    pub fn heartbeat_round_faulted(
+        &mut self,
+        round: usize,
+        faults: &crate::faults::ClusterFaultSchedule,
+    ) {
+        let responding = faults.responding(round, self);
+        self.heartbeat_round(&responding);
+    }
+
     /// The replicas (for inspection).
     pub fn replicas(&self) -> &[Replica] {
         &self.replicas

@@ -175,9 +175,11 @@ mod tests {
     use flexwan_optical::spectrum::PixelWidth;
     use flexwan_topo::graph::Graph;
 
+    type CrossingWorld = (Graph, Vec<(Path, PixelWidth, Vendor)>, HashMap<NodeId, Vendor>);
+
     /// Two paths crossing a shared middle fiber, provisioned by different
     /// vendors (Figure 5(b)'s setup).
-    fn crossing() -> (Graph, Vec<(Path, PixelWidth, Vendor)>, HashMap<NodeId, Vendor>) {
+    fn crossing() -> CrossingWorld {
         let mut g = Graph::new();
         let a = g.add_node("a");
         let b = g.add_node("b");

@@ -7,13 +7,13 @@
 //! and gives [`crate::controller::Controller::config_at`]-style rollback
 //! a source of truth.
 
-use serde::{Deserialize, Serialize};
 
 use crate::config::StandardConfig;
 use crate::model::DeviceId;
+use flexwan_util::json::{self, FromJson, ToJson, Value};
 
 /// One acknowledged configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JournalEntry {
     /// Controller-wide revision (monotonic).
     pub revision: u64,
@@ -24,7 +24,7 @@ pub struct JournalEntry {
 }
 
 /// Append-only ledger of acknowledged configurations.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ConfigJournal {
     entries: Vec<JournalEntry>,
 }
@@ -39,7 +39,7 @@ impl ConfigJournal {
     /// increasing (the controller stamps them).
     pub fn record(&mut self, revision: u64, device: DeviceId, config: StandardConfig) {
         debug_assert!(
-            self.entries.last().map_or(true, |e| e.revision < revision),
+            self.entries.last().is_none_or(|e| e.revision < revision),
             "journal revisions must be strictly increasing"
         );
         self.entries.push(JournalEntry { revision, device, config });
@@ -91,6 +91,40 @@ impl ConfigJournal {
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+// ---- JSON wire encoding ----
+
+impl ToJson for JournalEntry {
+    fn to_json(&self) -> Value {
+        Value::obj([
+            ("revision", self.revision.to_json()),
+            ("device", self.device.to_json()),
+            ("config", self.config.to_json()),
+        ])
+    }
+}
+
+impl FromJson for JournalEntry {
+    fn from_json(v: &Value) -> Result<Self, json::Error> {
+        Ok(JournalEntry {
+            revision: v.field("revision")?,
+            device: v.field("device")?,
+            config: v.field("config")?,
+        })
+    }
+}
+
+impl ToJson for ConfigJournal {
+    fn to_json(&self) -> Value {
+        Value::obj([("entries", self.entries.to_json())])
+    }
+}
+
+impl FromJson for ConfigJournal {
+    fn from_json(v: &Value) -> Result<Self, json::Error> {
+        Ok(ConfigJournal { entries: v.field("entries")? })
     }
 }
 
@@ -146,8 +180,8 @@ mod tests {
     fn journal_serializes() {
         let mut j = ConfigJournal::new();
         j.record(1, DeviceId(3), cfg(9));
-        let s = serde_json::to_string(&j).unwrap();
-        let back: ConfigJournal = serde_json::from_str(&s).unwrap();
+        let s = json::to_string(&j);
+        let back: ConfigJournal = json::from_str(&s).unwrap();
         assert_eq!(back.entries(), j.entries());
     }
 }

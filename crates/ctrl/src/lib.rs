@@ -18,7 +18,9 @@
 //! * [`transaction`] — atomic multi-device configuration with rollback;
 //! * [`recovery`] — zero-touch misconnection recovery and the OLS
 //!   evolution cost model (§9);
-//! * [`ha`] — geo-replicated controller failover (§4.4 fault tolerance).
+//! * [`ha`] — geo-replicated controller failover (§4.4 fault tolerance);
+//! * [`faults`] — the deterministic fault-injection harness (session,
+//!   cluster, and physical-plant faults) driving the chaos tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@ pub mod config;
 pub mod controller;
 pub mod datastream;
 pub mod device;
+pub mod faults;
 pub mod ha;
 pub mod issues;
 pub mod journal;
@@ -38,9 +41,15 @@ pub mod transaction;
 pub mod vendor;
 
 pub use config::{ConfigDocument, StandardConfig};
-pub use controller::{ApplyReport, Controller, DevMgr};
+pub use controller::{
+    ApplyReport, BreakerState, Controller, ConvergeReport, CtrlStats, DevMgr, RetryPolicy,
+};
 pub use datastream::{FiberCutDetector, TelemetrySim, TelemetryStore};
-pub use device::{spawn_device, DeviceHandle, DeviceState, Hardware};
+pub use device::{config_in_effect, spawn_device, DeviceHandle, DeviceState, Hardware};
+pub use faults::{
+    physical_scenario, ClusterFaultSchedule, DeviceFaults, FaultInjector, FaultPlan, FaultStats,
+    PhysicalFault,
+};
 pub use ha::{ControllerCluster, Replica};
 pub use issues::{find_conflicts, find_inconsistencies, SpectrumIssue};
 pub use journal::{ConfigJournal, JournalEntry};

@@ -12,18 +12,17 @@
 
 use std::net::Ipv4Addr;
 
-use serde::{Deserialize, Serialize};
 
 use flexwan_topo::graph::NodeId;
 
 /// Controller-wide device identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(pub u32);
 
 /// Equipment vendor. Vendor diversity is deliberate in production (§9:
 /// "essential to prevent monopolies and mitigate concurrent optical
 /// failures").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Vendor {
     /// Vendor A: configures spectrum in GHz offsets.
     VendorA,
@@ -39,7 +38,7 @@ impl Vendor {
 }
 
 /// Device category in the optical layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// An optical transponder (SVT/BVT/fixed).
     Transponder,
@@ -53,7 +52,7 @@ pub enum DeviceKind {
 
 /// A logic component inside a device, per the standard model (§4.2's
 /// transponder internals, §4.2's OLS internals).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LogicComponent {
     /// Forward-error-correction module (adjustable overhead in the SVT).
     FecModule,
@@ -73,7 +72,7 @@ pub enum LogicComponent {
 
 /// The standard model of one device kind: its logic components in signal
 /// order, i.e. the workflow mapping of §4.3.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StandardDeviceModel {
     /// The device kind modeled.
     pub kind: DeviceKind,
@@ -104,7 +103,7 @@ impl StandardDeviceModel {
 /// A device registered with the controller: identity, vendor, kind, its
 /// management IP (the controller "uses this IP address to locate the
 /// optical device", §4.3) and the ROADM site it sits at.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeviceDescriptor {
     /// Controller-wide identifier.
     pub id: DeviceId,
@@ -125,6 +124,23 @@ impl DeviceDescriptor {
     pub fn mgmt_ip_for(id: DeviceId) -> Ipv4Addr {
         let n = id.0;
         Ipv4Addr::new(10, (n >> 16) as u8, (n >> 8) as u8, n as u8)
+    }
+}
+
+// ---- JSON wire encoding ----
+
+use flexwan_util::json::{self, FromJson, ToJson, Value};
+
+impl ToJson for DeviceId {
+    fn to_json(&self) -> Value {
+        // Newtype struct: encodes as the bare inner number.
+        self.0.to_json()
+    }
+}
+
+impl FromJson for DeviceId {
+    fn from_json(v: &Value) -> Result<Self, json::Error> {
+        Ok(DeviceId(u32::from_json(v)?))
     }
 }
 

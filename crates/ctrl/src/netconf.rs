@@ -5,13 +5,21 @@
 //! vendor-*native* document — translation to the standard model happens at
 //! the controller edge ([`crate::vendor`]), so a device only ever sees its
 //! own dialect, exactly as in a real multi-vendor backbone.
+//!
+//! A session may be *armed* with a [`FaultInjector`]
+//! ([`crate::faults`]): every request then passes through the injector,
+//! which can drop it, reject it, discard the reply, serve stale state, or
+//! crash the device thread — the chaos harness's interposition point.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use serde_json::Value;
+use flexwan_util::json::Value;
+use flexwan_util::sync::{Receiver, RecvTimeoutError, Sender};
 
 use crate::device::DeviceState;
+use crate::faults::{EditVerdict, FaultInjector, StateVerdict};
+use crate::model::DeviceId;
 
 /// Default session timeout. Devices are in-process; anything slower than
 /// this is a wedged device thread.
@@ -80,9 +88,18 @@ impl std::error::Error for SessionError {}
 pub struct NetconfSession {
     pub(crate) req: Sender<NetconfRequest>,
     pub(crate) rep: Receiver<NetconfReply>,
+    pub(crate) device: DeviceId,
+    pub(crate) injector: Option<Arc<FaultInjector>>,
 }
 
 impl NetconfSession {
+    /// Arms the session with a fault injector; every subsequent request
+    /// consults it.
+    pub(crate) fn arm(&mut self, device: DeviceId, injector: Arc<FaultInjector>) {
+        self.device = device;
+        self.injector = Some(injector);
+    }
+
     fn recv(&self) -> Result<NetconfReply, SessionError> {
         match self.rep.recv_timeout(SESSION_TIMEOUT) {
             Ok(r) => Ok(r),
@@ -95,6 +112,31 @@ impl NetconfSession {
     /// Sends a native configuration document; returns the acknowledged
     /// revision.
     pub fn edit_config(&self, revision: u64, native: Value) -> Result<u64, SessionError> {
+        if let Some(inj) = &self.injector {
+            match inj.on_edit_config(self.device) {
+                EditVerdict::Deliver => {}
+                EditVerdict::Drop => return Err(SessionError::Unreachable),
+                EditVerdict::Reject => {
+                    return Err(SessionError::Rejected(
+                        "injected fault: edit-config rejected".into(),
+                    ))
+                }
+                EditVerdict::DelayReply => {
+                    // The device applies the config, but its reply lands
+                    // after SESSION_TIMEOUT: deliver, then discard the
+                    // (late) reply so it cannot poison the next exchange.
+                    self.req
+                        .send(NetconfRequest::EditConfig { revision, native })
+                        .map_err(|_| SessionError::Unreachable)?;
+                    let _ = self.rep.recv_timeout(SESSION_TIMEOUT);
+                    return Err(SessionError::Unreachable);
+                }
+                EditVerdict::Crash => {
+                    let _ = self.req.send(NetconfRequest::Shutdown);
+                    return Err(SessionError::Unreachable);
+                }
+            }
+        }
         self.req
             .send(NetconfRequest::EditConfig { revision, native })
             .map_err(|_| SessionError::Unreachable)?;
@@ -107,9 +149,21 @@ impl NetconfSession {
 
     /// Reads the device state.
     pub fn get_state(&self) -> Result<DeviceState, SessionError> {
+        if let Some(inj) = &self.injector {
+            match inj.on_get_state(self.device) {
+                StateVerdict::Deliver => {}
+                StateVerdict::Drop => return Err(SessionError::Unreachable),
+                StateVerdict::Stale(s) => return Ok(*s),
+            }
+        }
         self.req.send(NetconfRequest::GetState).map_err(|_| SessionError::Unreachable)?;
         match self.recv()? {
-            NetconfReply::State(s) => Ok(*s),
+            NetconfReply::State(s) => {
+                if let Some(inj) = &self.injector {
+                    inj.record_state(self.device, (*s).clone());
+                }
+                Ok(*s)
+            }
             NetconfReply::Ok { .. } | NetconfReply::Rejected { .. } => {
                 Err(SessionError::ProtocolViolation)
             }

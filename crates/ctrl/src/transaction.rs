@@ -77,13 +77,30 @@ impl Transaction {
 
     /// Executes the steps in order through `send`; on the first rejection,
     /// rolls the applied prefix back in reverse order.
-    pub fn execute<F>(self, mut send: F) -> Result<usize, TxError>
+    pub fn execute<F>(self, send: F) -> Result<usize, TxError>
+    where
+        F: FnMut(DeviceId, &StandardConfig) -> Result<(), String>,
+    {
+        self.execute_with_budget(usize::MAX, send)
+    }
+
+    /// [`Transaction::execute`] with a deadline budget: at most `budget`
+    /// apply-steps are attempted. A transaction that runs out of budget
+    /// mid-apply fails and rolls back its applied prefix — rollback sends
+    /// are **not** budgeted, because leaking partial state is worse than
+    /// overrunning the deadline.
+    pub fn execute_with_budget<F>(self, budget: usize, mut send: F) -> Result<usize, TxError>
     where
         F: FnMut(DeviceId, &StandardConfig) -> Result<(), String>,
     {
         let mut applied: Vec<&Step> = Vec::with_capacity(self.steps.len());
         for step in &self.steps {
-            match send(step.device, &step.apply) {
+            let result = if applied.len() >= budget {
+                Err("transaction deadline budget exhausted".to_string())
+            } else {
+                send(step.device, &step.apply)
+            };
+            match result {
                 Ok(()) => applied.push(step),
                 Err(cause) => {
                     let mut rollback_failures = Vec::new();
@@ -191,6 +208,24 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.rollback_failures.len(), 1);
         assert_eq!(err.rollback_failures[0].0, DeviceId(0));
+    }
+
+    #[test]
+    fn budget_exhaustion_rolls_back_prefix() {
+        let mut plane = FakePlane { state: HashMap::new(), reject: DeviceId(99) };
+        let mut tx = Transaction::new();
+        for i in 0..4 {
+            tx.step(DeviceId(i), port_cfg(i as u16, true), port_cfg(i as u16, false));
+        }
+        let err = tx.execute_with_budget(2, |d, c| plane.send(d, c)).unwrap_err();
+        assert_eq!(err.failed_device, DeviceId(2));
+        assert!(err.cause.contains("budget"), "{}", err.cause);
+        assert_eq!(err.rolled_back, 2);
+        assert!(err.rollback_failures.is_empty());
+        // The applied prefix ended on its undo configs.
+        assert_eq!(plane.state[&DeviceId(0)], port_cfg(0, false));
+        assert_eq!(plane.state[&DeviceId(1)], port_cfg(1, false));
+        assert!(!plane.state.contains_key(&DeviceId(3)));
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! deliberately lossless: `decode(encode(c)) == c` for every standard
 //! config, proven by round-trip and property tests.
 
-use serde_json::{json, Value};
+use flexwan_util::json;
+use flexwan_util::json::Value;
 
 use flexwan_optical::spectrum::{PixelRange, PixelWidth, PIXEL_GHZ};
 
@@ -237,7 +238,7 @@ mod tests {
         let bad = json!({
             "op": "filter-port",
             "port": 1,
-            "passband": { "low_ghz": 0.0, "high_ghz": 55.0 },
+            "passband": json!({ "low_ghz": 0.0, "high_ghz": 55.0 }),
         });
         assert!(decode(Vendor::VendorA, &bad).is_err());
     }

@@ -8,13 +8,12 @@
 //! while the LCoS pixel-wise WSS realizes any contiguous pixel run — this is
 //! what lets the OLS passband follow the SVT's variable channel spacing.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::OpticalError;
 use crate::spectrum::{PixelRange, PixelWidth, SpectrumGrid};
 
 /// The wavelength-selective switch technology of a MUX/ROADM (§4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WssKind {
     /// Legacy fixed-grid WSS: every passband must start on a multiple of
     /// the grid spacing and be exactly one grid slot wide.
@@ -33,7 +32,7 @@ impl WssKind {
             WssKind::PixelWise => Ok(()),
             WssKind::FixedGrid { spacing } => {
                 let g = u32::from(spacing.pixels());
-                if range.start % g != 0 || range.width != spacing {
+                if !range.start.is_multiple_of(g) || range.width != spacing {
                     Err(OpticalError::OffGridPassband {
                         range: *range,
                         grid_pixels: spacing.pixels(),
@@ -48,7 +47,7 @@ impl WssKind {
 
 /// One filter port of a MUX: passes exactly one configured passband (or
 /// nothing, when unconfigured).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FilterPort {
     /// Port index on the device faceplate.
     pub port: u16,
@@ -61,7 +60,7 @@ pub struct FilterPort {
 /// Combines the channels entering its filter ports onto the line fiber; each
 /// port's passband must match the spectrum of the wavelength connected to it
 /// or the signal is clipped (*channel inconsistency*, Figure 5(a)).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mux {
     /// WSS technology of the filter stage.
     pub wss: WssKind,
@@ -131,7 +130,7 @@ impl Mux {
 ///
 /// Each degree holds a set of express passbands; a wavelength routed from
 /// degree *i* to degree *j* needs a matching passband on both.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Roadm {
     /// WSS technology of every degree.
     pub wss: WssKind,
@@ -209,7 +208,7 @@ impl Roadm {
 }
 
 /// An erbium-doped fiber amplifier placed every 50–100 km span (§6).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Amplifier {
     /// Gain in dB (compensates the preceding span's attenuation).
     pub gain_db: f64,

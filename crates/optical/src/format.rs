@@ -7,14 +7,13 @@
 //! adjustable internal components realize it: FEC overhead, DSP baud rate,
 //! and modulation format.
 
-use serde::{Deserialize, Serialize};
 
 use crate::modulation::Modulation;
 use crate::spectrum::PixelWidth;
 
 /// FEC overhead as a percentage of redundant data added to the signal
 /// (§4.2 names 15 % and 27 % as the SVT's selectable ratios).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FecOverhead {
     percent: u8,
 }
@@ -43,7 +42,7 @@ impl FecOverhead {
 }
 
 /// One operating point of a transponder.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransponderFormat {
     /// Net (information) data rate of the wavelength, Gbps.
     pub data_rate_gbps: u32,
@@ -134,6 +133,52 @@ impl std::fmt::Display for TransponderFormat {
             self.fec.percent(),
             self.reach_km
         )
+    }
+}
+
+// ---- JSON wire encoding (same shapes the former serde derives produced) ----
+
+use flexwan_util::json::{self, FromJson, ToJson, Value};
+
+impl ToJson for FecOverhead {
+    fn to_json(&self) -> Value {
+        Value::obj([("percent", self.percent.to_json())])
+    }
+}
+
+impl FromJson for FecOverhead {
+    fn from_json(v: &Value) -> Result<Self, json::Error> {
+        let percent: u8 = v.field("percent")?;
+        if percent >= 100 {
+            return Err(json::Error::new("FEC overhead out of range"));
+        }
+        Ok(FecOverhead { percent })
+    }
+}
+
+impl ToJson for TransponderFormat {
+    fn to_json(&self) -> Value {
+        Value::obj([
+            ("data_rate_gbps", self.data_rate_gbps.to_json()),
+            ("spacing", self.spacing.to_json()),
+            ("reach_km", self.reach_km.to_json()),
+            ("modulation", self.modulation.to_json()),
+            ("baud_gbd", self.baud_gbd.to_json()),
+            ("fec", self.fec.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TransponderFormat {
+    fn from_json(v: &Value) -> Result<Self, json::Error> {
+        Ok(TransponderFormat {
+            data_rate_gbps: v.field("data_rate_gbps")?,
+            spacing: v.field("spacing")?,
+            reach_km: v.field("reach_km")?,
+            modulation: v.field("modulation")?,
+            baud_gbd: v.field("baud_gbd")?,
+            fec: v.field("fec")?,
+        })
     }
 }
 

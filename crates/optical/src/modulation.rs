@@ -7,7 +7,6 @@
 //! higher rate at fixed spacing needs exponentially more SNR, which is why
 //! FlexWAN instead widens the spacing (the SVT of §4.2).
 
-use serde::{Deserialize, Serialize};
 
 /// A modulation format of the DSP engine inside a transponder.
 ///
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// the SVT uses for finer-granularity data rates: it realizes a fractional
 /// number of information bits per symbol on a QAM template. We store the
 /// information rate in tenths of a bit per symbol (per polarization).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Modulation {
     /// Binary phase-shift keying: 1 bit/symbol.
     Bpsk,
@@ -114,6 +113,42 @@ pub fn to_db(linear: f64) -> f64 {
 /// Converts decibels to a linear power ratio.
 pub fn from_db(db: f64) -> f64 {
     10f64.powf(db / 10.0)
+}
+
+// ---- JSON wire encoding (externally tagged, as serde derived) ----
+
+use flexwan_util::json::{self, FromJson, ToJson, Value};
+
+impl ToJson for Modulation {
+    fn to_json(&self) -> Value {
+        match self {
+            Modulation::Pcs { decibits } => {
+                Value::obj([("Pcs", Value::obj([("decibits", decibits.to_json())]))])
+            }
+            unit => Value::String(format!("{unit:?}")),
+        }
+    }
+}
+
+impl FromJson for Modulation {
+    fn from_json(v: &Value) -> Result<Self, json::Error> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "Bpsk" => Ok(Modulation::Bpsk),
+                "Qpsk" => Ok(Modulation::Qpsk),
+                "Qam8" => Ok(Modulation::Qam8),
+                "Qam16" => Ok(Modulation::Qam16),
+                "Qam32" => Ok(Modulation::Qam32),
+                "Qam64" => Ok(Modulation::Qam64),
+                "Qam256" => Ok(Modulation::Qam256),
+                other => Err(json::Error::new(format!("unknown modulation `{other}`"))),
+            };
+        }
+        if let Some(pcs) = v.get("Pcs") {
+            return Ok(Modulation::Pcs { decibits: pcs.field("decibits")? });
+        }
+        Err(json::Error::new("expected a modulation"))
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,6 @@
 //! multiples of 12.5 GHz, so the whole planning problem is integer pixel
 //! arithmetic: no floating-point comparisons decide feasibility.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::OpticalError;
 
@@ -28,7 +27,7 @@ pub const C_BAND_PIXELS: u32 = (C_BAND_GHZ / PIXEL_GHZ) as u32;
 /// A channel spacing expressed as a whole number of 12.5 GHz pixels.
 ///
 /// Examples: 50 GHz = 4 pixels, 75 GHz = 6 pixels, 150 GHz = 12 pixels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PixelWidth(u16);
 
 impl PixelWidth {
@@ -41,7 +40,7 @@ impl PixelWidth {
     /// Converts a GHz spacing to pixels; fails unless it is a positive exact
     /// multiple of 12.5 GHz (the grid the hardware can realize).
     pub fn from_ghz(ghz: f64) -> Result<Self, OpticalError> {
-        if !(ghz > 0.0) {
+        if ghz.is_nan() || ghz <= 0.0 {
             return Err(OpticalError::NotOnPixelGrid { ghz });
         }
         let pixels = ghz / PIXEL_GHZ;
@@ -72,7 +71,7 @@ impl std::fmt::Display for PixelWidth {
 /// A contiguous run of pixels `[start, start + width)` within a fiber's
 /// spectrum: the spectrum occupied by one wavelength, or the passband
 /// configured on one WSS/filter port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PixelRange {
     /// Index of the first pixel occupied.
     pub start: u32,
@@ -124,7 +123,7 @@ impl std::fmt::Display for PixelRange {
 }
 
 /// The spectrum dimensioning of a fiber/band: how many pixels exist.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpectrumGrid {
     pixels: u32,
 }
@@ -171,7 +170,7 @@ impl Default for SpectrumGrid {
 /// paper's spectrum-conflict constraint (3) (each pixel used at most once
 /// per fiber) and — via the joint search — the spectrum-consistency
 /// constraint (4) (same pixels on every fiber of a path).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpectrumMask {
     words: Vec<u64>,
     pixels: u32,
@@ -282,17 +281,13 @@ impl SpectrumMask {
             return None;
         }
         let mut start = 0u32;
-        'outer: while start + need <= pixels {
+        while start + need <= pixels {
             // Scan the candidate window; on collision jump past it (to the
             // next aligned start after the colliding pixel).
-            for p in start..start + need {
-                if masks.iter().any(|m| m.is_occupied(p)) {
-                    let next = p + 1;
-                    start = next.div_ceil(align) * align;
-                    continue 'outer;
-                }
+            match (start..start + need).find(|&p| masks.iter().any(|m| m.is_occupied(p))) {
+                Some(p) => start = (p + 1).div_ceil(align) * align,
+                None => return Some(PixelRange::new(start, width)),
             }
-            return Some(PixelRange::new(start, width));
         }
         None
     }
@@ -321,6 +316,39 @@ impl SpectrumMask {
     /// Largest contiguous free run length, in pixels.
     pub fn largest_free_run(&self) -> u32 {
         self.free_runs().into_iter().map(|(_, len)| len).max().unwrap_or(0)
+    }
+}
+
+// ---- JSON wire encoding (same shapes the former serde derives produced) ----
+
+use flexwan_util::json::{self, FromJson, ToJson, Value};
+
+impl ToJson for PixelWidth {
+    fn to_json(&self) -> Value {
+        // Newtype struct: encodes as the bare inner number.
+        self.0.to_json()
+    }
+}
+
+impl FromJson for PixelWidth {
+    fn from_json(v: &Value) -> Result<Self, json::Error> {
+        let px = u16::from_json(v)?;
+        if px == 0 {
+            return Err(json::Error::new("PixelWidth must be non-zero"));
+        }
+        Ok(PixelWidth(px))
+    }
+}
+
+impl ToJson for PixelRange {
+    fn to_json(&self) -> Value {
+        Value::obj([("start", self.start.to_json()), ("width", self.width.to_json())])
+    }
+}
+
+impl FromJson for PixelRange {
+    fn from_json(v: &Value) -> Result<Self, json::Error> {
+        Ok(PixelRange { start: v.field("start")?, width: v.field("width")? })
     }
 }
 

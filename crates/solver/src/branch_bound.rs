@@ -85,7 +85,7 @@ pub fn solve_mip(model: &Model, opts: &SolveOptions) -> Solution {
 
     let root = Node { bound: if minimize { f64::NEG_INFINITY } else { f64::INFINITY }, bounds: Vec::new(), depth: 0 };
     let mut heap = BinaryHeap::new();
-    heap.push(Prioritized { key: if minimize { f64::NEG_INFINITY } else { f64::NEG_INFINITY }, node: root });
+    heap.push(Prioritized { key: f64::NEG_INFINITY, node: root });
 
     let mut incumbent: Option<Solution> = None;
     let mut nodes = 0usize;
@@ -175,7 +175,7 @@ pub fn solve_mip(model: &Model, opts: &SolveOptions) -> Solution {
                 let cand = Solution { status: Status::Optimal, objective: sol.objective, values: vals };
                 let accept = incumbent
                     .as_ref()
-                    .map_or(true, |inc| better(cand.objective, inc.objective));
+                    .is_none_or(|inc| better(cand.objective, inc.objective));
                 if accept {
                     incumbent = Some(cand);
                 }
@@ -259,12 +259,12 @@ mod tests {
             let row: Vec<_> = (0..3).map(|j| m.binary(format!("x{i}{j}"))).collect();
             x.push(row);
         }
-        for i in 0..3 {
-            let e = crate::expr::LinExpr::sum((0..3).map(|j| 1.0 * x[i][j]));
+        for row in &x {
+            let e = crate::expr::LinExpr::sum(row.iter().map(|&v| 1.0 * v));
             m.eq(e, 1.0);
         }
         for j in 0..3 {
-            let e = crate::expr::LinExpr::sum((0..3).map(|i| 1.0 * x[i][j]));
+            let e = crate::expr::LinExpr::sum(x.iter().map(|row| 1.0 * row[j]));
             m.eq(e, 1.0);
         }
         let obj = crate::expr::LinExpr::sum(

@@ -63,6 +63,9 @@ impl Reduction {
 
 const TOL: f64 = 1e-9;
 
+/// A working constraint row: sparse terms, comparison, right-hand side.
+type Row = (Vec<(usize, f64)>, Cmp, f64);
+
 /// Runs presolve to fixpoint. The reduced model optimizes the same
 /// objective over the same feasible set (projected onto surviving
 /// variables); its optimal objective equals the original's.
@@ -71,7 +74,7 @@ pub fn presolve(model: &Model) -> Presolved {
     let mut lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
     let mut upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
     let kinds: Vec<VarKind> = model.vars.iter().map(|v| v.kind).collect();
-    let mut rows: Vec<(Vec<(usize, f64)>, Cmp, f64)> = model
+    let mut rows: Vec<Row> = model
         .constraints
         .iter()
         .map(|c| {
@@ -302,11 +305,7 @@ pub fn solve_presolved(model: &Model, opts: &crate::model::SolveOptions) -> Solu
                 // (already validated) rows were all dropped.
                 Solution {
                     status: Status::Optimal,
-                    objective: if model.sense == Some(crate::model::Sense::Maximize) {
-                        red.model.objective.constant
-                    } else {
-                        red.model.objective.constant
-                    },
+                    objective: red.model.objective.constant,
                     values: Vec::new(),
                 }
             } else if red.model.is_mip() {
@@ -404,9 +403,7 @@ mod tests {
 
     #[test]
     fn equivalence_on_random_models() {
-        use rand::Rng;
-        use rand::SeedableRng;
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let mut rng = flexwan_util::rng::ChaCha8Rng::seed_from_u64(99);
         for _ in 0..40 {
             let mut m = Model::new();
             let nv = rng.gen_range(2..6);

@@ -250,8 +250,8 @@ impl Tableau {
             ),
             IterOutcome::Optimal => {
                 let mut values = vec![0.0; n_model];
-                for j in 0..n_model {
-                    values[j] = self.value_of(j);
+                for (j, v) in values.iter_mut().enumerate() {
+                    *v = self.value_of(j);
                 }
                 for (j, vd) in model.vars.iter().enumerate() {
                     values[j] += vd.lower;
@@ -288,9 +288,9 @@ impl Tableau {
         for (i, &b) in self.basis.iter().enumerate() {
             obj += cost[b] * self.beta[i];
         }
-        for j in 0..cost.len() {
+        for (j, &c) in cost.iter().enumerate() {
             if self.status[j] == At::Upper {
-                obj += cost[j] * self.upper[j];
+                obj += c * self.upper[j];
             }
         }
         obj
@@ -331,8 +331,7 @@ impl Tableau {
         if m == 0 {
             // No constraints: push every profitable bounded column to its
             // better bound; unbounded if a profitable column has u = ∞.
-            for j in 0..cols {
-                let r = cost[j];
+            for (j, &r) in cost.iter().enumerate().take(cols) {
                 if r < -EPS {
                     if self.upper[j].is_infinite() {
                         return IterOutcome::Unbounded;
@@ -390,7 +389,7 @@ impl Tableau {
                     let t = self.beta[i] / delta;
                     if t < t_max - EPS
                         || (t < t_max + EPS
-                            && leave.map_or(false, |(li, _)| self.basis[i] < self.basis[li]))
+                            && leave.is_some_and(|(li, _)| self.basis[i] < self.basis[li]))
                     {
                         t_max = t.max(0.0);
                         leave = Some((i, At::Lower));
@@ -402,7 +401,7 @@ impl Tableau {
                         let t = (ub - self.beta[i]) / (-delta);
                         if t < t_max - EPS
                             || (t < t_max + EPS
-                                && leave.map_or(false, |(li, _)| self.basis[i] < self.basis[li]))
+                                && leave.is_some_and(|(li, _)| self.basis[i] < self.basis[li]))
                         {
                             t_max = t.max(0.0);
                             leave = Some((i, At::Upper));

@@ -8,9 +8,7 @@
 //! reproduces that: node pairs drawn with probability ∝ 1/(1+hops)², and
 //! demands log-uniform over 200 G–1.6 T rounded to 100 G.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use flexwan_util::rng::ChaCha8Rng;
 
 use crate::graph::{Graph, NodeId};
 use crate::ip::IpTopology;
@@ -68,7 +66,7 @@ pub fn arrow_ip_topology(g: &Graph, cfg: &ArrowDemandConfig) -> IpTopology {
     let mut ip = IpTopology::new();
     for _ in 0..cfg.ip_links {
         // Weighted pair draw.
-        let mut t = rng.gen::<f64>() * total_w;
+        let mut t = rng.gen_f64() * total_w;
         let mut chosen = pairs.len() - 1;
         for (idx, p) in pairs.iter().enumerate() {
             if t < p.2 {
@@ -81,7 +79,7 @@ pub fn arrow_ip_topology(g: &Graph, cfg: &ArrowDemandConfig) -> IpTopology {
         // Log-uniform demand rounded to 100 G.
         let lo = (cfg.min_gbps as f64).ln();
         let hi = (cfg.max_gbps as f64).ln();
-        let d = (rng.gen::<f64>() * (hi - lo) + lo).exp();
+        let d = (rng.gen_f64() * (hi - lo) + lo).exp();
         let demand = ((d / 100.0).round().max(1.0) as u64) * 100;
         ip.add_link(a, b, demand.clamp(cfg.min_gbps, cfg.max_gbps));
     }

@@ -8,18 +8,17 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a node (ROADM site / router).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 /// Identifier of an edge (fiber segment between adjacent sites).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub u32);
 
 /// A node with a human-readable site name.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
     /// The node's identifier.
     pub id: NodeId,
@@ -28,7 +27,7 @@ pub struct Node {
 }
 
 /// An undirected fiber edge with a physical length.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Edge {
     /// The edge's identifier.
     pub id: EdgeId,
@@ -53,7 +52,7 @@ impl Edge {
 }
 
 /// An undirected weighted multigraph.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Graph {
     nodes: Vec<Node>,
     edges: Vec<Edge>,

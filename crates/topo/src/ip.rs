@@ -6,18 +6,17 @@
 //! each IP link provided by network operators"), so an [`IpLink`] simply
 //! carries its demand. IP nodes map 1:1 onto optical ROADM sites.
 
-use serde::{Deserialize, Serialize};
 
 use crate::graph::NodeId;
 
 /// Identifier of an IP link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IpLinkId(pub u32);
 
 /// An IP link: a router adjacency needing `demand_gbps` of bandwidth
 /// capacity, realized by one or more wavelengths on optical paths between
 /// the corresponding ROADM sites.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IpLink {
     /// The link's identifier.
     pub id: IpLinkId,
@@ -31,7 +30,7 @@ pub struct IpLink {
 }
 
 /// The IP topology: the set of IP links over an optical substrate.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IpTopology {
     links: Vec<IpLink>,
 }

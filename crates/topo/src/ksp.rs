@@ -57,7 +57,7 @@ fn shortest_path_banning_nodes(
             let nd = d + u64::from(graph.edge(e).length_km);
             let better = nd < dist[v.0 as usize]
                 || (nd == dist[v.0 as usize]
-                    && prev[v.0 as usize].map_or(false, |(pe, _)| e < pe));
+                    && prev[v.0 as usize].is_some_and(|(pe, _)| e < pe));
             if better {
                 dist[v.0 as usize] = nd;
                 prev[v.0 as usize] = Some((e, u_node));

@@ -1,6 +1,5 @@
 //! Optical paths: the sequence of fibers a wavelength traverses.
 
-use serde::{Deserialize, Serialize};
 
 use crate::graph::{EdgeId, Graph, NodeId};
 
@@ -9,7 +8,7 @@ use crate::graph::{EdgeId, Graph, NodeId};
 /// `nodes` has one more element than `edges`; `edges[i]` connects `nodes[i]`
 /// to `nodes[i+1]`. `length_km` is the sum of fiber lengths — the
 /// `|P_{e,k}|` of the paper's optical-reach constraint (2).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Path {
     /// Visited nodes, source first.
     pub nodes: Vec<NodeId>,

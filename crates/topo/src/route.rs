@@ -10,14 +10,13 @@
 
 use std::collections::{HashMap, HashSet};
 
-use serde::{Deserialize, Serialize};
 
 use crate::graph::{EdgeId, Graph, NodeId};
 use crate::ksp::k_shortest_paths;
 use crate::path::Path;
 
 /// A node-distinct route with the parallel-fiber alternatives per hop.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Route {
     /// Visited nodes, source first.
     pub nodes: Vec<NodeId>,

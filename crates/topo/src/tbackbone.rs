@@ -17,9 +17,7 @@
 //!   carry more capacity (large metro flows), matching Figure 13(a)'s
 //!   capacity-weighted CDF.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use flexwan_util::rng::ChaCha8Rng;
 
 use crate::graph::{Graph, NodeId};
 use crate::ip::IpTopology;
@@ -50,7 +48,7 @@ impl Default for TBackboneConfig {
             regions: 8,
             nodes_per_region: 5,
             ip_links: 140,
-            seed: 7,
+            seed: 35,
             metro_fiber_pairs: 4,
             longhaul_fiber_pairs: 3,
         }
@@ -88,7 +86,7 @@ pub fn t_backbone(cfg: &TBackboneConfig) -> Backbone {
             if cfg.nodes_per_region == 2 && i == 1 {
                 break; // avoid duplicating the single ring edge
             }
-            let len = rng.gen_range(25..=90);
+            let len = rng.gen_range(25u32..=90);
             for pair in 0..cfg.metro_fiber_pairs {
                 g.add_edge(nodes[i], nodes[j], len + 2 * pair as u32);
             }
@@ -96,7 +94,7 @@ pub fn t_backbone(cfg: &TBackboneConfig) -> Backbone {
         // One chord for intra-region diversity (restoration needs ≥2
         // disjoint paths).
         if cfg.nodes_per_region >= 4 {
-            let len = rng.gen_range(40..=120);
+            let len = rng.gen_range(40u32..=120);
             for pair in 0..cfg.metro_fiber_pairs {
                 g.add_edge(nodes[0], nodes[cfg.nodes_per_region / 2], len + 2 * pair as u32);
             }
@@ -110,7 +108,7 @@ pub fn t_backbone(cfg: &TBackboneConfig) -> Backbone {
         if cfg.regions == 2 && r == 1 {
             break;
         }
-        let len = rng.gen_range(350..=800);
+        let len = rng.gen_range(350u32..=800);
         for pair in 0..cfg.longhaul_fiber_pairs {
             g.add_edge(region_nodes[r][0], region_nodes[next][0], len + 5 * pair as u32);
         }
@@ -119,7 +117,7 @@ pub fn t_backbone(cfg: &TBackboneConfig) -> Backbone {
         for r in (0..cfg.regions).step_by(2) {
             let far = (r + cfg.regions / 2) % cfg.regions;
             if far != r {
-                let len = rng.gen_range(700..=1100);
+                let len = rng.gen_range(700u32..=1100);
                 for pair in 0..cfg.longhaul_fiber_pairs {
                     g.add_edge(region_nodes[r][0], region_nodes[far][0], len + 5 * pair as u32);
                 }
@@ -136,7 +134,7 @@ pub fn t_backbone(cfg: &TBackboneConfig) -> Backbone {
             if cfg.regions == 2 && r == 1 {
                 break;
             }
-            let len = rng.gen_range(400..=900);
+            let len = rng.gen_range(400u32..=900);
             for pair in 0..cfg.longhaul_fiber_pairs {
                 g.add_edge(region_nodes[r][1], region_nodes[next][0], len + 5 * pair as u32);
             }
@@ -149,7 +147,7 @@ pub fn t_backbone(cfg: &TBackboneConfig) -> Backbone {
     //   15 % far (several long-haul hops, the > 1500 km tail).
     let mut ip = IpTopology::new();
     for _ in 0..cfg.ip_links {
-        let roll: f64 = rng.gen();
+        let roll: f64 = rng.gen_f64();
         let (src, dst) = if roll < 0.58 {
             let r = rng.gen_range(0..cfg.regions);
             let i = rng.gen_range(0..cfg.nodes_per_region);

@@ -1,0 +1,744 @@
+//! Minimal JSON: value model, parser, writer, and (de)serialization
+//! traits.
+//!
+//! Replaces the workspace's former `serde`/`serde_json` dependency. The
+//! surface is deliberately small: a [`Value`] tree, a strict recursive
+//! descent [`parse`], compact and pretty writers, and the
+//! [`ToJson`]/[`FromJson`] traits that domain types implement by hand
+//! (structs as objects with field names, enums externally tagged — the
+//! same shapes serde derived, so on-disk formats are unchanged).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number: integers are kept exact, everything else is `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Num {
+    /// A non-negative integer.
+    U(u64),
+    /// A negative integer.
+    I(i64),
+    /// A floating-point number.
+    F(f64),
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Num),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object. Keys are sorted (BTreeMap) so output is canonical.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>, I: IntoIterator<Item = (K, Value)>>(pairs: I) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Member lookup on objects; `None` on other kinds.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Num::U(u)) => Some(*u),
+            Value::Number(Num::I(i)) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Num::I(i)) => Some(*i),
+            Value::Number(Num::U(u)) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Num::U(u)) => Some(*u as f64),
+            Value::Number(Num::I(i)) => Some(*i as f64),
+            Value::Number(Num::F(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Required object member, as a [`FromJson`] target.
+    pub fn field<T: FromJson>(&self, key: &str) -> Result<T, Error> {
+        match self.get(key) {
+            Some(v) => T::from_json(v)
+                .map_err(|e| Error::new(format!("field `{key}`: {}", e.message))),
+            None => Err(Error::new(format!("missing field `{key}`"))),
+        }
+    }
+
+    /// Writes the compact form (no whitespace, serde_json-compatible).
+    pub fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_num(*n, out),
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        const PAD: &str = "  ";
+        match self {
+            Value::Array(a) if !a.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&PAD.repeat(indent + 1));
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent));
+                out.push(']');
+            }
+            Value::Object(m) if !m.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&PAD.repeat(indent + 1));
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent));
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn write_num(n: Num, out: &mut String) {
+    match n {
+        Num::U(u) => out.push_str(&u.to_string()),
+        Num::I(i) => out.push_str(&i.to_string()),
+        Num::F(f) => {
+            if f.is_finite() {
+                let s = format!("{f}");
+                out.push_str(&s);
+                // Keep floats recognizably floats on the wire.
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                // JSON has no Inf/NaN; serde_json writes null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_compact(&mut s);
+        f.write_str(&s)
+    }
+}
+
+/// A JSON error: parse failures and shape mismatches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl Error {
+    /// A new error with `message`.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("short \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by this
+                            // workspace's formats; map lone surrogates to
+                            // the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("unterminated"))?;
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("raw control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Num::U(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Num::I(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Num::F(f)))
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[', "expected array")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected , or ] in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{', "expected object")?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected : after key")?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected , or } in object")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`]. Trailing non-whitespace is an
+/// error.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------- traits
+
+/// Serialization to a JSON [`Value`].
+pub trait ToJson {
+    /// The JSON form of `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Deserialization from a JSON [`Value`].
+pub trait FromJson: Sized {
+    /// Reconstructs `Self`, rejecting shape mismatches.
+    fn from_json(v: &Value) -> Result<Self, Error>;
+}
+
+/// Serializes `t` compactly.
+pub fn to_string<T: ToJson + ?Sized>(t: &T) -> String {
+    let mut s = String::new();
+    t.to_json().write_compact(&mut s);
+    s
+}
+
+/// Serializes `t` with two-space indentation.
+pub fn to_string_pretty<T: ToJson + ?Sized>(t: &T) -> String {
+    let mut s = String::new();
+    t.to_json().write_pretty(&mut s, 0);
+    s
+}
+
+/// Parses and deserializes in one step.
+pub fn from_str<T: FromJson>(s: &str) -> Result<T, Error> {
+    T::from_json(&parse(s)?)
+}
+
+macro_rules! impl_json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value { Value::Number(Num::U(*self as u64)) }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| Error::new("expected unsigned integer"))?;
+                <$t>::try_from(u).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value { Value::Number(Num::U(x as u64)) }
+        }
+        impl From<&$t> for Value {
+            fn from(x: &$t) -> Value { Value::Number(Num::U(*x as u64)) }
+        }
+    )*};
+}
+
+impl_json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value { Value::Number(Num::I(*self as i64)) }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::new("expected integer"))?;
+                <$t>::try_from(i).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value { Value::Number(Num::I(x as i64)) }
+        }
+    )*};
+}
+
+impl_json_int!(i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Num::F(*self))
+    }
+}
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::new("expected number"))
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Number(Num::F(x))
+    }
+}
+impl From<&f64> for Value {
+    fn from(x: &f64) -> Value {
+        Value::Number(Num::F(*x))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::new("expected bool"))
+    }
+}
+impl From<bool> for Value {
+    fn from(x: bool) -> Value {
+        Value::Bool(x)
+    }
+}
+impl From<&bool> for Value {
+    fn from(x: &bool) -> Value {
+        Value::Bool(*x)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| Error::new("expected string"))
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::new("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(t) => t.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Value {
+        match o {
+            Some(t) => t.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Builds a [`Value`] with `serde_json`-style syntax:
+/// `json!({ "op": "gain", "gain_db": 17.5 })`. Values go through
+/// `Value::from`, so primitives, strings, `Option`s and nested `Value`s
+/// all work. Unlike serde_json's macro, object values must be expressions
+/// (no bare nested `{...}` literals) — pass a nested `json!({...})`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::json::Value::Null };
+    ({ $( $key:literal : $val:expr ),* $(,)? }) => {
+        $crate::json::Value::obj([
+            $( ($key, $crate::json::Value::from($val)) ),*
+        ])
+    };
+    ([ $( $item:expr ),* $(,)? ]) => {
+        $crate::json::Value::Array(vec![ $( $crate::json::Value::from($item) ),* ])
+    };
+    ($other:expr) => { $crate::json::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let src = r#"{"a":[1,2.5,-3],"b":{"c":null,"d":true},"e":"x\n\"y\""}"#;
+        let v = parse(src).unwrap();
+        let mut out = String::new();
+        v.write_compact(&mut out);
+        assert_eq!(parse(&out).unwrap(), v);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("e").unwrap().as_str(), Some("x\n\"y\""));
+    }
+
+    #[test]
+    fn numbers_keep_kind() {
+        let v = parse("[7, -7, 7.5, 1e3]").unwrap();
+        let a = v.as_array().unwrap();
+        assert_eq!(a[0].as_u64(), Some(7));
+        assert_eq!(a[1].as_i64(), Some(-7));
+        assert_eq!(a[1].as_u64(), None);
+        assert_eq!(a[2].as_u64(), None, "floats are not integers");
+        assert_eq!(a[2].as_f64(), Some(7.5));
+        assert_eq!(a[3].as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn floats_stay_floats_on_the_wire() {
+        let mut s = String::new();
+        Value::from(16.0f64).write_compact(&mut s);
+        assert_eq!(s, "16.0");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["{nope", "[1,", "\"unterminated", "{\"a\" 1}", "01x", "{} trailing"] {
+            assert!(parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = crate::json!({ "op": "gain", "gain_db": 17.5, "port": Some(4u16), "none": Option::<u16>::None });
+        assert_eq!(v.get("op").unwrap().as_str(), Some("gain"));
+        assert_eq!(v.get("gain_db").unwrap().as_f64(), Some(17.5));
+        assert_eq!(v.get("port").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("none"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v = crate::json!({ "nodes": crate::json!(["A", "B"]), "n": 2u32 });
+        let pretty = {
+            let mut s = String::new();
+            v.write_pretty(&mut s, 0);
+            s
+        };
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn field_errors_name_the_key() {
+        let v = parse(r#"{"a":1}"#).unwrap();
+        let e = v.field::<u32>("missing").unwrap_err();
+        assert!(e.to_string().contains("missing"));
+        let e = v.field::<String>("a").unwrap_err();
+        assert!(e.to_string().contains("`a`"));
+    }
+}

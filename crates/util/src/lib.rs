@@ -1,0 +1,19 @@
+//! Dependency-free utility substrate for the FlexWAN reproduction.
+//!
+//! The build environment is fully offline, so everything the workspace
+//! used to pull from crates.io is implemented here from `std` alone:
+//!
+//! * [`rng`] — a deterministic ChaCha-based PRNG (seeded, reproducible
+//!   across platforms) replacing `rand`/`rand_chacha`;
+//! * [`json`] — a small JSON value model, parser and writer with
+//!   [`json::ToJson`]/[`json::FromJson`] traits replacing
+//!   `serde`/`serde_json`;
+//! * [`sync`] — an unbounded MPMC channel with clonable receivers and
+//!   `recv_timeout`, replacing `crossbeam::channel`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod rng;
+pub mod sync;

@@ -12,14 +12,14 @@
 //! }
 //! ```
 
-use serde::{Deserialize, Serialize};
 
 use flexwan_topo::graph::Graph;
+use flexwan_util::json::{self, FromJson, ToJson, Value};
 use flexwan_topo::ip::IpTopology;
 use flexwan_topo::tbackbone::Backbone;
 
 /// A fiber segment in the interchange format.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FiberSpec {
     /// One endpoint's node name.
     pub a: String,
@@ -30,7 +30,7 @@ pub struct FiberSpec {
 }
 
 /// An IP link in the interchange format.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinkSpec {
     /// Source node name.
     pub src: String,
@@ -41,7 +41,7 @@ pub struct LinkSpec {
 }
 
 /// A whole backbone description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TopologyFile {
     /// ROADM site names (order defines node ids).
     pub nodes: Vec<String>,
@@ -55,7 +55,7 @@ pub struct TopologyFile {
 #[derive(Debug)]
 pub enum LoadError {
     /// JSON syntax / shape problems.
-    Json(serde_json::Error),
+    Json(json::Error),
     /// Semantic problems (unknown node names, empty sections, …).
     Invalid(String),
 }
@@ -69,23 +69,82 @@ impl std::fmt::Display for LoadError {
     }
 }
 
-impl std::error::Error for LoadError {}
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Json(e) => Some(e),
+            LoadError::Invalid(_) => None,
+        }
+    }
+}
 
-impl From<serde_json::Error> for LoadError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<json::Error> for LoadError {
+    fn from(e: json::Error) -> Self {
         LoadError::Json(e)
+    }
+}
+
+impl ToJson for FiberSpec {
+    fn to_json(&self) -> Value {
+        Value::obj([
+            ("a", Value::from(self.a.as_str())),
+            ("b", Value::from(self.b.as_str())),
+            ("km", self.km.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FiberSpec {
+    fn from_json(v: &Value) -> Result<Self, json::Error> {
+        Ok(FiberSpec { a: v.field("a")?, b: v.field("b")?, km: v.field("km")? })
+    }
+}
+
+impl ToJson for LinkSpec {
+    fn to_json(&self) -> Value {
+        Value::obj([
+            ("src", Value::from(self.src.as_str())),
+            ("dst", Value::from(self.dst.as_str())),
+            ("gbps", self.gbps.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LinkSpec {
+    fn from_json(v: &Value) -> Result<Self, json::Error> {
+        Ok(LinkSpec { src: v.field("src")?, dst: v.field("dst")?, gbps: v.field("gbps")? })
+    }
+}
+
+impl ToJson for TopologyFile {
+    fn to_json(&self) -> Value {
+        Value::obj([
+            ("nodes", self.nodes.to_json()),
+            ("fibers", self.fibers.to_json()),
+            ("links", self.links.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TopologyFile {
+    fn from_json(v: &Value) -> Result<Self, json::Error> {
+        Ok(TopologyFile {
+            nodes: v.field("nodes")?,
+            fibers: v.field("fibers")?,
+            links: v.field("links")?,
+        })
     }
 }
 
 impl TopologyFile {
     /// Parses the interchange JSON.
-    pub fn from_json(json: &str) -> Result<Self, LoadError> {
-        Ok(serde_json::from_str(json)?)
+    pub fn from_json(text: &str) -> Result<Self, LoadError> {
+        Ok(json::from_str(text)?)
     }
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("topology files always serialize")
+        json::to_string_pretty(self)
     }
 
     /// Builds the in-memory [`Backbone`].

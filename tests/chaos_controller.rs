@@ -1,0 +1,334 @@
+//! Chaos tests for the self-healing control plane: seeded fault injection
+//! at the session boundary, circuit breakers, journal roll-forward, and
+//! scripted cluster failures. Every test replays bit-identically — the
+//! injector's RNG is consumed in the controller's (single-threaded)
+//! request order.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use flexwan::core::planning::{plan, Plan, PlannerConfig};
+use flexwan::core::Scheme;
+use flexwan::ctrl::ha::{ClusterError, ControllerCluster, HEARTBEAT_TOLERANCE};
+use flexwan::ctrl::issues::ConfiguredChannel;
+use flexwan::ctrl::model::Vendor;
+use flexwan::ctrl::{
+    find_conflicts, find_inconsistencies, BreakerState, ClusterFaultSchedule, Controller,
+    CtrlStats, DeviceFaults, DeviceId, FaultInjector, FaultPlan, FaultStats, Hardware,
+};
+use flexwan::optical::spectrum::{PixelRange, SpectrumGrid};
+use flexwan::optical::WssKind;
+use flexwan::topo::graph::{Graph, NodeId};
+use flexwan::topo::ip::IpTopology;
+
+/// The 4-node drill backbone (same shape as the `chaos_drill` bench):
+/// link a–c routes a–b–c (350 km < the 500 km direct fiber), so ROADM b
+/// carries express configuration.
+fn backbone() -> (Graph, IpTopology, PlannerConfig) {
+    let mut g = Graph::new();
+    let a = g.add_node("a");
+    let b = g.add_node("b");
+    let c = g.add_node("c");
+    let d = g.add_node("d");
+    g.add_edge(a, b, 150);
+    g.add_edge(b, c, 200);
+    g.add_edge(c, d, 250);
+    g.add_edge(a, c, 500);
+    g.add_edge(b, d, 450);
+    let mut ip = IpTopology::new();
+    ip.add_link(a, c, 600);
+    ip.add_link(a, b, 400);
+    ip.add_link(b, d, 500);
+    let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+    (g, ip, cfg)
+}
+
+/// Reads every MUX port and ROADM degree back from the live device plane:
+/// the passbands actually in effect per site.
+fn live_passbands(ctrl: &Controller) -> HashMap<NodeId, Vec<PixelRange>> {
+    let mut at: HashMap<NodeId, Vec<PixelRange>> = HashMap::new();
+    for id in (0..ctrl.devmgr.len() as u32).map(DeviceId) {
+        let Ok(state) = ctrl.devmgr.device(id).session.get_state() else { continue };
+        let site = state.descriptor.site;
+        match state.hardware {
+            Hardware::Mux(m) => {
+                let mut port = 0u16;
+                while let Ok(pb) = m.passband(port) {
+                    if let Some(r) = pb {
+                        at.entry(site).or_default().push(r);
+                    }
+                    port += 1;
+                }
+            }
+            Hardware::Roadm(r) => {
+                let mut deg = 0u16;
+                while let Ok(pbs) = r.passbands(deg) {
+                    at.entry(site).or_default().extend(pbs.iter().copied());
+                    deg += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    at
+}
+
+/// The plan's wavelengths as configured channels (for the issue finders).
+fn channels_of(p: &Plan) -> Vec<ConfiguredChannel> {
+    p.wavelengths
+        .iter()
+        .map(|w| ConfiguredChannel { path: w.path.clone(), channel: w.channel, vendor: Vendor::ALL[0] })
+        .collect()
+}
+
+/// One full seeded chaos run: mixed drops, delayed replies, a rejecting
+/// boot on one MUX, and one device crash. Returns everything a
+/// determinism comparison needs.
+fn chaos_run(seed: u64) -> (bool, usize, Vec<DeviceId>, CtrlStats, FaultStats, Vec<u64>) {
+    let (g, ip, cfg) = backbone();
+    let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+    assert!(p.is_feasible());
+    let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+    let mixed = DeviceFaults { drop_prob: 0.15, delay_reply_prob: 0.15, ..Default::default() };
+    let fault_plan = FaultPlan::uniform(seed, mixed.clone())
+        // MUX at site a boots slow: its first two edit-configs bounce.
+        .device(DeviceId(0), DeviceFaults { reject_first: 2, ..mixed.clone() })
+        // ROADM at site b crashes on its first express edit (link a–c
+        // routes a–b–c, so the edit definitely arrives).
+        .device(DeviceId(3), DeviceFaults { crash_after: Some(0), ..mixed });
+    let injector = Arc::new(FaultInjector::new(fault_plan));
+    ctrl.arm_faults(injector.clone());
+
+    let _ = ctrl.apply_plan(&p, &g);
+    let report = ctrl.converge(&p, 64);
+
+    // Invariants under fault: audited clean, no conflicts, no
+    // inconsistencies against the live device state. The forensic reads
+    // below must see the plane as it is, so lift the faults first
+    // (convergence itself ran entirely under fire).
+    injector.lift();
+    assert!(report.converged, "seed {seed}: did not converge");
+    assert!(ctrl.audit_plan(&p).is_empty(), "seed {seed}: audit findings");
+    let channels = channels_of(&p);
+    assert!(find_conflicts(&channels).is_empty(), "seed {seed}: conflicts");
+    assert!(
+        find_inconsistencies(&channels, &live_passbands(&ctrl)).is_empty(),
+        "seed {seed}: inconsistencies"
+    );
+    // No journal loss: revisions strictly increasing, and every device's
+    // journaled latest configuration is actually in effect on the device.
+    // (Revision numbers may skew under read-repair — the journal stamps
+    // the retry's revision while the device applied an earlier attempt —
+    // so the invariant is about configuration *content*.)
+    let revisions: Vec<u64> = ctrl.journal().entries().iter().map(|e| e.revision).collect();
+    assert!(revisions.windows(2).all(|w| w[0] < w[1]), "journal out of order");
+    for e in ctrl.journal().entries() {
+        let state = ctrl.devmgr.device(e.device).session.get_state().expect("converged plane");
+        let latest = ctrl.journal().latest(e.device).unwrap();
+        assert!(
+            flexwan::ctrl::config_in_effect(&state, &latest.config),
+            "seed {seed}: device {:?} lost journaled config {:?}",
+            e.device,
+            latest.config
+        );
+    }
+    let stats = ctrl.stats().clone();
+    (report.converged, report.passes, report.restarted, stats, injector.stats(), revisions)
+}
+
+#[test]
+fn seeded_mixed_faults_converge_deterministically() {
+    let first = chaos_run(0xC4A05);
+    let second = chaos_run(0xC4A05);
+    assert_eq!(first, second, "same seed must replay bit-identically");
+
+    let (_, _, restarted, stats, faults, _) = first;
+    // The scripted faults actually fired and were healed.
+    assert_eq!(faults.crashes, 1, "the one-shot crash fired");
+    assert!(faults.rejects >= 2, "the rejecting boot fired");
+    assert!(faults.drops + faults.delayed_replies > 0, "mixed faults fired");
+    assert!(stats.retries > 0, "faults forced retries");
+    assert!(stats.devices_restarted >= 1, "the crashed ROADM was replaced");
+    assert!(restarted.contains(&DeviceId(3)));
+}
+
+#[test]
+fn different_seeds_are_still_healed() {
+    for seed in [1u64, 2, 3] {
+        let (converged, ..) = chaos_run(seed);
+        assert!(converged);
+    }
+}
+
+#[test]
+fn empty_fault_plan_means_zero_retries() {
+    let (g, ip, cfg) = backbone();
+    let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+    let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+    let injector = Arc::new(FaultInjector::new(FaultPlan::none()));
+    ctrl.arm_faults(injector.clone());
+    assert!(ctrl.apply_plan(&p, &g).is_clean());
+    let report = ctrl.converge(&p, 8);
+    assert!(report.converged);
+    assert_eq!(report.passes, 1, "a healthy plane converges in one pass");
+    assert_eq!(report.repaired, 0);
+    let s = ctrl.stats();
+    assert_eq!(s.retries, 0, "no faults, no retries");
+    assert_eq!(s.read_repairs, 0);
+    assert_eq!(s.breaker_trips, 0);
+    assert_eq!(s.devices_restarted, 0);
+    let f = injector.stats();
+    assert_eq!(f.drops + f.delayed_replies + f.rejects + f.crashes + f.stale_reads, 0);
+}
+
+#[test]
+fn total_blackout_trips_breakers_and_heals_after_lift() {
+    let (g, ip, cfg) = backbone();
+    let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+    let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+    let injector = Arc::new(FaultInjector::new(FaultPlan::uniform(
+        11,
+        DeviceFaults { drop_prob: 1.0, ..Default::default() },
+    )));
+    ctrl.arm_faults(injector.clone());
+
+    let report = ctrl.apply_plan(&p, &g);
+    assert!(!report.is_clean(), "nothing gets through a total blackout");
+    let mid = ctrl.converge(&p, 2);
+    assert!(!mid.converged, "cannot converge while every request drops");
+    assert!(!ctrl.quarantined().is_empty(), "breakers opened");
+    assert!(ctrl.stats().breaker_trips > 0);
+
+    // The outage clears; the self-healing loop finishes the job.
+    injector.lift();
+    let after = ctrl.converge(&p, 64);
+    assert!(after.converged, "plane heals once faults lift");
+    assert!(ctrl.quarantined().is_empty());
+    assert!(ctrl.audit_plan(&p).is_empty());
+}
+
+#[test]
+fn applied_but_unacknowledged_config_converges_without_repair() {
+    // Every reply from ROADM b is delayed past the session timeout: the
+    // express lands on the device but the controller never hears the ack.
+    // Convergence must discover the config is already in effect instead of
+    // re-pushing (re-pushing a ROADM express self-conflicts).
+    let (g, ip, cfg) = backbone();
+    let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+    let roadm_b = DeviceId(3);
+    let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+    let injector = Arc::new(FaultInjector::new(FaultPlan::none().device(
+        roadm_b,
+        DeviceFaults { delay_reply_prob: 1.0, ..Default::default() },
+    )));
+    ctrl.arm_faults(injector.clone());
+
+    let report = ctrl.apply_plan(&p, &g);
+    assert!(!report.is_clean(), "acks to ROADM b are all lost");
+    assert!(injector.stats().delayed_replies > 0);
+
+    injector.lift();
+    let after = ctrl.converge(&p, 8);
+    assert!(after.converged);
+    assert_eq!(after.repaired, 0, "the express was already in effect: nothing to re-push");
+    assert!(ctrl.audit_plan(&p).is_empty());
+}
+
+#[test]
+fn breaker_fast_fails_while_open() {
+    let (g, ip, cfg) = backbone();
+    let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+    let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+    let mux_a = DeviceId(0);
+    let injector = Arc::new(FaultInjector::new(FaultPlan::none().device(
+        mux_a,
+        DeviceFaults { drop_prob: 1.0, ..Default::default() },
+    )));
+    ctrl.arm_faults(injector);
+    assert_eq!(ctrl.breaker_state(mux_a), BreakerState::Closed);
+
+    // Two apply passes accumulate enough consecutive failed sends to MUX a
+    // to cross BREAKER_THRESHOLD (each pass sends it a port per wavelength
+    // terminating at site a).
+    let _ = ctrl.apply_plan(&p, &g);
+    let _ = ctrl.apply_plan(&p, &g);
+    assert_eq!(ctrl.breaker_state(mux_a), BreakerState::Open, "persistent failure opens");
+    assert_eq!(ctrl.quarantined(), vec![mux_a]);
+    let sends_before = ctrl.stats().sends;
+    let retries_before = ctrl.stats().retries;
+    // Another apply: sends to the quarantined MUX fail fast, no retries.
+    let _ = ctrl.apply_plan(&p, &g);
+    assert!(ctrl.stats().sends > sends_before);
+    let new_retries = ctrl.stats().retries - retries_before;
+    // Retries happened only against healthy devices (none are faulted).
+    assert_eq!(new_retries, 0, "open breaker must fast-fail without retrying");
+}
+
+// ---- Cluster-level chaos: heartbeat loss and region partitions ----
+
+#[test]
+fn failover_needs_exactly_heartbeat_tolerance_misses() {
+    let mut c = ControllerCluster::new(&["east", "west", "north"]);
+    let sched = ClusterFaultSchedule::new().silence(0, 0, HEARTBEAT_TOLERANCE as usize);
+    for round in 0..(HEARTBEAT_TOLERANCE as usize - 1) {
+        c.heartbeat_round_faulted(round, &sched);
+        assert_eq!(c.primary(), Ok(0), "tolerance not yet exhausted at round {round}");
+    }
+    c.heartbeat_round_faulted(HEARTBEAT_TOLERANCE as usize - 1, &sched);
+    assert_eq!(c.primary(), Ok(1), "exactly {HEARTBEAT_TOLERANCE} misses fail over");
+}
+
+#[test]
+fn promoted_backup_carries_full_log_across_failover() {
+    let mut c = ControllerCluster::new(&["east", "west", "north"]);
+    for _ in 0..5 {
+        c.submit().unwrap();
+    }
+    let sched = ClusterFaultSchedule::new().silence(0, 0, 10);
+    for round in 0..HEARTBEAT_TOLERANCE as usize {
+        c.heartbeat_round_faulted(round, &sched);
+    }
+    assert_eq!(c.primary(), Ok(1));
+    for _ in 0..3 {
+        c.submit().unwrap();
+    }
+    // No revision was lost in the failover: the promoted backup holds all
+    // 8, and the next revision continues the sequence.
+    assert_eq!(c.replicas()[1].log_len(), 8);
+    let (_, rev) = c.submit().unwrap();
+    assert_eq!(rev, 9);
+    // The silenced ex-primary rejoins and catches the full log up.
+    c.heartbeat_round_faulted(10, &sched);
+    assert_eq!(c.replicas()[0].log_len(), 9);
+    assert_eq!(c.primary(), Ok(0));
+}
+
+#[test]
+fn region_partition_fails_over_and_heals() {
+    let mut c = ControllerCluster::new(&["east", "east", "west"]);
+    let sched = ClusterFaultSchedule::new().partition("east", 0, HEARTBEAT_TOLERANCE as usize);
+    c.submit().unwrap();
+    for round in 0..HEARTBEAT_TOLERANCE as usize {
+        c.heartbeat_round_faulted(round, &sched);
+    }
+    // Both east replicas are gone; the west replica is primary.
+    assert_eq!(c.primary(), Ok(2));
+    c.submit().unwrap();
+    // Partition heals: east rejoins with the full log, lowest id leads.
+    c.heartbeat_round_faulted(HEARTBEAT_TOLERANCE as usize, &sched);
+    assert_eq!(c.primary(), Ok(0));
+    assert_eq!(c.replicas()[0].log_len(), 2);
+}
+
+#[test]
+fn losing_every_region_is_a_hard_error() {
+    let mut c = ControllerCluster::new(&["east", "west"]);
+    let sched = ClusterFaultSchedule::new()
+        .partition("east", 0, HEARTBEAT_TOLERANCE as usize)
+        .partition("west", 0, HEARTBEAT_TOLERANCE as usize);
+    for round in 0..HEARTBEAT_TOLERANCE as usize {
+        c.heartbeat_round_faulted(round, &sched);
+    }
+    assert_eq!(c.primary(), Err(ClusterError::NoHealthyReplica));
+    assert!(c.submit().is_err());
+}

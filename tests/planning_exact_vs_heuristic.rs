@@ -8,9 +8,7 @@ use flexwan::optical::spectrum::SpectrumGrid;
 use flexwan::solver::SolveOptions;
 use flexwan::topo::graph::Graph;
 use flexwan::topo::ip::IpTopology;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use flexwan_util::rng::ChaCha8Rng;
 
 /// Objective value of a heuristic plan under the paper's objective.
 fn heuristic_objective(p: &flexwan::core::planning::Plan, epsilon: f64) -> f64 {
@@ -27,21 +25,21 @@ fn random_instance(seed: u64) -> (Graph, IpTopology, PlannerConfig) {
     let a = g.add_node("a");
     let b = g.add_node("b");
     let c = g.add_node("c");
-    g.add_edge(a, b, rng.gen_range(100..800));
-    g.add_edge(b, c, rng.gen_range(100..800));
-    g.add_edge(a, c, rng.gen_range(200..1500));
+    g.add_edge(a, b, rng.gen_range(100u32..800));
+    g.add_edge(b, c, rng.gen_range(100u32..800));
+    g.add_edge(a, c, rng.gen_range(200u32..1500));
     let mut ip = IpTopology::new();
-    let links = rng.gen_range(1..=2);
+    let links = rng.gen_range(1u32..=2);
     for _ in 0..links {
-        let (src, dst) = match rng.gen_range(0..3) {
+        let (src, dst) = match rng.gen_range(0u32..3) {
             0 => (a, b),
             1 => (b, c),
             _ => (a, c),
         };
-        ip.add_link(src, dst, 100 * rng.gen_range(1..=5));
+        ip.add_link(src, dst, 100 * rng.gen_range(1u64..=5));
     }
     let cfg = PlannerConfig {
-        grid: SpectrumGrid::new(rng.gen_range(12..18)),
+        grid: SpectrumGrid::new(rng.gen_range(12u32..18)),
         k_paths: 2,
         ..Default::default()
     };
@@ -100,9 +98,9 @@ fn heuristic_equals_exact_transponder_count_on_single_link() {
         let mut g = Graph::new();
         let a = g.add_node("a");
         let b = g.add_node("b");
-        g.add_edge(a, b, rng.gen_range(100..1800));
+        g.add_edge(a, b, rng.gen_range(100u32..1800));
         let mut ip = IpTopology::new();
-        ip.add_link(a, b, 100 * rng.gen_range(1..=6));
+        ip.add_link(a, b, 100 * rng.gen_range(1u64..=6));
         let cfg = PlannerConfig {
             grid: SpectrumGrid::new(24),
             k_paths: 1,

@@ -1,4 +1,6 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized property tests over the core data structures and
+//! invariants, driven by a seeded [`ChaCha8Rng`] so every run replays the
+//! same cases (no external property-testing framework required).
 
 use std::collections::HashSet;
 
@@ -11,138 +13,146 @@ use flexwan::optical::spectrum::{PixelRange, PixelWidth, SpectrumGrid, SpectrumM
 use flexwan::solver::{LinExpr, Model, Sense, Status};
 use flexwan::topo::graph::Graph;
 use flexwan::topo::ksp::k_shortest_paths;
-use proptest::prelude::*;
+use flexwan_util::rng::ChaCha8Rng;
 
-fn cases(n: u32) -> ProptestConfig {
-    ProptestConfig { cases: n, ..ProptestConfig::default() }
-}
-
-proptest! {
-    #![proptest_config(cases(128))]
-
-    /// Occupy/release round-trips leave the mask exactly as before, and
-    /// occupancy accounting matches the sum of live ranges.
-    #[test]
-    fn spectrum_mask_accounting(
-        ops in prop::collection::vec((0u32..370, 1u16..13), 1..40)
-    ) {
+/// Occupy/release round-trips leave the mask exactly as before, and
+/// occupancy accounting matches the sum of live ranges.
+#[test]
+fn spectrum_mask_accounting() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA001);
+    for _case in 0..128 {
         let grid = SpectrumGrid::c_band();
         let mut mask = SpectrumMask::new(grid);
         let mut live: Vec<PixelRange> = Vec::new();
-        for (start, width) in ops {
-            let r = PixelRange::new(start, PixelWidth::new(width));
+        let n_ops = rng.gen_range(1usize..40);
+        for _ in 0..n_ops {
+            let r = PixelRange::new(rng.gen_range(0u32..370), PixelWidth::new(rng.gen_range(1u16..13)));
             if grid.contains(&r) && mask.is_free(&r) {
                 mask.occupy(&r).unwrap();
                 live.push(r);
             }
         }
         let expected: u32 = live.iter().map(|r| u32::from(r.width.pixels())).sum();
-        prop_assert_eq!(mask.occupied_pixels(), expected);
+        assert_eq!(mask.occupied_pixels(), expected);
         // Releasing everything restores an empty mask.
         for r in &live {
             mask.release(r).unwrap();
         }
-        prop_assert_eq!(mask.occupied_pixels(), 0);
+        assert_eq!(mask.occupied_pixels(), 0);
     }
+}
 
-    /// first_fit always returns a free range, and there is no free run of
-    /// the requested width starting below it.
-    #[test]
-    fn first_fit_is_lowest(
-        occupied in prop::collection::vec((0u32..90, 1u16..8), 0..20),
-        want in 1u16..10
-    ) {
+/// first_fit always returns a free range, and there is no free run of
+/// the requested width starting below it.
+#[test]
+fn first_fit_is_lowest() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA002);
+    for _case in 0..128 {
         let grid = SpectrumGrid::new(96);
         let mut mask = SpectrumMask::new(grid);
-        for (start, width) in occupied {
-            let r = PixelRange::new(start, PixelWidth::new(width));
+        for _ in 0..rng.gen_range(0usize..20) {
+            let r = PixelRange::new(rng.gen_range(0u32..90), PixelWidth::new(rng.gen_range(1u16..8)));
             if grid.contains(&r) && mask.is_free(&r) {
                 mask.occupy(&r).unwrap();
             }
         }
+        let want = rng.gen_range(1u16..10);
         let w = PixelWidth::new(want);
         match mask.first_fit(w) {
             Some(hit) => {
-                prop_assert!(mask.is_free(&hit));
+                assert!(mask.is_free(&hit));
                 for s in 0..hit.start {
-                    prop_assert!(!mask.is_free(&PixelRange::new(s, w)),
-                        "free run below first_fit at {s}");
+                    assert!(
+                        !mask.is_free(&PixelRange::new(s, w)),
+                        "free run below first_fit at {s}"
+                    );
                 }
             }
             None => {
                 for s in 0..=(96 - u32::from(want)) {
-                    prop_assert!(!mask.is_free(&PixelRange::new(s, w)));
+                    assert!(!mask.is_free(&PixelRange::new(s, w)));
                 }
             }
         }
     }
+}
 
-    /// The format-selection DP always covers the demand with reachable
-    /// formats, never uses more transponders than the 100 G fallback, and
-    /// never does worse (in objective) than any single-format solution.
-    #[test]
-    fn format_dp_covers_and_is_competitive(
-        demand_units in 1u64..25,
-        distance in 50u32..5200,
-    ) {
-        let demand = demand_units * 100;
+/// The format-selection DP always covers the demand with reachable
+/// formats, never uses more transponders than the 100 G fallback, and
+/// never does worse (in objective) than any single-format solution.
+#[test]
+fn format_dp_covers_and_is_competitive() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA003);
+    for _case in 0..128 {
+        let demand = rng.gen_range(1u64..25) * 100;
+        let distance = rng.gen_range(50u32..5200);
         let model = Scheme::FlexWan.transponder();
         match select_formats(model, demand, distance, 1e-3) {
             None => {
-                prop_assert!(model.formats_reaching(distance).is_empty());
+                assert!(model.formats_reaching(distance).is_empty());
             }
             Some(formats) => {
                 let total: u64 = formats.iter().map(|f| u64::from(f.data_rate_gbps)).sum();
-                prop_assert!(total >= demand, "covers demand");
+                assert!(total >= demand, "covers demand");
                 for f in &formats {
-                    prop_assert!(f.reach_km >= distance, "reach constraint");
+                    assert!(f.reach_km >= distance, "reach constraint");
                 }
                 let cost: f64 = formats.iter().map(|f| 1.0 + 1e-3 * f.spacing.ghz()).sum();
                 // Compare against every single-format alternative.
                 for alt in model.formats_reaching(distance) {
                     let n = demand.div_ceil(u64::from(alt.data_rate_gbps));
                     let alt_cost = n as f64 * (1.0 + 1e-3 * alt.spacing.ghz());
-                    prop_assert!(cost <= alt_cost + 1e-9,
-                        "DP cost {cost} beats single-format {alt_cost}");
+                    assert!(
+                        cost <= alt_cost + 1e-9,
+                        "DP cost {cost} beats single-format {alt_cost}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Simplex: on random bounded LPs the solution is feasible and at
-    /// least as good as a sample of random feasible points.
-    #[test]
-    fn simplex_dominates_random_feasible_points(
-        c1 in -5.0f64..5.0, c2 in -5.0f64..5.0,
-        a in 1.0f64..4.0, b in 1.0f64..4.0, rhs in 2.0f64..20.0,
-        probes in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 10)
-    ) {
+/// Simplex: on random bounded LPs the solution is feasible and at
+/// least as good as a sample of random feasible points.
+#[test]
+fn simplex_dominates_random_feasible_points() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA004);
+    for _case in 0..128 {
+        let (c1, c2) = (rng.gen_range(-5.0f64..5.0), rng.gen_range(-5.0f64..5.0));
+        let (a, b) = (rng.gen_range(1.0f64..4.0), rng.gen_range(1.0f64..4.0));
+        let rhs = rng.gen_range(2.0f64..20.0);
         let mut m = Model::new();
         let x = m.continuous("x", 0.0, 10.0);
         let y = m.continuous("y", 0.0, 10.0);
         m.le(a * x + b * y, rhs);
         m.set_objective(Sense::Maximize, c1 * x + c2 * y);
         let sol = m.solve();
-        prop_assert_eq!(sol.status, Status::Optimal);
-        prop_assert!(m.is_feasible(&sol.values, 1e-6));
-        for (px, py) in probes {
+        assert_eq!(sol.status, Status::Optimal);
+        assert!(m.is_feasible(&sol.values, 1e-6));
+        for _ in 0..10 {
+            let (px, py) = (rng.gen_range(0.0f64..10.0), rng.gen_range(0.0f64..10.0));
             if a * px + b * py <= rhs {
                 let val = c1 * px + c2 * py;
-                prop_assert!(sol.objective >= val - 1e-6,
-                    "optimal {} < feasible probe {}", sol.objective, val);
+                assert!(
+                    sol.objective >= val - 1e-6,
+                    "optimal {} < feasible probe {}",
+                    sol.objective,
+                    val
+                );
             }
         }
     }
+}
 
-    /// Branch & bound matches brute force on random 0/1 knapsacks.
-    #[test]
-    fn mip_matches_bruteforce_knapsack(
-        weights in prop::collection::vec(1u32..15, 2..9),
-        values in prop::collection::vec(1u32..20, 2..9),
-        cap in 5u32..40,
-    ) {
-        let n = weights.len().min(values.len());
-        let (weights, values) = (&weights[..n], &values[..n]);
+/// Branch & bound matches brute force on random 0/1 knapsacks.
+#[test]
+fn mip_matches_bruteforce_knapsack() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA005);
+    for _case in 0..128 {
+        let n = rng.gen_range(2usize..9);
+        let weights: Vec<u32> = (0..n).map(|_| rng.gen_range(1u32..15)).collect();
+        let values: Vec<u32> = (0..n).map(|_| rng.gen_range(1u32..20)).collect();
+        let cap = rng.gen_range(5u32..40);
         // Brute force.
         let mut best = 0u32;
         for pick in 0u32..(1 << n) {
@@ -160,47 +170,50 @@ proptest! {
         // MIP.
         let mut m = Model::new();
         let vars: Vec<_> = (0..n).map(|i| m.binary(format!("b{i}"))).collect();
-        let wexpr = LinExpr::sum(vars.iter().zip(weights).map(|(&v, &w)| f64::from(w) * v));
+        let wexpr = LinExpr::sum(vars.iter().zip(&weights).map(|(&v, &w)| f64::from(w) * v));
         m.le(wexpr, f64::from(cap));
-        let vexpr = LinExpr::sum(vars.iter().zip(values).map(|(&var, &val)| f64::from(val) * var));
+        let vexpr = LinExpr::sum(vars.iter().zip(&values).map(|(&var, &val)| f64::from(val) * var));
         m.set_objective(Sense::Maximize, vexpr);
         let sol = m.solve();
-        prop_assert_eq!(sol.status, Status::Optimal);
-        prop_assert!((sol.objective - f64::from(best)).abs() < 1e-6,
-            "mip {} vs brute {}", sol.objective, best);
+        assert_eq!(sol.status, Status::Optimal);
+        assert!(
+            (sol.objective - f64::from(best)).abs() < 1e-6,
+            "mip {} vs brute {}",
+            sol.objective,
+            best
+        );
     }
+}
 
-    /// Vendor adapters are lossless for arbitrary MUX-port configs.
-    #[test]
-    fn vendor_dialects_round_trip(
-        port in 0u16..64,
-        start in 0u32..370,
-        width in 1u16..13,
-        clear in any::<bool>(),
-    ) {
-        let passband =
-            (!clear).then(|| PixelRange::new(start, PixelWidth::new(width)));
+/// Vendor adapters are lossless for arbitrary MUX-port configs.
+#[test]
+fn vendor_dialects_round_trip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA006);
+    for _case in 0..128 {
+        let port = rng.gen_range(0u16..64);
+        let clear = rng.gen_bool(0.5);
+        let passband = (!clear).then(|| {
+            PixelRange::new(rng.gen_range(0u32..370), PixelWidth::new(rng.gen_range(1u16..13)))
+        });
         let cfg = StandardConfig::MuxPort { port, passband };
         for v in Vendor::ALL {
             let back = vendor::decode(v, &vendor::encode(v, &cfg)).unwrap();
-            prop_assert_eq!(&back, &cfg);
+            assert_eq!(back, cfg);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(cases(64))]
-
-    /// Node-distinct routes: hop alternatives connect the right node
-    /// pairs, the conservative length is the max realization, and every
-    /// realization is a valid path.
-    #[test]
-    fn routes_are_consistent(
-        pair_fibers in prop::collection::vec(1usize..4, 3..6),
-        lens in prop::collection::vec(20u32..400, 3..6),
-    ) {
-        use flexwan::topo::route::k_shortest_routes;
-        let n = pair_fibers.len().min(lens.len());
+/// Node-distinct routes: hop alternatives connect the right node
+/// pairs, the conservative length is the max realization, and every
+/// realization is a valid path.
+#[test]
+fn routes_are_consistent() {
+    use flexwan::topo::route::k_shortest_routes;
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA007);
+    for _case in 0..64 {
+        let n = rng.gen_range(3usize..6);
+        let pair_fibers: Vec<usize> = (0..n).map(|_| rng.gen_range(1usize..4)).collect();
+        let lens: Vec<u32> = (0..n).map(|_| rng.gen_range(20u32..400)).collect();
         let mut g = Graph::new();
         let nodes: Vec<_> = (0..=n).map(|i| g.add_node(format!("n{i}"))).collect();
         for i in 0..n {
@@ -209,35 +222,39 @@ proptest! {
             }
         }
         let routes = k_shortest_routes(&g, nodes[0], nodes[n], 3, &HashSet::new());
-        prop_assert_eq!(routes.len(), 1, "a chain has one node-distinct route");
+        assert_eq!(routes.len(), 1, "a chain has one node-distinct route");
         let r = &routes[0];
-        prop_assert_eq!(r.hops.len(), n);
+        assert_eq!(r.hops.len(), n);
         for (i, hop) in r.hops.iter().enumerate() {
-            prop_assert_eq!(hop.len(), pair_fibers[i]);
+            assert_eq!(hop.len(), pair_fibers[i]);
         }
         // Conservative length = Σ max parallel length.
         let expect: u32 = (0..n).map(|i| lens[i] + (pair_fibers[i] - 1) as u32).sum();
-        prop_assert_eq!(r.length_km, expect);
+        assert_eq!(r.length_km, expect);
         // Any per-hop choice realizes a valid path no longer than that.
         let chosen: Vec<_> = r.hops.iter().map(|h| h[0]).collect();
         let path = r.realize(&g, &chosen);
-        prop_assert!(path.length_km <= r.length_km);
+        assert!(path.length_km <= r.length_km);
     }
+}
 
-    /// Defragmentation preserves the global no-overlap invariant and
-    /// never loses a wavelength.
-    #[test]
-    fn defrag_preserves_invariants(
-        starts in prop::collection::vec(0u32..28, 1..5),
-        widths in prop::collection::vec(2u16..6, 1..5),
-        want in 4u16..12,
-    ) {
-        use flexwan::core::defrag::make_room;
-        use flexwan::core::planning::SpectrumState;
-        use flexwan::core::Wavelength;
-        use flexwan::optical::format::TransponderFormat;
-        use flexwan::topo::ip::IpLinkId;
-        use flexwan::topo::route::k_shortest_routes;
+/// Defragmentation preserves the global no-overlap invariant and
+/// never loses a wavelength.
+#[test]
+fn defrag_preserves_invariants() {
+    use flexwan::core::defrag::make_room;
+    use flexwan::core::planning::SpectrumState;
+    use flexwan::core::Wavelength;
+    use flexwan::optical::format::TransponderFormat;
+    use flexwan::topo::ip::IpLinkId;
+    use flexwan::topo::route::k_shortest_routes;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA008);
+    for _case in 0..64 {
+        let n_seed = rng.gen_range(1usize..5);
+        let starts: Vec<u32> = (0..n_seed).map(|_| rng.gen_range(0u32..28)).collect();
+        let widths: Vec<u16> = (0..n_seed).map(|_| rng.gen_range(2u16..6)).collect();
+        let want = rng.gen_range(4u16..12);
 
         let mut g = Graph::new();
         let a = g.add_node("a");
@@ -263,60 +280,62 @@ proptest! {
         let n_before = wl.len();
         let route = k_shortest_routes(&g, a, b, 1, &HashSet::new()).remove(0);
         let result = make_room(&mut s, &mut wl, &route, PixelWidth::new(want), 1, 3, &g);
-        prop_assert_eq!(wl.len(), n_before, "no wavelength lost");
+        assert_eq!(wl.len(), n_before, "no wavelength lost");
         // No overlaps among wavelengths (and the new channel, if any).
         let mut ranges: Vec<PixelRange> = wl.iter().map(|w| w.channel).collect();
         if let Some(out) = &result {
             ranges.push(out.channel);
             for st in &out.steps {
-                prop_assert!(!st.from.overlaps(&st.to), "make-before-break");
+                assert!(!st.from.overlaps(&st.to), "make-before-break");
             }
         }
         for (i, r1) in ranges.iter().enumerate() {
             for r2 in &ranges[i + 1..] {
-                prop_assert!(!r1.overlaps(r2), "overlap after defrag");
+                assert!(!r1.overlaps(r2), "overlap after defrag");
             }
         }
         // Mask occupancy equals the sum of live ranges.
         let expected: u32 = ranges.iter().map(|r| u32::from(r.width.pixels())).sum();
-        prop_assert_eq!(s.mask(flexwan::topo::EdgeId(0)).occupied_pixels(), expected);
+        assert_eq!(s.mask(flexwan::topo::EdgeId(0)).occupied_pixels(), expected);
     }
+}
 
-    /// Yen's KSP on random connected graphs: sorted, loopless, distinct,
-    /// and the first path is the Dijkstra optimum.
-    #[test]
-    fn ksp_properties(
-        n in 4usize..9,
-        extra_edges in prop::collection::vec((0usize..8, 0usize..8, 1u32..500), 2..12),
-        k in 1usize..5,
-    ) {
+/// Yen's KSP on random connected graphs: sorted, loopless, distinct,
+/// and the first path is the Dijkstra optimum.
+#[test]
+fn ksp_properties() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA009);
+    for _case in 0..64 {
+        let n = rng.gen_range(4usize..9);
+        let k = rng.gen_range(1usize..5);
         let mut g = Graph::new();
         let nodes: Vec<_> = (0..n).map(|i| g.add_node(format!("n{i}"))).collect();
         // Spanning chain keeps it connected.
         for w in nodes.windows(2) {
             g.add_edge(w[0], w[1], 100);
         }
-        for (a, b, len) in extra_edges {
-            let (a, b) = (a % n, b % n);
+        for _ in 0..rng.gen_range(2usize..12) {
+            let a = rng.gen_range(0usize..8) % n;
+            let b = rng.gen_range(0usize..8) % n;
             if a != b {
-                g.add_edge(nodes[a], nodes[b], len);
+                g.add_edge(nodes[a], nodes[b], rng.gen_range(1u32..500));
             }
         }
         let src = nodes[0];
         let dst = nodes[n - 1];
         let paths = k_shortest_paths(&g, src, dst, k, &HashSet::new());
-        prop_assert!(!paths.is_empty());
+        assert!(!paths.is_empty());
         let mut seen = HashSet::new();
         for w in paths.windows(2) {
-            prop_assert!(w[0].length_km <= w[1].length_km);
+            assert!(w[0].length_km <= w[1].length_km);
         }
         for p in &paths {
-            prop_assert!(!p.has_loop());
-            prop_assert_eq!(p.source(), src);
-            prop_assert_eq!(p.destination(), dst);
-            prop_assert!(seen.insert(p.edges.clone()), "duplicate path");
+            assert!(!p.has_loop());
+            assert_eq!(p.source(), src);
+            assert_eq!(p.destination(), dst);
+            assert!(seen.insert(p.edges.clone()), "duplicate path");
         }
         let best = flexwan::topo::ksp::shortest_path(&g, src, dst, &HashSet::new()).unwrap();
-        prop_assert_eq!(paths[0].length_km, best.length_km);
+        assert_eq!(paths[0].length_km, best.length_km);
     }
 }

@@ -1,0 +1,138 @@
+//! Cross-cutting robustness checks: every fallible subsystem's error type
+//! composes behind `Box<dyn Error>`, and zero-touch misconnection
+//! recovery behaves per §9 across the WSS generations.
+
+use std::error::Error;
+
+use flexwan::ctrl::ha::ClusterError;
+use flexwan::ctrl::model::DeviceId;
+use flexwan::ctrl::{recover_misconnection, RecoveryOutcome, SessionError, TxError};
+use flexwan::io::LoadError;
+use flexwan::optical::spectrum::{PixelRange, PixelWidth};
+use flexwan::optical::{OpticalError, WssKind};
+
+// ---- Error-trait composition ----
+
+fn all_errors() -> Vec<Box<dyn Error>> {
+    vec![
+        Box::new(SessionError::Rejected("slot busy".into())),
+        Box::new(SessionError::Unreachable),
+        Box::new(SessionError::ProtocolViolation),
+        Box::new(TxError {
+            failed_device: DeviceId(4),
+            cause: "simulated".into(),
+            rolled_back: 2,
+            rollback_failures: Vec::new(),
+        }),
+        Box::new(ClusterError::NoHealthyReplica),
+        Box::new(OpticalError::SpectrumConflict {
+            range: PixelRange::new(3, PixelWidth::new(6)),
+        }),
+        Box::new(LoadError::Invalid("no nodes".into())),
+    ]
+}
+
+#[test]
+fn every_subsystem_error_composes_behind_dyn_error() {
+    for e in all_errors() {
+        let msg = e.to_string();
+        assert!(!msg.is_empty(), "Display must say something");
+        // Debug comes with the Error supertrait bundle.
+        assert!(!format!("{e:?}").is_empty());
+    }
+}
+
+#[test]
+fn dyn_errors_downcast_to_their_concrete_types() {
+    let errs = all_errors();
+    assert!(errs[0].downcast_ref::<SessionError>().is_some());
+    assert!(errs[3].downcast_ref::<TxError>().is_some());
+    assert!(errs[4].downcast_ref::<ClusterError>().is_some());
+    assert!(errs[5].downcast_ref::<OpticalError>().is_some());
+    assert!(errs[6].downcast_ref::<LoadError>().is_some());
+    assert!(errs[0].downcast_ref::<TxError>().is_none(), "downcast is type-exact");
+}
+
+#[test]
+fn load_error_chains_its_json_source() {
+    let bad = flexwan::io::TopologyFile::from_json("{ not json").unwrap_err();
+    let e: Box<dyn Error> = Box::new(bad);
+    assert!(matches!(e.downcast_ref::<LoadError>(), Some(LoadError::Json(_))));
+    assert!(e.source().is_some(), "the JSON cause is reachable via source()");
+    // Semantic errors have no upstream cause.
+    let invalid: Box<dyn Error> = Box::new(LoadError::Invalid("empty".into()));
+    assert!(invalid.source().is_none());
+}
+
+#[test]
+fn tx_error_display_names_device_and_rollback() {
+    let e = TxError {
+        failed_device: DeviceId(7),
+        cause: "passband overlap".into(),
+        rolled_back: 3,
+        rollback_failures: Vec::new(),
+    };
+    let msg = e.to_string();
+    assert!(msg.contains("passband overlap"));
+    assert!(msg.contains('3'));
+}
+
+// ---- Misconnection recovery across WSS generations (§9) ----
+
+#[test]
+fn pixel_wise_recovery_matrix_is_all_zero_touch() {
+    for port in [0u16, 1, 13, 63] {
+        for (start, width) in [(0u32, 4u16), (7, 6), (30, 8), (361, 9)] {
+            let out = recover_misconnection(
+                WssKind::PixelWise,
+                port,
+                PixelRange::new(start, PixelWidth::new(width)),
+            );
+            assert_eq!(out, RecoveryOutcome::ZeroTouch { reconfigured_port: port });
+        }
+    }
+}
+
+#[test]
+fn fixed_grid_recovery_matrix_matches_the_factory_ladder() {
+    // On an AWG-style MUX, port p is factory-bound to the slot starting at
+    // pixel p·spacing and exactly spacing wide; everything else is a
+    // truck roll.
+    for spacing in [4u16, 6, 8] {
+        let wss = WssKind::FixedGrid { spacing: PixelWidth::new(spacing) };
+        for port in 0u16..6 {
+            for slot in 0u16..6 {
+                for width in [spacing, spacing - 1] {
+                    let channel = PixelRange::new(
+                        u32::from(slot) * u32::from(spacing),
+                        PixelWidth::new(width),
+                    );
+                    let out = recover_misconnection(wss, port, channel);
+                    let lucky = slot == port && width == spacing;
+                    match out {
+                        RecoveryOutcome::ZeroTouch { reconfigured_port } => {
+                            assert!(lucky, "spacing {spacing} port {port} slot {slot} width {width} must not be recoverable");
+                            assert_eq!(reconfigured_port, port);
+                        }
+                        RecoveryOutcome::ManualIntervention { reason } => {
+                            assert!(!lucky, "lucky case needs no truck roll");
+                            assert!(reason.contains("re-cabling"), "{reason}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn off_grid_channel_is_never_recoverable_on_fixed_grid() {
+    let wss = WssKind::FixedGrid { spacing: PixelWidth::new(6) };
+    // Starts that are not multiples of the spacing can match no port.
+    for start in [1u32, 5, 7, 13] {
+        for port in 0u16..8 {
+            let out = recover_misconnection(wss, port, PixelRange::new(start, PixelWidth::new(6)));
+            assert!(matches!(out, RecoveryOutcome::ManualIntervention { .. }));
+        }
+    }
+}

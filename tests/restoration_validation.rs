@@ -8,9 +8,7 @@ use flexwan::optical::spectrum::SpectrumGrid;
 use flexwan::solver::SolveOptions;
 use flexwan::topo::graph::Graph;
 use flexwan::topo::ip::IpTopology;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use flexwan_util::rng::ChaCha8Rng;
 
 fn random_instance(seed: u64) -> (Graph, IpTopology, PlannerConfig) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -19,22 +17,22 @@ fn random_instance(seed: u64) -> (Graph, IpTopology, PlannerConfig) {
     let b = g.add_node("b");
     let c = g.add_node("c");
     let d = g.add_node("d");
-    g.add_edge(a, b, rng.gen_range(100..700));
-    g.add_edge(b, c, rng.gen_range(100..700));
-    g.add_edge(c, d, rng.gen_range(100..700));
-    g.add_edge(d, a, rng.gen_range(100..700));
-    g.add_edge(a, c, rng.gen_range(300..1200));
+    g.add_edge(a, b, rng.gen_range(100u32..700));
+    g.add_edge(b, c, rng.gen_range(100u32..700));
+    g.add_edge(c, d, rng.gen_range(100u32..700));
+    g.add_edge(d, a, rng.gen_range(100u32..700));
+    g.add_edge(a, c, rng.gen_range(300u32..1200));
     let mut ip = IpTopology::new();
-    for _ in 0..rng.gen_range(1..=2) {
-        let (src, dst) = match rng.gen_range(0..3) {
+    for _ in 0..rng.gen_range(1u32..=2) {
+        let (src, dst) = match rng.gen_range(0u32..3) {
             0 => (a, b),
             1 => (a, c),
             _ => (b, d),
         };
-        ip.add_link(src, dst, 100 * rng.gen_range(1..=4));
+        ip.add_link(src, dst, 100 * rng.gen_range(1u64..=4));
     }
     let cfg = PlannerConfig {
-        grid: SpectrumGrid::new(rng.gen_range(14..22)),
+        grid: SpectrumGrid::new(rng.gen_range(14u32..22)),
         k_paths: 2,
         ..Default::default()
     };
