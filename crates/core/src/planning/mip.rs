@@ -19,7 +19,7 @@
 //! instances, and the validation tests live in
 //! `tests/planning_exact_vs_heuristic.rs`.
 
-use flexwan_solver::{LinExpr, Model, Sense, SolveOptions, Status};
+use flexwan_solver::{LinExpr, Model, Sense, SolveOptions, SolverStats, Status};
 use flexwan_topo::graph::Graph;
 use flexwan_topo::ip::IpTopology;
 use flexwan_topo::ksp::k_shortest_paths;
@@ -37,6 +37,9 @@ pub struct ExactPlan {
     pub objective: f64,
     /// The provisioned wavelengths.
     pub wavelengths: Vec<Wavelength>,
+    /// Solver counters (pivots, B&B nodes, warm-start hit rate, phase
+    /// timings) for the exact solve — surfaced by the bench harness.
+    pub stats: SolverStats,
 }
 
 /// Solves Algorithm 1 exactly. Returns `None` when the instance is
@@ -124,10 +127,15 @@ pub fn solve_exact(
     );
     m.set_objective(Sense::Minimize, obj);
 
-    let sol = m.solve_with(opts);
+    let (sol, stats) = m.solve_with_stats(opts);
     match sol.status {
         Status::Optimal => {}
         Status::NodeLimit if !sol.objective.is_nan() => {}
+        // `Error` means the model itself was malformed (NaN coefficient,
+        // inverted bounds, …) — a bug in this formulation, not an
+        // infeasible instance; fold it into `None` like the others but
+        // keep the arm explicit so the distinction is visible here.
+        Status::Error => return None,
         _ => return None,
     }
 
@@ -142,7 +150,7 @@ pub fn solve_exact(
             channel: flexwan_optical::PixelRange::new(g.start, g.format.spacing),
         })
         .collect();
-    Some(ExactPlan { objective: sol.objective, wavelengths })
+    Some(ExactPlan { objective: sol.objective, wavelengths, stats })
 }
 
 impl ExactPlan {

@@ -8,7 +8,7 @@
 //! as per-slot availability. Used to validate the greedy restorer on
 //! small instances.
 
-use flexwan_solver::{LinExpr, Model, Sense, SolveOptions, Status};
+use flexwan_solver::{LinExpr, Model, Sense, SolveOptions, SolverStats, Status};
 use flexwan_topo::graph::Graph;
 use flexwan_topo::ip::IpTopology;
 use flexwan_topo::ksp::k_shortest_paths;
@@ -27,6 +27,9 @@ pub struct ExactRestoration {
     pub restored_gbps: u64,
     /// Capacity lost to the scenario, Gbps.
     pub affected_gbps: u64,
+    /// Solver counters for the exact solve (empty when no wavelength was
+    /// affected and no MIP was built).
+    pub stats: SolverStats,
 }
 
 /// Solves the §8 restoration MIP exactly. `extra_spares` as in
@@ -71,7 +74,11 @@ pub fn solve_exact(
     }
     let affected_gbps: u64 = per_link.iter().map(|&(_, c, _)| c).sum();
     if affected_gbps == 0 {
-        return Some(ExactRestoration { restored_gbps: 0, affected_gbps: 0 });
+        return Some(ExactRestoration {
+            restored_gbps: 0,
+            affected_gbps: 0,
+            stats: SolverStats::default(),
+        });
     }
     for (li, _, n) in &mut per_link {
         if !extra_spares.is_empty() {
@@ -164,15 +171,18 @@ pub fn solve_exact(
     // Maximize restored capacity.
     let obj = LinExpr::sum(gammas.iter().map(|g| f64::from(g.rate) * g.var));
     m.set_objective(Sense::Maximize, obj);
-    let sol = m.solve_with(opts);
+    let (sol, stats) = m.solve_with_stats(opts);
     match sol.status {
         Status::Optimal => {}
         Status::NodeLimit if !sol.objective.is_nan() => {}
+        // Malformed-model sentinel: a formulation bug, not infeasibility.
+        Status::Error => return None,
         _ => return None,
     }
     Some(ExactRestoration {
         restored_gbps: sol.objective.round() as u64,
         affected_gbps,
+        stats,
     })
 }
 

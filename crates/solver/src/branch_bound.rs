@@ -5,34 +5,62 @@
 //! variable bounds. The paper reports Gurobi closes its MIPs via LP
 //! relaxation "with a gap of less than 0.1 %" — our exact solver proves
 //! full optimality on the (small) instances it is used for.
+//!
+//! Three mechanics keep the tree cheap:
+//!
+//! 1. **Warm starts.** Every node carries an `Arc` snapshot of its
+//!    parent's optimal basis; the child re-optimizes with the dual
+//!    simplex after its single bound change instead of rebuilding the
+//!    tableau from scratch ([`Ctx::solve_warm`]).
+//! 2. **Diving.** A popped node is driven depth-first for up to
+//!    [`DIVE_CAP`] consecutive branchings inside one [`Ctx`] — the
+//!    current factorization is reused verbatim (no basis copy at all) —
+//!    emitting the unexplored sibling of each dive step back to the heap.
+//! 3. **Deterministic parallelism.** Open nodes are popped in batches of
+//!    [`BATCH`] and processed by worker threads over the `flexwan-util`
+//!    channels. Each node is evaluated against the *same* incumbent
+//!    snapshot and results are applied in pop order, so the search — and
+//!    therefore the reported solution — is identical for any thread
+//!    count, including 1.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
-use crate::model::{Model, Sense, Solution, SolveOptions, Status, VarKind};
-use crate::simplex::{relax, solve_lp};
+use crate::model::{Model, Sense, Solution, SolveOptions, SolverStats, Status, VarKind};
+use crate::simplex::{relax, solve_lp_collecting, BasisState, Ctx, Instance, LpOutcome};
 
-/// A search node: tightened bounds over the base model.
-#[derive(Debug, Clone)]
+/// Nodes popped (and processed) per coordination round. Fixed regardless
+/// of thread count so the search tree does not depend on parallelism.
+const BATCH: usize = 8;
+/// Maximum consecutive in-`Ctx` branchings before a node returns its
+/// remaining frontier to the shared heap.
+const DIVE_CAP: usize = 24;
+
+/// A search node: tightened bounds over the base model plus the parent's
+/// final basis for warm-starting.
+#[derive(Clone)]
 struct Node {
     /// LP bound of the parent (priority).
     bound: f64,
     /// (var index, new lower, new upper) deltas relative to the base model.
     bounds: Vec<(usize, f64, f64)>,
     depth: usize,
+    basis: Option<Arc<BasisState>>,
 }
 
-/// Max-heap ordering by *best* bound: for minimization, lowest bound
-/// first; among equal bounds, deepest node first (diving finds an
-/// incumbent quickly, which unlocks pruning).
+/// Heap ordering: best bound first; among equal bounds, deepest node
+/// first (diving finds an incumbent quickly, which unlocks pruning);
+/// among those, lowest insertion sequence — a total, deterministic order.
 struct Prioritized {
     key: f64,
+    seq: u64,
     node: Node,
 }
 
 impl PartialEq for Prioritized {
     fn eq(&self, other: &Self) -> bool {
-        self.key == other.key && self.node.depth == other.node.depth
+        self.key == other.key && self.node.depth == other.node.depth && self.seq == other.seq
     }
 }
 impl Eq for Prioritized {}
@@ -44,18 +72,198 @@ impl PartialOrd for Prioritized {
 impl Ord for Prioritized {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; we want the smallest key popped first,
-        // then the deepest node.
+        // then the deepest node, then the oldest insertion.
         other
             .key
             .partial_cmp(&self.key)
             .unwrap_or(Ordering::Equal)
             .then_with(|| self.node.depth.cmp(&other.node.depth))
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
-/// Solves a MIP by branch & bound. Called through
-/// [`Model::solve_with`] when integer variables are present.
+/// Everything a worker needs to evaluate a node, shared read-only.
+struct Shared {
+    inst: Arc<Instance>,
+    int_vars: Vec<usize>,
+    int_tol: f64,
+    minimize: bool,
+}
+
+impl Shared {
+    fn better(&self, a: f64, b: f64) -> bool {
+        if self.minimize {
+            a < b - 1e-9
+        } else {
+            a > b + 1e-9
+        }
+    }
+}
+
+/// Outcome of processing (diving) one popped node.
+#[derive(Default)]
+struct NodeResult {
+    /// Unexplored siblings / frontier children to return to the heap.
+    opened: Vec<Node>,
+    /// Integral solution found during the dive: (objective, values).
+    candidate: Option<(f64, Vec<f64>)>,
+    /// LPs solved beyond the popped node itself (dive steps).
+    extra_nodes: u64,
+    root_unbounded: bool,
+    error: bool,
+    stats: SolverStats,
+}
+
+/// Effective absolute bounds for the node's delta list, or `None` when a
+/// variable's domain became empty (infeasible branch).
+fn merge_bounds(inst: &Instance, deltas: &[(usize, f64, f64)]) -> Option<Vec<(usize, f64, f64)>> {
+    let mut merged: Vec<(usize, f64, f64)> = Vec::with_capacity(deltas.len());
+    for &(v, lo, hi) in deltas {
+        match merged.iter_mut().find(|e| e.0 == v) {
+            Some(e) => {
+                e.1 = e.1.max(lo);
+                e.2 = e.2.min(hi);
+            }
+            None => {
+                merged.push((v, inst.base_lo(v).max(lo), inst.base_up(v).min(hi)));
+            }
+        }
+    }
+    if merged.iter().any(|&(_, lo, hi)| lo > hi) {
+        None
+    } else {
+        Some(merged)
+    }
+}
+
+/// Evaluates one popped node: solve its relaxation (warm from the parent
+/// basis when available), then dive best-guess-first up to [`DIVE_CAP`]
+/// branchings, emitting every unexplored sibling. Pure in
+/// `(node, incumbent snapshot)` — the `Ctx` is fully reset — which is
+/// what makes batch-parallel execution deterministic.
+fn process_node(ctx: &mut Ctx, sh: &Shared, node: &Node, snapshot: Option<f64>) -> NodeResult {
+    let mut res = NodeResult::default();
+    ctx.stats = SolverStats::default();
+    let mut bounds = node.bounds.clone();
+    let mut depth = node.depth;
+    let local_best = snapshot;
+    let mut first = true;
+    let mut dives = 0usize;
+    while let Some(merged) = merge_bounds(&sh.inst, &bounds) {
+        ctx.set_bounds(&merged);
+        let outcome = if first {
+            match &node.basis {
+                Some(bs) => ctx.solve_warm(Some(bs)),
+                None => ctx.solve_cold(),
+            }
+        } else {
+            // Dive continuation: the basis of the LP we just solved is
+            // still installed; only the branched bound moved.
+            ctx.solve_warm(None)
+        };
+        if !first {
+            res.extra_nodes += 1;
+        }
+        first = false;
+        match outcome {
+            LpOutcome::Infeasible => break,
+            LpOutcome::Unbounded => {
+                if depth == 0 {
+                    res.root_unbounded = true;
+                }
+                break;
+            }
+            LpOutcome::Error => {
+                res.error = true;
+                break;
+            }
+            LpOutcome::Optimal => {}
+        }
+        let obj = ctx.objective();
+        if let Some(b) = local_best {
+            if !sh.better(obj, b) {
+                break;
+            }
+        }
+        let values = ctx.structural_values();
+        // Most fractional integer variable (ties resolved identically to
+        // the historical dense solver: the last maximum wins).
+        let frac = sh
+            .int_vars
+            .iter()
+            .map(|&v| {
+                let x = values[v];
+                let f = (x - x.round()).abs();
+                (v, x, f)
+            })
+            .filter(|&(_, _, f)| f > sh.int_tol)
+            .max_by(|a, b| {
+                let da = (a.2 - 0.5).abs();
+                let db = (b.2 - 0.5).abs();
+                db.partial_cmp(&da).unwrap_or(Ordering::Equal)
+            });
+        let Some((v, x, _)) = frac else {
+            // Integral: round residue and record as candidate incumbent.
+            let mut vals = values;
+            for &iv in &sh.int_vars {
+                vals[iv] = vals[iv].round();
+            }
+            res.candidate = Some((obj, vals));
+            break;
+        };
+        let down = (v, f64::NEG_INFINITY, x.floor());
+        let up = (v, x.ceil(), f64::INFINITY);
+        if dives >= DIVE_CAP {
+            let bs = Arc::new(ctx.basis_state());
+            for delta in [down, up] {
+                let mut child = bounds.clone();
+                child.push(delta);
+                res.opened.push(Node {
+                    bound: obj,
+                    bounds: child,
+                    depth: depth + 1,
+                    basis: Some(Arc::clone(&bs)),
+                });
+            }
+            break;
+        }
+        dives += 1;
+        // Dive toward the nearer integer; the sibling goes to the heap
+        // with this LP's basis for its own warm start.
+        let fpart = x - x.floor();
+        let (dive, sibling) = if fpart > 0.5 { (up, down) } else { (down, up) };
+        let mut sib_bounds = bounds.clone();
+        sib_bounds.push(sibling);
+        res.opened.push(Node {
+            bound: obj,
+            bounds: sib_bounds,
+            depth: depth + 1,
+            basis: Some(Arc::new(ctx.basis_state())),
+        });
+        bounds.push(dive);
+        depth += 1;
+    }
+    res.stats = ctx.stats;
+    res
+}
+
+/// Solves a MIP by branch & bound. Called through [`Model::solve_with`]
+/// when integer variables are present.
 pub fn solve_mip(model: &Model, opts: &SolveOptions) -> Solution {
+    let mut stats = SolverStats::default();
+    solve_mip_with_stats(model, opts, &mut stats)
+}
+
+/// [`solve_mip`] accumulating counters into `stats`.
+pub(crate) fn solve_mip_with_stats(
+    model: &Model,
+    opts: &SolveOptions,
+    stats: &mut SolverStats,
+) -> Solution {
+    let n_model = model.num_vars();
+    if model.check_data().is_err() {
+        return Solution::sentinel(Status::Error, n_model);
+    }
     let minimize = model.sense != Some(Sense::Maximize);
     // Work on the relaxation; integer kinds live in `model`.
     let mut base = relax(model);
@@ -63,7 +271,7 @@ pub fn solve_mip(model: &Model, opts: &SolveOptions) -> Solution {
     // Cut-and-branch: strengthen the root with violated knapsack cover
     // cuts (valid for every integer point, so they apply to all nodes).
     for _round in 0..4 {
-        let root = solve_lp(&base);
+        let root = solve_lp_collecting(&base, stats, None);
         if root.status != Status::Optimal {
             break;
         }
@@ -71,140 +279,163 @@ pub fn solve_mip(model: &Model, opts: &SolveOptions) -> Solution {
         if cuts.is_empty() {
             break;
         }
+        stats.cuts += cuts.len() as u64;
         for c in cuts {
             base.le(c.expr, c.rhs);
         }
     }
-    let int_vars: Vec<usize> = model
-        .vars
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| v.kind != VarKind::Continuous)
-        .map(|(i, _)| i)
-        .collect();
 
-    let root = Node { bound: if minimize { f64::NEG_INFINITY } else { f64::INFINITY }, bounds: Vec::new(), depth: 0 };
+    let sh = Shared {
+        inst: Arc::new(Instance::build(&base)),
+        int_vars: model
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind != VarKind::Continuous)
+            .map(|(i, _)| i)
+            .collect(),
+        int_tol: opts.int_tol,
+        minimize,
+    };
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get()).min(4)
+    } else {
+        opts.threads
+    };
+
+    let root = Node {
+        bound: if minimize { f64::NEG_INFINITY } else { f64::INFINITY },
+        bounds: Vec::new(),
+        depth: 0,
+        basis: None,
+    };
     let mut heap = BinaryHeap::new();
-    heap.push(Prioritized { key: f64::NEG_INFINITY, node: root });
+    let mut seq = 0u64;
+    heap.push(Prioritized { key: f64::NEG_INFINITY, seq, node: root });
 
     let mut incumbent: Option<Solution> = None;
-    let mut nodes = 0usize;
-    let better = |a: f64, b: f64| if minimize { a < b - 1e-9 } else { a > b + 1e-9 };
+    let mut nodes = 0u64;
+    let mut limited = false;
+    let mut errored = false;
 
-    while let Some(Prioritized { node, .. }) = heap.pop() {
-        nodes += 1;
-        if nodes > opts.max_nodes {
-            return match incumbent {
-                Some(mut s) => {
-                    s.status = Status::NodeLimit;
-                    s
-                }
-                None => Solution {
-                    status: Status::NodeLimit,
-                    objective: f64::NAN,
-                    values: vec![f64::NAN; model.num_vars()],
-                },
+    'search: while !heap.is_empty() {
+        // Pop a deterministic batch, pruning against the incumbent.
+        let mut batch: Vec<Node> = Vec::with_capacity(BATCH);
+        while batch.len() < BATCH {
+            let Some(Prioritized { node, .. }) = heap.pop() else {
+                break;
             };
-        }
-        // Prune against the incumbent using the parent's bound.
-        if let Some(inc) = &incumbent {
-            if node.bound.is_finite() && !better(node.bound, inc.objective) {
-                continue;
+            nodes += 1;
+            if nodes > opts.max_nodes as u64 {
+                limited = true;
+                break 'search;
             }
-        }
-        // Apply bound deltas and solve the relaxation.
-        let mut lp = base.clone();
-        for &(v, lo, hi) in &node.bounds {
-            let vd = &mut lp.vars[v];
-            vd.lower = vd.lower.max(lo);
-            vd.upper = vd.upper.min(hi);
-            if vd.lower > vd.upper {
-                // Empty domain: infeasible branch.
-                continue;
+            if let Some(inc) = &incumbent {
+                if node.bound.is_finite() && !sh.better(node.bound, inc.objective) {
+                    continue;
+                }
             }
+            batch.push(node);
         }
-        if node.bounds.iter().any(|&(v, _, _)| lp.vars[v].lower > lp.vars[v].upper) {
+        if batch.is_empty() {
             continue;
         }
-        let sol = solve_lp(&lp);
-        match sol.status {
-            Status::Infeasible => continue,
-            Status::Unbounded => {
-                // An unbounded relaxation at the root means the MIP itself
-                // is unbounded (or infeasible; we report unbounded as LP
-                // theory prescribes for rational data).
-                if node.depth == 0 {
-                    return Solution {
-                        status: Status::Unbounded,
-                        objective: sol.objective,
-                        values: sol.values,
-                    };
-                }
-                continue;
+        let snapshot = incumbent.as_ref().map(|s| s.objective);
+
+        let results: Vec<NodeResult> = if threads <= 1 || batch.len() == 1 {
+            let mut ctx = Ctx::new(Arc::clone(&sh.inst));
+            batch.iter().map(|node| process_node(&mut ctx, &sh, node, snapshot)).collect()
+        } else {
+            run_batch_parallel(&sh, &batch, snapshot, threads)
+        };
+
+        // Apply results in pop order — identical to the sequential search.
+        for res in results {
+            nodes += res.extra_nodes;
+            stats.merge(&res.stats);
+            if res.root_unbounded {
+                return Solution {
+                    status: Status::Unbounded,
+                    objective: if minimize { f64::NEG_INFINITY } else { f64::INFINITY },
+                    values: vec![f64::NAN; n_model],
+                };
             }
-            _ => {}
-        }
-        // Bound prune.
-        if let Some(inc) = &incumbent {
-            if !better(sol.objective, inc.objective) {
-                continue;
+            if res.error {
+                errored = true;
             }
-        }
-        // Find the most fractional integer variable.
-        let frac = int_vars
-            .iter()
-            .map(|&v| {
-                let x = sol.values[v];
-                let f = (x - x.round()).abs();
-                (v, x, f)
-            })
-            .filter(|&(_, _, f)| f > opts.int_tol)
-            .max_by(|a, b| {
-                // Most fractional: distance to nearest half, inverted.
-                let da = (a.2 - 0.5).abs();
-                let db = (b.2 - 0.5).abs();
-                db.partial_cmp(&da).unwrap_or(Ordering::Equal)
-            });
-        match frac {
-            None => {
-                // Integral: round residue and accept as incumbent.
-                let mut vals = sol.values.clone();
-                for &v in &int_vars {
-                    vals[v] = vals[v].round();
-                }
-                let cand = Solution { status: Status::Optimal, objective: sol.objective, values: vals };
-                let accept = incumbent
-                    .as_ref()
-                    .is_none_or(|inc| better(cand.objective, inc.objective));
+            if let Some((obj, vals)) = res.candidate {
+                let accept =
+                    incumbent.as_ref().is_none_or(|inc| sh.better(obj, inc.objective));
                 if accept {
-                    incumbent = Some(cand);
+                    incumbent =
+                        Some(Solution { status: Status::Optimal, objective: obj, values: vals });
                 }
             }
-            Some((v, x, _)) => {
-                let down_hi = x.floor();
-                let up_lo = x.ceil();
-                let mut down = node.bounds.clone();
-                down.push((v, f64::NEG_INFINITY, down_hi));
-                let mut up = node.bounds;
-                up.push((v, up_lo, f64::INFINITY));
-                let key = if minimize { sol.objective } else { -sol.objective };
-                heap.push(Prioritized {
-                    key,
-                    node: Node { bound: sol.objective, bounds: down, depth: node.depth + 1 },
-                });
-                heap.push(Prioritized {
-                    key,
-                    node: Node { bound: sol.objective, bounds: up, depth: node.depth + 1 },
-                });
+            for node in res.opened {
+                let keep = match &incumbent {
+                    Some(inc) => sh.better(node.bound, inc.objective),
+                    None => true,
+                };
+                if keep {
+                    seq += 1;
+                    let key = if minimize { node.bound } else { -node.bound };
+                    heap.push(Prioritized { key, seq, node });
+                }
             }
         }
     }
 
-    incumbent.unwrap_or(Solution {
-        status: Status::Infeasible,
-        objective: f64::NAN,
-        values: vec![f64::NAN; model.num_vars()],
-    })
+    stats.nodes = nodes;
+    if limited {
+        return match incumbent {
+            Some(mut s) => {
+                s.status = Status::NodeLimit;
+                s
+            }
+            None => Solution::sentinel(Status::NodeLimit, n_model),
+        };
+    }
+    match incumbent {
+        Some(s) => s,
+        None if errored => Solution::sentinel(Status::Error, n_model),
+        None => Solution::sentinel(Status::Infeasible, n_model),
+    }
+}
+
+/// Fans a batch out over worker threads via the `flexwan-util` channels
+/// and returns results ordered by batch index.
+fn run_batch_parallel(
+    sh: &Shared,
+    batch: &[Node],
+    snapshot: Option<f64>,
+    threads: usize,
+) -> Vec<NodeResult> {
+    let workers = threads.min(batch.len());
+    let (task_tx, task_rx) = flexwan_util::sync::unbounded::<(usize, Node)>();
+    let (res_tx, res_rx) = flexwan_util::sync::unbounded::<(usize, NodeResult)>();
+    for (i, node) in batch.iter().enumerate() {
+        let _ = task_tx.send((i, node.clone()));
+    }
+    drop(task_tx);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                let mut ctx = Ctx::new(Arc::clone(&sh.inst));
+                for (i, node) in task_rx.iter() {
+                    let res = process_node(&mut ctx, sh, &node, snapshot);
+                    let _ = res_tx.send((i, res));
+                }
+            });
+        }
+    });
+    drop(res_tx);
+    let mut slots: Vec<Option<NodeResult>> = (0..batch.len()).map(|_| None).collect();
+    for (i, res) in res_rx.iter() {
+        slots[i] = Some(res);
+    }
+    slots.into_iter().map(|s| s.expect("worker returned every batch slot")).collect()
 }
 
 #[cfg(test)]
@@ -333,5 +564,45 @@ mod tests {
         assert_eq!(s.status, Status::Optimal);
         assert!((s.objective - 2.0).abs() < 1e-6, "obj={}", s.objective);
         assert_eq!(s.int_value(n4), 2);
+    }
+
+    // --- warm starts + parallel determinism ---
+
+    fn awkward_knapsack() -> Model {
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..14).map(|i| m.binary(format!("b{i}"))).collect();
+        let w: Vec<f64> = (0..14).map(|i| ((i * 11) % 17 + 4) as f64).collect();
+        let v: Vec<f64> = (0..14).map(|i| ((i * 5) % 13 + 2) as f64).collect();
+        let we = crate::expr::LinExpr::sum(xs.iter().zip(&w).map(|(&x, &wi)| wi * x));
+        m.le(we, 55.0);
+        let ve = crate::expr::LinExpr::sum(xs.iter().zip(&v).map(|(&x, &vi)| vi * x));
+        m.set_objective(Sense::Maximize, ve);
+        m
+    }
+
+    #[test]
+    fn parallel_search_is_deterministic() {
+        let m = awkward_knapsack();
+        let one = m.solve_with(&SolveOptions { threads: 1, ..Default::default() });
+        let four = m.solve_with(&SolveOptions { threads: 4, ..Default::default() });
+        assert_eq!(one.status, Status::Optimal);
+        assert_eq!(four.status, Status::Optimal);
+        // Bit-identical, not merely within tolerance: the searches must
+        // have taken the same path.
+        assert_eq!(one.objective.to_bits(), four.objective.to_bits());
+        assert_eq!(one.values, four.values);
+    }
+
+    #[test]
+    fn warm_starts_actually_fire() {
+        let m = awkward_knapsack();
+        let (s, stats) = m.solve_with_stats(&SolveOptions::default());
+        assert_eq!(s.status, Status::Optimal);
+        assert!(stats.nodes >= 1);
+        assert!(
+            stats.warm_solves > 0,
+            "B&B never warm-started: {stats:?}"
+        );
+        assert!(stats.warm_start_hit_rate() > 0.0);
     }
 }

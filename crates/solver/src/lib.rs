@@ -9,10 +9,12 @@
 //!   operator syntax;
 //! * [`model`] — a [`Model`](model::Model) of variables (continuous,
 //!   integer, binary), linear constraints and a min/max objective;
-//! * [`simplex`] — a dense two-phase primal simplex for LPs, with a
+//! * [`simplex`] — a sparse revised two-phase simplex (LU + eta-file
+//!   basis updates, bounded variables, dual-simplex warm starts), with a
 //!   Dantzig→Bland pricing switch for guaranteed termination;
 //! * [`branch_bound`] — best-first branch & bound for MIPs on top of the
-//!   LP relaxation;
+//!   LP relaxation, with basis-inheriting warm starts, diving, and
+//!   deterministic batch-parallel node evaluation;
 //! * [`presolve`] — model reductions (singleton rows, fixings, bound
 //!   tightening) applied before the heavy machinery;
 //! * [`cuts`] — knapsack cover cuts separated at the branch & bound root
@@ -33,6 +35,6 @@ pub mod presolve;
 pub mod simplex;
 
 pub use expr::{LinExpr, Var};
-pub use model::{Cmp, Model, Sense, Solution, SolveOptions, Status, VarKind};
+pub use model::{Cmp, Model, Sense, Solution, SolveOptions, SolverStats, Status, VarKind};
 pub use presolve::{presolve, solve_presolved, Presolved, Reduction};
-pub use simplex::{solve_lp, solve_lp_with_duals};
+pub use simplex::{solve_lp, solve_lp_with_duals, solve_lp_with_stats};

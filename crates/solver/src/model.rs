@@ -5,6 +5,8 @@
 //! simplex ([`crate::simplex`]); models with integer or binary variables go
 //! through branch & bound ([`crate::branch_bound`]).
 
+use std::time::Duration;
+
 use crate::expr::{LinExpr, Var};
 
 /// Variable domain kind.
@@ -25,7 +27,9 @@ pub struct VarDef {
     pub name: String,
     /// Domain kind.
     pub kind: VarKind,
-    /// Lower bound (finite; the planning formulations are all bounded).
+    /// Lower bound. Must be finite (the planning formulations are all
+    /// bounded below); a non-finite value marks the model malformed and
+    /// solving it yields [`Status::Error`] instead of a panic.
     pub lower: f64,
     /// Upper bound; `f64::INFINITY` for unbounded-above.
     pub upper: f64,
@@ -74,6 +78,11 @@ pub enum Status {
     /// Branch & bound hit its node limit before proving optimality; the
     /// incumbent (if any) is returned.
     NodeLimit,
+    /// The model is malformed (NaN/infinite coefficients, empty variable
+    /// domains declared at build time, missing objective) or the solver hit
+    /// an internal safety limit. No meaningful solution exists; callers
+    /// should treat this like an exception, not like infeasibility.
+    Error,
 }
 
 /// A solution: status, objective value, and per-variable values.
@@ -98,6 +107,115 @@ impl Solution {
     pub fn int_value(&self, v: Var) -> i64 {
         self.values[v.0].round() as i64
     }
+
+    /// A solution carrying a terminal `status` and no usable values.
+    pub(crate) fn sentinel(status: Status, num_vars: usize) -> Solution {
+        Solution { status, objective: f64::NAN, values: vec![f64::NAN; num_vars] }
+    }
+}
+
+/// Counters and phase timings collected by the simplex / branch & bound
+/// machinery during one solve. Returned by [`Model::solve_with_stats`] and
+/// surfaced through the bench harness (`solver_stats` binary) so warm-start
+/// effectiveness and pivot counts are observable, as the paper observes
+/// Gurobi's node/iteration counts.
+///
+/// All counters are deterministic for a given model; the `time_*` fields
+/// are wall-clock measurements and vary run to run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    /// Primal simplex pivots spent in phase 1 (feasibility search).
+    pub phase1_pivots: u64,
+    /// Primal simplex pivots spent in phase 2 (optimality search).
+    pub phase2_pivots: u64,
+    /// Dual simplex pivots spent re-optimizing warm-started bases.
+    pub dual_pivots: u64,
+    /// Nonbasic bound flips (steps that moved a variable across its domain
+    /// without a basis change).
+    pub bound_flips: u64,
+    /// Basis refactorizations (LU from scratch; between two of these the
+    /// basis inverse is maintained as an eta file).
+    pub refactorizations: u64,
+    /// LP solves started from scratch (two-phase primal).
+    pub cold_solves: u64,
+    /// LP solves warm-started from an inherited basis (dual simplex).
+    pub warm_solves: u64,
+    /// Branch & bound nodes explored (1 for a pure LP solve path).
+    pub nodes: u64,
+    /// Knapsack cover cuts added at the branch & bound root.
+    pub cuts: u64,
+    /// Wall time inside primal phase 1.
+    pub time_phase1: Duration,
+    /// Wall time inside primal phase 2.
+    pub time_phase2: Duration,
+    /// Wall time inside the dual simplex (warm starts).
+    pub time_dual: Duration,
+    /// Wall time of the whole solve.
+    pub time_total: Duration,
+}
+
+impl SolverStats {
+    /// Fraction of LP solves that reused an inherited basis instead of
+    /// solving from scratch. `0.0` when no LP was solved.
+    pub fn warm_start_hit_rate(&self) -> f64 {
+        let total = self.warm_solves + self.cold_solves;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_solves as f64 / total as f64
+        }
+    }
+
+    /// Total simplex pivots across all phases.
+    pub fn total_pivots(&self) -> u64 {
+        self.phase1_pivots + self.phase2_pivots + self.dual_pivots
+    }
+
+    /// Accumulates `other` into `self` (used when merging per-node or
+    /// per-worker counters into a solve-wide total).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.phase1_pivots += other.phase1_pivots;
+        self.phase2_pivots += other.phase2_pivots;
+        self.dual_pivots += other.dual_pivots;
+        self.bound_flips += other.bound_flips;
+        self.refactorizations += other.refactorizations;
+        self.cold_solves += other.cold_solves;
+        self.warm_solves += other.warm_solves;
+        self.nodes += other.nodes;
+        self.cuts += other.cuts;
+        self.time_phase1 += other.time_phase1;
+        self.time_phase2 += other.time_phase2;
+        self.time_dual += other.time_dual;
+        self.time_total += other.time_total;
+    }
+}
+
+impl std::fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "nodes {:>8}  cuts {:>4}  warm {:>8}  cold {:>6}  hit-rate {:>5.1}%",
+            self.nodes,
+            self.cuts,
+            self.warm_solves,
+            self.cold_solves,
+            100.0 * self.warm_start_hit_rate()
+        )?;
+        writeln!(
+            f,
+            "pivots: phase1 {:>8}  phase2 {:>8}  dual {:>8}  flips {:>6}  refactor {:>6}",
+            self.phase1_pivots,
+            self.phase2_pivots,
+            self.dual_pivots,
+            self.bound_flips,
+            self.refactorizations
+        )?;
+        write!(
+            f,
+            "time:   phase1 {:>8.2?}  phase2 {:>8.2?}  dual {:>8.2?}  total {:>8.2?}",
+            self.time_phase1, self.time_phase2, self.time_dual, self.time_total
+        )
+    }
 }
 
 /// Options controlling the solve.
@@ -107,11 +225,18 @@ pub struct SolveOptions {
     pub int_tol: f64,
     /// Maximum branch & bound nodes explored.
     pub max_nodes: usize,
+    /// Worker threads for parallel branch & bound node exploration.
+    /// `0` picks a small default from the machine's parallelism. The
+    /// search is deterministic: any thread count returns the identical
+    /// solution (nodes are dispatched in fixed-size batches popped in a
+    /// deterministic best-bound order and their results applied in that
+    /// same order).
+    pub threads: usize,
 }
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { int_tol: 1e-6, max_nodes: 200_000 }
+        SolveOptions { int_tol: 1e-6, max_nodes: 200_000, threads: 0 }
     }
 }
 
@@ -122,6 +247,10 @@ pub struct Model {
     pub(crate) constraints: Vec<Constraint>,
     pub(crate) objective: LinExpr,
     pub(crate) sense: Option<Sense>,
+    /// Problems recorded while building (bad bounds etc.); a non-empty
+    /// list makes every solve return [`Status::Error`] instead of
+    /// panicking mid-pivot on garbage data.
+    pub(crate) malformed: Vec<String>,
 }
 
 impl Model {
@@ -131,15 +260,34 @@ impl Model {
     }
 
     /// Adds a variable with explicit kind and bounds.
+    ///
+    /// Bad bounds (non-finite lower, NaN upper, `lower > upper`) do not
+    /// panic: they mark the model malformed, and solving it reports
+    /// [`Status::Error`]. Malformed models routinely arise from NaN-tainted
+    /// upstream computations, and a solver must fail closed on them.
     pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind, lower: f64, upper: f64) -> Var {
-        assert!(lower.is_finite(), "lower bound must be finite");
-        assert!(lower <= upper, "empty variable domain");
         let v = Var(self.vars.len());
+        let name = name.into();
+        if !lower.is_finite() {
+            self.malformed.push(format!("variable {name:?}: non-finite lower bound {lower}"));
+        }
+        if upper.is_nan() {
+            self.malformed.push(format!("variable {name:?}: NaN upper bound"));
+        }
+        // `partial_cmp` is `None` for NaN bounds: those also count as an
+        // empty domain here, in addition to the NaN records above.
+        let ordered = matches!(
+            lower.partial_cmp(&upper),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        );
+        if !ordered {
+            self.malformed.push(format!("variable {name:?}: empty domain [{lower}, {upper}]"));
+        }
         let (lower, upper) = match kind {
             VarKind::Binary => (0.0, 1.0),
             _ => (lower, upper),
         };
-        self.vars.push(VarDef { name: name.into(), kind, lower, upper });
+        self.vars.push(VarDef { name, kind, lower, upper });
         v
     }
 
@@ -208,6 +356,55 @@ impl Model {
         self.objective = expr.into().simplified();
     }
 
+    /// Checks the model for data that would poison the solver: non-finite
+    /// bounds recorded at build time, NaN/infinite coefficients or
+    /// right-hand sides, and a missing objective sense. Returns the first
+    /// problem found. Called by every solve entry point so malformed
+    /// models yield [`Status::Error`] rather than panics or garbage pivots.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(first) = self.malformed.first() {
+            return Err(first.clone());
+        }
+        if self.sense.is_none() {
+            return Err("objective sense not set".into());
+        }
+        self.check_data()
+    }
+
+    /// Data-only validation: everything [`Model::validate`] checks except
+    /// the objective sense (the simplex entry points default a missing
+    /// sense to minimization, so raw LP solves stay permissive).
+    pub(crate) fn check_data(&self) -> Result<(), String> {
+        if let Some(first) = self.malformed.first() {
+            return Err(first.clone());
+        }
+        if !self.objective.constant.is_finite() {
+            return Err(format!("objective constant is {}", self.objective.constant));
+        }
+        for &(v, c) in &self.objective.terms {
+            if !c.is_finite() {
+                return Err(format!("objective coefficient of {:?} is {c}", self.vars[v.0].name));
+            }
+        }
+        for (i, con) in self.constraints.iter().enumerate() {
+            if !con.rhs.is_finite() {
+                return Err(format!("constraint {i}: rhs is {}", con.rhs));
+            }
+            if !con.expr.constant.is_finite() {
+                return Err(format!("constraint {i}: constant is {}", con.expr.constant));
+            }
+            for &(v, c) in &con.expr.terms {
+                if !c.is_finite() {
+                    return Err(format!(
+                        "constraint {i}: coefficient of {:?} is {c}",
+                        self.vars[v.0].name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Solves with default options.
     pub fn solve(&self) -> Solution {
         self.solve_with(&SolveOptions::default())
@@ -216,12 +413,24 @@ impl Model {
     /// Solves with explicit options: simplex for pure LPs, branch & bound
     /// when integer variables are present.
     pub fn solve_with(&self, opts: &SolveOptions) -> Solution {
-        assert!(self.sense.is_some(), "objective must be set before solving");
-        if self.is_mip() {
-            crate::branch_bound::solve_mip(self, opts)
+        self.solve_with_stats(opts).0
+    }
+
+    /// Like [`Model::solve_with`], additionally returning the
+    /// [`SolverStats`] counter block (pivots, refactorizations, nodes,
+    /// warm-start hit rate, per-phase wall time).
+    pub fn solve_with_stats(&self, opts: &SolveOptions) -> (Solution, SolverStats) {
+        let mut stats = SolverStats::default();
+        let started = std::time::Instant::now();
+        let sol = if self.validate().is_err() {
+            Solution::sentinel(Status::Error, self.num_vars())
+        } else if self.is_mip() {
+            crate::branch_bound::solve_mip_with_stats(self, opts, &mut stats)
         } else {
-            crate::simplex::solve_lp(self)
-        }
+            crate::simplex::solve_lp_collecting(self, &mut stats, None)
+        };
+        stats.time_total = started.elapsed();
+        (sol, stats)
     }
 
     /// Checks whether `values` satisfies every constraint and bound within
@@ -294,5 +503,78 @@ mod tests {
         let b = m.add_var("b", VarKind::Binary, -5.0, 5.0);
         assert_eq!(m.vars[b.0].lower, 0.0);
         assert_eq!(m.vars[b.0].upper, 1.0);
+    }
+
+    // --- malformed models must fail closed (Status::Error), never panic ---
+
+    #[test]
+    fn nan_lower_bound_is_error_not_panic() {
+        let mut m = Model::new();
+        let x = m.continuous("x", f64::NAN, 5.0);
+        m.le(1.0 * x, 3.0);
+        m.set_objective(Sense::Minimize, 1.0 * x);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Error);
+        assert!(s.objective.is_nan());
+    }
+
+    #[test]
+    fn infinite_lower_bound_is_error_not_panic() {
+        let mut m = Model::new();
+        let x = m.continuous("x", f64::NEG_INFINITY, 5.0);
+        m.set_objective(Sense::Minimize, 1.0 * x);
+        assert_eq!(m.solve().status, Status::Error);
+    }
+
+    #[test]
+    fn empty_variable_domain_is_error_not_panic() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 3.0, 1.0);
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        assert_eq!(m.solve().status, Status::Error);
+    }
+
+    #[test]
+    fn nan_coefficient_is_error_not_panic() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        m.le(f64::NAN * x, 1.0);
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        assert_eq!(m.solve().status, Status::Error);
+    }
+
+    #[test]
+    fn nan_rhs_is_error_not_panic() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        m.le(1.0 * x, f64::NAN);
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        assert_eq!(m.solve().status, Status::Error);
+    }
+
+    #[test]
+    fn missing_objective_is_error_not_panic() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        m.le(1.0 * x, 1.0);
+        assert_eq!(m.solve().status, Status::Error);
+    }
+
+    #[test]
+    fn malformed_mip_is_error_not_panic() {
+        let mut m = Model::new();
+        let x = m.integer("x", 0, 10);
+        let y = m.continuous("y", f64::NAN, 1.0);
+        m.le(x + y, 5.0);
+        m.set_objective(Sense::Maximize, x + y);
+        assert_eq!(m.solve().status, Status::Error);
+    }
+
+    #[test]
+    fn validate_reports_first_problem() {
+        let mut m = Model::new();
+        let _ = m.continuous("bad", f64::NAN, 1.0);
+        let err = m.validate().unwrap_err();
+        assert!(err.contains("bad"), "unhelpful error: {err}");
     }
 }

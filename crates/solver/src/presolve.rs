@@ -293,6 +293,12 @@ pub fn presolve(model: &Model) -> Presolved {
 /// Solves `model` via presolve + the appropriate solver, lifting the
 /// solution back to original variable space.
 pub fn solve_presolved(model: &Model, opts: &crate::model::SolveOptions) -> Solution {
+    // Malformed data (NaN coefficients, empty domains, infinite lower
+    // bounds) must surface as `Status::Error`, not as a panic deep inside
+    // a reduction or the simplex.
+    if model.check_data().is_err() {
+        return Solution::sentinel(Status::Error, model.num_vars());
+    }
     match presolve(model) {
         Presolved::Infeasible => Solution {
             status: Status::Infeasible,
@@ -449,5 +455,16 @@ mod tests {
                 assert!(m.is_feasible(&pre.values, 1e-5));
             }
         }
+    }
+
+    #[test]
+    fn malformed_model_is_error_not_panic() {
+        let mut m = Model::new();
+        let x = m.continuous("x", f64::NAN, 1.0);
+        m.le(1.0 * x, 1.0);
+        m.set_objective(Sense::Minimize, 1.0 * x);
+        let s = solve_presolved(&m, &SolveOptions::default());
+        assert_eq!(s.status, Status::Error);
+        assert!(s.objective.is_nan());
     }
 }

@@ -1,370 +1,762 @@
-//! Two-phase primal simplex with native bounded variables.
+//! Sparse revised simplex with native bounded variables.
 //!
-//! Variables live in `[0, u]` after a lower-bound shift; upper bounds are
-//! handled by the *upper-bounded simplex* technique (nonbasic variables
-//! rest at either bound, entering steps may terminate in a bound flip
-//! instead of a pivot) rather than by explicit constraint rows. This
-//! matters enormously for the branch & bound layer: every binary variable
-//! would otherwise add a row, and the paper's Algorithm 1 instances are
-//! binary-heavy.
+//! The constraint matrix is held column-wise as sparse `(row, coeff)`
+//! lists; the basis inverse is represented as a dense LU factorization
+//! (partial pivoting) composed with an *eta file* (product-form update),
+//! refactorized every [`MAX_ETAS`] pivots. Pivots therefore cost
+//! `O(m² + nnz)` instead of the dense tableau's `O(m·cols)` full-matrix
+//! sweep, and — crucially for branch & bound — a solved basis can be
+//! snapshotted ([`BasisState`]) and re-installed in a child node, where a
+//! **dual simplex** pass repairs the handful of bound violations the
+//! branching introduced instead of re-solving from scratch.
+//!
+//! Variables keep their native `[lo, up]` bounds (the *bounded-variable*
+//! technique: nonbasic columns rest at either bound, entering steps may
+//! terminate in a bound flip instead of a pivot). This matters enormously
+//! for the branch & bound layer: every binary variable would otherwise add
+//! a row, and the paper's Algorithm 1 instances are binary-heavy.
 //!
 //! Dantzig pricing with an automatic switch to Bland's rule after an
-//! iteration budget guarantees termination on degenerate problems.
+//! iteration budget guarantees termination on degenerate problems; a hard
+//! iteration cap degrades to [`Status::Error`] instead of panicking.
 
-use crate::model::{Cmp, Model, Sense, Solution, Status, VarKind};
+use crate::model::{Cmp, Model, Sense, Solution, SolverStats, Status};
+use crate::VarKind;
+use std::sync::Arc;
+use std::time::Instant;
 
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
+/// Reduced-cost / pivot-eligibility tolerance.
+const PRICE_TOL: f64 = 1e-7;
+/// Primal feasibility tolerance used by the dual simplex.
+const FEAS_TOL: f64 = 1e-7;
+/// Eta-file length that triggers a refactorization.
+const MAX_ETAS: usize = 48;
+/// Phase-1 objective above this ⇒ infeasible.
+const PHASE1_TOL: f64 = 1e-6;
 
 /// Solves a pure-LP [`Model`] (integer kinds are relaxed if present; the
 /// MIP layer relies on this).
 pub fn solve_lp(model: &Model) -> Solution {
-    Tableau::build(model).solve(model).0
+    let mut stats = SolverStats::default();
+    solve_lp_collecting(model, &mut stats, None)
 }
 
 /// Solves a pure LP and additionally returns the dual value (shadow
 /// price) of every constraint: `∂objective/∂rhs` at the optimum, in the
-/// model's own sense (a maximization's binding `≤` capacity row gets a
-/// non-negative dual — the marginal value of one more unit of rhs).
+/// model's own sense. A maximization's binding `≤` capacity row gets a
+/// non-negative dual (the marginal value of one more unit of rhs); by the
+/// same rule a *minimization* with a binding `≥` requirement row also gets
+/// a non-negative dual (one more unit of requirement costs that much).
 /// `None` when the LP is not solved to optimality.
 pub fn solve_lp_with_duals(model: &Model) -> (Solution, Option<Vec<f64>>) {
-    Tableau::build(model).solve(model)
+    let mut stats = SolverStats::default();
+    let mut duals = None;
+    let sol = solve_lp_collecting(model, &mut stats, Some(&mut duals));
+    (sol, duals)
+}
+
+/// [`solve_lp`] that also reports the solve's [`SolverStats`].
+pub fn solve_lp_with_stats(model: &Model) -> (Solution, SolverStats) {
+    let mut stats = SolverStats::default();
+    let sol = solve_lp_collecting(model, &mut stats, None);
+    (sol, stats)
+}
+
+/// Internal LP entry point: solves `model` as an LP (relaxing integer
+/// kinds), accumulating counters into `stats` and optionally writing the
+/// constraint duals.
+pub(crate) fn solve_lp_collecting(
+    model: &Model,
+    stats: &mut SolverStats,
+    duals_out: Option<&mut Option<Vec<f64>>>,
+) -> Solution {
+    let n = model.vars.len();
+    if let Err(_e) = model.check_data() {
+        return Solution::sentinel(Status::Error, n);
+    }
+    let inst = Arc::new(Instance::build(model));
+    let mut ctx = Ctx::new(inst);
+    let outcome = ctx.solve_cold();
+    stats.merge(&ctx.stats);
+    let sol = ctx.extract_solution(outcome);
+    if let Some(out) = duals_out {
+        *out = if sol.status == Status::Optimal { Some(ctx.duals()) } else { None };
+    }
+    sol
 }
 
 /// Where a nonbasic variable currently rests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum At {
+pub(crate) enum VStat {
+    /// Resting at its lower bound.
     Lower,
+    /// Resting at its upper bound.
     Upper,
+    /// In the basis.
     Basic,
 }
 
-/// Standard-form tableau with bounded structural variables.
+/// LP solve outcome, pre-`Solution` (the B&B layer works with this
+/// directly to avoid allocating value vectors for pruned nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LpOutcome {
+    /// Optimal basis reached.
+    Optimal,
+    /// Primal infeasible.
+    Infeasible,
+    /// Objective unbounded.
+    Unbounded,
+    /// Internal safety limit hit (iteration cap, singular refactorization
+    /// loop) — treated like an exception, not like infeasibility.
+    Error,
+}
+
+/// Snapshot of a solved basis, cheap to clone and hand to a child node.
+#[derive(Debug, Clone)]
+pub(crate) struct BasisState {
+    basis: Vec<u32>,
+    vstat: Vec<VStat>,
+}
+
+/// Immutable sparse standard form shared by every node of a B&B tree.
 ///
-/// Columns: `[structural (shifted, ∈ [0, u]) | slack/surplus | artificial]`.
-/// The matrix is kept canonical w.r.t. the current basis (basis columns
-/// are unit columns), `beta[i]` is the value of the `i`-th basic variable.
-struct Tableau {
-    a: Vec<Vec<f64>>,
-    /// Current basic-variable values (≥ 0, ≤ their bound).
-    beta: Vec<f64>,
-    /// Upper bound per column (∞ for slacks/artificials and unbounded
-    /// structurals).
-    upper: Vec<f64>,
-    /// Phase-2 cost per column.
+/// Columns: `[0, n)` structural (native model bounds), `[n, n+m)` one `+1`
+/// logical per row (bounds encode the comparison: `≤` → `[0, ∞)`, `≥` →
+/// `(−∞, 0]`, `=` → `[0, 0]`), `[n+m, n+3m)` artificial pairs `±e_i`
+/// normally fixed to `[0, 0]` and only widened while phase 1 runs. With
+/// this layout `A·x + s = rhs` holds row-for-row with no normalization
+/// flips, so duals read directly off `y = B⁻ᵀ·c_B`.
+pub(crate) struct Instance {
+    m: usize,
+    n: usize,
+    /// Structural + logical columns (`n + m`) — the columns eligible to
+    /// enter a basis. Artificials only ever *leave*.
+    ncols: usize,
+    art_start: usize,
+    total: usize,
+    cols: Vec<Vec<(u32, f64)>>,
+    lo: Vec<f64>,
+    up: Vec<f64>,
+    /// Phase-2 cost in the internal minimization sense (0 beyond `n`).
     cost: Vec<f64>,
-    basis: Vec<usize>,
-    status: Vec<At>,
-    artificials: std::ops::Range<usize>,
-    /// Per original constraint row: the column that was the identity unit
-    /// for that row at build time plus its sign (+1 slack/artificial, −1
-    /// surplus) — the handle for reading dual values out of the final
-    /// canonical tableau.
-    row_marker: Vec<(usize, f64)>,
-    /// Constant objective offset from lower-bound shifts, in the internal
-    /// minimization sense.
-    offset: f64,
+    rhs: Vec<f64>,
+    obj_constant: f64,
     negated: bool,
 }
 
-enum IterOutcome {
-    Optimal,
-    Unbounded,
-}
-
-impl Tableau {
-    fn build(model: &Model) -> Tableau {
+impl Instance {
+    pub(crate) fn build(model: &Model) -> Instance {
         let n = model.vars.len();
+        let m = model.constraints.len();
         let negated = model.sense == Some(Sense::Maximize);
+        let ncols = n + m;
+        let art_start = ncols;
+        let total = n + 3 * m;
 
-        let mut cost = vec![0.0; n];
+        let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); total];
+        let mut lo = vec![0.0; total];
+        let mut up = vec![0.0; total];
+        let mut rhs = vec![0.0; m];
+
+        for (j, vd) in model.vars.iter().enumerate() {
+            lo[j] = vd.lower;
+            up[j] = vd.upper;
+        }
+        let mut merged: Vec<(usize, f64)> = Vec::new();
+        for (i, c) in model.constraints.iter().enumerate() {
+            rhs[i] = c.rhs - c.expr.constant;
+            merged.clear();
+            merged.extend(c.expr.terms.iter().map(|&(v, k)| (v.0, k)));
+            merged.sort_unstable_by_key(|&(j, _)| j);
+            let mut idx = 0;
+            while idx < merged.len() {
+                let (j, mut k) = merged[idx];
+                let mut next = idx + 1;
+                while next < merged.len() && merged[next].0 == j {
+                    k += merged[next].1;
+                    next += 1;
+                }
+                if k != 0.0 {
+                    cols[j].push((i as u32, k));
+                }
+                idx = next;
+            }
+            let li = n + i;
+            cols[li].push((i as u32, 1.0));
+            let (l, u) = match c.cmp {
+                Cmp::Le => (0.0, f64::INFINITY),
+                Cmp::Ge => (f64::NEG_INFINITY, 0.0),
+                Cmp::Eq => (0.0, 0.0),
+            };
+            lo[li] = l;
+            up[li] = u;
+            cols[art_start + 2 * i].push((i as u32, 1.0));
+            cols[art_start + 2 * i + 1].push((i as u32, -1.0));
+            // Artificial bounds stay [0, 0]; Ctx widens them for phase 1.
+        }
+
+        let mut cost = vec![0.0; total];
         for &(v, c) in &model.objective.terms {
             cost[v.0] += if negated { -c } else { c };
         }
-        let mut offset = if negated { -model.objective.constant } else { model.objective.constant };
-        for (j, vd) in model.vars.iter().enumerate() {
-            offset += cost[j] * vd.lower;
-        }
+        let obj_constant =
+            if negated { -model.objective.constant } else { model.objective.constant };
 
-        // Rows: model constraints, shifted by variable lower bounds and
-        // normalized to rhs ≥ 0.
-        struct Row {
-            coeffs: Vec<(usize, f64)>,
-            cmp: Cmp,
-            rhs: f64,
-            /// −1 when the row was negated during normalization (the dual
-            /// of the original row flips sign with it).
-            flipped_sign: f64,
-        }
-        let mut rows: Vec<Row> = Vec::with_capacity(model.constraints.len());
-        for c in &model.constraints {
-            let mut rhs = c.rhs - c.expr.constant;
-            let mut coeffs = Vec::with_capacity(c.expr.terms.len());
-            for &(v, k) in &c.expr.terms {
-                rhs -= k * model.vars[v.0].lower;
-                coeffs.push((v.0, k));
-            }
-            rows.push(Row { coeffs, cmp: c.cmp, rhs, flipped_sign: 1.0 });
-        }
-        for r in &mut rows {
-            if r.rhs < 0.0 {
-                r.rhs = -r.rhs;
-                for (_, k) in &mut r.coeffs {
-                    *k = -*k;
-                }
-                r.flipped_sign = -1.0;
-                r.cmp = match r.cmp {
-                    Cmp::Le => Cmp::Ge,
-                    Cmp::Ge => Cmp::Le,
-                    Cmp::Eq => Cmp::Eq,
-                };
-            }
-        }
+        Instance { m, n, ncols, art_start, total, cols, lo, up, cost, rhs, obj_constant, negated }
+    }
 
-        let m = rows.len();
-        let n_slack = rows.iter().filter(|r| r.cmp != Cmp::Eq).count();
-        let n_art = rows.iter().filter(|r| r.cmp != Cmp::Le).count();
-        let cols = n + n_slack + n_art;
-        let mut a = vec![vec![0.0; cols]; m];
-        let mut beta = vec![0.0; m];
-        let mut basis = vec![usize::MAX; m];
-        let mut row_marker = vec![(usize::MAX, 1.0); m];
-        let mut next_slack = n;
-        let mut next_art = n + n_slack;
-        for (i, r) in rows.iter().enumerate() {
-            for &(j, k) in &r.coeffs {
-                a[i][j] += k;
-            }
-            beta[i] = r.rhs;
-            match r.cmp {
-                Cmp::Le => {
-                    a[i][next_slack] = 1.0;
-                    basis[i] = next_slack;
-                    row_marker[i] = (next_slack, r.flipped_sign);
-                    next_slack += 1;
-                }
-                Cmp::Ge => {
-                    a[i][next_slack] = -1.0;
-                    next_slack += 1;
-                    a[i][next_art] = 1.0;
-                    basis[i] = next_art;
-                    row_marker[i] = (next_art, r.flipped_sign);
-                    next_art += 1;
-                }
-                Cmp::Eq => {
-                    a[i][next_art] = 1.0;
-                    basis[i] = next_art;
-                    row_marker[i] = (next_art, r.flipped_sign);
-                    next_art += 1;
-                }
-            }
+    /// Objective of structural values `x` (model space), in the model's
+    /// own sense.
+    pub(crate) fn model_objective(&self, x: &[f64]) -> f64 {
+        let mut obj = self.obj_constant;
+        for (j, &v) in x.iter().enumerate() {
+            obj += self.cost[j] * v;
         }
-        cost.resize(cols, 0.0);
-
-        let mut upper = vec![f64::INFINITY; cols];
-        for (j, vd) in model.vars.iter().enumerate() {
-            upper[j] = vd.upper - vd.lower;
-        }
-        let mut status = vec![At::Lower; cols];
-        for &b in &basis {
-            status[b] = At::Basic;
-        }
-
-        Tableau {
-            a,
-            beta,
-            upper,
-            cost,
-            basis,
-            status,
-            artificials: (n + n_slack)..cols,
-            row_marker,
-            offset,
-            negated,
+        if self.negated {
+            -obj
+        } else {
+            obj
         }
     }
 
-    /// Dual value (shadow price, ∂objective/∂rhs in the *model's* sense)
-    /// of each original constraint row, valid at phase-2 optimality.
-    ///
-    /// For row `i` with build-time unit column `u_i` (its slack or
-    /// artificial), `y_i = c_B·B⁻¹·e_i = c_B·a[:, u_i]` (surplus columns
-    /// carry `−e_i`, handled by the marker sign; normalization flips are
-    /// undone the same way). Maximization problems were solved as negated
-    /// minimizations, so the sign flips back at the end.
-    fn duals(&self, cost: &[f64]) -> Vec<f64> {
-        self.row_marker
-            .iter()
-            .map(|&(col, sign)| {
-                let mut y = 0.0;
-                for (i, &b) in self.basis.iter().enumerate() {
-                    let cb = cost[b];
-                    if cb != 0.0 {
-                        y += cb * self.a[i][col];
-                    }
+    /// Base (un-branched) lower bound of structural column `j`.
+    pub(crate) fn base_lo(&self, j: usize) -> f64 {
+        self.lo[j]
+    }
+
+    /// Base (un-branched) upper bound of structural column `j`.
+    pub(crate) fn base_up(&self, j: usize) -> f64 {
+        self.up[j]
+    }
+}
+
+/// Dense LU factorization of the basis matrix with partial pivoting:
+/// `P·B = L·U` with unit-diagonal `L` stored below the diagonal of `lu`
+/// and `U` on/above it; `piv[k]` records the row swapped with `k`.
+struct Lu {
+    m: usize,
+    lu: Vec<f64>,
+    piv: Vec<u32>,
+}
+
+impl Lu {
+    /// Factorizes the matrix whose `k`-th column is the sparse column
+    /// `cols[basis[k]]`. `None` when (numerically) singular.
+    fn factor(inst: &Instance, basis: &[u32]) -> Option<Lu> {
+        let m = inst.m;
+        let mut a = vec![0.0; m * m];
+        for (k, &b) in basis.iter().enumerate() {
+            for &(i, v) in &inst.cols[b as usize] {
+                a[i as usize * m + k] = v;
+            }
+        }
+        let mut piv = vec![0u32; m];
+        for k in 0..m {
+            let mut p = k;
+            let mut best = a[k * m + k].abs();
+            for i in k + 1..m {
+                let v = a[i * m + k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
                 }
-                let y = y * sign;
-                if self.negated {
-                    -y
+            }
+            if best < 1e-10 {
+                return None;
+            }
+            piv[k] = p as u32;
+            if p != k {
+                for j in 0..m {
+                    a.swap(k * m + j, p * m + j);
+                }
+            }
+            let d = a[k * m + k];
+            for i in k + 1..m {
+                let l = a[i * m + k] / d;
+                if l != 0.0 {
+                    a[i * m + k] = l;
+                    for j in k + 1..m {
+                        a[i * m + j] -= l * a[k * m + j];
+                    }
                 } else {
-                    y
+                    a[i * m + k] = 0.0;
                 }
-            })
-            .collect()
+            }
+        }
+        Some(Lu { m, lu: a, piv })
     }
 
-    /// Runs phases 1 and 2; returns the solution plus (at optimality)
-    /// the constraint duals.
-    fn solve(mut self, model: &Model) -> (Solution, Option<Vec<f64>>) {
-        let n_model = model.vars.len();
-        let infeasible = Solution {
-            status: Status::Infeasible,
-            objective: f64::NAN,
-            values: vec![f64::NAN; n_model],
-        };
-
-        if !self.artificials.is_empty() {
-            let cols = self.cost.len();
-            let phase1: Vec<f64> = (0..cols)
-                .map(|j| if self.artificials.contains(&j) { 1.0 } else { 0.0 })
-                .collect();
-            match self.iterate(&phase1, true) {
-                IterOutcome::Optimal => {
-                    if self.objective_of(&phase1) > 1e-6 {
-                        return (infeasible, None);
-                    }
+    /// Solves `B·x = v` in place.
+    fn ftran(&self, v: &mut [f64]) {
+        let m = self.m;
+        for k in 0..m {
+            let p = self.piv[k] as usize;
+            if p != k {
+                v.swap(k, p);
+            }
+        }
+        for k in 0..m {
+            let t = v[k];
+            if t != 0.0 {
+                for (i, vi) in v.iter_mut().enumerate().skip(k + 1) {
+                    *vi -= self.lu[i * m + k] * t;
                 }
-                IterOutcome::Unbounded => unreachable!("phase-1 objective bounded below by 0"),
+            }
+        }
+        for k in (0..m).rev() {
+            let t = v[k] / self.lu[k * m + k];
+            v[k] = t;
+            if t != 0.0 {
+                for (i, vi) in v.iter_mut().enumerate().take(k) {
+                    *vi -= self.lu[i * m + k] * t;
+                }
+            }
+        }
+    }
+
+    /// Solves `Bᵀ·y = v` in place.
+    fn btran(&self, v: &mut [f64]) {
+        let m = self.m;
+        for k in 0..m {
+            let mut t = v[k];
+            for (i, &vi) in v.iter().enumerate().take(k) {
+                t -= self.lu[i * m + k] * vi;
+            }
+            v[k] = t / self.lu[k * m + k];
+        }
+        for k in (0..m).rev() {
+            let mut t = v[k];
+            for (i, &vi) in v.iter().enumerate().skip(k + 1) {
+                t -= self.lu[i * m + k] * vi;
+            }
+            v[k] = t;
+        }
+        for k in (0..m).rev() {
+            let p = self.piv[k] as usize;
+            if p != k {
+                v.swap(k, p);
+            }
+        }
+    }
+}
+
+/// One product-form update: basis column `r` was replaced by a column
+/// whose FTRAN'd image was `w` (`wr = w[r]`, `rest` the other nonzeros).
+struct Eta {
+    r: u32,
+    wr: f64,
+    rest: Vec<(u32, f64)>,
+}
+
+impl Eta {
+    fn ftran(&self, v: &mut [f64]) {
+        let t = v[self.r as usize] / self.wr;
+        v[self.r as usize] = t;
+        if t != 0.0 {
+            for &(i, w) in &self.rest {
+                v[i as usize] -= w * t;
+            }
+        }
+    }
+
+    fn btran(&self, v: &mut [f64]) {
+        let mut t = v[self.r as usize];
+        for &(i, w) in &self.rest {
+            t -= w * v[i as usize];
+        }
+        v[self.r as usize] = t / self.wr;
+    }
+}
+
+enum PrimalOutcome {
+    Optimal,
+    Unbounded,
+    Error,
+}
+
+/// Mutable solver state over a shared [`Instance`]: working bounds,
+/// basis, factorization, and counters. Reusable across B&B nodes — each
+/// [`Ctx::solve_cold`] / [`Ctx::solve_warm`] fully resets what it needs,
+/// so a worker thread can keep one `Ctx` hot for its whole lifetime.
+pub(crate) struct Ctx {
+    inst: Arc<Instance>,
+    lo: Vec<f64>,
+    up: Vec<f64>,
+    vstat: Vec<VStat>,
+    basis: Vec<u32>,
+    /// Column → basis row (−1 when nonbasic).
+    pos: Vec<i32>,
+    lu: Option<Lu>,
+    etas: Vec<Eta>,
+    /// Values of the basic variables, row-aligned with `basis`.
+    xb: Vec<f64>,
+    scratch: Vec<f64>,
+    ybuf: Vec<f64>,
+    pub(crate) stats: SolverStats,
+    /// Dantzig-iteration budget multiplier before switching to Bland's
+    /// rule (test hook; production value 50).
+    pub(crate) dantzig_factor: usize,
+    /// Hard iteration-cap override (test hook for the `Error` path).
+    pub(crate) iter_cap_override: Option<usize>,
+}
+
+impl Ctx {
+    pub(crate) fn new(inst: Arc<Instance>) -> Ctx {
+        let m = inst.m;
+        let total = inst.total;
+        Ctx {
+            lo: inst.lo.clone(),
+            up: inst.up.clone(),
+            vstat: vec![VStat::Lower; total],
+            basis: vec![0; m],
+            pos: vec![-1; total],
+            lu: None,
+            etas: Vec::new(),
+            xb: vec![0.0; m],
+            scratch: vec![0.0; m],
+            ybuf: vec![0.0; m],
+            stats: SolverStats::default(),
+            dantzig_factor: 50,
+            iter_cap_override: None,
+            inst,
+        }
+    }
+
+    /// Resets working bounds to the instance's and applies the node's
+    /// tightenings. Artificial bounds always come back to `[0, 0]`.
+    pub(crate) fn set_bounds(&mut self, changes: &[(usize, f64, f64)]) {
+        self.lo.copy_from_slice(&self.inst.lo);
+        self.up.copy_from_slice(&self.inst.up);
+        for &(j, l, u) in changes {
+            self.lo[j] = l;
+            self.up[j] = u;
+        }
+    }
+
+    /// Nonbasic resting value of column `j` (callers guarantee the chosen
+    /// bound is finite).
+    fn rest_value(&self, j: usize) -> f64 {
+        match self.vstat[j] {
+            VStat::Lower => self.lo[j],
+            VStat::Upper => self.up[j],
+            VStat::Basic => self.xb[self.pos[j] as usize],
+        }
+    }
+
+    /// Full FTRAN: factorization then eta file in creation order.
+    fn full_ftran(&self, v: &mut [f64]) {
+        if let Some(lu) = &self.lu {
+            lu.ftran(v);
+        }
+        for e in &self.etas {
+            e.ftran(v);
+        }
+    }
+
+    /// Full BTRAN: eta file in reverse order, then the factorization.
+    fn full_btran(&self, v: &mut [f64]) {
+        for e in self.etas.iter().rev() {
+            e.btran(v);
+        }
+        if let Some(lu) = &self.lu {
+            lu.btran(v);
+        }
+    }
+
+    /// Scatters sparse column `j` into `out` and FTRANs it.
+    fn ftran_col(&self, j: usize, out: &mut [f64]) {
+        out.fill(0.0);
+        for &(i, v) in &self.inst.cols[j] {
+            out[i as usize] = v;
+        }
+        self.full_ftran(out);
+    }
+
+    /// `y = B⁻ᵀ·cost_B` into `self.ybuf`.
+    fn compute_y(&mut self, cost: &[f64]) {
+        let mut y = std::mem::take(&mut self.ybuf);
+        for (k, &b) in self.basis.iter().enumerate() {
+            y[k] = cost[b as usize];
+        }
+        self.full_btran(&mut y);
+        self.ybuf = y;
+    }
+
+    /// Reduced cost of column `j` given `self.ybuf` holds `y`.
+    fn reduced_cost(&self, cost: &[f64], j: usize) -> f64 {
+        let mut d = cost[j];
+        for &(i, v) in &self.inst.cols[j] {
+            d -= self.ybuf[i as usize] * v;
+        }
+        d
+    }
+
+    /// Recomputes `xb = B⁻¹·(rhs − A_N·x_N)` from the current vstat.
+    fn compute_xb(&mut self) {
+        // Deliberately a fresh allocation: this can run from `pivot` while
+        // a caller holds the shared scratch buffer.
+        let mut b = self.inst.rhs.clone();
+        for j in 0..self.inst.total {
+            if self.vstat[j] == VStat::Basic {
+                continue;
+            }
+            let v = match self.vstat[j] {
+                VStat::Lower => self.lo[j],
+                VStat::Upper => self.up[j],
+                VStat::Basic => unreachable!(),
+            };
+            if v != 0.0 {
+                for &(i, a) in &self.inst.cols[j] {
+                    b[i as usize] -= a * v;
+                }
+            }
+        }
+        self.full_ftran(&mut b);
+        self.xb.copy_from_slice(&b);
+    }
+
+    /// Rebuilds the LU from the current basis and clears the eta file.
+    /// `false` when the basis matrix is singular.
+    fn refactor(&mut self) -> bool {
+        self.stats.refactorizations += 1;
+        self.etas.clear();
+        match Lu::factor(&self.inst, &self.basis) {
+            Some(lu) => {
+                self.lu = Some(lu);
+                true
+            }
+            None => {
+                self.lu = None;
+                false
+            }
+        }
+    }
+
+    /// Applies a pivot: column `q` enters at basis row `r` with value
+    /// `value`; `w` is the FTRAN'd entering column.
+    fn pivot(&mut self, r: usize, q: usize, value: f64, w: &[f64]) {
+        let leaving = self.basis[r] as usize;
+        self.pos[leaving] = -1;
+        self.basis[r] = q as u32;
+        self.pos[q] = r as i32;
+        self.vstat[q] = VStat::Basic;
+        self.xb[r] = value;
+        let rest: Vec<(u32, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != r && v.abs() > 1e-12)
+            .map(|(i, &v)| (i as u32, v))
+            .collect();
+        self.etas.push(Eta { r: r as u32, wr: w[r], rest });
+        if self.etas.len() >= MAX_ETAS {
+            // Refactorization failure after a legal pivot would mean the
+            // updated basis went numerically singular; recompute from the
+            // column data and keep going — primal/dual loops detect a
+            // truly broken factorization via their own safeguards.
+            let _ = self.refactor();
+            self.compute_xb();
+        }
+    }
+
+    /// Snaps a slightly out-of-bound basic value back to its bound.
+    fn snap(&mut self, i: usize) {
+        let b = self.basis[i] as usize;
+        if self.xb[i] < self.lo[b] && self.xb[i] > self.lo[b] - 1e-9 {
+            self.xb[i] = self.lo[b];
+        } else if self.xb[i] > self.up[b] && self.xb[i] < self.up[b] + 1e-9 {
+            self.xb[i] = self.up[b];
+        }
+    }
+
+    /// Cold start: crash an all-logical basis, run phase 1 with the
+    /// artificial pair of each violated row, then phase 2.
+    pub(crate) fn solve_cold(&mut self) -> LpOutcome {
+        self.stats.cold_solves += 1;
+        let inst = Arc::clone(&self.inst);
+        let m = inst.m;
+
+        // Reset any prior node's state.
+        self.etas.clear();
+        self.pos.iter_mut().for_each(|p| *p = -1);
+        for j in 0..inst.total {
+            self.vstat[j] = if self.lo[j].is_finite() { VStat::Lower } else { VStat::Upper };
+        }
+
+        if m == 0 {
+            // No constraints: every profitable bounded column goes to its
+            // better bound; unbounded if a profitable column has u = ∞.
+            for j in 0..inst.n {
+                let c = inst.cost[j];
+                if c < -EPS {
+                    if self.up[j].is_infinite() {
+                        return LpOutcome::Unbounded;
+                    }
+                    self.vstat[j] = VStat::Upper;
+                } else if c > EPS && self.lo[j].is_infinite() {
+                    return LpOutcome::Unbounded;
+                }
+            }
+            self.lu = None;
+            return LpOutcome::Optimal;
+        }
+
+        // Residual of each row at the nonbasic resting point (logical and
+        // artificial columns rest at 0, so only structurals contribute).
+        let mut resid = self.inst.rhs.clone();
+        for j in 0..inst.n {
+            let v = match self.vstat[j] {
+                VStat::Lower => self.lo[j],
+                VStat::Upper => self.up[j],
+                VStat::Basic => unreachable!(),
+            };
+            if v != 0.0 {
+                for &(i, a) in &inst.cols[j] {
+                    resid[i as usize] -= a * v;
+                }
+            }
+        }
+
+        let mut need_phase1 = false;
+        for (i, &r) in resid.iter().enumerate() {
+            let li = inst.n + i;
+            let slot = if self.lo[li] - FEAS_TOL <= r && r <= self.up[li] + FEAS_TOL {
+                self.xb[i] = r.clamp(self.lo[li], self.up[li]);
+                li
+            } else if r > 0.0 {
+                let aj = inst.art_start + 2 * i;
+                self.up[aj] = f64::INFINITY;
+                self.xb[i] = r;
+                need_phase1 = true;
+                aj
+            } else {
+                let aj = inst.art_start + 2 * i + 1;
+                self.up[aj] = f64::INFINITY;
+                self.xb[i] = -r;
+                need_phase1 = true;
+                aj
+            };
+            self.basis[i] = slot as u32;
+            self.pos[slot] = i as i32;
+            self.vstat[slot] = VStat::Basic;
+        }
+        if !self.refactor() {
+            return LpOutcome::Error; // all-unit basis: cannot happen
+        }
+
+        if need_phase1 {
+            let t0 = Instant::now();
+            let mut p1cost = vec![0.0; inst.total];
+            p1cost[inst.art_start..].fill(1.0);
+            let out = self.primal(&p1cost, true);
+            self.stats.time_phase1 += t0.elapsed();
+            match out {
+                PrimalOutcome::Optimal => {}
+                PrimalOutcome::Unbounded | PrimalOutcome::Error => return LpOutcome::Error,
+            }
+            let mut infeas = 0.0;
+            for (i, &b) in self.basis.iter().enumerate() {
+                if b as usize >= inst.art_start {
+                    infeas += self.xb[i].max(0.0);
+                }
+            }
+            // Re-fix artificials; basic ones either carry the infeasibility
+            // (reported below) or sit harmlessly at ~0 on redundant rows.
+            for j in inst.art_start..inst.total {
+                self.up[j] = 0.0;
+            }
+            if infeas > PHASE1_TOL {
+                return LpOutcome::Infeasible;
             }
             self.drive_out_artificials();
         }
 
-        let cost = self.cost.clone();
-        match self.iterate(&cost, false) {
-            IterOutcome::Unbounded => (
-                Solution {
-                    status: Status::Unbounded,
-                    objective: if self.negated { f64::INFINITY } else { f64::NEG_INFINITY },
-                    values: vec![f64::NAN; n_model],
-                },
-                None,
-            ),
-            IterOutcome::Optimal => {
-                let mut values = vec![0.0; n_model];
-                for (j, v) in values.iter_mut().enumerate() {
-                    *v = self.value_of(j);
-                }
-                for (j, vd) in model.vars.iter().enumerate() {
-                    values[j] += vd.lower;
-                }
-                let total = self.objective_of(&cost) + self.offset;
-                let duals = self.duals(&cost);
-                (
-                    Solution {
-                        status: Status::Optimal,
-                        objective: if self.negated { -total } else { total },
-                        values,
-                    },
-                    Some(duals),
-                )
-            }
+        let t0 = Instant::now();
+        let cost = inst.cost.clone();
+        let out = self.primal(&cost, false);
+        self.stats.time_phase2 += t0.elapsed();
+        match out {
+            PrimalOutcome::Optimal => LpOutcome::Optimal,
+            PrimalOutcome::Unbounded => LpOutcome::Unbounded,
+            PrimalOutcome::Error => LpOutcome::Error,
         }
     }
 
-    /// Current value of column `j` in shifted coordinates.
-    fn value_of(&self, j: usize) -> f64 {
-        match self.status[j] {
-            At::Lower => 0.0,
-            At::Upper => self.upper[j],
-            At::Basic => {
-                let i = self.basis.iter().position(|&b| b == j).expect("basic col in basis");
-                self.beta[i]
-            }
-        }
-    }
-
-    /// Objective of the current solution under `cost`.
-    fn objective_of(&self, cost: &[f64]) -> f64 {
-        let mut obj = 0.0;
-        for (i, &b) in self.basis.iter().enumerate() {
-            obj += cost[b] * self.beta[i];
-        }
-        for (j, &c) in cost.iter().enumerate() {
-            if self.status[j] == At::Upper {
-                obj += c * self.upper[j];
-            }
-        }
-        obj
-    }
-
-    /// After phase 1, pivot basic artificials out (or leave redundant rows
-    /// harmlessly basic at zero).
+    /// After phase 1: pivot basic artificials out where possible (or
+    /// leave redundant rows harmlessly basic at zero).
     fn drive_out_artificials(&mut self) {
-        for i in 0..self.basis.len() {
-            if self.artificials.contains(&self.basis[i]) {
-                debug_assert!(self.beta[i].abs() <= 1e-6, "artificial basic at nonzero");
-                if let Some(j) = (0..self.artificials.start).find(|&j| {
-                    self.status[j] != At::Basic && self.a[i][j].abs() > EPS
-                }) {
-                    self.pivot(i, j, self.value_of(j));
+        let inst = Arc::clone(&self.inst);
+        for r in 0..inst.m {
+            if (self.basis[r] as usize) < inst.art_start {
+                continue;
+            }
+            // ρ = r-th row of B⁻¹; α_j = ρ·A_j is the pivot element.
+            let mut rho = std::mem::take(&mut self.ybuf);
+            rho.fill(0.0);
+            rho[r] = 1.0;
+            self.full_btran(&mut rho);
+            let mut enter = None;
+            for j in 0..inst.ncols {
+                if self.vstat[j] == VStat::Basic {
+                    continue;
                 }
+                let mut alpha = 0.0;
+                for &(i, v) in &inst.cols[j] {
+                    alpha += rho[i as usize] * v;
+                }
+                if alpha.abs() > PRICE_TOL {
+                    enter = Some(j);
+                    break;
+                }
+            }
+            self.ybuf = rho;
+            if let Some(q) = enter {
+                // Zero-step pivot: q becomes basic at its resting value.
+                let value = self.rest_value(q);
+                let mut w = std::mem::take(&mut self.scratch);
+                self.ftran_col(q, &mut w);
+                let art = self.basis[r] as usize;
+                self.pivot(r, q, value, &w);
+                self.vstat[art] = VStat::Lower;
+                self.scratch = w;
             }
         }
     }
 
-    /// Reduced cost of nonbasic column `j` under `cost`.
-    fn reduced_cost(&self, cost: &[f64], j: usize) -> f64 {
-        let mut r = cost[j];
-        for (i, &b) in self.basis.iter().enumerate() {
-            let cb = cost[b];
-            if cb != 0.0 {
-                r -= cb * self.a[i][j];
-            }
-        }
-        r
-    }
-
-    /// Bounded-variable simplex iterations minimizing `cost`. In phase 2
-    /// (`allow_artificials == false`) artificial columns never enter.
-    fn iterate(&mut self, cost: &[f64], allow_artificials: bool) -> IterOutcome {
-        let m = self.a.len();
-        let cols = self.cost.len();
-        if m == 0 {
-            // No constraints: push every profitable bounded column to its
-            // better bound; unbounded if a profitable column has u = ∞.
-            for (j, &r) in cost.iter().enumerate().take(cols) {
-                if r < -EPS {
-                    if self.upper[j].is_infinite() {
-                        return IterOutcome::Unbounded;
-                    }
-                    self.status[j] = At::Upper;
-                }
-            }
-            return IterOutcome::Optimal;
-        }
-        let budget_dantzig = 50 * (m + cols);
-        let hard_cap = budget_dantzig + 500 * (m + cols);
+    /// Bounded-variable primal simplex minimizing `cost`. Artificial
+    /// columns never enter (phase 1 starts with them basic and only drives
+    /// them out, which is safe because a feasible problem's restricted
+    /// phase-1 optimum is still 0).
+    fn primal(&mut self, cost: &[f64], phase1: bool) -> PrimalOutcome {
+        let inst = Arc::clone(&self.inst);
+        let m = inst.m;
+        let budget_dantzig = self.dantzig_factor * (m + inst.ncols);
+        let hard_cap = match self.iter_cap_override {
+            Some(cap) => cap,
+            None => budget_dantzig + 500 * (m + inst.ncols),
+        };
         let mut iters = 0usize;
         loop {
             iters += 1;
-            assert!(iters < hard_cap, "simplex exceeded {hard_cap} iterations");
+            if iters >= hard_cap.max(1) {
+                return PrimalOutcome::Error;
+            }
             let bland = iters > budget_dantzig;
 
-            // Entering: at-lower with r < 0 (increase) or at-upper with
-            // r > 0 (decrease).
+            self.compute_y(cost);
+            // Entering: at-lower with d < 0 (increase) or at-upper with
+            // d > 0 (decrease).
             let mut entering: Option<(usize, f64)> = None; // (col, direction)
-            let mut best = 1e-7;
-            for j in 0..cols {
-                if self.status[j] == At::Basic {
+            let mut best = PRICE_TOL;
+            for j in 0..inst.ncols {
+                if self.vstat[j] == VStat::Basic || self.lo[j] == self.up[j] {
                     continue;
                 }
-                if !allow_artificials && self.artificials.contains(&j) {
-                    continue;
-                }
-                let r = self.reduced_cost(cost, j);
-                let (viol, dir) = match self.status[j] {
-                    At::Lower => (-r, 1.0),
-                    At::Upper => (r, -1.0),
-                    At::Basic => unreachable!(),
+                let d = self.reduced_cost(cost, j);
+                let (viol, dir) = match self.vstat[j] {
+                    VStat::Lower => (-d, 1.0),
+                    VStat::Upper => (d, -1.0),
+                    VStat::Basic => unreachable!(),
                 };
                 if viol > best {
                     entering = Some((j, dir));
@@ -374,110 +766,300 @@ impl Tableau {
                     best = viol;
                 }
             }
-            let Some((j, dir)) = entering else {
-                return IterOutcome::Optimal;
+            let Some((q, dir)) = entering else {
+                return PrimalOutcome::Optimal;
             };
 
+            let mut w = std::mem::take(&mut self.scratch);
+            self.ftran_col(q, &mut w);
+
             // Ratio test: step t ≥ 0 of the entering variable away from
-            // its bound. Basic i changes by −t·dir·a[i][j].
-            let mut t_max = self.upper[j]; // entering reaches its other bound
-            let mut leave: Option<(usize, At)> = None; // (row, bound it hits)
-            for i in 0..m {
-                let delta = dir * self.a[i][j];
+            // its bound. Basic i changes by −t·dir·w[i].
+            let mut t_max = self.up[q] - self.lo[q]; // bound-flip distance
+            let mut leave: Option<(usize, VStat)> = None; // (row, bound hit)
+            for (i, &wi) in w.iter().enumerate() {
+                let delta = dir * wi;
+                let b = self.basis[i] as usize;
                 if delta > EPS {
-                    // Basic decreases toward 0.
-                    let t = self.beta[i] / delta;
-                    if t < t_max - EPS
-                        || (t < t_max + EPS
-                            && leave.is_some_and(|(li, _)| self.basis[i] < self.basis[li]))
-                    {
-                        t_max = t.max(0.0);
-                        leave = Some((i, At::Lower));
-                    }
-                } else if delta < -EPS {
-                    // Basic increases toward its upper bound.
-                    let ub = self.upper[self.basis[i]];
-                    if ub.is_finite() {
-                        let t = (ub - self.beta[i]) / (-delta);
+                    if self.lo[b].is_finite() {
+                        let t = (self.xb[i] - self.lo[b]) / delta;
                         if t < t_max - EPS
                             || (t < t_max + EPS
                                 && leave.is_some_and(|(li, _)| self.basis[i] < self.basis[li]))
                         {
                             t_max = t.max(0.0);
-                            leave = Some((i, At::Upper));
+                            leave = Some((i, VStat::Lower));
                         }
+                    }
+                } else if delta < -EPS && self.up[b].is_finite() {
+                    let t = (self.up[b] - self.xb[i]) / (-delta);
+                    if t < t_max - EPS
+                        || (t < t_max + EPS
+                            && leave.is_some_and(|(li, _)| self.basis[i] < self.basis[li]))
+                    {
+                        t_max = t.max(0.0);
+                        leave = Some((i, VStat::Upper));
                     }
                 }
             }
             if t_max.is_infinite() {
-                return IterOutcome::Unbounded;
+                self.scratch = w;
+                return PrimalOutcome::Unbounded;
             }
 
             match leave {
                 None => {
                     // Bound flip: entering crosses to its other bound.
-                    debug_assert!(self.upper[j].is_finite());
-                    for i in 0..m {
-                        self.beta[i] -= t_max * dir * self.a[i][j];
-                        if self.beta[i] < 0.0 && self.beta[i] > -1e-9 {
-                            self.beta[i] = 0.0;
+                    self.stats.bound_flips += 1;
+                    for (i, &wi) in w.iter().enumerate() {
+                        if wi != 0.0 {
+                            self.xb[i] -= t_max * dir * wi;
+                            self.snap(i);
                         }
                     }
-                    self.status[j] = match self.status[j] {
-                        At::Lower => At::Upper,
-                        At::Upper => At::Lower,
-                        At::Basic => unreachable!(),
+                    self.vstat[q] = match self.vstat[q] {
+                        VStat::Lower => VStat::Upper,
+                        VStat::Upper => VStat::Lower,
+                        VStat::Basic => unreachable!(),
                     };
                 }
-                Some((row, hit)) => {
-                    // Entering becomes basic at value (from-lower: t; from
-                    // upper: u − t).
-                    let entering_value = match self.status[j] {
-                        At::Lower => t_max,
-                        At::Upper => self.upper[j] - t_max,
-                        At::Basic => unreachable!(),
+                Some((r, hit)) => {
+                    if phase1 {
+                        self.stats.phase1_pivots += 1;
+                    } else {
+                        self.stats.phase2_pivots += 1;
+                    }
+                    let value = match self.vstat[q] {
+                        VStat::Lower => self.lo[q] + t_max,
+                        VStat::Upper => self.up[q] - t_max,
+                        VStat::Basic => unreachable!(),
                     };
-                    // Update the other basics for the step.
-                    for i in 0..m {
-                        if i != row {
-                            self.beta[i] -= t_max * dir * self.a[i][j];
-                            if self.beta[i] < 0.0 && self.beta[i] > -1e-9 {
-                                self.beta[i] = 0.0;
-                            }
+                    for (i, &wi) in w.iter().enumerate() {
+                        if i != r && wi != 0.0 {
+                            self.xb[i] -= t_max * dir * wi;
+                            self.snap(i);
                         }
                     }
-                    let leaving = self.basis[row];
-                    self.status[leaving] = hit;
-                    self.pivot(row, j, entering_value);
+                    let leaving = self.basis[r] as usize;
+                    self.pivot(r, q, value, &w);
+                    self.vstat[leaving] = hit;
                 }
             }
+            self.scratch = w;
         }
     }
 
-    /// Gauss-Jordan pivot making column `col` basic in `row` with the
-    /// given basic value.
-    fn pivot(&mut self, row: usize, col: usize, value: f64) {
-        let m = self.a.len();
-        let cols = self.a[0].len();
-        let p = self.a[row][col];
-        debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
-        for j in 0..cols {
-            self.a[row][j] /= p;
+    /// Warm start: install `from` (or keep the current basis when `None`,
+    /// the diving case), repair primal feasibility with the dual simplex,
+    /// then run a phase-2 primal cleanup. Falls back to a cold solve when
+    /// the basis is singular or the dual budget runs out.
+    pub(crate) fn solve_warm(&mut self, from: Option<&BasisState>) -> LpOutcome {
+        let inst = Arc::clone(&self.inst);
+        if inst.m == 0 {
+            return self.solve_cold();
         }
-        for i in 0..m {
-            if i != row {
-                let f = self.a[i][col];
-                if f != 0.0 {
-                    for j in 0..cols {
-                        self.a[i][j] -= f * self.a[row][j];
-                    }
-                }
+        if let Some(bs) = from {
+            self.basis.copy_from_slice(&bs.basis);
+            self.vstat.copy_from_slice(&bs.vstat);
+            self.pos.iter_mut().for_each(|p| *p = -1);
+            for (r, &b) in self.basis.iter().enumerate() {
+                self.pos[b as usize] = r as i32;
+            }
+            if !self.refactor() {
+                return self.solve_cold();
             }
         }
-        self.basis[row] = col;
-        self.status[col] = At::Basic;
-        self.beta[row] = value.max(0.0);
+        // A parent basis can leave a variable nonbasic on a bound the
+        // child no longer has (branching replaced ∞ by a finite bound, or
+        // vice versa the rest state references a bound that moved).
+        for j in 0..inst.ncols {
+            match self.vstat[j] {
+                VStat::Lower if !self.lo[j].is_finite() => self.vstat[j] = VStat::Upper,
+                VStat::Upper if !self.up[j].is_finite() => self.vstat[j] = VStat::Lower,
+                _ => {}
+            }
+        }
+        self.compute_xb();
+
+        let t0 = Instant::now();
+        let out = self.dual();
+        self.stats.time_dual += t0.elapsed();
+        let out = match out {
+            DualOutcome::Feasible => {
+                let t1 = Instant::now();
+                let cost = inst.cost.clone();
+                let o = self.primal(&cost, false);
+                self.stats.time_phase2 += t1.elapsed();
+                match o {
+                    PrimalOutcome::Optimal => LpOutcome::Optimal,
+                    PrimalOutcome::Unbounded => LpOutcome::Unbounded,
+                    PrimalOutcome::Error => LpOutcome::Error,
+                }
+            }
+            DualOutcome::Infeasible => LpOutcome::Infeasible,
+            DualOutcome::GiveUp => return self.solve_cold(),
+        };
+        if out == LpOutcome::Optimal || out == LpOutcome::Infeasible {
+            self.stats.warm_solves += 1;
+        }
+        out
     }
+
+    /// Dual simplex: repeatedly kick the most-violated basic variable to
+    /// its violated bound, entering the best price-ratio nonbasic column.
+    fn dual(&mut self) -> DualOutcome {
+        let inst = Arc::clone(&self.inst);
+        let m = inst.m;
+        let budget = 30 * (m + inst.ncols) + 10;
+        let cost = &inst.cost;
+        for _ in 0..budget {
+            // Leaving: most infeasible basic (ties → lowest column id).
+            let mut leave: Option<(usize, f64, bool)> = None; // (row, viol, below)
+            for i in 0..m {
+                let b = self.basis[i] as usize;
+                let (viol, below) = if self.xb[i] < self.lo[b] - FEAS_TOL {
+                    (self.lo[b] - self.xb[i], true)
+                } else if self.xb[i] > self.up[b] + FEAS_TOL {
+                    (self.xb[i] - self.up[b], false)
+                } else {
+                    continue;
+                };
+                let better = match leave {
+                    None => true,
+                    Some((li, lv, _)) => {
+                        viol > lv + EPS || (viol > lv - EPS && self.basis[i] < self.basis[li])
+                    }
+                };
+                if better {
+                    leave = Some((i, viol, below));
+                }
+            }
+            let Some((r, _, below)) = leave else {
+                return DualOutcome::Feasible;
+            };
+            self.stats.dual_pivots += 1;
+
+            // ρ = r-th row of B⁻¹; y for reduced costs.
+            let mut rho = vec![0.0; m];
+            rho[r] = 1.0;
+            self.full_btran(&mut rho);
+            self.compute_y(cost);
+
+            let mut enter: Option<(usize, f64)> = None; // (col, ratio)
+            for j in 0..inst.ncols {
+                if self.vstat[j] == VStat::Basic || self.lo[j] == self.up[j] {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                for &(i, v) in &inst.cols[j] {
+                    alpha += rho[i as usize] * v;
+                }
+                let eligible = if below {
+                    (self.vstat[j] == VStat::Lower && alpha < -PRICE_TOL)
+                        || (self.vstat[j] == VStat::Upper && alpha > PRICE_TOL)
+                } else {
+                    (self.vstat[j] == VStat::Lower && alpha > PRICE_TOL)
+                        || (self.vstat[j] == VStat::Upper && alpha < -PRICE_TOL)
+                };
+                if !eligible {
+                    continue;
+                }
+                let ratio = self.reduced_cost(cost, j).abs() / alpha.abs();
+                let better = match enter {
+                    None => true,
+                    Some((_, br)) => ratio < br - EPS,
+                };
+                if better {
+                    enter = Some((j, ratio));
+                }
+            }
+            let Some((q, _)) = enter else {
+                // No column can absorb the violation: LP is infeasible.
+                return DualOutcome::Infeasible;
+            };
+
+            let mut w = std::mem::take(&mut self.scratch);
+            self.ftran_col(q, &mut w);
+            if w[r].abs() <= EPS {
+                self.scratch = w;
+                if self.etas.is_empty() {
+                    return DualOutcome::GiveUp;
+                }
+                if !self.refactor() {
+                    return DualOutcome::GiveUp;
+                }
+                self.compute_xb();
+                continue;
+            }
+            let b = self.basis[r] as usize;
+            let target = if below { self.lo[b] } else { self.up[b] };
+            let t = (self.xb[r] - target) / w[r];
+            let value = self.rest_value(q) + t;
+            for (i, &wi) in w.iter().enumerate() {
+                if i != r && wi != 0.0 {
+                    self.xb[i] -= t * wi;
+                }
+            }
+            self.pivot(r, q, value, &w);
+            self.vstat[b] = if below { VStat::Lower } else { VStat::Upper };
+            self.scratch = w;
+        }
+        DualOutcome::GiveUp
+    }
+
+    /// Current structural values in model space.
+    pub(crate) fn structural_values(&self) -> Vec<f64> {
+        (0..self.inst.n).map(|j| self.rest_value(j)).collect()
+    }
+
+    /// Objective of the current point, in the model's own sense.
+    pub(crate) fn objective(&self) -> f64 {
+        let x = self.structural_values();
+        self.inst.model_objective(&x)
+    }
+
+    /// Constraint duals (model sense) at phase-2 optimality:
+    /// `y = B⁻ᵀ·c_B`, sign-flipped back when the model was a negated
+    /// maximization. No per-row corrections are needed because rows are
+    /// never normalized or flipped at build time.
+    pub(crate) fn duals(&mut self) -> Vec<f64> {
+        if self.inst.m == 0 {
+            return Vec::new();
+        }
+        let cost = Arc::clone(&self.inst).cost.clone();
+        self.compute_y(&cost);
+        self.ybuf.iter().map(|&y| if self.inst.negated { -y } else { y }).collect()
+    }
+
+    /// Snapshot of the current basis for warm-starting a child node.
+    pub(crate) fn basis_state(&self) -> BasisState {
+        BasisState { basis: self.basis.clone(), vstat: self.vstat.clone() }
+    }
+
+    /// Converts an outcome into a full [`Solution`] for the model.
+    pub(crate) fn extract_solution(&self, outcome: LpOutcome) -> Solution {
+        let n = self.inst.n;
+        match outcome {
+            LpOutcome::Optimal => {
+                let values = self.structural_values();
+                let objective = self.inst.model_objective(&values);
+                Solution { status: Status::Optimal, objective, values }
+            }
+            LpOutcome::Infeasible => Solution::sentinel(Status::Infeasible, n),
+            LpOutcome::Unbounded => Solution {
+                status: Status::Unbounded,
+                objective: if self.inst.negated { f64::INFINITY } else { f64::NEG_INFINITY },
+                values: vec![f64::NAN; n],
+            },
+            LpOutcome::Error => Solution::sentinel(Status::Error, n),
+        }
+    }
+}
+
+enum DualOutcome {
+    Feasible,
+    Infeasible,
+    GiveUp,
 }
 
 /// Relaxes integer/binary kinds to continuous (for LP relaxations).
@@ -791,8 +1373,8 @@ mod tests {
 
     #[test]
     fn duals_with_negative_rhs_row() {
-        // A row that gets normalized (rhs < 0): −x ≤ −2 ⇔ x ≥ 2; dual of
-        // the *original* row must match finite differences on it.
+        // A row whose rhs is negative: −x ≤ −2 ⇔ x ≥ 2; dual of the
+        // *original* row must match finite differences on it.
         let build = |r: f64| {
             let mut m = Model::new();
             let x = m.continuous("x", 0.0, 10.0);
@@ -825,5 +1407,259 @@ mod tests {
         assert_eq!(s.status, Status::Optimal);
         assert!((s.value(x) - 7.0).abs() < 1e-6);
         assert!((s.objective + 7.0).abs() < 1e-6);
+    }
+
+    // --- dual sign conventions: {min, max} × {≤, =, ≥}, all checked
+    // against finite differences so the convention is pinned down by
+    // behaviour, not by prose.
+
+    fn dual_fd_check(sense: Sense, cmp: Cmp) {
+        let build = |rhs: f64| {
+            let mut m = Model::new();
+            let x = m.continuous("x", 0.0, 50.0);
+            let y = m.continuous("y", 0.0, 50.0);
+            let expr = x + 2.0 * y;
+            match cmp {
+                Cmp::Le => m.le(expr, rhs),
+                Cmp::Ge => m.ge(expr, rhs),
+                Cmp::Eq => m.eq(expr, rhs),
+            };
+            // A second, non-binding row keeps the problem 2-dimensional.
+            m.le(x + y, 90.0);
+            let obj = 3.0 * x + 5.0 * y;
+            m.set_objective(sense, obj);
+            m
+        };
+        let rhs0 = 40.0;
+        let (sol, duals) = solve_lp_with_duals(&build(rhs0));
+        assert_eq!(sol.status, Status::Optimal, "{sense:?} {cmp:?}");
+        let duals = duals.unwrap();
+        let d = 1e-4;
+        let bumped = build(rhs0 + d).solve();
+        assert_eq!(bumped.status, Status::Optimal);
+        let fd = (bumped.objective - sol.objective) / d;
+        assert!(
+            (fd - duals[0]).abs() < 1e-4,
+            "{sense:?} {cmp:?}: dual {} vs finite difference {}",
+            duals[0],
+            fd
+        );
+    }
+
+    #[test]
+    fn dual_sign_min_le() {
+        dual_fd_check(Sense::Minimize, Cmp::Le);
+    }
+
+    #[test]
+    fn dual_sign_min_ge() {
+        dual_fd_check(Sense::Minimize, Cmp::Ge);
+    }
+
+    #[test]
+    fn dual_sign_min_eq() {
+        dual_fd_check(Sense::Minimize, Cmp::Eq);
+    }
+
+    #[test]
+    fn dual_sign_max_le() {
+        dual_fd_check(Sense::Maximize, Cmp::Le);
+    }
+
+    #[test]
+    fn dual_sign_max_ge() {
+        dual_fd_check(Sense::Maximize, Cmp::Ge);
+    }
+
+    #[test]
+    fn dual_sign_max_eq() {
+        dual_fd_check(Sense::Maximize, Cmp::Eq);
+    }
+
+    #[test]
+    fn min_ge_binding_dual_is_nonnegative() {
+        // The satellite's headline case: minimization, binding ≥ row →
+        // the shadow price of one more unit of requirement is a *cost*,
+        // i.e. non-negative in the model's own sense.
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.nonneg("y");
+        m.ge(2.0 * x + y, 8.0);
+        m.set_objective(Sense::Minimize, 3.0 * x + 4.0 * y);
+        let (sol, duals) = solve_lp_with_duals(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        let duals = duals.unwrap();
+        assert!(duals[0] >= 0.0, "binding ≥ dual must be ≥ 0, got {}", duals[0]);
+        assert!((duals[0] - 1.5).abs() < 1e-6, "{duals:?}");
+    }
+
+    // --- degenerate stress / anti-cycling ---
+
+    #[test]
+    fn bland_rule_terminates_on_degenerate_lp() {
+        // Force Bland's rule from the very first iteration (the test hook
+        // zeroes the Dantzig budget) on a degeneracy-heavy LP and demand
+        // the exact optimum anyway.
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.nonneg("y");
+        let z = m.nonneg("z");
+        m.le(x + y + z, 1.0);
+        m.le(x + y, 1.0);
+        m.le(1.0 * x, 1.0);
+        m.le(y + z, 1.0);
+        m.set_objective(Sense::Maximize, 2.0 * x + 1.0 * y + 1.0 * z);
+        let inst = Arc::new(Instance::build(&m));
+        let mut ctx = Ctx::new(Arc::clone(&inst));
+        ctx.dantzig_factor = 0; // Bland from iteration 1
+        let out = ctx.solve_cold();
+        assert_eq!(out, LpOutcome::Optimal);
+        assert!((ctx.objective() - 2.0).abs() < 1e-6, "obj={}", ctx.objective());
+    }
+
+    #[test]
+    fn beale_cycling_example_terminates() {
+        // Beale's classic cycling LP (degenerate at the origin). Dantzig
+        // pricing alone can cycle on it; the Bland switch must save us.
+        let mut m = Model::new();
+        let x1 = m.nonneg("x1");
+        let x2 = m.nonneg("x2");
+        let x3 = m.nonneg("x3");
+        let x4 = m.nonneg("x4");
+        m.le(0.25 * x1 - 60.0 * x2 - 0.04 * x3 + 9.0 * x4, 0.0);
+        m.le(0.5 * x1 - 90.0 * x2 - 0.02 * x3 + 3.0 * x4, 0.0);
+        m.le(1.0 * x3, 1.0);
+        m.set_objective(
+            Sense::Minimize,
+            -0.75 * x1 + 150.0 * x2 - 0.02 * x3 + 6.0 * x4,
+        );
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective + 0.05).abs() < 1e-6, "obj={}", s.objective);
+    }
+
+    #[test]
+    fn iteration_cap_reports_error_not_panic() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.nonneg("y");
+        m.le(x + y, 4.0);
+        m.ge(x + y, 1.0);
+        m.set_objective(Sense::Maximize, 3.0 * x + 2.0 * y);
+        let inst = Arc::new(Instance::build(&m));
+        let mut ctx = Ctx::new(inst);
+        ctx.iter_cap_override = Some(1); // no pivot can ever complete
+        let out = ctx.solve_cold();
+        assert_eq!(out, LpOutcome::Error);
+        assert_eq!(ctx.extract_solution(out).status, Status::Error);
+    }
+
+    // --- empty constraint rows (malformed-adjacent but legal) ---
+
+    #[test]
+    fn empty_row_feasible_is_ignored() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 5.0);
+        m.le(crate::expr::LinExpr::sum(std::iter::empty()), 3.0); // 0 ≤ 3
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_row_infeasible_detected() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 5.0);
+        m.ge(crate::expr::LinExpr::sum(std::iter::empty()), 3.0); // 0 ≥ 3
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        assert_eq!(m.solve().status, Status::Infeasible);
+    }
+
+    // --- warm starts ---
+
+    #[test]
+    fn warm_start_matches_cold_solve_after_bound_change() {
+        // Solve, snapshot the basis, tighten one variable's bounds the way
+        // branching would, and check dual-simplex warm restart lands on
+        // exactly the cold solve's optimum.
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 4.0);
+        let y = m.continuous("y", 0.0, 4.0);
+        let z = m.continuous("z", 0.0, 4.0);
+        m.le(x + y + z, 6.0);
+        m.le(2.0 * x + y, 5.0);
+        m.ge(x + z, 1.0);
+        m.set_objective(Sense::Maximize, 3.0 * x + 2.0 * y + 1.5 * z);
+        let inst = Arc::new(Instance::build(&m));
+
+        let mut parent = Ctx::new(Arc::clone(&inst));
+        assert_eq!(parent.solve_cold(), LpOutcome::Optimal);
+        let snapshot = parent.basis_state();
+        let parent_obj = parent.objective();
+
+        // Child: x ≤ 1 (as if branching down on x).
+        let mut warm = Ctx::new(Arc::clone(&inst));
+        warm.set_bounds(&[(0, 0.0, 1.0)]);
+        assert_eq!(warm.solve_warm(Some(&snapshot)), LpOutcome::Optimal);
+
+        let mut cold = Ctx::new(Arc::clone(&inst));
+        cold.set_bounds(&[(0, 0.0, 1.0)]);
+        assert_eq!(cold.solve_cold(), LpOutcome::Optimal);
+
+        assert!(
+            (warm.objective() - cold.objective()).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective(),
+            cold.objective()
+        );
+        assert!(warm.objective() <= parent_obj + 1e-9, "child bound can only tighten");
+        assert!(warm.stats.warm_solves >= 1);
+    }
+
+    #[test]
+    fn warm_start_detects_child_infeasibility() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 4.0);
+        let y = m.continuous("y", 0.0, 4.0);
+        m.ge(x + y, 6.0);
+        m.set_objective(Sense::Minimize, x + y);
+        let inst = Arc::new(Instance::build(&m));
+        let mut parent = Ctx::new(Arc::clone(&inst));
+        assert_eq!(parent.solve_cold(), LpOutcome::Optimal);
+        let snapshot = parent.basis_state();
+
+        // Child: x ≤ 1 and y ≤ 1 → x + y ≤ 2 < 6.
+        let mut child = Ctx::new(Arc::clone(&inst));
+        child.set_bounds(&[(0, 0.0, 1.0), (1, 0.0, 1.0)]);
+        assert_eq!(child.solve_warm(Some(&snapshot)), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn eta_refactorization_stays_exact() {
+        // A chain long enough to force several refactorizations; optimum
+        // must match the assignment-like closed form.
+        let k = 30;
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..k).map(|i| m.continuous(format!("x{i}"), 0.0, 2.0)).collect();
+        for w in vars.windows(2) {
+            m.le(w[0] + w[1], 3.0);
+        }
+        let obj =
+            crate::expr::LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| {
+                (1.0 + ((i * 7) % 5) as f64) * v
+            }));
+        m.set_objective(Sense::Maximize, obj);
+        let (s, stats) = solve_lp_with_stats(&m);
+        assert_eq!(s.status, Status::Optimal);
+        assert!(m.is_feasible(&s.values, 1e-6));
+        // Cross-check against a fresh Dantzig-free (Bland) solve, which
+        // follows a completely different pivot sequence.
+        let inst = Arc::new(Instance::build(&m));
+        let mut ctx = Ctx::new(inst);
+        ctx.dantzig_factor = 0;
+        assert_eq!(ctx.solve_cold(), LpOutcome::Optimal);
+        assert!((ctx.objective() - s.objective).abs() < 1e-6);
+        assert!(stats.total_pivots() > 0);
     }
 }

@@ -46,8 +46,16 @@ fn shortest_path_banning_nodes(
         if d > dist[u as usize] {
             continue;
         }
-        if u == dst.0 {
+        // Keep settling until strictly past `dst`'s distance: heap ties
+        // carry only `(dist, node-id)`, so on the first pop of `dst` an
+        // equal-distance node may still be queued that would re-relax
+        // `dst` through a lower — canonical — edge id. Breaking there
+        // made the tie-break depend on node numbering; this does not.
+        if d > dist[dst.0 as usize] {
             break;
+        }
+        if u == dst.0 {
+            continue;
         }
         let u_node = NodeId(u);
         for (e, v) in graph.neighbors(u_node, banned_edges) {
@@ -280,5 +288,56 @@ mod tests {
         let a = k_shortest_paths(&g, c, h, 4, &HashSet::new());
         let b = k_shortest_paths(&g, c, h, 4, &HashSet::new());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equal_cost_tie_takes_canonical_lowest_edge_id() {
+        // Node ids are chosen so `t` (id 1) sorts before `u` (id 2) among
+        // equal heap keys — the ordering the old first-pop break was
+        // sensitive to. Two equal-cost ways into `t`: the direct edge e2
+        // and the two-hop route ending in e1. The canonical rule (lowest
+        // final edge id among equal-cost predecessors) must pick e1 no
+        // matter in which order the heap surfaces the ties.
+        let mut g = Graph::new();
+        let s = g.add_node("s");
+        let t = g.add_node("t");
+        let u = g.add_node("u");
+        g.add_edge(s, u, 4); // e0
+        g.add_edge(u, t, 1); // e1
+        g.add_edge(s, t, 5); // e2 — same total cost as e0+e1
+        let p = shortest_path(&g, s, t, &HashSet::new()).unwrap();
+        assert_eq!(p.length_km, 5);
+        assert_eq!(
+            p.edges.iter().map(|e| e.0).collect::<Vec<_>>(),
+            vec![0, 1],
+            "equal-cost tie must resolve to the lowest-edge-id predecessor"
+        );
+    }
+
+    #[test]
+    fn yen_deterministic_across_equal_cost_parallel_edges() {
+        // A diamond where both the a→b hop and the b→d hop have two
+        // parallel fibers of identical length: every complete path has the
+        // same total length, so the edge-id canonicalization alone decides
+        // the ordering. Yen's spur calls must keep returning the same
+        // paths in the same order, run after run.
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 5); // e0
+        g.add_edge(a, b, 5); // e1 (parallel, equal cost)
+        g.add_edge(b, d, 7); // e2
+        g.add_edge(b, d, 7); // e3 (parallel, equal cost)
+        let first = k_shortest_paths(&g, a, d, 4, &HashSet::new());
+        assert_eq!(first.len(), 4, "2×2 parallel combinations");
+        for p in &first {
+            assert_eq!(p.length_km, 12);
+        }
+        // The shortest path must use the canonical (lowest-id) fibers.
+        assert_eq!(first[0].edges.iter().map(|e| e.0).collect::<Vec<_>>(), vec![0, 2]);
+        for _ in 0..5 {
+            assert_eq!(k_shortest_paths(&g, a, d, 4, &HashSet::new()), first);
+        }
     }
 }

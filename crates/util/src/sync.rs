@@ -166,6 +166,27 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Option<T> {
         self.shared.inner.lock().unwrap().queue.pop_front()
     }
+
+    /// Blocking iterator over incoming messages; ends when every sender
+    /// has been dropped and the queue is drained. The natural worker-loop
+    /// shape: `for task in rx.iter() { … }`.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+/// Blocking iterator returned by [`Receiver::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
 }
 
 impl<T> Clone for Receiver<T> {
@@ -271,5 +292,20 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iter_drains_then_ends_on_disconnect() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let h = thread::spawn(move || {
+            tx.send(5).unwrap();
+            // Sender dropped here: iterator must terminate after draining.
+        });
+        let got: Vec<i32> = rx.iter().collect();
+        h.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
     }
 }
