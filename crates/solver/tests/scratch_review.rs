@@ -1,0 +1,44 @@
+use flexwan_solver::{LinExpr, Model, Sense, Status};
+
+fn build(k: usize, seed: u64) -> Model {
+    let mut m = Model::new();
+    let mut st = seed;
+    let mut rnd = move || {
+        st = st.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((st >> 33) % 5) as f64
+    };
+    let vars: Vec<_> = (0..k).map(|i| m.continuous(format!("x{i}"), 1.0, 3.0)).collect();
+    for w in vars.windows(2) {
+        m.le(w[0] + w[1], 4.0 + rnd());
+    }
+    for w in vars.windows(4) {
+        m.le(w[0] + w[1] + (w[2] + w[3]), 9.0 + rnd());
+    }
+    let obj = LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| (1.0 + ((i * 7) % 5) as f64) * v));
+    m.set_objective(Sense::Maximize, obj);
+    m
+}
+
+#[test]
+fn randomized_lps_stay_feasible_and_consistent() {
+    for seed in 0..30u64 {
+        let m = build(150, seed);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal, "seed {seed}");
+        assert!(
+            m.is_feasible(&s.values, 1e-6),
+            "seed {seed}: solver returned an infeasible point, obj={}",
+            s.objective
+        );
+        // objective must match the reported values
+        let recomputed: f64 = (0..150)
+            .map(|i| (1.0 + ((i * 7) % 5) as f64) * s.values[i])
+            .sum();
+        assert!(
+            (recomputed - s.objective).abs() < 1e-6,
+            "seed {seed}: objective {} vs recomputed {}",
+            s.objective,
+            recomputed
+        );
+    }
+}
