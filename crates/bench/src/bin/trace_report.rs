@@ -1,0 +1,184 @@
+//! End-to-end observability report: one instrumented run of the system's
+//! three hot paths — planning, restoration, and a controller chaos drill —
+//! printing the recorded span tree plus metrics snapshots in JSON and
+//! Prometheus text format.
+//!
+//! Flags (combinable; default prints all three sections):
+//!
+//! * `--tree` — only the span tree;
+//! * `--json` — only the metrics JSON snapshot;
+//! * `--prom` — only the Prometheus exposition text;
+//! * `--clock=manual` — drive the report from a [`ManualClock`] instead of
+//!   the wall clock: every timestamp is 0 ns and the whole report becomes
+//!   byte-deterministic (CI diffs two runs to prove it).
+
+use std::sync::Arc;
+
+use flexwan_bench::table;
+use flexwan_core::observe::{plan_observed, restore_observed};
+use flexwan_core::planning::{solve_exact, PlannerConfig};
+use flexwan_core::restore::one_fiber_scenarios;
+use flexwan_core::Scheme;
+use flexwan_ctrl::recovery::recover_misconnection_observed;
+use flexwan_ctrl::{
+    Controller, DeviceFaults, FaultInjector, FaultPlan, Orchestrator, TelemetrySim, TelemetryStore,
+};
+use flexwan_obs::{ManualClock, Obs};
+use flexwan_optical::format::FecOverhead;
+use flexwan_optical::spectrum::{PixelRange, PixelWidth, SpectrumGrid};
+use flexwan_optical::WssKind;
+use flexwan_physim::BerEvaluator;
+use flexwan_solver::{record_solver_stats, SolveOptions};
+use flexwan_topo::graph::Graph;
+use flexwan_topo::ip::IpTopology;
+
+fn backbone() -> (Graph, IpTopology) {
+    let mut g = Graph::new();
+    let a = g.add_node("a");
+    let b = g.add_node("b");
+    let c = g.add_node("c");
+    let d = g.add_node("d");
+    g.add_edge(a, b, 150);
+    g.add_edge(b, c, 200);
+    g.add_edge(c, d, 250);
+    g.add_edge(a, c, 500);
+    g.add_edge(b, d, 450);
+    let mut ip = IpTopology::new();
+    ip.add_link(a, c, 600);
+    ip.add_link(a, b, 400);
+    ip.add_link(b, d, 500);
+    (g, ip)
+}
+
+/// A 4-node ring, small enough that the exact MIP stays sub-second in
+/// debug builds (the same instance the `solver_stats` binary reports on).
+fn ring_instance() -> (Graph, IpTopology) {
+    let mut g = Graph::new();
+    let n: Vec<_> = ["a", "b", "c", "d"].iter().map(|s| g.add_node(*s)).collect();
+    for i in 0..4 {
+        g.add_edge(n[i], n[(i + 1) % 4], 300 + 60 * i as u32);
+    }
+    let mut ip = IpTopology::new();
+    ip.add_link(n[0], n[2], 800);
+    ip.add_link(n[1], n[3], 600);
+    (g, ip)
+}
+
+fn run_scenario(obs: &Obs, manual: bool) {
+    let (g, ip) = backbone();
+    let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+
+    // 1. Planning: observed runs for two schemes under one root span.
+    let planning = obs.span("report.planning");
+    let p = plan_observed(obs, Some(&planning), Scheme::FlexWan, &g, &ip, &cfg);
+    let _ = plan_observed(obs, Some(&planning), Scheme::Radwan, &g, &ip, &cfg);
+    planning.end();
+    assert!(p.is_feasible(), "report backbone must plan cleanly");
+
+    // 2. Restoration: every single-fiber scenario against the plan.
+    let restoration = obs.span("report.restoration");
+    for scenario in &one_fiber_scenarios(&g) {
+        let _ = restore_observed(obs, Some(&restoration), &p, &g, &ip, scenario, &[], &cfg);
+    }
+    restoration.end();
+
+    // 3. Chaos drill: a faulted device plane, the self-healing loop, then
+    // the telemetry-driven restoration loop reacting to a fiber cut.
+    let drill = obs.span("report.chaos_drill");
+    let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+    ctrl.set_obs(obs.clone());
+    let faults = DeviceFaults { drop_prob: 0.1, delay_reply_prob: 0.1, ..Default::default() };
+    ctrl.arm_faults(Arc::new(FaultInjector::new(FaultPlan::uniform(7, faults))));
+    let apply = ctrl.apply_plan(&p, &g);
+    drill.field("apply_rejections", apply.rejections.len());
+    let report = ctrl.converge(&p, 64);
+    assert!(report.converged, "drill plane must converge");
+    drill.field("converge_passes", report.passes);
+
+    let primary = p.wavelengths[0].path.edges[0];
+    let mut store = TelemetryStore::new(30);
+    store.set_obs(obs.clone());
+    let mut orch = Orchestrator::new(&g, &ip, p, cfg, Vec::new());
+    orch.set_obs(obs.clone());
+    let sim = TelemetrySim::new(&g);
+    for t in 0..3 {
+        sim.tick(&mut store, t, &[]);
+        orch.tick(&store, &mut ctrl);
+    }
+    sim.tick(&mut store, 3, &[primary]);
+    orch.tick(&store, &mut ctrl);
+    drill.field("live_restoration", orch.live_restoration().len());
+    drill.end();
+
+    // 4. Solver + physical layer: exact-MIP counters and BER timings.
+    let (rg, rip) = ring_instance();
+    let exact = solve_exact(
+        Scheme::FlexWan,
+        &rg,
+        &rip,
+        &PlannerConfig { grid: SpectrumGrid::new(16), k_paths: 2, ..Default::default() },
+        &SolveOptions { max_nodes: 50_000, ..Default::default() },
+    )
+    .expect("report MIP instance is feasible");
+    let mut stats = exact.stats;
+    if manual {
+        // The solver's phase timings are wall-clock (`SolverStats` docs);
+        // zero them so a manual-clock report stays byte-deterministic.
+        stats.time_phase1 = std::time::Duration::ZERO;
+        stats.time_phase2 = std::time::Duration::ZERO;
+        stats.time_dual = std::time::Duration::ZERO;
+        stats.time_total = std::time::Duration::ZERO;
+    }
+    record_solver_stats(obs.registry(), &stats);
+
+    let ber = BerEvaluator::new(obs.clone());
+    for snr_db in [8.0, 12.0, 16.0, 20.0] {
+        let _ = ber.evaluate(4.0, 10f64.powf(snr_db / 10.0), FecOverhead::LOW);
+    }
+    let _ = recover_misconnection_observed(
+        obs,
+        WssKind::PixelWise,
+        9,
+        PixelRange::new(12, PixelWidth::new(6)),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let manual = args.iter().any(|a| a == "--clock=manual");
+    let sections: Vec<&str> =
+        args.iter().filter(|a| matches!(a.as_str(), "--tree" | "--json" | "--prom")).map(|a| &a[2..]).collect();
+    let all = sections.is_empty();
+
+    let obs = if manual {
+        Obs::with_clock(Arc::new(ManualClock::new()))
+    } else {
+        Obs::new()
+    };
+    run_scenario(&obs, manual);
+
+    if all {
+        table::banner(
+            "Observability report",
+            "Span tree and metrics snapshots from one instrumented planning + restoration + chaos-drill run.",
+        );
+    }
+    if all || sections.contains(&"tree") {
+        if all {
+            println!("── span tree ──");
+        }
+        print!("{}", obs.span_tree());
+    }
+    if all || sections.contains(&"json") {
+        if all {
+            println!("\n── metrics (JSON) ──");
+        }
+        println!("{}", obs.metrics_json());
+    }
+    if all || sections.contains(&"prom") {
+        if all {
+            println!("\n── metrics (Prometheus) ──");
+        }
+        print!("{}", obs.metrics_prometheus());
+    }
+}

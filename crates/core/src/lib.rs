@@ -8,7 +8,9 @@
 //! * [`restore`] — optical restoration (§8): failure scenarios, greedy and
 //!   exact restorers, capability reporting;
 //! * [`te`] — IP-layer traffic engineering (path-based multi-commodity
-//!   flow) quantifying what planned/restored capacity means for traffic.
+//!   flow) quantifying what planned/restored capacity means for traffic;
+//! * [`observe`] — observed wrappers recording planning/restoration runs
+//!   as spans and metrics (additive; outputs stay bit-identical).
 //!
 //! Everything is deterministic: same inputs ⇒ same plan, byte for byte.
 
@@ -16,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod defrag;
+pub mod observe;
 pub mod planning;
 pub mod protect;
 pub mod restore;
@@ -23,6 +26,7 @@ pub mod scheme;
 pub mod te;
 pub mod wavelength;
 
+pub use observe::{plan_observed, restore_observed};
 pub use planning::{max_feasible_scale, plan, Plan, PlannerConfig};
 pub use restore::{one_fiber_scenarios, restore, FailureScenario, Restoration};
 pub use protect::{plan_protected, ProtectedPlan};

@@ -1,0 +1,133 @@
+//! Observed entry points for planning and restoration.
+//!
+//! Thin wrappers over [`plan`](crate::planning::plan) and
+//! [`restore`](crate::restore::restore) that record an end-to-end span
+//! (optionally nested under a caller-supplied parent), latency histograms
+//! and outcome gauges into an [`Obs`] bundle. The planners themselves stay
+//! untouched: observability is additive, never load-bearing — the
+//! deterministic outputs are bit-identical with and without it.
+
+use flexwan_obs::{Obs, Span};
+use flexwan_topo::graph::Graph;
+use flexwan_topo::ip::IpTopology;
+
+use crate::planning::{plan, Plan, PlannerConfig};
+use crate::restore::{restore, FailureScenario, Restoration};
+use crate::scheme::Scheme;
+
+/// [`plan`] with the run recorded into `obs`: a `planning.plan` span
+/// (child of `parent` when given) carrying scheme/size/outcome fields, a
+/// `planning_plan_seconds` latency observation and outcome gauges.
+pub fn plan_observed(
+    obs: &Obs,
+    parent: Option<&Span>,
+    scheme: Scheme,
+    optical: &Graph,
+    ip: &IpTopology,
+    cfg: &PlannerConfig,
+) -> Plan {
+    let span = match parent {
+        Some(p) => p.child("planning.plan"),
+        None => obs.span("planning.plan"),
+    };
+    span.field("scheme", format!("{scheme:?}"));
+    span.field("ip_links", ip.num_links());
+    span.field("fibers", optical.num_edges());
+    let start = obs.now_ns();
+    let p = plan(scheme, optical, ip, cfg);
+    span.field("wavelengths", p.wavelengths.len());
+    span.field("unmet_gbps", p.unmet_gbps());
+    let reg = obs.registry();
+    let scheme_label = format!("{scheme:?}");
+    reg.counter_with("planning_runs_total", &[("scheme", &scheme_label)]).inc();
+    reg.gauge_with("planning_wavelengths", &[("scheme", &scheme_label)])
+        .set(p.wavelengths.len() as f64);
+    reg.gauge_with("planning_unmet_gbps", &[("scheme", &scheme_label)])
+        .set(p.unmet_gbps() as f64);
+    obs.observe_since("planning_plan_seconds", start);
+    p
+}
+
+/// [`restore`] with the run recorded into `obs`: a `restore.scenario`
+/// span (child of `parent` when given) carrying cut/capability fields, a
+/// `restore_seconds` latency observation and the capability gauge.
+#[allow(clippy::too_many_arguments)]
+pub fn restore_observed(
+    obs: &Obs,
+    parent: Option<&Span>,
+    plan: &Plan,
+    optical: &Graph,
+    ip: &IpTopology,
+    scenario: &FailureScenario,
+    extra_spares: &[u32],
+    cfg: &PlannerConfig,
+) -> Restoration {
+    let span = match parent {
+        Some(p) => p.child("restore.scenario"),
+        None => obs.span("restore.scenario"),
+    };
+    span.field("scenario", scenario.id);
+    span.field("cuts", scenario.cuts.len());
+    let start = obs.now_ns();
+    let r = restore(plan, optical, ip, scenario, extra_spares, cfg);
+    span.field("affected_gbps", r.affected_gbps);
+    span.field("restored_gbps", r.restored_gbps);
+    span.field("capability", r.capability());
+    let reg = obs.registry();
+    reg.counter("restore_runs_total").inc();
+    reg.counter("restore_affected_gbps_total").add(r.affected_gbps);
+    reg.counter("restore_restored_gbps_total").add(r.restored_gbps);
+    reg.gauge("restore_capability").set(r.capability());
+    obs.observe_since("restore_seconds", start);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restore::one_fiber_scenarios;
+    use flexwan_optical::spectrum::SpectrumGrid;
+
+    fn world() -> (Graph, IpTopology, PlannerConfig) {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 600);
+        g.add_edge(a, c, 600);
+        g.add_edge(c, b, 600);
+        let mut ip = IpTopology::new();
+        ip.add_link(a, b, 300);
+        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        (g, ip, cfg)
+    }
+
+    #[test]
+    fn observed_plan_matches_plain_plan_and_records() {
+        let (g, ip, cfg) = world();
+        let obs = Obs::default();
+        let observed = plan_observed(&obs, None, Scheme::FlexWan, &g, &ip, &cfg);
+        let plain = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        assert_eq!(observed.wavelengths.len(), plain.wavelengths.len());
+        assert_eq!(observed.spectrum_usage_ghz(), plain.spectrum_usage_ghz());
+        let prom = obs.metrics_prometheus();
+        assert!(prom.contains("planning_runs_total{scheme=\"FlexWan\"} 1"), "{prom}");
+        assert!(obs.span_tree().contains("planning.plan"));
+    }
+
+    #[test]
+    fn observed_restore_nests_under_parent_span() {
+        let (g, ip, cfg) = world();
+        let obs = Obs::default();
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        let scenario = &one_fiber_scenarios(&g)[0];
+        let root = obs.span("drill");
+        let r = restore_observed(&obs, Some(&root), &p, &g, &ip, scenario, &[], &cfg);
+        root.end();
+        let plain = restore(&p, &g, &ip, scenario, &[], &cfg);
+        assert_eq!(r.restored_gbps, plain.restored_gbps);
+        let tree = obs.span_tree();
+        assert!(tree.contains("drill"), "{tree}");
+        assert!(tree.contains("  restore.scenario"), "{tree}");
+    }
+}

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use flexwan_core::planning::Plan;
+use flexwan_obs::Obs;
 use flexwan_optical::devices::{Mux, Roadm};
 use flexwan_optical::spectrum::SpectrumGrid;
 use flexwan_optical::WssKind;
@@ -38,6 +39,7 @@ pub struct DevMgr {
     factory: HashMap<DeviceId, Hardware>,
     next_id: u32,
     injector: Option<Arc<FaultInjector>>,
+    obs: Option<Obs>,
 }
 
 impl DevMgr {
@@ -56,6 +58,9 @@ impl DevMgr {
         if let Some(inj) = &self.injector {
             handle.session.arm(id, inj.clone());
         }
+        if let Some(obs) = &self.obs {
+            handle.session.observe(id, obs.clone());
+        }
         self.devices.insert(id, handle);
         id
     }
@@ -67,6 +72,15 @@ impl DevMgr {
             handle.session.arm(*id, injector.clone());
         }
         self.injector = Some(injector);
+    }
+
+    /// Arms every session (present and future) with an observability
+    /// bundle: per-device NETCONF attempts and failures are counted.
+    pub fn arm_obs(&mut self, obs: Obs) {
+        for (id, handle) in self.devices.iter_mut() {
+            handle.session.observe(*id, obs.clone());
+        }
+        self.obs = Some(obs);
     }
 
     /// Simulates a field replacement: the device at `id` is swapped for a
@@ -81,6 +95,9 @@ impl DevMgr {
         if let Some(inj) = &self.injector {
             handle.session.arm(id, inj.clone());
             inj.device_restarted(id);
+        }
+        if let Some(obs) = &self.obs {
+            handle.session.observe(id, obs.clone());
         }
         self.devices.insert(id, handle);
     }
@@ -230,6 +247,7 @@ pub struct Controller {
     breakers: HashMap<DeviceId, Breaker>,
     backoff_rng: ChaCha8Rng,
     stats: CtrlStats,
+    obs: Option<Obs>,
 }
 
 impl Controller {
@@ -274,6 +292,7 @@ impl Controller {
             breakers: HashMap::new(),
             backoff_rng: ChaCha8Rng::seed_from_u64(0x0C0FFEE),
             stats: CtrlStats::default(),
+            obs: None,
         }
     }
 
@@ -285,6 +304,35 @@ impl Controller {
     /// Arms the whole device plane with a fault injector (chaos harness).
     pub fn arm_faults(&mut self, injector: Arc<FaultInjector>) {
         self.devmgr.arm_faults(injector);
+    }
+
+    /// Arms the controller (and every device session, present and future)
+    /// with an observability bundle: sends, retries, read-repairs, breaker
+    /// transitions and transaction lifecycles are recorded from here on.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.devmgr.arm_obs(obs.clone());
+        self.obs = Some(obs);
+    }
+
+    /// Counts one controller-level event.
+    fn count(&self, metric: &str) {
+        if let Some(obs) = &self.obs {
+            obs.registry().counter(metric).inc();
+        }
+    }
+
+    /// Publishes a breaker transition as a per-device gauge
+    /// (0 = closed, 0.5 = half-open probing, 1 = open/quarantined).
+    fn note_breaker(&self, id: DeviceId, state: BreakerState) {
+        if let Some(obs) = &self.obs {
+            let value = match state {
+                BreakerState::Closed => 0.0,
+                BreakerState::HalfOpen => 0.5,
+                BreakerState::Open => 1.0,
+            };
+            let device = id.0.to_string();
+            obs.registry().gauge_with("ctrl_breaker_state", &[("device", &device)]).set(value);
+        }
     }
 
     /// Replaces the retry policy.
@@ -317,8 +365,12 @@ impl Controller {
 
     fn breaker_ok(&mut self, id: DeviceId) {
         let b = self.breakers.entry(id).or_default();
+        let was_closed = b.state == BreakerState::Closed;
         b.state = BreakerState::Closed;
         b.consecutive_failures = 0;
+        if !was_closed {
+            self.note_breaker(id, BreakerState::Closed);
+        }
     }
 
     /// Records a failed send; returns true if the breaker just opened.
@@ -328,6 +380,8 @@ impl Controller {
         if b.consecutive_failures >= BREAKER_THRESHOLD && b.state != BreakerState::Open {
             b.state = BreakerState::Open;
             self.stats.breaker_trips += 1;
+            self.count("ctrl_breaker_trips_total");
+            self.note_breaker(id, BreakerState::Open);
             return true;
         }
         false
@@ -349,6 +403,7 @@ impl Controller {
 
     fn send(&mut self, id: DeviceId, cfg: StandardConfig) -> Result<(), (DeviceId, String)> {
         self.stats.sends += 1;
+        self.count("ctrl_sends_total");
         if self.breaker_state(id) == BreakerState::Open {
             return Err((id, "circuit open: device quarantined".into()));
         }
@@ -380,6 +435,7 @@ impl Controller {
                         if let Ok(state) = self.devmgr.devices[&id].session.get_state() {
                             if config_in_effect(&state, &cfg) {
                                 self.stats.read_repairs += 1;
+                                self.count("ctrl_read_repairs_total");
                                 self.journal.record(revision, id, cfg);
                                 return Ok(());
                             }
@@ -401,6 +457,7 @@ impl Controller {
                         return Err((id, format!("{e} after {attempt} attempts")));
                     }
                     self.stats.retries += 1;
+                    self.count("ctrl_retries_total");
                     self.backoff(attempt);
                 }
             }
@@ -409,6 +466,12 @@ impl Controller {
 
     /// Pushes every wavelength of `plan` to the device plane.
     pub fn apply_plan(&mut self, plan: &Plan, optical: &Graph) -> ApplyReport {
+        let span = self.obs.as_ref().map(|o| {
+            let s = o.span("ctrl.apply_plan");
+            s.field("wavelengths", plan.wavelengths.len());
+            s
+        });
+        let start = self.obs.as_ref().map(|o| o.now_ns());
         let mut report = ApplyReport::default();
         for w in &plan.wavelengths {
             // 1. Transponders at both ends (vendor follows the site).
@@ -466,6 +529,15 @@ impl Controller {
             }
         }
         let _ = optical;
+        if let Some(s) = &span {
+            s.field("rejections", report.rejections.len());
+        }
+        if let (Some(obs), Some(start)) = (&self.obs, start) {
+            obs.registry()
+                .counter("ctrl_apply_rejections_total")
+                .add(report.rejections.len() as u64);
+            obs.observe_since("ctrl_apply_plan_seconds", start);
+        }
         report
     }
 
@@ -478,7 +550,12 @@ impl Controller {
         w: &flexwan_core::Wavelength,
     ) -> Result<usize, TxError> {
         let tx = self.wavelength_transaction(w);
-        tx.execute(|d, cfg| self.send(d, cfg.clone()).map_err(|(_, e)| e))
+        match self.obs.clone() {
+            Some(obs) => tx.execute_observed(&obs, usize::MAX, |d, cfg| {
+                self.send(d, cfg.clone()).map_err(|(_, e)| e)
+            }),
+            None => tx.execute(|d, cfg| self.send(d, cfg.clone()).map_err(|(_, e)| e)),
+        }
     }
 
     /// Builds the transactional step list lighting wavelength `w`.
@@ -668,6 +745,7 @@ impl Controller {
     /// factory-fresh unit and replay its journaled history.
     fn probe_quarantined(&mut self, id: DeviceId, report: &mut ConvergeReport) {
         self.breakers.entry(id).or_default().state = BreakerState::HalfOpen;
+        self.note_breaker(id, BreakerState::HalfOpen);
         let latest = self.journal.latest(id).map_or(0, |e| e.revision);
         match self.devmgr.devices[&id].session.get_state() {
             Ok(state) => {
@@ -675,6 +753,7 @@ impl Controller {
                     self.breaker_ok(id);
                 } else {
                     self.breakers.entry(id).or_default().state = BreakerState::Open;
+                    self.note_breaker(id, BreakerState::Open);
                 }
             }
             Err(_) => {
@@ -682,11 +761,13 @@ impl Controller {
                 // image and roll the whole journaled history forward.
                 self.devmgr.reset_device(id);
                 self.stats.devices_restarted += 1;
+                self.count("ctrl_devices_restarted_total");
                 report.restarted.push(id);
                 if self.roll_forward(id, 0) {
                     self.breaker_ok(id);
                 } else {
                     self.breakers.entry(id).or_default().state = BreakerState::Open;
+                    self.note_breaker(id, BreakerState::Open);
                 }
             }
         }
@@ -697,19 +778,39 @@ impl Controller {
     /// journal), reconciles drift against `plan`, and audits — until the
     /// plane is clean or `max_passes` passes have run.
     pub fn converge(&mut self, plan: &Plan, max_passes: usize) -> ConvergeReport {
+        let span = self.obs.as_ref().map(|o| o.span("ctrl.converge"));
+        let start = self.obs.as_ref().map(|o| o.now_ns());
         let mut report = ConvergeReport::default();
         for _ in 0..max_passes {
             report.passes += 1;
+            let pass_span = span.as_ref().map(|s| {
+                let p = s.child("ctrl.converge_pass");
+                p.field("pass", report.passes);
+                p
+            });
             for id in self.quarantined() {
                 self.probe_quarantined(id, &mut report);
             }
             let rec = self.reconcile(plan);
             report.repaired += rec.repaired;
+            if let Some(p) = &pass_span {
+                p.field("repaired", rec.repaired);
+            }
             if rec.is_clean() && self.quarantined().is_empty() && self.audit_plan(plan).is_empty()
             {
                 report.converged = true;
-                return report;
+                break;
             }
+        }
+        if let Some(s) = &span {
+            s.field("passes", report.passes);
+            s.field("repaired", report.repaired);
+            s.field("restarted", report.restarted.len());
+            s.field("converged", report.converged);
+        }
+        if let (Some(obs), Some(start)) = (&self.obs, start) {
+            obs.registry().counter("ctrl_reconcile_repairs_total").add(report.repaired as u64);
+            obs.observe_since("ctrl_converge_seconds", start);
         }
         report
     }
@@ -724,7 +825,14 @@ impl Controller {
         budget: usize,
     ) -> Result<usize, TxError> {
         let tx = self.wavelength_transaction(w);
-        tx.execute_with_budget(budget, |d, cfg| self.send(d, cfg.clone()).map_err(|(_, e)| e))
+        match self.obs.clone() {
+            Some(obs) => tx.execute_observed(&obs, budget, |d, cfg| {
+                self.send(d, cfg.clone()).map_err(|(_, e)| e)
+            }),
+            None => tx.execute_with_budget(budget, |d, cfg| {
+                self.send(d, cfg.clone()).map_err(|(_, e)| e)
+            }),
+        }
     }
 }
 

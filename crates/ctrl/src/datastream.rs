@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use flexwan_obs::Obs;
 use flexwan_topo::graph::{EdgeId, Graph};
 
 /// One telemetry sample: receive power measured at a fiber's far end.
@@ -26,17 +27,32 @@ pub struct TelemetrySample {
 pub struct TelemetryStore {
     window: usize,
     series: HashMap<EdgeId, Vec<(u64, f64)>>,
+    max_tick: u64,
+    obs: Option<Obs>,
 }
 
 impl TelemetryStore {
     /// A store keeping the last `window` samples per fiber.
     pub fn new(window: usize) -> Self {
         assert!(window >= 2, "detection needs at least two samples");
-        TelemetryStore { window, series: HashMap::new() }
+        TelemetryStore { window, series: HashMap::new(), max_tick: 0, obs: None }
+    }
+
+    /// Arms the store with an observability bundle: ingested samples are
+    /// counted and the per-sample stream lag (ticks behind the newest
+    /// sample seen) is published as a gauge.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
     }
 
     /// Ingests one sample (samples are expected in tick order per fiber).
     pub fn ingest(&mut self, s: TelemetrySample) {
+        self.max_tick = self.max_tick.max(s.tick);
+        if let Some(obs) = &self.obs {
+            let reg = obs.registry();
+            reg.counter("telemetry_samples_total").inc();
+            reg.gauge("telemetry_stream_lag_ticks").set((self.max_tick - s.tick) as f64);
+        }
         let v = self.series.entry(s.fiber).or_default();
         debug_assert!(v.last().is_none_or(|&(t, _)| t <= s.tick), "out-of-order sample");
         v.push((s.tick, s.rx_power_dbm));

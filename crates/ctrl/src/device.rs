@@ -164,6 +164,7 @@ pub fn spawn_device(descriptor: DeviceDescriptor, hardware: Hardware) -> DeviceH
         rep: rep_rx,
         device: descriptor.id,
         injector: None,
+        obs: None,
     };
     DeviceHandle { descriptor, session, join: Some(join) }
 }

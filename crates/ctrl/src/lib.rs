@@ -56,5 +56,5 @@ pub use journal::{ConfigJournal, JournalEntry};
 pub use model::{DeviceDescriptor, DeviceId, DeviceKind, Vendor};
 pub use netconf::{NetconfSession, SessionError};
 pub use orchestrator::{Orchestrator, TickOutcome};
-pub use recovery::{recover_misconnection, RecoveryOutcome};
+pub use recovery::{recover_misconnection, recover_misconnection_observed, RecoveryOutcome};
 pub use transaction::{Transaction, TxError};

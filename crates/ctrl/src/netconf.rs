@@ -14,6 +14,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use flexwan_obs::Obs;
 use flexwan_util::json::Value;
 use flexwan_util::sync::{Receiver, RecvTimeoutError, Sender};
 
@@ -90,6 +91,7 @@ pub struct NetconfSession {
     pub(crate) rep: Receiver<NetconfReply>,
     pub(crate) device: DeviceId,
     pub(crate) injector: Option<Arc<FaultInjector>>,
+    pub(crate) obs: Option<Obs>,
 }
 
 impl NetconfSession {
@@ -98,6 +100,36 @@ impl NetconfSession {
     pub(crate) fn arm(&mut self, device: DeviceId, injector: Arc<FaultInjector>) {
         self.device = device;
         self.injector = Some(injector);
+    }
+
+    /// Arms the session with an observability bundle: every edit-config /
+    /// get-state attempt is counted per device from here on.
+    pub(crate) fn observe(&mut self, device: DeviceId, obs: Obs) {
+        self.device = device;
+        self.obs = Some(obs);
+    }
+
+    /// Counts one per-device session event.
+    fn count(&self, metric: &str) {
+        if let Some(obs) = &self.obs {
+            let device = self.device.0.to_string();
+            obs.registry().counter_with(metric, &[("device", &device)]).inc();
+        }
+    }
+
+    /// Counts one per-device session failure, tagged with the error kind.
+    fn count_failure(&self, metric: &str, err: &SessionError) {
+        if let Some(obs) = &self.obs {
+            let device = self.device.0.to_string();
+            let kind = match err {
+                SessionError::Rejected(_) => "rejected",
+                SessionError::Unreachable => "unreachable",
+                SessionError::ProtocolViolation => "protocol",
+            };
+            obs.registry()
+                .counter_with(metric, &[("device", &device), ("kind", kind)])
+                .inc();
+        }
     }
 
     fn recv(&self) -> Result<NetconfReply, SessionError> {
@@ -112,6 +144,15 @@ impl NetconfSession {
     /// Sends a native configuration document; returns the acknowledged
     /// revision.
     pub fn edit_config(&self, revision: u64, native: Value) -> Result<u64, SessionError> {
+        self.count("netconf_edit_attempts_total");
+        let result = self.edit_config_inner(revision, native);
+        if let Err(e) = &result {
+            self.count_failure("netconf_edit_failures_total", e);
+        }
+        result
+    }
+
+    fn edit_config_inner(&self, revision: u64, native: Value) -> Result<u64, SessionError> {
         if let Some(inj) = &self.injector {
             match inj.on_edit_config(self.device) {
                 EditVerdict::Deliver => {}
@@ -149,6 +190,15 @@ impl NetconfSession {
 
     /// Reads the device state.
     pub fn get_state(&self) -> Result<DeviceState, SessionError> {
+        self.count("netconf_get_state_total");
+        let result = self.get_state_inner();
+        if let Err(e) = &result {
+            self.count_failure("netconf_get_state_failures_total", e);
+        }
+        result
+    }
+
+    fn get_state_inner(&self) -> Result<DeviceState, SessionError> {
         if let Some(inj) = &self.injector {
             match inj.on_get_state(self.device) {
                 StateVerdict::Deliver => {}

@@ -14,6 +14,7 @@ use std::collections::HashSet;
 use flexwan_core::planning::{Plan, PlannerConfig};
 use flexwan_core::restore::{restore, FailureScenario};
 use flexwan_core::Wavelength;
+use flexwan_obs::Obs;
 use flexwan_topo::graph::{EdgeId, Graph};
 use flexwan_topo::ip::IpTopology;
 
@@ -58,6 +59,7 @@ pub struct Orchestrator<'a> {
     /// Restoration wavelengths currently live.
     restoration: Vec<Wavelength>,
     scenario_counter: usize,
+    obs: Option<Obs>,
 }
 
 impl<'a> Orchestrator<'a> {
@@ -79,7 +81,15 @@ impl<'a> Orchestrator<'a> {
             active_cuts: HashSet::new(),
             restoration: Vec::new(),
             scenario_counter: 0,
+            obs: None,
         }
+    }
+
+    /// Arms the orchestrator with an observability bundle: each tick
+    /// records a span plus restoration/repair counters and the
+    /// active-cut gauge.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
     }
 
     /// The restoration wavelengths currently live.
@@ -95,6 +105,42 @@ impl<'a> Orchestrator<'a> {
     /// Processes one telemetry tick: detect state changes and react.
     /// `controller` receives the resulting device configuration.
     pub fn tick(&mut self, store: &TelemetryStore, controller: &mut Controller) -> TickOutcome {
+        let span = self.obs.as_ref().map(|o| o.span("orch.tick"));
+        let start = self.obs.as_ref().map(|o| o.now_ns());
+        let outcome = self.tick_inner(store, controller, span.as_ref());
+        if let (Some(obs), Some(span), Some(start)) = (&self.obs, &span, start) {
+            let reg = obs.registry();
+            match &outcome {
+                TickOutcome::Quiet => span.field("outcome", "quiet"),
+                TickOutcome::Restored { cuts, lost_gbps, revived_gbps, apply_rejections } => {
+                    span.field("outcome", "restored");
+                    span.field("cuts", cuts.len());
+                    span.field("lost_gbps", *lost_gbps);
+                    span.field("revived_gbps", *revived_gbps);
+                    reg.counter("orchestrator_restorations_total").inc();
+                    reg.counter("orchestrator_revived_gbps_total").add(*revived_gbps);
+                    reg.counter("orchestrator_apply_rejections_total")
+                        .add(*apply_rejections as u64);
+                }
+                TickOutcome::Repaired { fibers, retired } => {
+                    span.field("outcome", "repaired");
+                    span.field("fibers", fibers.len());
+                    span.field("retired", *retired);
+                    reg.counter("orchestrator_repairs_total").inc();
+                }
+            }
+            reg.gauge("orchestrator_active_cuts").set(self.active_cuts.len() as f64);
+            obs.observe_since("orchestrator_tick_seconds", start);
+        }
+        outcome
+    }
+
+    fn tick_inner(
+        &mut self,
+        store: &TelemetryStore,
+        controller: &mut Controller,
+        span: Option<&flexwan_obs::Span>,
+    ) -> TickOutcome {
         let flagged: HashSet<EdgeId> = self.detector.scan(store).into_iter().collect();
 
         // Repair first: fibers that were cut and are now clean.
@@ -125,7 +171,12 @@ impl<'a> Orchestrator<'a> {
             cuts: self.active_cuts.iter().copied().collect(),
             probability: 1.0,
         };
+        let plan_span = span.map(|s| s.child("orch.restore_plan"));
         let r = restore(&self.plan, self.optical, self.ip, &scenario, &self.extra_spares, &self.cfg);
+        if let Some(p) = &plan_span {
+            p.field("restored", r.restored.len());
+        }
+        drop(plan_span);
         let mut apply_rejections = 0;
         for rw in &r.restored {
             if controller.apply_wavelength_atomic(&rw.wavelength).is_err() {

@@ -10,6 +10,7 @@
 //!   wavelengths requires replacing every fixed-grid OLS unit, but only a
 //!   reconfiguration on a pixel-wise OLS.
 
+use flexwan_obs::Obs;
 use flexwan_optical::spectrum::{PixelRange, PixelWidth};
 use flexwan_optical::WssKind;
 
@@ -55,6 +56,28 @@ pub fn recover_misconnection(
             }
         }
     }
+}
+
+/// [`recover_misconnection`] with the outcome recorded into `obs`:
+/// zero-touch retunes and truck rolls are counted separately (per WSS
+/// kind), quantifying the §9 operational claim.
+pub fn recover_misconnection_observed(
+    obs: &Obs,
+    wss: WssKind,
+    actual_port: u16,
+    channel: PixelRange,
+) -> RecoveryOutcome {
+    let outcome = recover_misconnection(wss, actual_port, channel);
+    let kind = match wss {
+        WssKind::PixelWise => "pixel_wise",
+        WssKind::FixedGrid { .. } => "fixed_grid",
+    };
+    let metric = match outcome {
+        RecoveryOutcome::ZeroTouch { .. } => "recovery_zero_touch_total",
+        RecoveryOutcome::ManualIntervention { .. } => "recovery_manual_total",
+    };
+    obs.registry().counter_with(metric, &[("wss", kind)]).inc();
+    outcome
 }
 
 /// Whether an OLS with `wss` equipment can carry a wavelength of
@@ -106,6 +129,17 @@ mod tests {
         // Lucky case: wired to the port whose slot it occupies.
         let out = recover_misconnection(wss, 2, PixelRange::new(12, px(6)));
         assert!(matches!(out, RecoveryOutcome::ZeroTouch { .. }));
+    }
+
+    #[test]
+    fn observed_recovery_counts_outcomes_per_wss_kind() {
+        let obs = Obs::default();
+        let ch = PixelRange::new(12, px(6));
+        recover_misconnection_observed(&obs, WssKind::PixelWise, 9, ch);
+        recover_misconnection_observed(&obs, WssKind::FixedGrid { spacing: px(6) }, 5, ch);
+        let prom = obs.metrics_prometheus();
+        assert!(prom.contains("recovery_zero_touch_total{wss=\"pixel_wise\"} 1"), "{prom}");
+        assert!(prom.contains("recovery_manual_total{wss=\"fixed_grid\"} 1"), "{prom}");
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! [`Transaction`] bundles the steps with their inverses and guarantees
 //! all-or-nothing semantics against the device plane.
 
+use flexwan_obs::Obs;
+
 use crate::config::StandardConfig;
 use crate::model::DeviceId;
 
@@ -89,7 +91,51 @@ impl Transaction {
     /// mid-apply fails and rolls back its applied prefix — rollback sends
     /// are **not** budgeted, because leaking partial state is worse than
     /// overrunning the deadline.
-    pub fn execute_with_budget<F>(self, budget: usize, mut send: F) -> Result<usize, TxError>
+    pub fn execute_with_budget<F>(self, budget: usize, send: F) -> Result<usize, TxError>
+    where
+        F: FnMut(DeviceId, &StandardConfig) -> Result<(), String>,
+    {
+        self.run(budget, send)
+    }
+
+    /// [`Transaction::execute_with_budget`] with the transaction lifecycle
+    /// recorded into `obs`: a `tx.execute` span carrying the step count
+    /// and outcome, plus commit/rollback counters — the §4.3
+    /// all-or-nothing guarantee made observable.
+    pub fn execute_observed<F>(
+        self,
+        obs: &Obs,
+        budget: usize,
+        send: F,
+    ) -> Result<usize, TxError>
+    where
+        F: FnMut(DeviceId, &StandardConfig) -> Result<(), String>,
+    {
+        let span = obs.span("tx.execute");
+        span.field("steps", self.len());
+        let start = obs.now_ns();
+        let result = self.run(budget, send);
+        let reg = obs.registry();
+        match &result {
+            Ok(applied) => {
+                span.field("outcome", "committed");
+                reg.counter("tx_commits_total").inc();
+                reg.counter("tx_steps_applied_total").add(*applied as u64);
+            }
+            Err(e) => {
+                span.field("outcome", "rolled_back");
+                span.field("failed_device", u64::from(e.failed_device.0));
+                span.field("rolled_back", e.rolled_back);
+                reg.counter("tx_rollbacks_total").inc();
+                reg.counter("tx_rollback_steps_total").add(e.rolled_back as u64);
+                reg.counter("tx_rollback_failures_total").add(e.rollback_failures.len() as u64);
+            }
+        }
+        obs.observe_since("tx_execute_seconds", start);
+        result
+    }
+
+    fn run<F>(self, budget: usize, mut send: F) -> Result<usize, TxError>
     where
         F: FnMut(DeviceId, &StandardConfig) -> Result<(), String>,
     {

@@ -1,0 +1,95 @@
+//! Injectable time sources.
+//!
+//! Everything in `flexwan-obs` reads time through the [`Clock`] trait so
+//! that tests (and the chaos determinism suite in particular) can swap the
+//! wall clock for a [`ManualClock`] and assert on recorded spans and
+//! timing histograms without wall-clock flakiness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic time source measured in nanoseconds since the clock's own
+/// epoch (its construction, for the wall clock).
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds elapsed since the clock's epoch. Must be monotonic.
+    fn now_ns(&self) -> u64;
+}
+
+/// The real monotonic clock ([`Instant`]-backed).
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is now.
+    pub fn new() -> Self {
+        WallClock { origin: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A clock that only moves when told to: time is an atomic counter that
+/// tests advance explicitly, making every recorded timestamp and duration
+/// reproducible run to run and across thread counts.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by `ns` nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        self.ns.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Advances the clock by `micros` microseconds.
+    pub fn advance_micros(&self, micros: u64) {
+        self.advance_ns(micros * 1_000);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_advanced() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 0);
+        c.advance_ns(7);
+        c.advance_micros(2);
+        assert_eq!(c.now_ns(), 2_007);
+    }
+}

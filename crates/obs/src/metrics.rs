@@ -1,0 +1,557 @@
+//! Thread-safe metrics: counters, gauges and fixed-bucket histograms.
+//!
+//! A [`Registry`] hands out cheap atomic handles keyed by metric name plus
+//! an optional label set (the Prometheus data model, minus the server).
+//! Handles are lock-free on the hot path — the registry lock is only taken
+//! at get-or-create time and when snapshotting. A [`Snapshot`] renders as
+//! canonical JSON ([`Snapshot::to_json`]) and Prometheus text exposition
+//! format ([`Snapshot::to_prometheus`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use flexwan_util::json::{Num, Value};
+
+/// Histogram bucket upper bounds for operation latencies in seconds,
+/// spanning 1 µs – 10 s (the controller's retry backoffs live at the low
+/// end, convergence loops at the high end).
+pub const LATENCY_SECONDS_BUCKETS: &[f64] =
+    &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0];
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A metric identity: name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        assert!(valid_name(name), "invalid metric name `{name}`");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name `{k}`");
+        }
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        MetricKey { name: name.to_string(), labels }
+    }
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a float that can move both ways (stored as `f64` bits).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared histogram state: fixed finite upper bounds plus an implicit
+/// `+Inf` bucket, a running sum and a count.
+#[derive(Debug)]
+struct HistogramCore {
+    bounds: Vec<f64>,
+    /// One slot per finite bound, plus the overflow (`+Inf`) slot last.
+    buckets: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle with quantile estimation.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        assert!(bounds.iter().all(|b| b.is_finite()), "bounds must be finite");
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            bounds: bounds.to_vec(),
+            buckets,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let core = &self.0;
+        let idx = core.bounds.partition_point(|&b| b < v);
+        core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Bucket-resolution quantile estimate (`0.0 < q <= 1.0`): the upper
+    /// bound of the first bucket whose cumulative count reaches
+    /// `q × count`. Observations above the last finite bound report that
+    /// bound. `0.0` with no observations.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let core = &self.0;
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, slot) in core.buckets.iter().enumerate() {
+            cum += slot.load(Ordering::Relaxed);
+            if cum >= rank {
+                return core.bounds.get(i).copied().unwrap_or(*core.bounds.last().unwrap());
+            }
+        }
+        *core.bounds.last().unwrap()
+    }
+
+    fn bucket_counts(&self) -> Vec<u64> {
+        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A thread-safe metrics registry.
+///
+/// The registry is cheap to share (`Arc<Registry>`); handles returned by
+/// [`Registry::counter`], [`Registry::gauge`] and [`Registry::histogram`]
+/// stay valid for the registry's lifetime and update lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get-or-create the unlabeled counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Get-or-create the counter `name` with `labels`.
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(key).or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-create the unlabeled gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get-or-create the gauge `name` with `labels`.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-create the unlabeled histogram `name` with the given finite
+    /// ascending bucket upper `bounds` (an `+Inf` bucket is implicit).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        self.histogram_with(name, &[], bounds)
+    }
+
+    /// Get-or-create the histogram `name` with `labels`.
+    ///
+    /// Panics if the name is registered with different bounds or kind.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(key).or_insert_with(|| Metric::Histogram(Histogram::new(bounds))) {
+            Metric::Histogram(h) => {
+                assert_eq!(h.0.bounds, bounds, "histogram `{name}` re-registered with different buckets");
+                h.clone()
+            }
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// A point-in-time copy of every metric, for export.
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.metrics.lock().unwrap();
+        let mut series = Vec::with_capacity(m.len());
+        for (key, metric) in m.iter() {
+            let value = match metric {
+                Metric::Counter(c) => SeriesValue::Counter(c.get()),
+                Metric::Gauge(g) => SeriesValue::Gauge(g.get()),
+                Metric::Histogram(h) => SeriesValue::Histogram {
+                    bounds: h.0.bounds.clone(),
+                    buckets: h.bucket_counts(),
+                    sum: h.sum(),
+                    count: h.count(),
+                    p50: h.quantile(0.50),
+                    p95: h.quantile(0.95),
+                    p99: h.quantile(0.99),
+                },
+            };
+            series.push(Series { name: key.name.clone(), labels: key.labels.clone(), value });
+        }
+        Snapshot { series }
+    }
+}
+
+/// One exported value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(f64),
+    /// A histogram reading.
+    Histogram {
+        /// Finite bucket upper bounds.
+        bounds: Vec<f64>,
+        /// Per-bucket (non-cumulative) counts; last slot is `+Inf`.
+        buckets: Vec<u64>,
+        /// Sum of observations.
+        sum: f64,
+        /// Number of observations.
+        count: u64,
+        /// Bucket-resolution 50th percentile.
+        p50: f64,
+        /// Bucket-resolution 95th percentile.
+        p95: f64,
+        /// Bucket-resolution 99th percentile.
+        p99: f64,
+    },
+}
+
+/// One named, labeled series in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The reading.
+    pub value: SeriesValue,
+}
+
+/// A point-in-time copy of a [`Registry`], ordered by name then labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The exported series.
+    pub series: Vec<Series>,
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn labels_suffix(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Formats a float the way the Prometheus exposition format expects.
+fn prom_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v}")
+    } else {
+        format!("{v:?}")
+    }
+}
+
+impl Snapshot {
+    /// The JSON form: one object per series under `"metrics"`, in
+    /// registry (name, labels) order. Canonical — byte-identical for
+    /// identical registry contents.
+    pub fn to_json(&self) -> Value {
+        let mut out = Vec::new();
+        for s in &self.series {
+            let labels =
+                Value::obj(s.labels.iter().map(|(k, v)| (k.clone(), Value::from(v.as_str()))));
+            let mut fields: Vec<(String, Value)> = vec![
+                ("name".into(), Value::from(s.name.as_str())),
+                ("labels".into(), labels),
+            ];
+            match &s.value {
+                SeriesValue::Counter(v) => {
+                    fields.push(("kind".into(), Value::from("counter")));
+                    fields.push(("value".into(), Value::Number(Num::U(*v))));
+                }
+                SeriesValue::Gauge(v) => {
+                    fields.push(("kind".into(), Value::from("gauge")));
+                    fields.push(("value".into(), Value::from(*v)));
+                }
+                SeriesValue::Histogram { bounds, buckets, sum, count, p50, p95, p99 } => {
+                    fields.push(("kind".into(), Value::from("histogram")));
+                    fields.push((
+                        "bounds".into(),
+                        Value::Array(bounds.iter().map(|&b| Value::from(b)).collect()),
+                    ));
+                    fields.push((
+                        "buckets".into(),
+                        Value::Array(buckets.iter().map(|&b| Value::Number(Num::U(b))).collect()),
+                    ));
+                    fields.push(("sum".into(), Value::from(*sum)));
+                    fields.push(("count".into(), Value::Number(Num::U(*count))));
+                    fields.push(("p50".into(), Value::from(*p50)));
+                    fields.push(("p95".into(), Value::from(*p95)));
+                    fields.push(("p99".into(), Value::from(*p99)));
+                }
+            }
+            out.push(Value::obj(fields));
+        }
+        Value::obj([("metrics", Value::Array(out))])
+    }
+
+    /// The Prometheus text exposition format: `# TYPE` per metric name,
+    /// cumulative `_bucket`/`_sum`/`_count` for histograms.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for s in &self.series {
+            let kind = match &s.value {
+                SeriesValue::Counter(_) => "counter",
+                SeriesValue::Gauge(_) => "gauge",
+                SeriesValue::Histogram { .. } => "histogram",
+            };
+            if last_name != Some(s.name.as_str()) {
+                out.push_str(&format!("# TYPE {} {kind}\n", s.name));
+                last_name = Some(s.name.as_str());
+            }
+            let suffix = labels_suffix(&s.labels);
+            match &s.value {
+                SeriesValue::Counter(v) => out.push_str(&format!("{}{suffix} {v}\n", s.name)),
+                SeriesValue::Gauge(v) => {
+                    out.push_str(&format!("{}{suffix} {}\n", s.name, prom_f64(*v)))
+                }
+                SeriesValue::Histogram { bounds, buckets, sum, count, .. } => {
+                    let mut cum = 0u64;
+                    for (i, &b) in buckets.iter().enumerate() {
+                        cum += b;
+                        let le = match bounds.get(i) {
+                            Some(bound) => prom_f64(*bound),
+                            None => "+Inf".to_string(),
+                        };
+                        let mut labels = s.labels.clone();
+                        labels.push(("le".to_string(), le));
+                        out.push_str(&format!(
+                            "{}_bucket{} {cum}\n",
+                            s.name,
+                            labels_suffix(&labels)
+                        ));
+                    }
+                    out.push_str(&format!("{}_sum{suffix} {}\n", s.name, prom_f64(*sum)));
+                    out.push_str(&format!("{}_count{suffix} {count}\n", s.name));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("requests_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name → same underlying counter.
+        assert_eq!(r.counter("requests_total").get(), 5);
+        let g = r.gauge("queue_depth");
+        g.set(3.0);
+        g.add(-1.5);
+        assert_eq!(g.get(), 1.5);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct() {
+        let r = Registry::new();
+        r.counter_with("sends_total", &[("device", "0")]).add(2);
+        r.counter_with("sends_total", &[("device", "1")]).add(3);
+        assert_eq!(r.counter_with("sends_total", &[("device", "0")]).get(), 2);
+        let snap = r.snapshot();
+        assert_eq!(snap.series.len(), 2);
+    }
+
+    #[test]
+    fn histogram_quantiles_and_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("latency", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 0.5, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 556.0).abs() < 1e-9);
+        assert_eq!(h.quantile(0.5), 10.0);
+        assert_eq!(h.quantile(0.95), 100.0, "overflow reports last finite bound");
+        assert_eq!(h.quantile(0.2), 1.0);
+    }
+
+    #[test]
+    fn prometheus_export_is_well_formed() {
+        let r = Registry::new();
+        r.counter_with("edit_total", &[("device", "3")]).add(7);
+        r.gauge("lag").set(2.5);
+        let h = r.histogram("seconds", &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(5.0);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE edit_total counter"));
+        assert!(text.contains("edit_total{device=\"3\"} 7"));
+        assert!(text.contains("lag 2.5"));
+        assert!(text.contains("seconds_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("seconds_count 2"));
+    }
+
+    #[test]
+    fn json_export_is_canonical() {
+        let r = Registry::new();
+        r.counter("b_total").inc();
+        r.counter("a_total").add(2);
+        let a = flexwan_util::json::to_string(&r.snapshot().to_json());
+        let b = flexwan_util::json::to_string(&r.snapshot().to_json());
+        assert_eq!(a, b);
+        // Ordered by name: a_total before b_total.
+        assert!(a.find("a_total").unwrap() < a.find("b_total").unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_are_rejected() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let r = Arc::new(Registry::new());
+        let c = r.counter("hits_total");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -1,0 +1,321 @@
+//! Span-based tracing: named, nested, timed spans with structured fields.
+//!
+//! A [`Tracer`] records finished spans into a bounded in-memory ring (the
+//! oldest spans drop first, with a drop counter — no unbounded growth
+//! inside a long-lived controller). Spans nest explicitly through
+//! [`Span::child`], so parentage never depends on thread-local state and a
+//! multi-threaded run records the same tree as a single-threaded one.
+//! Timestamps come from the tracer's injected [`Clock`], which is what
+//! lets chaos tests assert on recorded spans deterministically.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use flexwan_util::json::Value;
+
+use crate::clock::Clock;
+
+/// A finished span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id (assigned at start, in start order).
+    pub id: u64,
+    /// Parent span id, if nested.
+    pub parent: Option<u64>,
+    /// Span name.
+    pub name: String,
+    /// Start timestamp (clock ns).
+    pub start_ns: u64,
+    /// End timestamp (clock ns).
+    pub end_ns: u64,
+    /// Structured `key=value` fields, in insertion order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    parent: Option<u64>,
+    name: String,
+    start_ns: u64,
+    fields: Vec<(String, Value)>,
+}
+
+#[derive(Debug, Default)]
+struct TracerInner {
+    active: BTreeMap<u64, ActiveSpan>,
+    ring: VecDeque<SpanRecord>,
+    next_id: u64,
+    dropped: u64,
+}
+
+/// The span recorder. Share as `Arc<Tracer>`; spans are started from the
+/// owning [`crate::Obs`] (roots) or from another span ([`Span::child`]).
+#[derive(Debug)]
+pub struct Tracer {
+    clock: Arc<dyn Clock>,
+    capacity: usize,
+    inner: Mutex<TracerInner>,
+}
+
+impl Tracer {
+    /// A tracer keeping at most `capacity` finished spans.
+    pub fn new(capacity: usize, clock: Arc<dyn Clock>) -> Tracer {
+        assert!(capacity >= 1, "span ring needs capacity");
+        Tracer { clock, capacity, inner: Mutex::new(TracerInner::default()) }
+    }
+
+    /// Starts a root span. Prefer [`Span::child`] for nesting.
+    pub fn root(self: &Arc<Self>, name: impl Into<String>) -> Span {
+        self.start(name.into(), None)
+    }
+
+    fn start(self: &Arc<Self>, name: String, parent: Option<u64>) -> Span {
+        let now = self.clock.now_ns();
+        let mut inner = self.inner.lock().unwrap();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.active.insert(id, ActiveSpan { parent, name, start_ns: now, fields: Vec::new() });
+        Span { tracer: Arc::clone(self), id }
+    }
+
+    fn add_field(&self, id: u64, key: String, value: Value) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(span) = inner.active.get_mut(&id) {
+            span.fields.push((key, value));
+        }
+    }
+
+    fn end(&self, id: u64) {
+        let now = self.clock.now_ns();
+        let mut inner = self.inner.lock().unwrap();
+        let Some(active) = inner.active.remove(&id) else { return };
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(SpanRecord {
+            id,
+            parent: active.parent,
+            name: active.name,
+            start_ns: active.start_ns,
+            end_ns: now,
+            fields: active.fields,
+        });
+    }
+
+    /// The finished spans currently retained, oldest first.
+    pub fn finished(&self) -> Vec<SpanRecord> {
+        self.inner.lock().unwrap().ring.iter().cloned().collect()
+    }
+
+    /// Finished spans evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// The retained spans as JSON (`{"spans": [...], "dropped": n}`).
+    pub fn to_json(&self) -> Value {
+        let spans: Vec<Value> = self
+            .finished()
+            .iter()
+            .map(|s| {
+                Value::obj([
+                    ("id", Value::from(s.id)),
+                    ("parent", s.parent.map(Value::from).unwrap_or(Value::Null)),
+                    ("name", Value::from(s.name.as_str())),
+                    ("start_ns", Value::from(s.start_ns)),
+                    ("end_ns", Value::from(s.end_ns)),
+                    (
+                        "fields",
+                        Value::obj(s.fields.iter().map(|(k, v)| (k.clone(), v.clone()))),
+                    ),
+                ])
+            })
+            .collect();
+        Value::obj([("spans", Value::Array(spans)), ("dropped", Value::from(self.dropped()))])
+    }
+
+    /// Renders the retained spans as an indented tree: children are nested
+    /// under their parent (spans whose parent was evicted or never ended
+    /// render as roots), siblings ordered by start time then id.
+    pub fn render_tree(&self) -> String {
+        let spans = self.finished();
+        let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+        let mut children: BTreeMap<Option<u64>, Vec<&SpanRecord>> = BTreeMap::new();
+        for s in &spans {
+            let parent = s.parent.filter(|p| ids.contains(p));
+            children.entry(parent).or_default().push(s);
+        }
+        for list in children.values_mut() {
+            list.sort_by_key(|s| (s.start_ns, s.id));
+        }
+        let mut out = String::new();
+        let mut stack: Vec<(&SpanRecord, usize)> = Vec::new();
+        for root in children.get(&None).into_iter().flatten().rev() {
+            stack.push((root, 0));
+        }
+        while let Some((s, depth)) = stack.pop() {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&s.name);
+            out.push_str(&format!(" ({})", format_ns(s.duration_ns())));
+            for (k, v) in &s.fields {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+            for child in children.get(&Some(s.id)).into_iter().flatten().rev() {
+                stack.push((child, depth + 1));
+            }
+        }
+        out
+    }
+}
+
+/// Human-readable duration with deterministic formatting.
+fn format_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+/// A live span handle. Ends (and records) when dropped or on
+/// [`Span::end`]. Fields added after the span ends are ignored.
+#[derive(Debug)]
+pub struct Span {
+    tracer: Arc<Tracer>,
+    id: u64,
+}
+
+impl Span {
+    /// This span's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Starts a child span.
+    pub fn child(&self, name: impl Into<String>) -> Span {
+        self.tracer.start(name.into(), Some(self.id))
+    }
+
+    /// Attaches a structured `key=value` field.
+    pub fn field(&self, key: impl Into<String>, value: impl Into<Value>) {
+        self.tracer.add_field(self.id, key.into(), value.into());
+    }
+
+    /// Ends the span now (otherwise it ends on drop).
+    pub fn end(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.tracer.end(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn tracer(cap: usize) -> (Arc<Tracer>, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        (Arc::new(Tracer::new(cap, clock.clone())), clock)
+    }
+
+    #[test]
+    fn spans_nest_and_time() {
+        let (t, clock) = tracer(16);
+        let root = t.root("plan");
+        clock.advance_micros(5);
+        {
+            let child = root.child("spectrum");
+            child.field("fiber", 3u32);
+            clock.advance_micros(2);
+            child.end();
+        }
+        clock.advance_micros(1);
+        root.field("wavelengths", 7u32);
+        root.end();
+        let spans = t.finished();
+        assert_eq!(spans.len(), 2);
+        // Children finish first.
+        assert_eq!(spans[0].name, "spectrum");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[0].duration_ns(), 2_000);
+        assert_eq!(spans[1].name, "plan");
+        assert_eq!(spans[1].duration_ns(), 8_000);
+        assert_eq!(spans[1].fields[0].0, "wavelengths");
+    }
+
+    #[test]
+    fn tree_renders_nested() {
+        let (t, _clock) = tracer(16);
+        let root = t.root("tick");
+        let a = root.child("detect");
+        a.end();
+        let b = root.child("restore");
+        b.field("cuts", 1u32);
+        b.end();
+        root.end();
+        let tree = t.render_tree();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("tick"));
+        assert!(lines[1].starts_with("  detect"));
+        assert!(lines[2].starts_with("  restore"));
+        assert!(lines[2].contains("cuts=1"));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let (t, _clock) = tracer(2);
+        for i in 0..5 {
+            let s = t.root(format!("s{i}"));
+            s.end();
+        }
+        let spans = t.finished();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "s3");
+        assert_eq!(spans[1].name, "s4");
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn orphaned_children_render_as_roots() {
+        let (t, _clock) = tracer(1);
+        let root = t.root("parent");
+        let child = root.child("child");
+        child.end();
+        root.end(); // evicts "child" from the ring of capacity 1
+        let tree = t.render_tree();
+        assert_eq!(tree.lines().count(), 1);
+        assert!(tree.starts_with("parent"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let (t, _clock) = tracer(8);
+        let s = t.root("x");
+        s.field("k", "v");
+        s.end();
+        let v = t.to_json();
+        let spans = v.get("spans").unwrap().as_array().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].get("name").unwrap().as_str(), Some("x"));
+        assert_eq!(spans[0].get("fields").unwrap().get("k").unwrap().as_str(), Some("v"));
+    }
+}

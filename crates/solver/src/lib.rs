@@ -18,7 +18,9 @@
 //! * [`presolve`] — model reductions (singleton rows, fixings, bound
 //!   tightening) applied before the heavy machinery;
 //! * [`cuts`] — knapsack cover cuts separated at the branch & bound root
-//!   (cut-and-branch).
+//!   (cut-and-branch);
+//! * [`observe`] — bridge mirroring [`SolverStats`](model::SolverStats)
+//!   into the `flexwan-obs` metrics registry.
 //!
 //! The solver is *exact*: it is used to validate the scalable planning
 //! heuristics on small instances (see `flexwan-core`), exactly as the
@@ -31,10 +33,12 @@ pub mod branch_bound;
 pub mod cuts;
 pub mod expr;
 pub mod model;
+pub mod observe;
 pub mod presolve;
 pub mod simplex;
 
 pub use expr::{LinExpr, Var};
 pub use model::{Cmp, Model, Sense, Solution, SolveOptions, SolverStats, Status, VarKind};
+pub use observe::record_solver_stats;
 pub use presolve::{presolve, solve_presolved, Presolved, Reduction};
 pub use simplex::{solve_lp, solve_lp_with_duals, solve_lp_with_stats};

@@ -534,10 +534,15 @@ impl Ctx {
     }
 
     /// Applies a pivot: column `q` enters at basis row `r` with value
-    /// `value`; `w` is the FTRAN'd entering column.
-    fn pivot(&mut self, r: usize, q: usize, value: f64, w: &[f64]) {
+    /// `value`; `w` is the FTRAN'd entering column. `leaving_stat` is the
+    /// bound the leaving variable rests on — it must be recorded *before*
+    /// the eta-cap refactorization below, whose `compute_xb` rebuilds the
+    /// basic values from every nonbasic resting value and would otherwise
+    /// still see the leaving variable as basic and drop its contribution.
+    fn pivot(&mut self, r: usize, q: usize, value: f64, w: &[f64], leaving_stat: VStat) {
         let leaving = self.basis[r] as usize;
         self.pos[leaving] = -1;
+        self.vstat[leaving] = leaving_stat;
         self.basis[r] = q as u32;
         self.pos[q] = r as i32;
         self.vstat[q] = VStat::Basic;
@@ -715,9 +720,7 @@ impl Ctx {
                 let value = self.rest_value(q);
                 let mut w = std::mem::take(&mut self.scratch);
                 self.ftran_col(q, &mut w);
-                let art = self.basis[r] as usize;
-                self.pivot(r, q, value, &w);
-                self.vstat[art] = VStat::Lower;
+                self.pivot(r, q, value, &w, VStat::Lower);
                 self.scratch = w;
             }
         }
@@ -840,9 +843,7 @@ impl Ctx {
                             self.snap(i);
                         }
                     }
-                    let leaving = self.basis[r] as usize;
-                    self.pivot(r, q, value, &w);
-                    self.vstat[leaving] = hit;
+                    self.pivot(r, q, value, &w, hit);
                 }
             }
             self.scratch = w;
@@ -1000,8 +1001,7 @@ impl Ctx {
                     self.xb[i] -= t * wi;
                 }
             }
-            self.pivot(r, q, value, &w);
-            self.vstat[b] = if below { VStat::Lower } else { VStat::Upper };
+            self.pivot(r, q, value, &w, if below { VStat::Lower } else { VStat::Upper });
             self.scratch = w;
         }
         DualOutcome::GiveUp

@@ -17,7 +17,9 @@
 //! * [`core`] — the paper's contribution: Algorithm 1 network planning
 //!   and §8 optical restoration, exact and heuristic, plus FlexWAN+;
 //! * [`ctrl`] — the centralized multi-vendor controller, simulated
-//!   devices, telemetry, failure detection, recovery and HA.
+//!   devices, telemetry, failure detection, recovery and HA;
+//! * [`obs`] — the zero-dependency observability layer: metrics registry
+//!   (counters/gauges/histograms), span tracer, JSON + Prometheus export.
 //!
 //! Start with [`core::planning::plan`] and the `examples/` directory.
 
@@ -28,6 +30,7 @@ pub mod validate;
 
 pub use flexwan_core as core;
 pub use flexwan_ctrl as ctrl;
+pub use flexwan_obs as obs;
 pub use flexwan_optical as optical;
 pub use flexwan_physim as physim;
 pub use flexwan_solver as solver;

@@ -1,0 +1,149 @@
+//! Golden-output regression tests: the headline numbers of the paper's
+//! evaluation, pinned to checked-in expected files.
+//!
+//! `paper_claims.rs` asserts *ranges* (orderings, rough factors) so the
+//! reproduction tracks the paper's qualitative claims; this suite pins the
+//! *exact* values our deterministic pipeline produces on the canonical
+//! T-backbone instance. Any change to planning, restoration, the solver,
+//! or the topology generator that moves a headline number — even within
+//! the qualitative ranges — shows up here as a one-line diff.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p flexwan --test golden_outputs
+//! git diff tests/golden/        # review the number movement, then commit
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use flexwan::core::planning::{percent_saved, plan, PlannerConfig};
+use flexwan::core::restore::{conduit_cut_scenarios, restore, restore_report};
+use flexwan::core::Scheme;
+use flexwan::topo::tbackbone::{t_backbone, Backbone, TBackboneConfig};
+
+fn instance() -> (Backbone, PlannerConfig) {
+    (
+        t_backbone(&TBackboneConfig::default()),
+        PlannerConfig { k_paths: 5, ..PlannerConfig::default() },
+    )
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compares `got` against the checked-in golden file, or rewrites the file
+/// when `UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); bless with UPDATE_GOLDEN=1", path.display())
+    });
+    assert_eq!(
+        got,
+        want,
+        "golden output {} changed; if intentional, re-bless with \
+         `UPDATE_GOLDEN=1 cargo test -p flexwan --test golden_outputs` \
+         and commit the diff",
+        path.display()
+    );
+}
+
+/// The paper's headline numbers (§7 cost savings, §8 restoration), exact.
+#[test]
+fn headline_numbers_match_golden() {
+    let (b, cfg) = instance();
+    let mut out = String::new();
+    writeln!(out, "# Headline numbers, T-backbone default instance, k_paths=5.").unwrap();
+    writeln!(out, "# Blessed output of tests/golden_outputs.rs; see that file for how to update.").unwrap();
+
+    // §7 / Figure 12: deployed cost per scheme at scale 1.
+    let plans: Vec<_> = Scheme::ALL.iter().map(|&s| plan(s, &b.optical, &b.ip, &cfg)).collect();
+    for (scheme, p) in Scheme::ALL.iter().zip(&plans) {
+        assert!(p.is_feasible(), "{scheme} must stay feasible at scale 1");
+        writeln!(out, "transponders[{scheme}] = {}", p.transponder_count()).unwrap();
+        writeln!(out, "spectrum_ghz[{scheme}] = {:.2}", p.spectrum_usage_ghz()).unwrap();
+    }
+
+    // The headline savings percentages (paper: 85 % / 57 % transponders,
+    // 67 % / 36 % spectrum).
+    let (fixed, radwan, flex) = (&plans[0], &plans[1], &plans[2]);
+    let pct = |baseline: f64, ours: f64| format!("{:.2}", percent_saved(baseline, ours));
+    writeln!(
+        out,
+        "transponder_saving_vs_100g_pct = {}",
+        pct(fixed.transponder_count() as f64, flex.transponder_count() as f64)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "transponder_saving_vs_radwan_pct = {}",
+        pct(radwan.transponder_count() as f64, flex.transponder_count() as f64)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "spectrum_saving_vs_100g_pct = {}",
+        pct(fixed.spectrum_usage_ghz(), flex.spectrum_usage_ghz())
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "spectrum_saving_vs_radwan_pct = {}",
+        pct(radwan.spectrum_usage_ghz(), flex.spectrum_usage_ghz())
+    )
+    .unwrap();
+
+    // §8 / Figure 15(b): mean restoration capability under 5x overload,
+    // conduit-cut scenario set (paper: FlexWAN +15 % over RADWAN).
+    let scenarios = conduit_cut_scenarios(&b.optical);
+    let ip5 = b.ip.scaled(5);
+    for &scheme in Scheme::ALL.iter() {
+        let p = plan(scheme, &b.optical, &ip5, &cfg);
+        let results: Vec<_> = scenarios
+            .iter()
+            .map(|s| (s.probability, restore(&p, &b.optical, &ip5, s, &[], &cfg)))
+            .collect();
+        let rep = restore_report(&results);
+        writeln!(out, "restore_capability_5x[{scheme}] = {:.4}", rep.mean_capability()).unwrap();
+    }
+
+    // §8 / Figure 15(a): restored paths are longer than the originals
+    // (scale 1, FlexWAN).
+    let results: Vec<_> = scenarios
+        .iter()
+        .map(|s| (s.probability, restore(flex, &b.optical, &b.ip, s, &[], &cfg)))
+        .collect();
+    let rep = restore_report(&results);
+    writeln!(out, "restore_capability_1x[{}] = {:.4}", Scheme::FlexWan, rep.mean_capability())
+        .unwrap();
+    writeln!(out, "restored_paths_longer_fraction = {:.4}", rep.fraction_longer()).unwrap();
+    writeln!(out, "restored_path_max_length_ratio = {:.4}", rep.max_length_ratio()).unwrap();
+
+    assert_golden("headline_numbers.txt", &out);
+}
+
+/// Figure 14 shapes as exact numbers: median reach gap and mean spectral
+/// efficiency per scheme.
+#[test]
+fn reach_gap_and_spectral_efficiency_match_golden() {
+    let (b, cfg) = instance();
+    let mut out = String::new();
+    writeln!(out, "# Reach-gap / spectral-efficiency summary (Figure 14), exact.").unwrap();
+    for &scheme in Scheme::ALL.iter() {
+        let p = plan(scheme, &b.optical, &b.ip, &cfg);
+        let mut gaps: Vec<i64> = p.wavelengths.iter().map(|w| w.reach_gap_km()).collect();
+        gaps.sort_unstable();
+        let ses: Vec<f64> = p.wavelengths.iter().map(|w| w.spectral_efficiency()).collect();
+        let mean_se = ses.iter().sum::<f64>() / ses.len() as f64;
+        writeln!(out, "median_reach_gap_km[{scheme}] = {}", gaps[gaps.len() / 2]).unwrap();
+        writeln!(out, "mean_spectral_efficiency[{scheme}] = {mean_se:.4}").unwrap();
+    }
+    assert_golden("reach_gap_se.txt", &out);
+}

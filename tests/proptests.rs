@@ -339,3 +339,142 @@ fn ksp_properties() {
         assert_eq!(paths[0].length_km, best.length_km);
     }
 }
+
+/// Shared generator for the planner/restoration invariants: a random
+/// connected optical graph (spanning chain + chords) and a random IP
+/// demand set over distinct node pairs.
+fn random_instance(rng: &mut ChaCha8Rng) -> (Graph, flexwan::topo::ip::IpTopology) {
+    let n = rng.gen_range(4usize..8);
+    let mut g = Graph::new();
+    let nodes: Vec<_> = (0..n).map(|i| g.add_node(format!("n{i}"))).collect();
+    for w in nodes.windows(2) {
+        g.add_edge(w[0], w[1], rng.gen_range(50u32..900));
+    }
+    for _ in 0..rng.gen_range(1usize..6) {
+        let a = rng.gen_range(0usize..16) % n;
+        let b = rng.gen_range(0usize..16) % n;
+        if a != b {
+            g.add_edge(nodes[a], nodes[b], rng.gen_range(50u32..1500));
+        }
+    }
+    let mut ip = flexwan::topo::ip::IpTopology::new();
+    for _ in 0..rng.gen_range(1usize..5) {
+        let a = rng.gen_range(0usize..16) % n;
+        let b = rng.gen_range(0usize..16) % n;
+        if a != b {
+            ip.add_link(nodes[a], nodes[b], rng.gen_range(1u64..10) * 100);
+        }
+    }
+    (g, ip)
+}
+
+/// Planner invariants on random instances, every scheme: each channel
+/// sits inside the fiber's grid (never outside the C-band), two
+/// wavelengths sharing a fiber never overlap in spectrum, and every
+/// wavelength's format reaches over its optical path. These must hold
+/// whether or not the plan is feasible (tight grids are generated on
+/// purpose).
+#[test]
+fn planned_wavelengths_respect_spectrum_and_reach() {
+    use flexwan::core::planning::{plan, PlannerConfig};
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA00A);
+    for _case in 0..32 {
+        let (g, ip) = random_instance(&mut rng);
+        if ip.num_links() == 0 {
+            continue;
+        }
+        let grid = if rng.gen_bool(0.5) {
+            SpectrumGrid::c_band()
+        } else {
+            SpectrumGrid::new(rng.gen_range(16u32..64))
+        };
+        let cfg = PlannerConfig { grid, k_paths: 2, ..PlannerConfig::default() };
+        for &scheme in Scheme::ALL.iter() {
+            let p = plan(scheme, &g, &ip, &cfg);
+            for w in &p.wavelengths {
+                assert!(grid.contains(&w.channel), "{scheme}: channel outside the grid");
+                assert!(
+                    w.format.reach_km >= w.path.length_km,
+                    "{scheme}: reach {} km < path {} km",
+                    w.format.reach_km,
+                    w.path.length_km
+                );
+                assert!(!w.path.has_loop(), "{scheme}: looping optical path");
+            }
+            for (i, w1) in p.wavelengths.iter().enumerate() {
+                for w2 in &p.wavelengths[i + 1..] {
+                    let share_fiber = w1.path.edges.iter().any(|e| w2.path.edges.contains(e));
+                    assert!(
+                        !(share_fiber && w1.channel.overlaps(&w2.channel)),
+                        "{scheme}: spectrum overlap on a shared fiber"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Restoration invariants on random instances: revived wavelengths ride
+/// only surviving fibers, never revive more than was lost, stay inside
+/// the grid, and never collide — with each other or with the surviving
+/// wavelengths of the original plan.
+#[test]
+fn restoration_uses_only_surviving_fibers() {
+    use flexwan::core::planning::{plan, PlannerConfig};
+    use flexwan::core::restore::{one_fiber_scenarios, restore};
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA00B);
+    for _case in 0..16 {
+        let (g, ip) = random_instance(&mut rng);
+        if ip.num_links() == 0 {
+            continue;
+        }
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(rng.gen_range(24u32..80)),
+            k_paths: 2,
+            ..PlannerConfig::default()
+        };
+        for &scheme in Scheme::ALL.iter() {
+            let p = plan(scheme, &g, &ip, &cfg);
+            for scenario in &one_fiber_scenarios(&g) {
+                let r = restore(&p, &g, &ip, scenario, &[], &cfg);
+                assert!(r.restored_gbps <= r.affected_gbps, "{scheme}: revived more than lost");
+                let surviving: Vec<_> = p
+                    .wavelengths
+                    .iter()
+                    .filter(|w| w.path.edges.iter().all(|&e| !scenario.is_cut(e)))
+                    .collect();
+                for rw in &r.restored {
+                    let w = &rw.wavelength;
+                    for &e in &w.path.edges {
+                        assert!(!scenario.is_cut(e), "{scheme}: restored path crosses a cut fiber");
+                    }
+                    assert!(cfg.grid.contains(&w.channel), "{scheme}: restored channel off-grid");
+                    assert!(w.format.reach_km >= w.path.length_km, "{scheme}: restored over reach");
+                    for s in &surviving {
+                        let share = w.path.edges.iter().any(|e| s.path.edges.contains(e));
+                        assert!(
+                            !(share && w.channel.overlaps(&s.channel)),
+                            "{scheme}: restored channel collides with a surviving wavelength"
+                        );
+                    }
+                }
+                for (i, r1) in r.restored.iter().enumerate() {
+                    for r2 in &r.restored[i + 1..] {
+                        let share = r1
+                            .wavelength
+                            .path
+                            .edges
+                            .iter()
+                            .any(|e| r2.wavelength.path.edges.contains(e));
+                        assert!(
+                            !(share && r1.wavelength.channel.overlaps(&r2.wavelength.channel)),
+                            "{scheme}: two restored channels collide"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
