@@ -5,10 +5,12 @@
 
 use flexwan_bench::instances::{default_config, tbackbone_instance};
 use flexwan_bench::table;
-use flexwan_core::planning::plan;
-use flexwan_core::protect::plan_protected;
-use flexwan_core::restore::{conduit_cut_scenarios, restore, restore_report};
+use flexwan_core::planning::plan_cached;
+use flexwan_core::protect::plan_protected_cached;
+use flexwan_core::restore::{conduit_cut_scenarios, restore_cached, restore_report};
 use flexwan_core::Scheme;
+use flexwan_topo::cache::RouteCache;
+use flexwan_util::pool;
 
 fn main() {
     table::banner(
@@ -18,17 +20,20 @@ fn main() {
     let b = tbackbone_instance();
     let cfg = default_config();
     let scenarios = conduit_cut_scenarios(&b.optical);
+    let cache = RouteCache::new();
+    let threads = pool::default_threads();
 
     // Restoration-based resilience (the paper's approach).
-    let p = plan(Scheme::FlexWan, &b.optical, &b.ip, &cfg);
-    let results: Vec<_> = scenarios
-        .iter()
-        .map(|s| (s.probability, restore(&p, &b.optical, &b.ip, s, &[], &cfg)))
-        .collect();
+    let p = plan_cached(Scheme::FlexWan, &b.optical, &b.ip, &cfg, &cache);
+    let restored = pool::par_map(&scenarios, threads, |s| {
+        restore_cached(&p, &b.optical, &b.ip, s, &[], &cfg, &cache)
+    });
+    let results: Vec<_> = scenarios.iter().map(|s| s.probability).zip(restored).collect();
     let rest_cap = restore_report(&results).mean_capability();
 
-    // 1+1 protection.
-    let pp = plan_protected(Scheme::FlexWan, &b.optical, &b.ip, &cfg);
+    // 1+1 protection (disjoint-pair search uses k ≥ 4, a distinct cache
+    // key from the planner's k — safe to share one cache).
+    let pp = plan_protected_cached(Scheme::FlexWan, &b.optical, &b.ip, &cfg, &cache);
     let prot_cap: f64 = scenarios
         .iter()
         .map(|s| s.probability * pp.capability_under(&b.ip, s))

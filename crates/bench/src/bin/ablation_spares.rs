@@ -3,9 +3,13 @@
 
 use flexwan_bench::instances::{default_config, tbackbone_instance};
 use flexwan_bench::table;
-use flexwan_core::planning::plan;
-use flexwan_core::restore::{conduit_cut_scenarios, flexwan_plus_extra_spares, restore, restore_report};
+use flexwan_core::planning::plan_cached;
+use flexwan_core::restore::{
+    conduit_cut_scenarios, flexwan_plus_extra_spares, restore_cached, restore_report,
+};
 use flexwan_core::Scheme;
+use flexwan_topo::cache::RouteCache;
+use flexwan_util::pool;
 
 fn main() {
     table::banner(
@@ -15,7 +19,11 @@ fn main() {
     let b = tbackbone_instance();
     let cfg = default_config();
     let ip5 = b.ip.scaled(5);
-    let p = plan(Scheme::FlexWan, &b.optical, &ip5, &cfg);
+    // Detour routes depend only on the cut set, not on the spare pool, so
+    // the first fraction row warms the cache for the remaining three.
+    let cache = RouteCache::new();
+    let threads = pool::default_threads();
+    let p = plan_cached(Scheme::FlexWan, &b.optical, &ip5, &cfg, &cache);
     let full = flexwan_plus_extra_spares(&b.optical, &ip5, &cfg);
     let scenarios = conduit_cut_scenarios(&b.optical);
     let rows: Vec<Vec<String>> = [0.0, 0.5, 1.0, 2.0]
@@ -23,10 +31,11 @@ fn main() {
         .map(|&frac| {
             let spares: Vec<u32> =
                 full.iter().map(|&s| (f64::from(s) * frac).round() as u32).collect();
-            let results: Vec<_> = scenarios
-                .iter()
-                .map(|s| (s.probability, restore(&p, &b.optical, &ip5, s, &spares, &cfg)))
-                .collect();
+            let restored = pool::par_map(&scenarios, threads, |s| {
+                restore_cached(&p, &b.optical, &ip5, s, &spares, &cfg, &cache)
+            });
+            let results: Vec<_> =
+                scenarios.iter().map(|s| s.probability).zip(restored).collect();
             let rep = restore_report(&results);
             let extra: u32 = spares.iter().sum();
             vec![

@@ -1,10 +1,12 @@
 //! Figure 15: (a) distribution of restored-vs-original path lengths and
 //! (b) mean restoration capability vs capacity scale, per scheme.
 
-use flexwan_bench::experiments::{restoration_report, restoration_vs_scale};
+use flexwan_bench::experiments::{restoration_report_threads, restoration_vs_scale_threads};
 use flexwan_bench::instances::{default_config, tbackbone_instance};
 use flexwan_bench::table;
 use flexwan_core::Scheme;
+use flexwan_topo::cache::RouteCache;
+use flexwan_util::pool;
 
 fn main() {
     table::banner(
@@ -13,8 +15,9 @@ fn main() {
     );
     let b = tbackbone_instance();
     let cfg = default_config();
+    let threads = pool::default_threads();
 
-    let rep = restoration_report(&b, &cfg, Scheme::FlexWan, 1, false);
+    let rep = restoration_report_threads(&b, &cfg, Scheme::FlexWan, 1, false, &RouteCache::new(), threads);
     println!(
         "(a) restored paths longer than original: {:.0}%  (paper: ≈90%)",
         100.0 * rep.fraction_longer()
@@ -25,7 +28,7 @@ fn main() {
     );
     println!();
 
-    let rows: Vec<Vec<String>> = restoration_vs_scale(&b, &cfg, &[1, 2, 3, 4, 5])
+    let rows: Vec<Vec<String>> = restoration_vs_scale_threads(&b, &cfg, &[1, 2, 3, 4, 5], threads)
         .into_iter()
         .map(|(s, caps)| {
             vec![

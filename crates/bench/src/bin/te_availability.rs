@@ -10,10 +10,12 @@
 
 use flexwan_bench::instances::{default_config, tbackbone_instance};
 use flexwan_bench::table;
-use flexwan_core::planning::plan;
-use flexwan_core::restore::{conduit_cut_scenarios, restore, Restoration};
+use flexwan_core::planning::plan_cached;
+use flexwan_core::restore::{conduit_cut_scenarios, restore_cached, Restoration};
 use flexwan_core::te::{network_from_plan, route_traffic, TrafficDemand};
 use flexwan_core::Scheme;
+use flexwan_topo::cache::RouteCache;
+use flexwan_util::pool;
 
 fn main() {
     table::banner(
@@ -34,27 +36,37 @@ fn main() {
         .collect();
     // A deterministic sample of scenarios keeps the run short.
     let scenarios: Vec<_> = conduit_cut_scenarios(&b.optical).into_iter().step_by(3).collect();
+    // One route cache across all three schemes (candidate routes are
+    // scheme-independent; detours are keyed by cut set), scenarios fanned
+    // out on the deterministic pool — output is thread-count-invariant.
+    let cache = RouteCache::new();
+    let threads = pool::default_threads();
 
     let mut rows = Vec::new();
     for scheme in Scheme::ALL {
-        let p = plan(scheme, &b.optical, &ip, &cfg);
+        let p = plan_cached(scheme, &b.optical, &ip, &cfg, &cache);
         let healthy = {
             let net = network_from_plan(b.optical.num_nodes(), &ip, &p, None);
             route_traffic(&net, &traffic, 2).expect("IP graph connected").carried_fraction()
         };
-        let mut carried_no_restore = 0.0;
-        let mut carried_restored = 0.0;
-        let mut available = 0usize;
-        for s in &scenarios {
-            let r = restore(&p, &b.optical, &ip, s, &[], &cfg);
+        let per_scenario = pool::par_map(&scenarios, threads, |s| {
+            let r = restore_cached(&p, &b.optical, &ip, s, &[], &cfg, &cache);
             let empty = Restoration { restored: vec![], ..r.clone() };
             let net_cut = network_from_plan(b.optical.num_nodes(), &ip, &p, Some((s, &empty)));
             let net_rst = network_from_plan(b.optical.num_nodes(), &ip, &p, Some((s, &r)));
             let out_cut = route_traffic(&net_cut, &traffic, 2).expect("IP graph connected");
             let out_rst = route_traffic(&net_rst, &traffic, 2).expect("IP graph connected");
-            carried_no_restore += out_cut.carried_fraction();
-            carried_restored += out_rst.carried_fraction();
-            if out_rst.carried_fraction() >= 0.99 * healthy {
+            (out_cut.carried_fraction(), out_rst.carried_fraction())
+        });
+        // Ordered reduce: summation order is fixed by scenario order, so
+        // the float totals match the serial run bit for bit.
+        let mut carried_no_restore = 0.0;
+        let mut carried_restored = 0.0;
+        let mut available = 0usize;
+        for &(cut, rst) in &per_scenario {
+            carried_no_restore += cut;
+            carried_restored += rst;
+            if rst >= 0.99 * healthy {
                 available += 1;
             }
         }

@@ -4,19 +4,22 @@
 
 use std::collections::HashSet;
 
-use flexwan_core::planning::{max_feasible_scale, plan, PlannerConfig};
+use flexwan_core::planning::{max_feasible_scale_cached, plan, plan_cached, PlannerConfig};
 use flexwan_core::restore::{
-    conduit_cut_scenarios, flexwan_plus_extra_spares, restore, restore_report, RestoreReport,
+    conduit_cut_scenarios, flexwan_plus_extra_spares, restore_cached, restore_report,
+    Restoration, RestoreReport,
 };
 use flexwan_core::Scheme;
 use flexwan_optical::spectrum::PixelWidth;
 use flexwan_optical::transponder::{Bvt, FixedGrid100G, Svt, TransponderModel, SVT_TABLE};
 use flexwan_physim::testbed::Testbed;
+use flexwan_topo::cache::RouteCache;
 use flexwan_topo::ksp::shortest_path;
 use flexwan_topo::tbackbone::Backbone;
+use flexwan_util::pool;
 
 /// Cost outcome of planning one scheme.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchemeCost {
     /// The scheme planned.
     pub scheme: Scheme,
@@ -31,12 +34,29 @@ pub struct SchemeCost {
 }
 
 /// Plans all three schemes at `scale` × the demand set.
+///
+/// Candidate routes depend only on the optical graph and the IP link
+/// endpoints — not on the scheme or the demand scale — so they are
+/// enumerated once (first scheme) and reused (remaining schemes) through
+/// a per-call [`RouteCache`] instead of re-running Yen per scheme.
 pub fn plan_costs(backbone: &Backbone, cfg: &PlannerConfig, scale: u64) -> Vec<SchemeCost> {
+    plan_costs_cached(backbone, cfg, scale, &RouteCache::new())
+}
+
+/// [`plan_costs`] sharing `cache` with the caller's wider sweep (e.g. the
+/// full scale ladder of [`cost_vs_scale`], where every scale reuses the
+/// same candidate routes).
+pub fn plan_costs_cached(
+    backbone: &Backbone,
+    cfg: &PlannerConfig,
+    scale: u64,
+    cache: &RouteCache,
+) -> Vec<SchemeCost> {
     let ip = backbone.ip.scaled(scale);
     Scheme::ALL
         .iter()
         .map(|&scheme| {
-            let p = plan(scheme, &backbone.optical, &ip, cfg);
+            let p = plan_cached(scheme, &backbone.optical, &ip, cfg, cache);
             SchemeCost {
                 scheme,
                 feasible: p.is_feasible(),
@@ -54,7 +74,24 @@ pub fn cost_vs_scale(
     cfg: &PlannerConfig,
     max_scale: u64,
 ) -> Vec<(u64, Vec<SchemeCost>)> {
-    (1..=max_scale).map(|s| (s, plan_costs(backbone, cfg, s))).collect()
+    cost_vs_scale_threads(backbone, cfg, max_scale, 1)
+}
+
+/// [`cost_vs_scale`] fanned out over the scale ladder on `threads`
+/// workers (0 = auto). Each scale is an independent planning problem;
+/// one shared [`RouteCache`] serves all of them, and the deterministic
+/// pool keeps the output bit-identical to the serial run at any thread
+/// count.
+pub fn cost_vs_scale_threads(
+    backbone: &Backbone,
+    cfg: &PlannerConfig,
+    max_scale: u64,
+    threads: usize,
+) -> Vec<(u64, Vec<SchemeCost>)> {
+    let cache = RouteCache::new();
+    let scales: Vec<u64> = (1..=max_scale).collect();
+    let costs = pool::par_map(&scales, threads, |&s| plan_costs_cached(backbone, cfg, s, &cache));
+    scales.into_iter().zip(costs).collect()
 }
 
 /// §7 headline numbers.
@@ -70,12 +107,16 @@ pub struct Headline {
 
 /// Computes the §7 headline: savings at scale 1 and max supported scales.
 pub fn headline(backbone: &Backbone, cfg: &PlannerConfig, scale_cap: u64) -> Headline {
-    let at1 = plan_costs(backbone, cfg, 1);
+    // Every planning run below shares one candidate-route set: routes are
+    // scale- and scheme-independent, so the cache misses once per IP link.
+    let cache = RouteCache::new();
+    let at1 = plan_costs_cached(backbone, cfg, 1, &cache);
     let find = |s: Scheme| at1.iter().find(|c| c.scheme == s).expect("all schemes planned");
     let flex = find(Scheme::FlexWan);
     let pct = |base: f64, ours: f64| 100.0 * (base - ours) / base;
     let fixed = find(Scheme::FixedGrid100G);
     let radwan = find(Scheme::Radwan);
+    let cap = |s| max_feasible_scale_cached(s, &backbone.optical, &backbone.ip, cfg, scale_cap, &cache);
     Headline {
         transponder_saving_pct: [
             pct(fixed.transponders as f64, flex.transponders as f64),
@@ -86,9 +127,9 @@ pub fn headline(backbone: &Backbone, cfg: &PlannerConfig, scale_cap: u64) -> Hea
             pct(radwan.spectrum_ghz, flex.spectrum_ghz),
         ],
         max_scale: [
-            max_feasible_scale(Scheme::FixedGrid100G, &backbone.optical, &backbone.ip, cfg, scale_cap),
-            max_feasible_scale(Scheme::Radwan, &backbone.optical, &backbone.ip, cfg, scale_cap),
-            max_feasible_scale(Scheme::FlexWan, &backbone.optical, &backbone.ip, cfg, scale_cap),
+            cap(Scheme::FixedGrid100G),
+            cap(Scheme::Radwan),
+            cap(Scheme::FlexWan),
         ],
     }
 }
@@ -204,19 +245,50 @@ pub fn restoration_report(
     scale: u64,
     plus: bool,
 ) -> RestoreReport {
+    restoration_report_threads(backbone, cfg, scheme, scale, plus, &RouteCache::new(), 1)
+}
+
+/// [`restoration_report`] with the scenario sweep fanned out on `threads`
+/// workers (0 = auto), sharing `cache` across scenarios and with the
+/// caller's wider sweep. Restoration routes are keyed by the scenario's
+/// cut set, so a cut fiber can never be served a cached uncut route.
+pub fn restoration_report_threads(
+    backbone: &Backbone,
+    cfg: &PlannerConfig,
+    scheme: Scheme,
+    scale: u64,
+    plus: bool,
+    cache: &RouteCache,
+    threads: usize,
+) -> RestoreReport {
+    restore_report(&restoration_results(backbone, cfg, scheme, scale, plus, cache, threads))
+}
+
+/// The per-scenario restorations behind [`restoration_report`]:
+/// `(scenario probability, restoration)` in [`conduit_cut_scenarios`]
+/// order, bit-identical at any `threads` count. Exposed so determinism
+/// tests can compare the full vectors, not just the aggregated report.
+pub fn restoration_results(
+    backbone: &Backbone,
+    cfg: &PlannerConfig,
+    scheme: Scheme,
+    scale: u64,
+    plus: bool,
+    cache: &RouteCache,
+    threads: usize,
+) -> Vec<(f64, Restoration)> {
     let ip = backbone.ip.scaled(scale);
-    let p = plan(scheme, &backbone.optical, &ip, cfg);
+    let p = plan_cached(scheme, &backbone.optical, &ip, cfg, cache);
     let extra = if plus {
         flexwan_plus_extra_spares(&backbone.optical, &ip, cfg)
     } else {
         Vec::new()
     };
     let scenarios = conduit_cut_scenarios(&backbone.optical);
-    let results: Vec<_> = scenarios
-        .iter()
-        .map(|s| (s.probability, restore(&p, &backbone.optical, &ip, s, &extra, cfg)))
-        .collect();
-    restore_report(&results)
+    let restored = pool::par_map(&scenarios, threads, |s| {
+        restore_cached(&p, &backbone.optical, &ip, s, &extra, cfg, cache)
+    });
+    scenarios.iter().map(|s| s.probability).zip(restored).collect()
 }
 
 /// Figure 15(b): mean restoration capability per scheme per scale.
@@ -225,13 +297,31 @@ pub fn restoration_vs_scale(
     cfg: &PlannerConfig,
     scales: &[u64],
 ) -> Vec<(u64, [f64; 3])> {
+    restoration_vs_scale_threads(backbone, cfg, scales, 1)
+}
+
+/// [`restoration_vs_scale`] with every scenario sweep on `threads`
+/// workers (0 = auto) and one [`RouteCache`] shared across all
+/// scales × schemes — the planner's uncut routes miss once total, and
+/// each cut set's detour routes miss once across the whole figure.
+pub fn restoration_vs_scale_threads(
+    backbone: &Backbone,
+    cfg: &PlannerConfig,
+    scales: &[u64],
+    threads: usize,
+) -> Vec<(u64, [f64; 3])> {
+    let cache = RouteCache::new();
     scales
         .iter()
         .map(|&s| {
+            let report = |scheme| {
+                restoration_report_threads(backbone, cfg, scheme, s, false, &cache, threads)
+                    .mean_capability()
+            };
             let caps = [
-                restoration_report(backbone, cfg, Scheme::FixedGrid100G, s, false).mean_capability(),
-                restoration_report(backbone, cfg, Scheme::Radwan, s, false).mean_capability(),
-                restoration_report(backbone, cfg, Scheme::FlexWan, s, false).mean_capability(),
+                report(Scheme::FixedGrid100G),
+                report(Scheme::Radwan),
+                report(Scheme::FlexWan),
             ];
             (s, caps)
         })
@@ -317,6 +407,21 @@ mod tests {
         assert_eq!(rows[0].bvt.unwrap().0, 3);
         assert_eq!(rows[1].svt.unwrap().0, 2);
         assert_eq!(rows[1].bvt.unwrap().0, 4);
+    }
+
+    #[test]
+    fn plan_costs_enumerates_routes_once_across_schemes() {
+        let b = tbackbone_instance();
+        let cfg = default_config();
+        let cache = RouteCache::new();
+        let cached = plan_costs_cached(&b, &cfg, 1, &cache);
+        // The hoist: Yen runs once per distinct endpoint pair (parallel
+        // IP links share a candidate-route set), everything else —
+        // including schemes 2–3 wholesale — is a cache hit.
+        let pairs: HashSet<_> = b.ip.links().iter().map(|l| (l.src, l.dst)).collect();
+        assert_eq!(cache.misses() as usize, pairs.len());
+        assert_eq!((cache.hits() + cache.misses()) as usize, 3 * b.ip.num_links());
+        assert_eq!(cached, plan_costs(&b, &cfg, 1));
     }
 
     #[test]

@@ -26,9 +26,9 @@ pub mod scheme;
 pub mod te;
 pub mod wavelength;
 
-pub use observe::{plan_observed, restore_observed};
-pub use planning::{max_feasible_scale, plan, Plan, PlannerConfig};
-pub use restore::{one_fiber_scenarios, restore, FailureScenario, Restoration};
-pub use protect::{plan_protected, ProtectedPlan};
+pub use observe::{plan_observed, record_route_cache, restore_observed};
+pub use planning::{max_feasible_scale, plan, plan_cached, Plan, PlannerConfig};
+pub use restore::{one_fiber_scenarios, restore, restore_cached, FailureScenario, Restoration};
+pub use protect::{plan_protected, plan_protected_cached, ProtectedPlan};
 pub use scheme::Scheme;
 pub use wavelength::Wavelength;

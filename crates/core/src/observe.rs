@@ -8,6 +8,7 @@
 //! deterministic outputs are bit-identical with and without it.
 
 use flexwan_obs::{Obs, Span};
+use flexwan_topo::cache::RouteCache;
 use flexwan_topo::graph::Graph;
 use flexwan_topo::ip::IpTopology;
 
@@ -82,6 +83,17 @@ pub fn restore_observed(
     r
 }
 
+/// Snapshots `cache`'s counters into `obs` as gauges
+/// (`route_cache_{hits,misses,entries}` labeled by `name`): call at sweep
+/// checkpoints to watch the memoization pay off (hits/misses should
+/// approach the sweep's scheme × scale redundancy).
+pub fn record_route_cache(obs: &Obs, name: &str, cache: &RouteCache) {
+    let reg = obs.registry();
+    reg.gauge_with("route_cache_hits", &[("cache", name)]).set(cache.hits() as f64);
+    reg.gauge_with("route_cache_misses", &[("cache", name)]).set(cache.misses() as f64);
+    reg.gauge_with("route_cache_entries", &[("cache", name)]).set(cache.len() as f64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +125,20 @@ mod tests {
         let prom = obs.metrics_prometheus();
         assert!(prom.contains("planning_runs_total{scheme=\"FlexWan\"} 1"), "{prom}");
         assert!(obs.span_tree().contains("planning.plan"));
+    }
+
+    #[test]
+    fn route_cache_gauges_track_counters() {
+        let (g, ip, cfg) = world();
+        let obs = Obs::default();
+        let cache = RouteCache::new();
+        let _ = crate::planning::plan_cached(Scheme::FlexWan, &g, &ip, &cfg, &cache);
+        let _ = crate::planning::plan_cached(Scheme::Radwan, &g, &ip, &cfg, &cache);
+        record_route_cache(&obs, "sweep", &cache);
+        let prom = obs.metrics_prometheus();
+        assert!(prom.contains("route_cache_hits{cache=\"sweep\"} 1"), "{prom}");
+        assert!(prom.contains("route_cache_misses{cache=\"sweep\"} 1"), "{prom}");
+        assert!(prom.contains("route_cache_entries{cache=\"sweep\"} 1"), "{prom}");
     }
 
     #[test]

@@ -16,9 +16,11 @@
 use std::collections::HashSet;
 
 use flexwan_optical::spectrum::SpectrumGrid;
+use flexwan_topo::cache::RouteCache;
 use flexwan_topo::graph::Graph;
 use flexwan_topo::ip::{IpLinkId, IpTopology};
-use flexwan_topo::route::{k_shortest_routes, Route};
+use flexwan_topo::ksp::DijkstraScratch;
+use flexwan_topo::route::{k_shortest_routes_scratch, Route};
 
 use crate::planning::format_dp::select_formats;
 use crate::planning::spectrum::SpectrumState;
@@ -132,19 +134,52 @@ impl Plan {
 /// Plans `scheme` over the backbone: the scalable counterpart of
 /// Algorithm 1 (validated against the exact MIP in tests).
 pub fn plan(scheme: Scheme, optical: &Graph, ip: &IpTopology, cfg: &PlannerConfig) -> Plan {
+    // Candidate node-distinct routes per link (parallel fibers become
+    // per-hop alternatives; see `flexwan_topo::route`), enumerated over
+    // one shared Dijkstra scratch arena.
+    let none = HashSet::new();
+    let mut scratch = DijkstraScratch::new();
+    let candidate_routes: Vec<Vec<Route>> = ip
+        .links()
+        .iter()
+        .map(|l| k_shortest_routes_scratch(optical, l.src, l.dst, cfg.k_paths, &none, &mut scratch))
+        .collect();
+    plan_with_routes(scheme, optical, ip, cfg, candidate_routes)
+}
+
+/// [`plan`] with the candidate routes served by `cache`: routes depend
+/// only on the graph, endpoints and `k` — not on the scheme or the
+/// demand scale — so scheme/scale sweeps over one backbone enumerate
+/// each link's routes once. Output is bit-identical to [`plan`].
+pub fn plan_cached(
+    scheme: Scheme,
+    optical: &Graph,
+    ip: &IpTopology,
+    cfg: &PlannerConfig,
+    cache: &RouteCache,
+) -> Plan {
+    let none = HashSet::new();
+    let candidate_routes: Vec<Vec<Route>> = ip
+        .links()
+        .iter()
+        .map(|l| (*cache.routes(optical, l.src, l.dst, cfg.k_paths, &none)).clone())
+        .collect();
+    plan_with_routes(scheme, optical, ip, cfg, candidate_routes)
+}
+
+/// The planning pipeline proper, over pre-enumerated candidate routes
+/// (`candidate_routes[i]` serves `ip.links()[i]`).
+fn plan_with_routes(
+    scheme: Scheme,
+    optical: &Graph,
+    ip: &IpTopology,
+    cfg: &PlannerConfig,
+    candidate_routes: Vec<Vec<Route>>,
+) -> Plan {
     assert!(cfg.k_paths >= 1, "need at least one candidate path");
     assert!(cfg.min_alignment >= 1, "alignment is at least one pixel");
     let model = scheme.transponder();
     let align = scheme.alignment_pixels().max(cfg.min_alignment);
-    let none = HashSet::new();
-
-    // Candidate node-distinct routes per link (parallel fibers become
-    // per-hop alternatives; see `flexwan_topo::route`).
-    let candidate_routes: Vec<Vec<Route>> = ip
-        .links()
-        .iter()
-        .map(|l| k_shortest_routes(optical, l.src, l.dst, cfg.k_paths, &none))
-        .collect();
 
     let mut order: Vec<usize> = (0..ip.num_links()).collect();
     match cfg.order {
@@ -231,9 +266,23 @@ pub fn max_feasible_scale(
     cfg: &PlannerConfig,
     max_scale: u64,
 ) -> u64 {
+    // One cache across the scale ladder: scaling demands leaves the
+    // links' endpoints (and hence their candidate routes) unchanged.
+    max_feasible_scale_cached(scheme, optical, ip, cfg, max_scale, &RouteCache::new())
+}
+
+/// [`max_feasible_scale`] sharing `cache` with the caller's wider sweep.
+pub fn max_feasible_scale_cached(
+    scheme: Scheme,
+    optical: &Graph,
+    ip: &IpTopology,
+    cfg: &PlannerConfig,
+    max_scale: u64,
+    cache: &RouteCache,
+) -> u64 {
     let mut best = 0;
     for s in 1..=max_scale {
-        if plan(scheme, optical, &ip.scaled(s), cfg).is_feasible() {
+        if plan_cached(scheme, optical, &ip.scaled(s), cfg, cache).is_feasible() {
             best = s;
         } else {
             break; // feasibility is monotone in the scale
@@ -438,5 +487,21 @@ mod tests {
         let a = plan(Scheme::FlexWan, &g, &ip, &small_cfg(64));
         let b = plan(Scheme::FlexWan, &g, &ip, &small_cfg(64));
         assert_eq!(a.wavelengths, b.wavelengths);
+    }
+
+    #[test]
+    fn cached_plan_is_bit_identical_across_schemes() {
+        let (g, ip) = triangle();
+        let cache = RouteCache::new();
+        for scheme in Scheme::ALL {
+            let cached = plan_cached(scheme, &g, &ip, &small_cfg(64), &cache);
+            let plain = plan(scheme, &g, &ip, &small_cfg(64));
+            assert_eq!(cached.wavelengths, plain.wavelengths);
+            assert_eq!(cached.unmet, plain.unmet);
+            assert_eq!(cached.candidate_routes, plain.candidate_routes);
+        }
+        // One link, one key: scheme 1 misses, schemes 2 and 3 hit.
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
     }
 }

@@ -14,9 +14,11 @@
 //! experiment quantifies the cost of never moving anything, against
 //! clairvoyant from-scratch re-planning.
 
+use flexwan_topo::cache::RouteCache;
 use flexwan_topo::graph::Graph;
 use flexwan_topo::ip::IpTopology;
-use flexwan_topo::route::k_shortest_routes;
+use flexwan_topo::ksp::DijkstraScratch;
+use flexwan_topo::route::{k_shortest_routes_scratch, Route};
 
 use crate::planning::format_dp::select_formats;
 use crate::planning::heuristic::{Plan, PlannerConfig};
@@ -36,10 +38,45 @@ pub fn plan_incremental(
     ip: &IpTopology,
     cfg: &PlannerConfig,
 ) -> Plan {
+    let none = std::collections::HashSet::new();
+    let mut scratch = DijkstraScratch::new();
+    let candidate_routes: Vec<Vec<Route>> = ip
+        .links()
+        .iter()
+        .map(|l| k_shortest_routes_scratch(optical, l.src, l.dst, cfg.k_paths, &none, &mut scratch))
+        .collect();
+    plan_incremental_with_routes(base, optical, ip, cfg, candidate_routes)
+}
+
+/// [`plan_incremental`] with candidate routes served by `cache` (shared
+/// with any other planner working the same backbone). Output is
+/// bit-identical to [`plan_incremental`].
+pub fn plan_incremental_cached(
+    base: &Plan,
+    optical: &Graph,
+    ip: &IpTopology,
+    cfg: &PlannerConfig,
+    cache: &RouteCache,
+) -> Plan {
+    let none = std::collections::HashSet::new();
+    let candidate_routes: Vec<Vec<Route>> = ip
+        .links()
+        .iter()
+        .map(|l| (*cache.routes(optical, l.src, l.dst, cfg.k_paths, &none)).clone())
+        .collect();
+    plan_incremental_with_routes(base, optical, ip, cfg, candidate_routes)
+}
+
+fn plan_incremental_with_routes(
+    base: &Plan,
+    optical: &Graph,
+    ip: &IpTopology,
+    cfg: &PlannerConfig,
+    candidate_routes: Vec<Vec<Route>>,
+) -> Plan {
     let scheme: Scheme = base.scheme;
     let model = scheme.transponder();
     let align = scheme.alignment_pixels().max(cfg.min_alignment);
-    let none = std::collections::HashSet::new();
 
     // Replay the live spectrum.
     let mut spectrum = SpectrumState::new(cfg.grid, optical.num_edges());
@@ -49,13 +86,6 @@ pub fn plan_incremental(
             .occupy_exact(&w.path, &w.channel)
             .expect("base plan is conflict-free");
     }
-
-    // Candidate routes for every link in the new demand set.
-    let candidate_routes: Vec<_> = ip
-        .links()
-        .iter()
-        .map(|l| k_shortest_routes(optical, l.src, l.dst, cfg.k_paths, &none))
-        .collect();
 
     // Deficits, most-constrained first (same discipline as fresh planning).
     let mut order: Vec<usize> = (0..ip.num_links()).collect();
@@ -174,6 +204,19 @@ mod tests {
                 l.id
             );
         }
+    }
+
+    #[test]
+    fn cached_incremental_matches_plain() {
+        let (g, ip) = backbone();
+        let base = plan(Scheme::FlexWan, &g, &ip, &cfg());
+        let grown = ip.scaled(2);
+        let cache = RouteCache::new();
+        let plain = plan_incremental(&base, &g, &grown, &cfg());
+        let cached = plan_incremental_cached(&base, &g, &grown, &cfg(), &cache);
+        assert_eq!(plain.wavelengths, cached.wavelengths);
+        assert_eq!(plain.unmet, cached.unmet);
+        assert_eq!(cache.misses() as usize, grown.num_links());
     }
 
     #[test]

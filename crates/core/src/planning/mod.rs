@@ -14,8 +14,11 @@ pub mod mip;
 pub mod report;
 pub mod spectrum;
 
-pub use heuristic::{max_feasible_scale, plan, LinkOrder, Plan, PlannerConfig};
-pub use incremental::plan_incremental;
+pub use heuristic::{
+    max_feasible_scale, max_feasible_scale_cached, plan, plan_cached, LinkOrder, Plan,
+    PlannerConfig,
+};
+pub use incremental::{plan_incremental, plan_incremental_cached};
 pub use mip::{solve_exact, ExactPlan};
 pub use report::{cdf, mean, percent_saved, report, PlanReport};
 pub use spectrum::SpectrumState;

@@ -11,9 +11,11 @@
 //! and spectrum cost; restoration recovers more cheaply but is bounded by
 //! residual spectrum when the network runs hot.
 
+use flexwan_topo::cache::RouteCache;
 use flexwan_topo::graph::{Graph, NodeId};
 use flexwan_topo::ip::{IpLinkId, IpTopology};
-use flexwan_topo::route::{k_shortest_routes, Route};
+use flexwan_topo::ksp::DijkstraScratch;
+use flexwan_topo::route::{k_shortest_routes_scratch, Route};
 
 use crate::planning::format_dp::select_formats;
 use crate::planning::heuristic::PlannerConfig;
@@ -130,9 +132,46 @@ pub fn plan_protected(
     ip: &IpTopology,
     cfg: &PlannerConfig,
 ) -> ProtectedPlan {
+    let none = std::collections::HashSet::new();
+    let mut scratch = DijkstraScratch::new();
+    let routes_per_link: Vec<Vec<Route>> = ip
+        .links()
+        .iter()
+        .map(|l| {
+            k_shortest_routes_scratch(optical, l.src, l.dst, cfg.k_paths.max(4), &none, &mut scratch)
+        })
+        .collect();
+    plan_protected_with_routes(scheme, optical, ip, cfg, routes_per_link)
+}
+
+/// [`plan_protected`] with candidate routes served by `cache` (note the
+/// deeper `k_paths.max(4)` key, distinct from the unprotected planner's).
+/// Output is bit-identical to [`plan_protected`].
+pub fn plan_protected_cached(
+    scheme: Scheme,
+    optical: &Graph,
+    ip: &IpTopology,
+    cfg: &PlannerConfig,
+    cache: &RouteCache,
+) -> ProtectedPlan {
+    let none = std::collections::HashSet::new();
+    let routes_per_link: Vec<Vec<Route>> = ip
+        .links()
+        .iter()
+        .map(|l| (*cache.routes(optical, l.src, l.dst, cfg.k_paths.max(4), &none)).clone())
+        .collect();
+    plan_protected_with_routes(scheme, optical, ip, cfg, routes_per_link)
+}
+
+fn plan_protected_with_routes(
+    scheme: Scheme,
+    optical: &Graph,
+    ip: &IpTopology,
+    cfg: &PlannerConfig,
+    routes_per_link: Vec<Vec<Route>>,
+) -> ProtectedPlan {
     let model = scheme.transponder();
     let align = scheme.alignment_pixels().max(cfg.min_alignment);
-    let none = std::collections::HashSet::new();
     let mut spectrum = SpectrumState::new(cfg.grid, optical.num_edges());
     let mut working = Vec::new();
     let mut protection = Vec::new();
@@ -140,11 +179,6 @@ pub fn plan_protected(
     let mut unmet = Vec::new();
 
     // Most-constrained first, as in the unprotected planner.
-    let routes_per_link: Vec<Vec<Route>> = ip
-        .links()
-        .iter()
-        .map(|l| k_shortest_routes(optical, l.src, l.dst, cfg.k_paths.max(4), &none))
-        .collect();
     let mut order: Vec<usize> = (0..ip.num_links()).collect();
     order.sort_by_key(|&i| {
         let len = routes_per_link[i].first().map_or(u32::MAX, |r| r.length_km);
@@ -237,6 +271,18 @@ mod tests {
         // Compare against the unprotected plan: exactly double here.
         let unp = crate::planning::plan(Scheme::FlexWan, &g, &ip, &cfg());
         assert_eq!(pp.transponder_count(), 2 * unp.transponder_count());
+    }
+
+    #[test]
+    fn cached_protection_matches_plain() {
+        let (g, ip) = diamond();
+        let cache = RouteCache::new();
+        let plain = plan_protected(Scheme::FlexWan, &g, &ip, &cfg());
+        let cached = plan_protected_cached(Scheme::FlexWan, &g, &ip, &cfg(), &cache);
+        assert_eq!(plain.working, cached.working);
+        assert_eq!(plain.protection, cached.protection);
+        assert_eq!(plain.unmet, cached.unmet);
+        assert_eq!(cache.misses(), 1);
     }
 
     #[test]

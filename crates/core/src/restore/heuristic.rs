@@ -18,9 +18,13 @@
 //! link back into the spare pool; see
 //! [`flexwan_plus_extra_spares`].
 
+use std::sync::Arc;
+
+use flexwan_topo::cache::RouteCache;
 use flexwan_topo::graph::Graph;
 use flexwan_topo::ip::{IpLinkId, IpTopology};
-use flexwan_topo::route::{k_shortest_routes, Route};
+use flexwan_topo::ksp::DijkstraScratch;
+use flexwan_topo::route::{k_shortest_routes_scratch, Route};
 
 use crate::planning::format_dp::{reachable_formats, select_formats};
 use crate::planning::heuristic::{Plan, PlannerConfig};
@@ -40,7 +44,7 @@ pub struct RestoredWavelength {
 }
 
 /// The outcome of restoring one failure scenario.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Restoration {
     /// The scenario restored.
     pub scenario_id: usize,
@@ -76,6 +80,35 @@ pub fn restore(
     scenario: &FailureScenario,
     extra_spares: &[u32],
     cfg: &PlannerConfig,
+) -> Restoration {
+    restore_impl(plan, optical, ip, scenario, extra_spares, cfg, None)
+}
+
+/// [`restore`] with the post-failure candidate routes served by `cache`.
+/// Restoration routes depend on the banned (cut) fiber set but not on the
+/// scheme or demand scale, so sweeping 3 schemes × N scales over the same
+/// scenario set re-enumerates nothing after the first pass. Output is
+/// bit-identical to [`restore`].
+pub fn restore_cached(
+    plan: &Plan,
+    optical: &Graph,
+    ip: &IpTopology,
+    scenario: &FailureScenario,
+    extra_spares: &[u32],
+    cfg: &PlannerConfig,
+    cache: &RouteCache,
+) -> Restoration {
+    restore_impl(plan, optical, ip, scenario, extra_spares, cfg, Some(cache))
+}
+
+fn restore_impl(
+    plan: &Plan,
+    optical: &Graph,
+    ip: &IpTopology,
+    scenario: &FailureScenario,
+    extra_spares: &[u32],
+    cfg: &PlannerConfig,
+    cache: Option<&RouteCache>,
 ) -> Restoration {
     assert!(extra_spares.is_empty() || extra_spares.len() >= ip.num_links());
     let banned = scenario.banned();
@@ -130,10 +163,20 @@ pub fn restore(
     let mut restored: Vec<RestoredWavelength> = Vec::new();
     let mut per_link = Vec::new();
 
+    let mut scratch = DijkstraScratch::new();
     for hit in &hits {
         let link = ip.link(hit.link);
-        let routes: Vec<Route> =
-            k_shortest_routes(optical, link.src, link.dst, cfg.k_paths, &banned);
+        let routes: Arc<Vec<Route>> = match cache {
+            Some(c) => c.routes(optical, link.src, link.dst, cfg.k_paths, &banned),
+            None => Arc::new(k_shortest_routes_scratch(
+                optical,
+                link.src,
+                link.dst,
+                cfg.k_paths,
+                &banned,
+                &mut scratch,
+            )),
+        };
         let mut remaining = hit.lost_gbps;
         let mut spares = hit.spares;
         'routes: for (k, route) in routes.iter().enumerate() {
@@ -257,6 +300,34 @@ mod tests {
         assert_eq!(r.restored_gbps, 300);
         assert!((r.capability() - 1.0).abs() < 1e-9);
         assert_eq!(r.restored[0].wavelength.format.spacing.ghz(), 87.5);
+    }
+
+    #[test]
+    fn cached_restore_is_bit_identical_and_keyed_by_cut_set() {
+        let (g, ip) = square();
+        let cache = RouteCache::new();
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg());
+        for cut_edge in [0u32, 1, 2] {
+            let cut = FailureScenario {
+                id: cut_edge as usize,
+                cuts: vec![EdgeId(cut_edge)],
+                probability: 1.0,
+            };
+            let plain = restore(&p, &g, &ip, &cut, &[], &cfg());
+            let cached = restore_cached(&p, &g, &ip, &cut, &[], &cfg(), &cache);
+            assert_eq!(plain, cached, "cut {cut_edge}");
+        }
+        // Repeating the sweep must be all hits, no recomputation.
+        let misses = cache.misses();
+        for cut_edge in [0u32, 1, 2] {
+            let cut = FailureScenario {
+                id: cut_edge as usize,
+                cuts: vec![EdgeId(cut_edge)],
+                probability: 1.0,
+            };
+            let _ = restore_cached(&p, &g, &ip, &cut, &[], &cfg(), &cache);
+        }
+        assert_eq!(cache.misses(), misses, "second sweep recomputed routes");
     }
 
     #[test]

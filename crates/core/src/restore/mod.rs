@@ -11,7 +11,9 @@ pub mod mip;
 pub mod report;
 pub mod scenario;
 
-pub use heuristic::{flexwan_plus_extra_spares, restore, Restoration, RestoredWavelength};
+pub use heuristic::{
+    flexwan_plus_extra_spares, restore, restore_cached, Restoration, RestoredWavelength,
+};
 pub use mip::{solve_exact as solve_restoration_exact, ExactRestoration};
 pub use report::{report as restore_report, RestoreReport};
 pub use scenario::{conduit_cut_scenarios, one_fiber_scenarios, probabilistic_scenarios, FailureScenario};

@@ -3,7 +3,7 @@
 use crate::restore::heuristic::Restoration;
 
 /// Metrics aggregated over a set of failure scenarios.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RestoreReport {
     /// Per-scenario restoration capability (revived / lost).
     pub capabilities: Vec<f64>,

@@ -1,0 +1,231 @@
+//! Memoized candidate-route enumeration.
+//!
+//! Candidate routes depend only on the optical graph, the endpoints, `k`
+//! and the banned-fiber set — **not** on the scheme being planned or the
+//! demand scale. The evaluation sweeps (3 schemes × N scales × the
+//! conduit-cut scenario set) therefore re-ran Yen's algorithm on
+//! identical inputs dozens of times. A [`RouteCache`] computes each
+//! distinct `(src, dst, k, banned)` query once and hands out shared
+//! [`Arc`]s afterwards.
+//!
+//! The cache is thread-safe and deterministic: `k_shortest_routes` is a
+//! pure function of the key, so whichever thread computes a missing entry
+//! first, every reader sees the same routes. Under a concurrent miss the
+//! same key may be computed twice; the first insertion wins and the
+//! duplicate is dropped — wasted work, never wrong answers.
+//!
+//! One cache serves **one** graph: the key does not identify the graph,
+//! so callers must not share a cache across different topologies (or
+//! across mutations of one topology). The planners hold the cache only
+//! for the duration of a sweep over a fixed backbone.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::ksp::DijkstraScratch;
+use crate::route::{k_shortest_routes_scratch, Route};
+
+/// A route query identity: endpoints, depth, and the banned fibers in
+/// canonical (sorted) order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    banned: Vec<EdgeId>,
+}
+
+/// Thread-safe memoization of [`k_shortest_routes`] for one graph.
+///
+/// [`k_shortest_routes`]: crate::route::k_shortest_routes
+#[derive(Debug, Default)]
+pub struct RouteCache {
+    map: Mutex<HashMap<Key, Arc<Vec<Route>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RouteCache {
+    /// An empty cache.
+    pub fn new() -> RouteCache {
+        RouteCache::default()
+    }
+
+    /// The `k` shortest node-distinct routes from `src` to `dst` avoiding
+    /// `banned`, computed on first use and shared afterwards. Identical
+    /// to calling [`k_shortest_routes`] directly, minus the recompute.
+    ///
+    /// [`k_shortest_routes`]: crate::route::k_shortest_routes
+    pub fn routes(
+        &self,
+        graph: &Graph,
+        src: NodeId,
+        dst: NodeId,
+        k: usize,
+        banned: &HashSet<EdgeId>,
+    ) -> Arc<Vec<Route>> {
+        let mut sorted: Vec<EdgeId> = banned.iter().copied().collect();
+        sorted.sort_unstable();
+        let key = Key { src, dst, k, banned: sorted };
+        if let Some(found) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        // Compute outside the lock: a slow Yen run must not serialize
+        // every other thread's hits. Concurrent misses on the same key
+        // duplicate the (deterministic) work; the first insert wins.
+        let computed = Arc::new(k_shortest_routes_scratch(
+            graph,
+            src,
+            dst,
+            k,
+            banned,
+            &mut DijkstraScratch::new(),
+        ));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().unwrap();
+        Arc::clone(map.entry(key).or_insert(computed))
+    }
+
+    /// Queries answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that ran Yen's algorithm (including concurrent duplicates
+    /// whose result was then discarded in favour of the first insert).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct keys currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry and zeroes the hit/miss counters — required
+    /// before reusing a cache after the underlying graph changed.
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::k_shortest_routes;
+
+    /// a ==2 fibers== b ==2 fibers== c, plus a direct long a–c fiber.
+    fn plant() -> (Graph, [NodeId; 3]) {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 50); // e0
+        g.add_edge(a, b, 52); // e1
+        g.add_edge(b, c, 60); // e2
+        g.add_edge(b, c, 62); // e3
+        g.add_edge(a, c, 400); // e4
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn cached_equals_direct_and_counts_hits() {
+        let (g, [a, _, c]) = plant();
+        let cache = RouteCache::new();
+        let none = HashSet::new();
+        let first = cache.routes(&g, a, c, 5, &none);
+        assert_eq!(*first, k_shortest_routes(&g, a, c, 5, &none));
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let second = cache.routes(&g, a, c, 5, &none);
+        assert!(Arc::ptr_eq(&first, &second), "hit must share the entry");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_banned_sets_are_distinct_entries() {
+        // The poisoning hazard: a cut-fiber query must never return the
+        // uncut route set (or vice versa).
+        let (g, [a, _, c]) = plant();
+        let cache = RouteCache::new();
+        let none = HashSet::new();
+        let uncut = cache.routes(&g, a, c, 5, &none);
+        let cut: HashSet<_> = [EdgeId(0), EdgeId(1)].into_iter().collect();
+        let after = cache.routes(&g, a, c, 5, &cut);
+        assert_eq!(cache.misses(), 2, "different ban sets must both miss");
+        assert_ne!(*uncut, *after);
+        for route in after.iter() {
+            assert!(!route.may_use(EdgeId(0)) && !route.may_use(EdgeId(1)));
+        }
+        assert_eq!(*after, k_shortest_routes(&g, a, c, 5, &cut));
+        // Re-querying the uncut set still returns the uncut entry.
+        assert_eq!(*cache.routes(&g, a, c, 5, &none), *uncut);
+    }
+
+    #[test]
+    fn ban_set_key_is_order_canonical() {
+        let (g, [a, _, c]) = plant();
+        let cache = RouteCache::new();
+        // HashSet iteration order differs between these two constructions;
+        // the sorted key must collapse them onto one entry.
+        let fwd: HashSet<_> = [EdgeId(0), EdgeId(2)].into_iter().collect();
+        let rev: HashSet<_> = [EdgeId(2), EdgeId(0)].into_iter().collect();
+        let x = cache.routes(&g, a, c, 5, &fwd);
+        let y = cache.routes(&g, a, c, 5, &rev);
+        assert!(Arc::ptr_eq(&x, &y));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn distinct_k_and_endpoints_are_distinct_entries() {
+        let (g, [a, b, c]) = plant();
+        let cache = RouteCache::new();
+        let none = HashSet::new();
+        let _ = cache.routes(&g, a, c, 1, &none);
+        let _ = cache.routes(&g, a, c, 5, &none);
+        let _ = cache.routes(&g, a, b, 5, &none);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_readers_agree() {
+        let (g, [a, _, c]) = plant();
+        let cache = RouteCache::new();
+        let none = HashSet::new();
+        let expected = k_shortest_routes(&g, a, c, 5, &none);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (cache, g, none, expected) = (&cache, &g, &none, &expected);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(*cache.routes(g, a, c, 5, none), *expected);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits() + cache.misses(), 200);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let (g, [a, _, c]) = plant();
+        let cache = RouteCache::new();
+        let none = HashSet::new();
+        let _ = cache.routes(&g, a, c, 5, &none);
+        let _ = cache.routes(&g, a, c, 5, &none);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+}

@@ -11,6 +11,43 @@ use std::collections::{BinaryHeap, HashSet};
 use crate::graph::{EdgeId, Graph, NodeId};
 use crate::path::Path;
 
+/// Reusable Dijkstra working memory: distance/predecessor arenas and the
+/// frontier heap. One Yen run performs `O(k · |path|)` spur searches on
+/// the same graph; allocating these per search dominated the KSP hot path
+/// in the sweep profiles. The arenas are cleaned *sparsely* — only the
+/// entries the previous search actually touched are reset — so a search
+/// costs `O(settled)` to clean up, not `O(|V|)`.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<u64>,
+    prev: Vec<Option<(EdgeId, NodeId)>>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    touched: Vec<u32>,
+}
+
+impl DijkstraScratch {
+    /// A fresh scratch; arenas grow lazily to the graph's node count.
+    pub fn new() -> DijkstraScratch {
+        DijkstraScratch::default()
+    }
+
+    /// Prepares the arenas for a search over `n` nodes: grows them if the
+    /// graph is larger than any seen before, then sparsely resets the
+    /// entries dirtied by the previous search.
+    fn reset(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, u64::MAX);
+            self.prev.resize(n, None);
+        }
+        for &u in &self.touched {
+            self.dist[u as usize] = u64::MAX;
+            self.prev[u as usize] = None;
+        }
+        self.touched.clear();
+        self.heap.clear();
+    }
+}
+
 /// Dijkstra shortest path from `src` to `dst` avoiding `banned` edges.
 ///
 /// Ties between equal-length paths are broken deterministically by edge id
@@ -21,7 +58,19 @@ pub fn shortest_path(
     dst: NodeId,
     banned: &HashSet<EdgeId>,
 ) -> Option<Path> {
-    shortest_path_banning_nodes(graph, src, dst, banned, &HashSet::new())
+    shortest_path_scratch(graph, src, dst, banned, &mut DijkstraScratch::new())
+}
+
+/// [`shortest_path`] over caller-owned scratch memory — for callers that
+/// run many searches on one graph (Yen, the route cache's miss path).
+pub fn shortest_path_scratch(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    banned: &HashSet<EdgeId>,
+    scratch: &mut DijkstraScratch,
+) -> Option<Path> {
+    shortest_path_banning_nodes(graph, src, dst, banned, &HashSet::new(), scratch)
 }
 
 /// Dijkstra avoiding both banned edges and banned (interior) nodes —
@@ -32,15 +81,16 @@ fn shortest_path_banning_nodes(
     dst: NodeId,
     banned_edges: &HashSet<EdgeId>,
     banned_nodes: &HashSet<NodeId>,
+    scratch: &mut DijkstraScratch,
 ) -> Option<Path> {
     let n = graph.num_nodes();
     if src.0 as usize >= n || dst.0 as usize >= n || banned_nodes.contains(&src) {
         return None;
     }
-    let mut dist: Vec<u64> = vec![u64::MAX; n];
-    let mut prev: Vec<Option<(EdgeId, NodeId)>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
+    scratch.reset(n);
+    let DijkstraScratch { dist, prev, heap, touched } = scratch;
     dist[src.0 as usize] = 0;
+    touched.push(src.0);
     heap.push(Reverse((0u64, src.0)));
     while let Some(Reverse((d, u))) = heap.pop() {
         if d > dist[u as usize] {
@@ -67,6 +117,9 @@ fn shortest_path_banning_nodes(
                 || (nd == dist[v.0 as usize]
                     && prev[v.0 as usize].is_some_and(|(pe, _)| e < pe));
             if better {
+                if dist[v.0 as usize] == u64::MAX {
+                    touched.push(v.0);
+                }
                 dist[v.0 as usize] = nd;
                 prev[v.0 as usize] = Some((e, u_node));
                 heap.push(Reverse((nd, v.0)));
@@ -103,10 +156,24 @@ pub fn k_shortest_paths(
     k: usize,
     banned: &HashSet<EdgeId>,
 ) -> Vec<Path> {
+    k_shortest_paths_scratch(graph, src, dst, k, banned, &mut DijkstraScratch::new())
+}
+
+/// [`k_shortest_paths`] over caller-owned Dijkstra scratch memory, shared
+/// across every spur search of the Yen run (and across runs, when the
+/// caller loops over many endpoint pairs of one graph).
+pub fn k_shortest_paths_scratch(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    banned: &HashSet<EdgeId>,
+    scratch: &mut DijkstraScratch,
+) -> Vec<Path> {
     if k == 0 {
         return Vec::new();
     }
-    let first = match shortest_path(graph, src, dst, banned) {
+    let first = match shortest_path_scratch(graph, src, dst, banned, scratch) {
         Some(p) => p,
         None => return Vec::new(),
     };
@@ -116,6 +183,9 @@ pub fn k_shortest_paths(
     let mut candidates: Vec<Path> = Vec::new();
     let mut seen: HashSet<Vec<EdgeId>> = HashSet::new();
     seen.insert(result[0].edges.clone());
+    // Spur-ban buffer, cleared and refilled per spur instead of cloning
+    // the global ban set every iteration.
+    let mut banned_edges: HashSet<EdgeId> = HashSet::new();
 
     while result.len() < k {
         let last = result.last().expect("at least one accepted path").clone();
@@ -127,7 +197,8 @@ pub fn k_shortest_paths(
 
             // Ban edges that would recreate any accepted path sharing this
             // root, plus all globally banned edges.
-            let mut banned_edges = banned.clone();
+            banned_edges.clear();
+            banned_edges.extend(banned.iter().copied());
             for p in result.iter() {
                 if p.edges.len() > i && p.edges[..i] == root_edges[..] && p.nodes[..=i] == root_nodes[..] {
                     banned_edges.insert(p.edges[i]);
@@ -137,9 +208,14 @@ pub fn k_shortest_paths(
             let banned_nodes: HashSet<NodeId> =
                 root_nodes[..i].iter().copied().collect();
 
-            if let Some(spur) =
-                shortest_path_banning_nodes(graph, spur_node, dst, &banned_edges, &banned_nodes)
-            {
+            if let Some(spur) = shortest_path_banning_nodes(
+                graph,
+                spur_node,
+                dst,
+                &banned_edges,
+                &banned_nodes,
+                scratch,
+            ) {
                 let mut nodes = root_nodes;
                 nodes.extend_from_slice(&spur.nodes[1..]);
                 let mut edges = root_edges;
@@ -280,6 +356,30 @@ mod tests {
         for p in &after {
             assert!(!p.uses_edge(cut), "restored path must avoid the cut fiber");
         }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        // One arena across repeated Yen runs, bans, and a different
+        // (smaller) graph: sparse cleanup must leave no stale state.
+        let (g, c, h) = sample();
+        let mut scratch = DijkstraScratch::new();
+        for _ in 0..3 {
+            let reused = k_shortest_paths_scratch(&g, c, h, 4, &HashSet::new(), &mut scratch);
+            assert_eq!(reused, k_shortest_paths(&g, c, h, 4, &HashSet::new()));
+        }
+        let cut: HashSet<_> =
+            [k_shortest_paths(&g, c, h, 1, &HashSet::new())[0].edges[0]].into_iter().collect();
+        assert_eq!(
+            k_shortest_paths_scratch(&g, c, h, 3, &cut, &mut scratch),
+            k_shortest_paths(&g, c, h, 3, &cut)
+        );
+        let mut g2 = Graph::new();
+        let a2 = g2.add_node("a");
+        let b2 = g2.add_node("b");
+        g2.add_edge(a2, b2, 3);
+        let p = shortest_path_scratch(&g2, a2, b2, &HashSet::new(), &mut scratch).unwrap();
+        assert_eq!(p.length_km, 3);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cernet;
 pub mod demand;
 pub mod geo;
@@ -26,10 +27,11 @@ pub mod path;
 pub mod route;
 pub mod tbackbone;
 
+pub use cache::RouteCache;
 pub use demand::{arrow_ip_topology, ArrowDemandConfig};
 pub use graph::{Edge, EdgeId, Graph, Node, NodeId};
 pub use ip::{IpLink, IpLinkId, IpTopology};
-pub use ksp::{k_shortest_paths, shortest_path};
+pub use ksp::{k_shortest_paths, shortest_path, DijkstraScratch};
 pub use path::Path;
 pub use route::{conduits, k_shortest_routes, Route};
 pub use tbackbone::{t_backbone, Backbone, TBackboneConfig};

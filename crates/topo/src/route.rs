@@ -12,7 +12,7 @@ use std::collections::{HashMap, HashSet};
 
 
 use crate::graph::{EdgeId, Graph, NodeId};
-use crate::ksp::k_shortest_paths;
+use crate::ksp::{k_shortest_paths_scratch, DijkstraScratch};
 use crate::path::Path;
 
 /// A node-distinct route with the parallel-fiber alternatives per hop.
@@ -62,6 +62,21 @@ pub fn k_shortest_routes(
     k: usize,
     banned: &HashSet<EdgeId>,
 ) -> Vec<Route> {
+    k_shortest_routes_scratch(graph, src, dst, k, banned, &mut DijkstraScratch::new())
+}
+
+/// [`k_shortest_routes`] over caller-owned Dijkstra scratch memory —
+/// callers that enumerate routes for many endpoint pairs on one graph
+/// (the planner's per-link loop, the route cache's miss path) reuse one
+/// arena instead of reallocating per call.
+pub fn k_shortest_routes_scratch(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    banned: &HashSet<EdgeId>,
+    scratch: &mut DijkstraScratch,
+) -> Vec<Route> {
     // Collapsed graph: one edge per unordered node pair, weight = max
     // usable parallel length (so route ordering matches the conservative
     // route length).
@@ -93,7 +108,7 @@ pub fn k_shortest_routes(
         group_of.push(members);
     }
 
-    k_shortest_paths(&collapsed, src, dst, k, &HashSet::new())
+    k_shortest_paths_scratch(&collapsed, src, dst, k, &HashSet::new(), scratch)
         .into_iter()
         .map(|p| Route {
             length_km: p.length_km,

@@ -9,11 +9,15 @@
 //!   [`json::ToJson`]/[`json::FromJson`] traits replacing
 //!   `serde`/`serde_json`;
 //! * [`sync`] — an unbounded MPMC channel with clonable receivers and
-//!   `recv_timeout`, replacing `crossbeam::channel`.
+//!   `recv_timeout`, replacing `crossbeam::channel`;
+//! * [`pool`] — a scoped worker pool with deterministic `par_map`
+//!   (fixed chunking, input-order results, thread-count-invariant
+//!   output) for the evaluation sweeps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod pool;
 pub mod rng;
 pub mod sync;

@@ -1,0 +1,198 @@
+//! A small scoped worker pool with *deterministic* parallel map.
+//!
+//! The evaluation sweeps (schemes × scales × failure scenarios) are
+//! embarrassingly parallel, but the repo's contract — byte-identical
+//! output for any thread count, the same discipline as the solver's
+//! batch-parallel branch & bound — rules out naive work stealing with
+//! order-dependent reduction. [`par_map`] and [`par_map_indexed`] give
+//! the safe shape:
+//!
+//! * work items are split into **fixed contiguous chunks** handed to
+//!   workers over the in-tree MPMC channel;
+//! * each item is mapped by a pure function of the item (never of the
+//!   thread or of other in-flight items);
+//! * results are returned **in input order**, whatever order workers
+//!   finished in.
+//!
+//! Consequently `par_map(items, t, f)` equals `items.iter().map(f)` for
+//! every `t` — callers may reduce the returned vector sequentially and
+//! stay bit-deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on auto-detected worker threads (sweeps are memory-light;
+/// beyond this the channel coordination dominates).
+pub const MAX_AUTO_THREADS: usize = 8;
+
+/// Environment variable overriding the auto-detected thread count
+/// (`0`/unset = auto). Lets CI and the bench harness pin serial vs
+/// parallel runs without recompiling.
+pub const THREADS_ENV: &str = "FLEXWAN_THREADS";
+
+/// The worker-thread count used when a caller passes `threads == 0`:
+/// [`THREADS_ENV`] when set to a positive integer, otherwise the
+/// machine's available parallelism capped at [`MAX_AUTO_THREADS`].
+pub fn default_threads() -> usize {
+    if let Ok(s) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |p| p.get()).min(MAX_AUTO_THREADS)
+}
+
+/// How one [`par_map`] call used the pool — fodder for the
+/// pool-utilization gauges in `flexwan-obs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads that ran (1 = the call degenerated to serial).
+    pub threads: usize,
+    /// Items mapped.
+    pub items: usize,
+    /// Fixed contiguous chunks the items were split into.
+    pub chunks: usize,
+}
+
+/// Deterministic parallel map: `f` applied to every item, results in
+/// input order, output invariant to `threads` (`0` = auto; `1` = serial
+/// in-place). `f` must be pure per item for the contract to mean
+/// anything — it is called exactly once per item either way.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items, threads, |_, item| f(item)).0
+}
+
+/// [`par_map`] with the item index passed to `f`. Returns the mapped
+/// vector plus the [`PoolStats`] of the run.
+pub fn par_map_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> (Vec<R>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = if threads == 0 { default_threads() } else { threads };
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        let out: Vec<R> = items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        let stats = PoolStats { threads: 1, items: items.len(), chunks: 1.min(items.len()) };
+        return (out, stats);
+    }
+
+    // Fixed chunking: contiguous ranges of ~4 chunks per worker, so a
+    // straggler chunk cannot idle the rest of the pool for long while
+    // chunk boundaries stay cheap to coordinate.
+    let chunk = items.len().div_ceil(workers * 4).max(1);
+    let (task_tx, task_rx) = crate::sync::unbounded::<std::ops::Range<usize>>();
+    let (res_tx, res_rx) = crate::sync::unbounded::<(usize, R)>();
+    let mut chunks = 0usize;
+    let mut start = 0usize;
+    while start < items.len() {
+        let end = (start + chunk).min(items.len());
+        let _ = task_tx.send(start..end);
+        chunks += 1;
+        start = end;
+    }
+    drop(task_tx);
+
+    let busy = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let res_tx = res_tx.clone();
+            let (f, busy, peak) = (&f, &busy, &peak);
+            scope.spawn(move || {
+                for range in task_rx.iter() {
+                    let now = busy.fetch_add(1, Ordering::Relaxed) + 1;
+                    peak.fetch_max(now, Ordering::Relaxed);
+                    for i in range {
+                        let _ = res_tx.send((i, f(i, &items[i])));
+                    }
+                    busy.fetch_sub(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    drop(res_tx);
+
+    // Reassemble in input order: scheduling decided only *when* each
+    // result arrived, never *where* it goes.
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    while let Some((i, r)) = res_rx.try_recv() {
+        debug_assert!(slots[i].is_none(), "item {i} mapped twice");
+        slots[i] = Some(r);
+    }
+    let out = slots
+        .into_iter()
+        .map(|s| s.expect("every item mapped exactly once"))
+        .collect();
+    (out, PoolStats { threads: workers, items: items.len(), chunks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn results_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, 4, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn output_is_thread_count_invariant() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial = par_map(&items, 1, |&x| x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+        for t in [2, 3, 4, 8] {
+            let parallel = par_map(&items, t, |&x| x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+            assert_eq!(parallel, serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn every_item_mapped_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let items: Vec<usize> = (0..33).collect();
+        let (out, stats) = par_map_indexed(&items, 4, |i, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, x);
+            i
+        });
+        assert_eq!(out.len(), 33);
+        assert_eq!(calls.load(Ordering::Relaxed), 33);
+        assert_eq!(stats.items, 33);
+        assert!(stats.chunks >= stats.threads.min(33));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(par_map(&empty, 4, |&x| x), Vec::<u32>::new());
+        let one = vec![7u32];
+        let (out, stats) = par_map_indexed(&one, 4, |_, &x| x + 1);
+        assert_eq!(out, vec![8]);
+        assert_eq!(stats.threads, 1, "one item degenerates to serial");
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let items: Vec<u32> = (0..10).collect();
+        assert_eq!(par_map(&items, 0, |&x| x + 1), (1..=10).collect::<Vec<_>>());
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn serial_stats_report_one_thread() {
+        let items: Vec<u32> = (0..5).collect();
+        let (_, stats) = par_map_indexed(&items, 1, |_, &x| x);
+        assert_eq!(stats, PoolStats { threads: 1, items: 5, chunks: 1 });
+    }
+}

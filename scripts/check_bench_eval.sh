@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Perf-regression gate for the PR 4 parallel/caching work.
+#
+# Compares a freshly generated BENCH_eval.json (first argument) against
+# the checked-in baseline (second argument, default
+# results/BENCH_eval.json): for each timed section (plan / restore /
+# sweep) the new serial and parallel wall-times may be at most
+# TOLERANCE_PCT percent slower than the baseline. Deterministic fields
+# (route-cache hits/misses/entries) must match exactly — a changed count
+# means the memoization itself regressed, not the machine.
+#
+# Usage: scripts/check_bench_eval.sh BENCH_eval.json [results/BENCH_eval.json]
+set -euo pipefail
+
+new="${1:?usage: check_bench_eval.sh NEW.json [BASELINE.json]}"
+base="${2:-results/BENCH_eval.json}"
+tolerance_pct="${TOLERANCE_PCT:-25}"
+
+# POSIX awk only; the JSON is our own canonical pretty-printer's output
+# (one "key": value per line), so line-oriented extraction is exact.
+field() { # field FILE SECTION KEY -> number
+  awk -v section="\"$2\":" -v key="\"$3\":" '
+    $1 == section { insec = 1 }
+    insec && $1 == key { gsub(/,/, "", $2); print $2; exit }
+    insec && /^  \}/ { insec = 0 }
+  ' "$1"
+}
+
+bad=0
+for section in plan restore sweep; do
+  for kind in serial_ms parallel_ms; do
+    b=$(field "$base" "$section" "$kind")
+    n=$(field "$new" "$section" "$kind")
+    if [ -z "$b" ] || [ -z "$n" ]; then
+      echo "FAIL: $section.$kind missing (baseline='$b' new='$n')"
+      bad=1
+      continue
+    fi
+    ok=$(awk -v b="$b" -v n="$n" -v tol="$tolerance_pct" \
+      'BEGIN { print (n <= b * (1 + tol / 100)) ? 1 : 0 }')
+    verdict=ok
+    if [ "$ok" != 1 ]; then verdict="REGRESSED (>${tolerance_pct}%)"; bad=1; fi
+    printf '%-7s %-12s baseline %10.2fms  new %10.2fms  %s\n' \
+      "$section" "$kind" "$b" "$n" "$verdict"
+  done
+done
+
+for key in hits misses entries; do
+  b=$(field "$base" route_cache "$key")
+  n=$(field "$new" route_cache "$key")
+  if [ "$b" != "$n" ]; then
+    echo "FAIL: route_cache.$key changed: baseline $b, new $n"
+    bad=1
+  else
+    printf '%-7s %-12s %s (unchanged)\n' cache "$key" "$b"
+  fi
+done
+
+if [ "$bad" != 0 ]; then
+  echo "bench_eval regression check FAILED"
+  exit 1
+fi
+echo "bench_eval regression check passed (tolerance ${tolerance_pct}%)"
