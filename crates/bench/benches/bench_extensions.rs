@@ -54,7 +54,11 @@ fn bench_extensions(c: &mut Criterion) {
         .ip
         .links()
         .iter()
-        .map(|l| TrafficDemand { src: l.src, dst: l.dst, gbps: 0.6 * l.demand_gbps as f64 })
+        .map(|l| TrafficDemand {
+            src: l.src,
+            dst: l.dst,
+            gbps: 0.6 * l.demand_gbps as f64,
+        })
         .collect();
     c.bench_function("te/route_traffic_full_matrix", |b| {
         b.iter(|| route_traffic(black_box(&net), &traffic, 2))

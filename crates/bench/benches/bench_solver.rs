@@ -16,7 +16,11 @@ fn dense_lp(n: usize) -> Model {
         );
         m.le(expr, (10 + r % 7) as f64);
     }
-    let obj = LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| ((i % 4 + 1) as f64) * v));
+    let obj = LinExpr::sum(
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| ((i % 4 + 1) as f64) * v),
+    );
     m.set_objective(Sense::Maximize, obj);
     m
 }
@@ -25,9 +29,19 @@ fn dense_lp(n: usize) -> Model {
 fn knapsack(n: usize) -> Model {
     let mut m = Model::new();
     let items: Vec<_> = (0..n).map(|i| m.binary(format!("b{i}"))).collect();
-    let w = LinExpr::sum(items.iter().enumerate().map(|(i, &v)| ((i * 13 % 17 + 3) as f64) * v));
+    let w = LinExpr::sum(
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((i * 13 % 17 + 3) as f64) * v),
+    );
     m.le(w, (4 * n) as f64);
-    let value = LinExpr::sum(items.iter().enumerate().map(|(i, &v)| ((i * 7 % 11 + 1) as f64) * v));
+    let value = LinExpr::sum(
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((i * 7 % 11 + 1) as f64) * v),
+    );
     m.set_objective(Sense::Maximize, value);
     m
 }
@@ -35,7 +49,9 @@ fn knapsack(n: usize) -> Model {
 fn bench_solver(c: &mut Criterion) {
     for n in [10usize, 25] {
         let m = dense_lp(n);
-        c.bench_function(&format!("simplex/lp_{n}v"), |b| b.iter(|| black_box(&m).solve()));
+        c.bench_function(&format!("simplex/lp_{n}v"), |b| {
+            b.iter(|| black_box(&m).solve())
+        });
     }
     for n in [12usize, 18] {
         let m = knapsack(n);

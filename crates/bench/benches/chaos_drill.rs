@@ -38,13 +38,23 @@ fn backbone() -> (Graph, IpTopology) {
 
 fn main() {
     let (g, ip) = backbone();
-    let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+    let cfg = PlannerConfig {
+        grid: SpectrumGrid::new(96),
+        ..Default::default()
+    };
     let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
     assert!(p.is_feasible());
 
     println!(
         "{:>10} {:>6} {:>9} {:>8} {:>9} {:>12} {:>8} {:>12}",
-        "fault_rate", "seed", "passes", "retries", "repairs", "read_repairs", "trips", "converge_ms"
+        "fault_rate",
+        "seed",
+        "passes",
+        "retries",
+        "repairs",
+        "read_repairs",
+        "trips",
+        "converge_ms"
     );
     for &rate in &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
         for seed in 0..3u64 {
@@ -60,7 +70,10 @@ fn main() {
             let _ = ctrl.apply_plan(&p, &g);
             let report = ctrl.converge(&p, 64);
             let dt = t0.elapsed();
-            assert!(report.converged, "rate {rate} seed {seed} failed to converge");
+            assert!(
+                report.converged,
+                "rate {rate} seed {seed} failed to converge"
+            );
             let s = ctrl.stats();
             println!(
                 "{:>10.2} {:>6} {:>9} {:>8} {:>9} {:>12} {:>8} {:>12.2}",

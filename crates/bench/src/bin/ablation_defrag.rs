@@ -40,7 +40,12 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["retune budget", "unmet @5x (Gbps)", "unmet @6x (Gbps)", "max scale"],
+            &[
+                "retune budget",
+                "unmet @5x (Gbps)",
+                "unmet @6x (Gbps)",
+                "max scale"
+            ],
             &rows
         )
     );

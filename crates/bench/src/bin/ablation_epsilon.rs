@@ -15,17 +15,30 @@ fn main() {
     let rows: Vec<Vec<String>> = [0.0, 1e-4, 1e-3, 1e-2, 0.1, 1.0]
         .iter()
         .map(|&epsilon| {
-            let cfg = PlannerConfig { epsilon, ..default_config() };
+            let cfg = PlannerConfig {
+                epsilon,
+                ..default_config()
+            };
             let p = plan(Scheme::FlexWan, &b.optical, &b.ip, &cfg);
             vec![
                 format!("{epsilon}"),
                 p.transponder_count().to_string(),
                 format!("{:.0}", p.spectrum_usage_ghz()),
-                if p.is_feasible() { "yes".into() } else { "no".into() },
+                if p.is_feasible() {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]
         })
         .collect();
-    println!("{}", table::render(&["epsilon", "transponders", "spectrum GHz", "feasible"], &rows));
+    println!(
+        "{}",
+        table::render(
+            &["epsilon", "transponders", "spectrum GHz", "feasible"],
+            &rows
+        )
+    );
     println!("finding: on the SVT capability table the transponder-count-minimal");
     println!("solution is also spectrum-minimal (wide formats carry more bits per GHz),");
     println!("so ε does not move the optimum — it matters only for transponder");

@@ -40,10 +40,17 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["strategy", "transponders", "spectrum GHz", "unmet Gbps", "wavelengths moved"],
+            &[
+                "strategy",
+                "transponders",
+                "spectrum GHz",
+                "unmet Gbps",
+                "wavelengths moved"
+            ],
             &rows
         )
     );
-    let overhead = 100.0 * (p3.transponder_count() as f64 / fresh3.transponder_count() as f64 - 1.0);
+    let overhead =
+        100.0 * (p3.transponder_count() as f64 / fresh3.transponder_count() as f64 - 1.0);
     println!("incremental overhead: {overhead:+.1}% transponders for zero traffic impact.");
 }

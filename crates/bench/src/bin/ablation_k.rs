@@ -15,7 +15,10 @@ fn main() {
     let rows: Vec<Vec<String>> = [1usize, 2, 3, 5, 8]
         .iter()
         .map(|&k| {
-            let cfg = PlannerConfig { k_paths: k, ..default_config() };
+            let cfg = PlannerConfig {
+                k_paths: k,
+                ..default_config()
+            };
             let p = plan(Scheme::FlexWan, &b.optical, &b.ip, &cfg);
             let maxs = max_feasible_scale(Scheme::FlexWan, &b.optical, &b.ip, &cfg, 12);
             vec![
@@ -26,7 +29,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", table::render(&["K", "transponders", "unmet Gbps", "max scale"], &rows));
+    println!(
+        "{}",
+        table::render(&["K", "transponders", "unmet Gbps", "max scale"], &rows)
+    );
     println!("expected: more candidate routes raise the supportable scale, with");
     println!("diminishing returns once route diversity is exhausted.");
 }

@@ -23,7 +23,10 @@ fn main() {
     let rows: Vec<Vec<String>> = orders
         .into_iter()
         .map(|(name, order)| {
-            let cfg = PlannerConfig { order, ..default_config() };
+            let cfg = PlannerConfig {
+                order,
+                ..default_config()
+            };
             let p = plan(Scheme::FlexWan, &b.optical, &ip5, &cfg);
             vec![
                 name.to_string(),
@@ -33,5 +36,8 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", table::render(&["order", "transponders", "unmet Gbps", "peak util"], &rows));
+    println!(
+        "{}",
+        table::render(&["order", "transponders", "unmet Gbps", "peak util"], &rows)
+    );
 }

@@ -15,7 +15,10 @@ fn main() {
     let rows: Vec<Vec<String>> = [1u32, 2, 4, 6]
         .iter()
         .map(|&align| {
-            let cfg = PlannerConfig { min_alignment: align, ..default_config() };
+            let cfg = PlannerConfig {
+                min_alignment: align,
+                ..default_config()
+            };
             let p = plan(Scheme::FlexWan, &b.optical, &b.ip, &cfg);
             let maxs = max_feasible_scale(Scheme::FlexWan, &b.optical, &b.ip, &cfg, 12);
             vec![
@@ -26,7 +29,13 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", table::render(&["alignment", "transponders", "unmet Gbps", "max scale"], &rows));
+    println!(
+        "{}",
+        table::render(
+            &["alignment", "transponders", "unmet Gbps", "max scale"],
+            &rows
+        )
+    );
     println!("expected: coarser alignment fragments the spectrum and lowers the");
     println!("supportable scale — the value of the pixel-wise WSS.");
 }

@@ -28,7 +28,11 @@ fn main() {
     let restored = pool::par_map(&scenarios, threads, |s| {
         restore_cached(&p, &b.optical, &b.ip, s, &[], &cfg, &cache)
     });
-    let results: Vec<_> = scenarios.iter().map(|s| s.probability).zip(restored).collect();
+    let results: Vec<_> = scenarios
+        .iter()
+        .map(|s| s.probability)
+        .zip(restored)
+        .collect();
     let rest_cap = restore_report(&results).mean_capability();
 
     // 1+1 protection (disjoint-pair search uses k ≥ 4, a distinct cache
@@ -59,7 +63,13 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["resilience", "transponders", "spectrum GHz", "mean capability", "recovery"],
+            &[
+                "resilience",
+                "transponders",
+                "spectrum GHz",
+                "mean capability",
+                "recovery"
+            ],
             &rows
         )
     );

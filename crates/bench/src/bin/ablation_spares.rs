@@ -29,13 +29,18 @@ fn main() {
     let rows: Vec<Vec<String>> = [0.0, 0.5, 1.0, 2.0]
         .iter()
         .map(|&frac| {
-            let spares: Vec<u32> =
-                full.iter().map(|&s| (f64::from(s) * frac).round() as u32).collect();
+            let spares: Vec<u32> = full
+                .iter()
+                .map(|&s| (f64::from(s) * frac).round() as u32)
+                .collect();
             let restored = pool::par_map(&scenarios, threads, |s| {
                 restore_cached(&p, &b.optical, &ip5, s, &spares, &cfg, &cache)
             });
-            let results: Vec<_> =
-                scenarios.iter().map(|s| s.probability).zip(restored).collect();
+            let results: Vec<_> = scenarios
+                .iter()
+                .map(|s| s.probability)
+                .zip(restored)
+                .collect();
             let rep = restore_report(&results);
             let extra: u32 = spares.iter().sum();
             vec![
@@ -45,5 +50,11 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", table::render(&["spare pool", "extra transponders", "mean capability"], &rows));
+    println!(
+        "{}",
+        table::render(
+            &["spare pool", "extra transponders", "mean capability"],
+            &rows
+        )
+    );
 }

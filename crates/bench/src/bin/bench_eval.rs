@@ -1,7 +1,10 @@
-//! End-to-end timing harness for the PR 4 performance work: times the
-//! three sweep-heavy workloads (scheme planning, the full conduit-cut
-//! restoration sweep, the Figure 12 scale ladder) serially and on the
-//! deterministic pool, verifies the outputs are identical, and writes
+//! End-to-end timing harness: times the three sweep-heavy workloads
+//! (scheme planning, the full conduit-cut restoration sweep, the Figure
+//! 12 scale ladder) serially and on the deterministic pool, plus the
+//! exact-model section — standing Algorithm 1 build/solve and the
+//! restoration-as-mutation sweep warm vs from-scratch, with a build-cost
+//! scaling probe that pins the builder's linearity in the γ count.
+//! Verifies every repetition produces identical outputs and writes
 //! `BENCH_eval.json` (canonical JSON, sorted keys) for the CI regression
 //! gate (`scripts/check_bench_eval.sh` vs `results/BENCH_eval.json`).
 //!
@@ -11,10 +14,16 @@ use std::time::Instant;
 
 use flexwan_bench::experiments::{cost_vs_scale_threads, restoration_results};
 use flexwan_bench::instances::{default_config, tbackbone_instance};
-use flexwan_core::record_route_cache;
+use flexwan_core::planning::{PlanModel, PlannerConfig};
+use flexwan_core::restore::one_fiber_scenarios;
 use flexwan_core::Scheme;
+use flexwan_core::{record_opt_model, record_route_cache};
 use flexwan_obs::Obs;
+use flexwan_optical::spectrum::SpectrumGrid;
+use flexwan_solver::SolveOptions;
 use flexwan_topo::cache::RouteCache;
+use flexwan_topo::graph::Graph;
+use flexwan_topo::ip::IpTopology;
 use flexwan_util::json::{Num, Value};
 use flexwan_util::pool;
 
@@ -39,16 +48,65 @@ fn ms<R: PartialEq>(f: impl Fn() -> R) -> (R, f64) {
     (out.expect("REPS > 0"), best)
 }
 
+/// Fixed small instance for the exact-model (Algorithm 1 MIP) timings:
+/// the 4-node ring-plus-chord family of the validation suite, sized so
+/// exact B&B stays fast in release builds.
+fn exact_instance() -> (Graph, IpTopology, PlannerConfig) {
+    let mut g = Graph::new();
+    let a = g.add_node("a");
+    let b = g.add_node("b");
+    let c = g.add_node("c");
+    let d = g.add_node("d");
+    g.add_edge(a, b, 420);
+    g.add_edge(b, c, 360);
+    g.add_edge(c, d, 510);
+    g.add_edge(d, a, 280);
+    g.add_edge(a, c, 760);
+    let mut ip = IpTopology::new();
+    ip.add_link(a, b, 300);
+    ip.add_link(a, c, 200);
+    let cfg = PlannerConfig {
+        grid: SpectrumGrid::new(12),
+        k_paths: 2,
+        ..Default::default()
+    };
+    (g, ip, cfg)
+}
+
+/// Single-link instance used only to measure model *build* cost at a
+/// given grid size (never solved): γ count scales linearly with the
+/// pixel count, so a linear builder keeps per-γ cost flat while the old
+/// per-row full scans were quadratic.
+fn build_only_instance(pixels: u32) -> (Graph, IpTopology, PlannerConfig) {
+    let mut g = Graph::new();
+    let a = g.add_node("a");
+    let b = g.add_node("b");
+    g.add_edge(a, b, 400);
+    let mut ip = IpTopology::new();
+    ip.add_link(a, b, 400);
+    let cfg = PlannerConfig {
+        grid: SpectrumGrid::new(pixels),
+        k_paths: 1,
+        ..Default::default()
+    };
+    (g, ip, cfg)
+}
+
 fn pair(serial_ms: f64, parallel_ms: f64) -> Value {
     Value::obj([
         ("serial_ms", Value::Number(Num::F(serial_ms))),
         ("parallel_ms", Value::Number(Num::F(parallel_ms))),
-        ("speedup", Value::Number(Num::F(serial_ms / parallel_ms.max(1e-9)))),
+        (
+            "speedup",
+            Value::Number(Num::F(serial_ms / parallel_ms.max(1e-9))),
+        ),
     ])
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_eval.json".into());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_eval.json".into());
     let b = tbackbone_instance();
     let cfg = default_config();
     let threads = pool::default_threads();
@@ -62,13 +120,23 @@ fn main() {
     // Restore: every conduit-cut scenario against the FlexWAN plan.
     // Fresh cache inside every repetition so serial and parallel timings
     // both measure the cold-cache sweep.
-    let (rest_s, rest_s_ms) = ms(|| {
-        restoration_results(&b, &cfg, Scheme::FlexWan, 1, false, &RouteCache::new(), 1)
-    });
+    let (rest_s, rest_s_ms) =
+        ms(|| restoration_results(&b, &cfg, Scheme::FlexWan, 1, false, &RouteCache::new(), 1));
     let (rest_p, rest_p_ms) = ms(|| {
-        restoration_results(&b, &cfg, Scheme::FlexWan, 1, false, &RouteCache::new(), threads)
+        restoration_results(
+            &b,
+            &cfg,
+            Scheme::FlexWan,
+            1,
+            false,
+            &RouteCache::new(),
+            threads,
+        )
     });
-    assert_eq!(rest_s, rest_p, "restore output must be thread-count-invariant");
+    assert_eq!(
+        rest_s, rest_p,
+        "restore output must be thread-count-invariant"
+    );
     // One untimed pass with a fresh cache gives the deterministic
     // hit/miss/entry counts the regression gate pins exactly.
     let cache = RouteCache::new();
@@ -78,9 +146,92 @@ fn main() {
 
     // Sweep: the Figure 12 cost-vs-scale ladder.
     let (sweep_s, sweep_s_ms) = ms(|| cost_vs_scale_threads(&b, &cfg, SWEEP_MAX_SCALE, 1));
-    let (sweep_p, sweep_p_ms) =
-        ms(|| cost_vs_scale_threads(&b, &cfg, SWEEP_MAX_SCALE, threads));
-    assert_eq!(sweep_s, sweep_p, "sweep output must be thread-count-invariant");
+    let (sweep_p, sweep_p_ms) = ms(|| cost_vs_scale_threads(&b, &cfg, SWEEP_MAX_SCALE, threads));
+    assert_eq!(
+        sweep_s, sweep_p,
+        "sweep output must be thread-count-invariant"
+    );
+
+    // Exact model: standing Algorithm 1 build + solve, then the full
+    // single-fiber restoration sweep expressed as mutations of the
+    // standing model — once warm from the planning basis, once from
+    // scratch (basis dropped before every cut) — cross-checked equal.
+    let eopts = SolveOptions {
+        max_nodes: 200_000,
+        ..Default::default()
+    };
+    let mut exact_best = [f64::INFINITY; 4];
+    let mut exact_sig: Option<(usize, u64, Vec<u64>)> = None;
+    let mut exact_pm: Option<PlanModel> = None;
+    for _ in 0..REPS {
+        let (eg, eip, ecfg) = exact_instance();
+        let t = Instant::now();
+        let mut pm = PlanModel::build_restorable(Scheme::FlexWan, &eg, &eip, &ecfg);
+        let build = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let eplan = pm.solve(&eopts).expect("exact bench instance is feasible");
+        let solve = t.elapsed().as_secs_f64() * 1e3;
+        let scenarios = one_fiber_scenarios(&eg);
+        let t = Instant::now();
+        let warm: Vec<u64> = scenarios
+            .iter()
+            .map(|s| {
+                pm.restore_after_cut(&eg, s, &[], &eopts)
+                    .expect("warm mutated re-solve")
+                    .restored_gbps
+            })
+            .collect();
+        let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let scratch: Vec<u64> = scenarios
+            .iter()
+            .map(|s| {
+                pm.drop_basis();
+                pm.restore_after_cut(&eg, s, &[], &eopts)
+                    .expect("from-scratch mutated re-solve")
+                    .restored_gbps
+            })
+            .collect();
+        let scratch_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            warm, scratch,
+            "warm mutated re-solves must equal from-scratch"
+        );
+        let sig = (pm.space().gammas().len(), eplan.objective.to_bits(), warm);
+        if let Some(prev) = &exact_sig {
+            assert!(*prev == sig, "repeated exact runs must agree");
+        }
+        exact_sig = Some(sig);
+        for (slot, v) in [build, solve, warm_ms, scratch_ms].into_iter().enumerate() {
+            exact_best[slot] = exact_best[slot].min(v);
+        }
+        exact_pm = Some(pm);
+    }
+    let exact_sig = exact_sig.expect("REPS > 0");
+    let exact_restored: u64 = exact_sig.2.iter().sum();
+    record_opt_model(
+        &obs,
+        "bench_eval.exact",
+        exact_pm.as_ref().expect("REPS > 0"),
+    );
+
+    // Build-cost scaling: the γ count doubles with the grid, so a linear
+    // builder keeps the time ratio near the γ ratio (the pre-refactor
+    // per-row full scans were quadratic — ratio near the γ ratio squared).
+    let (gam_small, scale_small_ms) = ms(|| {
+        let (g, ip, cfg) = build_only_instance(2048);
+        PlanModel::build(Scheme::FlexWan, &g, &ip, &cfg)
+            .space()
+            .gammas()
+            .len()
+    });
+    let (gam_large, scale_large_ms) = ms(|| {
+        let (g, ip, cfg) = build_only_instance(4096);
+        PlanModel::build(Scheme::FlexWan, &g, &ip, &cfg)
+            .space()
+            .gammas()
+            .len()
+    });
 
     let doc = Value::obj([
         (
@@ -93,6 +244,34 @@ fn main() {
         ("plan", pair(plan_s_ms, plan_p_ms)),
         ("restore", pair(rest_s_ms, rest_p_ms)),
         ("sweep", pair(sweep_s_ms, sweep_p_ms)),
+        (
+            "exact",
+            Value::obj([
+                ("build_ms", Value::Number(Num::F(exact_best[0]))),
+                ("solve_ms", Value::Number(Num::F(exact_best[1]))),
+                ("resolve_warm_ms", Value::Number(Num::F(exact_best[2]))),
+                ("resolve_scratch_ms", Value::Number(Num::F(exact_best[3]))),
+                ("gammas", Value::Number(Num::U(exact_sig.0 as u64))),
+                ("restored_gbps_total", Value::Number(Num::U(exact_restored))),
+            ]),
+        ),
+        (
+            "exact_build_scaling",
+            Value::obj([
+                ("gammas_small", Value::Number(Num::U(gam_small as u64))),
+                ("small_ms", Value::Number(Num::F(scale_small_ms))),
+                ("gammas_large", Value::Number(Num::U(gam_large as u64))),
+                ("large_ms", Value::Number(Num::F(scale_large_ms))),
+                (
+                    "gamma_ratio",
+                    Value::Number(Num::F(gam_large as f64 / gam_small as f64)),
+                ),
+                (
+                    "time_ratio",
+                    Value::Number(Num::F(scale_large_ms / scale_small_ms.max(1e-9))),
+                ),
+            ]),
+        ),
         (
             "route_cache",
             Value::obj([
@@ -116,6 +295,17 @@ fn main() {
         cache.hits(),
         cache.misses(),
         cache.len()
+    );
+    println!(
+        "exact: build {:.2}ms solve {:.1}ms | resolve warm {:.1}ms vs scratch {:.1}ms \
+         ({} gammas, {exact_restored} Gbps restored across the sweep)",
+        exact_best[0], exact_best[1], exact_best[2], exact_best[3], exact_sig.0
+    );
+    println!(
+        "exact build scaling: {gam_small} gammas in {scale_small_ms:.2}ms -> {gam_large} \
+         gammas in {scale_large_ms:.2}ms (time ratio {:.2} vs gamma ratio {:.2})",
+        scale_large_ms / scale_small_ms.max(1e-9),
+        gam_large as f64 / gam_small as f64
     );
     print!("{}", obs.metrics_prometheus());
     eprintln!("wrote {out_path}");

@@ -13,11 +13,24 @@ fn main() {
     let rows: Vec<Vec<String>> = max_rate_curves(&distances)
         .into_iter()
         .map(|(d, svt, bvt, fixed)| {
-            vec![d.to_string(), table::opt(svt), table::opt(bvt), table::opt(fixed)]
+            vec![
+                d.to_string(),
+                table::opt(svt),
+                table::opt(bvt),
+                table::opt(fixed),
+            ]
         })
         .collect();
     println!(
         "{}",
-        table::render(&["distance (km)", "SVT (FlexWAN)", "BVT (RADWAN)", "100G fixed"], &rows)
+        table::render(
+            &[
+                "distance (km)",
+                "SVT (FlexWAN)",
+                "BVT (RADWAN)",
+                "100G fixed"
+            ],
+            &rows
+        )
     );
 }

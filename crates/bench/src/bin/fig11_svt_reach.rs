@@ -25,6 +25,9 @@ fn main() {
         .collect();
     println!(
         "{}",
-        table::render(&["rate", "spacing", "paper km", "simulated km", "ratio"], &rows)
+        table::render(
+            &["rate", "spacing", "paper km", "simulated km", "ratio"],
+            &rows
+        )
     );
 }

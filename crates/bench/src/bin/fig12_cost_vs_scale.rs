@@ -21,10 +21,18 @@ fn main() {
         .map(|(s, costs)| {
             let mut row = vec![format!("{s}x")];
             for c in &costs {
-                row.push(if c.feasible { c.transponders.to_string() } else { "-".into() });
+                row.push(if c.feasible {
+                    c.transponders.to_string()
+                } else {
+                    "-".into()
+                });
             }
             for c in &costs {
-                row.push(if c.feasible { format!("{:.0}", c.spectrum_ghz) } else { "-".into() });
+                row.push(if c.feasible {
+                    format!("{:.0}", c.spectrum_ghz)
+                } else {
+                    "-".into()
+                });
             }
             row
         })
@@ -32,7 +40,15 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["scale", "100G tr", "RADWAN tr", "FlexWAN tr", "100G GHz", "RADWAN GHz", "FlexWAN GHz"],
+            &[
+                "scale",
+                "100G tr",
+                "RADWAN tr",
+                "FlexWAN tr",
+                "100G GHz",
+                "RADWAN GHz",
+                "FlexWAN GHz"
+            ],
             &rows
         )
     );

@@ -39,14 +39,23 @@ fn main() {
         let sse = |scheme| mean(&gap_and_sse(&b, &cfg, scheme).1);
         let flex_sse = sse(Scheme::FlexWan);
         let rows = vec![
-            vec!["capacity-weighted median path (km)".to_string(), median.to_string()],
+            vec![
+                "capacity-weighted median path (km)".to_string(),
+                median.to_string(),
+            ],
             vec![
                 "transponders saved vs 100G-WAN / RADWAN (%)".to_string(),
-                format!("{:.0} / {:.0}", h.transponder_saving_pct[0], h.transponder_saving_pct[1]),
+                format!(
+                    "{:.0} / {:.0}",
+                    h.transponder_saving_pct[0], h.transponder_saving_pct[1]
+                ),
             ],
             vec![
                 "spectrum saved vs 100G-WAN / RADWAN (%)".to_string(),
-                format!("{:.0} / {:.0}", h.spectrum_saving_pct[0], h.spectrum_saving_pct[1]),
+                format!(
+                    "{:.0} / {:.0}",
+                    h.spectrum_saving_pct[0], h.spectrum_saving_pct[1]
+                ),
             ],
             vec![
                 "spectral efficiency gain vs 100G-WAN / RADWAN (%)".to_string(),

@@ -36,7 +36,14 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["scheme", "gap p50", "gap p90", "frac<100km", "frac>1000km", "mean SE"],
+            &[
+                "scheme",
+                "gap p50",
+                "gap p90",
+                "frac<100km",
+                "frac>1000km",
+                "mean SE"
+            ],
             &rows
         )
     );

@@ -17,7 +17,15 @@ fn main() {
     let cfg = default_config();
     let threads = pool::default_threads();
 
-    let rep = restoration_report_threads(&b, &cfg, Scheme::FlexWan, 1, false, &RouteCache::new(), threads);
+    let rep = restoration_report_threads(
+        &b,
+        &cfg,
+        Scheme::FlexWan,
+        1,
+        false,
+        &RouteCache::new(),
+        threads,
+    );
     println!(
         "(a) restored paths longer than original: {:.0}%  (paper: ≈90%)",
         100.0 * rep.fraction_longer()

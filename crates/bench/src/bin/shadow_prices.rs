@@ -22,7 +22,11 @@ fn main() {
     let traffic: Vec<TrafficDemand> = ip
         .links()
         .iter()
-        .map(|l| TrafficDemand { src: l.src, dst: l.dst, gbps: 0.9 * l.demand_gbps as f64 })
+        .map(|l| TrafficDemand {
+            src: l.src,
+            dst: l.dst,
+            gbps: 0.9 * l.demand_gbps as f64,
+        })
         .collect();
     let values = link_capacity_values(&net, &traffic, 2).expect("connected");
     let mut ranked: Vec<(usize, f64)> = values.iter().copied().enumerate().collect();
@@ -33,7 +37,11 @@ fn main() {
         .map(|&(i, v)| {
             let l = &ip.links()[i];
             vec![
-                format!("{}–{}", b.optical.node(l.src).name, b.optical.node(l.dst).name),
+                format!(
+                    "{}–{}",
+                    b.optical.node(l.src).name,
+                    b.optical.node(l.dst).name
+                ),
                 format!("{}", l.demand_gbps),
                 format!("{:.0}", net.capacity_gbps[i]),
                 format!("{v:.2}"),
@@ -42,8 +50,19 @@ fn main() {
         .collect();
     println!(
         "{}",
-        table::render(&["IP link", "demand Gbps", "capacity Gbps", "Gbps carried per +1 Gbps"], &rows)
+        table::render(
+            &[
+                "IP link",
+                "demand Gbps",
+                "capacity Gbps",
+                "Gbps carried per +1 Gbps"
+            ],
+            &rows
+        )
     );
     let priced = values.iter().filter(|&&v| v > 1e-9).count();
-    println!("{priced} of {} links carry a positive shadow price — the build-next list.", values.len());
+    println!(
+        "{priced} of {} links carry a positive shadow price — the build-next list.",
+        values.len()
+    );
 }

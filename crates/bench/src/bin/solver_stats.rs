@@ -22,7 +22,10 @@ use flexwan_topo::ip::IpTopology;
 /// even in debug builds.
 fn ring_instance() -> (Graph, IpTopology) {
     let mut g = Graph::new();
-    let n: Vec<_> = ["a", "b", "c", "d"].iter().map(|s| g.add_node(*s)).collect();
+    let n: Vec<_> = ["a", "b", "c", "d"]
+        .iter()
+        .map(|s| g.add_node(*s))
+        .collect();
     for i in 0..4 {
         g.add_edge(n[i], n[(i + 1) % 4], 300 + 60 * i as u32);
     }
@@ -33,7 +36,11 @@ fn ring_instance() -> (Graph, IpTopology) {
 }
 
 fn cfg() -> PlannerConfig {
-    PlannerConfig { grid: SpectrumGrid::new(16), k_paths: 2, ..PlannerConfig::default() }
+    PlannerConfig {
+        grid: SpectrumGrid::new(16),
+        k_paths: 2,
+        ..PlannerConfig::default()
+    }
 }
 
 fn main() {
@@ -43,17 +50,28 @@ fn main() {
     );
     let (g, ip) = ring_instance();
     let c = cfg();
-    let opts = SolveOptions { max_nodes: 50_000, ..SolveOptions::default() };
+    let opts = SolveOptions {
+        max_nodes: 50_000,
+        ..SolveOptions::default()
+    };
 
     let exact = solve_exact(Scheme::FlexWan, &g, &ip, &c, &opts)
         .expect("ring planning instance is feasible");
-    println!("planning MIP   objective {:.4}  ({} wavelengths)", exact.objective, exact.wavelengths.len());
+    println!(
+        "planning MIP   objective {:.4}  ({} wavelengths)",
+        exact.objective,
+        exact.wavelengths.len()
+    );
     println!("{}", exact.stats);
 
     // Restoration: cut the first ring fiber out from under the heuristic
     // plan and re-route the affected wavelengths exactly.
     let p = plan(Scheme::FlexWan, &g, &ip, &c);
-    let cut = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+    let cut = FailureScenario {
+        id: 0,
+        cuts: vec![EdgeId(0)],
+        probability: 1.0,
+    };
     let restored = solve_restoration_exact(&p, &g, &ip, &cut, &[], &c, &opts)
         .expect("restoration instance is solvable");
     println!();

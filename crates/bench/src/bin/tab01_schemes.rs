@@ -14,12 +14,24 @@ fn main() {
         .iter()
         .map(|&s| {
             let rates = s.transponder().rates();
-            let spacings: std::collections::BTreeSet<u16> =
-                s.transponder().formats().iter().map(|f| f.spacing.pixels()).collect();
+            let spacings: std::collections::BTreeSet<u16> = s
+                .transponder()
+                .formats()
+                .iter()
+                .map(|f| f.spacing.pixels())
+                .collect();
             vec![
                 s.to_string(),
-                if rates.len() == 1 { "fixed".into() } else { format!("variable ({} rates)", rates.len()) },
-                if spacings.len() == 1 { "fixed".into() } else { format!("variable ({} widths)", spacings.len()) },
+                if rates.len() == 1 {
+                    "fixed".into()
+                } else {
+                    format!("variable ({} rates)", rates.len())
+                },
+                if spacings.len() == 1 {
+                    "fixed".into()
+                } else {
+                    format!("variable ({} widths)", spacings.len())
+                },
                 match s.wss() {
                     WssKind::FixedGrid { spacing } => format!("fix-grid {spacing}"),
                     WssKind::PixelWise => "dynamic (pixel-wise)".into(),
@@ -29,6 +41,9 @@ fn main() {
         .collect();
     println!(
         "{}",
-        table::render(&["approach", "data rate", "channel spacing", "OLS passband"], &rows)
+        table::render(
+            &["approach", "data rate", "channel spacing", "OLS passband"],
+            &rows
+        )
     );
 }

@@ -31,27 +31,38 @@ fn main() {
         "{}",
         table::render(&["control plane", "conflicts", "inconsistencies"], &rows)
     );
-    println!("wavelengths compared: {}  (paper: *zero* issues under centralized control)", counts.wavelengths);
+    println!(
+        "wavelengths compared: {}  (paper: *zero* issues under centralized control)",
+        counts.wavelengths
+    );
     println!();
 
     // §9 zero-touch misconnection recovery.
     let channel = PixelRange::new(9, PixelWidth::new(6));
     let fixed = recover_misconnection(
-        WssKind::FixedGrid { spacing: PixelWidth::new(6) },
+        WssKind::FixedGrid {
+            spacing: PixelWidth::new(6),
+        },
         4,
         channel,
     );
     let sliced = recover_misconnection(WssKind::PixelWise, 4, channel);
     println!("misconnection drill (transponder wired to the wrong MUX port):");
-    println!("  legacy fixed-grid OLS : {}", match fixed {
-        RecoveryOutcome::ZeroTouch { .. } => "zero-touch".to_string(),
-        RecoveryOutcome::ManualIntervention { .. } => "manual on-site intervention".to_string(),
-    });
-    println!("  spectrum-sliced OLS   : {}", match sliced {
-        RecoveryOutcome::ZeroTouch { reconfigured_port } =>
-            format!("zero-touch (port {reconfigured_port} retuned)"),
-        RecoveryOutcome::ManualIntervention { .. } => "manual".to_string(),
-    });
+    println!(
+        "  legacy fixed-grid OLS : {}",
+        match fixed {
+            RecoveryOutcome::ZeroTouch { .. } => "zero-touch".to_string(),
+            RecoveryOutcome::ManualIntervention { .. } => "manual on-site intervention".to_string(),
+        }
+    );
+    println!(
+        "  spectrum-sliced OLS   : {}",
+        match sliced {
+            RecoveryOutcome::ZeroTouch { reconfigured_port } =>
+                format!("zero-touch (port {reconfigured_port} retuned)"),
+            RecoveryOutcome::ManualIntervention { .. } => "manual".to_string(),
+        }
+    );
     println!();
 
     // §9 smooth evolution: 50 GHz fleet → 75 GHz wavelengths.
@@ -59,7 +70,13 @@ fn main() {
     println!("evolving {n} OLS devices to 75 GHz-class wavelengths:");
     println!(
         "  fixed 50 GHz grid OLS : {} replacements",
-        evolution_replacements(WssKind::FixedGrid { spacing: PixelWidth::new(4) }, PixelWidth::new(6), n)
+        evolution_replacements(
+            WssKind::FixedGrid {
+                spacing: PixelWidth::new(4)
+            },
+            PixelWidth::new(6),
+            n
+        )
     );
     println!(
         "  spectrum-sliced OLS   : {} replacements",

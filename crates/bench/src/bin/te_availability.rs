@@ -32,10 +32,17 @@ fn main() {
     let traffic: Vec<TrafficDemand> = ip
         .links()
         .iter()
-        .map(|l| TrafficDemand { src: l.src, dst: l.dst, gbps: 0.75 * l.demand_gbps as f64 })
+        .map(|l| TrafficDemand {
+            src: l.src,
+            dst: l.dst,
+            gbps: 0.75 * l.demand_gbps as f64,
+        })
         .collect();
     // A deterministic sample of scenarios keeps the run short.
-    let scenarios: Vec<_> = conduit_cut_scenarios(&b.optical).into_iter().step_by(3).collect();
+    let scenarios: Vec<_> = conduit_cut_scenarios(&b.optical)
+        .into_iter()
+        .step_by(3)
+        .collect();
     // One route cache across all three schemes (candidate routes are
     // scheme-independent; detours are keyed by cut set), scenarios fanned
     // out on the deterministic pool — output is thread-count-invariant.
@@ -47,11 +54,16 @@ fn main() {
         let p = plan_cached(scheme, &b.optical, &ip, &cfg, &cache);
         let healthy = {
             let net = network_from_plan(b.optical.num_nodes(), &ip, &p, None);
-            route_traffic(&net, &traffic, 2).expect("IP graph connected").carried_fraction()
+            route_traffic(&net, &traffic, 2)
+                .expect("IP graph connected")
+                .carried_fraction()
         };
         let per_scenario = pool::par_map(&scenarios, threads, |s| {
             let r = restore_cached(&p, &b.optical, &ip, s, &[], &cfg, &cache);
-            let empty = Restoration { restored: vec![], ..r.clone() };
+            let empty = Restoration {
+                restored: vec![],
+                ..r.clone()
+            };
             let net_cut = network_from_plan(b.optical.num_nodes(), &ip, &p, Some((s, &empty)));
             let net_rst = network_from_plan(b.optical.num_nodes(), &ip, &p, Some((s, &r)));
             let out_cut = route_traffic(&net_cut, &traffic, 2).expect("IP graph connected");
@@ -82,7 +94,13 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["scheme", "healthy", "carried (cut only)", "carried (restored)", "availability"],
+            &[
+                "scheme",
+                "healthy",
+                "carried (cut only)",
+                "carried (restored)",
+                "availability"
+            ],
             &rows
         )
     );

@@ -54,7 +54,10 @@ fn backbone() -> (Graph, IpTopology) {
 /// debug builds (the same instance the `solver_stats` binary reports on).
 fn ring_instance() -> (Graph, IpTopology) {
     let mut g = Graph::new();
-    let n: Vec<_> = ["a", "b", "c", "d"].iter().map(|s| g.add_node(*s)).collect();
+    let n: Vec<_> = ["a", "b", "c", "d"]
+        .iter()
+        .map(|s| g.add_node(*s))
+        .collect();
     for i in 0..4 {
         g.add_edge(n[i], n[(i + 1) % 4], 300 + 60 * i as u32);
     }
@@ -66,7 +69,10 @@ fn ring_instance() -> (Graph, IpTopology) {
 
 fn run_scenario(obs: &Obs, manual: bool) {
     let (g, ip) = backbone();
-    let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+    let cfg = PlannerConfig {
+        grid: SpectrumGrid::new(96),
+        ..Default::default()
+    };
 
     // 1. Planning: observed runs for two schemes under one root span.
     let planning = obs.span("report.planning");
@@ -87,7 +93,11 @@ fn run_scenario(obs: &Obs, manual: bool) {
     let drill = obs.span("report.chaos_drill");
     let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
     ctrl.set_obs(obs.clone());
-    let faults = DeviceFaults { drop_prob: 0.1, delay_reply_prob: 0.1, ..Default::default() };
+    let faults = DeviceFaults {
+        drop_prob: 0.1,
+        delay_reply_prob: 0.1,
+        ..Default::default()
+    };
     ctrl.arm_faults(Arc::new(FaultInjector::new(FaultPlan::uniform(7, faults))));
     let apply = ctrl.apply_plan(&p, &g);
     drill.field("apply_rejections", apply.rejections.len());
@@ -116,8 +126,15 @@ fn run_scenario(obs: &Obs, manual: bool) {
         Scheme::FlexWan,
         &rg,
         &rip,
-        &PlannerConfig { grid: SpectrumGrid::new(16), k_paths: 2, ..Default::default() },
-        &SolveOptions { max_nodes: 50_000, ..Default::default() },
+        &PlannerConfig {
+            grid: SpectrumGrid::new(16),
+            k_paths: 2,
+            ..Default::default()
+        },
+        &SolveOptions {
+            max_nodes: 50_000,
+            ..Default::default()
+        },
     )
     .expect("report MIP instance is feasible");
     let mut stats = exact.stats;
@@ -146,8 +163,11 @@ fn run_scenario(obs: &Obs, manual: bool) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let manual = args.iter().any(|a| a == "--clock=manual");
-    let sections: Vec<&str> =
-        args.iter().filter(|a| matches!(a.as_str(), "--tree" | "--json" | "--prom")).map(|a| &a[2..]).collect();
+    let sections: Vec<&str> = args
+        .iter()
+        .filter(|a| matches!(a.as_str(), "--tree" | "--json" | "--prom"))
+        .map(|a| &a[2..])
+        .collect();
     let all = sections.is_empty();
 
     let obs = if manual {

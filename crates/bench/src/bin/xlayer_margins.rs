@@ -33,7 +33,13 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["scheme", "wavelengths", "margin ≥ 0", "mean margin dB", "worst dB"],
+            &[
+                "scheme",
+                "wavelengths",
+                "margin ≥ 0",
+                "mean margin dB",
+                "worst dB"
+            ],
             &rows
         )
     );

@@ -6,8 +6,8 @@ use std::collections::HashSet;
 
 use flexwan_core::planning::{max_feasible_scale_cached, plan, plan_cached, PlannerConfig};
 use flexwan_core::restore::{
-    conduit_cut_scenarios, flexwan_plus_extra_spares, restore_cached, restore_report,
-    Restoration, RestoreReport,
+    conduit_cut_scenarios, flexwan_plus_extra_spares, restore_cached, restore_report, Restoration,
+    RestoreReport,
 };
 use flexwan_core::Scheme;
 use flexwan_optical::spectrum::PixelWidth;
@@ -90,7 +90,9 @@ pub fn cost_vs_scale_threads(
 ) -> Vec<(u64, Vec<SchemeCost>)> {
     let cache = RouteCache::new();
     let scales: Vec<u64> = (1..=max_scale).collect();
-    let costs = pool::par_map(&scales, threads, |&s| plan_costs_cached(backbone, cfg, s, &cache));
+    let costs = pool::par_map(&scales, threads, |&s| {
+        plan_costs_cached(backbone, cfg, s, &cache)
+    });
     scales.into_iter().zip(costs).collect()
 }
 
@@ -111,12 +113,17 @@ pub fn headline(backbone: &Backbone, cfg: &PlannerConfig, scale_cap: u64) -> Hea
     // scale- and scheme-independent, so the cache misses once per IP link.
     let cache = RouteCache::new();
     let at1 = plan_costs_cached(backbone, cfg, 1, &cache);
-    let find = |s: Scheme| at1.iter().find(|c| c.scheme == s).expect("all schemes planned");
+    let find = |s: Scheme| {
+        at1.iter()
+            .find(|c| c.scheme == s)
+            .expect("all schemes planned")
+    };
     let flex = find(Scheme::FlexWan);
     let pct = |base: f64, ours: f64| 100.0 * (base - ours) / base;
     let fixed = find(Scheme::FixedGrid100G);
     let radwan = find(Scheme::Radwan);
-    let cap = |s| max_feasible_scale_cached(s, &backbone.optical, &backbone.ip, cfg, scale_cap, &cache);
+    let cap =
+        |s| max_feasible_scale_cached(s, &backbone.optical, &backbone.ip, cfg, scale_cap, &cache);
     Headline {
         transponder_saving_pct: [
             pct(fixed.transponders as f64, flex.transponders as f64),
@@ -168,7 +175,14 @@ pub type RateCurveRow = (u32, Option<u32>, Option<u32>, Option<u32>);
 pub fn max_rate_curves(distances_km: &[u32]) -> Vec<RateCurveRow> {
     distances_km
         .iter()
-        .map(|&d| (d, Svt.max_rate_at(d), Bvt.max_rate_at(d), FixedGrid100G.max_rate_at(d)))
+        .map(|&d| {
+            (
+                d,
+                Svt.max_rate_at(d),
+                Bvt.max_rate_at(d),
+                FixedGrid100G.max_rate_at(d),
+            )
+        })
         .collect()
 }
 
@@ -193,7 +207,11 @@ pub fn provision_800g(lengths_km: &[u32]) -> Vec<ProvisionCost> {
     };
     lengths_km
         .iter()
-        .map(|&len| ProvisionCost { length_km: len, svt: cost(&Svt, len), bvt: cost(&Bvt, len) })
+        .map(|&len| ProvisionCost {
+            length_km: len,
+            svt: cost(&Svt, len),
+            bvt: cost(&Bvt, len),
+        })
         .collect()
 }
 
@@ -227,11 +245,18 @@ pub fn svt_reach_table() -> Vec<ReachRow> {
 
 /// Figure 14 inputs: per-wavelength reach gaps and spectral efficiencies
 /// for one scheme at scale 1.
-pub fn gap_and_sse(backbone: &Backbone, cfg: &PlannerConfig, scheme: Scheme) -> (Vec<i64>, Vec<f64>) {
+pub fn gap_and_sse(
+    backbone: &Backbone,
+    cfg: &PlannerConfig,
+    scheme: Scheme,
+) -> (Vec<i64>, Vec<f64>) {
     let p = plan(scheme, &backbone.optical, &backbone.ip, cfg);
     (
         p.wavelengths.iter().map(|w| w.reach_gap_km()).collect(),
-        p.wavelengths.iter().map(|w| w.spectral_efficiency()).collect(),
+        p.wavelengths
+            .iter()
+            .map(|w| w.spectral_efficiency())
+            .collect(),
     )
 }
 
@@ -261,7 +286,9 @@ pub fn restoration_report_threads(
     cache: &RouteCache,
     threads: usize,
 ) -> RestoreReport {
-    restore_report(&restoration_results(backbone, cfg, scheme, scale, plus, cache, threads))
+    restore_report(&restoration_results(
+        backbone, cfg, scheme, scale, plus, cache, threads,
+    ))
 }
 
 /// The per-scenario restorations behind [`restoration_report`]:
@@ -288,7 +315,11 @@ pub fn restoration_results(
     let restored = pool::par_map(&scenarios, threads, |s| {
         restore_cached(&p, &backbone.optical, &ip, s, &extra, cfg, cache)
     });
-    scenarios.iter().map(|s| s.probability).zip(restored).collect()
+    scenarios
+        .iter()
+        .map(|s| s.probability)
+        .zip(restored)
+        .collect()
 }
 
 /// Figure 15(b): mean restoration capability per scheme per scale.
@@ -420,7 +451,10 @@ mod tests {
         // including schemes 2–3 wholesale — is a cache hit.
         let pairs: HashSet<_> = b.ip.links().iter().map(|l| (l.src, l.dst)).collect();
         assert_eq!(cache.misses() as usize, pairs.len());
-        assert_eq!((cache.hits() + cache.misses()) as usize, 3 * b.ip.num_links());
+        assert_eq!(
+            (cache.hits() + cache.misses()) as usize,
+            3 * b.ip.num_links()
+        );
         assert_eq!(cached, plan_costs(&b, &cfg, 1));
     }
 

@@ -20,7 +20,10 @@ pub fn cernet_instance() -> Backbone {
 /// candidate routes (the backbone's parallel-conduit structure rewards a
 /// slightly deeper route set), ε = 10⁻³, the full C-band.
 pub fn default_config() -> PlannerConfig {
-    PlannerConfig { k_paths: 5, ..PlannerConfig::default() }
+    PlannerConfig {
+        k_paths: 5,
+        ..PlannerConfig::default()
+    }
 }
 
 #[cfg(test)]

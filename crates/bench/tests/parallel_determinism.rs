@@ -21,7 +21,10 @@ fn cost_vs_scale_is_bit_identical_across_thread_counts() {
     let serial = cost_vs_scale(&b, &cfg, 4);
     for threads in [1, 2, 4] {
         let par = cost_vs_scale_threads(&b, &cfg, 4, threads);
-        assert_eq!(serial, par, "SchemeCost ladder diverged at {threads} threads");
+        assert_eq!(
+            serial, par,
+            "SchemeCost ladder diverged at {threads} threads"
+        );
     }
 }
 
@@ -29,19 +32,34 @@ fn cost_vs_scale_is_bit_identical_across_thread_counts() {
 fn restoration_sweep_is_bit_identical_across_thread_counts() {
     let b = tbackbone_instance();
     let cfg = default_config();
-    let serial =
-        restoration_results(&b, &cfg, Scheme::FlexWan, 2, false, &RouteCache::new(), 1);
-    assert!(!serial.is_empty(), "conduit-cut scenario set must not be empty");
+    let serial = restoration_results(&b, &cfg, Scheme::FlexWan, 2, false, &RouteCache::new(), 1);
+    assert!(
+        !serial.is_empty(),
+        "conduit-cut scenario set must not be empty"
+    );
     for threads in [1, 2, 4] {
-        let par =
-            restoration_results(&b, &cfg, Scheme::FlexWan, 2, false, &RouteCache::new(), threads);
-        assert_eq!(serial, par, "Restoration vector diverged at {threads} threads");
+        let par = restoration_results(
+            &b,
+            &cfg,
+            Scheme::FlexWan,
+            2,
+            false,
+            &RouteCache::new(),
+            threads,
+        );
+        assert_eq!(
+            serial, par,
+            "Restoration vector diverged at {threads} threads"
+        );
     }
     // The aggregated report built from a shared warm cache agrees too.
     let cache = RouteCache::new();
     let warm = restoration_report_threads(&b, &cfg, Scheme::FlexWan, 2, false, &cache, 2);
     let rewarmed = restoration_report_threads(&b, &cfg, Scheme::FlexWan, 2, false, &cache, 4);
-    assert_eq!(restoration_report(&b, &cfg, Scheme::FlexWan, 2, false), warm);
+    assert_eq!(
+        restoration_report(&b, &cfg, Scheme::FlexWan, 2, false),
+        warm
+    );
     assert_eq!(warm, rewarmed, "a warm cache must not change the report");
 }
 
@@ -69,9 +87,11 @@ fn cached_cut_queries_never_see_uncut_routes() {
                     );
                 }
             }
-            let uses_cut_fiber = uncut
-                .iter()
-                .any(|r| r.hops.iter().any(|hop| hop.iter().any(|e| banned.contains(e))));
+            let uses_cut_fiber = uncut.iter().any(|r| {
+                r.hops
+                    .iter()
+                    .any(|hop| hop.iter().any(|e| banned.contains(e)))
+            });
             if uses_cut_fiber {
                 assert_ne!(
                     *uncut, *cut,
@@ -84,7 +104,11 @@ fn cached_cut_queries_never_see_uncut_routes() {
     let misses_before = cache.misses();
     let link = &b.ip.links()[0];
     let again = cache.routes(&b.optical, link.src, link.dst, cfg.k_paths, &none);
-    assert_eq!(cache.misses(), misses_before, "repeat query must not recompute");
+    assert_eq!(
+        cache.misses(),
+        misses_before,
+        "repeat query must not recompute"
+    );
     assert!(cache.hits() > 0, "repeated queries should hit the cache");
     assert!(!again.is_empty());
 }

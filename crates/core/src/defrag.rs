@@ -64,8 +64,7 @@ pub fn make_room(
     let mut start = 0u32;
     while start + need <= pixels {
         let window = PixelRange::new(start, width);
-        if let Some(outcome) =
-            try_window(spectrum, wavelengths, route, &window, max_moves, optical)
+        if let Some(outcome) = try_window(spectrum, wavelengths, route, &window, max_moves, optical)
         {
             return Some(outcome);
         }
@@ -124,7 +123,9 @@ fn try_window(
             for px in window.pixels() {
                 let r = PixelRange::new(px, PixelWidth::new(1));
                 if spectrum.mask(e).is_free(&r) {
-                    spectrum.occupy_exact(&one_px_path(e), &r).expect("pixel free");
+                    spectrum
+                        .occupy_exact(&one_px_path(e), &r)
+                        .expect("pixel free");
                     guards.push((e, px));
                 }
             }
@@ -168,10 +169,16 @@ fn try_window(
             return None;
         };
         debug_assert!(!to.overlaps(&from), "make-before-break violated");
-        spectrum.occupy_exact(&path, &to).expect("first-fit target is free");
+        spectrum
+            .occupy_exact(&path, &to)
+            .expect("first-fit target is free");
         spectrum.release(&path, &from);
         wavelengths[bi].channel = to;
-        steps.push(RetuneStep { wavelength: bi, from, to });
+        steps.push(RetuneStep {
+            wavelength: bi,
+            from,
+            to,
+        });
         // Guard the window pixels this blocker just vacated.
         guard_free(spectrum, &mut guards);
     }
@@ -185,7 +192,11 @@ fn try_window(
 
     // The guards collectively *are* the allocation: the window is now
     // occupied on exactly the chosen fibers.
-    Some(DefragOutcome { steps, channel: *window, chosen_fibers: chosen })
+    Some(DefragOutcome {
+        steps,
+        channel: *window,
+        chosen_fibers: chosen,
+    })
 }
 
 #[cfg(test)]
@@ -237,7 +248,10 @@ mod tests {
         assert_eq!(out.channel.width, w(8));
         // No overlaps among the new layout.
         for (i, a) in wl.iter().enumerate() {
-            assert!(!a.channel.overlaps(&out.channel), "wavelength {i} overlaps new channel");
+            assert!(
+                !a.channel.overlaps(&out.channel),
+                "wavelength {i} overlaps new channel"
+            );
             for b in &wl[i + 1..] {
                 assert!(!a.channel.overlaps(&b.channel));
             }

@@ -3,9 +3,12 @@
 //! * [`scheme`] — the three backbone architectures (100G-WAN, RADWAN,
 //!   FlexWAN) behind one interface;
 //! * [`wavelength`] — the provisioned-wavelength type;
+//! * [`opt`] — the shared optimization-model layer: typed variable
+//!   spaces (γ wavelengths, path flows) with prebuilt index buckets on
+//!   which every exact formulation below is built;
 //! * [`planning`] — cost-minimal WAN capacity provisioning (Algorithm 1):
 //!   exact MIP + scalable heuristic + reporting;
-//! * [`restore`] — optical restoration (§8): failure scenarios, greedy and
+//! * [`mod@restore`] — optical restoration (§8): failure scenarios, greedy and
 //!   exact restorers, capability reporting;
 //! * [`te`] — IP-layer traffic engineering (path-based multi-commodity
 //!   flow) quantifying what planned/restored capacity means for traffic;
@@ -19,6 +22,7 @@
 
 pub mod defrag;
 pub mod observe;
+pub mod opt;
 pub mod planning;
 pub mod protect;
 pub mod restore;
@@ -26,9 +30,10 @@ pub mod scheme;
 pub mod te;
 pub mod wavelength;
 
-pub use observe::{plan_observed, record_route_cache, restore_observed};
+pub use observe::{plan_observed, record_opt_model, record_route_cache, restore_observed};
+pub use opt::{FlowVarSpace, GammaId, GammaVar, WavelengthVarSpace};
 pub use planning::{max_feasible_scale, plan, plan_cached, Plan, PlannerConfig};
-pub use restore::{one_fiber_scenarios, restore, restore_cached, FailureScenario, Restoration};
 pub use protect::{plan_protected, plan_protected_cached, ProtectedPlan};
+pub use restore::{one_fiber_scenarios, restore, restore_cached, FailureScenario, Restoration};
 pub use scheme::Scheme;
 pub use wavelength::Wavelength;

@@ -1,7 +1,6 @@
 //! Observed entry points for planning and restoration.
 //!
-//! Thin wrappers over [`plan`](crate::planning::plan) and
-//! [`restore`](crate::restore::restore) that record an end-to-end span
+//! Thin wrappers over [`plan`] and [`restore`] that record an end-to-end span
 //! (optionally nested under a caller-supplied parent), latency histograms
 //! and outcome gauges into an [`Obs`] bundle. The planners themselves stay
 //! untouched: observability is additive, never load-bearing — the
@@ -40,7 +39,8 @@ pub fn plan_observed(
     span.field("unmet_gbps", p.unmet_gbps());
     let reg = obs.registry();
     let scheme_label = format!("{scheme:?}");
-    reg.counter_with("planning_runs_total", &[("scheme", &scheme_label)]).inc();
+    reg.counter_with("planning_runs_total", &[("scheme", &scheme_label)])
+        .inc();
     reg.gauge_with("planning_wavelengths", &[("scheme", &scheme_label)])
         .set(p.wavelengths.len() as f64);
     reg.gauge_with("planning_unmet_gbps", &[("scheme", &scheme_label)])
@@ -76,8 +76,10 @@ pub fn restore_observed(
     span.field("capability", r.capability());
     let reg = obs.registry();
     reg.counter("restore_runs_total").inc();
-    reg.counter("restore_affected_gbps_total").add(r.affected_gbps);
-    reg.counter("restore_restored_gbps_total").add(r.restored_gbps);
+    reg.counter("restore_affected_gbps_total")
+        .add(r.affected_gbps);
+    reg.counter("restore_restored_gbps_total")
+        .add(r.restored_gbps);
     reg.gauge("restore_capability").set(r.capability());
     obs.observe_since("restore_seconds", start);
     r
@@ -89,9 +91,27 @@ pub fn restore_observed(
 /// approach the sweep's scheme × scale redundancy).
 pub fn record_route_cache(obs: &Obs, name: &str, cache: &RouteCache) {
     let reg = obs.registry();
-    reg.gauge_with("route_cache_hits", &[("cache", name)]).set(cache.hits() as f64);
-    reg.gauge_with("route_cache_misses", &[("cache", name)]).set(cache.misses() as f64);
-    reg.gauge_with("route_cache_entries", &[("cache", name)]).set(cache.len() as f64);
+    reg.gauge_with("route_cache_hits", &[("cache", name)])
+        .set(cache.hits() as f64);
+    reg.gauge_with("route_cache_misses", &[("cache", name)])
+        .set(cache.misses() as f64);
+    reg.gauge_with("route_cache_entries", &[("cache", name)])
+        .set(cache.len() as f64);
+}
+
+/// Snapshots a standing [`PlanModel`](crate::planning::PlanModel)'s shape
+/// into `obs` as gauges (`opt_model_{gammas,rows,active_rows}` labeled by
+/// `model`): call after build or around mutation checkpoints to watch the
+/// incremental layer keep the model standing — the row count stays
+/// constant across cuts while the active-row count dips and recovers.
+pub fn record_opt_model(obs: &Obs, name: &str, model: &crate::planning::PlanModel) {
+    let reg = obs.registry();
+    reg.gauge_with("opt_model_gammas", &[("model", name)])
+        .set(model.space().gammas().len() as f64);
+    reg.gauge_with("opt_model_rows", &[("model", name)])
+        .set(model.model().num_constraints() as f64);
+    reg.gauge_with("opt_model_active_rows", &[("model", name)])
+        .set(model.model().num_active_constraints() as f64);
 }
 
 #[cfg(test)]
@@ -110,7 +130,10 @@ mod tests {
         g.add_edge(c, b, 600);
         let mut ip = IpTopology::new();
         ip.add_link(a, b, 300);
-        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        };
         (g, ip, cfg)
     }
 
@@ -123,7 +146,10 @@ mod tests {
         assert_eq!(observed.wavelengths.len(), plain.wavelengths.len());
         assert_eq!(observed.spectrum_usage_ghz(), plain.spectrum_usage_ghz());
         let prom = obs.metrics_prometheus();
-        assert!(prom.contains("planning_runs_total{scheme=\"FlexWan\"} 1"), "{prom}");
+        assert!(
+            prom.contains("planning_runs_total{scheme=\"FlexWan\"} 1"),
+            "{prom}"
+        );
         assert!(obs.span_tree().contains("planning.plan"));
     }
 
@@ -136,9 +162,37 @@ mod tests {
         let _ = crate::planning::plan_cached(Scheme::Radwan, &g, &ip, &cfg, &cache);
         record_route_cache(&obs, "sweep", &cache);
         let prom = obs.metrics_prometheus();
-        assert!(prom.contains("route_cache_hits{cache=\"sweep\"} 1"), "{prom}");
-        assert!(prom.contains("route_cache_misses{cache=\"sweep\"} 1"), "{prom}");
-        assert!(prom.contains("route_cache_entries{cache=\"sweep\"} 1"), "{prom}");
+        assert!(
+            prom.contains("route_cache_hits{cache=\"sweep\"} 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("route_cache_misses{cache=\"sweep\"} 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("route_cache_entries{cache=\"sweep\"} 1"),
+            "{prom}"
+        );
+    }
+
+    #[test]
+    fn opt_model_gauges_reflect_standing_shape() {
+        let (g, ip, cfg) = world();
+        let obs = Obs::default();
+        let pm = crate::planning::PlanModel::build(Scheme::FlexWan, &g, &ip, &cfg);
+        record_opt_model(&obs, "standing", &pm);
+        let prom = obs.metrics_prometheus();
+        let gammas = pm.space().gammas().len();
+        assert!(
+            prom.contains(&format!("opt_model_gammas{{model=\"standing\"}} {gammas}")),
+            "{prom}"
+        );
+        // Nothing deactivated yet: every row is active.
+        assert_eq!(
+            pm.model().num_constraints(),
+            pm.model().num_active_constraints()
+        );
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! The shared optimization-model layer: typed variable spaces over which
+//! the exact planning MIP (Algorithm 1), the exact restoration MIP (§8)
+//! and the TE LPs are all built.
+//!
+//! Before this module each formulation hand-rolled its own private
+//! variable registry and built every constraint row by scanning the whole
+//! registry (`gammas.iter().filter(...)` per row — O(vars × rows) model
+//! construction). [`WavelengthVarSpace`] enumerates the γ variables
+//! *once*, in the exact order the individual formulations used, and
+//! prebuilds three index buckets:
+//!
+//! * per **slot** (IP link for planning, affected-link slot for
+//!   restoration) — capacity / transponder-count rows;
+//! * per **(fiber, pixel)** — spectrum-conflict rows;
+//! * per **path** (via [`GammaVar::path_index`]) — extraction and
+//!   path-level queries.
+//!
+//! Row construction becomes a bucket lookup, so building the model is
+//! linear in its nonzero count. [`FlowVarSpace`] does the same for the
+//! path-based multi-commodity-flow variables of `te`.
+//!
+//! The enumeration order (slot-major, then candidate path, then format,
+//! then aligned start pixel) and the diagnostic variable names are part of
+//! the contract: `tests/opt_roundtrip.rs` pins solver outputs against
+//! goldens blessed on the pre-refactor formulations.
+
+use flexwan_optical::format::TransponderFormat;
+use flexwan_optical::spectrum::PixelRange;
+use flexwan_solver::{LinExpr, Model, RowId, Solution, Var};
+use flexwan_topo::graph::EdgeId;
+use flexwan_topo::ip::IpLinkId;
+use flexwan_topo::path::Path;
+
+use crate::planning::format_dp::reachable_formats;
+use crate::scheme::Scheme;
+use crate::wavelength::Wavelength;
+
+/// Typed handle to one γ variable inside a [`WavelengthVarSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GammaId(pub usize);
+
+/// One γ variable: a candidate wavelength of `format` starting at pixel
+/// `start` on candidate path `path_index` of slot `slot`.
+#[derive(Debug, Clone)]
+pub struct GammaVar {
+    /// Caller-defined slot: the IP-link index for planning, the
+    /// affected-link slot for restoration.
+    pub slot: usize,
+    /// Index into the slot's candidate-path list (the `k` of `P_{e,k}`).
+    pub path_index: usize,
+    /// The transponder operating point.
+    pub format: TransponderFormat,
+    /// First occupied pixel.
+    pub start: u32,
+    /// The solver variable (binary).
+    pub var: Var,
+}
+
+impl GammaVar {
+    /// The spectrum the candidate would occupy on every fiber of its path.
+    pub fn channel(&self) -> PixelRange {
+        PixelRange::new(self.start, self.format.spacing)
+    }
+}
+
+/// One-pass enumeration of the γ variables of a wavelength-assignment
+/// formulation, with prebuilt per-slot and per-(fiber, pixel) buckets.
+#[derive(Debug)]
+pub struct WavelengthVarSpace {
+    gammas: Vec<GammaVar>,
+    paths_per_slot: Vec<Vec<Path>>,
+    pixels: u32,
+    by_slot: Vec<Vec<GammaId>>,
+    /// `fiber.0 * pixels + pixel` → every γ occupying that pixel on that
+    /// fiber. Bucket order equals γ-id order (enumeration order), so rows
+    /// built from buckets are term-for-term identical to the scan-built
+    /// rows they replaced.
+    by_fiber_pixel: Vec<Vec<GammaId>>,
+}
+
+impl WavelengthVarSpace {
+    /// Enumerates every admissible γ for `paths_per_slot` into `m`, in
+    /// slot-major order. For each slot's path `ki` and each reachable
+    /// format, aligned starts `q` walk the grid; `admit` filters starts
+    /// (planning admits everything; restoration pre-filters against the
+    /// residual spectrum — §8 constraint (9)). Variables are named
+    /// `{prefix}{slot}_k{ki}_d{rate}_y{spacing_px}_q{q}`.
+    pub fn enumerate(
+        m: &mut Model,
+        scheme: Scheme,
+        pixels: u32,
+        num_fibers: usize,
+        prefix: &str,
+        paths_per_slot: Vec<Vec<Path>>,
+        mut admit: impl FnMut(&Path, &PixelRange) -> bool,
+    ) -> WavelengthVarSpace {
+        let align = scheme.alignment_pixels();
+        let model_t = scheme.transponder();
+        let mut space = WavelengthVarSpace {
+            gammas: Vec::new(),
+            by_slot: vec![Vec::new(); paths_per_slot.len()],
+            by_fiber_pixel: vec![Vec::new(); num_fibers * pixels as usize],
+            pixels,
+            paths_per_slot,
+        };
+        for slot in 0..space.paths_per_slot.len() {
+            for ki in 0..space.paths_per_slot[slot].len() {
+                let path = &space.paths_per_slot[slot][ki];
+                for format in reachable_formats(model_t, path.length_km) {
+                    let w = u32::from(format.spacing.pixels());
+                    let mut q = 0u32;
+                    while q + w <= pixels {
+                        let range = PixelRange::new(q, format.spacing);
+                        if admit(path, &range) {
+                            let var = m.binary(format!(
+                                "{prefix}{slot}_k{ki}_d{}_y{}_q{q}",
+                                format.data_rate_gbps,
+                                format.spacing.pixels()
+                            ));
+                            let id = GammaId(space.gammas.len());
+                            space.by_slot[slot].push(id);
+                            for e in &path.edges {
+                                for px in q..q + w {
+                                    space.by_fiber_pixel
+                                        [e.0 as usize * pixels as usize + px as usize]
+                                        .push(id);
+                                }
+                            }
+                            space.gammas.push(GammaVar {
+                                slot,
+                                path_index: ki,
+                                format,
+                                start: q,
+                                var,
+                            });
+                        }
+                        q += align;
+                    }
+                }
+            }
+        }
+        space
+    }
+
+    /// All γ variables, in enumeration order (`GammaId` order).
+    pub fn gammas(&self) -> &[GammaVar] {
+        &self.gammas
+    }
+
+    /// The γ behind a handle.
+    pub fn get(&self, id: GammaId) -> &GammaVar {
+        &self.gammas[id.0]
+    }
+
+    /// Number of slots (IP links / affected links).
+    pub fn num_slots(&self) -> usize {
+        self.paths_per_slot.len()
+    }
+
+    /// The candidate paths of a slot.
+    pub fn paths(&self, slot: usize) -> &[Path] {
+        &self.paths_per_slot[slot]
+    }
+
+    /// The path a γ rides.
+    pub fn path_of(&self, g: &GammaVar) -> &Path {
+        &self.paths_per_slot[g.slot][g.path_index]
+    }
+
+    /// γ handles of one slot, in enumeration order.
+    pub fn slot_gammas(&self, slot: usize) -> &[GammaId] {
+        &self.by_slot[slot]
+    }
+
+    /// γ handles occupying `pixel` on `fiber`, in enumeration order.
+    pub fn fiber_pixel_gammas(&self, fiber: EdgeId, pixel: u32) -> &[GammaId] {
+        &self.by_fiber_pixel[fiber.0 as usize * self.pixels as usize + pixel as usize]
+    }
+
+    /// `Σ_slot rate·γ` — the capacity carried on a slot.
+    pub fn rate_expr(&self, slot: usize) -> LinExpr {
+        LinExpr::sum(
+            self.by_slot[slot].iter().map(|&id| {
+                f64::from(self.gammas[id.0].format.data_rate_gbps) * self.gammas[id.0].var
+            }),
+        )
+    }
+
+    /// `Σ_slot γ` — the transponder count on a slot.
+    pub fn count_expr(&self, slot: usize) -> LinExpr {
+        LinExpr::sum(
+            self.by_slot[slot]
+                .iter()
+                .map(|&id| 1.0 * self.gammas[id.0].var),
+        )
+    }
+
+    /// An objective (or any) expression with per-γ coefficients.
+    pub fn weighted_expr(&self, mut coeff: impl FnMut(&GammaVar) -> f64) -> LinExpr {
+        LinExpr::sum(self.gammas.iter().map(|g| coeff(g) * g.var))
+    }
+
+    /// Emits the per-(fiber, pixel) spectrum-conflict rows `Σ γ ≤ 1` for
+    /// the given fibers, returning the rows grouped per fiber (aligned
+    /// with the input order). Rows with fewer than `min_terms` occupying
+    /// candidates are skipped — the planning formulation emits every
+    /// non-empty row, restoration only genuinely conflicting ones.
+    pub fn conflict_rows(
+        &self,
+        m: &mut Model,
+        fibers: impl IntoIterator<Item = EdgeId>,
+        min_terms: usize,
+    ) -> Vec<(EdgeId, Vec<RowId>)> {
+        let mut out = Vec::new();
+        for fiber in fibers {
+            let mut rows = Vec::new();
+            for w in 0..self.pixels {
+                let bucket = self.fiber_pixel_gammas(fiber, w);
+                if bucket.len() >= min_terms {
+                    let expr = LinExpr::sum(bucket.iter().map(|&id| 1.0 * self.gammas[id.0].var));
+                    rows.push(m.le(expr, 1.0));
+                }
+            }
+            out.push((fiber, rows));
+        }
+        out
+    }
+
+    /// Extracts the selected wavelengths (`γ > 0.5`) of a solution, in
+    /// enumeration order; `link_of_slot` maps slots back to IP links.
+    pub fn extract(
+        &self,
+        sol: &Solution,
+        mut link_of_slot: impl FnMut(usize) -> IpLinkId,
+    ) -> Vec<Wavelength> {
+        self.gammas
+            .iter()
+            .filter(|g| sol.value(g.var) > 0.5)
+            .map(|g| Wavelength {
+                link: link_of_slot(g.slot),
+                path_index: g.path_index,
+                path: self.path_of(g).clone(),
+                format: g.format,
+                channel: g.channel(),
+            })
+            .collect()
+    }
+}
+
+/// Typed handle to one flow variable inside a [`FlowVarSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub usize);
+
+/// One path-flow variable of the TE LPs: traffic of demand `demand`
+/// carried on its candidate path `path_index`.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowVar {
+    /// Index into the traffic-demand list.
+    pub demand: usize,
+    /// Index into the demand's candidate-path list.
+    pub path_index: usize,
+    /// The solver variable (nonnegative continuous).
+    pub var: Var,
+}
+
+/// One-pass enumeration of path-flow variables with per-demand and
+/// per-edge buckets (the TE analogue of [`WavelengthVarSpace`]).
+#[derive(Debug)]
+pub struct FlowVarSpace {
+    flows: Vec<FlowVar>,
+    by_demand: Vec<Vec<FlowId>>,
+    by_edge: Vec<Vec<FlowId>>,
+}
+
+impl FlowVarSpace {
+    /// Enumerates `f_{i}_{j}` variables in demand-major order and buckets
+    /// them by demand and by traversed IP-link edge.
+    pub fn enumerate(
+        m: &mut Model,
+        paths_per_demand: &[Vec<Path>],
+        num_edges: usize,
+    ) -> FlowVarSpace {
+        let mut space = FlowVarSpace {
+            flows: Vec::new(),
+            by_demand: vec![Vec::new(); paths_per_demand.len()],
+            by_edge: vec![Vec::new(); num_edges],
+        };
+        for (i, paths) in paths_per_demand.iter().enumerate() {
+            for (j, path) in paths.iter().enumerate() {
+                let var = m.nonneg(format!("f_{i}_{j}"));
+                let id = FlowId(space.flows.len());
+                space.by_demand[i].push(id);
+                for e in &path.edges {
+                    space.by_edge[e.0 as usize].push(id);
+                }
+                space.flows.push(FlowVar {
+                    demand: i,
+                    path_index: j,
+                    var,
+                });
+            }
+        }
+        space
+    }
+
+    /// All flow variables, in enumeration order.
+    pub fn flows(&self) -> &[FlowVar] {
+        &self.flows
+    }
+
+    /// `Σ_j f_ij` — total flow of one demand.
+    pub fn demand_expr(&self, demand: usize) -> LinExpr {
+        LinExpr::sum(
+            self.by_demand[demand]
+                .iter()
+                .map(|&id| 1.0 * self.flows[id.0].var),
+        )
+    }
+
+    /// `Σ f` over every flow whose path crosses `edge`.
+    pub fn edge_expr(&self, edge: EdgeId) -> LinExpr {
+        LinExpr::sum(
+            self.by_edge[edge.0 as usize]
+                .iter()
+                .map(|&id| 1.0 * self.flows[id.0].var),
+        )
+    }
+
+    /// `Σ f` over all flows — the total-throughput objective.
+    pub fn total_expr(&self) -> LinExpr {
+        LinExpr::sum(self.flows.iter().map(|f| 1.0 * f.var))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexwan_topo::graph::Graph;
+    use flexwan_topo::ksp::k_shortest_paths;
+
+    fn two_hop() -> (Graph, Vec<Vec<Path>>) {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 100);
+        g.add_edge(b, c, 100);
+        let none = std::collections::HashSet::new();
+        let paths = vec![k_shortest_paths(&g, a, c, 2, &none)];
+        (g, paths)
+    }
+
+    #[test]
+    fn buckets_agree_with_full_scans() {
+        let (g, paths) = two_hop();
+        let mut m = Model::new();
+        let space = WavelengthVarSpace::enumerate(
+            &mut m,
+            Scheme::FlexWan,
+            12,
+            g.num_edges(),
+            "g_e",
+            paths,
+            |_, _| true,
+        );
+        assert!(!space.gammas().is_empty());
+        // Slot bucket == scan by slot.
+        let scan: Vec<usize> = space
+            .gammas()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.slot == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let bucket: Vec<usize> = space.slot_gammas(0).iter().map(|id| id.0).collect();
+        assert_eq!(scan, bucket);
+        // Fiber-pixel bucket == scan by coverage, for every (fiber, pixel).
+        for fiber in g.edges() {
+            for px in 0..12u32 {
+                let scan: Vec<usize> = space
+                    .gammas()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, gm)| {
+                        space.path_of(gm).uses_edge(fiber.id)
+                            && gm.start <= px
+                            && px < gm.start + u32::from(gm.format.spacing.pixels())
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                let bucket: Vec<usize> = space
+                    .fiber_pixel_gammas(fiber.id, px)
+                    .iter()
+                    .map(|id| id.0)
+                    .collect();
+                assert_eq!(scan, bucket, "fiber {:?} pixel {px}", fiber.id);
+            }
+        }
+    }
+
+    #[test]
+    fn admit_filter_prunes_starts() {
+        let (g, paths) = two_hop();
+        let mut m = Model::new();
+        let all = WavelengthVarSpace::enumerate(
+            &mut m,
+            Scheme::FlexWan,
+            12,
+            g.num_edges(),
+            "g_e",
+            paths.clone(),
+            |_, _| true,
+        );
+        let mut m2 = Model::new();
+        let pruned = WavelengthVarSpace::enumerate(
+            &mut m2,
+            Scheme::FlexWan,
+            12,
+            g.num_edges(),
+            "h_e",
+            paths,
+            |_, range| range.start >= 4,
+        );
+        assert!(pruned.gammas().len() < all.gammas().len());
+        assert!(pruned.gammas().iter().all(|g| g.start >= 4));
+    }
+
+    #[test]
+    fn conflict_rows_respect_min_terms() {
+        let (g, paths) = two_hop();
+        let mut m1 = Model::new();
+        let s1 = WavelengthVarSpace::enumerate(
+            &mut m1,
+            Scheme::FlexWan,
+            12,
+            g.num_edges(),
+            "g_e",
+            paths.clone(),
+            |_, _| true,
+        );
+        let fibers: Vec<EdgeId> = g.edges().iter().map(|e| e.id).collect();
+        let any = s1.conflict_rows(&mut m1, fibers.iter().copied(), 1);
+        let mut m2 = Model::new();
+        let s2 = WavelengthVarSpace::enumerate(
+            &mut m2,
+            Scheme::FlexWan,
+            12,
+            g.num_edges(),
+            "g_e",
+            paths,
+            |_, _| true,
+        );
+        let pairs = s2.conflict_rows(&mut m2, fibers.iter().copied(), 2);
+        let n_any: usize = any.iter().map(|(_, r)| r.len()).sum();
+        let n_pairs: usize = pairs.iter().map(|(_, r)| r.len()).sum();
+        assert!(n_pairs <= n_any);
+        for (_, rows) in &pairs {
+            for &r in rows {
+                assert!(m2.row(r).expr.terms.len() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn flow_space_edge_buckets_match_uses_edge() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 1);
+        g.add_edge(a, c, 1);
+        let none = std::collections::HashSet::new();
+        let paths = vec![k_shortest_paths(&g, a, c, 3, &none)];
+        let mut m = Model::new();
+        let space = FlowVarSpace::enumerate(&mut m, &paths, g.num_edges());
+        assert_eq!(space.flows().len(), paths[0].len());
+        for e in g.edges() {
+            let scan: Vec<usize> = space
+                .flows()
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| paths[f.demand][f.path_index].uses_edge(e.id))
+                .map(|(i, _)| i)
+                .collect();
+            let bucket: Vec<usize> = space.by_edge[e.id.0 as usize]
+                .iter()
+                .map(|id| id.0)
+                .collect();
+            assert_eq!(scan, bucket);
+        }
+    }
+}

@@ -32,7 +32,10 @@ pub fn select_formats(
     epsilon: f64,
 ) -> Option<Vec<TransponderFormat>> {
     assert!(demand_gbps > 0, "demand must be positive");
-    assert!(demand_gbps.is_multiple_of(100), "demands are multiples of 100 Gbps");
+    assert!(
+        demand_gbps.is_multiple_of(100),
+        "demands are multiples of 100 Gbps"
+    );
     let candidates = reachable_formats(model, distance_km);
     if candidates.is_empty() {
         return None;
@@ -64,7 +67,13 @@ pub fn select_formats(
         }
     }
     let mut dp: Vec<Option<Cell>> = vec![None; units + 1];
-    dp[0] = Some(Cell { cost: 0.0, count: 0, spectrum_px: 0, rate_units: 0, choice: usize::MAX });
+    dp[0] = Some(Cell {
+        cost: 0.0,
+        count: 0,
+        spectrum_px: 0,
+        rate_units: 0,
+        choice: usize::MAX,
+    });
     for t in 1..=units {
         let mut best: Option<Cell> = None;
         for (idx, f) in candidates.iter().enumerate() {
@@ -103,10 +112,7 @@ pub fn select_formats(
 /// its rate over *strictly narrower* spacing. Equal-spacing higher-rate
 /// formats are kept so the DP can avoid overshooting demands (its final
 /// tie-break).
-pub fn reachable_formats(
-    model: &dyn TransponderModel,
-    distance_km: u32,
-) -> Vec<TransponderFormat> {
+pub fn reachable_formats(model: &dyn TransponderModel, distance_km: u32) -> Vec<TransponderFormat> {
     let all = model.formats_reaching(distance_km);
     let mut keep: Vec<TransponderFormat> = Vec::with_capacity(all.len());
     for f in &all {
@@ -141,7 +147,7 @@ mod tests {
         assert_eq!(svt[0].data_rate_gbps, 800);
         let bvt = select_formats(&Bvt, 800, 250, EPS).unwrap();
         assert_eq!(bvt.len(), 3); // 300+300+200
-        // And 8 pairs of fixed 100G transponders.
+                                  // And 8 pairs of fixed 100G transponders.
         let fixed = select_formats(&FixedGrid100G, 800, 250, EPS).unwrap();
         assert_eq!(fixed.len(), 8);
     }

@@ -108,7 +108,10 @@ impl Plan {
     /// The paper's spectrum-usage metric `Σ_e Σ_k Σ_j λ^{e,k}_j · Y_j`,
     /// GHz.
     pub fn spectrum_usage_ghz(&self) -> f64 {
-        self.wavelengths.iter().map(|w| w.format.spacing.ghz()).sum()
+        self.wavelengths
+            .iter()
+            .map(|w| w.format.spacing.ghz())
+            .sum()
     }
 
     /// Capacity provisioned for `link`, Gbps.
@@ -184,11 +187,19 @@ fn plan_with_routes(
     let mut order: Vec<usize> = (0..ip.num_links()).collect();
     match cfg.order {
         LinkOrder::MostConstrainedFirst => order.sort_by_key(|&i| {
-            let len = candidate_routes[i].first().map_or(u32::MAX, |p| p.length_km);
-            (std::cmp::Reverse(len), std::cmp::Reverse(ip.links()[i].demand_gbps), i)
+            let len = candidate_routes[i]
+                .first()
+                .map_or(u32::MAX, |p| p.length_km);
+            (
+                std::cmp::Reverse(len),
+                std::cmp::Reverse(ip.links()[i].demand_gbps),
+                i,
+            )
         }),
         LinkOrder::ShortestFirst => order.sort_by_key(|&i| {
-            let len = candidate_routes[i].first().map_or(u32::MAX, |p| p.length_km);
+            let len = candidate_routes[i]
+                .first()
+                .map_or(u32::MAX, |p| p.length_km);
             (len, ip.links()[i].demand_gbps, i)
         }),
         LinkOrder::InputOrder => {}
@@ -253,7 +264,13 @@ fn plan_with_routes(
         }
     }
 
-    Plan { scheme, wavelengths, unmet, spectrum, candidate_routes }
+    Plan {
+        scheme,
+        wavelengths,
+        unmet,
+        spectrum,
+        candidate_routes,
+    }
 }
 
 /// Largest demand multiplier in `1..=max_scale` at which `scheme` still
@@ -323,7 +340,10 @@ mod tests {
     }
 
     fn small_cfg(pixels: u32) -> PlannerConfig {
-        PlannerConfig { grid: SpectrumGrid::new(pixels), ..Default::default() }
+        PlannerConfig {
+            grid: SpectrumGrid::new(pixels),
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -411,20 +431,28 @@ mod tests {
         // each must occupy its own fiber pair of the a–b conduit.
         let (g, ip) = two_node();
         let mut ip2 = IpTopology::new();
-        ip2.add_link(flexwan_topo::graph::NodeId(0), flexwan_topo::graph::NodeId(1), 1600);
+        ip2.add_link(
+            flexwan_topo::graph::NodeId(0),
+            flexwan_topo::graph::NodeId(1),
+            1600,
+        );
         let _ = ip;
         let p = plan(Scheme::FlexWan, &g, &ip2, &small_cfg(11));
         assert!(p.is_feasible(), "unmet: {:?}", p.unmet);
         assert_eq!(p.transponder_count(), 2);
         let fibers_used: std::collections::HashSet<_> =
             p.wavelengths.iter().map(|w| w.path.edges[0]).collect();
-        assert_eq!(fibers_used.len(), 2, "demand must split across both fiber pairs");
+        assert_eq!(
+            fibers_used.len(),
+            2,
+            "demand must split across both fiber pairs"
+        );
     }
 
     #[test]
     fn infeasible_when_spectrum_exhausted() {
         let (g, ip) = two_node(); // 800 G demand
-        // 4 pixels = 50 GHz per fiber: no SVT format for 800 G fits.
+                                  // 4 pixels = 50 GHz per fiber: no SVT format for 800 G fits.
         let p = plan(Scheme::FlexWan, &g, &ip, &small_cfg(4));
         assert!(!p.is_feasible());
         assert!(p.unmet_gbps() > 0);
@@ -472,8 +500,16 @@ mod tests {
         // second cannot fit 7 px twice in 10 px → detour (900 km) needs
         // 150 GHz = 12 px > 10 px → unmet. With 20 px both fit directly.
         let mut ip2 = IpTopology::new();
-        ip2.add_link(flexwan_topo::graph::NodeId(0), flexwan_topo::graph::NodeId(1), 600);
-        ip2.add_link(flexwan_topo::graph::NodeId(0), flexwan_topo::graph::NodeId(1), 600);
+        ip2.add_link(
+            flexwan_topo::graph::NodeId(0),
+            flexwan_topo::graph::NodeId(1),
+            600,
+        );
+        ip2.add_link(
+            flexwan_topo::graph::NodeId(0),
+            flexwan_topo::graph::NodeId(1),
+            600,
+        );
         let _ = ip;
         let p10 = plan(Scheme::FlexWan, &g, &ip2, &cfg);
         assert!(!p10.is_feasible());

@@ -90,8 +90,14 @@ fn plan_incremental_with_routes(
     // Deficits, most-constrained first (same discipline as fresh planning).
     let mut order: Vec<usize> = (0..ip.num_links()).collect();
     order.sort_by_key(|&i| {
-        let len = candidate_routes[i].first().map_or(u32::MAX, |r| r.length_km);
-        (std::cmp::Reverse(len), std::cmp::Reverse(ip.links()[i].demand_gbps), i)
+        let len = candidate_routes[i]
+            .first()
+            .map_or(u32::MAX, |r| r.length_km);
+        (
+            std::cmp::Reverse(len),
+            std::cmp::Reverse(ip.links()[i].demand_gbps),
+            i,
+        )
     });
 
     let mut unmet = Vec::new();
@@ -152,7 +158,13 @@ fn plan_incremental_with_routes(
         }
     }
 
-    Plan { scheme, wavelengths, unmet, spectrum, candidate_routes }
+    Plan {
+        scheme,
+        wavelengths,
+        unmet,
+        spectrum,
+        candidate_routes,
+    }
 }
 
 #[cfg(test)]
@@ -177,7 +189,10 @@ mod tests {
     }
 
     fn cfg() -> PlannerConfig {
-        PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() }
+        PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -231,7 +246,10 @@ mod tests {
     #[test]
     fn incremental_reports_unmet_when_full() {
         let (g, ip) = backbone();
-        let tight = PlannerConfig { grid: SpectrumGrid::new(8), ..Default::default() };
+        let tight = PlannerConfig {
+            grid: SpectrumGrid::new(8),
+            ..Default::default()
+        };
         let base = plan(Scheme::FlexWan, &g, &ip, &tight);
         // Base fits (one 75 GHz channel per fiber); doubling cannot.
         assert!(base.is_feasible());
@@ -253,7 +271,10 @@ mod tests {
         g.add_edge(a, b, 100);
         let mut ip = IpTopology::new();
         ip.add_link(a, b, 100); // 100 G → 50 GHz = 4 px
-        let tight = PlannerConfig { grid: SpectrumGrid::new(20), ..Default::default() };
+        let tight = PlannerConfig {
+            grid: SpectrumGrid::new(20),
+            ..Default::default()
+        };
         let base = plan(Scheme::FlexWan, &g, &ip, &tight);
         // Manually fragment: the base wavelength sits at [0,4); occupy a
         // decoy in the middle by planning a second link, then remove it…
@@ -266,8 +287,14 @@ mod tests {
         let inc1 = plan_incremental(&base, &g, &grown, &tight);
         assert!(inc1.is_feasible());
         let _ = inc1;
-        let without = PlannerConfig { defrag_moves: 0, ..tight.clone() };
-        let with = PlannerConfig { defrag_moves: 2, ..tight };
+        let without = PlannerConfig {
+            defrag_moves: 0,
+            ..tight.clone()
+        };
+        let with = PlannerConfig {
+            defrag_moves: 2,
+            ..tight
+        };
         // Fragmented layout: place wavelengths at [0,4) and force the next
         // allocation to need a 16-px run.
         let mut frag_ip = IpTopology::new();

@@ -1,4 +1,5 @@
-//! The exact Algorithm 1 formulation, built verbatim on `flexwan-solver`.
+//! The exact Algorithm 1 formulation, built on the shared
+//! [`crate::opt`] variable-space layer over `flexwan-solver`.
 //!
 //! Decision variables are the paper's `γ^{e,k}_{j,q}` (wavelength of
 //! format `j` starting at pixel order `q` on path `k` of link `e`);
@@ -6,27 +7,42 @@
 //! substituted into the constraints rather than materialized, which keeps
 //! the model pure-binary without changing its feasible set:
 //!
-//! * capacity (1): `Σ_k Σ_j d_j λ^{e,k}_j ≥ c_e`;
+//! * capacity (1): `Σ_k Σ_j d_j λ^{e,k}_j ≥ c_e` — the named `capacity`
+//!   constraint group, one row per IP link;
 //! * reach (2): enforced structurally — formats with `l_j < |P_{e,k}|`
 //!   get no variables;
 //! * conflict (3) + consistency (4) + status (5): for every fiber `φ` and
-//!   slot `w`, `Σ γ·s^{j,q}_w·π^{e,k}_φ ≤ 1` (a wavelength occupies the
-//!   same slots on every fiber of its path by construction of `s`);
+//!   slot `w`, `Σ γ·s^{j,q}_w·π^{e,k}_φ ≤ 1` — the `conflict` group,
+//!   rows bucketed per fiber (a wavelength occupies the same slots on
+//!   every fiber of its path by construction of `s`);
 //! * transponder count (6): `λ = Σ_q γ` is the substitution itself.
+//!
+//! [`PlanModel`] keeps the built model *standing*: after a planning
+//! solve, a fiber-cut restoration (§8) is expressed as a **mutation** of
+//! the same model — surviving wavelengths pinned, cut-path candidates
+//! banned, the cut fiber's conflict rows and the affected links' capacity
+//! rows deactivated, restoration caps `c'_e`/`N_e` appended — and
+//! re-solved warm from the planning basis via
+//! [`flexwan_solver::IncrementalSolver`]. `tests/restore_mutation.rs`
+//! cross-validates the mutated re-solve against a from-scratch build.
 //!
 //! This model is exponential in practice (the paper runs Gurobi "within
 //! hours"); it exists to validate the scalable heuristic on small
 //! instances, and the validation tests live in
 //! `tests/planning_exact_vs_heuristic.rs`.
 
-use flexwan_solver::{LinExpr, Model, Sense, SolveOptions, SolverStats, Status};
-use flexwan_topo::graph::Graph;
-use flexwan_topo::ip::IpTopology;
+use flexwan_solver::{
+    Cmp, IncrementalSolver, LinExpr, Model, RowId, Sense, Solution, SolveOptions, SolverStats,
+    Status,
+};
+use flexwan_topo::graph::{EdgeId, Graph};
+use flexwan_topo::ip::{IpLinkId, IpTopology};
 use flexwan_topo::ksp::k_shortest_paths;
 use flexwan_topo::path::Path;
 
-use crate::planning::format_dp::reachable_formats;
+use crate::opt::{GammaId, WavelengthVarSpace};
 use crate::planning::heuristic::PlannerConfig;
+use crate::restore::scenario::FailureScenario;
 use crate::scheme::Scheme;
 use crate::wavelength::Wavelength;
 
@@ -42,6 +58,433 @@ pub struct ExactPlan {
     pub stats: SolverStats,
 }
 
+/// A restoration optimum obtained by mutating a standing [`PlanModel`].
+#[derive(Debug, Clone)]
+pub struct MutatedRestoration {
+    /// Objective value of the mutated solve (`Σ rate·γ` over the newly
+    /// placed restoration wavelengths, Gbps), recomputed from the
+    /// incumbent wavelength set so it is bit-for-bit reproducible across
+    /// warm and cold re-solves.
+    pub objective: f64,
+    /// Restored capacity, Gbps.
+    pub restored_gbps: u64,
+    /// Capacity lost to the scenario, Gbps.
+    pub affected_gbps: u64,
+    /// The restoration wavelengths placed by the mutated solve.
+    pub wavelengths: Vec<Wavelength>,
+    /// Solver counters for the mutated re-solve (`warm_solves` vs
+    /// `cold_solves` shows whether the planning basis was reused).
+    pub stats: SolverStats,
+}
+
+/// The Algorithm 1 model kept standing for incremental re-solves.
+///
+/// Construction is a single pass over the γ variable space: every
+/// constraint row is a bucket lookup in [`WavelengthVarSpace`], so build
+/// time is linear in the model's nonzero count (the pre-refactor builder
+/// re-scanned all γ per row — quadratic; `bench_eval` gates the win).
+pub struct PlanModel {
+    solver: IncrementalSolver,
+    space: WavelengthVarSpace,
+    /// `capacity` group rows, one per IP link (same index).
+    capacity_rows: Vec<RowId>,
+    /// `conflict` group rows, bucketed per fiber.
+    conflict_rows: Vec<(EdgeId, Vec<RowId>)>,
+    link_ids: Vec<IpLinkId>,
+    /// Endpoints per IP link, for re-deriving §8 restoration path sets.
+    link_ends: Vec<(flexwan_topo::graph::NodeId, flexwan_topo::graph::NodeId)>,
+    k_paths: usize,
+    /// The planning objective, kept to restore it after a mutation.
+    objective: LinExpr,
+    /// The last planning solution (mutations need to know which γ won).
+    solution: Option<Solution>,
+}
+
+impl PlanModel {
+    /// Builds the standing Algorithm 1 model for an instance, with the
+    /// paper's candidate-path set `P_{e,k}` (plain KSP). The model this
+    /// produces is identical to the pre-refactor `solve_exact` builder.
+    pub fn build(scheme: Scheme, optical: &Graph, ip: &IpTopology, cfg: &PlannerConfig) -> Self {
+        let none = std::collections::HashSet::new();
+        let paths_per_link: Vec<Vec<Path>> = ip
+            .links()
+            .iter()
+            .map(|link| k_shortest_paths(optical, link.src, link.dst, cfg.k_paths, &none))
+            .collect();
+        Self::build_from_paths(scheme, optical, ip, cfg, paths_per_link)
+    }
+
+    /// Like [`build`](Self::build), but the candidate-path set of every
+    /// link is extended with the K shortest paths avoiding each single
+    /// fiber (deduplicated, deterministic order). This guarantees that
+    /// for any single-fiber cut, the restoration path set `P'_{e,k}` of
+    /// the from-scratch §8 model is present in the standing variable
+    /// space, so [`restore_after_cut`](Self::restore_after_cut) reaches
+    /// the same optimum the from-scratch build would.
+    pub fn build_restorable(
+        scheme: Scheme,
+        optical: &Graph,
+        ip: &IpTopology,
+        cfg: &PlannerConfig,
+    ) -> Self {
+        let none = std::collections::HashSet::new();
+        let paths_per_link: Vec<Vec<Path>> = ip
+            .links()
+            .iter()
+            .map(|link| {
+                let mut paths = Vec::new();
+                let mut seen: std::collections::HashSet<Vec<flexwan_topo::graph::EdgeId>> =
+                    std::collections::HashSet::new();
+                let mut push_all = |found: Vec<Path>, paths: &mut Vec<Path>| {
+                    for p in found {
+                        if seen.insert(p.edges.clone()) {
+                            paths.push(p);
+                        }
+                    }
+                };
+                push_all(
+                    k_shortest_paths(optical, link.src, link.dst, cfg.k_paths, &none),
+                    &mut paths,
+                );
+                for fiber in optical.edges() {
+                    let banned = std::collections::HashSet::from([fiber.id]);
+                    push_all(
+                        k_shortest_paths(optical, link.src, link.dst, cfg.k_paths, &banned),
+                        &mut paths,
+                    );
+                }
+                paths
+            })
+            .collect();
+        Self::build_from_paths(scheme, optical, ip, cfg, paths_per_link)
+    }
+
+    fn build_from_paths(
+        scheme: Scheme,
+        optical: &Graph,
+        ip: &IpTopology,
+        cfg: &PlannerConfig,
+        paths_per_link: Vec<Vec<Path>>,
+    ) -> Self {
+        let pixels = cfg.grid.pixels();
+        let mut m = Model::new();
+        let space = WavelengthVarSpace::enumerate(
+            &mut m,
+            scheme,
+            pixels,
+            optical.num_edges(),
+            "g_e",
+            paths_per_link,
+            |_, _| true,
+        );
+
+        // (1) capacity per link.
+        m.group("capacity");
+        let capacity_rows: Vec<RowId> = ip
+            .links()
+            .iter()
+            .enumerate()
+            .map(|(li, link)| m.ge(space.rate_expr(li), link.demand_gbps as f64))
+            .collect();
+        m.end_group();
+
+        // (3)/(4)/(5): per (fiber, slot) at most one occupying wavelength.
+        m.group("conflict");
+        let conflict_rows = space.conflict_rows(&mut m, optical.edges().iter().map(|e| e.id), 1);
+        m.end_group();
+
+        // Objective: Σ (1 + ε·Y_j) γ.
+        let objective = space.weighted_expr(|g| 1.0 + cfg.epsilon * g.format.spacing.ghz());
+        m.set_objective(Sense::Minimize, objective.clone());
+
+        PlanModel {
+            solver: IncrementalSolver::new(m),
+            space,
+            capacity_rows,
+            conflict_rows,
+            link_ids: ip.links().iter().map(|l| l.id).collect(),
+            link_ends: ip.links().iter().map(|l| (l.src, l.dst)).collect(),
+            k_paths: cfg.k_paths,
+            objective,
+            solution: None,
+        }
+    }
+
+    /// The γ variable space the model is built on.
+    pub fn space(&self) -> &WavelengthVarSpace {
+        &self.space
+    }
+
+    /// The underlying solver model (read-only) — row/variable counts,
+    /// constraint groups, and per-row inspection for observability.
+    pub fn model(&self) -> &Model {
+        self.solver.model()
+    }
+
+    /// Drops the stored basis so the next (re-)solve runs cold — the
+    /// from-scratch comparator used by cross-validation tests and the
+    /// bench harness.
+    pub fn drop_basis(&mut self) {
+        self.solver.invalidate_basis();
+    }
+
+    /// Solves (or re-solves) the standing planning model. Warm-starts
+    /// from the previous basis when one is available.
+    pub fn solve(&mut self, opts: &SolveOptions) -> Option<ExactPlan> {
+        let (sol, stats) = self.solver.solve(opts);
+        match sol.status {
+            Status::Optimal => {}
+            Status::NodeLimit if !sol.objective.is_nan() => {}
+            // `Error` means the model itself was malformed (NaN
+            // coefficient, inverted bounds, …) — a bug in this
+            // formulation, not an infeasible instance; fold it into
+            // `None` like the others but keep the arm explicit so the
+            // distinction is visible here.
+            Status::Error => {
+                self.solution = None;
+                return None;
+            }
+            _ => {
+                self.solution = None;
+                return None;
+            }
+        }
+        let link_ids = &self.link_ids;
+        let wavelengths = self.space.extract(&sol, |slot| link_ids[slot]);
+        let plan = ExactPlan {
+            objective: sol.objective,
+            wavelengths,
+            stats,
+        };
+        self.solution = Some(sol);
+        Some(plan)
+    }
+
+    /// §8 restoration as a mutation of the standing planning model.
+    ///
+    /// Requires a prior successful [`solve`](Self::solve). The mutation:
+    ///
+    /// 1. pins every surviving planned wavelength (`γ = 1`), bans every
+    ///    candidate whose path crosses a cut fiber and every unselected
+    ///    candidate on unaffected links (`γ = 0`) — unaffected links keep
+    ///    exactly their planned wavelengths;
+    /// 2. deactivates the affected links' `capacity` rows (their demand
+    ///    can no longer be asserted) and the cut fibers' `conflict` rows
+    ///    (that spectrum no longer exists);
+    /// 3. appends restoration caps per affected link: restored rate
+    ///    `≤ c'_e` (7) and restored count `≤ N_e` (+`extra_spares`) (8);
+    /// 4. flips the objective to maximize restored capacity and re-solves
+    ///    **warm** from the planning basis.
+    ///
+    /// Surviving wavelengths stay pinned inside the active conflict rows,
+    /// so the residual-spectrum constraint (9) is enforced structurally.
+    /// The candidate set is the standing enumeration restricted to the
+    /// §8 restoration path set `P'_{e,k}` (the K shortest paths avoiding
+    /// the cut, recomputed here): when the standing space contains those
+    /// paths — guaranteed by [`build_restorable`](Self::build_restorable)
+    /// for single-fiber cuts — the mutated model's feasible set equals
+    /// the from-scratch §8 model's, so their optima coincide. With a
+    /// plain [`build`](Self::build) (or multi-fiber cuts) missing detour
+    /// paths can only shrink the candidate set, so the mutated optimum
+    /// lower-bounds the from-scratch one. `optical` must be the graph
+    /// the model was built on. The mutation is fully reverted before
+    /// returning, leaving the standing model solvable as a planning
+    /// model again.
+    pub fn restore_after_cut(
+        &mut self,
+        optical: &Graph,
+        scenario: &FailureScenario,
+        extra_spares: &[u32],
+        opts: &SolveOptions,
+    ) -> Option<MutatedRestoration> {
+        let sol = self.solution.clone()?;
+        let banned = scenario.banned();
+        let crosses = |space: &WavelengthVarSpace, g: GammaId| {
+            space
+                .path_of(space.get(g))
+                .edges
+                .iter()
+                .any(|e| banned.contains(e))
+        };
+
+        // Per affected link (first-seen order): lost capacity c'_e and
+        // spare transponders N_e.
+        let mut lost_order: Vec<usize> = Vec::new();
+        let mut lost: std::collections::HashMap<usize, (u64, u32)> =
+            std::collections::HashMap::new();
+        for (i, g) in self.space.gammas().iter().enumerate() {
+            if sol.value(g.var) > 0.5 && crosses(&self.space, GammaId(i)) {
+                let entry = lost.entry(g.slot).or_insert_with(|| {
+                    lost_order.push(g.slot);
+                    (0, 0)
+                });
+                entry.0 += u64::from(g.format.data_rate_gbps);
+                entry.1 += 1;
+            }
+        }
+        let affected_gbps: u64 = lost.values().map(|&(c, _)| c).sum();
+        if affected_gbps == 0 {
+            return Some(MutatedRestoration {
+                objective: 0.0,
+                restored_gbps: 0,
+                affected_gbps: 0,
+                wavelengths: Vec::new(),
+                stats: SolverStats::default(),
+            });
+        }
+        if !extra_spares.is_empty() {
+            for (&slot, entry) in lost.iter_mut() {
+                entry.1 += extra_spares[slot];
+            }
+        }
+
+        // §8 candidate paths per affected link: the K shortest paths
+        // avoiding the cut. Restricting the free variables to exactly
+        // this set is what makes the mutated model match the from-scratch
+        // build (which enumerates precisely these paths).
+        let restore_paths: std::collections::HashMap<
+            usize,
+            std::collections::HashSet<Vec<EdgeId>>,
+        > = lost_order
+            .iter()
+            .map(|&slot| {
+                let (src, dst) = self.link_ends[slot];
+                let set = k_shortest_paths(optical, src, dst, self.k_paths, &banned)
+                    .into_iter()
+                    .map(|p| p.edges)
+                    .collect();
+                (slot, set)
+            })
+            .collect();
+
+        // (1) pin survivors; ban cut paths, unaffected non-selections and
+        // candidates outside the §8 restoration path set.
+        let mut candidates: Vec<GammaId> = Vec::new();
+        for (i, g) in self.space.gammas().iter().enumerate() {
+            let id = GammaId(i);
+            let selected = sol.value(g.var) > 0.5;
+            if crosses(&self.space, id) {
+                self.solver.set_var_bounds(g.var, 0.0, 0.0);
+            } else if selected {
+                self.solver.set_var_bounds(g.var, 1.0, 1.0);
+            } else if restore_paths
+                .get(&g.slot)
+                .is_some_and(|set| set.contains(&self.space.path_of(g).edges))
+            {
+                candidates.push(id); // free: a restoration candidate
+            } else {
+                self.solver.set_var_bounds(g.var, 0.0, 0.0);
+            }
+        }
+
+        // (2) retire the rows the failure invalidates.
+        for &slot in &lost_order {
+            self.solver.deactivate_row(self.capacity_rows[slot]);
+        }
+        for (fiber, rows) in &self.conflict_rows {
+            if banned.contains(fiber) {
+                for &r in rows {
+                    self.solver.deactivate_row(r);
+                }
+            }
+        }
+
+        // (3) append the §8 caps over the candidates of each affected
+        // link, under named groups on the standing model.
+        let mut added: Vec<RowId> = Vec::new();
+        for &slot in &lost_order {
+            let (c, n) = lost[&slot];
+            let cands: Vec<GammaId> = candidates
+                .iter()
+                .copied()
+                .filter(|&id| self.space.get(id).slot == slot)
+                .collect();
+            let rate = LinExpr::sum(cands.iter().map(|&id| {
+                let g = self.space.get(id);
+                f64::from(g.format.data_rate_gbps) * g.var
+            }));
+            let count = LinExpr::sum(cands.iter().map(|&id| 1.0 * self.space.get(id).var));
+            self.solver.model_mut().group("restore_rate");
+            added.push(self.solver.add_constraint(rate, Cmp::Le, c as f64));
+            self.solver.model_mut().group("restore_count");
+            added.push(self.solver.add_constraint(count, Cmp::Le, f64::from(n)));
+            self.solver.model_mut().end_group();
+        }
+
+        // (4) maximize restored capacity, re-solve warm. The vanishing
+        // per-candidate perturbation (≪ the 100 Gbps rate quantum in
+        // total) breaks ties between equal-rate placements toward lower
+        // enumeration order, so warm and cold solves of the same mutation
+        // land on the same incumbent set. Quadratic in the position, not
+        // linear: permuting the channels of two equal-width placements
+        // shifts positions by equal-and-opposite amounts, which a linear
+        // weight cannot see, while the square's cross-term can.
+        let restore_obj = LinExpr::sum(candidates.iter().enumerate().map(|(pos, &id)| {
+            let g = self.space.get(id);
+            let p = (pos + 1) as f64;
+            (f64::from(g.format.data_rate_gbps) - 1e-6 * p * p) * g.var
+        }));
+        self.solver.set_objective(Sense::Maximize, restore_obj);
+        let (rsol, stats) = self.solver.solve(opts);
+
+        // Revert the mutation: the standing model is a planning model
+        // again (the appended caps stay allocated but inactive, keeping
+        // every RowId stable).
+        for g in self.space.gammas() {
+            self.solver.set_var_bounds(g.var, 0.0, 1.0);
+        }
+        for &slot in &lost_order {
+            self.solver.activate_row(self.capacity_rows[slot]);
+        }
+        for (fiber, rows) in &self.conflict_rows {
+            if banned.contains(fiber) {
+                for &r in rows {
+                    self.solver.activate_row(r);
+                }
+            }
+        }
+        for r in added {
+            self.solver.deactivate_row(r);
+        }
+        self.solver
+            .set_objective(Sense::Minimize, self.objective.clone());
+
+        match rsol.status {
+            Status::Optimal => {}
+            Status::NodeLimit if !rsol.objective.is_nan() => {}
+            _ => return None,
+        }
+        let wavelengths: Vec<Wavelength> = candidates
+            .iter()
+            .filter(|&&id| rsol.value(self.space.get(id).var) > 0.5)
+            .map(|&id| {
+                let g = self.space.get(id);
+                Wavelength {
+                    link: self.link_ids[g.slot],
+                    path_index: g.path_index,
+                    path: self.space.path_of(g).clone(),
+                    format: g.format,
+                    channel: g.channel(),
+                }
+            })
+            .collect();
+        // Recompute the objective from the incumbent set: exact integer
+        // arithmetic in f64, immune to the last-bit drift different pivot
+        // sequences (warm vs cold) leave on the solver's running value.
+        let restored_gbps: u64 = wavelengths
+            .iter()
+            .map(|w| u64::from(w.format.data_rate_gbps))
+            .sum();
+        Some(MutatedRestoration {
+            objective: restored_gbps as f64,
+            restored_gbps,
+            affected_gbps,
+            wavelengths,
+            stats,
+        })
+    }
+}
+
 /// Solves Algorithm 1 exactly. Returns `None` when the instance is
 /// infeasible (or the node limit was exhausted without an incumbent —
 /// callers size their instances to avoid this; see module docs).
@@ -52,105 +495,7 @@ pub fn solve_exact(
     cfg: &PlannerConfig,
     opts: &SolveOptions,
 ) -> Option<ExactPlan> {
-    let align = scheme.alignment_pixels();
-    let model_t = scheme.transponder();
-    let pixels = cfg.grid.pixels();
-    let none = std::collections::HashSet::new();
-
-    let mut m = Model::new();
-    // Variable registry: (link idx, path idx, format, start pixel) per γ.
-    struct GammaVar {
-        link: usize,
-        path: usize,
-        format: flexwan_optical::TransponderFormat,
-        start: u32,
-        var: flexwan_solver::Var,
-    }
-    let mut gammas: Vec<GammaVar> = Vec::new();
-    let mut paths_per_link: Vec<Vec<Path>> = Vec::new();
-
-    for (li, link) in ip.links().iter().enumerate() {
-        let paths = k_shortest_paths(optical, link.src, link.dst, cfg.k_paths, &none);
-        for (ki, path) in paths.iter().enumerate() {
-            for format in reachable_formats(model_t, path.length_km) {
-                let w = u32::from(format.spacing.pixels());
-                let mut q = 0u32;
-                while q + w <= pixels {
-                    let var = m.binary(format!(
-                        "g_e{li}_k{ki}_d{}_y{}_q{q}",
-                        format.data_rate_gbps,
-                        format.spacing.pixels()
-                    ));
-                    gammas.push(GammaVar { link: li, path: ki, format, start: q, var });
-                    q += align;
-                }
-            }
-        }
-        paths_per_link.push(paths);
-    }
-
-    // (1) capacity per link.
-    for (li, link) in ip.links().iter().enumerate() {
-        let expr = LinExpr::sum(
-            gammas
-                .iter()
-                .filter(|g| g.link == li)
-                .map(|g| f64::from(g.format.data_rate_gbps) * g.var),
-        );
-        m.ge(expr, link.demand_gbps as f64);
-    }
-
-    // (3)/(4)/(5): per (fiber, slot) at most one occupying wavelength.
-    for fiber in optical.edges() {
-        for w in 0..pixels {
-            let expr = LinExpr::sum(
-                gammas
-                    .iter()
-                    .filter(|g| {
-                        paths_per_link[g.link][g.path].uses_edge(fiber.id)
-                            && g.start <= w
-                            && w < g.start + u32::from(g.format.spacing.pixels())
-                    })
-                    .map(|g| 1.0 * g.var),
-            );
-            if !expr.terms.is_empty() {
-                m.le(expr, 1.0);
-            }
-        }
-    }
-
-    // Objective: Σ (1 + ε·Y_j) γ.
-    let obj = LinExpr::sum(
-        gammas
-            .iter()
-            .map(|g| (1.0 + cfg.epsilon * g.format.spacing.ghz()) * g.var),
-    );
-    m.set_objective(Sense::Minimize, obj);
-
-    let (sol, stats) = m.solve_with_stats(opts);
-    match sol.status {
-        Status::Optimal => {}
-        Status::NodeLimit if !sol.objective.is_nan() => {}
-        // `Error` means the model itself was malformed (NaN coefficient,
-        // inverted bounds, …) — a bug in this formulation, not an
-        // infeasible instance; fold it into `None` like the others but
-        // keep the arm explicit so the distinction is visible here.
-        Status::Error => return None,
-        _ => return None,
-    }
-
-    let wavelengths = gammas
-        .iter()
-        .filter(|g| sol.value(g.var) > 0.5)
-        .map(|g| Wavelength {
-            link: ip.links()[g.link].id,
-            path_index: g.path,
-            path: paths_per_link[g.link][g.path].clone(),
-            format: g.format,
-            channel: flexwan_optical::PixelRange::new(g.start, g.format.spacing),
-        })
-        .collect();
-    Some(ExactPlan { objective: sol.objective, wavelengths, stats })
+    PlanModel::build(scheme, optical, ip, cfg).solve(opts)
 }
 
 impl ExactPlan {
@@ -161,7 +506,10 @@ impl ExactPlan {
 
     /// Spectrum usage `Σ λ·Y`, GHz.
     pub fn spectrum_usage_ghz(&self) -> f64 {
-        self.wavelengths.iter().map(|w| w.format.spacing.ghz()).sum()
+        self.wavelengths
+            .iter()
+            .map(|w| w.format.spacing.ghz())
+            .sum()
     }
 }
 
@@ -171,11 +519,18 @@ mod tests {
     use flexwan_optical::spectrum::SpectrumGrid;
 
     fn cfg(pixels: u32) -> PlannerConfig {
-        PlannerConfig { grid: SpectrumGrid::new(pixels), k_paths: 2, ..Default::default() }
+        PlannerConfig {
+            grid: SpectrumGrid::new(pixels),
+            k_paths: 2,
+            ..Default::default()
+        }
     }
 
     fn opts() -> SolveOptions {
-        SolveOptions { max_nodes: 20_000, ..Default::default() }
+        SolveOptions {
+            max_nodes: 20_000,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -241,5 +596,86 @@ mod tests {
         let exact = solve_exact(Scheme::FlexWan, &g, &ip, &cfg(8), &opts()).unwrap();
         assert_eq!(exact.transponder_count(), 1);
         assert_eq!(exact.wavelengths[0].path.num_hops(), 2);
+    }
+
+    #[test]
+    fn standing_model_restores_the_3_3_example_by_mutation() {
+        // §3.3's square: primary a–b (600 km) plus detour a–c–b (1200 km).
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 600);
+        g.add_edge(a, c, 600);
+        g.add_edge(c, b, 600);
+        let mut ip = IpTopology::new();
+        ip.add_link(a, b, 300);
+        let mut pm = PlanModel::build(Scheme::FlexWan, &g, &ip, &cfg(16));
+        let plan = pm.solve(&opts()).unwrap();
+        assert_eq!(plan.transponder_count(), 1);
+
+        let cut = FailureScenario {
+            id: 0,
+            cuts: vec![EdgeId(0)],
+            probability: 1.0,
+        };
+        // The exact planner provisions one 400 G @ 75 GHz wavelength
+        // (same cost as 300 G @ 75 GHz, more capacity).
+        let r = pm.restore_after_cut(&g, &cut, &[], &opts()).unwrap();
+        assert_eq!(r.affected_gbps, 400);
+        assert_eq!(r.restored_gbps, 400); // FlexWAN revives everything
+        for w in &r.wavelengths {
+            assert!(!w.path.uses_edge(EdgeId(0)));
+            assert!(w.format.reach_km >= w.path.length_km);
+        }
+
+        // The mutation reverts fully: the standing model re-solves to the
+        // same planning optimum.
+        let again = pm.solve(&opts()).unwrap();
+        assert_eq!(again.objective.to_bits(), plan.objective.to_bits());
+        assert_eq!(again.wavelengths, plan.wavelengths);
+    }
+
+    #[test]
+    fn mutation_without_a_solve_is_refused() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, 200);
+        let mut ip = IpTopology::new();
+        ip.add_link(a, b, 800);
+        let mut pm = PlanModel::build(Scheme::FlexWan, &g, &ip, &cfg(16));
+        let cut = FailureScenario {
+            id: 0,
+            cuts: vec![EdgeId(0)],
+            probability: 1.0,
+        };
+        assert!(pm.restore_after_cut(&g, &cut, &[], &opts()).is_none());
+    }
+
+    #[test]
+    fn unaffected_cut_restores_trivially() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 600);
+        g.add_edge(a, c, 600);
+        g.add_edge(c, b, 600);
+        let mut ip = IpTopology::new();
+        ip.add_link(a, b, 300);
+        let mut pm = PlanModel::build(Scheme::FlexWan, &g, &ip, &cfg(16));
+        pm.solve(&opts()).unwrap();
+        // The plan rides the primary; cutting the unused detour loses
+        // nothing.
+        let cut = FailureScenario {
+            id: 1,
+            cuts: vec![EdgeId(1)],
+            probability: 1.0,
+        };
+        let r = pm.restore_after_cut(&g, &cut, &[], &opts()).unwrap();
+        assert_eq!(r.affected_gbps, 0);
+        assert_eq!(r.restored_gbps, 0);
+        assert!(r.wavelengths.is_empty());
     }
 }

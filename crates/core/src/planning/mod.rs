@@ -19,6 +19,6 @@ pub use heuristic::{
     PlannerConfig,
 };
 pub use incremental::{plan_incremental, plan_incremental_cached};
-pub use mip::{solve_exact, ExactPlan};
+pub use mip::{solve_exact, ExactPlan, MutatedRestoration, PlanModel};
 pub use report::{cdf, mean, percent_saved, report, PlanReport};
 pub use spectrum::SpectrumState;

@@ -27,7 +27,11 @@ pub fn report(plan: &Plan) -> PlanReport {
         spectrum_ghz: plan.spectrum_usage_ghz(),
         fiber_spectrum_ghz: plan.spectrum.total_occupied_ghz(),
         gaps_km: plan.wavelengths.iter().map(|w| w.reach_gap_km()).collect(),
-        spectral_efficiency: plan.wavelengths.iter().map(|w| w.spectral_efficiency()).collect(),
+        spectral_efficiency: plan
+            .wavelengths
+            .iter()
+            .map(|w| w.spectral_efficiency())
+            .collect(),
         unmet_gbps: plan.unmet_gbps(),
     }
 }
@@ -62,7 +66,11 @@ pub fn cdf<T: Copy + PartialOrd>(values: &[T]) -> Vec<(T, f64)> {
     let mut sorted: Vec<T> = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("CDF input must be orderable"));
     let n = sorted.len() as f64;
-    sorted.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n)).collect()
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n))
+        .collect()
 }
 
 /// Percent saved going from `baseline` to `ours`, e.g.
@@ -94,7 +102,10 @@ mod tests {
     #[test]
     fn report_totals() {
         let (g, ip) = tiny();
-        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        };
         let p = plan(Scheme::FixedGrid100G, &g, &ip, &cfg);
         let r = report(&p);
         assert_eq!(r.transponders, 4);
@@ -113,7 +124,10 @@ mod tests {
     #[test]
     fn flexwan_gap_is_small() {
         let (g, ip) = tiny();
-        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        };
         let r = report(&plan(Scheme::FlexWan, &g, &ip, &cfg));
         // 400 G at 150 km → 75 GHz format with reach 600: gap 450 km,
         // far below 100G-WAN's 2850.

@@ -25,7 +25,10 @@ pub struct SpectrumState {
 impl SpectrumState {
     /// All-free state for `num_fibers` fibers on `grid`.
     pub fn new(grid: SpectrumGrid, num_fibers: usize) -> Self {
-        SpectrumState { grid, masks: vec![SpectrumMask::new(grid); num_fibers] }
+        SpectrumState {
+            grid,
+            masks: vec![SpectrumMask::new(grid); num_fibers],
+        }
     }
 
     /// The grid in use.
@@ -41,8 +44,11 @@ impl SpectrumState {
     /// Finds the lowest `align`-aligned channel of `width` jointly free on
     /// every fiber of `path`, without allocating it.
     pub fn find(&self, path: &Path, width: PixelWidth, align: u32) -> Option<PixelRange> {
-        let masks: Vec<&SpectrumMask> =
-            path.edges.iter().map(|e| &self.masks[e.0 as usize]).collect();
+        let masks: Vec<&SpectrumMask> = path
+            .edges
+            .iter()
+            .map(|e| &self.masks[e.0 as usize])
+            .collect();
         SpectrumMask::first_fit_joint_aligned(&masks, width, align)
     }
 
@@ -112,7 +118,10 @@ impl SpectrumState {
             let range = PixelRange::new(start, width);
             let mut chosen = Vec::with_capacity(route.hops.len());
             let ok = route.hops.iter().all(|hop| {
-                match hop.iter().find(|e| self.masks[e.0 as usize].is_free(&range)) {
+                match hop
+                    .iter()
+                    .find(|e| self.masks[e.0 as usize].is_free(&range))
+                {
                     Some(e) => {
                         chosen.push(*e);
                         true
@@ -137,7 +146,9 @@ impl SpectrumState {
     ) -> Option<(PixelRange, Vec<EdgeId>)> {
         let (range, chosen) = self.find_route(route, width, align)?;
         for e in &chosen {
-            self.masks[e.0 as usize].occupy(&range).expect("found range is free");
+            self.masks[e.0 as usize]
+                .occupy(&range)
+                .expect("found range is free");
         }
         Some((range, chosen))
     }
@@ -227,7 +238,11 @@ mod tests {
         let (g, p) = chain();
         let mut s = SpectrumState::new(SpectrumGrid::new(16), g.num_edges());
         // Occupy on the second fiber only, via a one-hop path.
-        let p2 = Path::new(&g, vec![g.node_by_name("b").unwrap(), g.node_by_name("c").unwrap()], vec![EdgeId(1)]);
+        let p2 = Path::new(
+            &g,
+            vec![g.node_by_name("b").unwrap(), g.node_by_name("c").unwrap()],
+            vec![EdgeId(1)],
+        );
         let r = PixelRange::new(0, w(4));
         s.occupy_exact(&p2, &r).unwrap();
         // Whole-path exact occupation now conflicts on fiber 1 and must
@@ -245,15 +260,17 @@ mod tests {
         let b = g.add_node("b");
         g.add_edge(a, b, 100);
         g.add_edge(a, b, 102);
-        let routes =
-            flexwan_topo::route::k_shortest_routes(&g, a, b, 2, &Default::default());
+        let routes = flexwan_topo::route::k_shortest_routes(&g, a, b, 2, &Default::default());
         assert_eq!(routes.len(), 1, "one node-distinct route");
         let mut s = SpectrumState::new(SpectrumGrid::new(8), g.num_edges());
         let (r1, f1) = s.allocate_route(&routes[0], w(8), 1).unwrap();
         let (r2, f2) = s.allocate_route(&routes[0], w(8), 1).unwrap();
         assert_eq!(r1, r2, "same pixels, different pair");
         assert_ne!(f1, f2);
-        assert!(s.allocate_route(&routes[0], w(8), 1).is_none(), "conduit full");
+        assert!(
+            s.allocate_route(&routes[0], w(8), 1).is_none(),
+            "conduit full"
+        );
     }
 
     #[test]
@@ -274,8 +291,7 @@ mod tests {
             let p = Path::new(&g, vec![g.edge(e).a, g.edge(e).b], vec![e]);
             s.occupy_exact(&p, &PixelRange::new(0, w(8))).unwrap();
         }
-        let routes =
-            flexwan_topo::route::k_shortest_routes(&g, a, c, 1, &Default::default());
+        let routes = flexwan_topo::route::k_shortest_routes(&g, a, c, 1, &Default::default());
         let (range, chosen) = s.find_route(&routes[0], w(8), 1).unwrap();
         assert_eq!(range.start, 0);
         assert_eq!(chosen, vec![EdgeId(1), EdgeId(2)]);

@@ -1,5 +1,5 @@
 //! 1+1 dedicated path protection: the classic resilience baseline the
-//! restoration literature (including ARROW [49], which the paper builds
+//! restoration literature (including ARROW \[49\], which the paper builds
 //! on) positions itself against.
 //!
 //! Under 1+1, every IP link gets its capacity provisioned **twice**, on
@@ -119,8 +119,9 @@ fn conduit_key(nodes: &[NodeId], hop: usize) -> (NodeId, NodeId) {
 /// Whether two routes share any conduit (a cut severs all parallels, so
 /// disjointness must be at conduit granularity).
 fn conduit_disjoint(a: &Route, b: &Route) -> bool {
-    let keys_a: std::collections::HashSet<_> =
-        (0..a.hops.len()).map(|h| conduit_key(&a.nodes, h)).collect();
+    let keys_a: std::collections::HashSet<_> = (0..a.hops.len())
+        .map(|h| conduit_key(&a.nodes, h))
+        .collect();
     (0..b.hops.len()).all(|h| !keys_a.contains(&conduit_key(&b.nodes, h)))
 }
 
@@ -138,7 +139,14 @@ pub fn plan_protected(
         .links()
         .iter()
         .map(|l| {
-            k_shortest_routes_scratch(optical, l.src, l.dst, cfg.k_paths.max(4), &none, &mut scratch)
+            k_shortest_routes_scratch(
+                optical,
+                l.src,
+                l.dst,
+                cfg.k_paths.max(4),
+                &none,
+                &mut scratch,
+            )
         })
         .collect();
     plan_protected_with_routes(scheme, optical, ip, cfg, routes_per_link)
@@ -182,7 +190,11 @@ fn plan_protected_with_routes(
     let mut order: Vec<usize> = (0..ip.num_links()).collect();
     order.sort_by_key(|&i| {
         let len = routes_per_link[i].first().map_or(u32::MAX, |r| r.length_km);
-        (std::cmp::Reverse(len), std::cmp::Reverse(ip.links()[i].demand_gbps), i)
+        (
+            std::cmp::Reverse(len),
+            std::cmp::Reverse(ip.links()[i].demand_gbps),
+            i,
+        )
     });
 
     for &i in &order {
@@ -200,9 +212,7 @@ fn plan_protected_with_routes(
         let mut shortfall = 0u64;
         for (route, bucket) in [(primary, &mut working), (backup, &mut protection)] {
             let mut remaining = link.demand_gbps;
-            if let Some(formats) =
-                select_formats(model, remaining, route.length_km, cfg.epsilon)
-            {
+            if let Some(formats) = select_formats(model, remaining, route.length_km, cfg.epsilon) {
                 for format in formats {
                     if remaining == 0 {
                         break;
@@ -228,7 +238,14 @@ fn plan_protected_with_routes(
         }
     }
 
-    ProtectedPlan { scheme, working, protection, unprotectable, unmet, spectrum }
+    ProtectedPlan {
+        scheme,
+        working,
+        protection,
+        unprotectable,
+        unmet,
+        spectrum,
+    }
 }
 
 #[cfg(test)]
@@ -254,7 +271,10 @@ mod tests {
     }
 
     fn cfg() -> PlannerConfig {
-        PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() }
+        PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -267,7 +287,11 @@ mod tests {
         // The two copies ride disjoint routes.
         let w_edges: std::collections::HashSet<_> =
             pp.working[0].path.edges.iter().copied().collect();
-        assert!(pp.protection[0].path.edges.iter().all(|e| !w_edges.contains(e)));
+        assert!(pp.protection[0]
+            .path
+            .edges
+            .iter()
+            .all(|e| !w_edges.contains(e)));
         // Compare against the unprotected plan: exactly double here.
         let unp = crate::planning::plan(Scheme::FlexWan, &g, &ip, &cfg());
         assert_eq!(pp.transponder_count(), 2 * unp.transponder_count());
@@ -356,14 +380,21 @@ mod tests {
         g.add_edge(d, b, 350); // backup: 700 km
         let mut ip = IpTopology::new();
         ip.add_link(a, b, 400);
-        let tight = PlannerConfig { grid: SpectrumGrid::new(6), ..Default::default() };
+        let tight = PlannerConfig {
+            grid: SpectrumGrid::new(6),
+            ..Default::default()
+        };
         // 400 G at 400 km: 75 GHz = 6 px fits the grid; at 700 km it needs
         // 87.5 GHz = 7 px > grid → the backup copy stays unprovisioned.
         let pp = plan_protected(Scheme::FlexWan, &g, &ip, &tight);
         assert_eq!(pp.working.len(), 1);
         assert!(pp.protection.is_empty());
         assert!(!pp.unmet.is_empty());
-        let cut_primary = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+        let cut_primary = FailureScenario {
+            id: 0,
+            cuts: vec![EdgeId(0)],
+            probability: 1.0,
+        };
         assert_eq!(pp.capability_under(&ip, &cut_primary), 0.0);
     }
 }

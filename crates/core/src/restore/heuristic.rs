@@ -135,21 +135,25 @@ fn restore_impl(
         spares: u32,
         original_length_km: u32,
     }
+    // Keyed accumulation (first-seen order, re-sorted below) instead of a
+    // per-wavelength linear scan.
     let mut hits: Vec<Hit> = Vec::new();
+    let mut hit_index: std::collections::HashMap<IpLinkId, usize> =
+        std::collections::HashMap::new();
     for w in &affected {
-        match hits.iter_mut().find(|h| h.link == w.link) {
-            Some(h) => {
-                h.lost_gbps += u64::from(w.format.data_rate_gbps);
-                h.spares += 1;
-                h.original_length_km = h.original_length_km.max(w.path.length_km);
-            }
-            None => hits.push(Hit {
+        let at = *hit_index.entry(w.link).or_insert_with(|| {
+            hits.push(Hit {
                 link: w.link,
-                lost_gbps: u64::from(w.format.data_rate_gbps),
-                spares: 1,
-                original_length_km: w.path.length_km,
-            }),
-        }
+                lost_gbps: 0,
+                spares: 0,
+                original_length_km: 0,
+            });
+            hits.len() - 1
+        });
+        let h = &mut hits[at];
+        h.lost_gbps += u64::from(w.format.data_rate_gbps);
+        h.spares += 1;
+        h.original_length_km = h.original_length_km.max(w.path.length_km);
     }
     for h in &mut hits {
         if !extra_spares.is_empty() {
@@ -188,9 +192,7 @@ fn restore_impl(
                 // spacing first within a rate (constraint (7) + objective).
                 let mut candidates = reachable_formats(model, route.length_km);
                 candidates.retain(|f| u64::from(f.data_rate_gbps) <= remaining);
-                candidates.sort_by_key(|f| {
-                    (std::cmp::Reverse(f.data_rate_gbps), f.spacing)
-                });
+                candidates.sort_by_key(|f| (std::cmp::Reverse(f.data_rate_gbps), f.spacing));
                 let mut placed = false;
                 for format in candidates {
                     if let Some((channel, chosen)) =
@@ -221,7 +223,13 @@ fn restore_impl(
     }
 
     let restored_gbps = per_link.iter().map(|&(_, _, r)| r).sum();
-    Restoration { scenario_id: scenario.id, affected_gbps, restored_gbps, restored, per_link }
+    Restoration {
+        scenario_id: scenario.id,
+        affected_gbps,
+        restored_gbps,
+        restored,
+        per_link,
+    }
 }
 
 /// FlexWAN+ spare pool (Figure 16): for each IP link, half of the
@@ -237,13 +245,17 @@ pub fn flexwan_plus_extra_spares(
     ip.links()
         .iter()
         .map(|l| {
-            let Some(path) = flexwan_topo::ksp::shortest_path(optical, l.src, l.dst, &none)
-            else {
+            let Some(path) = flexwan_topo::ksp::shortest_path(optical, l.src, l.dst, &none) else {
                 return 0;
             };
             let count = |scheme: Scheme| -> Option<u32> {
-                select_formats(scheme.transponder(), l.demand_gbps, path.length_km, cfg.epsilon)
-                    .map(|v| v.len() as u32)
+                select_formats(
+                    scheme.transponder(),
+                    l.demand_gbps,
+                    path.length_km,
+                    cfg.epsilon,
+                )
+                .map(|v| v.len() as u32)
             };
             match (count(Scheme::Radwan), count(Scheme::FlexWan)) {
                 (Some(rad), Some(flex)) if rad > flex => (rad - flex).div_ceil(2),
@@ -276,13 +288,20 @@ mod tests {
     }
 
     fn cfg() -> PlannerConfig {
-        PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() }
+        PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        }
     }
 
     #[test]
     fn section_3_3_example_radwan_degrades_flexwan_revives() {
         let (g, ip) = square();
-        let cut = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+        let cut = FailureScenario {
+            id: 0,
+            cuts: vec![EdgeId(0)],
+            probability: 1.0,
+        };
 
         // RADWAN: 300 G over 600 km; restoration path 1200 km exceeds the
         // 8QAM reach (1100 km) → drops to 200 G: capability 2/3.
@@ -334,7 +353,11 @@ mod tests {
     fn restored_paths_avoid_cut_fibers() {
         let (g, ip) = square();
         let p = plan(Scheme::FlexWan, &g, &ip, &cfg());
-        let cut = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+        let cut = FailureScenario {
+            id: 0,
+            cuts: vec![EdgeId(0)],
+            probability: 1.0,
+        };
         let r = restore(&p, &g, &ip, &cut, &[], &cfg());
         for rw in &r.restored {
             assert!(!rw.wavelength.path.uses_edge(EdgeId(0)));
@@ -347,7 +370,11 @@ mod tests {
         let (g, ip) = square();
         let p = plan(Scheme::FlexWan, &g, &ip, &cfg());
         // Cut a fiber the plan does not use (the detour).
-        let cut = FailureScenario { id: 1, cuts: vec![EdgeId(1)], probability: 1.0 };
+        let cut = FailureScenario {
+            id: 1,
+            cuts: vec![EdgeId(1)],
+            probability: 1.0,
+        };
         let r = restore(&p, &g, &ip, &cut, &[], &cfg());
         assert_eq!(r.affected_gbps, 0);
         assert_eq!(r.capability(), 1.0);
@@ -358,10 +385,17 @@ mod tests {
     fn restoration_respects_surviving_spectrum() {
         // Make the detour spectrally tiny so restoration cannot fully fit.
         let (g, ip) = square();
-        let tight = PlannerConfig { grid: SpectrumGrid::new(7), ..Default::default() };
+        let tight = PlannerConfig {
+            grid: SpectrumGrid::new(7),
+            ..Default::default()
+        };
         let p = plan(Scheme::FlexWan, &g, &ip, &tight);
         assert!(p.is_feasible()); // 300 G @ 75 GHz = 6 px fits in 7
-        let cut = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+        let cut = FailureScenario {
+            id: 0,
+            cuts: vec![EdgeId(0)],
+            probability: 1.0,
+        };
         let r = restore(&p, &g, &ip, &cut, &[], &tight);
         // Restoration path needs 87.5 GHz = 7 px for 300 G; it fits the
         // empty detour exactly — but a 7-px grid cannot host 7 px if any
@@ -370,8 +404,16 @@ mod tests {
         // Now verify the conflict case: pre-occupy the detour by adding a
         // second link that lives there.
         let mut ip2 = IpTopology::new();
-        ip2.add_link(flexwan_topo::graph::NodeId(0), flexwan_topo::graph::NodeId(1), 300);
-        ip2.add_link(flexwan_topo::graph::NodeId(0), flexwan_topo::graph::NodeId(2), 300);
+        ip2.add_link(
+            flexwan_topo::graph::NodeId(0),
+            flexwan_topo::graph::NodeId(1),
+            300,
+        );
+        ip2.add_link(
+            flexwan_topo::graph::NodeId(0),
+            flexwan_topo::graph::NodeId(2),
+            300,
+        );
         let p2 = plan(Scheme::FlexWan, &g, &ip2, &tight);
         assert!(p2.is_feasible());
         let r2 = restore(&p2, &g, &ip2, &cut, &[], &tight);
@@ -396,7 +438,11 @@ mod tests {
         ip.add_link(a, b, 300);
         let p = plan(Scheme::FlexWan, &g, &ip, &cfg());
         assert_eq!(p.transponder_count(), 1); // one 300 G wavelength
-        let cut = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+        let cut = FailureScenario {
+            id: 0,
+            cuts: vec![EdgeId(0)],
+            probability: 1.0,
+        };
         let r = restore(&p, &g, &ip, &cut, &[], &cfg());
         // 2400 km: best SVT rate is 200 G (75 GHz reach 2000? no — 2400
         // needs 100 G @ 75 GHz, reach 5000; 200 G tops at 2000). One spare
@@ -418,7 +464,11 @@ mod tests {
         // A fat short link: 800 G at 600 km → RADWAN 3 (300+300+200),
         // FlexWAN 2 (400+400 @ 75)… savings 1 → ceil(1/2) = 1.
         let mut ip2 = IpTopology::new();
-        ip2.add_link(flexwan_topo::graph::NodeId(0), flexwan_topo::graph::NodeId(1), 800);
+        ip2.add_link(
+            flexwan_topo::graph::NodeId(0),
+            flexwan_topo::graph::NodeId(1),
+            800,
+        );
         let spares2 = flexwan_plus_extra_spares(&g, &ip2, &cfg());
         assert_eq!(spares2, vec![1]);
     }
@@ -427,8 +477,15 @@ mod tests {
     fn never_overshoots_affected_capacity() {
         let (g, ip) = square();
         let p = plan(Scheme::FlexWan, &g, &ip, &cfg());
-        let cut = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+        let cut = FailureScenario {
+            id: 0,
+            cuts: vec![EdgeId(0)],
+            probability: 1.0,
+        };
         let r = restore(&p, &g, &ip, &cut, &[9], &cfg());
-        assert!(r.restored_gbps <= r.affected_gbps, "constraint (7) violated");
+        assert!(
+            r.restored_gbps <= r.affected_gbps,
+            "constraint (7) violated"
+        );
     }
 }

@@ -1,20 +1,22 @@
 //! The exact restoration formulation of §8 (maximize restored capacity
-//! under constraints (7)–(13)), built on `flexwan-solver`.
+//! under constraints (7)–(13)), built on the shared [`crate::opt`]
+//! variable-space layer over `flexwan-solver`.
 //!
 //! As with planning, γ'-variables are pure binaries per (affected link,
 //! restoration path, format, aligned start pixel); λ' and ξ' are
 //! substitutions. The residual spectrum `φ_w` (slot status after planning
 //! minus the failed wavelengths' reclaimed spectrum) enters constraint (9)
-//! as per-slot availability. Used to validate the greedy restorer on
-//! small instances.
+//! as the variable space's admission filter. Used to validate the greedy
+//! restorer on small instances; the *mutation* route to the same optimum
+//! lives on [`crate::planning::PlanModel`].
 
-use flexwan_solver::{LinExpr, Model, Sense, SolveOptions, SolverStats, Status};
+use flexwan_solver::{Model, Sense, SolveOptions, SolverStats, Status};
 use flexwan_topo::graph::Graph;
 use flexwan_topo::ip::IpTopology;
 use flexwan_topo::ksp::k_shortest_paths;
 use flexwan_topo::path::Path;
 
-use crate::planning::format_dp::reachable_formats;
+use crate::opt::WavelengthVarSpace;
 use crate::planning::heuristic::{Plan, PlannerConfig};
 use crate::planning::spectrum::SpectrumState;
 use crate::restore::scenario::FailureScenario;
@@ -45,8 +47,6 @@ pub fn solve_exact(
     opts: &SolveOptions,
 ) -> Option<ExactRestoration> {
     let banned = scenario.banned();
-    let align = plan.scheme.alignment_pixels();
-    let model_t = plan.scheme.transponder();
     let pixels = cfg.grid.pixels();
 
     // Residual spectrum: surviving wavelengths only (constraint (9)'s φ_w).
@@ -61,16 +61,18 @@ pub fn solve_exact(
                 .expect("surviving plan channels are conflict-free");
         }
     }
-    // Per affected link: c'_e and N_e.
+    // Per affected link: c'_e and N_e, keyed accumulation in first-seen
+    // order (the deterministic slot order of the variable space).
     let mut per_link: Vec<(usize, u64, u32)> = Vec::new(); // (link idx, c', N)
+    let mut slot_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
     for w in &affected {
-        match per_link.iter_mut().find(|(li, _, _)| *li == w.link.0 as usize) {
-            Some((_, c, n)) => {
-                *c += u64::from(w.format.data_rate_gbps);
-                *n += 1;
-            }
-            None => per_link.push((w.link.0 as usize, u64::from(w.format.data_rate_gbps), 1)),
-        }
+        let li = w.link.0 as usize;
+        let slot = *slot_of.entry(li).or_insert_with(|| {
+            per_link.push((li, 0, 0));
+            per_link.len() - 1
+        });
+        per_link[slot].1 += u64::from(w.format.data_rate_gbps);
+        per_link[slot].2 += 1;
     }
     let affected_gbps: u64 = per_link.iter().map(|&(_, c, _)| c).sum();
     if affected_gbps == 0 {
@@ -87,89 +89,51 @@ pub fn solve_exact(
     }
 
     let mut m = Model::new();
-    struct GammaVar {
-        link_slot: usize, // index into per_link
-        path: usize,
-        rate: u32,
-        width: u32,
-        start: u32,
-        var: flexwan_solver::Var,
-    }
-    let mut gammas: Vec<GammaVar> = Vec::new();
-    let mut paths_per_slot: Vec<Vec<Path>> = Vec::new();
-    for (slot, &(li, _, _)) in per_link.iter().enumerate() {
-        let link = &ip.links()[li];
-        let paths = k_shortest_paths(optical, link.src, link.dst, cfg.k_paths, &banned);
-        for (ki, path) in paths.iter().enumerate() {
-            for format in reachable_formats(model_t, path.length_km) {
-                let w = u32::from(format.spacing.pixels());
-                let mut q = 0u32;
-                while q + w <= pixels {
-                    // Prune starts overlapping residual occupancy on any
-                    // fiber of the path (constraint (9) pre-filter).
-                    let range = flexwan_optical::PixelRange::new(q, format.spacing);
-                    let free = path
-                        .edges
-                        .iter()
-                        .all(|e| spectrum.mask(*e).is_free(&range));
-                    if free {
-                        let var = m.binary(format!("r_s{slot}_k{ki}_d{}_q{q}", format.data_rate_gbps));
-                        gammas.push(GammaVar {
-                            link_slot: slot,
-                            path: ki,
-                            rate: format.data_rate_gbps,
-                            width: w,
-                            start: q,
-                            var,
-                        });
-                    }
-                    q += align;
-                }
-            }
-        }
-        paths_per_slot.push(paths);
-    }
+    let paths_per_slot: Vec<Vec<Path>> = per_link
+        .iter()
+        .map(|&(li, _, _)| {
+            let link = &ip.links()[li];
+            k_shortest_paths(optical, link.src, link.dst, cfg.k_paths, &banned)
+        })
+        .collect();
+    // Starts overlapping residual occupancy on any fiber of the path are
+    // pruned by the admission filter (constraint (9) pre-filter).
+    let space = WavelengthVarSpace::enumerate(
+        &mut m,
+        plan.scheme,
+        pixels,
+        optical.num_edges(),
+        "r_s",
+        paths_per_slot,
+        |path, range| path.edges.iter().all(|e| spectrum.mask(*e).is_free(range)),
+    );
 
     // (7) restored ≤ c'_e and (8) transponders ≤ N_e, per affected link.
     for (slot, &(_, c, n)) in per_link.iter().enumerate() {
-        let rate_expr = LinExpr::sum(
-            gammas
-                .iter()
-                .filter(|g| g.link_slot == slot)
-                .map(|g| f64::from(g.rate) * g.var),
-        );
-        m.le(rate_expr, c as f64);
-        let count_expr = LinExpr::sum(
-            gammas.iter().filter(|g| g.link_slot == slot).map(|g| 1.0 * g.var),
-        );
-        m.le(count_expr, f64::from(n));
+        m.group("restore_rate");
+        m.le(space.rate_expr(slot), c as f64);
+        m.group("restore_count");
+        m.le(space.count_expr(slot), f64::from(n));
+        m.end_group();
     }
 
     // (9)+(10)–(13): per (surviving fiber, slot) at most one restored
-    // wavelength (residual occupancy already pruned structurally).
-    for fiber in optical.edges() {
-        if banned.contains(&fiber.id) {
-            continue;
-        }
-        for w in 0..pixels {
-            let expr = LinExpr::sum(
-                gammas
-                    .iter()
-                    .filter(|g| {
-                        paths_per_slot[g.link_slot][g.path].uses_edge(fiber.id)
-                            && g.start <= w
-                            && w < g.start + g.width
-                    })
-                    .map(|g| 1.0 * g.var),
-            );
-            if expr.terms.len() > 1 {
-                m.le(expr, 1.0);
-            }
-        }
-    }
+    // wavelength (residual occupancy already pruned structurally) —
+    // single-candidate rows are vacuous here and skipped.
+    m.group("conflict");
+    space.conflict_rows(
+        &mut m,
+        optical
+            .edges()
+            .iter()
+            .map(|e| e.id)
+            .filter(|id| !banned.contains(id)),
+        2,
+    );
+    m.end_group();
 
     // Maximize restored capacity.
-    let obj = LinExpr::sum(gammas.iter().map(|g| f64::from(g.rate) * g.var));
+    let obj = space.weighted_expr(|g| f64::from(g.format.data_rate_gbps));
     m.set_objective(Sense::Maximize, obj);
     let (sol, stats) = m.solve_with_stats(opts);
     match sol.status {
@@ -209,7 +173,11 @@ mod tests {
     }
 
     fn cfg(pixels: u32) -> PlannerConfig {
-        PlannerConfig { grid: SpectrumGrid::new(pixels), k_paths: 2, ..Default::default() }
+        PlannerConfig {
+            grid: SpectrumGrid::new(pixels),
+            k_paths: 2,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -217,9 +185,12 @@ mod tests {
         let (g, ip) = square();
         let c = cfg(16);
         let p = plan(Scheme::FlexWan, &g, &ip, &c);
-        let cut = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
-        let exact =
-            solve_exact(&p, &g, &ip, &cut, &[], &c, &SolveOptions::default()).unwrap();
+        let cut = FailureScenario {
+            id: 0,
+            cuts: vec![EdgeId(0)],
+            probability: 1.0,
+        };
+        let exact = solve_exact(&p, &g, &ip, &cut, &[], &c, &SolveOptions::default()).unwrap();
         let greedy = restore(&p, &g, &ip, &cut, &[], &c);
         assert_eq!(exact.affected_gbps, greedy.affected_gbps);
         assert_eq!(exact.restored_gbps, 300);
@@ -231,10 +202,13 @@ mod tests {
         let (g, ip) = square();
         let c = cfg(16);
         let p = plan(Scheme::FlexWan, &g, &ip, &c);
-        let cut = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+        let cut = FailureScenario {
+            id: 0,
+            cuts: vec![EdgeId(0)],
+            probability: 1.0,
+        };
         // Plenty of extra spares: constraint (7) still caps at affected.
-        let exact =
-            solve_exact(&p, &g, &ip, &cut, &[9, 9], &c, &SolveOptions::default()).unwrap();
+        let exact = solve_exact(&p, &g, &ip, &cut, &[9, 9], &c, &SolveOptions::default()).unwrap();
         assert!(exact.restored_gbps <= exact.affected_gbps);
     }
 
@@ -243,9 +217,12 @@ mod tests {
         let (g, ip) = square();
         let c = cfg(16);
         let p = plan(Scheme::FlexWan, &g, &ip, &c);
-        let cut = FailureScenario { id: 1, cuts: vec![EdgeId(1)], probability: 1.0 };
-        let exact =
-            solve_exact(&p, &g, &ip, &cut, &[], &c, &SolveOptions::default()).unwrap();
+        let cut = FailureScenario {
+            id: 1,
+            cuts: vec![EdgeId(1)],
+            probability: 1.0,
+        };
+        let exact = solve_exact(&p, &g, &ip, &cut, &[], &c, &SolveOptions::default()).unwrap();
         assert_eq!(exact.affected_gbps, 0);
         assert_eq!(exact.restored_gbps, 0);
     }

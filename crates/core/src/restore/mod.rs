@@ -16,4 +16,6 @@ pub use heuristic::{
 };
 pub use mip::{solve_exact as solve_restoration_exact, ExactRestoration};
 pub use report::{report as restore_report, RestoreReport};
-pub use scenario::{conduit_cut_scenarios, one_fiber_scenarios, probabilistic_scenarios, FailureScenario};
+pub use scenario::{
+    conduit_cut_scenarios, one_fiber_scenarios, probabilistic_scenarios, FailureScenario,
+};

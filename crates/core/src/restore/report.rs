@@ -35,7 +35,12 @@ pub fn report(restorations: &[(f64, Restoration)]) -> RestoreReport {
             }
         }
     }
-    RestoreReport { capabilities, probabilities, length_gaps_km, length_ratios }
+    RestoreReport {
+        capabilities,
+        probabilities,
+        length_gaps_km,
+        length_ratios,
+    }
 }
 
 impl RestoreReport {

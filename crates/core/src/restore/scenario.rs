@@ -31,7 +31,7 @@ impl FailureScenario {
 }
 
 /// Every single-fiber-cut scenario (the deterministic k=1 failure model of
-/// [40]), uniformly weighted.
+/// \[40\]), uniformly weighted.
 pub fn one_fiber_scenarios(g: &Graph) -> Vec<FailureScenario> {
     let n = g.num_edges();
     g.edges()
@@ -54,11 +54,15 @@ pub fn conduit_cut_scenarios(g: &Graph) -> Vec<FailureScenario> {
     groups
         .into_iter()
         .enumerate()
-        .map(|(id, cuts)| FailureScenario { id, cuts, probability: 1.0 / n as f64 })
+        .map(|(id, cuts)| FailureScenario {
+            id,
+            cuts,
+            probability: 1.0 / n as f64,
+        })
         .collect()
 }
 
-/// `n` probabilistic scenarios (the model of [17]): each scenario cuts one
+/// `n` probabilistic scenarios (the model of \[17\]): each scenario cuts one
 /// or (with probability `double_cut_prob`) two fibers, drawn with
 /// probability proportional to fiber length — long-haul fibers are cut
 /// more often (construction work scales with route length).
@@ -94,7 +98,11 @@ pub fn probabilistic_scenarios(
                 }
                 cuts.push(second);
             }
-            FailureScenario { id, cuts, probability: 1.0 / n as f64 }
+            FailureScenario {
+                id,
+                cuts,
+                probability: 1.0 / n as f64,
+            }
         })
         .collect()
 }
@@ -152,10 +160,7 @@ mod tests {
         let s = probabilistic_scenarios(&g, 400, 0.0, 5);
         let long_cuts = s.iter().filter(|sc| sc.is_cut(EdgeId(1))).count();
         // Fiber 1 carries 2000 of 2300 km → ~87 % of cuts.
-        assert!(
-            long_cuts > 300,
-            "long fiber cut only {long_cuts}/400 times"
-        );
+        assert!(long_cuts > 300, "long fiber cut only {long_cuts}/400 times");
     }
 
     #[test]

@@ -47,8 +47,12 @@ impl Scheme {
     /// The WSS technology of the scheme's OLS equipment.
     pub fn wss(self) -> WssKind {
         match self {
-            Scheme::FixedGrid100G => WssKind::FixedGrid { spacing: PixelWidth::new(4) },
-            Scheme::Radwan => WssKind::FixedGrid { spacing: PixelWidth::new(6) },
+            Scheme::FixedGrid100G => WssKind::FixedGrid {
+                spacing: PixelWidth::new(4),
+            },
+            Scheme::Radwan => WssKind::FixedGrid {
+                spacing: PixelWidth::new(6),
+            },
             Scheme::FlexWan => WssKind::PixelWise,
         }
     }
@@ -83,8 +87,12 @@ mod tests {
 
         // Spacing variability: number of distinct spacings.
         let spacings = |s: Scheme| {
-            let mut v: Vec<u16> =
-                s.transponder().formats().iter().map(|f| f.spacing.pixels()).collect();
+            let mut v: Vec<u16> = s
+                .transponder()
+                .formats()
+                .iter()
+                .map(|f| f.spacing.pixels())
+                .collect();
             v.sort_unstable();
             v.dedup();
             v

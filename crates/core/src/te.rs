@@ -18,10 +18,12 @@
 
 use std::collections::HashSet;
 
-use flexwan_solver::{LinExpr, Model, Sense, Status};
+use flexwan_solver::{Model, Sense, Status};
 use flexwan_topo::graph::{Graph, NodeId};
 use flexwan_topo::ksp::k_shortest_paths;
 use flexwan_topo::path::Path;
+
+use crate::opt::FlowVarSpace;
 
 /// A traffic demand between two routers (distinct from an IP *link*
 /// demand: traffic may ride several IP links in sequence).
@@ -59,7 +61,10 @@ impl IpNetwork {
             graph.add_edge(a, b, 1); // hop metric
             capacity.push(cap);
         }
-        IpNetwork { graph, capacity_gbps: capacity }
+        IpNetwork {
+            graph,
+            capacity_gbps: capacity,
+        }
     }
 }
 
@@ -94,7 +99,11 @@ pub fn route_traffic(net: &IpNetwork, traffic: &[TrafficDemand], k: usize) -> Op
     assert!(k >= 1);
     let offered: f64 = traffic.iter().map(|d| d.gbps).sum();
     if traffic.is_empty() {
-        return Some(TeOutcome { alpha: f64::INFINITY, max_throughput_gbps: 0.0, offered_gbps: 0.0 });
+        return Some(TeOutcome {
+            alpha: f64::INFINITY,
+            max_throughput_gbps: 0.0,
+            offered_gbps: 0.0,
+        });
     }
     let none = HashSet::new();
     let mut paths_per_demand: Vec<Vec<Path>> = Vec::with_capacity(traffic.len());
@@ -110,31 +119,21 @@ pub fn route_traffic(net: &IpNetwork, traffic: &[TrafficDemand], k: usize) -> Op
     let alpha = {
         let mut m = Model::new();
         let alpha = m.nonneg("alpha");
-        let mut flow_vars: Vec<Vec<flexwan_solver::Var>> = Vec::new();
-        for (i, paths) in paths_per_demand.iter().enumerate() {
-            flow_vars.push(
-                (0..paths.len()).map(|j| m.nonneg(format!("f_{i}_{j}"))).collect(),
-            );
-        }
+        let flows = FlowVarSpace::enumerate(&mut m, &paths_per_demand, net.graph.num_edges());
         // Demand satisfaction: Σ_j f_ij = α·d_i  ⇔  Σ f − d·α = 0.
+        m.group("demand");
         for (i, d) in traffic.iter().enumerate() {
-            let sum = LinExpr::sum(flow_vars[i].iter().map(|&v| 1.0 * v));
-            m.eq(sum - d.gbps * alpha, 0.0);
+            m.eq(flows.demand_expr(i) - d.gbps * alpha, 0.0);
         }
         // Capacity per IP link.
+        m.group("capacity");
         for e in net.graph.edges() {
-            let expr = LinExpr::sum(paths_per_demand.iter().enumerate().flat_map(|(i, paths)| {
-                paths
-                    .iter()
-                    .enumerate()
-                    .filter(move |(_, p)| p.uses_edge(e.id))
-                    .map(move |(j, _)| (i, j))
-            })
-            .map(|(i, j)| 1.0 * flow_vars[i][j]));
+            let expr = flows.edge_expr(e.id);
             if !expr.terms.is_empty() {
                 m.le(expr, net.capacity_gbps[e.id.0 as usize]);
             }
         }
+        m.end_group();
         m.set_objective(Sense::Maximize, 1.0 * alpha);
         let sol = m.solve();
         match sol.status {
@@ -147,31 +146,20 @@ pub fn route_traffic(net: &IpNetwork, traffic: &[TrafficDemand], k: usize) -> Op
     // --- Max throughput: maximize Σ carried, carried_i ≤ d_i. ---
     let max_throughput = {
         let mut m = Model::new();
-        let mut flow_vars: Vec<Vec<flexwan_solver::Var>> = Vec::new();
-        for (i, paths) in paths_per_demand.iter().enumerate() {
-            flow_vars.push(
-                (0..paths.len()).map(|j| m.nonneg(format!("f_{i}_{j}"))).collect(),
-            );
-        }
+        let flows = FlowVarSpace::enumerate(&mut m, &paths_per_demand, net.graph.num_edges());
+        m.group("demand");
         for (i, d) in traffic.iter().enumerate() {
-            let sum = LinExpr::sum(flow_vars[i].iter().map(|&v| 1.0 * v));
-            m.le(sum, d.gbps);
+            m.le(flows.demand_expr(i), d.gbps);
         }
+        m.group("capacity");
         for e in net.graph.edges() {
-            let expr = LinExpr::sum(paths_per_demand.iter().enumerate().flat_map(|(i, paths)| {
-                paths
-                    .iter()
-                    .enumerate()
-                    .filter(move |(_, p)| p.uses_edge(e.id))
-                    .map(move |(j, _)| (i, j))
-            })
-            .map(|(i, j)| 1.0 * flow_vars[i][j]));
+            let expr = flows.edge_expr(e.id);
             if !expr.terms.is_empty() {
                 m.le(expr, net.capacity_gbps[e.id.0 as usize]);
             }
         }
-        let total = LinExpr::sum(flow_vars.iter().flatten().map(|&v| 1.0 * v));
-        m.set_objective(Sense::Maximize, total);
+        m.end_group();
+        m.set_objective(Sense::Maximize, flows.total_expr());
         let sol = m.solve();
         match sol.status {
             Status::Optimal => sol.objective,
@@ -179,7 +167,11 @@ pub fn route_traffic(net: &IpNetwork, traffic: &[TrafficDemand], k: usize) -> Op
         }
     };
 
-    Some(TeOutcome { alpha, max_throughput_gbps: max_throughput, offered_gbps: offered })
+    Some(TeOutcome {
+        alpha,
+        max_throughput_gbps: max_throughput,
+        offered_gbps: offered,
+    })
 }
 
 /// The marginal value of capacity on each IP link: the dual (shadow
@@ -206,36 +198,32 @@ pub fn link_capacity_values(
         paths_per_demand.push(paths);
     }
     let mut m = Model::new();
-    let mut flow_vars: Vec<Vec<flexwan_solver::Var>> = Vec::new();
-    for (i, paths) in paths_per_demand.iter().enumerate() {
-        flow_vars.push((0..paths.len()).map(|j| m.nonneg(format!("f_{i}_{j}"))).collect());
-    }
+    let flows = FlowVarSpace::enumerate(&mut m, &paths_per_demand, net.graph.num_edges());
+    m.group("demand");
     for (i, d) in traffic.iter().enumerate() {
-        let sum = LinExpr::sum(flow_vars[i].iter().map(|&v| 1.0 * v));
-        m.le(sum, d.gbps);
+        m.le(flows.demand_expr(i), d.gbps);
     }
-    // One capacity row per edge, in edge order (rows after the |D| demand
-    // rows), so duals map back to edges positionally.
+    // One capacity row per edge under the named "capacity" group, in edge
+    // order; duals are extracted through the group's row handles instead
+    // of by raw row position.
+    let capacity_group = m.group("capacity");
     for e in net.graph.edges() {
-        let expr = LinExpr::sum(paths_per_demand.iter().enumerate().flat_map(|(i, paths)| {
-            paths
-                .iter()
-                .enumerate()
-                .filter(move |(_, p)| p.uses_edge(e.id))
-                .map(move |(j, _)| (i, j))
-        })
-        .map(|(i, j)| 1.0 * flow_vars[i][j]));
-        // Emit the row even when empty so row indices align with edges.
-        m.le(expr, net.capacity_gbps[e.id.0 as usize]);
+        // Emit the row even when empty so the group stays edge-aligned.
+        m.le(flows.edge_expr(e.id), net.capacity_gbps[e.id.0 as usize]);
     }
-    let total = LinExpr::sum(flow_vars.iter().flatten().map(|&v| 1.0 * v));
-    m.set_objective(Sense::Maximize, total);
+    m.end_group();
+    m.set_objective(Sense::Maximize, flows.total_expr());
     let (sol, duals) = flexwan_solver::solve_lp_with_duals(&m);
     if sol.status != Status::Optimal {
         return None;
     }
     let duals = duals?;
-    Some(duals[traffic.len()..].to_vec())
+    Some(
+        m.group_duals(capacity_group, &duals)
+            .into_iter()
+            .map(|(_, y)| y)
+            .collect(),
+    )
 }
 
 /// Builds the [`IpNetwork`] provided by a plan — optionally after a
@@ -245,7 +233,10 @@ pub fn network_from_plan(
     num_routers: usize,
     ip: &flexwan_topo::ip::IpTopology,
     plan: &crate::planning::Plan,
-    failure: Option<(&crate::restore::FailureScenario, &crate::restore::Restoration)>,
+    failure: Option<(
+        &crate::restore::FailureScenario,
+        &crate::restore::Restoration,
+    )>,
 ) -> IpNetwork {
     let mut capacity = vec![0.0f64; ip.num_links()];
     for w in &plan.wavelengths {
@@ -263,8 +254,11 @@ pub fn network_from_plan(
                 f64::from(rw.wavelength.format.data_rate_gbps);
         }
     }
-    let links: Vec<(NodeId, NodeId, f64)> =
-        ip.links().iter().map(|l| (l.src, l.dst, capacity[l.id.0 as usize])).collect();
+    let links: Vec<(NodeId, NodeId, f64)> = ip
+        .links()
+        .iter()
+        .map(|l| (l.src, l.dst, capacity[l.id.0 as usize]))
+        .collect();
     IpNetwork::new(num_routers, &links)
 }
 
@@ -290,7 +284,11 @@ mod tests {
         // 0→2 can split over 0-1-2 and 0-3-2: total 200 over 100-capacity
         // links.
         let net = square(100.0);
-        let t = [TrafficDemand { src: NodeId(0), dst: NodeId(2), gbps: 150.0 }];
+        let t = [TrafficDemand {
+            src: NodeId(0),
+            dst: NodeId(2),
+            gbps: 150.0,
+        }];
         let out = route_traffic(&net, &t, 3).unwrap();
         assert!((out.max_throughput_gbps - 150.0).abs() < 1e-6);
         assert!(out.alpha > 1.3, "alpha {} should be 200/150", out.alpha);
@@ -300,7 +298,11 @@ mod tests {
     #[test]
     fn saturation_caps_alpha() {
         let net = square(100.0);
-        let t = [TrafficDemand { src: NodeId(0), dst: NodeId(2), gbps: 400.0 }];
+        let t = [TrafficDemand {
+            src: NodeId(0),
+            dst: NodeId(2),
+            gbps: 400.0,
+        }];
         let out = route_traffic(&net, &t, 3).unwrap();
         assert!((out.alpha - 0.5).abs() < 1e-6);
         assert!((out.max_throughput_gbps - 200.0).abs() < 1e-6);
@@ -312,8 +314,16 @@ mod tests {
         // Two demands crossing the same links in opposite corners.
         let net = square(100.0);
         let t = [
-            TrafficDemand { src: NodeId(0), dst: NodeId(2), gbps: 100.0 },
-            TrafficDemand { src: NodeId(1), dst: NodeId(3), gbps: 100.0 },
+            TrafficDemand {
+                src: NodeId(0),
+                dst: NodeId(2),
+                gbps: 100.0,
+            },
+            TrafficDemand {
+                src: NodeId(1),
+                dst: NodeId(3),
+                gbps: 100.0,
+            },
         ];
         let out = route_traffic(&net, &t, 3).unwrap();
         // Total ring capacity 400; both demands bidirectionally share it:
@@ -327,7 +337,11 @@ mod tests {
     fn zero_capacity_link_blocks() {
         let mut net = square(100.0);
         net.capacity_gbps[0] = 0.0; // kill 0–1
-        let t = [TrafficDemand { src: NodeId(0), dst: NodeId(2), gbps: 150.0 }];
+        let t = [TrafficDemand {
+            src: NodeId(0),
+            dst: NodeId(2),
+            gbps: 150.0,
+        }];
         let out = route_traffic(&net, &t, 3).unwrap();
         // Only the 0-3-2 side remains.
         assert!((out.max_throughput_gbps - 100.0).abs() < 1e-6);
@@ -336,7 +350,11 @@ mod tests {
     #[test]
     fn disconnected_demand_is_none() {
         let net = IpNetwork::new(3, &[(NodeId(0), NodeId(1), 100.0)]);
-        let t = [TrafficDemand { src: NodeId(0), dst: NodeId(2), gbps: 10.0 }];
+        let t = [TrafficDemand {
+            src: NodeId(0),
+            dst: NodeId(2),
+            gbps: 10.0,
+        }];
         assert!(route_traffic(&net, &t, 2).is_none());
     }
 
@@ -354,9 +372,16 @@ mod tests {
         // (one more Gbps carries one more Gbps); slack links price 0.
         let net = IpNetwork::new(
             3,
-            &[(NodeId(0), NodeId(1), 100.0), (NodeId(1), NodeId(2), 1000.0)],
+            &[
+                (NodeId(0), NodeId(1), 100.0),
+                (NodeId(1), NodeId(2), 1000.0),
+            ],
         );
-        let t = [TrafficDemand { src: NodeId(0), dst: NodeId(2), gbps: 500.0 }];
+        let t = [TrafficDemand {
+            src: NodeId(0),
+            dst: NodeId(2),
+            gbps: 500.0,
+        }];
         let values = link_capacity_values(&net, &t, 2).unwrap();
         assert!((values[0] - 1.0).abs() < 1e-6, "{values:?}");
         assert!(values[1].abs() < 1e-6, "{values:?}");
@@ -365,7 +390,11 @@ mod tests {
     #[test]
     fn capacity_values_zero_when_uncongested() {
         let net = square(1000.0);
-        let t = [TrafficDemand { src: NodeId(0), dst: NodeId(2), gbps: 100.0 }];
+        let t = [TrafficDemand {
+            src: NodeId(0),
+            dst: NodeId(2),
+            gbps: 100.0,
+        }];
         let values = link_capacity_values(&net, &t, 3).unwrap();
         assert!(values.iter().all(|v| v.abs() < 1e-6), "{values:?}");
     }
@@ -388,7 +417,10 @@ mod tests {
         g.add_edge(c, b, 600);
         let mut ip = IpTopology::new();
         ip.add_link(a, b, 300);
-        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        };
         let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
 
         // Healthy: the link has its provisioned 300 G.
@@ -396,13 +428,23 @@ mod tests {
         assert_eq!(net.capacity_gbps, vec![300.0]);
 
         // Cut the primary without restoration: capacity 0.
-        let scenario = FailureScenario { id: 0, cuts: vec![EdgeId(0)], probability: 1.0 };
+        let scenario = FailureScenario {
+            id: 0,
+            cuts: vec![EdgeId(0)],
+            probability: 1.0,
+        };
         let r = restore(&p, &g, &ip, &scenario, &[], &cfg);
         let dead = network_from_plan(
             g.num_nodes(),
             &ip,
             &p,
-            Some((&scenario, &crate::restore::Restoration { restored: vec![], ..r.clone() })),
+            Some((
+                &scenario,
+                &crate::restore::Restoration {
+                    restored: vec![],
+                    ..r.clone()
+                },
+            )),
         );
         assert_eq!(dead.capacity_gbps, vec![0.0]);
 

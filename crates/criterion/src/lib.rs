@@ -37,7 +37,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new() -> Self {
-        Bencher { samples: Vec::new(), iters_per_sample: 1 }
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        }
     }
 
     /// Times `routine`, called in a loop.
@@ -59,7 +62,8 @@ impl Bencher {
             for _ in 0..self.iters_per_sample {
                 std::hint::black_box(routine());
             }
-            self.samples.push(t.elapsed() / (self.iters_per_sample as u32));
+            self.samples
+                .push(t.elapsed() / (self.iters_per_sample as u32));
         }
     }
 
@@ -143,7 +147,11 @@ mod tests {
     #[test]
     fn iter_batched_separates_setup() {
         let mut b = Bencher::new();
-        b.iter_batched(|| vec![1u32; 16], |v| v.iter().sum::<u32>(), BatchSize::SmallInput);
+        b.iter_batched(
+            || vec![1u32; 16],
+            |v| v.iter().sum::<u32>(),
+            BatchSize::SmallInput,
+        );
         assert_eq!(b.samples.len(), SAMPLES);
     }
 }

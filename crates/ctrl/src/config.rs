@@ -6,7 +6,6 @@
 //! serializable configuration documents — encoded with serde/JSON instead
 //! of YANG/XML (substitution recorded in DESIGN.md §1).
 
-
 use flexwan_optical::format::TransponderFormat;
 use flexwan_optical::spectrum::PixelRange;
 use flexwan_util::json::{self, FromJson, ToJson, Value};
@@ -82,7 +81,11 @@ impl ConfigDocument {
 impl ToJson for StandardConfig {
     fn to_json(&self) -> Value {
         let (tag, body) = match self {
-            StandardConfig::Transponder { format, channel, enabled } => (
+            StandardConfig::Transponder {
+                format,
+                channel,
+                enabled,
+            } => (
                 "Transponder",
                 Value::obj([
                     ("format", format.to_json()),
@@ -94,7 +97,11 @@ impl ToJson for StandardConfig {
                 "MuxPort",
                 Value::obj([("port", port.to_json()), ("passband", passband.to_json())]),
             ),
-            StandardConfig::RoadmExpress { from_degree, to_degree, passband } => (
+            StandardConfig::RoadmExpress {
+                from_degree,
+                to_degree,
+                passband,
+            } => (
                 "RoadmExpress",
                 Value::obj([
                     ("from_degree", from_degree.to_json()),
@@ -102,7 +109,11 @@ impl ToJson for StandardConfig {
                     ("passband", passband.to_json()),
                 ]),
             ),
-            StandardConfig::RoadmRelease { from_degree, to_degree, passband } => (
+            StandardConfig::RoadmRelease {
+                from_degree,
+                to_degree,
+                passband,
+            } => (
                 "RoadmRelease",
                 Value::obj([
                     ("from_degree", from_degree.to_json()),
@@ -110,9 +121,10 @@ impl ToJson for StandardConfig {
                     ("passband", passband.to_json()),
                 ]),
             ),
-            StandardConfig::AmplifierGain { gain_db } => {
-                ("AmplifierGain", Value::obj([("gain_db", gain_db.to_json())]))
-            }
+            StandardConfig::AmplifierGain { gain_db } => (
+                "AmplifierGain",
+                Value::obj([("gain_db", gain_db.to_json())]),
+            ),
         };
         Value::obj([(tag, body)])
     }
@@ -148,7 +160,9 @@ impl FromJson for StandardConfig {
             });
         }
         if let Some(b) = v.get("AmplifierGain") {
-            return Ok(StandardConfig::AmplifierGain { gain_db: b.field("gain_db")? });
+            return Ok(StandardConfig::AmplifierGain {
+                gain_db: b.field("gain_db")?,
+            });
         }
         Err(json::Error::new("unknown standard-config variant"))
     }
@@ -156,13 +170,19 @@ impl FromJson for StandardConfig {
 
 impl ToJson for ConfigDocument {
     fn to_json(&self) -> Value {
-        Value::obj([("revision", self.revision.to_json()), ("config", self.config.to_json())])
+        Value::obj([
+            ("revision", self.revision.to_json()),
+            ("config", self.config.to_json()),
+        ])
     }
 }
 
 impl FromJson for ConfigDocument {
     fn from_json(v: &Value) -> Result<Self, json::Error> {
-        Ok(ConfigDocument { revision: v.field("revision")?, config: v.field("config")? })
+        Ok(ConfigDocument {
+            revision: v.field("revision")?,
+            config: v.field("config")?,
+        })
     }
 }
 
@@ -175,11 +195,7 @@ mod tests {
         ConfigDocument {
             revision: 7,
             config: StandardConfig::Transponder {
-                format: TransponderFormat::derive(
-                    400,
-                    PixelWidth::from_ghz(100.0).unwrap(),
-                    1500,
-                ),
+                format: TransponderFormat::derive(400, PixelWidth::from_ghz(100.0).unwrap(), 1500),
                 channel: PixelRange::new(16, PixelWidth::new(8)),
                 enabled: true,
             },
@@ -204,13 +220,30 @@ mod tests {
     fn all_variants_serialize() {
         let r = PixelRange::new(0, PixelWidth::new(6));
         for cfg in [
-            StandardConfig::MuxPort { port: 3, passband: Some(r) },
-            StandardConfig::MuxPort { port: 3, passband: None },
-            StandardConfig::RoadmExpress { from_degree: 0, to_degree: 1, passband: r },
-            StandardConfig::RoadmRelease { from_degree: 0, to_degree: 1, passband: r },
+            StandardConfig::MuxPort {
+                port: 3,
+                passband: Some(r),
+            },
+            StandardConfig::MuxPort {
+                port: 3,
+                passband: None,
+            },
+            StandardConfig::RoadmExpress {
+                from_degree: 0,
+                to_degree: 1,
+                passband: r,
+            },
+            StandardConfig::RoadmRelease {
+                from_degree: 0,
+                to_degree: 1,
+                passband: r,
+            },
             StandardConfig::AmplifierGain { gain_db: 17.5 },
         ] {
-            let doc = ConfigDocument { revision: 1, config: cfg };
+            let doc = ConfigDocument {
+                revision: 1,
+                config: cfg,
+            };
             assert_eq!(ConfigDocument::from_wire(&doc.to_wire()).unwrap(), doc);
         }
     }

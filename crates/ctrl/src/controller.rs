@@ -21,9 +21,9 @@ use flexwan_topo::graph::{EdgeId, Graph, NodeId};
 use flexwan_util::rng::ChaCha8Rng;
 
 use crate::config::{ConfigDocument, StandardConfig};
-use crate::journal::ConfigJournal;
 use crate::device::{config_in_effect, spawn_device, DeviceHandle, Hardware};
 use crate::faults::FaultInjector;
+use crate::journal::ConfigJournal;
 use crate::model::{DeviceDescriptor, DeviceId, DeviceKind, Vendor};
 use crate::netconf::SessionError;
 use crate::transaction::{Transaction, TxError};
@@ -46,11 +46,23 @@ impl DevMgr {
     fn allocate(&mut self, vendor: Vendor, kind: DeviceKind, site: NodeId) -> DeviceDescriptor {
         let id = DeviceId(self.next_id);
         self.next_id += 1;
-        DeviceDescriptor { id, vendor, kind, mgmt_ip: DeviceDescriptor::mgmt_ip_for(id), site }
+        DeviceDescriptor {
+            id,
+            vendor,
+            kind,
+            mgmt_ip: DeviceDescriptor::mgmt_ip_for(id),
+            site,
+        }
     }
 
     /// Spawns and registers a device, remembering its factory hardware.
-    pub fn register(&mut self, vendor: Vendor, kind: DeviceKind, site: NodeId, hw: Hardware) -> DeviceId {
+    pub fn register(
+        &mut self,
+        vendor: Vendor,
+        kind: DeviceKind,
+        site: NodeId,
+        hw: Hardware,
+    ) -> DeviceId {
         let descriptor = self.allocate(vendor, kind, site);
         let id = descriptor.id;
         self.factory.insert(id, hw.clone());
@@ -90,7 +102,11 @@ impl DevMgr {
         let old = self.devices.remove(&id).expect("unknown device");
         let descriptor = old.descriptor.clone();
         drop(old); // shuts the old device thread down
-        let hw = self.factory.get(&id).expect("factory image recorded").clone();
+        let hw = self
+            .factory
+            .get(&id)
+            .expect("factory image recorded")
+            .clone();
         let mut handle = spawn_device(descriptor, hw);
         if let Some(inj) = &self.injector {
             handle.session.arm(id, inj.clone());
@@ -200,7 +216,10 @@ struct Breaker {
 
 impl Default for Breaker {
     fn default() -> Self {
-        Breaker { state: BreakerState::Closed, consecutive_failures: 0 }
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+        }
     }
 }
 
@@ -331,7 +350,9 @@ impl Controller {
                 BreakerState::Open => 1.0,
             };
             let device = id.0.to_string();
-            obs.registry().gauge_with("ctrl_breaker_state", &[("device", &device)]).set(value);
+            obs.registry()
+                .gauge_with("ctrl_breaker_state", &[("device", &device)])
+                .set(value);
         }
     }
 
@@ -348,7 +369,9 @@ impl Controller {
 
     /// The circuit-breaker state of `id`.
     pub fn breaker_state(&self, id: DeviceId) -> BreakerState {
-        self.breakers.get(&id).map_or(BreakerState::Closed, |b| b.state)
+        self.breakers
+            .get(&id)
+            .map_or(BreakerState::Closed, |b| b.state)
     }
 
     /// Devices currently quarantined behind an open breaker.
@@ -416,7 +439,10 @@ impl Controller {
             let handle = &self.devmgr.devices[&id];
             // The controller logs the standard document; the device
             // receives its native dialect.
-            let _doc = ConfigDocument { revision, config: cfg.clone() };
+            let _doc = ConfigDocument {
+                revision,
+                config: cfg.clone(),
+            };
             let native = vendor::encode(handle.descriptor.vendor, &cfg);
             match handle.session.edit_config(revision, native) {
                 Ok(_) => {
@@ -505,10 +531,18 @@ impl Controller {
                     port
                 };
                 if port >= MUX_PORTS {
-                    report.rejections.push((mux, format!("site {site:?} out of filter ports")));
+                    report
+                        .rejections
+                        .push((mux, format!("site {site:?} out of filter ports")));
                     continue;
                 }
-                match self.send(mux, StandardConfig::MuxPort { port, passband: Some(w.channel) }) {
+                match self.send(
+                    mux,
+                    StandardConfig::MuxPort {
+                        port,
+                        passband: Some(w.channel),
+                    },
+                ) {
                     Ok(()) => report.mux_ports_configured += 1,
                     Err(r) => report.rejections.push(r),
                 }
@@ -521,7 +555,11 @@ impl Controller {
                 let roadm = self.roadm_at[&node];
                 match self.send(
                     roadm,
-                    StandardConfig::RoadmExpress { from_degree: from, to_degree: to, passband: w.channel },
+                    StandardConfig::RoadmExpress {
+                        from_degree: from,
+                        to_degree: to,
+                        passband: w.channel,
+                    },
                 ) {
                     Ok(()) => report.expresses_configured += 1,
                     Err(r) => report.rejections.push(r),
@@ -572,8 +610,16 @@ impl Controller {
             );
             tx.step(
                 t,
-                StandardConfig::Transponder { format: w.format, channel: w.channel, enabled: true },
-                StandardConfig::Transponder { format: w.format, channel: w.channel, enabled: false },
+                StandardConfig::Transponder {
+                    format: w.format,
+                    channel: w.channel,
+                    enabled: true,
+                },
+                StandardConfig::Transponder {
+                    format: w.format,
+                    channel: w.channel,
+                    enabled: false,
+                },
             );
         }
         // 2. Endpoint MUX filter ports.
@@ -584,8 +630,14 @@ impl Controller {
             *p += 1;
             tx.step(
                 mux,
-                StandardConfig::MuxPort { port, passband: Some(w.channel) },
-                StandardConfig::MuxPort { port, passband: None },
+                StandardConfig::MuxPort {
+                    port,
+                    passband: Some(w.channel),
+                },
+                StandardConfig::MuxPort {
+                    port,
+                    passband: None,
+                },
             );
         }
         // 3. Intermediate ROADM expresses.
@@ -595,8 +647,16 @@ impl Controller {
             let to = self.degree_of[&(node, w.path.edges[i])];
             tx.step(
                 self.roadm_at[&node],
-                StandardConfig::RoadmExpress { from_degree: from, to_degree: to, passband: w.channel },
-                StandardConfig::RoadmRelease { from_degree: from, to_degree: to, passband: w.channel },
+                StandardConfig::RoadmExpress {
+                    from_degree: from,
+                    to_degree: to,
+                    passband: w.channel,
+                },
+                StandardConfig::RoadmRelease {
+                    from_degree: from,
+                    to_degree: to,
+                    passband: w.channel,
+                },
             );
         }
         tx
@@ -627,7 +687,13 @@ impl Controller {
                     let p = self.next_port.entry(site).or_insert(0);
                     let port = *p;
                     *p += 1;
-                    match self.send(mux_id, StandardConfig::MuxPort { port, passband: Some(w.channel) }) {
+                    match self.send(
+                        mux_id,
+                        StandardConfig::MuxPort {
+                            port,
+                            passband: Some(w.channel),
+                        },
+                    ) {
                         Ok(()) => repaired += 1,
                         Err(e) => failures.push(e),
                     }
@@ -653,7 +719,11 @@ impl Controller {
                 if !expressed {
                     match self.send(
                         roadm_id,
-                        StandardConfig::RoadmExpress { from_degree: from, to_degree: to, passband: w.channel },
+                        StandardConfig::RoadmExpress {
+                            from_degree: from,
+                            to_degree: to,
+                            passband: w.channel,
+                        },
                     ) {
                         Ok(()) => repaired += 1,
                         Err(e) => failures.push(e),
@@ -684,8 +754,7 @@ impl Controller {
                     findings.push(format!("device at {site:?} is not a MUX"));
                     continue;
                 };
-                let passed = (0..MUX_PORTS)
-                    .any(|p| m.passes(p, &w.channel).unwrap_or(false));
+                let passed = (0..MUX_PORTS).any(|p| m.passes(p, &w.channel).unwrap_or(false));
                 if !passed {
                     findings.push(format!(
                         "wavelength {wi}: channel {} not passed by any filter port at {site:?} (channel inconsistency)",
@@ -700,7 +769,9 @@ impl Controller {
                     findings.push(format!("wavelength {wi}: roadm at {node:?} unreachable"));
                     continue;
                 };
-                let crate::device::Hardware::Roadm(r) = state.hardware else { continue };
+                let crate::device::Hardware::Roadm(r) = state.hardware else {
+                    continue;
+                };
                 let from = self.degree_of[&(node, w.path.edges[i - 1])];
                 let to = self.degree_of[&(node, w.path.edges[i])];
                 if !r.expresses(from, to, &w.channel).unwrap_or(false) {
@@ -732,7 +803,11 @@ impl Controller {
             // Replays go through the session directly: the entries are
             // already journaled, so journaling them again would duplicate
             // the ledger.
-            if self.devmgr.devices[&id].session.edit_config(rev, native).is_err() {
+            if self.devmgr.devices[&id]
+                .session
+                .edit_config(rev, native)
+                .is_err()
+            {
                 return false;
             }
         }
@@ -796,8 +871,7 @@ impl Controller {
             if let Some(p) = &pass_span {
                 p.field("repaired", rec.repaired);
             }
-            if rec.is_clean() && self.quarantined().is_empty() && self.audit_plan(plan).is_empty()
-            {
+            if rec.is_clean() && self.quarantined().is_empty() && self.audit_plan(plan).is_empty() {
                 report.converged = true;
                 break;
             }
@@ -809,7 +883,9 @@ impl Controller {
             s.field("converged", report.converged);
         }
         if let (Some(obs), Some(start)) = (&self.obs, start) {
-            obs.registry().counter("ctrl_reconcile_repairs_total").add(report.repaired as u64);
+            obs.registry()
+                .counter("ctrl_reconcile_repairs_total")
+                .add(report.repaired as u64);
             obs.observe_since("ctrl_converge_seconds", start);
         }
         report
@@ -860,7 +936,10 @@ mod tests {
     #[test]
     fn plan_applies_cleanly_and_audits_consistent() {
         let (g, ip) = backbone();
-        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        };
         let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
         assert!(p.is_feasible());
         let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
@@ -876,7 +955,10 @@ mod tests {
     #[test]
     fn radwan_plan_applies_on_fixed_grid_ols() {
         let (g, ip) = backbone();
-        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        };
         let p = plan(Scheme::Radwan, &g, &ip, &cfg);
         assert!(p.is_feasible());
         let mut ctrl = Controller::build(&g, Scheme::Radwan.wss(), cfg.grid);
@@ -890,12 +972,18 @@ mod tests {
         // Deploying FlexWAN wavelengths over a rigid 75 GHz OLS must fail
         // at the devices — the §9 "smooth evolution" motivation.
         let (g, ip) = backbone();
-        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        };
         let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
         // 600 G at 500 km → 100 GHz spacing: not a 75 GHz slot.
         let mut ctrl = Controller::build(&g, Scheme::Radwan.wss(), cfg.grid);
         let report = ctrl.apply_plan(&p, &g);
-        assert!(!report.is_clean(), "legacy OLS should reject pixel-wise channels");
+        assert!(
+            !report.is_clean(),
+            "legacy OLS should reject pixel-wise channels"
+        );
     }
 
     #[test]
@@ -904,7 +992,10 @@ mod tests {
         // rejects, and the already-configured transponders must be
         // disabled again.
         let (g, ip) = backbone();
-        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        };
         let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
         let off_grid = p
             .wavelengths
@@ -919,7 +1010,9 @@ mod tests {
         // The registered transponders exist but are administratively down.
         assert_eq!(ctrl.devmgr.len(), before_devices + 2);
         for id in (0..ctrl.devmgr.len() as u32).map(DeviceId) {
-            let Ok(state) = ctrl.devmgr.device(id).session.get_state() else { continue };
+            let Ok(state) = ctrl.devmgr.device(id).session.get_state() else {
+                continue;
+            };
             if let crate::device::Hardware::Transponder(Some(t)) = state.hardware {
                 assert!(!t.enabled, "rolled-back transponder still enabled");
             }
@@ -929,7 +1022,10 @@ mod tests {
     #[test]
     fn atomic_apply_succeeds_on_pixel_wise_plane() {
         let (g, ip) = backbone();
-        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        };
         let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
         let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
         for w in &p.wavelengths {
@@ -942,7 +1038,10 @@ mod tests {
     #[test]
     fn reconcile_repairs_field_swapped_device() {
         let (g, ip) = backbone();
-        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        };
         let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
         let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
         assert!(ctrl.apply_plan(&p, &g).is_clean());
@@ -963,7 +1062,10 @@ mod tests {
     #[test]
     fn journal_records_acknowledged_configs_only() {
         let (g, ip) = backbone();
-        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        };
         let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
         let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
         let report = ctrl.apply_plan(&p, &g);
@@ -979,9 +1081,8 @@ mod tests {
         // off-grid and journals nothing for those sends.
         let mut legacy = Controller::build(&g, Scheme::Radwan.wss(), cfg.grid);
         let rep2 = legacy.apply_plan(&p, &g);
-        let total2 = rep2.transponders_configured
-            + rep2.mux_ports_configured
-            + rep2.expresses_configured;
+        let total2 =
+            rep2.transponders_configured + rep2.mux_ports_configured + rep2.expresses_configured;
         assert_eq!(legacy.journal().len(), total2);
         assert!(legacy.journal().len() < ctrl.journal().len());
     }

@@ -35,7 +35,12 @@ impl TelemetryStore {
     /// A store keeping the last `window` samples per fiber.
     pub fn new(window: usize) -> Self {
         assert!(window >= 2, "detection needs at least two samples");
-        TelemetryStore { window, series: HashMap::new(), max_tick: 0, obs: None }
+        TelemetryStore {
+            window,
+            series: HashMap::new(),
+            max_tick: 0,
+            obs: None,
+        }
     }
 
     /// Arms the store with an observability bundle: ingested samples are
@@ -51,10 +56,14 @@ impl TelemetryStore {
         if let Some(obs) = &self.obs {
             let reg = obs.registry();
             reg.counter("telemetry_samples_total").inc();
-            reg.gauge("telemetry_stream_lag_ticks").set((self.max_tick - s.tick) as f64);
+            reg.gauge("telemetry_stream_lag_ticks")
+                .set((self.max_tick - s.tick) as f64);
         }
         let v = self.series.entry(s.fiber).or_default();
-        debug_assert!(v.last().is_none_or(|&(t, _)| t <= s.tick), "out-of-order sample");
+        debug_assert!(
+            v.last().is_none_or(|&(t, _)| t <= s.tick),
+            "out-of-order sample"
+        );
         v.push((s.tick, s.rx_power_dbm));
         if v.len() > self.window {
             v.remove(0);
@@ -68,7 +77,9 @@ impl TelemetryStore {
 
     /// The sample immediately before the latest.
     pub fn previous(&self, fiber: EdgeId) -> Option<(u64, f64)> {
-        self.series.get(&fiber).and_then(|v| v.len().checked_sub(2).map(|i| v[i]))
+        self.series
+            .get(&fiber)
+            .and_then(|v| v.len().checked_sub(2).map(|i| v[i]))
     }
 
     /// Fibers with any data.
@@ -90,14 +101,19 @@ pub struct FiberCutDetector {
 
 impl Default for FiberCutDetector {
     fn default() -> Self {
-        FiberCutDetector { drop_threshold_db: 20.0, floor_dbm: -40.0 }
+        FiberCutDetector {
+            drop_threshold_db: 20.0,
+            floor_dbm: -40.0,
+        }
     }
 }
 
 impl FiberCutDetector {
     /// Whether `fiber` currently looks cut.
     pub fn is_cut(&self, store: &TelemetryStore, fiber: EdgeId) -> bool {
-        let Some((_, now)) = store.latest(fiber) else { return false };
+        let Some((_, now)) = store.latest(fiber) else {
+            return false;
+        };
         if now < self.floor_dbm {
             return true;
         }
@@ -109,8 +125,7 @@ impl FiberCutDetector {
 
     /// All fibers currently flagged.
     pub fn scan(&self, store: &TelemetryStore) -> Vec<EdgeId> {
-        let mut cut: Vec<EdgeId> =
-            store.fibers().filter(|&f| self.is_cut(store, f)).collect();
+        let mut cut: Vec<EdgeId> = store.fibers().filter(|&f| self.is_cut(store, f)).collect();
         cut.sort();
         cut
     }
@@ -134,7 +149,8 @@ impl<'a> TelemetrySim<'a> {
     /// Healthy receive power for `fiber` at `tick` (deterministic ±0.3 dB
     /// ripple from polarization/temperature drift).
     pub fn healthy_power(&self, fiber: EdgeId, tick: u64) -> f64 {
-        let ripple = 0.3 * (((tick.wrapping_mul(2654435761) ^ u64::from(fiber.0)) % 7) as f64 / 3.0 - 1.0);
+        let ripple =
+            0.3 * (((tick.wrapping_mul(2654435761) ^ u64::from(fiber.0)) % 7) as f64 / 3.0 - 1.0);
         -3.0 + ripple
     }
 
@@ -142,8 +158,16 @@ impl<'a> TelemetrySim<'a> {
     /// noise floor.
     pub fn tick(&self, store: &mut TelemetryStore, tick: u64, cuts: &[EdgeId]) {
         for e in self.optical.edges() {
-            let power = if cuts.contains(&e.id) { -60.0 } else { self.healthy_power(e.id, tick) };
-            store.ingest(TelemetrySample { fiber: e.id, tick, rx_power_dbm: power });
+            let power = if cuts.contains(&e.id) {
+                -60.0
+            } else {
+                self.healthy_power(e.id, tick)
+            };
+            store.ingest(TelemetrySample {
+                fiber: e.id,
+                tick,
+                rx_power_dbm: power,
+            });
         }
     }
 }

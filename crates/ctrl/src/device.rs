@@ -60,7 +60,14 @@ pub struct DeviceState {
 impl DeviceState {
     fn apply(&mut self, cfg: &StandardConfig) -> Result<(), String> {
         match (&mut self.hardware, cfg) {
-            (Hardware::Transponder(state), StandardConfig::Transponder { format, channel, enabled }) => {
+            (
+                Hardware::Transponder(state),
+                StandardConfig::Transponder {
+                    format,
+                    channel,
+                    enabled,
+                },
+            ) => {
                 if format.spacing != channel.width {
                     return Err(format!(
                         "channel width {} does not match format spacing {}",
@@ -78,8 +85,17 @@ impl DeviceState {
                 Some(r) => mux.set_passband(*port, *r).map_err(|e| e.to_string()),
                 None => mux.clear_passband(*port).map_err(|e| e.to_string()),
             },
-            (Hardware::Roadm(roadm), StandardConfig::RoadmExpress { from_degree, to_degree, passband }) => {
-                roadm.add_passband(*from_degree, *passband).map_err(|e| e.to_string())?;
+            (
+                Hardware::Roadm(roadm),
+                StandardConfig::RoadmExpress {
+                    from_degree,
+                    to_degree,
+                    passband,
+                },
+            ) => {
+                roadm
+                    .add_passband(*from_degree, *passband)
+                    .map_err(|e| e.to_string())?;
                 if let Err(e) = roadm.add_passband(*to_degree, *passband) {
                     // Keep the two degrees atomic.
                     roadm
@@ -89,9 +105,20 @@ impl DeviceState {
                 }
                 Ok(())
             }
-            (Hardware::Roadm(roadm), StandardConfig::RoadmRelease { from_degree, to_degree, passband }) => {
-                roadm.remove_passband(*from_degree, *passband).map_err(|e| e.to_string())?;
-                roadm.remove_passband(*to_degree, *passband).map_err(|e| e.to_string())
+            (
+                Hardware::Roadm(roadm),
+                StandardConfig::RoadmRelease {
+                    from_degree,
+                    to_degree,
+                    passband,
+                },
+            ) => {
+                roadm
+                    .remove_passband(*from_degree, *passband)
+                    .map_err(|e| e.to_string())?;
+                roadm
+                    .remove_passband(*to_degree, *passband)
+                    .map_err(|e| e.to_string())
             }
             (Hardware::Amplifier { gain_db }, StandardConfig::AmplifierGain { gain_db: g }) => {
                 if !(0.0..=40.0).contains(g) {
@@ -130,20 +157,30 @@ pub fn spawn_device(descriptor: DeviceDescriptor, hardware: Hardware) -> DeviceH
     let (req_tx, req_rx) = unbounded::<NetconfRequest>();
     let (rep_tx, rep_rx) = unbounded::<NetconfReply>();
     let vendor_kind = descriptor.vendor;
-    let mut state = DeviceState { descriptor: descriptor.clone(), hardware, last_revision: 0 };
+    let mut state = DeviceState {
+        descriptor: descriptor.clone(),
+        hardware,
+        last_revision: 0,
+    };
     let join = std::thread::spawn(move || {
         while let Ok(req) = req_rx.recv() {
             match req {
                 NetconfRequest::Shutdown => break,
                 NetconfRequest::GetState => {
-                    if rep_tx.send(NetconfReply::State(Box::new(state.clone()))).is_err() {
+                    if rep_tx
+                        .send(NetconfReply::State(Box::new(state.clone())))
+                        .is_err()
+                    {
                         break;
                     }
                 }
                 NetconfRequest::EditConfig { revision, native } => {
                     // The device only understands its own dialect.
                     let reply = match vendor::decode(vendor_kind, &native) {
-                        Err(e) => NetconfReply::Rejected { revision, cause: e.to_string() },
+                        Err(e) => NetconfReply::Rejected {
+                            revision,
+                            cause: e.to_string(),
+                        },
                         Ok(cfg) => match state.apply(&cfg) {
                             Ok(()) => {
                                 state.last_revision = revision;
@@ -166,7 +203,11 @@ pub fn spawn_device(descriptor: DeviceDescriptor, hardware: Hardware) -> DeviceH
         injector: None,
         obs: None,
     };
-    DeviceHandle { descriptor, session, join: Some(join) }
+    DeviceHandle {
+        descriptor,
+        session,
+        join: Some(join),
+    }
 }
 
 /// Whether `state` already reflects `cfg`.
@@ -178,18 +219,39 @@ pub fn spawn_device(descriptor: DeviceDescriptor, hardware: Hardware) -> DeviceH
 /// though the intent holds.
 pub fn config_in_effect(state: &DeviceState, cfg: &StandardConfig) -> bool {
     match (&state.hardware, cfg) {
-        (Hardware::Transponder(Some(t)), StandardConfig::Transponder { format, channel, enabled }) => {
-            t.format == *format && t.channel == *channel && t.enabled == *enabled
-        }
+        (
+            Hardware::Transponder(Some(t)),
+            StandardConfig::Transponder {
+                format,
+                channel,
+                enabled,
+            },
+        ) => t.format == *format && t.channel == *channel && t.enabled == *enabled,
         (Hardware::Mux(m), StandardConfig::MuxPort { port, passband }) => {
             m.passband(*port).ok().as_ref() == Some(passband)
         }
-        (Hardware::Roadm(r), StandardConfig::RoadmExpress { from_degree, to_degree, passband }) => {
-            r.expresses(*from_degree, *to_degree, passband).unwrap_or(false)
-        }
-        (Hardware::Roadm(r), StandardConfig::RoadmRelease { from_degree, to_degree, passband }) => {
+        (
+            Hardware::Roadm(r),
+            StandardConfig::RoadmExpress {
+                from_degree,
+                to_degree,
+                passband,
+            },
+        ) => r
+            .expresses(*from_degree, *to_degree, passband)
+            .unwrap_or(false),
+        (
+            Hardware::Roadm(r),
+            StandardConfig::RoadmRelease {
+                from_degree,
+                to_degree,
+                passband,
+            },
+        ) => {
             let released = |d: u16| {
-                r.passbands(d).map(|pbs| !pbs.contains(passband)).unwrap_or(false)
+                r.passbands(d)
+                    .map(|pbs| !pbs.contains(passband))
+                    .unwrap_or(false)
             };
             released(*from_degree) && released(*to_degree)
         }
@@ -225,14 +287,16 @@ mod tests {
                 descriptor(DeviceKind::Transponder, vendor),
                 Hardware::Transponder(None),
             );
-            let format =
-                TransponderFormat::derive(400, PixelWidth::from_ghz(100.0).unwrap(), 1500);
+            let format = TransponderFormat::derive(400, PixelWidth::from_ghz(100.0).unwrap(), 1500);
             let cfg = StandardConfig::Transponder {
                 format,
                 channel: PixelRange::new(8, PixelWidth::new(8)),
                 enabled: true,
             };
-            let rev = h.session.edit_config(42, vendor::encode(vendor, &cfg)).unwrap();
+            let rev = h
+                .session
+                .edit_config(42, vendor::encode(vendor, &cfg))
+                .unwrap();
             assert_eq!(rev, 42);
             let st = h.session.get_state().unwrap();
             assert_eq!(st.last_revision, 42);
@@ -262,7 +326,9 @@ mod tests {
         let err = h.session.edit_config(1, foreign).unwrap_err();
         assert!(matches!(err, crate::netconf::SessionError::Rejected(_)));
         // And accepts its own.
-        h.session.edit_config(2, vendor::encode(Vendor::VendorB, &cfg)).unwrap();
+        h.session
+            .edit_config(2, vendor::encode(Vendor::VendorB, &cfg))
+            .unwrap();
     }
 
     #[test]
@@ -270,7 +336,9 @@ mod tests {
         let h = spawn_device(
             descriptor(DeviceKind::Mux, Vendor::VendorA),
             Hardware::Mux(Mux::new(
-                WssKind::FixedGrid { spacing: PixelWidth::new(6) },
+                WssKind::FixedGrid {
+                    spacing: PixelWidth::new(6),
+                },
                 SpectrumGrid::new(48),
                 4,
             )),
@@ -279,26 +347,39 @@ mod tests {
             port: 0,
             passband: Some(PixelRange::new(3, PixelWidth::new(6))),
         };
-        assert!(h.session.edit_config(1, vendor::encode(Vendor::VendorA, &bad)).is_err());
+        assert!(h
+            .session
+            .edit_config(1, vendor::encode(Vendor::VendorA, &bad))
+            .is_err());
         let good = StandardConfig::MuxPort {
             port: 0,
             passband: Some(PixelRange::new(6, PixelWidth::new(6))),
         };
-        h.session.edit_config(2, vendor::encode(Vendor::VendorA, &good)).unwrap();
+        h.session
+            .edit_config(2, vendor::encode(Vendor::VendorA, &good))
+            .unwrap();
     }
 
     #[test]
     fn roadm_express_is_atomic() {
         let mut roadm = Roadm::new(WssKind::PixelWise, SpectrumGrid::new(32), 2);
         // Pre-occupy degree 1 so the second half of an express fails.
-        roadm.add_passband(1, PixelRange::new(0, PixelWidth::new(8))).unwrap();
-        let h = spawn_device(descriptor(DeviceKind::Roadm, Vendor::VendorC), Hardware::Roadm(roadm));
+        roadm
+            .add_passband(1, PixelRange::new(0, PixelWidth::new(8)))
+            .unwrap();
+        let h = spawn_device(
+            descriptor(DeviceKind::Roadm, Vendor::VendorC),
+            Hardware::Roadm(roadm),
+        );
         let cfg = StandardConfig::RoadmExpress {
             from_degree: 0,
             to_degree: 1,
             passband: PixelRange::new(4, PixelWidth::new(6)),
         };
-        assert!(h.session.edit_config(1, vendor::encode(Vendor::VendorC, &cfg)).is_err());
+        assert!(h
+            .session
+            .edit_config(1, vendor::encode(Vendor::VendorC, &cfg))
+            .is_err());
         // Degree 0 must have been rolled back.
         let st = h.session.get_state().unwrap();
         match st.hardware {
@@ -315,10 +396,22 @@ mod tests {
         );
         assert!(h
             .session
-            .edit_config(1, vendor::encode(Vendor::VendorA, &StandardConfig::AmplifierGain { gain_db: 99.0 }))
+            .edit_config(
+                1,
+                vendor::encode(
+                    Vendor::VendorA,
+                    &StandardConfig::AmplifierGain { gain_db: 99.0 }
+                )
+            )
             .is_err());
         h.session
-            .edit_config(2, vendor::encode(Vendor::VendorA, &StandardConfig::AmplifierGain { gain_db: 21.0 }))
+            .edit_config(
+                2,
+                vendor::encode(
+                    Vendor::VendorA,
+                    &StandardConfig::AmplifierGain { gain_db: 21.0 },
+                ),
+            )
             .unwrap();
     }
 
@@ -328,7 +421,13 @@ mod tests {
             descriptor(DeviceKind::Amplifier, Vendor::VendorA),
             Hardware::Amplifier { gain_db: 16.0 },
         );
-        let cfg = StandardConfig::MuxPort { port: 0, passband: None };
-        assert!(h.session.edit_config(1, vendor::encode(Vendor::VendorA, &cfg)).is_err());
+        let cfg = StandardConfig::MuxPort {
+            port: 0,
+            passband: None,
+        };
+        assert!(h
+            .session
+            .edit_config(1, vendor::encode(Vendor::VendorA, &cfg))
+            .is_err());
     }
 }

@@ -84,7 +84,11 @@ impl FaultPlan {
 
     /// A plan applying `faults` to every device.
     pub fn uniform(seed: u64, faults: DeviceFaults) -> Self {
-        FaultPlan { seed, default: faults, per_device: HashMap::new() }
+        FaultPlan {
+            seed,
+            default: faults,
+            per_device: HashMap::new(),
+        }
     }
 
     /// Builder: override the faults for one device.
@@ -281,10 +285,18 @@ impl FaultInjector {
 #[derive(Debug, Clone)]
 enum ClusterFault {
     /// One replica misses heartbeats in rounds `[from, until)`.
-    Silence { replica: usize, from: usize, until: usize },
+    Silence {
+        replica: usize,
+        from: usize,
+        until: usize,
+    },
     /// Every replica in a region is partitioned away in rounds
     /// `[from, until)`.
-    Partition { region: String, from: usize, until: usize },
+    Partition {
+        region: String,
+        from: usize,
+        until: usize,
+    },
 }
 
 /// A scripted schedule of cluster-level faults, indexed by heartbeat
@@ -303,26 +315,38 @@ impl ClusterFaultSchedule {
     /// Builder: replica `replica` loses heartbeats in rounds
     /// `[from, until)`.
     pub fn silence(mut self, replica: usize, from: usize, until: usize) -> Self {
-        self.entries.push(ClusterFault::Silence { replica, from, until });
+        self.entries.push(ClusterFault::Silence {
+            replica,
+            from,
+            until,
+        });
         self
     }
 
     /// Builder: region `region` is partitioned away in rounds
     /// `[from, until)`.
     pub fn partition(mut self, region: &str, from: usize, until: usize) -> Self {
-        self.entries.push(ClusterFault::Partition { region: region.to_string(), from, until });
+        self.entries.push(ClusterFault::Partition {
+            region: region.to_string(),
+            from,
+            until,
+        });
         self
     }
 
     /// Whether `replica` (in `region`) answers the heartbeat of `round`.
     pub fn responds(&self, round: usize, replica: usize, region: &str) -> bool {
         !self.entries.iter().any(|f| match f {
-            ClusterFault::Silence { replica: r, from, until } => {
-                *r == replica && (*from..*until).contains(&round)
-            }
-            ClusterFault::Partition { region: reg, from, until } => {
-                reg == region && (*from..*until).contains(&round)
-            }
+            ClusterFault::Silence {
+                replica: r,
+                from,
+                until,
+            } => *r == replica && (*from..*until).contains(&round),
+            ClusterFault::Partition {
+                region: reg,
+                from,
+                until,
+            } => reg == region && (*from..*until).contains(&round),
         })
     }
 
@@ -389,7 +413,11 @@ pub fn physical_scenario(
     }
     cuts.sort();
     cuts.dedup();
-    FailureScenario { id, cuts, probability: 1.0 }
+    FailureScenario {
+        id,
+        cuts,
+        probability: 1.0,
+    }
 }
 
 #[cfg(test)]
@@ -401,17 +429,27 @@ mod tests {
         let inj = FaultInjector::new(FaultPlan::none());
         for _ in 0..100 {
             assert_eq!(inj.on_edit_config(DeviceId(0)), EditVerdict::Deliver);
-            assert!(matches!(inj.on_get_state(DeviceId(0)), StateVerdict::Deliver));
+            assert!(matches!(
+                inj.on_get_state(DeviceId(0)),
+                StateVerdict::Deliver
+            ));
         }
         let s = inj.stats();
-        assert_eq!(s.drops + s.delayed_replies + s.rejects + s.crashes + s.stale_reads, 0);
+        assert_eq!(
+            s.drops + s.delayed_replies + s.rejects + s.crashes + s.stale_reads,
+            0
+        );
     }
 
     #[test]
     fn same_seed_same_verdicts() {
         let plan = FaultPlan::uniform(
             7,
-            DeviceFaults { drop_prob: 0.4, delay_reply_prob: 0.3, ..Default::default() },
+            DeviceFaults {
+                drop_prob: 0.4,
+                delay_reply_prob: 0.3,
+                ..Default::default()
+            },
         );
         let a = FaultInjector::new(plan.clone());
         let b = FaultInjector::new(plan);
@@ -423,8 +461,13 @@ mod tests {
 
     #[test]
     fn reject_first_is_per_device_and_finite() {
-        let plan =
-            FaultPlan::uniform(1, DeviceFaults { reject_first: 2, ..Default::default() });
+        let plan = FaultPlan::uniform(
+            1,
+            DeviceFaults {
+                reject_first: 2,
+                ..Default::default()
+            },
+        );
         let inj = FaultInjector::new(plan);
         for dev in [DeviceId(0), DeviceId(1)] {
             assert_eq!(inj.on_edit_config(dev), EditVerdict::Reject);
@@ -436,8 +479,13 @@ mod tests {
 
     #[test]
     fn crash_fires_once_then_passes_through() {
-        let plan = FaultPlan::none()
-            .device(DeviceId(3), DeviceFaults { crash_after: Some(1), ..Default::default() });
+        let plan = FaultPlan::none().device(
+            DeviceId(3),
+            DeviceFaults {
+                crash_after: Some(1),
+                ..Default::default()
+            },
+        );
         let inj = FaultInjector::new(plan);
         assert_eq!(inj.on_edit_config(DeviceId(3)), EditVerdict::Deliver);
         assert_eq!(inj.on_edit_config(DeviceId(3)), EditVerdict::Crash);
@@ -453,7 +501,13 @@ mod tests {
 
     #[test]
     fn lift_clears_all_faults() {
-        let plan = FaultPlan::uniform(2, DeviceFaults { drop_prob: 1.0, ..Default::default() });
+        let plan = FaultPlan::uniform(
+            2,
+            DeviceFaults {
+                drop_prob: 1.0,
+                ..Default::default()
+            },
+        );
         let inj = FaultInjector::new(plan);
         assert_eq!(inj.on_edit_config(DeviceId(0)), EditVerdict::Drop);
         inj.lift();
@@ -463,7 +517,9 @@ mod tests {
 
     #[test]
     fn cluster_schedule_scripts_silence_and_partitions() {
-        let sched = ClusterFaultSchedule::new().silence(1, 2, 5).partition("west", 4, 6);
+        let sched = ClusterFaultSchedule::new()
+            .silence(1, 2, 5)
+            .partition("west", 4, 6);
         assert!(sched.responds(0, 1, "east"));
         assert!(!sched.responds(2, 1, "east"));
         assert!(!sched.responds(4, 0, "west"));
@@ -481,11 +537,17 @@ mod tests {
         let tb = Testbed::default(); // 80 km spans
         let s = physical_scenario(
             0,
-            &[PhysicalFault::AmplifierFailure(short), PhysicalFault::AmplifierFailure(long)],
+            &[
+                PhysicalFault::AmplifierFailure(short),
+                PhysicalFault::AmplifierFailure(long),
+            ],
             &g,
             &tb,
         );
-        assert!(!s.is_cut(short), "single-span fiber survives an amp failure");
+        assert!(
+            !s.is_cut(short),
+            "single-span fiber survives an amp failure"
+        );
         assert!(s.is_cut(long));
         let s2 = physical_scenario(1, &[PhysicalFault::FiberCut(short)], &g, &tb);
         assert!(s2.is_cut(short), "a cut always takes the fiber down");

@@ -59,7 +59,10 @@ impl ControllerCluster {
                 missed_heartbeats: 0,
             })
             .collect();
-        ControllerCluster { replicas, next_revision: 0 }
+        ControllerCluster {
+            replicas,
+            next_revision: 0,
+        }
     }
 
     /// The current primary: the lowest-id healthy replica.

@@ -65,7 +65,10 @@ pub fn find_conflicts(channels: &[ConfiguredChannel]) -> Vec<SpectrumIssue> {
         for (a_pos, &a) in idxs.iter().enumerate() {
             for &b in &idxs[a_pos + 1..] {
                 if channels[a].channel.overlaps(&channels[b].channel) {
-                    issues.push(SpectrumIssue::Conflict { fiber, wavelengths: (a, b) });
+                    issues.push(SpectrumIssue::Conflict {
+                        fiber,
+                        wavelengths: (a, b),
+                    });
                 }
             }
         }
@@ -87,7 +90,10 @@ pub fn find_inconsistencies(
                 .map(|pbs| pbs.iter().any(|pb| pb.contains(&c.channel)))
                 .unwrap_or(false);
             if !ok {
-                issues.push(SpectrumIssue::Inconsistency { wavelength: i, site: *node });
+                issues.push(SpectrumIssue::Inconsistency {
+                    wavelength: i,
+                    site: *node,
+                });
             }
         }
     }
@@ -118,8 +124,7 @@ pub fn uncoordinated_assignment(
         let masks = per_vendor_masks
             .entry(*vendor)
             .or_insert_with(|| vec![SpectrumMask::new(grid); num_fibers]);
-        let views: Vec<&SpectrumMask> =
-            path.edges.iter().map(|e| &masks[e.0 as usize]).collect();
+        let views: Vec<&SpectrumMask> = path.edges.iter().map(|e| &masks[e.0 as usize]).collect();
         let Some(range) = SpectrumMask::first_fit_joint(&views, *width) else {
             continue; // vendor-local spectrum exhausted; demand dropped
         };
@@ -135,7 +140,11 @@ pub fn uncoordinated_assignment(
                 passbands_at.entry(*node).or_default().push(range);
             }
         }
-        channels.push(ConfiguredChannel { path: path.clone(), channel: range, vendor: *vendor });
+        channels.push(ConfiguredChannel {
+            path: path.clone(),
+            channel: range,
+            vendor: *vendor,
+        });
     }
     (channels, passbands_at)
 }
@@ -153,8 +162,7 @@ pub fn centralized_assignment(
     let mut channels = Vec::new();
     let mut passbands_at: HashMap<NodeId, Vec<PixelRange>> = HashMap::new();
     for (path, width, vendor) in demands {
-        let views: Vec<&SpectrumMask> =
-            path.edges.iter().map(|e| &masks[e.0 as usize]).collect();
+        let views: Vec<&SpectrumMask> = path.edges.iter().map(|e| &masks[e.0 as usize]).collect();
         let Some(range) = SpectrumMask::first_fit_joint(&views, *width) else {
             continue;
         };
@@ -164,7 +172,11 @@ pub fn centralized_assignment(
         for node in &path.nodes {
             passbands_at.entry(*node).or_default().push(range);
         }
-        channels.push(ConfiguredChannel { path: path.clone(), channel: range, vendor: *vendor });
+        channels.push(ConfiguredChannel {
+            path: path.clone(),
+            channel: range,
+            vendor: *vendor,
+        });
     }
     (channels, passbands_at)
 }
@@ -175,7 +187,11 @@ mod tests {
     use flexwan_optical::spectrum::PixelWidth;
     use flexwan_topo::graph::Graph;
 
-    type CrossingWorld = (Graph, Vec<(Path, PixelWidth, Vendor)>, HashMap<NodeId, Vendor>);
+    type CrossingWorld = (
+        Graph,
+        Vec<(Path, PixelWidth, Vendor)>,
+        HashMap<NodeId, Vendor>,
+    );
 
     /// Two paths crossing a shared middle fiber, provisioned by different
     /// vendors (Figure 5(b)'s setup).
@@ -215,7 +231,9 @@ mod tests {
         // Both vendors first-fit to pixel 0 on the shared fiber.
         let conflicts = find_conflicts(&channels);
         assert_eq!(conflicts.len(), 1);
-        assert!(matches!(conflicts[0], SpectrumIssue::Conflict { fiber, .. } if fiber == EdgeId(1)));
+        assert!(
+            matches!(conflicts[0], SpectrumIssue::Conflict { fiber, .. } if fiber == EdgeId(1))
+        );
     }
 
     #[test]
@@ -226,9 +244,9 @@ mod tests {
         // Wavelength 0 (VendorA) crosses site c owned by VendorB: no
         // passband there.
         let inc = find_inconsistencies(&channels, &passbands);
-        assert!(inc
-            .iter()
-            .any(|i| matches!(i, SpectrumIssue::Inconsistency { wavelength: 0, site } if site.0 == 2)));
+        assert!(inc.iter().any(
+            |i| matches!(i, SpectrumIssue::Inconsistency { wavelength: 0, site } if site.0 == 2)
+        ));
     }
 
     #[test]

@@ -4,9 +4,8 @@
 //! Production controllers keep exactly this ledger: it answers "what was
 //! device X running at revision R?" during incident forensics, feeds the
 //! §4.4 fault-tolerance story (a promoted replica replays the journal),
-//! and gives [`crate::controller::Controller::config_at`]-style rollback
-//! a source of truth.
-
+//! and gives [`ConfigJournal::config_at`]-style rollback a source of
+//! truth.
 
 use crate::config::StandardConfig;
 use crate::model::DeviceId;
@@ -42,7 +41,11 @@ impl ConfigJournal {
             self.entries.last().is_none_or(|e| e.revision < revision),
             "journal revisions must be strictly increasing"
         );
-        self.entries.push(JournalEntry { revision, device, config });
+        self.entries.push(JournalEntry {
+            revision,
+            device,
+            config,
+        });
     }
 
     /// Every entry, in revision order.
@@ -124,7 +127,9 @@ impl ToJson for ConfigJournal {
 
 impl FromJson for ConfigJournal {
     fn from_json(v: &Value) -> Result<Self, json::Error> {
-        Ok(ConfigJournal { entries: v.field("entries")? })
+        Ok(ConfigJournal {
+            entries: v.field("entries")?,
+        })
     }
 }
 
@@ -172,7 +177,10 @@ mod tests {
         j.record(3, DeviceId(1), cfg(2));
         j.record(4, DeviceId(2), cfg(3));
         assert_eq!(j.changed_between(1, 3), vec![DeviceId(1)]);
-        assert_eq!(j.changed_between(0, 4), vec![DeviceId(0), DeviceId(1), DeviceId(2)]);
+        assert_eq!(
+            j.changed_between(0, 4),
+            vec![DeviceId(0), DeviceId(1), DeviceId(2)]
+        );
         assert!(j.changed_between(4, 4).is_empty());
     }
 

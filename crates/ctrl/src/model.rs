@@ -12,7 +12,6 @@
 
 use std::net::Ipv4Addr;
 
-
 use flexwan_topo::graph::NodeId;
 
 /// Controller-wide device identifier.

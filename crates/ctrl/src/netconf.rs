@@ -113,7 +113,9 @@ impl NetconfSession {
     fn count(&self, metric: &str) {
         if let Some(obs) = &self.obs {
             let device = self.device.0.to_string();
-            obs.registry().counter_with(metric, &[("device", &device)]).inc();
+            obs.registry()
+                .counter_with(metric, &[("device", &device)])
+                .inc();
         }
     }
 
@@ -206,7 +208,9 @@ impl NetconfSession {
                 StateVerdict::Stale(s) => return Ok(*s),
             }
         }
-        self.req.send(NetconfRequest::GetState).map_err(|_| SessionError::Unreachable)?;
+        self.req
+            .send(NetconfRequest::GetState)
+            .map_err(|_| SessionError::Unreachable)?;
         match self.recv()? {
             NetconfReply::State(s) => {
                 if let Some(inj) = &self.injector {

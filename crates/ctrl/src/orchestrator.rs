@@ -112,13 +112,19 @@ impl<'a> Orchestrator<'a> {
             let reg = obs.registry();
             match &outcome {
                 TickOutcome::Quiet => span.field("outcome", "quiet"),
-                TickOutcome::Restored { cuts, lost_gbps, revived_gbps, apply_rejections } => {
+                TickOutcome::Restored {
+                    cuts,
+                    lost_gbps,
+                    revived_gbps,
+                    apply_rejections,
+                } => {
                     span.field("outcome", "restored");
                     span.field("cuts", cuts.len());
                     span.field("lost_gbps", *lost_gbps);
                     span.field("revived_gbps", *revived_gbps);
                     reg.counter("orchestrator_restorations_total").inc();
-                    reg.counter("orchestrator_revived_gbps_total").add(*revived_gbps);
+                    reg.counter("orchestrator_revived_gbps_total")
+                        .add(*revived_gbps);
                     reg.counter("orchestrator_apply_rejections_total")
                         .add(*apply_rejections as u64);
                 }
@@ -129,7 +135,8 @@ impl<'a> Orchestrator<'a> {
                     reg.counter("orchestrator_repairs_total").inc();
                 }
             }
-            reg.gauge("orchestrator_active_cuts").set(self.active_cuts.len() as f64);
+            reg.gauge("orchestrator_active_cuts")
+                .set(self.active_cuts.len() as f64);
             obs.observe_since("orchestrator_tick_seconds", start);
         }
         outcome
@@ -144,8 +151,7 @@ impl<'a> Orchestrator<'a> {
         let flagged: HashSet<EdgeId> = self.detector.scan(store).into_iter().collect();
 
         // Repair first: fibers that were cut and are now clean.
-        let repaired: Vec<EdgeId> =
-            self.active_cuts.difference(&flagged).copied().collect();
+        let repaired: Vec<EdgeId> = self.active_cuts.difference(&flagged).copied().collect();
         if !repaired.is_empty() {
             for f in &repaired {
                 self.active_cuts.remove(f);
@@ -156,7 +162,10 @@ impl<'a> Orchestrator<'a> {
             // "restoration exists iff cuts exist" simple and testable.)
             let retired = self.restoration.len();
             self.restoration.clear();
-            return TickOutcome::Repaired { fibers: repaired, retired };
+            return TickOutcome::Repaired {
+                fibers: repaired,
+                retired,
+            };
         }
 
         // New cuts.
@@ -172,7 +181,14 @@ impl<'a> Orchestrator<'a> {
             probability: 1.0,
         };
         let plan_span = span.map(|s| s.child("orch.restore_plan"));
-        let r = restore(&self.plan, self.optical, self.ip, &scenario, &self.extra_spares, &self.cfg);
+        let r = restore(
+            &self.plan,
+            self.optical,
+            self.ip,
+            &scenario,
+            &self.extra_spares,
+            &self.cfg,
+        );
         if let Some(p) = &plan_span {
             p.field("restored", r.restored.len());
         }
@@ -214,7 +230,10 @@ mod tests {
         g.add_edge(c, b, 600);
         let mut ip = IpTopology::new();
         ip.add_link(a, b, 300);
-        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        };
         (g, ip, cfg)
     }
 
@@ -236,7 +255,12 @@ mod tests {
         // The backhoe strikes.
         sim.tick(&mut store, 5, &[primary]);
         match orch.tick(&store, &mut ctrl) {
-            TickOutcome::Restored { cuts, lost_gbps, revived_gbps, apply_rejections } => {
+            TickOutcome::Restored {
+                cuts,
+                lost_gbps,
+                revived_gbps,
+                apply_rejections,
+            } => {
                 assert_eq!(cuts, vec![primary]);
                 assert_eq!(lost_gbps, 300);
                 assert_eq!(revived_gbps, 300, "FlexWAN revives fully (§3.3)");
@@ -278,7 +302,11 @@ mod tests {
         sim.tick(&mut store, 0, &[]);
         sim.tick(&mut store, 1, &[unused]);
         match orch.tick(&store, &mut ctrl) {
-            TickOutcome::Restored { lost_gbps, revived_gbps, .. } => {
+            TickOutcome::Restored {
+                lost_gbps,
+                revived_gbps,
+                ..
+            } => {
                 assert_eq!(lost_gbps, 0);
                 assert_eq!(revived_gbps, 0);
             }

@@ -42,11 +42,15 @@ pub fn recover_misconnection(
     channel: PixelRange,
 ) -> RecoveryOutcome {
     match wss {
-        WssKind::PixelWise => RecoveryOutcome::ZeroTouch { reconfigured_port: actual_port },
+        WssKind::PixelWise => RecoveryOutcome::ZeroTouch {
+            reconfigured_port: actual_port,
+        },
         WssKind::FixedGrid { spacing } => {
             let slot_start = u32::from(actual_port) * u32::from(spacing.pixels());
             if channel.start == slot_start && channel.width == spacing {
-                RecoveryOutcome::ZeroTouch { reconfigured_port: actual_port }
+                RecoveryOutcome::ZeroTouch {
+                    reconfigured_port: actual_port,
+                }
             } else {
                 RecoveryOutcome::ManualIntervention {
                     reason: format!(
@@ -111,12 +115,14 @@ mod tests {
     #[test]
     fn pixel_wise_recovery_is_always_zero_touch() {
         for (start, width) in [(0u32, 6u16), (3, 7), (17, 10)] {
-            let out = recover_misconnection(
-                WssKind::PixelWise,
-                9,
-                PixelRange::new(start, px(width)),
+            let out =
+                recover_misconnection(WssKind::PixelWise, 9, PixelRange::new(start, px(width)));
+            assert_eq!(
+                out,
+                RecoveryOutcome::ZeroTouch {
+                    reconfigured_port: 9
+                }
             );
-            assert_eq!(out, RecoveryOutcome::ZeroTouch { reconfigured_port: 9 });
         }
     }
 
@@ -138,8 +144,14 @@ mod tests {
         recover_misconnection_observed(&obs, WssKind::PixelWise, 9, ch);
         recover_misconnection_observed(&obs, WssKind::FixedGrid { spacing: px(6) }, 5, ch);
         let prom = obs.metrics_prometheus();
-        assert!(prom.contains("recovery_zero_touch_total{wss=\"pixel_wise\"} 1"), "{prom}");
-        assert!(prom.contains("recovery_manual_total{wss=\"fixed_grid\"} 1"), "{prom}");
+        assert!(
+            prom.contains("recovery_zero_touch_total{wss=\"pixel_wise\"} 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("recovery_manual_total{wss=\"fixed_grid\"} 1"),
+            "{prom}"
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ impl Transaction {
 
     /// Appends a step.
     pub fn step(&mut self, device: DeviceId, apply: StandardConfig, undo: StandardConfig) {
-        self.steps.push(Step { device, apply, undo });
+        self.steps.push(Step {
+            device,
+            apply,
+            undo,
+        });
     }
 
     /// Number of steps.
@@ -102,12 +106,7 @@ impl Transaction {
     /// recorded into `obs`: a `tx.execute` span carrying the step count
     /// and outcome, plus commit/rollback counters — the §4.3
     /// all-or-nothing guarantee made observable.
-    pub fn execute_observed<F>(
-        self,
-        obs: &Obs,
-        budget: usize,
-        send: F,
-    ) -> Result<usize, TxError>
+    pub fn execute_observed<F>(self, obs: &Obs, budget: usize, send: F) -> Result<usize, TxError>
     where
         F: FnMut(DeviceId, &StandardConfig) -> Result<(), String>,
     {
@@ -127,8 +126,10 @@ impl Transaction {
                 span.field("failed_device", u64::from(e.failed_device.0));
                 span.field("rolled_back", e.rolled_back);
                 reg.counter("tx_rollbacks_total").inc();
-                reg.counter("tx_rollback_steps_total").add(e.rolled_back as u64);
-                reg.counter("tx_rollback_failures_total").add(e.rollback_failures.len() as u64);
+                reg.counter("tx_rollback_steps_total")
+                    .add(e.rolled_back as u64);
+                reg.counter("tx_rollback_failures_total")
+                    .add(e.rollback_failures.len() as u64);
             }
         }
         obs.observe_since("tx_execute_seconds", start);
@@ -200,10 +201,17 @@ mod tests {
 
     #[test]
     fn success_applies_all_steps() {
-        let mut plane = FakePlane { state: HashMap::new(), reject: DeviceId(99) };
+        let mut plane = FakePlane {
+            state: HashMap::new(),
+            reject: DeviceId(99),
+        };
         let mut tx = Transaction::new();
         for i in 0..3 {
-            tx.step(DeviceId(i), port_cfg(i as u16, true), port_cfg(i as u16, false));
+            tx.step(
+                DeviceId(i),
+                port_cfg(i as u16, true),
+                port_cfg(i as u16, false),
+            );
         }
         let n = tx.execute(|d, c| plane.send(d, c)).unwrap();
         assert_eq!(n, 3);
@@ -215,10 +223,17 @@ mod tests {
 
     #[test]
     fn failure_rolls_back_prefix_in_reverse() {
-        let mut plane = FakePlane { state: HashMap::new(), reject: DeviceId(2) };
+        let mut plane = FakePlane {
+            state: HashMap::new(),
+            reject: DeviceId(2),
+        };
         let mut tx = Transaction::new();
         for i in 0..4 {
-            tx.step(DeviceId(i), port_cfg(i as u16, true), port_cfg(i as u16, false));
+            tx.step(
+                DeviceId(i),
+                port_cfg(i as u16, true),
+                port_cfg(i as u16, false),
+            );
         }
         let err = tx.execute(|d, c| plane.send(d, c)).unwrap_err();
         assert_eq!(err.failed_device, DeviceId(2));
@@ -258,12 +273,21 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_rolls_back_prefix() {
-        let mut plane = FakePlane { state: HashMap::new(), reject: DeviceId(99) };
+        let mut plane = FakePlane {
+            state: HashMap::new(),
+            reject: DeviceId(99),
+        };
         let mut tx = Transaction::new();
         for i in 0..4 {
-            tx.step(DeviceId(i), port_cfg(i as u16, true), port_cfg(i as u16, false));
+            tx.step(
+                DeviceId(i),
+                port_cfg(i as u16, true),
+                port_cfg(i as u16, false),
+            );
         }
-        let err = tx.execute_with_budget(2, |d, c| plane.send(d, c)).unwrap_err();
+        let err = tx
+            .execute_with_budget(2, |d, c| plane.send(d, c))
+            .unwrap_err();
         assert_eq!(err.failed_device, DeviceId(2));
         assert!(err.cause.contains("budget"), "{}", err.cause);
         assert_eq!(err.rolled_back, 2);

@@ -88,7 +88,11 @@ fn decode_range(vendor: Vendor, v: &Value) -> Result<PixelRange, DialectError> {
 /// Encodes a standard config into the vendor's native document.
 pub fn encode(vendor: Vendor, cfg: &StandardConfig) -> Value {
     match cfg {
-        StandardConfig::Transponder { format, channel, enabled } => json!({
+        StandardConfig::Transponder {
+            format,
+            channel,
+            enabled,
+        } => json!({
             "op": "line-config",
             "rate_gbps": format.data_rate_gbps,
             "reach_km": format.reach_km,
@@ -103,13 +107,21 @@ pub fn encode(vendor: Vendor, cfg: &StandardConfig) -> Value {
             "port": port,
             "passband": passband.as_ref().map(|r| encode_range(vendor, r)),
         }),
-        StandardConfig::RoadmExpress { from_degree, to_degree, passband } => json!({
+        StandardConfig::RoadmExpress {
+            from_degree,
+            to_degree,
+            passband,
+        } => json!({
             "op": "express-add",
             "ingress": from_degree,
             "egress": to_degree,
             "passband": encode_range(vendor, passband),
         }),
-        StandardConfig::RoadmRelease { from_degree, to_degree, passband } => json!({
+        StandardConfig::RoadmRelease {
+            from_degree,
+            to_degree,
+            passband,
+        } => json!({
             "op": "express-del",
             "ingress": from_degree,
             "egress": to_degree,
@@ -131,16 +143,21 @@ pub fn decode(vendor: Vendor, v: &Value) -> Result<StandardConfig, DialectError>
         .ok_or_else(|| DialectError("missing op".into()))?;
     match op {
         "line-config" => {
-            let channel = decode_range(vendor, v.get("spectrum").ok_or_else(|| DialectError("missing spectrum".into()))?)?;
+            let channel = decode_range(
+                vendor,
+                v.get("spectrum")
+                    .ok_or_else(|| DialectError("missing spectrum".into()))?,
+            )?;
             let rate = get_u64(v, "rate_gbps")? as u32;
             let reach = get_u64(v, "reach_km")? as u32;
-            let format = flexwan_optical::format::TransponderFormat::derive(
-                rate,
-                channel.width,
-                reach,
-            );
+            let format =
+                flexwan_optical::format::TransponderFormat::derive(rate, channel.width, reach);
             let enabled = v.get("admin_up").and_then(Value::as_bool).unwrap_or(false);
-            Ok(StandardConfig::Transponder { format, channel, enabled })
+            Ok(StandardConfig::Transponder {
+                format,
+                channel,
+                enabled,
+            })
         }
         "filter-port" => {
             let port = get_u64(v, "port")? as u16;
@@ -155,15 +172,26 @@ pub fn decode(vendor: Vendor, v: &Value) -> Result<StandardConfig, DialectError>
             let to_degree = get_u64(v, "egress")? as u16;
             let passband = decode_range(
                 vendor,
-                v.get("passband").ok_or_else(|| DialectError("missing passband".into()))?,
+                v.get("passband")
+                    .ok_or_else(|| DialectError("missing passband".into()))?,
             )?;
             Ok(if op == "express-add" {
-                StandardConfig::RoadmExpress { from_degree, to_degree, passband }
+                StandardConfig::RoadmExpress {
+                    from_degree,
+                    to_degree,
+                    passband,
+                }
             } else {
-                StandardConfig::RoadmRelease { from_degree, to_degree, passband }
+                StandardConfig::RoadmRelease {
+                    from_degree,
+                    to_degree,
+                    passband,
+                }
             })
         }
-        "gain" => Ok(StandardConfig::AmplifierGain { gain_db: get_f64(v, "gain_db")? }),
+        "gain" => Ok(StandardConfig::AmplifierGain {
+            gain_db: get_f64(v, "gain_db")?,
+        }),
         other => Err(DialectError(format!("unknown op {other}"))),
     }
 }
@@ -181,10 +209,24 @@ mod tests {
                 channel: PixelRange::new(10, PixelWidth::new(7)),
                 enabled: true,
             },
-            StandardConfig::MuxPort { port: 5, passband: Some(r) },
-            StandardConfig::MuxPort { port: 6, passband: None },
-            StandardConfig::RoadmExpress { from_degree: 1, to_degree: 2, passband: r },
-            StandardConfig::RoadmRelease { from_degree: 1, to_degree: 2, passband: r },
+            StandardConfig::MuxPort {
+                port: 5,
+                passband: Some(r),
+            },
+            StandardConfig::MuxPort {
+                port: 6,
+                passband: None,
+            },
+            StandardConfig::RoadmExpress {
+                from_degree: 1,
+                to_degree: 2,
+                passband: r,
+            },
+            StandardConfig::RoadmRelease {
+                from_degree: 1,
+                to_degree: 2,
+                passband: r,
+            },
             StandardConfig::AmplifierGain { gain_db: 16.0 },
         ]
     }
@@ -194,15 +236,22 @@ mod tests {
         for vendor in Vendor::ALL {
             for cfg in sample_configs() {
                 let native = encode(vendor, &cfg);
-                let back = decode(vendor, &native).unwrap_or_else(|e| {
-                    panic!("{vendor:?} failed to decode {native}: {e}")
-                });
+                let back = decode(vendor, &native)
+                    .unwrap_or_else(|e| panic!("{vendor:?} failed to decode {native}: {e}"));
                 match (&cfg, &back) {
                     // Transponder formats re-derive internals; compare the
                     // externally meaningful fields.
                     (
-                        StandardConfig::Transponder { format: f1, channel: c1, enabled: e1 },
-                        StandardConfig::Transponder { format: f2, channel: c2, enabled: e2 },
+                        StandardConfig::Transponder {
+                            format: f1,
+                            channel: c1,
+                            enabled: e1,
+                        },
+                        StandardConfig::Transponder {
+                            format: f2,
+                            channel: c2,
+                            enabled: e2,
+                        },
                     ) => {
                         assert_eq!(f1.data_rate_gbps, f2.data_rate_gbps);
                         assert_eq!(f1.spacing, f2.spacing);

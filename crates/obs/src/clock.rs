@@ -24,7 +24,9 @@ pub struct WallClock {
 impl WallClock {
     /// A wall clock whose epoch is now.
     pub fn new() -> Self {
-        WallClock { origin: Instant::now() }
+        WallClock {
+            origin: Instant::now(),
+        }
     }
 }
 

@@ -60,7 +60,11 @@ impl Obs {
     pub fn with_clock_and_capacity(clock: Arc<dyn Clock>, span_capacity: usize) -> Obs {
         let registry = Arc::new(Registry::new());
         let tracer = Arc::new(Tracer::new(span_capacity, clock.clone()));
-        Obs { clock, registry, tracer }
+        Obs {
+            clock,
+            registry,
+            tracer,
+        }
     }
 
     /// The metrics registry.
@@ -92,7 +96,9 @@ impl Obs {
     /// `name` (buckets: [`LATENCY_SECONDS_BUCKETS`]).
     pub fn observe_since(&self, name: &str, start_ns: u64) {
         let dt = self.clock.now_ns().saturating_sub(start_ns) as f64 / 1e9;
-        self.registry.histogram(name, LATENCY_SECONDS_BUCKETS).observe(dt);
+        self.registry
+            .histogram(name, LATENCY_SECONDS_BUCKETS)
+            .observe(dt);
     }
 
     /// The metrics snapshot as pretty JSON text.
@@ -118,9 +124,15 @@ impl Obs {
     pub fn record_pool(&self, op: &str, stats: &flexwan_util::pool::PoolStats) {
         let labels = [("op", op)];
         self.registry.counter_with("pool_runs_total", &labels).inc();
-        self.registry.gauge_with("pool_threads", &labels).set(stats.threads as f64);
-        self.registry.gauge_with("pool_items", &labels).set(stats.items as f64);
-        self.registry.gauge_with("pool_chunks", &labels).set(stats.chunks as f64);
+        self.registry
+            .gauge_with("pool_threads", &labels)
+            .set(stats.threads as f64);
+        self.registry
+            .gauge_with("pool_items", &labels)
+            .set(stats.items as f64);
+        self.registry
+            .gauge_with("pool_chunks", &labels)
+            .set(stats.chunks as f64);
     }
 }
 
@@ -144,7 +156,9 @@ mod tests {
         let start = obs.now_ns();
         clock.advance_micros(1500);
         obs2.observe_since("op_seconds", start);
-        let h = obs.registry().histogram("op_seconds", LATENCY_SECONDS_BUCKETS);
+        let h = obs
+            .registry()
+            .histogram("op_seconds", LATENCY_SECONDS_BUCKETS);
         assert_eq!(h.count(), 1);
         assert!((h.sum() - 1.5e-3).abs() < 1e-12);
     }
@@ -157,9 +171,18 @@ mod tests {
         assert_eq!(out[15], 30);
         obs.record_pool("sweep.scales", &stats);
         let prom = obs.metrics_prometheus();
-        assert!(prom.contains("pool_runs_total{op=\"sweep.scales\"} 1"), "{prom}");
-        assert!(prom.contains("pool_threads{op=\"sweep.scales\"} 2"), "{prom}");
-        assert!(prom.contains("pool_items{op=\"sweep.scales\"} 16"), "{prom}");
+        assert!(
+            prom.contains("pool_runs_total{op=\"sweep.scales\"} 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("pool_threads{op=\"sweep.scales\"} 2"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("pool_items{op=\"sweep.scales\"} 16"),
+            "{prom}"
+        );
     }
 
     #[test]

@@ -21,13 +21,21 @@ pub const LATENCY_SECONDS_BUCKETS: &[f64] =
 
 fn valid_name(name: &str) -> bool {
     !name.is_empty()
-        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
-        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
 fn valid_label_name(name: &str) -> bool {
     !name.is_empty()
-        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -44,10 +52,15 @@ impl MetricKey {
         for (k, _) in labels {
             assert!(valid_label_name(k), "invalid label name `{k}`");
         }
-        let mut labels: Vec<(String, String)> =
-            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
         labels.sort();
-        MetricKey { name: name.to_string(), labels }
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
     }
 }
 
@@ -87,7 +100,10 @@ impl Gauge {
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + d).to_bits();
-            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(seen) => cur = seen,
             }
@@ -117,12 +133,18 @@ pub struct Histogram(Arc<HistogramCore>);
 
 impl Histogram {
     fn new(bounds: &[f64]) -> Histogram {
-        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
         assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly ascending"
         );
-        assert!(bounds.iter().all(|b| b.is_finite()), "bounds must be finite");
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "bounds must be finite"
+        );
         let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
         Histogram(Arc::new(HistogramCore {
             bounds: bounds.to_vec(),
@@ -179,14 +201,22 @@ impl Histogram {
         for (i, slot) in core.buckets.iter().enumerate() {
             cum += slot.load(Ordering::Relaxed);
             if cum >= rank {
-                return core.bounds.get(i).copied().unwrap_or(*core.bounds.last().unwrap());
+                return core
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or(*core.bounds.last().unwrap());
             }
         }
         *core.bounds.last().unwrap()
     }
 
     fn bucket_counts(&self) -> Vec<u64> {
-        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -224,7 +254,9 @@ impl Registry {
     pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let key = MetricKey::new(name, labels);
         let mut m = self.metrics.lock().unwrap();
-        match m.entry(key).or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        match m
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
         {
             Metric::Counter(c) => c.clone(),
             _ => panic!("metric `{name}` already registered with a different kind"),
@@ -258,17 +290,18 @@ impl Registry {
     /// Get-or-create the histogram `name` with `labels`.
     ///
     /// Panics if the name is registered with different bounds or kind.
-    pub fn histogram_with(
-        &self,
-        name: &str,
-        labels: &[(&str, &str)],
-        bounds: &[f64],
-    ) -> Histogram {
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64]) -> Histogram {
         let key = MetricKey::new(name, labels);
         let mut m = self.metrics.lock().unwrap();
-        match m.entry(key).or_insert_with(|| Metric::Histogram(Histogram::new(bounds))) {
+        match m
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
             Metric::Histogram(h) => {
-                assert_eq!(h.0.bounds, bounds, "histogram `{name}` re-registered with different buckets");
+                assert_eq!(
+                    h.0.bounds, bounds,
+                    "histogram `{name}` re-registered with different buckets"
+                );
                 h.clone()
             }
             _ => panic!("metric `{name}` already registered with a different kind"),
@@ -293,7 +326,11 @@ impl Registry {
                     p99: h.quantile(0.99),
                 },
             };
-            series.push(Series { name: key.name.clone(), labels: key.labels.clone(), value });
+            series.push(Series {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value,
+            });
         }
         Snapshot { series }
     }
@@ -344,15 +381,19 @@ pub struct Snapshot {
 }
 
 fn escape_label_value(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 fn labels_suffix(labels: &[(String, String)]) -> String {
     if labels.is_empty() {
         return String::new();
     }
-    let inner: Vec<String> =
-        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
     format!("{{{}}}", inner.join(","))
 }
 
@@ -372,8 +413,11 @@ impl Snapshot {
     pub fn to_json(&self) -> Value {
         let mut out = Vec::new();
         for s in &self.series {
-            let labels =
-                Value::obj(s.labels.iter().map(|(k, v)| (k.clone(), Value::from(v.as_str()))));
+            let labels = Value::obj(
+                s.labels
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from(v.as_str()))),
+            );
             let mut fields: Vec<(String, Value)> = vec![
                 ("name".into(), Value::from(s.name.as_str())),
                 ("labels".into(), labels),
@@ -387,7 +431,15 @@ impl Snapshot {
                     fields.push(("kind".into(), Value::from("gauge")));
                     fields.push(("value".into(), Value::from(*v)));
                 }
-                SeriesValue::Histogram { bounds, buckets, sum, count, p50, p95, p99 } => {
+                SeriesValue::Histogram {
+                    bounds,
+                    buckets,
+                    sum,
+                    count,
+                    p50,
+                    p95,
+                    p99,
+                } => {
                     fields.push(("kind".into(), Value::from("histogram")));
                     fields.push((
                         "bounds".into(),
@@ -430,7 +482,13 @@ impl Snapshot {
                 SeriesValue::Gauge(v) => {
                     out.push_str(&format!("{}{suffix} {}\n", s.name, prom_f64(*v)))
                 }
-                SeriesValue::Histogram { bounds, buckets, sum, count, .. } => {
+                SeriesValue::Histogram {
+                    bounds,
+                    buckets,
+                    sum,
+                    count,
+                    ..
+                } => {
                     let mut cum = 0u64;
                     for (i, &b) in buckets.iter().enumerate() {
                         cum += b;
@@ -494,7 +552,11 @@ mod tests {
         assert_eq!(h.count(), 5);
         assert!((h.sum() - 556.0).abs() < 1e-9);
         assert_eq!(h.quantile(0.5), 10.0);
-        assert_eq!(h.quantile(0.95), 100.0, "overflow reports last finite bound");
+        assert_eq!(
+            h.quantile(0.95),
+            100.0,
+            "overflow reports last finite bound"
+        );
         assert_eq!(h.quantile(0.2), 1.0);
     }
 

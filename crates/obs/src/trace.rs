@@ -68,7 +68,11 @@ impl Tracer {
     /// A tracer keeping at most `capacity` finished spans.
     pub fn new(capacity: usize, clock: Arc<dyn Clock>) -> Tracer {
         assert!(capacity >= 1, "span ring needs capacity");
-        Tracer { clock, capacity, inner: Mutex::new(TracerInner::default()) }
+        Tracer {
+            clock,
+            capacity,
+            inner: Mutex::new(TracerInner::default()),
+        }
     }
 
     /// Starts a root span. Prefer [`Span::child`] for nesting.
@@ -81,8 +85,19 @@ impl Tracer {
         let mut inner = self.inner.lock().unwrap();
         let id = inner.next_id;
         inner.next_id += 1;
-        inner.active.insert(id, ActiveSpan { parent, name, start_ns: now, fields: Vec::new() });
-        Span { tracer: Arc::clone(self), id }
+        inner.active.insert(
+            id,
+            ActiveSpan {
+                parent,
+                name,
+                start_ns: now,
+                fields: Vec::new(),
+            },
+        );
+        Span {
+            tracer: Arc::clone(self),
+            id,
+        }
     }
 
     fn add_field(&self, id: u64, key: String, value: Value) {
@@ -95,7 +110,9 @@ impl Tracer {
     fn end(&self, id: u64) {
         let now = self.clock.now_ns();
         let mut inner = self.inner.lock().unwrap();
-        let Some(active) = inner.active.remove(&id) else { return };
+        let Some(active) = inner.active.remove(&id) else {
+            return;
+        };
         if inner.ring.len() == self.capacity {
             inner.ring.pop_front();
             inner.dropped += 1;
@@ -139,7 +156,10 @@ impl Tracer {
                 ])
             })
             .collect();
-        Value::obj([("spans", Value::Array(spans)), ("dropped", Value::from(self.dropped()))])
+        Value::obj([
+            ("spans", Value::Array(spans)),
+            ("dropped", Value::from(self.dropped())),
+        ])
     }
 
     /// Renders the retained spans as an indented tree: children are nested
@@ -316,6 +336,9 @@ mod tests {
         let spans = v.get("spans").unwrap().as_array().unwrap();
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].get("name").unwrap().as_str(), Some("x"));
-        assert_eq!(spans[0].get("fields").unwrap().get("k").unwrap().as_str(), Some("v"));
+        assert_eq!(
+            spans[0].get("fields").unwrap().get("k").unwrap().as_str(),
+            Some("v")
+        );
     }
 }

@@ -8,7 +8,6 @@
 //! while the LCoS pixel-wise WSS realizes any contiguous pixel run — this is
 //! what lets the OLS passband follow the SVT's variable channel spacing.
 
-
 use crate::error::OpticalError;
 use crate::spectrum::{PixelRange, PixelWidth, SpectrumGrid};
 
@@ -72,7 +71,12 @@ pub struct Mux {
 impl Mux {
     /// A MUX with `num_ports` unconfigured filter ports.
     pub fn new(wss: WssKind, grid: SpectrumGrid, num_ports: u16) -> Self {
-        let ports = (0..num_ports).map(|port| FilterPort { port, passband: None }).collect();
+        let ports = (0..num_ports)
+            .map(|port| FilterPort {
+                port,
+                passband: None,
+            })
+            .collect();
         Mux { wss, grid, ports }
     }
 
@@ -86,7 +90,10 @@ impl Mux {
     /// band, or the WSS cannot realize it.
     pub fn set_passband(&mut self, port: u16, range: PixelRange) -> Result<(), OpticalError> {
         if !self.grid.contains(&range) {
-            return Err(OpticalError::OutOfBand { range, band_pixels: self.grid.pixels() });
+            return Err(OpticalError::OutOfBand {
+                range,
+                band_pixels: self.grid.pixels(),
+            });
         }
         self.wss.validate_passband(&range)?;
         let p = self
@@ -142,7 +149,11 @@ pub struct Roadm {
 impl Roadm {
     /// A ROADM with `num_degrees` degrees and no passbands configured.
     pub fn new(wss: WssKind, grid: SpectrumGrid, num_degrees: u16) -> Self {
-        Roadm { wss, grid, degrees: vec![Vec::new(); usize::from(num_degrees)] }
+        Roadm {
+            wss,
+            grid,
+            degrees: vec![Vec::new(); usize::from(num_degrees)],
+        }
     }
 
     /// Number of degrees.
@@ -155,7 +166,10 @@ impl Roadm {
     /// the same degree (which would make routing ambiguous).
     pub fn add_passband(&mut self, degree: u16, range: PixelRange) -> Result<(), OpticalError> {
         if !self.grid.contains(&range) {
-            return Err(OpticalError::OutOfBand { range, band_pixels: self.grid.pixels() });
+            return Err(OpticalError::OutOfBand {
+                range,
+                band_pixels: self.grid.pixels(),
+            });
         }
         self.wss.validate_passband(&range)?;
         let d = self
@@ -219,7 +233,10 @@ pub struct Amplifier {
 impl Amplifier {
     /// A typical production EDFA: 5 dB noise figure at the given gain.
     pub fn edfa(gain_db: f64) -> Self {
-        Amplifier { gain_db, noise_figure_db: 5.0 }
+        Amplifier {
+            gain_db,
+            noise_figure_db: 5.0,
+        }
     }
 }
 

@@ -47,13 +47,22 @@ impl std::fmt::Display for OpticalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OpticalError::NotOnPixelGrid { ghz } => {
-                write!(f, "{ghz} GHz is not a positive multiple of the 12.5 GHz pixel grid")
+                write!(
+                    f,
+                    "{ghz} GHz is not a positive multiple of the 12.5 GHz pixel grid"
+                )
             }
             OpticalError::OutOfBand { range, band_pixels } => {
-                write!(f, "pixel range {range} exceeds the {band_pixels}-pixel band")
+                write!(
+                    f,
+                    "pixel range {range} exceeds the {band_pixels}-pixel band"
+                )
             }
             OpticalError::SpectrumConflict { range } => {
-                write!(f, "channel conflict: pixels in {range} are already occupied")
+                write!(
+                    f,
+                    "channel conflict: pixels in {range} are already occupied"
+                )
             }
             OpticalError::DoubleRelease { range } => {
                 write!(f, "double release: pixels in {range} were already free")

@@ -7,7 +7,6 @@
 //! adjustable internal components realize it: FEC overhead, DSP baud rate,
 //! and modulation format.
 
-
 use crate::modulation::Modulation;
 use crate::spectrum::PixelWidth;
 
@@ -77,18 +76,32 @@ impl TransponderFormat {
         // One 12.5 GHz pixel of the spacing is guard band; the symbol rate
         // fills the rest.
         let baud_gbd = spacing.ghz() - 12.5;
-        assert!(baud_gbd > 0.0, "spacing must exceed the 12.5 GHz guard band");
+        assert!(
+            baud_gbd > 0.0,
+            "spacing must exceed the 12.5 GHz guard band"
+        );
         // Long reach needs the strong code. 800 km is the midpoint of the
         // SVT table's reach spread and matches the paper's description of
         // high-overhead FEC for "long traveling distances".
-        let fec = if reach_km >= 800 { FecOverhead::HIGH } else { FecOverhead::LOW };
+        let fec = if reach_km >= 800 {
+            FecOverhead::HIGH
+        } else {
+            FecOverhead::LOW
+        };
         let bits = f64::from(data_rate_gbps) * fec.rate_multiplier() / (2.0 * baud_gbd);
         let modulation = match Modulation::densest_fixed_at_least(bits) {
             // Exact fixed format if it matches within 0.05 bit; otherwise PCS.
             Some(m) if (m.bits_per_symbol() - bits).abs() < 0.05 => m,
             _ => Modulation::pcs(bits),
         };
-        TransponderFormat { data_rate_gbps, spacing, reach_km, modulation, baud_gbd, fec }
+        TransponderFormat {
+            data_rate_gbps,
+            spacing,
+            reach_km,
+            modulation,
+            baud_gbd,
+            fec,
+        }
     }
 
     /// Builds a format with explicitly chosen internal settings.
@@ -100,7 +113,14 @@ impl TransponderFormat {
         baud_gbd: f64,
         fec: FecOverhead,
     ) -> Self {
-        TransponderFormat { data_rate_gbps, spacing, reach_km, modulation, baud_gbd, fec }
+        TransponderFormat {
+            data_rate_gbps,
+            spacing,
+            reach_km,
+            modulation,
+            baud_gbd,
+            fec,
+        }
     }
 
     /// Link spectral efficiency: data rate / spacing, in bit/s/Hz (§7.1).
@@ -219,7 +239,10 @@ mod tests {
         ] {
             let f = TransponderFormat::derive(rate, PixelWidth::from_ghz(ghz).unwrap(), reach);
             let b = f.bits_per_symbol();
-            assert!((0.9..=8.2).contains(&b), "{rate}G@{ghz}GHz gives {b} bits/symbol");
+            assert!(
+                (0.9..=8.2).contains(&b),
+                "{rate}G@{ghz}GHz gives {b} bits/symbol"
+            );
             assert!((f.modulation.bits_per_symbol() - b).abs() < 0.06);
         }
     }

@@ -10,7 +10,7 @@
 //! * [`modulation`] — modulation formats (BPSK … 256QAM and probabilistic
 //!   constellation shaping), bits/symbol, and the Shannon-Hartley helpers
 //!   the paper's motivation section is built on.
-//! * [`format`] — a transponder *format*: one (data rate, channel spacing,
+//! * [`mod@format`] — a transponder *format*: one (data rate, channel spacing,
 //!   optical reach) operating point together with the internal component
 //!   settings (FEC overhead, baud rate, modulation) that realize it.
 //! * [`transponder`] — the three transponder generations the paper

@@ -7,7 +7,6 @@
 //! higher rate at fixed spacing needs exponentially more SNR, which is why
 //! FlexWAN instead widens the spacing (the SVT of §4.2).
 
-
 /// A modulation format of the DSP engine inside a transponder.
 ///
 /// `Pcs` is probabilistic constellation shaping [Cho & Winzer 2019], which
@@ -64,7 +63,9 @@ impl Modulation {
     /// A PCS format carrying exactly `bits_per_symbol` (rounded to 0.1 bit).
     pub fn pcs(bits_per_symbol: f64) -> Modulation {
         assert!(bits_per_symbol > 0.0, "PCS rate must be positive");
-        Modulation::Pcs { decibits: (bits_per_symbol * 10.0).round() as u16 }
+        Modulation::Pcs {
+            decibits: (bits_per_symbol * 10.0).round() as u16,
+        }
     }
 
     /// Human-readable name (e.g. `8QAM`, `PCS-3.5b`).
@@ -145,7 +146,9 @@ impl FromJson for Modulation {
             };
         }
         if let Some(pcs) = v.get("Pcs") {
-            return Ok(Modulation::Pcs { decibits: pcs.field("decibits")? });
+            return Ok(Modulation::Pcs {
+                decibits: pcs.field("decibits")?,
+            });
         }
         Err(json::Error::new("expected a modulation"))
     }
@@ -166,9 +169,18 @@ mod tests {
 
     #[test]
     fn densest_fixed_selection() {
-        assert_eq!(Modulation::densest_fixed_at_least(2.0), Some(Modulation::Qpsk));
-        assert_eq!(Modulation::densest_fixed_at_least(2.1), Some(Modulation::Qam8));
-        assert_eq!(Modulation::densest_fixed_at_least(7.2), Some(Modulation::Qam256));
+        assert_eq!(
+            Modulation::densest_fixed_at_least(2.0),
+            Some(Modulation::Qpsk)
+        );
+        assert_eq!(
+            Modulation::densest_fixed_at_least(2.1),
+            Some(Modulation::Qam8)
+        );
+        assert_eq!(
+            Modulation::densest_fixed_at_least(7.2),
+            Some(Modulation::Qam256)
+        );
         assert_eq!(Modulation::densest_fixed_at_least(8.5), None);
     }
 

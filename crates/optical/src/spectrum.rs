@@ -12,7 +12,6 @@
 //! multiples of 12.5 GHz, so the whole planning problem is integer pixel
 //! arithmetic: no floating-point comparisons decide feasibility.
 
-
 use crate::error::OpticalError;
 
 /// Width of one spectrum pixel in GHz (the LCoS WSS granularity, §4.2).
@@ -118,7 +117,14 @@ impl PixelRange {
 
 impl std::fmt::Display for PixelRange {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{}..{})px ({:.1}-{:.1} GHz)", self.start, self.end(), self.low_ghz(), self.high_ghz())
+        write!(
+            f,
+            "[{}..{})px ({:.1}-{:.1} GHz)",
+            self.start,
+            self.end(),
+            self.low_ghz(),
+            self.high_ghz()
+        )
     }
 }
 
@@ -137,7 +143,9 @@ impl SpectrumGrid {
 
     /// The full ITU-T C-band (4.8 THz → 384 pixels), the deployment default.
     pub fn c_band() -> Self {
-        SpectrumGrid { pixels: C_BAND_PIXELS }
+        SpectrumGrid {
+            pixels: C_BAND_PIXELS,
+        }
     }
 
     /// Number of pixels in the band.
@@ -180,7 +188,10 @@ impl SpectrumMask {
     /// An all-free mask over `grid`.
     pub fn new(grid: SpectrumGrid) -> Self {
         let words = vec![0u64; grid.pixels().div_ceil(64) as usize];
-        SpectrumMask { words, pixels: grid.pixels() }
+        SpectrumMask {
+            words,
+            pixels: grid.pixels(),
+        }
     }
 
     /// Number of pixels tracked by the mask.
@@ -190,7 +201,10 @@ impl SpectrumMask {
 
     fn check_range(&self, range: &PixelRange) -> Result<(), OpticalError> {
         if range.end() > self.pixels {
-            return Err(OpticalError::OutOfBand { range: *range, band_pixels: self.pixels });
+            return Err(OpticalError::OutOfBand {
+                range: *range,
+                band_pixels: self.pixels,
+            });
         }
         Ok(())
     }
@@ -275,7 +289,10 @@ impl SpectrumMask {
     ) -> Option<PixelRange> {
         assert!(align >= 1, "alignment must be at least one pixel");
         let pixels = masks.first()?.pixels;
-        debug_assert!(masks.iter().all(|m| m.pixels == pixels), "masks must share a grid");
+        debug_assert!(
+            masks.iter().all(|m| m.pixels == pixels),
+            "masks must share a grid"
+        );
         let need = u32::from(width.pixels());
         if need > pixels {
             return None;
@@ -315,7 +332,11 @@ impl SpectrumMask {
 
     /// Largest contiguous free run length, in pixels.
     pub fn largest_free_run(&self) -> u32 {
-        self.free_runs().into_iter().map(|(_, len)| len).max().unwrap_or(0)
+        self.free_runs()
+            .into_iter()
+            .map(|(_, len)| len)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -342,13 +363,19 @@ impl FromJson for PixelWidth {
 
 impl ToJson for PixelRange {
     fn to_json(&self) -> Value {
-        Value::obj([("start", self.start.to_json()), ("width", self.width.to_json())])
+        Value::obj([
+            ("start", self.start.to_json()),
+            ("width", self.width.to_json()),
+        ])
     }
 }
 
 impl FromJson for PixelRange {
     fn from_json(v: &Value) -> Result<Self, json::Error> {
-        Ok(PixelRange { start: v.field("start")?, width: v.field("width")? })
+        Ok(PixelRange {
+            start: v.field("start")?,
+            width: v.field("width")?,
+        })
     }
 }
 
@@ -439,7 +466,10 @@ mod tests {
         assert_eq!(m.occupied_pixels(), 6);
         m.release(&r).unwrap();
         assert_eq!(m.occupied_pixels(), 0);
-        assert!(matches!(m.release(&r), Err(OpticalError::DoubleRelease { .. })));
+        assert!(matches!(
+            m.release(&r),
+            Err(OpticalError::DoubleRelease { .. })
+        ));
     }
 
     #[test]

@@ -30,13 +30,20 @@ pub trait TransponderModel {
     /// Operating points able to serve a path of `distance_km`
     /// (the optical-reach constraint (2) of Algorithm 1).
     fn formats_reaching(&self, distance_km: u32) -> Vec<TransponderFormat> {
-        self.formats().iter().filter(|f| f.reaches(distance_km)).copied().collect()
+        self.formats()
+            .iter()
+            .filter(|f| f.reaches(distance_km))
+            .copied()
+            .collect()
     }
 
     /// Highest data rate achievable at `distance_km`, if any format reaches
     /// (the curve of Figure 2(b)).
     fn max_rate_at(&self, distance_km: u32) -> Option<u32> {
-        self.formats_reaching(distance_km).iter().map(|f| f.data_rate_gbps).max()
+        self.formats_reaching(distance_km)
+            .iter()
+            .map(|f| f.data_rate_gbps)
+            .max()
     }
 
     /// Cheapest format carrying exactly `rate_gbps` over `distance_km`:
@@ -183,7 +190,10 @@ mod tests {
         let mut spacings: Vec<f64> = Svt.formats().iter().map(|f| f.spacing.ghz()).collect();
         spacings.sort_by(f64::total_cmp);
         spacings.dedup();
-        assert_eq!(spacings, vec![50.0, 62.5, 75.0, 87.5, 100.0, 112.5, 125.0, 137.5, 150.0]);
+        assert_eq!(
+            spacings,
+            vec![50.0, 62.5, 75.0, 87.5, 100.0, 112.5, 125.0, 137.5, 150.0]
+        );
     }
 
     #[test]
@@ -198,7 +208,12 @@ mod tests {
                 .collect();
             col.sort_unstable();
             for pair in col.windows(2) {
-                assert!(pair[0].1 > pair[1].1, "at {ghz} GHz: {:?} !> {:?}", pair[0], pair[1]);
+                assert!(
+                    pair[0].1 > pair[1].1,
+                    "at {ghz} GHz: {:?} !> {:?}",
+                    pair[0],
+                    pair[1]
+                );
             }
         }
     }
@@ -216,7 +231,12 @@ mod tests {
                 .collect();
             row.sort_unstable_by_key(|&(s, _)| s);
             for pair in row.windows(2) {
-                assert!(pair[0].1 < pair[1].1, "{rate}G: {:?} !< {:?}", pair[0], pair[1]);
+                assert!(
+                    pair[0].1 < pair[1].1,
+                    "{rate}G: {:?} !< {:?}",
+                    pair[0],
+                    pair[1]
+                );
             }
         }
     }

@@ -139,7 +139,10 @@ mod tests {
     fn required_snr_is_tight() {
         let bits = 3.5;
         let snr = required_snr_linear(bits, FecOverhead::LOW);
-        assert_eq!(post_fec_ber(pre_fec_ber(bits, snr * 1.001), FecOverhead::LOW), 0.0);
+        assert_eq!(
+            post_fec_ber(pre_fec_ber(bits, snr * 1.001), FecOverhead::LOW),
+            0.0
+        );
         assert!(post_fec_ber(pre_fec_ber(bits, snr * 0.97), FecOverhead::LOW) > 0.0);
     }
 

@@ -25,8 +25,8 @@ pub mod testbed;
 pub mod units;
 
 pub use ber::{fec_threshold, post_fec_ber, pre_fec_ber, required_snr_linear};
-pub use observe::BerEvaluator;
 pub use link::{LinkDesign, Span, ATTENUATION_DB_PER_KM, DEFAULT_SPAN_KM};
 pub use noise::{osnr_db, osnr_linear, osnr_to_snr_linear, DEFAULT_CARRIER_THZ};
 pub use nonlinear::{optimize_launch, snr_with_nli, PowerOptimum, DEFAULT_ETA_PER_MW2};
+pub use observe::BerEvaluator;
 pub use testbed::{derive_svt_table, DerivedEntry, LineConfig, Testbed};

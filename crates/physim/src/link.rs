@@ -55,7 +55,10 @@ impl LinkDesign {
         let spans = (0..n)
             .map(|_| {
                 let loss = each * ATTENUATION_DB_PER_KM;
-                Span { length_km: each, amplifier: Amplifier::edfa(loss) }
+                Span {
+                    length_km: each,
+                    amplifier: Amplifier::edfa(loss),
+                }
             })
             .collect();
         LinkDesign { spans }

@@ -34,7 +34,13 @@ pub fn osnr_linear(link: &LinkDesign, launch_power_dbm: f64, carrier_thz: f64) -
     let p_ase: f64 = link
         .spans()
         .iter()
-        .map(|s| amplifier_ase_mw(s.amplifier.gain_db, s.amplifier.noise_figure_db, carrier_thz))
+        .map(|s| {
+            amplifier_ase_mw(
+                s.amplifier.gain_db,
+                s.amplifier.noise_figure_db,
+                carrier_thz,
+            )
+        })
         .sum();
     if p_ase == 0.0 {
         f64::INFINITY // back-to-back: no amplified spans, no ASE
@@ -67,7 +73,10 @@ mod tests {
         let link = LinkDesign::with_span(80.0, 80.0);
         let osnr = osnr_db(&link, 0.0, DEFAULT_CARRIER_THZ);
         let expected = 0.0 + 58.0 - 5.0 - 16.0;
-        assert!((osnr - expected).abs() < 0.2, "osnr={osnr} expected≈{expected}");
+        assert!(
+            (osnr - expected).abs() < 0.2,
+            "osnr={osnr} expected≈{expected}"
+        );
     }
 
     #[test]

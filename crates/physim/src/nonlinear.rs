@@ -64,7 +64,13 @@ pub fn optimize_launch(link: &LinkDesign, eta: f64) -> Option<PowerOptimum> {
     let total_ase: f64 = link
         .spans()
         .iter()
-        .map(|s| amplifier_ase_mw(s.amplifier.gain_db, s.amplifier.noise_figure_db, DEFAULT_CARRIER_THZ))
+        .map(|s| {
+            amplifier_ase_mw(
+                s.amplifier.gain_db,
+                s.amplifier.noise_figure_db,
+                DEFAULT_CARRIER_THZ,
+            )
+        })
         .sum();
     let p = optimal_launch_mw(total_ase, eta, n);
     Some(PowerOptimum {
@@ -79,9 +85,20 @@ pub fn snr_db_at_launch(link: &LinkDesign, launch_dbm: f64, eta: f64) -> f64 {
     let total_ase: f64 = link
         .spans()
         .iter()
-        .map(|s| amplifier_ase_mw(s.amplifier.gain_db, s.amplifier.noise_figure_db, DEFAULT_CARRIER_THZ))
+        .map(|s| {
+            amplifier_ase_mw(
+                s.amplifier.gain_db,
+                s.amplifier.noise_figure_db,
+                DEFAULT_CARRIER_THZ,
+            )
+        })
         .sum();
-    ratio_to_db(snr_with_nli(dbm_to_mw(launch_dbm), total_ase, eta, link.num_amplifiers()))
+    ratio_to_db(snr_with_nli(
+        dbm_to_mw(launch_dbm),
+        total_ase,
+        eta,
+        link.num_amplifiers(),
+    ))
 }
 
 #[cfg(test)]
@@ -94,7 +111,10 @@ mod tests {
         let (ase, eta, n) = (1e-5, DEFAULT_ETA_PER_MW2, 10);
         let p = optimal_launch_mw(ase, eta, n);
         let p_nli = n as f64 * eta * p.powi(3);
-        assert!((p_nli - ase / 2.0).abs() / ase < 1e-9, "NLI must equal ASE/2 at P*");
+        assert!(
+            (p_nli - ase / 2.0).abs() / ase < 1e-9,
+            "NLI must equal ASE/2 at P*"
+        );
     }
 
     #[test]

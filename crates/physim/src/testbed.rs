@@ -133,7 +133,13 @@ impl Testbed {
     pub fn best_reach_km(&self, data_rate_gbps: u32, spacing: PixelWidth) -> u32 {
         [FecOverhead::LOW, FecOverhead::HIGH]
             .into_iter()
-            .map(|fec| self.max_reach_km(&LineConfig { data_rate_gbps, spacing, fec }))
+            .map(|fec| {
+                self.max_reach_km(&LineConfig {
+                    data_rate_gbps,
+                    spacing,
+                    fec,
+                })
+            })
             .max()
             .unwrap_or(0)
     }
@@ -186,7 +192,11 @@ mod tests {
         // §6: post-FEC BER goes from 0 to positive exactly once as length
         // grows.
         let tb = Testbed::default();
-        let cfg = LineConfig { data_rate_gbps: 300, spacing: px(75.0), fec: FecOverhead::HIGH };
+        let cfg = LineConfig {
+            data_rate_gbps: 300,
+            spacing: px(75.0),
+            fec: FecOverhead::HIGH,
+        };
         let reach = tb.max_reach_km(&cfg);
         assert!(reach > 0);
         assert_eq!(tb.post_fec_ber(&cfg, f64::from(reach)), 0.0);
@@ -229,7 +239,10 @@ mod tests {
             let mut prev = 0;
             for pxw in 4..=12u16 {
                 let r = tb.best_reach_km(rate, PixelWidth::new(pxw));
-                assert!(r >= prev, "{rate}G: reach fell from {prev} to {r} at {pxw}px");
+                assert!(
+                    r >= prev,
+                    "{rate}G: reach fell from {prev} to {r} at {pxw}px"
+                );
                 prev = r;
             }
         }
@@ -243,7 +256,10 @@ mod tests {
             let mut prev = u32::MAX;
             for rate in (100..=800).step_by(100) {
                 let r = tb.best_reach_km(rate as u32, PixelWidth::new(pxw));
-                assert!(r <= prev, "{pxw}px: reach rose from {prev} to {r} at {rate}G");
+                assert!(
+                    r <= prev,
+                    "{pxw}px: reach rose from {prev} to {r} at {rate}G"
+                );
                 prev = r;
             }
         }
@@ -288,8 +304,15 @@ mod tests {
     #[test]
     fn higher_launch_power_extends_reach() {
         let base = Testbed::default();
-        let hot = Testbed { launch_power_dbm: 3.0, ..Testbed::default() };
-        let cfg = LineConfig { data_rate_gbps: 400, spacing: px(100.0), fec: FecOverhead::HIGH };
+        let hot = Testbed {
+            launch_power_dbm: 3.0,
+            ..Testbed::default()
+        };
+        let cfg = LineConfig {
+            data_rate_gbps: 400,
+            spacing: px(100.0),
+            fec: FecOverhead::HIGH,
+        };
         assert!(hot.max_reach_km(&cfg) > base.max_reach_km(&cfg));
     }
 }

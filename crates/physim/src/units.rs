@@ -41,7 +41,10 @@ pub fn q_function(x: f64) -> f64 {
 /// Inverse of [`q_function`] by bisection on `[0, 40]`; accepts
 /// `p ∈ (0, 0.5]`.
 pub fn q_inverse(p: f64) -> f64 {
-    assert!(p > 0.0 && p <= 0.5, "Q⁻¹ defined here for p ∈ (0, 0.5], got {p}");
+    assert!(
+        p > 0.0 && p <= 0.5,
+        "Q⁻¹ defined here for p ∈ (0, 0.5], got {p}"
+    );
     let (mut lo, mut hi) = (0.0f64, 40.0f64);
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);

@@ -11,13 +11,13 @@
 //! 1. **Warm starts.** Every node carries an `Arc` snapshot of its
 //!    parent's optimal basis; the child re-optimizes with the dual
 //!    simplex after its single bound change instead of rebuilding the
-//!    tableau from scratch ([`Ctx::solve_warm`]).
+//!    tableau from scratch (`Ctx::solve_warm`).
 //! 2. **Diving.** A popped node is driven depth-first for up to
-//!    [`DIVE_CAP`] consecutive branchings inside one [`Ctx`] — the
+//!    `DIVE_CAP` consecutive branchings inside one `Ctx` — the
 //!    current factorization is reused verbatim (no basis copy at all) —
 //!    emitting the unexplored sibling of each dive step back to the heap.
 //! 3. **Deterministic parallelism.** Open nodes are popped in batches of
-//!    [`BATCH`] and processed by worker threads over the `flexwan-util`
+//!    `BATCH` and processed by worker threads over the `flexwan-util`
 //!    channels. Each node is evaluated against the *same* incumbent
 //!    snapshot and results are applied in pop order, so the search — and
 //!    therefore the reported solution — is identical for any thread
@@ -260,6 +260,22 @@ pub(crate) fn solve_mip_with_stats(
     opts: &SolveOptions,
     stats: &mut SolverStats,
 ) -> Solution {
+    solve_mip_with_root(model, opts, stats, None)
+}
+
+/// [`solve_mip_with_stats`] with an optional root warm start: a basis
+/// captured on a previous solve of (a mutation of) the same model, which
+/// the root node re-optimizes with the dual simplex instead of a cold
+/// two-phase start. The basis is extended over any cover-cut rows added
+/// at the root (see [`BasisState::extended`]); a stale or singular basis
+/// degrades to a cold solve inside [`Ctx::solve_warm`], never to a wrong
+/// answer.
+pub(crate) fn solve_mip_with_root(
+    model: &Model,
+    opts: &SolveOptions,
+    stats: &mut SolverStats,
+    root_basis: Option<&BasisState>,
+) -> Solution {
     let n_model = model.num_vars();
     if model.check_data().is_err() {
         return Solution::sentinel(Status::Error, n_model);
@@ -298,20 +314,35 @@ pub(crate) fn solve_mip_with_stats(
         minimize,
     };
     let threads = if opts.threads == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get()).min(4)
+        std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(4)
     } else {
         opts.threads
     };
 
     let root = Node {
-        bound: if minimize { f64::NEG_INFINITY } else { f64::INFINITY },
+        bound: if minimize {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        },
         bounds: Vec::new(),
         depth: 0,
-        basis: None,
+        // A caller-supplied basis only fits if it was captured with the
+        // model's current variable count; extend it over the cut rows
+        // appended to `base` above.
+        basis: root_basis
+            .filter(|bs| bs.num_structurals() == n_model && bs.num_rows() <= base.num_constraints())
+            .map(|bs| Arc::new(bs.extended(base.num_constraints()))),
     };
     let mut heap = BinaryHeap::new();
     let mut seq = 0u64;
-    heap.push(Prioritized { key: f64::NEG_INFINITY, seq, node: root });
+    heap.push(Prioritized {
+        key: f64::NEG_INFINITY,
+        seq,
+        node: root,
+    });
 
     let mut incumbent: Option<Solution> = None;
     let mut nodes = 0u64;
@@ -344,7 +375,10 @@ pub(crate) fn solve_mip_with_stats(
 
         let results: Vec<NodeResult> = if threads <= 1 || batch.len() == 1 {
             let mut ctx = Ctx::new(Arc::clone(&sh.inst));
-            batch.iter().map(|node| process_node(&mut ctx, &sh, node, snapshot)).collect()
+            batch
+                .iter()
+                .map(|node| process_node(&mut ctx, &sh, node, snapshot))
+                .collect()
         } else {
             run_batch_parallel(&sh, &batch, snapshot, threads)
         };
@@ -356,7 +390,11 @@ pub(crate) fn solve_mip_with_stats(
             if res.root_unbounded {
                 return Solution {
                     status: Status::Unbounded,
-                    objective: if minimize { f64::NEG_INFINITY } else { f64::INFINITY },
+                    objective: if minimize {
+                        f64::NEG_INFINITY
+                    } else {
+                        f64::INFINITY
+                    },
                     values: vec![f64::NAN; n_model],
                 };
             }
@@ -364,11 +402,15 @@ pub(crate) fn solve_mip_with_stats(
                 errored = true;
             }
             if let Some((obj, vals)) = res.candidate {
-                let accept =
-                    incumbent.as_ref().is_none_or(|inc| sh.better(obj, inc.objective));
+                let accept = incumbent
+                    .as_ref()
+                    .is_none_or(|inc| sh.better(obj, inc.objective));
                 if accept {
-                    incumbent =
-                        Some(Solution { status: Status::Optimal, objective: obj, values: vals });
+                    incumbent = Some(Solution {
+                        status: Status::Optimal,
+                        objective: obj,
+                        values: vals,
+                    });
                 }
             }
             for node in res.opened {
@@ -435,7 +477,10 @@ fn run_batch_parallel(
     for (i, res) in res_rx.iter() {
         slots[i] = Some(res);
     }
-    slots.into_iter().map(|s| s.expect("worker returned every batch slot")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker returned every batch slot"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -464,10 +509,7 @@ mod tests {
         // Classic 0/1 knapsack: values [60,100,120], weights [10,20,30], cap 50 → 220.
         let mut m = Model::new();
         let items: Vec<_> = (0..3).map(|i| m.binary(format!("x{i}"))).collect();
-        m.le(
-            10.0 * items[0] + (20.0 * items[1] + 30.0 * items[2]),
-            50.0,
-        );
+        m.le(10.0 * items[0] + (20.0 * items[1] + 30.0 * items[2]), 50.0);
         m.set_objective(
             Sense::Maximize,
             60.0 * items[0] + (100.0 * items[1] + 120.0 * items[2]),
@@ -499,7 +541,9 @@ mod tests {
             m.eq(e, 1.0);
         }
         let obj = crate::expr::LinExpr::sum(
-            (0..3).flat_map(|i| (0..3).map(move |j| (i, j))).map(|(i, j)| cost[i][j] * x[i][j]),
+            (0..3)
+                .flat_map(|i| (0..3).map(move |j| (i, j)))
+                .map(|(i, j)| cost[i][j] * x[i][j]),
         );
         m.set_objective(Sense::Minimize, obj);
         let s = m.solve();
@@ -544,7 +588,10 @@ mod tests {
         let e = crate::expr::LinExpr::sum(xs.iter().zip(&w).map(|(&x, &wi)| wi * x));
         m.le(e.clone(), 40.0);
         m.set_objective(Sense::Maximize, e);
-        let s = m.solve_with(&SolveOptions { max_nodes: 0, ..Default::default() });
+        let s = m.solve_with(&SolveOptions {
+            max_nodes: 0,
+            ..Default::default()
+        });
         // With no node budget we cannot prove optimality.
         assert_eq!(s.status, Status::NodeLimit);
     }
@@ -583,8 +630,14 @@ mod tests {
     #[test]
     fn parallel_search_is_deterministic() {
         let m = awkward_knapsack();
-        let one = m.solve_with(&SolveOptions { threads: 1, ..Default::default() });
-        let four = m.solve_with(&SolveOptions { threads: 4, ..Default::default() });
+        let one = m.solve_with(&SolveOptions {
+            threads: 1,
+            ..Default::default()
+        });
+        let four = m.solve_with(&SolveOptions {
+            threads: 4,
+            ..Default::default()
+        });
         assert_eq!(one.status, Status::Optimal);
         assert_eq!(four.status, Status::Optimal);
         // Bit-identical, not merely within tolerance: the searches must
@@ -599,10 +652,7 @@ mod tests {
         let (s, stats) = m.solve_with_stats(&SolveOptions::default());
         assert_eq!(s.status, Status::Optimal);
         assert!(stats.nodes >= 1);
-        assert!(
-            stats.warm_solves > 0,
-            "B&B never warm-started: {stats:?}"
-        );
+        assert!(stats.warm_solves > 0, "B&B never warm-started: {stats:?}");
         assert!(stats.warm_start_hit_rate() > 0.0);
     }
 }

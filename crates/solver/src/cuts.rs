@@ -27,7 +27,7 @@ pub struct Cut {
 pub fn cover_cuts(model: &Model, lp: &Solution, max_cuts: usize) -> Vec<Cut> {
     let mut cuts: Vec<(f64, Cut)> = Vec::new();
     for c in &model.constraints {
-        if c.cmp != Cmp::Le {
+        if c.cmp != Cmp::Le || !c.active {
             continue;
         }
         let e = c.expr.simplified();
@@ -35,7 +35,11 @@ pub fn cover_cuts(model: &Model, lp: &Solution, max_cuts: usize) -> Vec<Cut> {
         if b <= 0.0 || e.terms.is_empty() {
             continue;
         }
-        if !e.terms.iter().all(|&(v, k)| k > 0.0 && model.vars[v.0].kind == VarKind::Binary) {
+        if !e
+            .terms
+            .iter()
+            .all(|&(v, k)| k > 0.0 && model.vars[v.0].kind == VarKind::Binary)
+        {
             continue;
         }
         // Greedy cover: take items by ascending (1 − x*)/a until Σa > b.
@@ -45,7 +49,9 @@ pub fn cover_cuts(model: &Model, lp: &Solution, max_cuts: usize) -> Vec<Cut> {
             .map(|&(v, a)| (v, a, (1.0 - lp.value(v)).max(0.0)))
             .collect();
         items.sort_by(|x, y| {
-            (x.2 / x.1).partial_cmp(&(y.2 / y.1)).unwrap_or(std::cmp::Ordering::Equal)
+            (x.2 / x.1)
+                .partial_cmp(&(y.2 / y.1))
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut cover: Vec<(Var, f64, f64)> = Vec::new();
         let mut weight = 0.0;

@@ -28,12 +28,18 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn constant(c: f64) -> Self {
-        LinExpr { terms: Vec::new(), constant: c }
+        LinExpr {
+            terms: Vec::new(),
+            constant: c,
+        }
     }
 
     /// A single-term expression `coeff·var`.
     pub fn term(var: Var, coeff: f64) -> Self {
-        LinExpr { terms: vec![(var, coeff)], constant: 0.0 }
+        LinExpr {
+            terms: vec![(var, coeff)],
+            constant: 0.0,
+        }
     }
 
     /// Adds `coeff·var` in place.
@@ -54,7 +60,10 @@ impl LinExpr {
             }
         }
         out.retain(|(_, c)| *c != 0.0);
-        LinExpr { terms: out, constant: self.constant }
+        LinExpr {
+            terms: out,
+            constant: self.constant,
+        }
     }
 
     /// Evaluates the expression at `values` (indexed by variable).
@@ -112,7 +121,8 @@ impl Add<f64> for LinExpr {
 impl Sub for LinExpr {
     type Output = LinExpr;
     fn sub(mut self, rhs: LinExpr) -> LinExpr {
-        self.terms.extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+        self.terms
+            .extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
         self.constant -= rhs.constant;
         self
     }

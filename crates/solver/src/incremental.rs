@@ -1,0 +1,409 @@
+//! Incremental re-solve driver: mutate a solved model, re-solve warm.
+//!
+//! [`IncrementalSolver`] owns a [`Model`] plus the basis of its last
+//! successful LP (or MIP root-relaxation) solve. Between solves the model
+//! may be mutated through the row-stable primitives —
+//! [`add_constraint`](IncrementalSolver::add_constraint),
+//! [`deactivate_row`](IncrementalSolver::deactivate_row),
+//! [`change_rhs`](IncrementalSolver::change_rhs),
+//! [`set_var_bounds`](IncrementalSolver::set_var_bounds),
+//! [`set_objective`](IncrementalSolver::set_objective) — and the next
+//! [`solve`](IncrementalSolver::solve) starts the dual simplex from the
+//! stored basis instead of a cold two-phase start.
+//!
+//! **Why the stored basis stays valid across every supported mutation.**
+//! The simplex standard form has one logical and one artificial pair per
+//! row, laid out `[0,n)` structural / `[n,n+m)` logical / `[n+m,n+3m)`
+//! artificial. Deactivating a row rebuilds it as the empty row `0 = 0`
+//! (its logical column sits happily at 0), changing an rhs or a bound
+//! only moves data the dual simplex is designed to chase, and appended
+//! rows get their own logical columns as basic variables
+//! (`BasisState::extended`) — an identity sub-basis that keeps the
+//! basis matrix nonsingular. In every case the basis matrix of the
+//! mutated instance is structurally valid, merely (possibly) primal
+//! infeasible, which is exactly the dual simplex's job to repair. A
+//! basis the machinery cannot repair (singular refactorization, dual
+//! budget exhausted) silently degrades to a cold solve — never to a
+//! wrong answer.
+//!
+//! Adding *variables* is the one mutation that invalidates the layout;
+//! the solver detects the changed count and quietly drops the basis.
+
+use std::sync::Arc;
+
+use crate::branch_bound::solve_mip_with_root;
+use crate::expr::{LinExpr, Var};
+use crate::model::{Cmp, Model, RowId, Sense, Solution, SolveOptions, SolverStats, Status};
+use crate::simplex::{relax, BasisState, Ctx, Instance, LpOutcome};
+
+/// A model plus the basis of its last solve, re-solved warm after
+/// mutations. See the module docs for the validity argument.
+pub struct IncrementalSolver {
+    model: Model,
+    basis: Option<BasisState>,
+}
+
+impl IncrementalSolver {
+    /// Wraps a model for incremental solving. The first
+    /// [`solve`](IncrementalSolver::solve) is necessarily cold.
+    pub fn new(model: Model) -> Self {
+        IncrementalSolver { model, basis: None }
+    }
+
+    /// The wrapped model (read-only).
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Mutable access to the wrapped model, for mutations beyond the
+    /// passthroughs below (opening groups, adding variables, …). Adding
+    /// variables drops the stored basis at the next solve; everything
+    /// row-shaped keeps it.
+    pub fn model_mut(&mut self) -> &mut Model {
+        &mut self.model
+    }
+
+    /// Appends a constraint (see [`Model::add_constraint`]); the stored
+    /// basis is extended over the new row at the next solve.
+    pub fn add_constraint(&mut self, expr: impl Into<LinExpr>, cmp: Cmp, rhs: f64) -> RowId {
+        self.model.add_constraint(expr.into(), cmp, rhs)
+    }
+
+    /// Replaces a row's right-hand side (see [`Model::change_rhs`]).
+    pub fn change_rhs(&mut self, row: RowId, rhs: f64) {
+        self.model.change_rhs(row, rhs);
+    }
+
+    /// Deactivates a row in place (see [`Model::deactivate_row`]).
+    pub fn deactivate_row(&mut self, row: RowId) {
+        self.model.deactivate_row(row);
+    }
+
+    /// Re-arms a deactivated row (see [`Model::activate_row`]).
+    pub fn activate_row(&mut self, row: RowId) {
+        self.model.activate_row(row);
+    }
+
+    /// Replaces a variable's bounds (see [`Model::set_var_bounds`]).
+    pub fn set_var_bounds(&mut self, v: Var, lower: f64, upper: f64) {
+        self.model.set_var_bounds(v, lower, upper);
+    }
+
+    /// Replaces the objective. The basis stays: a changed objective
+    /// leaves the point primal feasible and the phase-2 primal cleanup
+    /// re-optimizes from it.
+    pub fn set_objective(&mut self, sense: Sense, expr: impl Into<LinExpr>) {
+        self.model.set_objective(sense, expr);
+    }
+
+    /// Discards the stored basis; the next solve is cold. Useful when a
+    /// caller knows the model drifted too far for the warm start to help.
+    pub fn invalidate_basis(&mut self) {
+        self.basis = None;
+    }
+
+    /// Whether a basis is stored (the next solve will attempt a warm
+    /// start).
+    pub fn has_basis(&self) -> bool {
+        self.basis.is_some()
+    }
+
+    /// Solves the current model — warm from the stored basis when one
+    /// fits, cold otherwise — and captures the resulting basis for the
+    /// next call. MIPs warm-start their root relaxation and hand the
+    /// refreshed root basis to branch & bound.
+    pub fn solve(&mut self, opts: &SolveOptions) -> (Solution, SolverStats) {
+        let mut stats = SolverStats::default();
+        let started = std::time::Instant::now();
+        let sol = if self.model.validate().is_err() {
+            Solution::sentinel(Status::Error, self.model.num_vars())
+        } else if self.model.is_mip() {
+            self.solve_mip(opts, &mut stats)
+        } else {
+            self.solve_lp(&mut stats)
+        };
+        stats.time_total = started.elapsed();
+        (sol, stats)
+    }
+
+    /// The stored basis re-targeted at the model's current shape, or
+    /// `None` when the variable count changed (layout broken).
+    fn prepared_basis(&self) -> Option<BasisState> {
+        let bs = self.basis.as_ref()?;
+        if bs.num_structurals() != self.model.num_vars()
+            || bs.num_rows() > self.model.num_constraints()
+        {
+            return None;
+        }
+        Some(bs.extended(self.model.num_constraints()))
+    }
+
+    fn solve_lp(&mut self, stats: &mut SolverStats) -> Solution {
+        let inst = Arc::new(Instance::build(&self.model));
+        let mut ctx = Ctx::new(inst);
+        let outcome = match self.prepared_basis() {
+            Some(bs) => ctx.solve_warm(Some(&bs)),
+            None => ctx.solve_cold(),
+        };
+        stats.merge(&ctx.stats);
+        if outcome == LpOutcome::Optimal {
+            self.basis = Some(ctx.basis_state());
+        } else {
+            self.basis = None;
+        }
+        ctx.extract_solution(outcome)
+    }
+
+    fn solve_mip(&mut self, opts: &SolveOptions, stats: &mut SolverStats) -> Solution {
+        let Some(prepared) = self.prepared_basis() else {
+            // No usable basis: take the exact same path as a plain
+            // `Model::solve_with_stats` so a fresh solver is bit-identical
+            // to the non-incremental API (a basis hint at the B&B root
+            // can legitimately steer the search to an alternate optimum).
+            let sol = solve_mip_with_root(&self.model, opts, stats, None);
+            // Harvest a root-relaxation basis for future warm re-solves;
+            // bookkeeping only, so its pivots stay out of the reported
+            // stats and the solution above is untouched.
+            let inst = Arc::new(Instance::build(&relax(&self.model)));
+            let mut ctx = Ctx::new(inst);
+            self.basis = (ctx.solve_cold() == LpOutcome::Optimal).then(|| ctx.basis_state());
+            return sol;
+        };
+        // Refresh the root-relaxation basis first: it both proves the
+        // relaxation is still optimizable from the stored basis and gives
+        // branch & bound a root basis matching the *current* model.
+        let relaxed = relax(&self.model);
+        let inst = Arc::new(Instance::build(&relaxed));
+        let mut ctx = Ctx::new(inst);
+        let outcome = ctx.solve_warm(Some(&prepared));
+        stats.merge(&ctx.stats);
+        match outcome {
+            LpOutcome::Optimal => {
+                let bs = ctx.basis_state();
+                self.basis = Some(bs.clone());
+                solve_mip_with_root(&self.model, opts, stats, Some(&bs))
+            }
+            // Relaxation infeasible ⇒ MIP infeasible; relaxation
+            // unbounded / errored mirrors the cold B&B root outcomes.
+            _ => {
+                self.basis = None;
+                ctx.extract_solution(outcome)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VarKind;
+
+    fn assert_same_solution(a: &Solution, b: &Solution) {
+        assert_eq!(a.status, b.status);
+        assert_eq!(
+            a.objective.to_bits(),
+            b.objective.to_bits(),
+            "{} vs {}",
+            a.objective,
+            b.objective
+        );
+        assert_eq!(a.values, b.values);
+    }
+
+    /// A small LP with a unique optimum at every stage.
+    fn lp() -> (Model, RowId, RowId) {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.nonneg("y");
+        let r0 = m.le(x + y, 4.0);
+        let r1 = m.le(x + 3.0 * y, 6.0);
+        m.set_objective(Sense::Maximize, 3.0 * x + 2.0 * y);
+        (m, r0, r1)
+    }
+
+    #[test]
+    fn warm_rhs_change_matches_scratch_lp() {
+        let (m, r0, _) = lp();
+        let mut inc = IncrementalSolver::new(m.clone());
+        let (first, s1) = inc.solve(&SolveOptions::default());
+        assert_eq!(first.status, Status::Optimal);
+        assert_eq!(s1.cold_solves, 1);
+
+        inc.change_rhs(r0, 2.0);
+        let (warm, s2) = inc.solve(&SolveOptions::default());
+        assert!(s2.warm_solves > 0 && s2.cold_solves == 0, "{s2:?}");
+
+        let mut scratch = m;
+        scratch.change_rhs(r0, 2.0);
+        assert_same_solution(&warm, &scratch.solve());
+    }
+
+    #[test]
+    fn warm_added_row_matches_scratch_lp() {
+        let (m, _, _) = lp();
+        let mut inc = IncrementalSolver::new(m.clone());
+        inc.solve(&SolveOptions::default());
+
+        let x = Var(0);
+        inc.add_constraint(1.0 * x, Cmp::Le, 1.5);
+        let (warm, s) = inc.solve(&SolveOptions::default());
+        assert!(s.warm_solves > 0 && s.cold_solves == 0, "{s:?}");
+
+        let mut scratch = m;
+        scratch.le(1.0 * x, 1.5);
+        assert_same_solution(&warm, &scratch.solve());
+    }
+
+    #[test]
+    fn warm_deactivated_row_matches_scratch_lp() {
+        // Deactivate the row whose slack is basic at the first optimum
+        // (x=4, y=0 leaves x+3y ≤ 6 slack): the basis matrix keeps full
+        // rank, so the re-solve stays warm. Swap the objective so the
+        // deactivated row's absence actually moves the optimum.
+        let (m, _, r1) = lp();
+        let mut inc = IncrementalSolver::new(m.clone());
+        inc.solve(&SolveOptions::default());
+
+        let (x, y) = (Var(0), Var(1));
+        inc.deactivate_row(r1);
+        inc.set_objective(Sense::Maximize, 1.0 * x + 4.0 * y);
+        let (warm, s) = inc.solve(&SolveOptions::default());
+        assert!(s.cold_solves == 0, "{s:?}");
+
+        let mut scratch = m;
+        scratch.deactivate_row(r1);
+        scratch.set_objective(Sense::Maximize, 1.0 * x + 4.0 * y);
+        assert_same_solution(&warm, &scratch.solve());
+
+        // And back again.
+        inc.activate_row(r1);
+        let (rearmed, _) = inc.solve(&SolveOptions::default());
+        let mut orig = scratch;
+        orig.activate_row(r1);
+        assert_same_solution(&rearmed, &orig.solve());
+    }
+
+    #[test]
+    fn deactivating_a_load_bearing_row_degrades_cold_but_stays_correct() {
+        // Deactivating the binding row strips the basic structural
+        // column's only support in that row: the stored basis goes
+        // singular and solve_warm falls back to a cold solve. The answer
+        // must still match a from-scratch build.
+        let (m, r0, _) = lp();
+        let mut inc = IncrementalSolver::new(m.clone());
+        inc.solve(&SolveOptions::default());
+
+        inc.deactivate_row(r0);
+        let (resolved, _) = inc.solve(&SolveOptions::default());
+        let mut scratch = m;
+        scratch.deactivate_row(r0);
+        assert_same_solution(&resolved, &scratch.solve());
+    }
+
+    #[test]
+    fn warm_objective_swap_matches_scratch_lp() {
+        let (m, _, _) = lp();
+        let mut inc = IncrementalSolver::new(m.clone());
+        inc.solve(&SolveOptions::default());
+
+        let (x, y) = (Var(0), Var(1));
+        inc.set_objective(Sense::Minimize, 1.0 * x - 2.0 * y);
+        let (warm, s) = inc.solve(&SolveOptions::default());
+        assert!(s.cold_solves == 0, "{s:?}");
+
+        let mut scratch = m;
+        scratch.set_objective(Sense::Minimize, 1.0 * x - 2.0 * y);
+        assert_same_solution(&warm, &scratch.solve());
+    }
+
+    #[test]
+    fn warm_var_bound_change_matches_scratch_lp() {
+        let (m, _, _) = lp();
+        let mut inc = IncrementalSolver::new(m.clone());
+        inc.solve(&SolveOptions::default());
+
+        inc.set_var_bounds(Var(0), 0.0, 1.0);
+        let (warm, s) = inc.solve(&SolveOptions::default());
+        assert!(s.warm_solves > 0 && s.cold_solves == 0, "{s:?}");
+
+        let mut scratch = m;
+        scratch.set_var_bounds(Var(0), 0.0, 1.0);
+        assert_same_solution(&warm, &scratch.solve());
+    }
+
+    #[test]
+    fn mutation_to_infeasible_and_back() {
+        let (m, r0, _) = lp();
+        let mut inc = IncrementalSolver::new(m);
+        inc.solve(&SolveOptions::default());
+        inc.change_rhs(r0, -1.0); // x + y ≤ −1 with x,y ≥ 0: infeasible
+        let (bad, _) = inc.solve(&SolveOptions::default());
+        assert_eq!(bad.status, Status::Infeasible);
+        assert!(
+            !inc.has_basis(),
+            "failed solve must not leave a stale basis"
+        );
+        inc.change_rhs(r0, 4.0);
+        let (good, _) = inc.solve(&SolveOptions::default());
+        assert_eq!(good.status, Status::Optimal);
+        assert!((good.objective - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn added_variable_drops_basis_safely() {
+        let (m, _, _) = lp();
+        let mut inc = IncrementalSolver::new(m);
+        inc.solve(&SolveOptions::default());
+        let z = inc.model_mut().add_var("z", VarKind::Continuous, 0.0, 2.0);
+        let (x, y) = (Var(0), Var(1));
+        inc.set_objective(Sense::Maximize, 3.0 * x + 2.0 * y + z);
+        let (sol, s) = inc.solve(&SolveOptions::default());
+        assert_eq!(sol.status, Status::Optimal);
+        assert!(
+            s.cold_solves > 0,
+            "layout changed: must re-solve cold, got {s:?}"
+        );
+        assert!((sol.objective - 14.0).abs() < 1e-9);
+    }
+
+    /// MIP path: knapsack, then tighten the capacity and re-solve.
+    #[test]
+    fn warm_mip_matches_scratch() {
+        let mut m = Model::new();
+        let items: Vec<_> = (0..6).map(|i| m.binary(format!("x{i}"))).collect();
+        let w = [10.0, 20.0, 30.0, 14.0, 7.0, 11.0];
+        let v = [60.0, 100.0, 120.0, 70.0, 30.0, 40.0];
+        let we = LinExpr::sum(items.iter().zip(&w).map(|(&x, &wi)| wi * x));
+        let cap = m.le(we, 50.0);
+        let ve = LinExpr::sum(items.iter().zip(&v).map(|(&x, &vi)| vi * x));
+        m.set_objective(Sense::Maximize, ve);
+
+        let mut inc = IncrementalSolver::new(m.clone());
+        let (first, _) = inc.solve(&SolveOptions::default());
+        assert_same_solution(&first, &m.solve());
+
+        inc.change_rhs(cap, 31.0);
+        let (warm, s) = inc.solve(&SolveOptions::default());
+        assert!(s.warm_solves > 0, "{s:?}");
+        let mut scratch = m;
+        scratch.change_rhs(cap, 31.0);
+        let cold = scratch.solve();
+        // The warm search may visit nodes in a different order and land on
+        // a different *alternate* optimum, so values are compared by
+        // optimality, not bit pattern: equal objective, both feasible.
+        assert_eq!(warm.status, cold.status);
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+        assert!(scratch.is_feasible(&warm.values, 1e-6));
+        assert!(scratch.is_feasible(&cold.values, 1e-6));
+    }
+
+    #[test]
+    fn malformed_mutation_fails_closed() {
+        let (m, r0, _) = lp();
+        let mut inc = IncrementalSolver::new(m);
+        inc.solve(&SolveOptions::default());
+        inc.change_rhs(r0, f64::NAN);
+        let (sol, _) = inc.solve(&SolveOptions::default());
+        assert_eq!(sol.status, Status::Error);
+    }
+}

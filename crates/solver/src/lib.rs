@@ -7,7 +7,7 @@
 //!
 //! * [`expr`] — linear expressions over decision variables with natural
 //!   operator syntax;
-//! * [`model`] — a [`Model`](model::Model) of variables (continuous,
+//! * [`model`] — a [`Model`] of variables (continuous,
 //!   integer, binary), linear constraints and a min/max objective;
 //! * [`simplex`] — a sparse revised two-phase simplex (LU + eta-file
 //!   basis updates, bounded variables, dual-simplex warm starts), with a
@@ -15,11 +15,14 @@
 //! * [`branch_bound`] — best-first branch & bound for MIPs on top of the
 //!   LP relaxation, with basis-inheriting warm starts, diving, and
 //!   deterministic batch-parallel node evaluation;
-//! * [`presolve`] — model reductions (singleton rows, fixings, bound
+//! * [`incremental`] — an [`IncrementalSolver`]
+//!   that re-solves a mutated model (rhs changes, row de/activation,
+//!   appended rows) warm from the previous basis instead of cold;
+//! * [`mod@presolve`] — model reductions (singleton rows, fixings, bound
 //!   tightening) applied before the heavy machinery;
 //! * [`cuts`] — knapsack cover cuts separated at the branch & bound root
 //!   (cut-and-branch);
-//! * [`observe`] — bridge mirroring [`SolverStats`](model::SolverStats)
+//! * [`observe`] — bridge mirroring [`SolverStats`]
 //!   into the `flexwan-obs` metrics registry.
 //!
 //! The solver is *exact*: it is used to validate the scalable planning
@@ -32,13 +35,17 @@
 pub mod branch_bound;
 pub mod cuts;
 pub mod expr;
+pub mod incremental;
 pub mod model;
 pub mod observe;
 pub mod presolve;
 pub mod simplex;
 
 pub use expr::{LinExpr, Var};
-pub use model::{Cmp, Model, Sense, Solution, SolveOptions, SolverStats, Status, VarKind};
+pub use incremental::IncrementalSolver;
+pub use model::{
+    Cmp, GroupId, Model, RowId, Sense, Solution, SolveOptions, SolverStats, Status, VarKind,
+};
 pub use observe::record_solver_stats;
 pub use presolve::{presolve, solve_presolved, Presolved, Reduction};
 pub use simplex::{solve_lp, solve_lp_with_duals, solve_lp_with_stats};

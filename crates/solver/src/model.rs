@@ -46,6 +46,20 @@ pub enum Cmp {
     Eq,
 }
 
+/// Stable handle to a constraint row, returned by
+/// [`Model::add_constraint`] (and the `le`/`ge`/`eq` shorthands).
+///
+/// Row handles stay valid for the lifetime of the model: rows are never
+/// removed, only [deactivated](Model::deactivate_row), so a `RowId` also
+/// indexes the dual vector returned by the LP entry points — deactivated
+/// rows keep their slot (with a zero dual) and row indices never shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub usize);
+
+/// Handle to a named constraint group (see [`Model::group`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupId(pub usize);
+
 /// A linear constraint `expr cmp rhs`.
 #[derive(Debug, Clone)]
 pub struct Constraint {
@@ -55,6 +69,12 @@ pub struct Constraint {
     pub cmp: Cmp,
     /// Right-hand side.
     pub rhs: f64,
+    /// Group this row belongs to, if any.
+    pub group: Option<GroupId>,
+    /// Whether the row participates in solves. Inactive rows keep their
+    /// index (so handles and dual positions stay stable) but impose no
+    /// restriction.
+    pub active: bool,
 }
 
 /// Objective sense.
@@ -110,7 +130,11 @@ impl Solution {
 
     /// A solution carrying a terminal `status` and no usable values.
     pub(crate) fn sentinel(status: Status, num_vars: usize) -> Solution {
-        Solution { status, objective: f64::NAN, values: vec![f64::NAN; num_vars] }
+        Solution {
+            status,
+            objective: f64::NAN,
+            values: vec![f64::NAN; num_vars],
+        }
     }
 }
 
@@ -236,7 +260,11 @@ pub struct SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { int_tol: 1e-6, max_nodes: 200_000, threads: 0 }
+        SolveOptions {
+            int_tol: 1e-6,
+            max_nodes: 200_000,
+            threads: 0,
+        }
     }
 }
 
@@ -251,6 +279,16 @@ pub struct Model {
     /// list makes every solve return [`Status::Error`] instead of
     /// panicking mid-pivot on garbage data.
     pub(crate) malformed: Vec<String>,
+    /// Interned group names plus the rows tagged into each group, in
+    /// insertion order.
+    pub(crate) groups: Vec<(String, Vec<RowId>)>,
+    /// Group new constraints are tagged into (set by [`Model::group`]).
+    pub(crate) current_group: Option<GroupId>,
+    /// Debug-only duplicate-diagnostic-name detector: variable names are
+    /// how infeasibilities and solver traces are read, so two variables
+    /// sharing a name is almost always an enumeration bug upstream.
+    #[cfg(debug_assertions)]
+    pub(crate) seen_names: std::collections::HashSet<String>,
 }
 
 impl Model {
@@ -265,14 +303,22 @@ impl Model {
     /// panic: they mark the model malformed, and solving it reports
     /// [`Status::Error`]. Malformed models routinely arise from NaN-tainted
     /// upstream computations, and a solver must fail closed on them.
-    pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind, lower: f64, upper: f64) -> Var {
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        kind: VarKind,
+        lower: f64,
+        upper: f64,
+    ) -> Var {
         let v = Var(self.vars.len());
         let name = name.into();
         if !lower.is_finite() {
-            self.malformed.push(format!("variable {name:?}: non-finite lower bound {lower}"));
+            self.malformed
+                .push(format!("variable {name:?}: non-finite lower bound {lower}"));
         }
         if upper.is_nan() {
-            self.malformed.push(format!("variable {name:?}: NaN upper bound"));
+            self.malformed
+                .push(format!("variable {name:?}: NaN upper bound"));
         }
         // `partial_cmp` is `None` for NaN bounds: those also count as an
         // empty domain here, in addition to the NaN records above.
@@ -281,13 +327,25 @@ impl Model {
             Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
         );
         if !ordered {
-            self.malformed.push(format!("variable {name:?}: empty domain [{lower}, {upper}]"));
+            self.malformed.push(format!(
+                "variable {name:?}: empty domain [{lower}, {upper}]"
+            ));
         }
         let (lower, upper) = match kind {
             VarKind::Binary => (0.0, 1.0),
             _ => (lower, upper),
         };
-        self.vars.push(VarDef { name, kind, lower, upper });
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.seen_names.insert(name.clone()),
+            "duplicate variable name {name:?}: diagnostic names must be unique"
+        );
+        self.vars.push(VarDef {
+            name,
+            kind,
+            lower,
+            upper,
+        });
         v
     }
 
@@ -316,9 +374,14 @@ impl Model {
         self.vars.len()
     }
 
-    /// Number of constraints.
+    /// Number of constraints ever added (active plus deactivated).
     pub fn num_constraints(&self) -> usize {
         self.constraints.len()
+    }
+
+    /// Number of constraints currently restricting the feasible set.
+    pub fn num_active_constraints(&self) -> usize {
+        self.constraints.iter().filter(|c| c.active).count()
     }
 
     /// Whether the model has any integer/binary variable.
@@ -326,28 +389,173 @@ impl Model {
         self.vars.iter().any(|v| v.kind != VarKind::Continuous)
     }
 
-    /// Adds the constraint `expr cmp rhs`.
-    pub fn add_constraint(&mut self, expr: LinExpr, cmp: Cmp, rhs: f64) {
+    /// Adds the constraint `expr cmp rhs` and returns its stable handle.
+    /// The row is tagged into the current [group](Model::group), if one is
+    /// open.
+    pub fn add_constraint(&mut self, expr: LinExpr, cmp: Cmp, rhs: f64) -> RowId {
         let e = expr.simplified();
         for (v, _) in &e.terms {
-            assert!(v.0 < self.vars.len(), "constraint references unknown variable");
+            assert!(
+                v.0 < self.vars.len(),
+                "constraint references unknown variable"
+            );
         }
-        self.constraints.push(Constraint { expr: e, cmp, rhs });
+        let row = RowId(self.constraints.len());
+        let group = self.current_group;
+        if let Some(g) = group {
+            self.groups[g.0].1.push(row);
+        }
+        self.constraints.push(Constraint {
+            expr: e,
+            cmp,
+            rhs,
+            group,
+            active: true,
+        });
+        row
     }
 
     /// Adds `expr ≤ rhs`.
-    pub fn le(&mut self, expr: impl Into<LinExpr>, rhs: f64) {
-        self.add_constraint(expr.into(), Cmp::Le, rhs);
+    pub fn le(&mut self, expr: impl Into<LinExpr>, rhs: f64) -> RowId {
+        self.add_constraint(expr.into(), Cmp::Le, rhs)
     }
 
     /// Adds `expr ≥ rhs`.
-    pub fn ge(&mut self, expr: impl Into<LinExpr>, rhs: f64) {
-        self.add_constraint(expr.into(), Cmp::Ge, rhs);
+    pub fn ge(&mut self, expr: impl Into<LinExpr>, rhs: f64) -> RowId {
+        self.add_constraint(expr.into(), Cmp::Ge, rhs)
     }
 
     /// Adds `expr = rhs`.
-    pub fn eq(&mut self, expr: impl Into<LinExpr>, rhs: f64) {
-        self.add_constraint(expr.into(), Cmp::Eq, rhs);
+    pub fn eq(&mut self, expr: impl Into<LinExpr>, rhs: f64) -> RowId {
+        self.add_constraint(expr.into(), Cmp::Eq, rhs)
+    }
+
+    /// Opens (creating or re-opening) the named constraint group:
+    /// subsequent [`Model::add_constraint`] calls tag their rows into it
+    /// until another `group` call or [`Model::end_group`]. Returns the
+    /// group's handle.
+    pub fn group(&mut self, name: impl Into<String>) -> GroupId {
+        let name = name.into();
+        let g = match self.groups.iter().position(|(n, _)| *n == name) {
+            Some(i) => GroupId(i),
+            None => {
+                self.groups.push((name, Vec::new()));
+                GroupId(self.groups.len() - 1)
+            }
+        };
+        self.current_group = Some(g);
+        g
+    }
+
+    /// Closes the current group: subsequent constraints are untagged.
+    pub fn end_group(&mut self) {
+        self.current_group = None;
+    }
+
+    /// Looks up a group handle by name.
+    pub fn find_group(&self, name: &str) -> Option<GroupId> {
+        self.groups.iter().position(|(n, _)| n == name).map(GroupId)
+    }
+
+    /// The name a group was created with.
+    pub fn group_name(&self, g: GroupId) -> &str {
+        &self.groups[g.0].0
+    }
+
+    /// The rows tagged into `g`, in insertion order (including rows since
+    /// deactivated).
+    pub fn group_rows(&self, g: GroupId) -> &[RowId] {
+        &self.groups[g.0].1
+    }
+
+    /// The constraint behind a row handle.
+    pub fn row(&self, row: RowId) -> &Constraint {
+        &self.constraints[row.0]
+    }
+
+    /// Replaces a row's right-hand side. A non-finite value marks the
+    /// model malformed (solves then fail closed), mirroring
+    /// [`Model::add_var`]'s treatment of bad bounds.
+    pub fn change_rhs(&mut self, row: RowId, rhs: f64) {
+        if !rhs.is_finite() {
+            self.malformed
+                .push(format!("constraint {}: rhs changed to {rhs}", row.0));
+        }
+        self.constraints[row.0].rhs = rhs;
+    }
+
+    /// Removes a row from the feasible-set definition without removing
+    /// its slot: handles, row indices, and dual positions all stay valid,
+    /// which is what lets a warm-started basis survive the mutation.
+    pub fn deactivate_row(&mut self, row: RowId) {
+        self.constraints[row.0].active = false;
+    }
+
+    /// Re-arms a row previously deactivated.
+    pub fn activate_row(&mut self, row: RowId) {
+        self.constraints[row.0].active = true;
+    }
+
+    /// Replaces a variable's bounds (binary variables stay clamped to
+    /// `{0,1}` domains by their kind at solve time; this still records
+    /// malformed bounds like [`Model::add_var`]).
+    pub fn set_var_bounds(&mut self, v: Var, lower: f64, upper: f64) {
+        let name = &self.vars[v.0].name;
+        if !lower.is_finite() {
+            self.malformed
+                .push(format!("variable {name:?}: non-finite lower bound {lower}"));
+        }
+        if upper.is_nan() {
+            self.malformed
+                .push(format!("variable {name:?}: NaN upper bound"));
+        }
+        if !matches!(
+            lower.partial_cmp(&upper),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        ) {
+            self.malformed.push(format!(
+                "variable {name:?}: empty domain [{lower}, {upper}]"
+            ));
+        }
+        self.vars[v.0].lower = lower;
+        self.vars[v.0].upper = upper;
+    }
+
+    /// Left-hand-side value of a row under `values` (the row's activity).
+    pub fn row_activity(&self, row: RowId, values: &[f64]) -> f64 {
+        self.constraints[row.0].expr.eval(values)
+    }
+
+    /// Slack of a row under `values`: distance to the binding direction
+    /// (`rhs − lhs` for `≤` and `=`, `lhs − rhs` for `≥`); non-negative
+    /// iff the inequality row is satisfied.
+    pub fn row_slack(&self, row: RowId, values: &[f64]) -> f64 {
+        let c = &self.constraints[row.0];
+        let lhs = c.expr.eval(values);
+        match c.cmp {
+            Cmp::Le | Cmp::Eq => c.rhs - lhs,
+            Cmp::Ge => lhs - c.rhs,
+        }
+    }
+
+    /// Extracts the dual values of a group's rows from a full dual vector
+    /// (as returned by [`crate::solve_lp_with_duals`]), pairing each with
+    /// its handle. Inactive rows report a zero dual.
+    pub fn group_duals(&self, g: GroupId, duals: &[f64]) -> Vec<(RowId, f64)> {
+        self.groups[g.0]
+            .1
+            .iter()
+            .map(|&r| {
+                (
+                    r,
+                    if self.constraints[r.0].active {
+                        duals[r.0]
+                    } else {
+                        0.0
+                    },
+                )
+            })
+            .collect()
     }
 
     /// Sets the objective.
@@ -383,7 +591,10 @@ impl Model {
         }
         for &(v, c) in &self.objective.terms {
             if !c.is_finite() {
-                return Err(format!("objective coefficient of {:?} is {c}", self.vars[v.0].name));
+                return Err(format!(
+                    "objective coefficient of {:?} is {c}",
+                    self.vars[v.0].name
+                ));
             }
         }
         for (i, con) in self.constraints.iter().enumerate() {
@@ -449,7 +660,7 @@ impl Model {
                 return false;
             }
         }
-        self.constraints.iter().all(|c| {
+        self.constraints.iter().filter(|c| c.active).all(|c| {
             let lhs = c.expr.eval(values);
             match c.cmp {
                 Cmp::Le => lhs <= c.rhs + tol,
@@ -576,5 +787,99 @@ mod tests {
         let _ = m.continuous("bad", f64::NAN, 1.0);
         let err = m.validate().unwrap_err();
         assert!(err.contains("bad"), "unhelpful error: {err}");
+    }
+
+    // --- constraint groups, row handles, and mutation primitives ---
+
+    #[test]
+    fn groups_collect_rows_in_order() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.nonneg("y");
+        let cap = m.group("capacity");
+        let r0 = m.le(x + y, 5.0);
+        let r1 = m.le(2.0 * x, 4.0);
+        m.end_group();
+        let r2 = m.ge(1.0 * y, 1.0); // untagged
+        m.group("capacity"); // re-open
+        let r3 = m.le(3.0 * y, 9.0);
+        assert_eq!(m.find_group("capacity"), Some(cap));
+        assert_eq!(m.group_name(cap), "capacity");
+        assert_eq!(m.group_rows(cap), &[r0, r1, r3]);
+        assert_eq!(m.row(r2).group, None);
+        assert_eq!(m.row(r0).group, Some(cap));
+        assert_eq!((r0, r1, r2, r3), (RowId(0), RowId(1), RowId(2), RowId(3)));
+    }
+
+    #[test]
+    fn deactivated_rows_keep_indices_but_stop_binding() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let tight = m.le(1.0 * x, 1.0);
+        m.le(1.0 * x, 10.0);
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        assert!((m.solve().objective - 1.0).abs() < 1e-9);
+        m.deactivate_row(tight);
+        assert_eq!(m.num_constraints(), 2);
+        assert_eq!(m.num_active_constraints(), 1);
+        assert!((m.solve().objective - 10.0).abs() < 1e-9);
+        assert!(
+            m.is_feasible(&[10.0], 1e-9),
+            "inactive row must not bind feasibility"
+        );
+        m.activate_row(tight);
+        assert!((m.solve().objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn change_rhs_moves_the_optimum() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let r = m.le(1.0 * x, 3.0);
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        assert!((m.solve().objective - 3.0).abs() < 1e-9);
+        m.change_rhs(r, 7.0);
+        assert!((m.solve().objective - 7.0).abs() < 1e-9);
+        m.change_rhs(r, f64::NAN);
+        assert_eq!(m.solve().status, Status::Error);
+    }
+
+    #[test]
+    fn set_var_bounds_validates_like_add_var() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        m.le(1.0 * x, 100.0);
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        m.set_var_bounds(x, 0.0, 2.0);
+        assert!((m.solve().objective - 2.0).abs() < 1e-9);
+        m.set_var_bounds(x, 5.0, 2.0); // empty domain → malformed
+        assert_eq!(m.solve().status, Status::Error);
+    }
+
+    #[test]
+    fn activity_slack_and_group_duals() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let y = m.nonneg("y");
+        let g = m.group("cap");
+        let r0 = m.le(x + y, 4.0);
+        let r1 = m.ge(1.0 * x, 1.0);
+        m.end_group();
+        let vals = [1.0, 2.0];
+        assert!((m.row_activity(r0, &vals) - 3.0).abs() < 1e-12);
+        assert!((m.row_slack(r0, &vals) - 1.0).abs() < 1e-12);
+        assert!((m.row_slack(r1, &vals) - 0.0).abs() < 1e-12);
+        m.deactivate_row(r1);
+        let duals = [0.25, 9.0];
+        assert_eq!(m.group_duals(g, &duals), vec![(r0, 0.25), (r1, 0.0)]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate variable name")]
+    fn duplicate_names_panic_in_debug() {
+        let mut m = Model::new();
+        m.nonneg("x");
+        m.nonneg("x");
     }
 }

@@ -25,14 +25,26 @@ pub fn record_solver_stats(registry: &Registry, stats: &SolverStats) {
     registry
         .counter_with("solver_pivots_total", &[("phase", "phase2")])
         .add(stats.phase2_pivots);
-    registry.counter_with("solver_pivots_total", &[("phase", "dual")]).add(stats.dual_pivots);
-    registry.counter("solver_bound_flips_total").add(stats.bound_flips);
-    registry.counter("solver_refactorizations_total").add(stats.refactorizations);
-    registry.counter_with("solver_solves_total", &[("start", "cold")]).add(stats.cold_solves);
-    registry.counter_with("solver_solves_total", &[("start", "warm")]).add(stats.warm_solves);
+    registry
+        .counter_with("solver_pivots_total", &[("phase", "dual")])
+        .add(stats.dual_pivots);
+    registry
+        .counter("solver_bound_flips_total")
+        .add(stats.bound_flips);
+    registry
+        .counter("solver_refactorizations_total")
+        .add(stats.refactorizations);
+    registry
+        .counter_with("solver_solves_total", &[("start", "cold")])
+        .add(stats.cold_solves);
+    registry
+        .counter_with("solver_solves_total", &[("start", "warm")])
+        .add(stats.warm_solves);
     registry.counter("solver_nodes_total").add(stats.nodes);
     registry.counter("solver_cuts_total").add(stats.cuts);
-    registry.gauge("solver_warm_start_hit_rate").set(stats.warm_start_hit_rate());
+    registry
+        .gauge("solver_warm_start_hit_rate")
+        .set(stats.warm_start_hit_rate());
     observe_phase(registry, "phase1", stats.time_phase1);
     observe_phase(registry, "phase2", stats.time_phase2);
     observe_phase(registry, "dual", stats.time_dual);
@@ -41,7 +53,11 @@ pub fn record_solver_stats(registry: &Registry, stats: &SolverStats) {
 
 fn observe_phase(registry: &Registry, phase: &str, t: Duration) {
     registry
-        .histogram_with("solver_phase_seconds", &[("phase", phase)], LATENCY_SECONDS_BUCKETS)
+        .histogram_with(
+            "solver_phase_seconds",
+            &[("phase", phase)],
+            LATENCY_SECONDS_BUCKETS,
+        )
         .observe(t.as_secs_f64());
 }
 
@@ -69,8 +85,14 @@ mod tests {
         };
         record_solver_stats(&reg, &stats);
         let prom = reg.snapshot().to_prometheus();
-        assert!(prom.contains("solver_pivots_total{phase=\"dual\"} 7"), "{prom}");
-        assert!(prom.contains("solver_solves_total{start=\"warm\"} 3"), "{prom}");
+        assert!(
+            prom.contains("solver_pivots_total{phase=\"dual\"} 7"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("solver_solves_total{start=\"warm\"} 3"),
+            "{prom}"
+        );
         assert!(prom.contains("solver_nodes_total 9"), "{prom}");
         assert!(prom.contains("solver_warm_start_hit_rate 0.75"), "{prom}");
         // A second solve accumulates counters, overwrites the rate gauge.

@@ -27,7 +27,7 @@ pub enum Presolved {
     /// The problem was proven infeasible during reduction.
     Infeasible,
     /// A reduced model plus the lift-back mapping.
-    Reduced(Reduction),
+    Reduced(Box<Reduction>),
 }
 
 /// A reduced model and how to undo the reduction.
@@ -52,7 +52,11 @@ impl Reduction {
                 Err(v) => *v,
             };
         }
-        Solution { status: reduced.status, objective: reduced.objective, values }
+        Solution {
+            status: reduced.status,
+            objective: reduced.objective,
+            values,
+        }
     }
 
     /// Number of variables eliminated by presolve.
@@ -77,6 +81,7 @@ pub fn presolve(model: &Model) -> Presolved {
     let mut rows: Vec<Row> = model
         .constraints
         .iter()
+        .filter(|c| c.active)
         .map(|c| {
             let e = c.expr.simplified();
             (
@@ -200,7 +205,11 @@ pub fn presolve(model: &Model) -> Presolved {
                 }
                 let (lo, hi) = (lower[j], upper[j]);
                 // residual activity without j:
-                let (term_min, term_max) = if k > 0.0 { (k * lo, k * hi) } else { (k * hi, k * lo) };
+                let (term_min, term_max) = if k > 0.0 {
+                    (k * lo, k * hi)
+                } else {
+                    (k * hi, k * lo)
+                };
                 let rest_min = act_min - term_min;
                 let rest_max = act_max - term_max;
                 let tighten_le = *cmp != Cmp::Ge; // Le or Eq: Σ ≤ rhs
@@ -257,12 +266,7 @@ pub fn presolve(model: &Model) -> Presolved {
         match fixed[j] {
             Some(v) => map.push(Err(v)),
             None => {
-                let nv = reduced.add_var(
-                    model.vars[j].name.clone(),
-                    kinds[j],
-                    lower[j],
-                    upper[j],
-                );
+                let nv = reduced.add_var(model.vars[j].name.clone(), kinds[j], lower[j], upper[j]);
                 map.push(Ok(nv.0));
             }
         }
@@ -270,7 +274,9 @@ pub fn presolve(model: &Model) -> Presolved {
     for (terms, cmp, rhs) in rows {
         let mut e = LinExpr::zero();
         for (j, k) in terms {
-            let Ok(nj) = map[j] else { unreachable!("fixed vars substituted") };
+            let Ok(nj) = map[j] else {
+                unreachable!("fixed vars substituted")
+            };
             e.add_term(crate::expr::Var(nj), k);
         }
         reduced.add_constraint(e, cmp, rhs);
@@ -287,7 +293,11 @@ pub fn presolve(model: &Model) -> Presolved {
     obj.constant = constant;
     reduced.set_objective(model.sense.unwrap_or(crate::model::Sense::Minimize), obj);
 
-    Presolved::Reduced(Reduction { model: reduced, map, n_original: n })
+    Presolved::Reduced(Box::new(Reduction {
+        model: reduced,
+        map,
+        n_original: n,
+    }))
 }
 
 /// Solves `model` via presolve + the appropriate solver, lifting the
@@ -338,7 +348,9 @@ mod tests {
         m.ge(3.0 * y, 6.0); // y ≥ 2
         m.le(x + y, 100.0);
         m.set_objective(Sense::Maximize, x + y);
-        let Presolved::Reduced(red) = presolve(&m) else { panic!("feasible") };
+        let Presolved::Reduced(red) = presolve(&m) else {
+            panic!("feasible")
+        };
         assert_eq!(red.model.num_constraints(), 1, "singletons absorbed");
         let s = solve_presolved(&m, &SolveOptions::default());
         let raw = m.solve();
@@ -353,7 +365,9 @@ mod tests {
         let y = m.nonneg("y");
         m.le(x + y, 10.0); // ⇒ y ≤ 6
         m.set_objective(Sense::Maximize, 2.0 * x + y);
-        let Presolved::Reduced(red) = presolve(&m) else { panic!("feasible") };
+        let Presolved::Reduced(red) = presolve(&m) else {
+            panic!("feasible")
+        };
         assert_eq!(red.eliminated_vars(), 1);
         let s = solve_presolved(&m, &SolveOptions::default());
         assert!((s.value(x) - 4.0).abs() < 1e-9);
@@ -368,7 +382,10 @@ mod tests {
         m.ge(1.0 * x, 5.0);
         m.set_objective(Sense::Minimize, 1.0 * x);
         assert!(matches!(presolve(&m), Presolved::Infeasible));
-        assert_eq!(solve_presolved(&m, &SolveOptions::default()).status, Status::Infeasible);
+        assert_eq!(
+            solve_presolved(&m, &SolveOptions::default()).status,
+            Status::Infeasible
+        );
     }
 
     #[test]
@@ -388,7 +405,9 @@ mod tests {
         let x = m.integer("x", 0, 10);
         m.le(2.0 * x, 7.0); // x ≤ 3.5 → x ≤ 3
         m.set_objective(Sense::Maximize, 1.0 * x);
-        let Presolved::Reduced(red) = presolve(&m) else { panic!("feasible") };
+        let Presolved::Reduced(red) = presolve(&m) else {
+            panic!("feasible")
+        };
         assert_eq!(red.model.vars[0].upper, 3.0);
         let s = solve_presolved(&m, &SolveOptions::default());
         assert!((s.objective - 3.0).abs() < 1e-6);
@@ -434,7 +453,7 @@ mod tests {
                     0 => m.le(e, rhs),
                     1 => m.ge(e, rhs),
                     _ => m.le(e, rhs.abs()), // equalities get tight; keep it mild
-                }
+                };
             }
             let mut obj = LinExpr::zero();
             for &v in &vars {

@@ -3,10 +3,10 @@
 //! The constraint matrix is held column-wise as sparse `(row, coeff)`
 //! lists; the basis inverse is represented as a dense LU factorization
 //! (partial pivoting) composed with an *eta file* (product-form update),
-//! refactorized every [`MAX_ETAS`] pivots. Pivots therefore cost
+//! refactorized every `MAX_ETAS` pivots. Pivots therefore cost
 //! `O(m² + nnz)` instead of the dense tableau's `O(m·cols)` full-matrix
 //! sweep, and — crucially for branch & bound — a solved basis can be
-//! snapshotted ([`BasisState`]) and re-installed in a child node, where a
+//! snapshotted (`BasisState`) and re-installed in a child node, where a
 //! **dual simplex** pass repairs the handful of bound violations the
 //! branching introduced instead of re-solving from scratch.
 //!
@@ -81,7 +81,11 @@ pub(crate) fn solve_lp_collecting(
     stats.merge(&ctx.stats);
     let sol = ctx.extract_solution(outcome);
     if let Some(out) = duals_out {
-        *out = if sol.status == Status::Optimal { Some(ctx.duals()) } else { None };
+        *out = if sol.status == Status::Optimal {
+            Some(ctx.duals())
+        } else {
+            None
+        };
     }
     sol
 }
@@ -117,6 +121,56 @@ pub(crate) enum LpOutcome {
 pub(crate) struct BasisState {
     basis: Vec<u32>,
     vstat: Vec<VStat>,
+}
+
+impl BasisState {
+    /// Rows of the instance the snapshot was taken on.
+    pub(crate) fn num_rows(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Structural columns of the instance the snapshot was taken on
+    /// (recovered from the `n + 3m` column layout).
+    pub(crate) fn num_structurals(&self) -> usize {
+        self.vstat.len() - 3 * self.basis.len()
+    }
+
+    /// Re-targets the snapshot at an instance that appended
+    /// `new_m − old_m` rows after this basis was captured (same `n`).
+    ///
+    /// The column layout is `[0, n)` structural, `[n, n+m)` logical,
+    /// `[n+m, n+3m)` artificial, so appending rows shifts every artificial
+    /// column up by `new_m − old_m` while structural and existing logical
+    /// columns keep their indices. Each appended row gets its own logical
+    /// column as its basic variable — the identity sub-basis — so the
+    /// extended matrix stays nonsingular whenever the original was, and
+    /// the dual simplex of [`Ctx::solve_warm`] repairs whatever primal
+    /// violation the new rows introduce.
+    pub(crate) fn extended(&self, new_m: usize) -> BasisState {
+        let old_m = self.num_rows();
+        debug_assert!(new_m >= old_m, "rows are never removed, only deactivated");
+        if new_m == old_m {
+            return self.clone();
+        }
+        let n = self.num_structurals();
+        let shift = new_m - old_m;
+        let remap = |j: usize| if j < n + old_m { j } else { j + shift };
+        let mut vstat = vec![VStat::Lower; n + 3 * new_m];
+        for (j, &s) in self.vstat.iter().enumerate() {
+            vstat[remap(j)] = s;
+        }
+        let mut basis: Vec<u32> = self
+            .basis
+            .iter()
+            .map(|&b| remap(b as usize) as u32)
+            .collect();
+        for i in old_m..new_m {
+            let li = n + i;
+            vstat[li] = VStat::Basic;
+            basis.push(li as u32);
+        }
+        BasisState { basis, vstat }
+    }
 }
 
 /// Immutable sparse standard form shared by every node of a B&B tree.
@@ -165,9 +219,21 @@ impl Instance {
         }
         let mut merged: Vec<(usize, f64)> = Vec::new();
         for (i, c) in model.constraints.iter().enumerate() {
-            rhs[i] = c.rhs - c.expr.constant;
+            // Deactivated rows keep their slot — same `m`, same logical /
+            // artificial columns, same dual index — but are built as the
+            // trivially-satisfied empty row `0 cmp 0` (its slack sits at 0,
+            // which every cmp's logical bounds admit). This is what keeps a
+            // stored `BasisState` structurally valid across
+            // `Model::deactivate_row` mutations.
+            if !c.active {
+                rhs[i] = 0.0;
+            } else {
+                rhs[i] = c.rhs - c.expr.constant;
+            }
             merged.clear();
-            merged.extend(c.expr.terms.iter().map(|&(v, k)| (v.0, k)));
+            if c.active {
+                merged.extend(c.expr.terms.iter().map(|&(v, k)| (v.0, k)));
+            }
             merged.sort_unstable_by_key(|&(j, _)| j);
             let mut idx = 0;
             while idx < merged.len() {
@@ -200,10 +266,26 @@ impl Instance {
         for &(v, c) in &model.objective.terms {
             cost[v.0] += if negated { -c } else { c };
         }
-        let obj_constant =
-            if negated { -model.objective.constant } else { model.objective.constant };
+        let obj_constant = if negated {
+            -model.objective.constant
+        } else {
+            model.objective.constant
+        };
 
-        Instance { m, n, ncols, art_start, total, cols, lo, up, cost, rhs, obj_constant, negated }
+        Instance {
+            m,
+            n,
+            ncols,
+            art_start,
+            total,
+            cols,
+            lo,
+            up,
+            cost,
+            rhs,
+            obj_constant,
+            negated,
+        }
     }
 
     /// Objective of structural values `x` (model space), in the model's
@@ -553,7 +635,11 @@ impl Ctx {
             .filter(|&(i, &v)| i != r && v.abs() > 1e-12)
             .map(|(i, &v)| (i as u32, v))
             .collect();
-        self.etas.push(Eta { r: r as u32, wr: w[r], rest });
+        self.etas.push(Eta {
+            r: r as u32,
+            wr: w[r],
+            rest,
+        });
         if self.etas.len() >= MAX_ETAS {
             // Refactorization failure after a legal pivot would mean the
             // updated basis went numerically singular; recompute from the
@@ -585,7 +671,11 @@ impl Ctx {
         self.etas.clear();
         self.pos.iter_mut().for_each(|p| *p = -1);
         for j in 0..inst.total {
-            self.vstat[j] = if self.lo[j].is_finite() { VStat::Lower } else { VStat::Upper };
+            self.vstat[j] = if self.lo[j].is_finite() {
+                VStat::Lower
+            } else {
+                VStat::Upper
+            };
         }
 
         if m == 0 {
@@ -1001,7 +1091,13 @@ impl Ctx {
                     self.xb[i] -= t * wi;
                 }
             }
-            self.pivot(r, q, value, &w, if below { VStat::Lower } else { VStat::Upper });
+            self.pivot(
+                r,
+                q,
+                value,
+                &w,
+                if below { VStat::Lower } else { VStat::Upper },
+            );
             self.scratch = w;
         }
         DualOutcome::GiveUp
@@ -1028,12 +1124,18 @@ impl Ctx {
         }
         let cost = Arc::clone(&self.inst).cost.clone();
         self.compute_y(&cost);
-        self.ybuf.iter().map(|&y| if self.inst.negated { -y } else { y }).collect()
+        self.ybuf
+            .iter()
+            .map(|&y| if self.inst.negated { -y } else { y })
+            .collect()
     }
 
     /// Snapshot of the current basis for warm-starting a child node.
     pub(crate) fn basis_state(&self) -> BasisState {
-        BasisState { basis: self.basis.clone(), vstat: self.vstat.clone() }
+        BasisState {
+            basis: self.basis.clone(),
+            vstat: self.vstat.clone(),
+        }
     }
 
     /// Converts an outcome into a full [`Solution`] for the model.
@@ -1043,12 +1145,20 @@ impl Ctx {
             LpOutcome::Optimal => {
                 let values = self.structural_values();
                 let objective = self.inst.model_objective(&values);
-                Solution { status: Status::Optimal, objective, values }
+                Solution {
+                    status: Status::Optimal,
+                    objective,
+                    values,
+                }
             }
             LpOutcome::Infeasible => Solution::sentinel(Status::Infeasible, n),
             LpOutcome::Unbounded => Solution {
                 status: Status::Unbounded,
-                objective: if self.inst.negated { f64::INFINITY } else { f64::NEG_INFINITY },
+                objective: if self.inst.negated {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                },
                 values: vec![f64::NAN; n],
             },
             LpOutcome::Error => Solution::sentinel(Status::Error, n),
@@ -1267,11 +1377,15 @@ mod tests {
         // 40 relaxed binaries, one knapsack row: the LP must solve fast
         // and land on the fractional knapsack optimum.
         let mut m = Model::new();
-        let vars: Vec<_> = (0..40).map(|i| m.continuous(format!("x{i}"), 0.0, 1.0)).collect();
+        let vars: Vec<_> = (0..40)
+            .map(|i| m.continuous(format!("x{i}"), 0.0, 1.0))
+            .collect();
         let w = crate::expr::LinExpr::sum(vars.iter().map(|&v| 1.0 * v));
         m.le(w, 10.5);
         let obj = crate::expr::LinExpr::sum(
-            vars.iter().enumerate().map(|(i, &v)| ((i % 5 + 1) as f64) * v),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| ((i % 5 + 1) as f64) * v),
         );
         m.set_objective(Sense::Maximize, obj);
         let s = m.solve();
@@ -1489,7 +1603,11 @@ mod tests {
         let (sol, duals) = solve_lp_with_duals(&m);
         assert_eq!(sol.status, Status::Optimal);
         let duals = duals.unwrap();
-        assert!(duals[0] >= 0.0, "binding ≥ dual must be ≥ 0, got {}", duals[0]);
+        assert!(
+            duals[0] >= 0.0,
+            "binding ≥ dual must be ≥ 0, got {}",
+            duals[0]
+        );
         assert!((duals[0] - 1.5).abs() < 1e-6, "{duals:?}");
     }
 
@@ -1514,7 +1632,11 @@ mod tests {
         ctx.dantzig_factor = 0; // Bland from iteration 1
         let out = ctx.solve_cold();
         assert_eq!(out, LpOutcome::Optimal);
-        assert!((ctx.objective() - 2.0).abs() < 1e-6, "obj={}", ctx.objective());
+        assert!(
+            (ctx.objective() - 2.0).abs() < 1e-6,
+            "obj={}",
+            ctx.objective()
+        );
     }
 
     #[test]
@@ -1613,7 +1735,10 @@ mod tests {
             warm.objective(),
             cold.objective()
         );
-        assert!(warm.objective() <= parent_obj + 1e-9, "child bound can only tighten");
+        assert!(
+            warm.objective() <= parent_obj + 1e-9,
+            "child bound can only tighten"
+        );
         assert!(warm.stats.warm_solves >= 1);
     }
 
@@ -1641,14 +1766,17 @@ mod tests {
         // must match the assignment-like closed form.
         let k = 30;
         let mut m = Model::new();
-        let vars: Vec<_> = (0..k).map(|i| m.continuous(format!("x{i}"), 0.0, 2.0)).collect();
+        let vars: Vec<_> = (0..k)
+            .map(|i| m.continuous(format!("x{i}"), 0.0, 2.0))
+            .collect();
         for w in vars.windows(2) {
             m.le(w[0] + w[1], 3.0);
         }
-        let obj =
-            crate::expr::LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| {
-                (1.0 + ((i * 7) % 5) as f64) * v
-            }));
+        let obj = crate::expr::LinExpr::sum(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (1.0 + ((i * 7) % 5) as f64) * v),
+        );
         m.set_objective(Sense::Maximize, obj);
         let (s, stats) = solve_lp_with_stats(&m);
         assert_eq!(s.status, Status::Optimal);

@@ -11,17 +11,25 @@ fn build(k: usize, seed: u64) -> Model {
     let mut m = Model::new();
     let mut st = seed;
     let mut rnd = move || {
-        st = st.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        st = st
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((st >> 33) % 5) as f64
     };
-    let vars: Vec<_> = (0..k).map(|i| m.continuous(format!("x{i}"), 1.0, 3.0)).collect();
+    let vars: Vec<_> = (0..k)
+        .map(|i| m.continuous(format!("x{i}"), 1.0, 3.0))
+        .collect();
     for w in vars.windows(2) {
         m.le(w[0] + w[1], 4.0 + rnd());
     }
     for w in vars.windows(4) {
         m.le(w[0] + w[1] + (w[2] + w[3]), 9.0 + rnd());
     }
-    let obj = LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| (1.0 + ((i * 7) % 5) as f64) * v));
+    let obj = LinExpr::sum(
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| (1.0 + ((i * 7) % 5) as f64) * v),
+    );
     m.set_objective(Sense::Maximize, obj);
     m
 }
@@ -61,8 +69,14 @@ fn branching_knapsack() -> Model {
     let w1: Vec<f64> = (0..n).map(|i| 3.0 + ((i * 5) % 11) as f64).collect();
     let w2: Vec<f64> = (0..n).map(|i| 2.0 + ((i * 7) % 9) as f64).collect();
     let val: Vec<f64> = (0..n).map(|i| w1[i] + 5.0 + ((i * 3) % 4) as f64).collect();
-    m.le(LinExpr::sum(vars.iter().zip(&w1).map(|(&v, &w)| w * v)), 40.0);
-    m.le(LinExpr::sum(vars.iter().zip(&w2).map(|(&v, &w)| w * v)), 30.0);
+    m.le(
+        LinExpr::sum(vars.iter().zip(&w1).map(|(&v, &w)| w * v)),
+        40.0,
+    );
+    m.le(
+        LinExpr::sum(vars.iter().zip(&w2).map(|(&v, &w)| w * v)),
+        30.0,
+    );
     m.set_objective(
         Sense::Maximize,
         LinExpr::sum(vars.iter().zip(&val).map(|(&v, &c)| c * v)),
@@ -79,9 +93,16 @@ fn branch_and_bound_warm_starts_node_lps() {
 
     // The cut rounds and root LP are cold solves; descendants reuse the
     // parent basis.
-    assert!(stats.nodes >= 20, "expected real branching, nodes = {}", stats.nodes);
+    assert!(
+        stats.nodes >= 20,
+        "expected real branching, nodes = {}",
+        stats.nodes
+    );
     assert!(stats.cold_solves >= 1, "root LP must be a cold solve");
-    assert!(stats.warm_solves >= 20, "descendant nodes must warm-start, stats: {stats}");
+    assert!(
+        stats.warm_solves >= 20,
+        "descendant nodes must warm-start, stats: {stats}"
+    );
 
     // Hit rate is exactly warm / (warm + cold), bounded by (0, 1), and
     // dominated by warm solves once branching happens.
@@ -97,7 +118,10 @@ fn branch_and_bound_warm_starts_node_lps() {
         stats.total_pivots(),
         stats.phase1_pivots + stats.phase2_pivots + stats.dual_pivots
     );
-    assert!(stats.dual_pivots > 0, "warm starts re-optimize with the dual simplex");
+    assert!(
+        stats.dual_pivots > 0,
+        "warm starts re-optimize with the dual simplex"
+    );
 }
 
 /// Stats are deterministic for a fixed model (the `time_*` fields are
@@ -120,7 +144,11 @@ fn solver_stats_are_deterministic_and_merge_adds() {
     let m = branching_knapsack();
     let (_, a) = m.solve_with_stats(&SolveOptions::default());
     let (_, b) = m.solve_with_stats(&SolveOptions::default());
-    assert_eq!(counters(&a), counters(&b), "solver counters must be run-to-run deterministic");
+    assert_eq!(
+        counters(&a),
+        counters(&b),
+        "solver counters must be run-to-run deterministic"
+    );
 
     let mut merged = a;
     merged.merge(&b);

@@ -68,7 +68,12 @@ impl RouteCache {
     ) -> Arc<Vec<Route>> {
         let mut sorted: Vec<EdgeId> = banned.iter().copied().collect();
         sorted.sort_unstable();
-        let key = Key { src, dst, k, banned: sorted };
+        let key = Key {
+            src,
+            dst,
+            k,
+            banned: sorted,
+        };
         if let Some(found) = self.map.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(found);

@@ -1,17 +1,17 @@
 //! The CERNET backbone topology (§7.2).
 //!
 //! The paper's second evaluation topology is CERNET — the China Education
-//! and Research Network — "released in [4]", used as the optical topology
+//! and Research Network — "released in \[4\]", used as the optical topology
 //! of a point-to-point backbone. We embed the public CERNET backbone node
 //! set (provincial-capital POPs) with fiber lengths derived from
 //! great-circle distances between the cities times the standard 1.3 routing
 //! detour factor (see [`crate::geo`]). Its median path is much longer than
 //! the T-backbone's, reproducing Figure 13(a)'s contrast.
 
+use crate::demand::{arrow_ip_topology, ArrowDemandConfig};
 use crate::geo::fiber_km;
 use crate::graph::Graph;
 use crate::tbackbone::Backbone;
-use crate::demand::{arrow_ip_topology, ArrowDemandConfig};
 
 /// CERNET POP cities with (latitude, longitude).
 pub const CERNET_CITIES: &[(&str, f64, f64)] = &[
@@ -133,7 +133,7 @@ pub fn cernet_optical() -> Graph {
 }
 
 /// Builds the CERNET backbone with an ARROW-style IP topology and demands,
-/// as the paper does ("use distributions in [49] to generate the IP
+/// as the paper does ("use distributions in \[49\] to generate the IP
 /// topology and bandwidth capacity").
 pub fn cernet(cfg: &ArrowDemandConfig) -> Backbone {
     let optical = cernet_optical();
@@ -166,7 +166,11 @@ mod tests {
             .find(|e| (e.a == bj && e.b == sh) || (e.a == sh && e.b == bj))
             .unwrap();
         // ≈1070 km geodesic × 1.3 ≈ 1390 km of fiber.
-        assert!((1300..1500).contains(&edge.length_km), "got {}", edge.length_km);
+        assert!(
+            (1300..1500).contains(&edge.length_km),
+            "got {}",
+            edge.length_km
+        );
     }
 
     #[test]
@@ -185,12 +189,15 @@ mod tests {
         use crate::tbackbone::{t_backbone, TBackboneConfig};
         let none = HashSet::new();
         let median = |b: &crate::tbackbone::Backbone| -> u32 {
-            let mut l: Vec<u32> = b
-                .ip
-                .links()
-                .iter()
-                .map(|x| shortest_path(&b.optical, x.src, x.dst, &none).unwrap().length_km)
-                .collect();
+            let mut l: Vec<u32> =
+                b.ip.links()
+                    .iter()
+                    .map(|x| {
+                        shortest_path(&b.optical, x.src, x.dst, &none)
+                            .unwrap()
+                            .length_km
+                    })
+                    .collect();
             l.sort_unstable();
             l[l.len() / 2]
         };

@@ -2,7 +2,7 @@
 //!
 //! The paper takes IP-link demands as operator-provided inputs (§4.4). For
 //! the CERNET evaluation it generates the IP topology and demands "using
-//! distributions in [49]" (ARROW). ARROW's public description gives a WAN
+//! distributions in \[49\]" (ARROW). ARROW's public description gives a WAN
 //! whose IP links connect nearby POP pairs more often than far ones, with
 //! heavy-tailed capacities in 100 Gbps multiples; [`arrow_ip_topology`]
 //! reproduces that: node pairs drawn with probability ∝ 1/(1+hops)², and
@@ -29,7 +29,12 @@ pub struct ArrowDemandConfig {
 
 impl Default for ArrowDemandConfig {
     fn default() -> Self {
-        ArrowDemandConfig { ip_links: 150, seed: 11, min_gbps: 200, max_gbps: 1600 }
+        ArrowDemandConfig {
+            ip_links: 150,
+            seed: 11,
+            min_gbps: 200,
+            max_gbps: 1600,
+        }
     }
 }
 
@@ -60,7 +65,10 @@ pub fn arrow_ip_topology(g: &Graph, cfg: &ArrowDemandConfig) -> IpTopology {
             }
         }
     }
-    assert!(!pairs.is_empty(), "graph must be connected enough to form pairs");
+    assert!(
+        !pairs.is_empty(),
+        "graph must be connected enough to form pairs"
+    );
     let total_w: f64 = pairs.iter().map(|p| p.2).sum();
 
     let mut ip = IpTopology::new();
@@ -109,7 +117,10 @@ mod tests {
     #[test]
     fn demands_in_bounds_and_rounded() {
         let g = line_graph(10);
-        let cfg = ArrowDemandConfig { ip_links: 200, ..Default::default() };
+        let cfg = ArrowDemandConfig {
+            ip_links: 200,
+            ..Default::default()
+        };
         let ip = arrow_ip_topology(&g, &cfg);
         assert_eq!(ip.num_links(), 200);
         for l in ip.links() {
@@ -121,7 +132,11 @@ mod tests {
     #[test]
     fn locality_bias_favours_near_pairs() {
         let g = line_graph(12);
-        let cfg = ArrowDemandConfig { ip_links: 600, seed: 3, ..Default::default() };
+        let cfg = ArrowDemandConfig {
+            ip_links: 600,
+            seed: 3,
+            ..Default::default()
+        };
         let ip = arrow_ip_topology(&g, &cfg);
         let near = ip
             .links()

@@ -8,7 +8,6 @@
 
 use std::collections::HashSet;
 
-
 /// Identifier of a node (ROADM site / router).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
@@ -45,7 +44,11 @@ impl Edge {
         if n == self.a {
             self.b
         } else {
-            assert_eq!(n, self.b, "node {n:?} is not an endpoint of edge {:?}", self.id);
+            assert_eq!(
+                n, self.b,
+                "node {n:?} is not an endpoint of edge {:?}",
+                self.id
+            );
             self.a
         }
     }
@@ -68,7 +71,10 @@ impl Graph {
     /// Adds a node named `name`, returning its id.
     pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { id, name: name.into() });
+        self.nodes.push(Node {
+            id,
+            name: name.into(),
+        });
         self.adjacency.push(Vec::new());
         id
     }
@@ -81,7 +87,12 @@ impl Graph {
         assert!((a.0 as usize) < self.nodes.len() && (b.0 as usize) < self.nodes.len());
         assert!(length_km > 0, "fiber length must be positive");
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(Edge { id, a, b, length_km });
+        self.edges.push(Edge {
+            id,
+            a,
+            b,
+            length_km,
+        });
         self.adjacency[a.0 as usize].push(id);
         self.adjacency[b.0 as usize].push(id);
         id

@@ -6,7 +6,6 @@
 //! each IP link provided by network operators"), so an [`IpLink`] simply
 //! carries its demand. IP nodes map 1:1 onto optical ROADM sites.
 
-
 use crate::graph::NodeId;
 
 /// Identifier of an IP link.
@@ -46,7 +45,12 @@ impl IpTopology {
         assert!(src != dst, "IP link endpoints must differ");
         assert!(demand_gbps > 0, "IP link demand must be positive");
         let id = IpLinkId(self.links.len() as u32);
-        self.links.push(IpLink { id, src, dst, demand_gbps });
+        self.links.push(IpLink {
+            id,
+            src,
+            dst,
+            demand_gbps,
+        });
         id
     }
 
@@ -78,7 +82,10 @@ impl IpTopology {
             links: self
                 .links
                 .iter()
-                .map(|l| IpLink { demand_gbps: l.demand_gbps * scale, ..*l })
+                .map(|l| IpLink {
+                    demand_gbps: l.demand_gbps * scale,
+                    ..*l
+                })
                 .collect(),
         }
     }

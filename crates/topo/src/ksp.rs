@@ -88,7 +88,12 @@ fn shortest_path_banning_nodes(
         return None;
     }
     scratch.reset(n);
-    let DijkstraScratch { dist, prev, heap, touched } = scratch;
+    let DijkstraScratch {
+        dist,
+        prev,
+        heap,
+        touched,
+    } = scratch;
     dist[src.0 as usize] = 0;
     touched.push(src.0);
     heap.push(Reverse((0u64, src.0)));
@@ -114,8 +119,7 @@ fn shortest_path_banning_nodes(
             }
             let nd = d + u64::from(graph.edge(e).length_km);
             let better = nd < dist[v.0 as usize]
-                || (nd == dist[v.0 as usize]
-                    && prev[v.0 as usize].is_some_and(|(pe, _)| e < pe));
+                || (nd == dist[v.0 as usize] && prev[v.0 as usize].is_some_and(|(pe, _)| e < pe));
             if better {
                 if dist[v.0 as usize] == u64::MAX {
                     touched.push(v.0);
@@ -200,13 +204,15 @@ pub fn k_shortest_paths_scratch(
             banned_edges.clear();
             banned_edges.extend(banned.iter().copied());
             for p in result.iter() {
-                if p.edges.len() > i && p.edges[..i] == root_edges[..] && p.nodes[..=i] == root_nodes[..] {
+                if p.edges.len() > i
+                    && p.edges[..i] == root_edges[..]
+                    && p.nodes[..=i] == root_nodes[..]
+                {
                     banned_edges.insert(p.edges[i]);
                 }
             }
             // Ban root nodes (except the spur) to keep paths loopless.
-            let banned_nodes: HashSet<NodeId> =
-                root_nodes[..i].iter().copied().collect();
+            let banned_nodes: HashSet<NodeId> = root_nodes[..i].iter().copied().collect();
 
             if let Some(spur) = shortest_path_banning_nodes(
                 graph,
@@ -310,7 +316,11 @@ mod tests {
     fn yen_orders_by_length_and_is_loopless() {
         let (g, c, h) = sample();
         let paths = k_shortest_paths(&g, c, h, 5, &HashSet::new());
-        assert!(paths.len() >= 3, "expected ≥3 distinct paths, got {}", paths.len());
+        assert!(
+            paths.len() >= 3,
+            "expected ≥3 distinct paths, got {}",
+            paths.len()
+        );
         for w in paths.windows(2) {
             assert!(w[0].length_km <= w[1].length_km, "not sorted");
         }
@@ -368,8 +378,9 @@ mod tests {
             let reused = k_shortest_paths_scratch(&g, c, h, 4, &HashSet::new(), &mut scratch);
             assert_eq!(reused, k_shortest_paths(&g, c, h, 4, &HashSet::new()));
         }
-        let cut: HashSet<_> =
-            [k_shortest_paths(&g, c, h, 1, &HashSet::new())[0].edges[0]].into_iter().collect();
+        let cut: HashSet<_> = [k_shortest_paths(&g, c, h, 1, &HashSet::new())[0].edges[0]]
+            .into_iter()
+            .collect();
         assert_eq!(
             k_shortest_paths_scratch(&g, c, h, 3, &cut, &mut scratch),
             k_shortest_paths(&g, c, h, 3, &cut)
@@ -435,7 +446,10 @@ mod tests {
             assert_eq!(p.length_km, 12);
         }
         // The shortest path must use the canonical (lowest-id) fibers.
-        assert_eq!(first[0].edges.iter().map(|e| e.0).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(
+            first[0].edges.iter().map(|e| e.0).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
         for _ in 0..5 {
             assert_eq!(k_shortest_paths(&g, a, d, 4, &HashSet::new()), first);
         }

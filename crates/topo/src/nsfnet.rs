@@ -117,7 +117,10 @@ mod tests {
     #[test]
     fn plannable() {
         use crate::demand::ArrowDemandConfig;
-        let b = nsfnet(&ArrowDemandConfig { ip_links: 40, ..Default::default() });
+        let b = nsfnet(&ArrowDemandConfig {
+            ip_links: 40,
+            ..Default::default()
+        });
         assert_eq!(b.ip.num_links(), 40);
     }
 }

@@ -1,6 +1,5 @@
 //! Optical paths: the sequence of fibers a wavelength traverses.
 
-
 use crate::graph::{EdgeId, Graph, NodeId};
 
 /// A loopless path through the optical topology.
@@ -33,7 +32,11 @@ impl Path {
             );
             length += edge.length_km;
         }
-        Path { nodes, edges, length_km: length }
+        Path {
+            nodes,
+            edges,
+            length_km: length,
+        }
     }
 
     /// The source node.

@@ -10,7 +10,6 @@
 
 use std::collections::{HashMap, HashSet};
 
-
 use crate::graph::{EdgeId, Graph, NodeId};
 use crate::ksp::{k_shortest_paths_scratch, DijkstraScratch};
 use crate::path::Path;
@@ -112,7 +111,11 @@ pub fn k_shortest_routes_scratch(
         .into_iter()
         .map(|p| Route {
             length_km: p.length_km,
-            hops: p.edges.iter().map(|e| group_of[e.0 as usize].clone()).collect(),
+            hops: p
+                .edges
+                .iter()
+                .map(|e| group_of[e.0 as usize].clone())
+                .collect(),
             nodes: p.nodes,
         })
         .collect()

@@ -96,7 +96,11 @@ pub fn t_backbone(cfg: &TBackboneConfig) -> Backbone {
         if cfg.nodes_per_region >= 4 {
             let len = rng.gen_range(40u32..=120);
             for pair in 0..cfg.metro_fiber_pairs {
-                g.add_edge(nodes[0], nodes[cfg.nodes_per_region / 2], len + 2 * pair as u32);
+                g.add_edge(
+                    nodes[0],
+                    nodes[cfg.nodes_per_region / 2],
+                    len + 2 * pair as u32,
+                );
             }
         }
         region_nodes.push(nodes);
@@ -110,7 +114,11 @@ pub fn t_backbone(cfg: &TBackboneConfig) -> Backbone {
         }
         let len = rng.gen_range(350u32..=800);
         for pair in 0..cfg.longhaul_fiber_pairs {
-            g.add_edge(region_nodes[r][0], region_nodes[next][0], len + 5 * pair as u32);
+            g.add_edge(
+                region_nodes[r][0],
+                region_nodes[next][0],
+                len + 5 * pair as u32,
+            );
         }
     }
     if cfg.regions >= 4 {
@@ -119,7 +127,11 @@ pub fn t_backbone(cfg: &TBackboneConfig) -> Backbone {
             if far != r {
                 let len = rng.gen_range(700u32..=1100);
                 for pair in 0..cfg.longhaul_fiber_pairs {
-                    g.add_edge(region_nodes[r][0], region_nodes[far][0], len + 5 * pair as u32);
+                    g.add_edge(
+                        region_nodes[r][0],
+                        region_nodes[far][0],
+                        len + 5 * pair as u32,
+                    );
                 }
             }
         }
@@ -136,7 +148,11 @@ pub fn t_backbone(cfg: &TBackboneConfig) -> Backbone {
             }
             let len = rng.gen_range(400u32..=900);
             for pair in 0..cfg.longhaul_fiber_pairs {
-                g.add_edge(region_nodes[r][1], region_nodes[next][0], len + 5 * pair as u32);
+                g.add_edge(
+                    region_nodes[r][1],
+                    region_nodes[next][0],
+                    len + 5 * pair as u32,
+                );
             }
         }
     }
@@ -217,7 +233,10 @@ mod tests {
         let b = t_backbone(&TBackboneConfig::default());
         assert_eq!(a.optical, b.optical);
         assert_eq!(a.ip, b.ip);
-        let c = t_backbone(&TBackboneConfig { seed: 8, ..Default::default() });
+        let c = t_backbone(&TBackboneConfig {
+            seed: 8,
+            ..Default::default()
+        });
         assert_ne!(a.optical, c.optical);
     }
 
@@ -242,12 +261,15 @@ mod tests {
         // *shape*, not exact percentages.
         let b = t_backbone(&TBackboneConfig::default());
         let none = HashSet::new();
-        let lengths: Vec<u32> = b
-            .ip
-            .links()
-            .iter()
-            .map(|l| shortest_path(&b.optical, l.src, l.dst, &none).expect("connected").length_km)
-            .collect();
+        let lengths: Vec<u32> =
+            b.ip.links()
+                .iter()
+                .map(|l| {
+                    shortest_path(&b.optical, l.src, l.dst, &none)
+                        .expect("connected")
+                        .length_km
+                })
+                .collect();
         let n = lengths.len() as f64;
         let short = lengths.iter().filter(|&&d| d < 200).count() as f64 / n;
         let long = lengths.iter().filter(|&&d| d > 1200).count() as f64 / n;

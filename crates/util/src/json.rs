@@ -108,8 +108,9 @@ impl Value {
     /// Required object member, as a [`FromJson`] target.
     pub fn field<T: FromJson>(&self, key: &str) -> Result<T, Error> {
         match self.get(key) {
-            Some(v) => T::from_json(v)
-                .map_err(|e| Error::new(format!("field `{key}`: {}", e.message))),
+            Some(v) => {
+                T::from_json(v).map_err(|e| Error::new(format!("field `{key}`: {}", e.message)))
+            }
             None => Err(Error::new(format!("missing field `{key}`"))),
         }
     }
@@ -236,7 +237,9 @@ pub struct Error {
 impl Error {
     /// A new error with `message`.
     pub fn new(message: impl Into<String>) -> Self {
-        Error { message: message.into() }
+        Error {
+            message: message.into(),
+        }
     }
 }
 
@@ -335,8 +338,7 @@ impl<'a> Parser<'a> {
                                 .get(self.pos..self.pos + 4)
                                 .ok_or_else(|| self.err("short \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|_| self.err("bad \\u escape"))?,
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
                                 16,
                             )
                             .map_err(|_| self.err("bad \\u escape"))?;
@@ -353,7 +355,10 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 character.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.err("unterminated"))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated"))?;
                     if (c as u32) < 0x20 {
                         return Err(self.err("raw control character in string"));
                     }
@@ -448,7 +453,10 @@ impl<'a> Parser<'a> {
 /// Parses a JSON document into a [`Value`]. Trailing non-whitespace is an
 /// error.
 pub fn parse(s: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -580,7 +588,9 @@ impl ToJson for String {
 }
 impl FromJson for String {
     fn from_json(v: &Value) -> Result<Self, Error> {
-        v.as_str().map(str::to_string).ok_or_else(|| Error::new("expected string"))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::new("expected string"))
     }
 }
 impl From<String> for Value {
@@ -707,7 +717,14 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        for bad in ["{nope", "[1,", "\"unterminated", "{\"a\" 1}", "01x", "{} trailing"] {
+        for bad in [
+            "{nope",
+            "[1,",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "01x",
+            "{} trailing",
+        ] {
             assert!(parse(bad).is_err(), "{bad}");
         }
     }

@@ -5,7 +5,7 @@
 //!
 //! * [`rng`] — a deterministic ChaCha-based PRNG (seeded, reproducible
 //!   across platforms) replacing `rand`/`rand_chacha`;
-//! * [`json`] — a small JSON value model, parser and writer with
+//! * [`mod@json`] — a small JSON value model, parser and writer with
 //!   [`json::ToJson`]/[`json::FromJson`] traits replacing
 //!   `serde`/`serde_json`;
 //! * [`sync`] — an unbounded MPMC channel with clonable receivers and

@@ -40,7 +40,9 @@ pub fn default_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map_or(1, |p| p.get()).min(MAX_AUTO_THREADS)
+    std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(MAX_AUTO_THREADS)
 }
 
 /// How one [`par_map`] call used the pool — fodder for the
@@ -76,11 +78,23 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let threads = if threads == 0 { default_threads() } else { threads };
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
     let workers = threads.min(items.len());
     if workers <= 1 {
-        let out: Vec<R> = items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
-        let stats = PoolStats { threads: 1, items: items.len(), chunks: 1.min(items.len()) };
+        let out: Vec<R> = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+        let stats = PoolStats {
+            threads: 1,
+            items: items.len(),
+            chunks: 1.min(items.len()),
+        };
         return (out, stats);
     }
 
@@ -132,7 +146,14 @@ where
         .into_iter()
         .map(|s| s.expect("every item mapped exactly once"))
         .collect();
-    (out, PoolStats { threads: workers, items: items.len(), chunks })
+    (
+        out,
+        PoolStats {
+            threads: workers,
+            items: items.len(),
+            chunks,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -193,6 +214,13 @@ mod tests {
     fn serial_stats_report_one_thread() {
         let items: Vec<u32> = (0..5).collect();
         let (_, stats) = par_map_indexed(&items, 1, |_, &x| x);
-        assert_eq!(stats, PoolStats { threads: 1, items: 5, chunks: 1 });
+        assert_eq!(
+            stats,
+            PoolStats {
+                threads: 1,
+                items: 5,
+                chunks: 1
+            }
+        );
     }
 }

@@ -50,7 +50,12 @@ impl ChaCha8Rng {
                 pair[1] = (w >> 32) as u32;
             }
         }
-        ChaCha8Rng { key, counter: 0, buf: [0; 16], idx: 16 }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
     }
 
     fn refill(&mut self) {

@@ -85,10 +85,19 @@ impl std::error::Error for RecvTimeoutError {}
 /// Creates an unbounded channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
         cond: Condvar::new(),
     });
-    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
 }
 
 impl<T> Sender<T> {
@@ -109,7 +118,9 @@ impl<T> Sender<T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.shared.inner.lock().unwrap().senders += 1;
-        Sender { shared: Arc::clone(&self.shared) }
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -157,7 +168,11 @@ impl<T> Receiver<T> {
             if now >= deadline {
                 return Err(RecvTimeoutError::Timeout);
             }
-            let (guard, _) = self.shared.cond.wait_timeout(inner, deadline - now).unwrap();
+            let (guard, _) = self
+                .shared
+                .cond
+                .wait_timeout(inner, deadline - now)
+                .unwrap();
             inner = guard;
         }
     }
@@ -192,7 +207,9 @@ impl<T> Iterator for Iter<'_, T> {
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
         self.shared.inner.lock().unwrap().receivers += 1;
-        Receiver { shared: Arc::clone(&self.shared) }
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 

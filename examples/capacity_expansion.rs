@@ -12,7 +12,10 @@ use flexwan::topo::tbackbone::{t_backbone, TBackboneConfig};
 
 fn main() {
     let backbone = t_backbone(&TBackboneConfig::default());
-    let cfg = PlannerConfig { k_paths: 5, ..PlannerConfig::default() };
+    let cfg = PlannerConfig {
+        k_paths: 5,
+        ..PlannerConfig::default()
+    };
     println!(
         "T-backbone: {} sites, {} fibers, {} IP links, {:.1} Tbps total demand\n",
         backbone.optical.num_nodes(),
@@ -21,7 +24,10 @@ fn main() {
         backbone.ip.total_demand_gbps() as f64 / 1000.0
     );
 
-    println!("{:<10} {:>6} {:>14} {:>16} {:>10}", "scheme", "scale", "transponders", "spectrum (GHz)", "feasible");
+    println!(
+        "{:<10} {:>6} {:>14} {:>16} {:>10}",
+        "scheme", "scale", "transponders", "spectrum (GHz)", "feasible"
+    );
     for scheme in Scheme::ALL {
         for scale in [1u64, 3, 5] {
             let p = plan(scheme, &backbone.optical, &backbone.ip.scaled(scale), &cfg);
@@ -35,6 +41,9 @@ fn main() {
             );
         }
         let max = max_feasible_scale(scheme, &backbone.optical, &backbone.ip, &cfg, 12);
-        println!("{:<10} supports up to {max}x the present-day demand\n", scheme.name());
+        println!(
+            "{:<10} supports up to {max}x the present-day demand\n",
+            scheme.name()
+        );
     }
 }

@@ -27,7 +27,11 @@ fn main() {
     ip.add_link(ams, par, 400);
     let cfg = PlannerConfig::default();
     let year1 = plan(Scheme::FlexWan, &optical, &ip, &cfg);
-    println!("year 1: {} wavelengths, {:.0} GHz", year1.transponder_count(), year1.spectrum_usage_ghz());
+    println!(
+        "year 1: {} wavelengths, {:.0} GHz",
+        year1.transponder_count(),
+        year1.spectrum_usage_ghz()
+    );
 
     // Year 2: demands double and FRA–PAR appears. Incremental planning
     // provisions only the deficit.

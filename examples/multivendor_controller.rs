@@ -73,7 +73,12 @@ fn main() {
     println!("\nmisconnection drill (wavelength at pixels 9..15, wired to port 4):");
     let channel = PixelRange::new(9, PixelWidth::new(6));
     for (label, wss) in [
-        ("legacy fixed-grid OLS", WssKind::FixedGrid { spacing: PixelWidth::new(6) }),
+        (
+            "legacy fixed-grid OLS",
+            WssKind::FixedGrid {
+                spacing: PixelWidth::new(6),
+            },
+        ),
         ("spectrum-sliced OLS", WssKind::PixelWise),
     ] {
         match recover_misconnection(wss, 4, channel) {

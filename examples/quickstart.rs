@@ -33,7 +33,10 @@ fn main() {
 
     // 3. Plan each scheme and compare.
     let cfg = PlannerConfig::default();
-    println!("{:<10} {:>12} {:>14} {:>10}", "scheme", "transponders", "spectrum (GHz)", "feasible");
+    println!(
+        "{:<10} {:>12} {:>14} {:>10}",
+        "scheme", "transponders", "spectrum (GHz)", "feasible"
+    );
     for scheme in Scheme::ALL {
         let p = plan(scheme, &optical, &ip, &cfg);
         println!(

@@ -39,7 +39,11 @@ fn main() {
     sim.tick(&mut store, 10, &[primary]); // the backhoe strikes
     let cut_fibers = detector.scan(&store);
     println!("tick 10: telemetry flags cut fibers {cut_fibers:?}");
-    let scenario = FailureScenario { id: 0, cuts: cut_fibers, probability: 1.0 };
+    let scenario = FailureScenario {
+        id: 0,
+        cuts: cut_fibers,
+        probability: 1.0,
+    };
 
     // --- Restoration under each scheme. ---
     for scheme in [Scheme::Radwan, Scheme::FlexWan] {

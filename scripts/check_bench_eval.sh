@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# Perf-regression gate for the PR 4 parallel/caching work.
+# Perf-regression gate for the bench_eval harness.
 #
 # Compares a freshly generated BENCH_eval.json (first argument) against
 # the checked-in baseline (second argument, default
 # results/BENCH_eval.json): for each timed section (plan / restore /
-# sweep) the new serial and parallel wall-times may be at most
-# TOLERANCE_PCT percent slower than the baseline. Deterministic fields
-# (route-cache hits/misses/entries) must match exactly — a changed count
-# means the memoization itself regressed, not the machine.
+# sweep, and the exact-model build/solve/re-solve timings) the new
+# wall-times may be at most TOLERANCE_PCT percent slower than the
+# baseline (the exact-model timings, which time a single branch-and-bound
+# solve rather than a large aggregate and so see much more scheduler
+# noise, get their own looser EXACT_TOLERANCE_PCT). Deterministic fields (route-cache hits/misses/entries, the
+# exact model's γ count and restored total) must match exactly — a
+# changed count means the logic itself regressed, not the machine. The
+# exact-build scaling probe must stay near-linear: doubling the γ count
+# may grow build time by at most LINEARITY_SLACK times the γ ratio
+# (the old quadratic builder sat at the ratio squared).
 #
 # Usage: scripts/check_bench_eval.sh BENCH_eval.json [results/BENCH_eval.json]
 set -euo pipefail
@@ -15,6 +21,7 @@ set -euo pipefail
 new="${1:?usage: check_bench_eval.sh NEW.json [BASELINE.json]}"
 base="${2:-results/BENCH_eval.json}"
 tolerance_pct="${TOLERANCE_PCT:-25}"
+exact_tolerance_pct="${EXACT_TOLERANCE_PCT:-75}"
 
 # POSIX awk only; the JSON is our own canonical pretty-printer's output
 # (one "key": value per line), so line-oriented extraction is exact.
@@ -45,6 +52,22 @@ for section in plan restore sweep; do
   done
 done
 
+for kind in build_ms solve_ms resolve_warm_ms resolve_scratch_ms; do
+  b=$(field "$base" exact "$kind")
+  n=$(field "$new" exact "$kind")
+  if [ -z "$b" ] || [ -z "$n" ]; then
+    echo "FAIL: exact.$kind missing (baseline='$b' new='$n')"
+    bad=1
+    continue
+  fi
+  ok=$(awk -v b="$b" -v n="$n" -v tol="$exact_tolerance_pct" \
+    'BEGIN { print (n <= b * (1 + tol / 100)) ? 1 : 0 }')
+  verdict=ok
+  if [ "$ok" != 1 ]; then verdict="REGRESSED (>${exact_tolerance_pct}%)"; bad=1; fi
+  printf '%-7s %-18s baseline %10.2fms  new %10.2fms  %s\n' \
+    exact "$kind" "$b" "$n" "$verdict"
+done
+
 for key in hits misses entries; do
   b=$(field "$base" route_cache "$key")
   n=$(field "$new" route_cache "$key")
@@ -55,6 +78,46 @@ for key in hits misses entries; do
     printf '%-7s %-12s %s (unchanged)\n' cache "$key" "$b"
   fi
 done
+
+for key in gammas restored_gbps_total; do
+  b=$(field "$base" exact "$key")
+  n=$(field "$new" exact "$key")
+  if [ "$b" != "$n" ]; then
+    echo "FAIL: exact.$key changed: baseline $b, new $n"
+    bad=1
+  else
+    printf '%-7s %-18s %s (unchanged)\n' exact "$key" "$b"
+  fi
+done
+
+for key in gammas_small gammas_large; do
+  b=$(field "$base" exact_build_scaling "$key")
+  n=$(field "$new" exact_build_scaling "$key")
+  if [ "$b" != "$n" ]; then
+    echo "FAIL: exact_build_scaling.$key changed: baseline $b, new $n"
+    bad=1
+  else
+    printf '%-7s %-18s %s (unchanged)\n' scaling "$key" "$b"
+  fi
+done
+
+# Linearity gate: time ratio must stay within LINEARITY_SLACK x the
+# gamma ratio (computed from the *new* run — this is a property of the
+# builder, not a comparison against the baseline machine).
+linearity_slack="${LINEARITY_SLACK:-1.75}"
+gr=$(field "$new" exact_build_scaling gamma_ratio)
+tr=$(field "$new" exact_build_scaling time_ratio)
+if [ -z "$gr" ] || [ -z "$tr" ]; then
+  echo "FAIL: exact_build_scaling ratios missing (gamma='$gr' time='$tr')"
+  bad=1
+else
+  ok=$(awk -v g="$gr" -v t="$tr" -v s="$linearity_slack" \
+    'BEGIN { print (t <= g * s) ? 1 : 0 }')
+  verdict=ok
+  if [ "$ok" != 1 ]; then verdict="SUPERLINEAR (> ${linearity_slack}x gamma ratio)"; bad=1; fi
+  printf '%-7s %-18s gamma ratio %.2f  time ratio %.2f  %s\n' \
+    scaling linearity "$gr" "$tr" "$verdict"
+fi
 
 if [ "$bad" != 0 ]; then
   echo "bench_eval regression check FAILED"

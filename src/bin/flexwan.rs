@@ -82,7 +82,9 @@ fn parse_flags(args: &[String]) -> Result<Opts, String> {
             map.entry(key.to_string()).or_default();
             i += 1;
         } else {
-            let v = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
             map.entry(key.to_string()).or_default().push(v.clone());
             i += 2;
         }
@@ -138,7 +140,11 @@ fn cmd_plan(opts: &Opts) -> Result<(), String> {
     let b = load_backbone(opts)?;
     let scheme = parse_scheme(opts)?;
     let cfg = parse_config(opts)?;
-    let scale: u64 = opts.one("scale").unwrap_or("1").parse().map_err(|_| "bad --scale")?;
+    let scale: u64 = opts
+        .one("scale")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --scale")?;
     let ip = b.ip.scaled(scale);
     let p = plan(scheme, &b.optical, &ip, &cfg);
     println!(
@@ -162,7 +168,11 @@ fn cmd_restore(opts: &Opts) -> Result<(), String> {
     let b = load_backbone(opts)?;
     let scheme = parse_scheme(opts)?;
     let cfg = parse_config(opts)?;
-    let scale: u64 = opts.one("scale").unwrap_or("1").parse().map_err(|_| "bad --scale")?;
+    let scale: u64 = opts
+        .one("scale")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --scale")?;
     let ip = b.ip.scaled(scale);
     // Cuts are named A-B (all parallel fibers between A and B are cut).
     let mut cuts = Vec::new();
@@ -170,7 +180,10 @@ fn cmd_restore(opts: &Opts) -> Result<(), String> {
         let (a, b_name) = spec
             .split_once('-')
             .ok_or_else(|| format!("--cut wants SRC-DST, got {spec}"))?;
-        let na = b.optical.node_by_name(a).ok_or_else(|| format!("unknown node {a}"))?;
+        let na = b
+            .optical
+            .node_by_name(a)
+            .ok_or_else(|| format!("unknown node {a}"))?;
         let nb = b
             .optical
             .node_by_name(b_name)
@@ -196,7 +209,11 @@ fn cmd_restore(opts: &Opts) -> Result<(), String> {
     } else {
         Vec::new()
     };
-    let scenario = FailureScenario { id: 0, cuts, probability: 1.0 };
+    let scenario = FailureScenario {
+        id: 0,
+        cuts,
+        probability: 1.0,
+    };
     let r = restore(&p, &b.optical, &ip, &scenario, &spares, &cfg);
     println!(
         "{}: affected {} Gbps, restored {} Gbps (capability {:.1}%)",
@@ -212,7 +229,9 @@ fn cmd_restore(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_export(opts: &Opts) -> Result<(), String> {
-    let name = opts.one("builtin").ok_or("need --builtin tbackbone|cernet")?;
+    let name = opts
+        .one("builtin")
+        .ok_or("need --builtin tbackbone|cernet")?;
     let b = builtin_backbone(name)?;
     let json = TopologyFile::from_backbone(&b).to_json();
     match opts.one("out") {

@@ -12,11 +12,10 @@
 //! }
 //! ```
 
-
 use flexwan_topo::graph::Graph;
-use flexwan_util::json::{self, FromJson, ToJson, Value};
 use flexwan_topo::ip::IpTopology;
 use flexwan_topo::tbackbone::Backbone;
+use flexwan_util::json::{self, FromJson, ToJson, Value};
 
 /// A fiber segment in the interchange format.
 #[derive(Debug, Clone)]
@@ -96,7 +95,11 @@ impl ToJson for FiberSpec {
 
 impl FromJson for FiberSpec {
     fn from_json(v: &Value) -> Result<Self, json::Error> {
-        Ok(FiberSpec { a: v.field("a")?, b: v.field("b")?, km: v.field("km")? })
+        Ok(FiberSpec {
+            a: v.field("a")?,
+            b: v.field("b")?,
+            km: v.field("km")?,
+        })
     }
 }
 
@@ -112,7 +115,11 @@ impl ToJson for LinkSpec {
 
 impl FromJson for LinkSpec {
     fn from_json(v: &Value) -> Result<Self, json::Error> {
-        Ok(LinkSpec { src: v.field("src")?, dst: v.field("dst")?, gbps: v.field("gbps")? })
+        Ok(LinkSpec {
+            src: v.field("src")?,
+            dst: v.field("dst")?,
+            gbps: v.field("gbps")?,
+        })
     }
 }
 
@@ -172,7 +179,10 @@ impl TopologyFile {
                 return Err(LoadError::Invalid(format!("self-loop fiber at {}", f.a)));
             }
             if f.km == 0 {
-                return Err(LoadError::Invalid(format!("zero-length fiber {}–{}", f.a, f.b)));
+                return Err(LoadError::Invalid(format!(
+                    "zero-length fiber {}–{}",
+                    f.a, f.b
+                )));
             }
             g.add_edge(a, b, f.km);
         }
@@ -180,7 +190,10 @@ impl TopologyFile {
         for l in &self.links {
             let (src, dst) = (resolve(&l.src)?, resolve(&l.dst)?);
             if src == dst {
-                return Err(LoadError::Invalid(format!("self-loop IP link at {}", l.src)));
+                return Err(LoadError::Invalid(format!(
+                    "self-loop IP link at {}",
+                    l.src
+                )));
             }
             if l.gbps == 0 || l.gbps % 100 != 0 {
                 return Err(LoadError::Invalid(format!(
@@ -241,7 +254,10 @@ mod tests {
         assert_eq!(b.optical.num_edges(), 3);
         assert_eq!(b.ip.num_links(), 1);
         let back = TopologyFile::from_backbone(&b);
-        let rebuilt = TopologyFile::from_json(&back.to_json()).unwrap().build().unwrap();
+        let rebuilt = TopologyFile::from_json(&back.to_json())
+            .unwrap()
+            .build()
+            .unwrap();
         assert_eq!(rebuilt.optical, b.optical);
         assert_eq!(rebuilt.ip, b.ip);
     }
@@ -265,13 +281,19 @@ mod tests {
     fn rejects_duplicate_nodes_and_self_loops() {
         let dup = SAMPLE.replace("\"C\"]", "\"A\"]");
         assert!(TopologyFile::from_json(&dup).unwrap().build().is_err());
-        let selfloop = SAMPLE.replace("{\"a\": \"A\", \"b\": \"B\", \"km\": 100}", "{\"a\": \"A\", \"b\": \"A\", \"km\": 100}");
+        let selfloop = SAMPLE.replace(
+            "{\"a\": \"A\", \"b\": \"B\", \"km\": 100}",
+            "{\"a\": \"A\", \"b\": \"A\", \"km\": 100}",
+        );
         assert!(TopologyFile::from_json(&selfloop).unwrap().build().is_err());
     }
 
     #[test]
     fn rejects_malformed_json() {
-        assert!(matches!(TopologyFile::from_json("{nope"), Err(LoadError::Json(_))));
+        assert!(matches!(
+            TopologyFile::from_json("{nope"),
+            Err(LoadError::Json(_))
+        ));
     }
 
     #[test]
@@ -279,7 +301,12 @@ mod tests {
         use flexwan_core::planning::{plan, PlannerConfig};
         use flexwan_core::Scheme;
         let b = TopologyFile::from_json(SAMPLE).unwrap().build().unwrap();
-        let p = plan(Scheme::FlexWan, &b.optical, &b.ip, &PlannerConfig::default());
+        let p = plan(
+            Scheme::FlexWan,
+            &b.optical,
+            &b.ip,
+            &PlannerConfig::default(),
+        );
         assert!(p.is_feasible());
     }
 }

@@ -53,7 +53,10 @@ impl MarginReport {
 
     /// The thinnest margin in the plan, dB.
     pub fn worst_margin_db(&self) -> f64 {
-        self.margins.iter().map(WavelengthMargin::margin_db).fold(f64::INFINITY, f64::min)
+        self.margins
+            .iter()
+            .map(WavelengthMargin::margin_db)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Mean margin, dB.
@@ -61,7 +64,10 @@ impl MarginReport {
         if self.margins.is_empty() {
             return 0.0;
         }
-        self.margins.iter().map(WavelengthMargin::margin_db).sum::<f64>()
+        self.margins
+            .iter()
+            .map(WavelengthMargin::margin_db)
+            .sum::<f64>()
             / self.margins.len() as f64
     }
 }
@@ -100,7 +106,10 @@ mod tests {
     #[test]
     fn planned_wavelengths_mostly_clear_physics() {
         let b = t_backbone(&TBackboneConfig::default());
-        let cfg = PlannerConfig { k_paths: 5, ..PlannerConfig::default() };
+        let cfg = PlannerConfig {
+            k_paths: 5,
+            ..PlannerConfig::default()
+        };
         let testbed = Testbed::default();
         for scheme in Scheme::ALL {
             let p = plan(scheme, &b.optical, &b.ip, &cfg);
@@ -126,7 +135,10 @@ mod tests {
     #[test]
     fn shorter_paths_have_fatter_margins() {
         let b = t_backbone(&TBackboneConfig::default());
-        let cfg = PlannerConfig { k_paths: 5, ..PlannerConfig::default() };
+        let cfg = PlannerConfig {
+            k_paths: 5,
+            ..PlannerConfig::default()
+        };
         let p = plan(Scheme::FixedGrid100G, &b.optical, &b.ip, &cfg);
         let report = validate_plan(&p, &Testbed::default());
         // 100G-WAN uses one format everywhere, so margin is a pure
@@ -145,14 +157,14 @@ mod tests {
             .max_by_key(|(_, w)| w.path.length_km)
             .unwrap()
             .0;
-        assert!(
-            report.margins[shortest].margin_db() > report.margins[longest].margin_db() + 3.0
-        );
+        assert!(report.margins[shortest].margin_db() > report.margins[longest].margin_db() + 3.0);
     }
 
     #[test]
     fn empty_plan_is_trivially_healthy() {
-        let report = MarginReport { margins: Vec::new() };
+        let report = MarginReport {
+            margins: Vec::new(),
+        };
         assert_eq!(report.healthy_fraction(), 1.0);
         assert_eq!(report.mean_margin_db(), 0.0);
     }

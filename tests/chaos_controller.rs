@@ -39,7 +39,10 @@ fn backbone() -> (Graph, IpTopology, PlannerConfig) {
     ip.add_link(a, c, 600);
     ip.add_link(a, b, 400);
     ip.add_link(b, d, 500);
-    let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+    let cfg = PlannerConfig {
+        grid: SpectrumGrid::new(96),
+        ..Default::default()
+    };
     (g, ip, cfg)
 }
 
@@ -48,7 +51,9 @@ fn backbone() -> (Graph, IpTopology, PlannerConfig) {
 fn live_passbands(ctrl: &Controller) -> HashMap<NodeId, Vec<PixelRange>> {
     let mut at: HashMap<NodeId, Vec<PixelRange>> = HashMap::new();
     for id in (0..ctrl.devmgr.len() as u32).map(DeviceId) {
-        let Ok(state) = ctrl.devmgr.device(id).session.get_state() else { continue };
+        let Ok(state) = ctrl.devmgr.device(id).session.get_state() else {
+            continue;
+        };
         let site = state.descriptor.site;
         match state.hardware {
             Hardware::Mux(m) => {
@@ -77,7 +82,11 @@ fn live_passbands(ctrl: &Controller) -> HashMap<NodeId, Vec<PixelRange>> {
 fn channels_of(p: &Plan) -> Vec<ConfiguredChannel> {
     p.wavelengths
         .iter()
-        .map(|w| ConfiguredChannel { path: w.path.clone(), channel: w.channel, vendor: Vendor::ALL[0] })
+        .map(|w| ConfiguredChannel {
+            path: w.path.clone(),
+            channel: w.channel,
+            vendor: Vendor::ALL[0],
+        })
         .collect()
 }
 
@@ -89,13 +98,29 @@ fn chaos_run(seed: u64) -> (bool, usize, Vec<DeviceId>, CtrlStats, FaultStats, V
     let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
     assert!(p.is_feasible());
     let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
-    let mixed = DeviceFaults { drop_prob: 0.15, delay_reply_prob: 0.15, ..Default::default() };
+    let mixed = DeviceFaults {
+        drop_prob: 0.15,
+        delay_reply_prob: 0.15,
+        ..Default::default()
+    };
     let fault_plan = FaultPlan::uniform(seed, mixed.clone())
         // MUX at site a boots slow: its first two edit-configs bounce.
-        .device(DeviceId(0), DeviceFaults { reject_first: 2, ..mixed.clone() })
+        .device(
+            DeviceId(0),
+            DeviceFaults {
+                reject_first: 2,
+                ..mixed.clone()
+            },
+        )
         // ROADM at site b crashes on its first express edit (link a–c
         // routes a–b–c, so the edit definitely arrives).
-        .device(DeviceId(3), DeviceFaults { crash_after: Some(0), ..mixed });
+        .device(
+            DeviceId(3),
+            DeviceFaults {
+                crash_after: Some(0),
+                ..mixed
+            },
+        );
     let injector = Arc::new(FaultInjector::new(fault_plan));
     ctrl.arm_faults(injector.clone());
 
@@ -108,9 +133,15 @@ fn chaos_run(seed: u64) -> (bool, usize, Vec<DeviceId>, CtrlStats, FaultStats, V
     // (convergence itself ran entirely under fire).
     injector.lift();
     assert!(report.converged, "seed {seed}: did not converge");
-    assert!(ctrl.audit_plan(&p).is_empty(), "seed {seed}: audit findings");
+    assert!(
+        ctrl.audit_plan(&p).is_empty(),
+        "seed {seed}: audit findings"
+    );
     let channels = channels_of(&p);
-    assert!(find_conflicts(&channels).is_empty(), "seed {seed}: conflicts");
+    assert!(
+        find_conflicts(&channels).is_empty(),
+        "seed {seed}: conflicts"
+    );
     assert!(
         find_inconsistencies(&channels, &live_passbands(&ctrl)).is_empty(),
         "seed {seed}: inconsistencies"
@@ -120,10 +151,23 @@ fn chaos_run(seed: u64) -> (bool, usize, Vec<DeviceId>, CtrlStats, FaultStats, V
     // (Revision numbers may skew under read-repair — the journal stamps
     // the retry's revision while the device applied an earlier attempt —
     // so the invariant is about configuration *content*.)
-    let revisions: Vec<u64> = ctrl.journal().entries().iter().map(|e| e.revision).collect();
-    assert!(revisions.windows(2).all(|w| w[0] < w[1]), "journal out of order");
+    let revisions: Vec<u64> = ctrl
+        .journal()
+        .entries()
+        .iter()
+        .map(|e| e.revision)
+        .collect();
+    assert!(
+        revisions.windows(2).all(|w| w[0] < w[1]),
+        "journal out of order"
+    );
     for e in ctrl.journal().entries() {
-        let state = ctrl.devmgr.device(e.device).session.get_state().expect("converged plane");
+        let state = ctrl
+            .devmgr
+            .device(e.device)
+            .session
+            .get_state()
+            .expect("converged plane");
         let latest = ctrl.journal().latest(e.device).unwrap();
         assert!(
             flexwan::ctrl::config_in_effect(&state, &latest.config),
@@ -133,7 +177,14 @@ fn chaos_run(seed: u64) -> (bool, usize, Vec<DeviceId>, CtrlStats, FaultStats, V
         );
     }
     let stats = ctrl.stats().clone();
-    (report.converged, report.passes, report.restarted, stats, injector.stats(), revisions)
+    (
+        report.converged,
+        report.passes,
+        report.restarted,
+        stats,
+        injector.stats(),
+        revisions,
+    )
 }
 
 #[test]
@@ -146,9 +197,15 @@ fn seeded_mixed_faults_converge_deterministically() {
     // The scripted faults actually fired and were healed.
     assert_eq!(faults.crashes, 1, "the one-shot crash fired");
     assert!(faults.rejects >= 2, "the rejecting boot fired");
-    assert!(faults.drops + faults.delayed_replies > 0, "mixed faults fired");
+    assert!(
+        faults.drops + faults.delayed_replies > 0,
+        "mixed faults fired"
+    );
     assert!(stats.retries > 0, "faults forced retries");
-    assert!(stats.devices_restarted >= 1, "the crashed ROADM was replaced");
+    assert!(
+        stats.devices_restarted >= 1,
+        "the crashed ROADM was replaced"
+    );
     assert!(restarted.contains(&DeviceId(3)));
 }
 
@@ -178,7 +235,10 @@ fn empty_fault_plan_means_zero_retries() {
     assert_eq!(s.breaker_trips, 0);
     assert_eq!(s.devices_restarted, 0);
     let f = injector.stats();
-    assert_eq!(f.drops + f.delayed_replies + f.rejects + f.crashes + f.stale_reads, 0);
+    assert_eq!(
+        f.drops + f.delayed_replies + f.rejects + f.crashes + f.stale_reads,
+        0
+    );
 }
 
 #[test]
@@ -188,7 +248,10 @@ fn total_blackout_trips_breakers_and_heals_after_lift() {
     let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
     let injector = Arc::new(FaultInjector::new(FaultPlan::uniform(
         11,
-        DeviceFaults { drop_prob: 1.0, ..Default::default() },
+        DeviceFaults {
+            drop_prob: 1.0,
+            ..Default::default()
+        },
     )));
     ctrl.arm_faults(injector.clone());
 
@@ -219,7 +282,10 @@ fn applied_but_unacknowledged_config_converges_without_repair() {
     let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
     let injector = Arc::new(FaultInjector::new(FaultPlan::none().device(
         roadm_b,
-        DeviceFaults { delay_reply_prob: 1.0, ..Default::default() },
+        DeviceFaults {
+            delay_reply_prob: 1.0,
+            ..Default::default()
+        },
     )));
     ctrl.arm_faults(injector.clone());
 
@@ -230,7 +296,10 @@ fn applied_but_unacknowledged_config_converges_without_repair() {
     injector.lift();
     let after = ctrl.converge(&p, 8);
     assert!(after.converged);
-    assert_eq!(after.repaired, 0, "the express was already in effect: nothing to re-push");
+    assert_eq!(
+        after.repaired, 0,
+        "the express was already in effect: nothing to re-push"
+    );
     assert!(ctrl.audit_plan(&p).is_empty());
 }
 
@@ -242,7 +311,10 @@ fn breaker_fast_fails_while_open() {
     let mux_a = DeviceId(0);
     let injector = Arc::new(FaultInjector::new(FaultPlan::none().device(
         mux_a,
-        DeviceFaults { drop_prob: 1.0, ..Default::default() },
+        DeviceFaults {
+            drop_prob: 1.0,
+            ..Default::default()
+        },
     )));
     ctrl.arm_faults(injector);
     assert_eq!(ctrl.breaker_state(mux_a), BreakerState::Closed);
@@ -252,7 +324,11 @@ fn breaker_fast_fails_while_open() {
     // terminating at site a).
     let _ = ctrl.apply_plan(&p, &g);
     let _ = ctrl.apply_plan(&p, &g);
-    assert_eq!(ctrl.breaker_state(mux_a), BreakerState::Open, "persistent failure opens");
+    assert_eq!(
+        ctrl.breaker_state(mux_a),
+        BreakerState::Open,
+        "persistent failure opens"
+    );
     assert_eq!(ctrl.quarantined(), vec![mux_a]);
     let sends_before = ctrl.stats().sends;
     let retries_before = ctrl.stats().retries;
@@ -261,7 +337,10 @@ fn breaker_fast_fails_while_open() {
     assert!(ctrl.stats().sends > sends_before);
     let new_retries = ctrl.stats().retries - retries_before;
     // Retries happened only against healthy devices (none are faulted).
-    assert_eq!(new_retries, 0, "open breaker must fast-fail without retrying");
+    assert_eq!(
+        new_retries, 0,
+        "open breaker must fast-fail without retrying"
+    );
 }
 
 // ---- Cluster-level chaos: heartbeat loss and region partitions ----
@@ -272,10 +351,18 @@ fn failover_needs_exactly_heartbeat_tolerance_misses() {
     let sched = ClusterFaultSchedule::new().silence(0, 0, HEARTBEAT_TOLERANCE as usize);
     for round in 0..(HEARTBEAT_TOLERANCE as usize - 1) {
         c.heartbeat_round_faulted(round, &sched);
-        assert_eq!(c.primary(), Ok(0), "tolerance not yet exhausted at round {round}");
+        assert_eq!(
+            c.primary(),
+            Ok(0),
+            "tolerance not yet exhausted at round {round}"
+        );
     }
     c.heartbeat_round_faulted(HEARTBEAT_TOLERANCE as usize - 1, &sched);
-    assert_eq!(c.primary(), Ok(1), "exactly {HEARTBEAT_TOLERANCE} misses fail over");
+    assert_eq!(
+        c.primary(),
+        Ok(1),
+        "exactly {HEARTBEAT_TOLERANCE} misses fail over"
+    );
 }
 
 #[test]

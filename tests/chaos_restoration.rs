@@ -29,7 +29,10 @@ fn world() -> (Graph, IpTopology, PlannerConfig) {
     g.add_edge(c, b, 600);
     let mut ip = IpTopology::new();
     ip.add_link(a, b, 300);
-    let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+    let cfg = PlannerConfig {
+        grid: SpectrumGrid::new(96),
+        ..Default::default()
+    };
     (g, ip, cfg)
 }
 
@@ -47,7 +50,10 @@ fn fiber_cut_drill_restores_around_the_cut() {
     assert_eq!(r.affected_gbps, 300);
     assert_eq!(r.restored_gbps, 300, "FlexWAN revives the full link");
     for rw in &r.restored {
-        assert!(!rw.wavelength.path.uses_edge(primary), "restoration avoids the cut");
+        assert!(
+            !rw.wavelength.path.uses_edge(primary),
+            "restoration avoids the cut"
+        );
         assert!(rw.wavelength.format.reach_km >= rw.wavelength.path.length_km);
     }
 }
@@ -64,7 +70,10 @@ fn amplifier_failure_on_long_haul_cuts_but_metro_span_survives() {
 
     let s = physical_scenario(
         1,
-        &[PhysicalFault::AmplifierFailure(metro), PhysicalFault::AmplifierFailure(haul)],
+        &[
+            PhysicalFault::AmplifierFailure(metro),
+            PhysicalFault::AmplifierFailure(haul),
+        ],
         &g,
         &tb,
     );
@@ -75,7 +84,10 @@ fn amplifier_failure_on_long_haul_cuts_but_metro_span_survives() {
     // no-op: the amplifier failure did not touch its traffic.
     let mut ip = IpTopology::new();
     ip.add_link(a, b, 100);
-    let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..Default::default() };
+    let cfg = PlannerConfig {
+        grid: SpectrumGrid::new(96),
+        ..Default::default()
+    };
     let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
     let r = restore(&p, &g, &ip, &s, &[], &cfg);
     assert_eq!(r.affected_gbps, 0);
@@ -113,7 +125,11 @@ fn orchestrator_drill_succeeds_against_faulted_device_plane() {
     let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
     let injector = Arc::new(FaultInjector::new(FaultPlan::uniform(
         0xD411,
-        DeviceFaults { drop_prob: 0.2, delay_reply_prob: 0.1, ..Default::default() },
+        DeviceFaults {
+            drop_prob: 0.2,
+            delay_reply_prob: 0.1,
+            ..Default::default()
+        },
     )));
     ctrl.arm_faults(injector.clone());
 
@@ -127,7 +143,12 @@ fn orchestrator_drill_succeeds_against_faulted_device_plane() {
     }
     sim.tick(&mut store, 3, &[primary]);
     match orch.tick(&store, &mut ctrl) {
-        TickOutcome::Restored { lost_gbps, revived_gbps, apply_rejections, .. } => {
+        TickOutcome::Restored {
+            lost_gbps,
+            revived_gbps,
+            apply_rejections,
+            ..
+        } => {
             assert_eq!(lost_gbps, 300);
             assert_eq!(revived_gbps, 300);
             assert_eq!(apply_rejections, 0, "retries must absorb the chaos");
@@ -138,10 +159,18 @@ fn orchestrator_drill_succeeds_against_faulted_device_plane() {
     assert!(!orch.live_restoration()[0].path.uses_edge(primary));
     // The chaos was real: the injector fired, the controller retried.
     let f = injector.stats();
-    assert!(f.drops + f.delayed_replies > 0, "no faults fired at this seed");
+    assert!(
+        f.drops + f.delayed_replies > 0,
+        "no faults fired at this seed"
+    );
     assert!(ctrl.stats().retries > 0);
     // Journal survived the drill in order.
-    let revs: Vec<u64> = ctrl.journal().entries().iter().map(|e| e.revision).collect();
+    let revs: Vec<u64> = ctrl
+        .journal()
+        .entries()
+        .iter()
+        .map(|e| e.revision)
+        .collect();
     assert!(revs.windows(2).all(|w| w[0] < w[1]));
 
     // Repair retires the restoration cleanly, still under chaos.
@@ -162,7 +191,11 @@ fn orchestrator_drill_is_deterministic() {
         let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
         let injector = Arc::new(FaultInjector::new(FaultPlan::uniform(
             0xD411,
-            DeviceFaults { drop_prob: 0.2, delay_reply_prob: 0.1, ..Default::default() },
+            DeviceFaults {
+                drop_prob: 0.2,
+                delay_reply_prob: 0.1,
+                ..Default::default()
+            },
         )));
         ctrl.arm_faults(injector.clone());
         let mut orch = Orchestrator::new(&g, &ip, p, cfg, Vec::new());

@@ -56,10 +56,17 @@ fn full_lifecycle() {
     assert_eq!(detected, vec![victim]);
 
     // 3. Restore and verify the revived wavelengths avoid the cut.
-    let scenario = FailureScenario { id: 0, cuts: detected, probability: 1.0 };
+    let scenario = FailureScenario {
+        id: 0,
+        cuts: detected,
+        probability: 1.0,
+    };
     let r = restore(&p, &g, &ip, &scenario, &[], &cfg);
     assert!(r.affected_gbps > 0);
-    assert!(r.restored_gbps > 0, "restoration found nothing on a ring topology");
+    assert!(
+        r.restored_gbps > 0,
+        "restoration found nothing on a ring topology"
+    );
     for rw in &r.restored {
         assert!(!rw.wavelength.path.uses_edge(victim));
     }
@@ -67,9 +74,7 @@ fn full_lifecycle() {
     // 4. Push the restoration configs through a fresh controller (the
     //    restored channels coexist with surviving ones).
     let mut survived = p.clone();
-    survived
-        .wavelengths
-        .retain(|w| !w.path.uses_edge(victim));
+    survived.wavelengths.retain(|w| !w.path.uses_edge(victim));
     survived
         .wavelengths
         .extend(r.restored.iter().map(|rw| rw.wavelength.clone()));

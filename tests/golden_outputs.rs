@@ -26,12 +26,17 @@ use flexwan::topo::tbackbone::{t_backbone, Backbone, TBackboneConfig};
 fn instance() -> (Backbone, PlannerConfig) {
     (
         t_backbone(&TBackboneConfig::default()),
-        PlannerConfig { k_paths: 5, ..PlannerConfig::default() },
+        PlannerConfig {
+            k_paths: 5,
+            ..PlannerConfig::default()
+        },
     )
 }
 
 fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
 }
 
 /// Compares `got` against the checked-in golden file, or rewrites the file
@@ -43,7 +48,10 @@ fn assert_golden(name: &str, got: &str) {
         return;
     }
     let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!("missing golden file {} ({e}); bless with UPDATE_GOLDEN=1", path.display())
+        panic!(
+            "missing golden file {} ({e}); bless with UPDATE_GOLDEN=1",
+            path.display()
+        )
     });
     assert_eq!(
         got,
@@ -60,15 +68,31 @@ fn assert_golden(name: &str, got: &str) {
 fn headline_numbers_match_golden() {
     let (b, cfg) = instance();
     let mut out = String::new();
-    writeln!(out, "# Headline numbers, T-backbone default instance, k_paths=5.").unwrap();
-    writeln!(out, "# Blessed output of tests/golden_outputs.rs; see that file for how to update.").unwrap();
+    writeln!(
+        out,
+        "# Headline numbers, T-backbone default instance, k_paths=5."
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# Blessed output of tests/golden_outputs.rs; see that file for how to update."
+    )
+    .unwrap();
 
     // §7 / Figure 12: deployed cost per scheme at scale 1.
-    let plans: Vec<_> = Scheme::ALL.iter().map(|&s| plan(s, &b.optical, &b.ip, &cfg)).collect();
+    let plans: Vec<_> = Scheme::ALL
+        .iter()
+        .map(|&s| plan(s, &b.optical, &b.ip, &cfg))
+        .collect();
     for (scheme, p) in Scheme::ALL.iter().zip(&plans) {
         assert!(p.is_feasible(), "{scheme} must stay feasible at scale 1");
         writeln!(out, "transponders[{scheme}] = {}", p.transponder_count()).unwrap();
-        writeln!(out, "spectrum_ghz[{scheme}] = {:.2}", p.spectrum_usage_ghz()).unwrap();
+        writeln!(
+            out,
+            "spectrum_ghz[{scheme}] = {:.2}",
+            p.spectrum_usage_ghz()
+        )
+        .unwrap();
     }
 
     // The headline savings percentages (paper: 85 % / 57 % transponders,
@@ -78,13 +102,19 @@ fn headline_numbers_match_golden() {
     writeln!(
         out,
         "transponder_saving_vs_100g_pct = {}",
-        pct(fixed.transponder_count() as f64, flex.transponder_count() as f64)
+        pct(
+            fixed.transponder_count() as f64,
+            flex.transponder_count() as f64
+        )
     )
     .unwrap();
     writeln!(
         out,
         "transponder_saving_vs_radwan_pct = {}",
-        pct(radwan.transponder_count() as f64, flex.transponder_count() as f64)
+        pct(
+            radwan.transponder_count() as f64,
+            flex.transponder_count() as f64
+        )
     )
     .unwrap();
     writeln!(
@@ -111,20 +141,45 @@ fn headline_numbers_match_golden() {
             .map(|s| (s.probability, restore(&p, &b.optical, &ip5, s, &[], &cfg)))
             .collect();
         let rep = restore_report(&results);
-        writeln!(out, "restore_capability_5x[{scheme}] = {:.4}", rep.mean_capability()).unwrap();
+        writeln!(
+            out,
+            "restore_capability_5x[{scheme}] = {:.4}",
+            rep.mean_capability()
+        )
+        .unwrap();
     }
 
     // §8 / Figure 15(a): restored paths are longer than the originals
     // (scale 1, FlexWAN).
     let results: Vec<_> = scenarios
         .iter()
-        .map(|s| (s.probability, restore(flex, &b.optical, &b.ip, s, &[], &cfg)))
+        .map(|s| {
+            (
+                s.probability,
+                restore(flex, &b.optical, &b.ip, s, &[], &cfg),
+            )
+        })
         .collect();
     let rep = restore_report(&results);
-    writeln!(out, "restore_capability_1x[{}] = {:.4}", Scheme::FlexWan, rep.mean_capability())
-        .unwrap();
-    writeln!(out, "restored_paths_longer_fraction = {:.4}", rep.fraction_longer()).unwrap();
-    writeln!(out, "restored_path_max_length_ratio = {:.4}", rep.max_length_ratio()).unwrap();
+    writeln!(
+        out,
+        "restore_capability_1x[{}] = {:.4}",
+        Scheme::FlexWan,
+        rep.mean_capability()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "restored_paths_longer_fraction = {:.4}",
+        rep.fraction_longer()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "restored_path_max_length_ratio = {:.4}",
+        rep.max_length_ratio()
+    )
+    .unwrap();
 
     assert_golden("headline_numbers.txt", &out);
 }
@@ -135,14 +190,27 @@ fn headline_numbers_match_golden() {
 fn reach_gap_and_spectral_efficiency_match_golden() {
     let (b, cfg) = instance();
     let mut out = String::new();
-    writeln!(out, "# Reach-gap / spectral-efficiency summary (Figure 14), exact.").unwrap();
+    writeln!(
+        out,
+        "# Reach-gap / spectral-efficiency summary (Figure 14), exact."
+    )
+    .unwrap();
     for &scheme in Scheme::ALL.iter() {
         let p = plan(scheme, &b.optical, &b.ip, &cfg);
         let mut gaps: Vec<i64> = p.wavelengths.iter().map(|w| w.reach_gap_km()).collect();
         gaps.sort_unstable();
-        let ses: Vec<f64> = p.wavelengths.iter().map(|w| w.spectral_efficiency()).collect();
+        let ses: Vec<f64> = p
+            .wavelengths
+            .iter()
+            .map(|w| w.spectral_efficiency())
+            .collect();
         let mean_se = ses.iter().sum::<f64>() / ses.len() as f64;
-        writeln!(out, "median_reach_gap_km[{scheme}] = {}", gaps[gaps.len() / 2]).unwrap();
+        writeln!(
+            out,
+            "median_reach_gap_km[{scheme}] = {}",
+            gaps[gaps.len() / 2]
+        )
+        .unwrap();
         writeln!(out, "mean_spectral_efficiency[{scheme}] = {mean_se:.4}").unwrap();
     }
     assert_golden("reach_gap_se.txt", &out);

@@ -8,8 +8,8 @@ use std::thread;
 
 use flexwan::core::planning::PlannerConfig;
 use flexwan::core::restore::one_fiber_scenarios;
-use flexwan::core::{plan_observed, restore_observed};
 use flexwan::core::Scheme;
+use flexwan::core::{plan_observed, restore_observed};
 use flexwan::obs::{ManualClock, Obs};
 use flexwan::optical::spectrum::SpectrumGrid;
 use flexwan::topo::graph::Graph;
@@ -35,7 +35,10 @@ fn instance() -> (Graph, IpTopology) {
 /// into `obs`.
 fn run_workload(obs: &Obs) {
     let (g, ip) = instance();
-    let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..PlannerConfig::default() };
+    let cfg = PlannerConfig {
+        grid: SpectrumGrid::new(96),
+        ..PlannerConfig::default()
+    };
     let root = obs.span("workload");
     let p = plan_observed(obs, Some(&root), Scheme::FlexWan, &g, &ip, &cfg);
     for scenario in &one_fiber_scenarios(&g) {
@@ -51,11 +54,19 @@ fn identical_runs_produce_identical_telemetry() {
     let run = || {
         let obs = Obs::with_clock(Arc::new(ManualClock::new()));
         run_workload(&obs);
-        (obs.span_tree(), obs.metrics_json(), obs.metrics_prometheus())
+        (
+            obs.span_tree(),
+            obs.metrics_json(),
+            obs.metrics_prometheus(),
+        )
     };
     let first = run();
     let second = run();
-    assert!(!first.0.is_empty() && first.0.contains("workload"), "{}", first.0);
+    assert!(
+        !first.0.is_empty() && first.0.contains("workload"),
+        "{}",
+        first.0
+    );
     assert!(first.2.contains("planning_runs_total"), "{}", first.2);
     assert!(first.2.contains("restore_runs_total"), "{}", first.2);
     assert_eq!(first, second);
@@ -71,7 +82,9 @@ fn telemetry_is_identical_across_thread_counts() {
     const ITEMS: usize = 12;
     let telemetry = |threads: usize| {
         let obs = Obs::with_clock(Arc::new(ManualClock::new()));
-        let roots: Vec<_> = (0..ITEMS).map(|i| obs.span(format!("item.{i:02}"))).collect();
+        let roots: Vec<_> = (0..ITEMS)
+            .map(|i| obs.span(format!("item.{i:02}")))
+            .collect();
         let per_thread = ITEMS.div_ceil(threads);
         thread::scope(|s| {
             for chunk in roots.chunks(per_thread) {
@@ -99,7 +112,13 @@ fn telemetry_is_identical_across_thread_counts() {
     let single = telemetry(1);
     // 12 roots, 3 children each.
     assert_eq!(single.0.lines().count(), ITEMS * 4, "{}", single.0);
-    assert!(single.1.contains(&format!("work_steps_total {}", ITEMS * 3)), "{}", single.1);
+    assert!(
+        single
+            .1
+            .contains(&format!("work_steps_total {}", ITEMS * 3)),
+        "{}",
+        single.1
+    );
     assert_eq!(single, telemetry(2));
     assert_eq!(single, telemetry(4));
 }
@@ -120,13 +139,20 @@ fn chaos_drill_telemetry_is_deterministic() {
     let drill = || {
         let obs = Obs::with_clock(Arc::new(ManualClock::new()));
         let (g, ip) = instance();
-        let cfg = PlannerConfig { grid: SpectrumGrid::new(96), ..PlannerConfig::default() };
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..PlannerConfig::default()
+        };
         let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
         assert!(p.is_feasible());
 
         let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
         ctrl.set_obs(obs.clone());
-        let faults = DeviceFaults { drop_prob: 0.1, delay_reply_prob: 0.1, ..Default::default() };
+        let faults = DeviceFaults {
+            drop_prob: 0.1,
+            delay_reply_prob: 0.1,
+            ..Default::default()
+        };
         ctrl.arm_faults(Arc::new(FaultInjector::new(FaultPlan::uniform(7, faults))));
         ctrl.apply_plan(&p, &g);
         let report = ctrl.converge(&p, 64);
@@ -144,14 +170,22 @@ fn chaos_drill_telemetry_is_deterministic() {
         }
         sim.tick(&mut store, 3, &[primary]);
         orch.tick(&store, &mut ctrl);
-        (obs.span_tree(), obs.metrics_json(), obs.metrics_prometheus())
+        (
+            obs.span_tree(),
+            obs.metrics_json(),
+            obs.metrics_prometheus(),
+        )
     };
 
     let first = drill();
     assert!(first.0.contains("ctrl.converge"), "{}", first.0);
     assert!(first.0.contains("orch.tick"), "{}", first.0);
     assert!(first.2.contains("ctrl_sends_total"), "{}", first.2);
-    assert!(first.2.contains("orchestrator_restorations_total"), "{}", first.2);
+    assert!(
+        first.2.contains("orchestrator_restorations_total"),
+        "{}",
+        first.2
+    );
     assert!(first.2.contains("telemetry_samples_total"), "{}", first.2);
     assert_eq!(first, drill());
 }

@@ -1,0 +1,216 @@
+//! Round-trip goldens for the exact optimization models: pins the full
+//! output of `planning::solve_exact` (objective + every wavelength) and
+//! `restore::solve_exact` (affected / restored Gbps, with and without
+//! extra spares) on deterministic small instances.
+//!
+//! These files were blessed against the pre-`core::opt` hand-rolled
+//! model builders; the suite therefore proves that rebuilding the same
+//! formulations through the shared variable-space layer leaves both the
+//! objectives and the extracted wavelength sets bit-for-bit unchanged.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p flexwan --test opt_roundtrip
+//! git diff tests/golden/        # review, then commit
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use flexwan::core::planning::{plan, solve_exact, PlannerConfig};
+use flexwan::core::restore::{one_fiber_scenarios, solve_restoration_exact};
+use flexwan::core::Scheme;
+use flexwan::optical::spectrum::SpectrumGrid;
+use flexwan::solver::SolveOptions;
+use flexwan::topo::graph::Graph;
+use flexwan::topo::ip::IpTopology;
+use flexwan_util::rng::ChaCha8Rng;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `got` against the checked-in golden file, or rewrites the
+/// file when `UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "golden output {} changed; if intentional, re-bless with \
+         `UPDATE_GOLDEN=1 cargo test -p flexwan --test opt_roundtrip` \
+         and commit the diff",
+        path.display()
+    );
+}
+
+/// Mirror of the 3-node generator in `planning_exact_vs_heuristic.rs`.
+fn planning_instance(seed: u64) -> (Graph, IpTopology, PlannerConfig) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let a = g.add_node("a");
+    let b = g.add_node("b");
+    let c = g.add_node("c");
+    g.add_edge(a, b, rng.gen_range(100u32..800));
+    g.add_edge(b, c, rng.gen_range(100u32..800));
+    g.add_edge(a, c, rng.gen_range(200u32..1500));
+    let mut ip = IpTopology::new();
+    let links = rng.gen_range(1u32..=2);
+    for _ in 0..links {
+        let (src, dst) = match rng.gen_range(0u32..3) {
+            0 => (a, b),
+            1 => (b, c),
+            _ => (a, c),
+        };
+        ip.add_link(src, dst, 100 * rng.gen_range(1u64..=5));
+    }
+    let cfg = PlannerConfig {
+        grid: SpectrumGrid::new(rng.gen_range(12u32..18)),
+        k_paths: 2,
+        ..Default::default()
+    };
+    (g, ip, cfg)
+}
+
+/// Mirror of the 4-node generator in `restoration_validation.rs`.
+fn restoration_instance(seed: u64) -> (Graph, IpTopology, PlannerConfig) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let a = g.add_node("a");
+    let b = g.add_node("b");
+    let c = g.add_node("c");
+    let d = g.add_node("d");
+    g.add_edge(a, b, rng.gen_range(100u32..700));
+    g.add_edge(b, c, rng.gen_range(100u32..700));
+    g.add_edge(c, d, rng.gen_range(100u32..700));
+    g.add_edge(d, a, rng.gen_range(100u32..700));
+    g.add_edge(a, c, rng.gen_range(300u32..1200));
+    let mut ip = IpTopology::new();
+    for _ in 0..rng.gen_range(1u32..=2) {
+        let (src, dst) = match rng.gen_range(0u32..3) {
+            0 => (a, b),
+            1 => (a, c),
+            _ => (b, d),
+        };
+        ip.add_link(src, dst, 100 * rng.gen_range(1u64..=4));
+    }
+    let cfg = PlannerConfig {
+        grid: SpectrumGrid::new(rng.gen_range(14u32..22)),
+        k_paths: 2,
+        ..Default::default()
+    };
+    (g, ip, cfg)
+}
+
+/// Exact planning: objective plus the full extracted wavelength set, per
+/// seed and scheme.
+#[test]
+fn exact_plan_roundtrip_matches_golden() {
+    let opts = SolveOptions {
+        max_nodes: 50_000,
+        ..Default::default()
+    };
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Exact Algorithm 1 optima on the 3-node validation instances."
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# Blessed output of tests/opt_roundtrip.rs; see that file for how to update."
+    )
+    .unwrap();
+    for seed in 0..10u64 {
+        let (g, ip, cfg) = planning_instance(seed);
+        for scheme in [Scheme::FlexWan, Scheme::Radwan] {
+            match solve_exact(scheme, &g, &ip, &cfg, &opts) {
+                Some(e) => {
+                    writeln!(
+                        out,
+                        "plan seed={seed} scheme={scheme} objective={:.6} transponders={}",
+                        e.objective,
+                        e.transponder_count()
+                    )
+                    .unwrap();
+                    for w in &e.wavelengths {
+                        writeln!(
+                            out,
+                            "  w link={} path={} rate={} width_px={} start={}",
+                            w.link.0,
+                            w.path_index,
+                            w.format.data_rate_gbps,
+                            w.format.spacing.pixels(),
+                            w.channel.start
+                        )
+                        .unwrap();
+                    }
+                }
+                None => writeln!(out, "plan seed={seed} scheme={scheme} infeasible").unwrap(),
+            }
+        }
+    }
+    assert_golden("opt_plan_roundtrip.txt", &out);
+}
+
+/// Exact restoration: affected / restored Gbps per one-fiber scenario,
+/// both without and with uniform extra spares.
+#[test]
+fn exact_restoration_roundtrip_matches_golden() {
+    let opts = SolveOptions {
+        max_nodes: 50_000,
+        ..Default::default()
+    };
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Exact §8 restoration optima on the 4-node validation instances."
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# Blessed output of tests/opt_roundtrip.rs; see that file for how to update."
+    )
+    .unwrap();
+    for seed in 0..8u64 {
+        let (g, ip, cfg) = restoration_instance(seed);
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        if !p.is_feasible() {
+            writeln!(out, "restore seed={seed} plan-infeasible").unwrap();
+            continue;
+        }
+        let spares = vec![1u32; ip.links().len()];
+        for scenario in one_fiber_scenarios(&g) {
+            for (tag, extra) in [("none", &[][..]), ("+1", &spares[..])] {
+                match solve_restoration_exact(&p, &g, &ip, &scenario, extra, &cfg, &opts) {
+                    Some(e) => writeln!(
+                        out,
+                        "restore seed={seed} scenario={} spares={tag} affected={} restored={}",
+                        scenario.id, e.affected_gbps, e.restored_gbps
+                    )
+                    .unwrap(),
+                    None => writeln!(
+                        out,
+                        "restore seed={seed} scenario={} spares={tag} no-incumbent",
+                        scenario.id
+                    )
+                    .unwrap(),
+                }
+            }
+        }
+    }
+    assert_golden("opt_restore_roundtrip.txt", &out);
+}

@@ -13,7 +13,10 @@ use std::collections::HashSet;
 fn instance() -> (Backbone, PlannerConfig) {
     (
         t_backbone(&TBackboneConfig::default()),
-        PlannerConfig { k_paths: 5, ..PlannerConfig::default() },
+        PlannerConfig {
+            k_paths: 5,
+            ..PlannerConfig::default()
+        },
     )
 }
 
@@ -21,12 +24,15 @@ fn instance() -> (Backbone, PlannerConfig) {
 fn fig2a_half_of_paths_are_short() {
     let (b, _) = instance();
     let none = HashSet::new();
-    let lengths: Vec<u32> = b
-        .ip
-        .links()
-        .iter()
-        .map(|l| shortest_path(&b.optical, l.src, l.dst, &none).unwrap().length_km)
-        .collect();
+    let lengths: Vec<u32> =
+        b.ip.links()
+            .iter()
+            .map(|l| {
+                shortest_path(&b.optical, l.src, l.dst, &none)
+                    .unwrap()
+                    .length_km
+            })
+            .collect();
     let short = lengths.iter().filter(|&&d| d < 200).count() as f64 / lengths.len() as f64;
     assert!((0.4..=0.65).contains(&short), "fraction <200 km = {short}");
     assert!(lengths.iter().any(|&d| d > 1500), "long tail missing");
@@ -45,17 +51,32 @@ fn section7_savings_ordering_and_magnitude() {
         .collect();
     let (fixed, radwan, flex) = (counts[0], counts[1], counts[2]);
     // Strict ordering, both metrics.
-    assert!(flex.0 < radwan.0 && radwan.0 < fixed.0, "transponder ordering");
+    assert!(
+        flex.0 < radwan.0 && radwan.0 < fixed.0,
+        "transponder ordering"
+    );
     assert!(flex.1 < radwan.1 && radwan.1 < fixed.1, "spectrum ordering");
     // Magnitudes near the paper's headline (85 % / 57 % and 67 % / 36 %).
     let tr_vs_fixed = 1.0 - flex.0 as f64 / fixed.0 as f64;
     let tr_vs_radwan = 1.0 - flex.0 as f64 / radwan.0 as f64;
     let sp_vs_fixed = 1.0 - flex.1 / fixed.1;
     let sp_vs_radwan = 1.0 - flex.1 / radwan.1;
-    assert!((0.70..=0.92).contains(&tr_vs_fixed), "tr saving vs 100G = {tr_vs_fixed}");
-    assert!((0.35..=0.70).contains(&tr_vs_radwan), "tr saving vs RADWAN = {tr_vs_radwan}");
-    assert!((0.50..=0.80).contains(&sp_vs_fixed), "sp saving vs 100G = {sp_vs_fixed}");
-    assert!((0.25..=0.55).contains(&sp_vs_radwan), "sp saving vs RADWAN = {sp_vs_radwan}");
+    assert!(
+        (0.70..=0.92).contains(&tr_vs_fixed),
+        "tr saving vs 100G = {tr_vs_fixed}"
+    );
+    assert!(
+        (0.35..=0.70).contains(&tr_vs_radwan),
+        "tr saving vs RADWAN = {tr_vs_radwan}"
+    );
+    assert!(
+        (0.50..=0.80).contains(&sp_vs_fixed),
+        "sp saving vs 100G = {sp_vs_fixed}"
+    );
+    assert!(
+        (0.25..=0.55).contains(&sp_vs_radwan),
+        "sp saving vs RADWAN = {sp_vs_radwan}"
+    );
 }
 
 #[test]
@@ -67,7 +88,10 @@ fn fig14_gap_and_spectral_efficiency_shapes() {
             let p = plan(s, &b.optical, &b.ip, &cfg);
             (
                 p.wavelengths.iter().map(|w| w.reach_gap_km()).collect(),
-                p.wavelengths.iter().map(|w| w.spectral_efficiency()).collect(),
+                p.wavelengths
+                    .iter()
+                    .map(|w| w.spectral_efficiency())
+                    .collect(),
             )
         })
         .collect();
@@ -80,8 +104,8 @@ fn fig14_gap_and_spectral_efficiency_shapes() {
     assert!(median(&gaps_sse[2].0) < median(&gaps_sse[1].0) / 2);
     assert!(median(&gaps_sse[1].0) < median(&gaps_sse[0].0));
     // 100G-WAN gaps are mostly > 1000 km (paper: 80 %).
-    let above1000 = gaps_sse[0].0.iter().filter(|&&g| g > 1000).count() as f64
-        / gaps_sse[0].0.len() as f64;
+    let above1000 =
+        gaps_sse[0].0.iter().filter(|&&g| g > 1000).count() as f64 / gaps_sse[0].0.len() as f64;
     assert!(above1000 > 0.7, "100G gaps >1000 km: {above1000}");
     // SE: 100G-WAN exactly 2; FlexWAN the highest.
     assert!(gaps_sse[0].1.iter().all(|&s| (s - 2.0).abs() < 1e-12));
@@ -128,6 +152,14 @@ fn fig15a_restored_paths_are_longer() {
     let rep = restore_report(&results);
     // Paper: ≈90 % of restored paths are longer, with multi-x extremes
     // (>10x in production; our denser synthetic metro yields ~4-8x).
-    assert!(rep.fraction_longer() > 0.7, "longer fraction {}", rep.fraction_longer());
-    assert!(rep.max_length_ratio() > 3.0, "max ratio {}", rep.max_length_ratio());
+    assert!(
+        rep.fraction_longer() > 0.7,
+        "longer fraction {}",
+        rep.fraction_longer()
+    );
+    assert!(
+        rep.max_length_ratio() > 3.0,
+        "max ratio {}",
+        rep.max_length_ratio()
+    );
 }

@@ -48,7 +48,10 @@ fn random_instance(seed: u64) -> (Graph, IpTopology, PlannerConfig) {
 
 #[test]
 fn heuristic_matches_exact_when_both_feasible() {
-    let opts = SolveOptions { max_nodes: 50_000, ..Default::default() };
+    let opts = SolveOptions {
+        max_nodes: 50_000,
+        ..Default::default()
+    };
     let mut compared = 0;
     for seed in 0..18u64 {
         let (g, ip, cfg) = random_instance(seed);
@@ -85,14 +88,20 @@ fn heuristic_matches_exact_when_both_feasible() {
             }
         }
     }
-    assert!(compared >= 12, "only {compared} feasible comparisons — fixtures too tight");
+    assert!(
+        compared >= 12,
+        "only {compared} feasible comparisons — fixtures too tight"
+    );
 }
 
 #[test]
 fn heuristic_equals_exact_transponder_count_on_single_link() {
     // With one link and ample spectrum the heuristic's per-link DP is
     // exact, so the counts must match exactly.
-    let opts = SolveOptions { max_nodes: 50_000, ..Default::default() };
+    let opts = SolveOptions {
+        max_nodes: 50_000,
+        ..Default::default()
+    };
     for seed in 100..110u64 {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut g = Graph::new();
@@ -106,8 +115,8 @@ fn heuristic_equals_exact_transponder_count_on_single_link() {
             k_paths: 1,
             ..Default::default()
         };
-        let exact = solve_exact(Scheme::FlexWan, &g, &ip, &cfg, &opts)
-            .expect("ample spectrum is feasible");
+        let exact =
+            solve_exact(Scheme::FlexWan, &g, &ip, &cfg, &opts).expect("ample spectrum is feasible");
         let heur = plan(Scheme::FlexWan, &g, &ip, &cfg);
         assert_eq!(
             heur.transponder_count(),
@@ -115,6 +124,10 @@ fn heuristic_equals_exact_transponder_count_on_single_link() {
             "seed {seed}"
         );
         let h_obj = heuristic_objective(&heur, cfg.epsilon);
-        assert!((h_obj - exact.objective).abs() < 1e-6, "seed {seed}: {h_obj} vs {}", exact.objective);
+        assert!(
+            (h_obj - exact.objective).abs() < 1e-6,
+            "seed {seed}: {h_obj} vs {}",
+            exact.objective
+        );
     }
 }

@@ -26,7 +26,10 @@ fn spectrum_mask_accounting() {
         let mut live: Vec<PixelRange> = Vec::new();
         let n_ops = rng.gen_range(1usize..40);
         for _ in 0..n_ops {
-            let r = PixelRange::new(rng.gen_range(0u32..370), PixelWidth::new(rng.gen_range(1u16..13)));
+            let r = PixelRange::new(
+                rng.gen_range(0u32..370),
+                PixelWidth::new(rng.gen_range(1u16..13)),
+            );
             if grid.contains(&r) && mask.is_free(&r) {
                 mask.occupy(&r).unwrap();
                 live.push(r);
@@ -51,7 +54,10 @@ fn first_fit_is_lowest() {
         let grid = SpectrumGrid::new(96);
         let mut mask = SpectrumMask::new(grid);
         for _ in 0..rng.gen_range(0usize..20) {
-            let r = PixelRange::new(rng.gen_range(0u32..90), PixelWidth::new(rng.gen_range(1u16..8)));
+            let r = PixelRange::new(
+                rng.gen_range(0u32..90),
+                PixelWidth::new(rng.gen_range(1u16..8)),
+            );
             if grid.contains(&r) && mask.is_free(&r) {
                 mask.occupy(&r).unwrap();
             }
@@ -172,7 +178,11 @@ fn mip_matches_bruteforce_knapsack() {
         let vars: Vec<_> = (0..n).map(|i| m.binary(format!("b{i}"))).collect();
         let wexpr = LinExpr::sum(vars.iter().zip(&weights).map(|(&v, &w)| f64::from(w) * v));
         m.le(wexpr, f64::from(cap));
-        let vexpr = LinExpr::sum(vars.iter().zip(&values).map(|(&var, &val)| f64::from(val) * var));
+        let vexpr = LinExpr::sum(
+            vars.iter()
+                .zip(&values)
+                .map(|(&var, &val)| f64::from(val) * var),
+        );
         m.set_objective(Sense::Maximize, vexpr);
         let sol = m.solve();
         assert_eq!(sol.status, Status::Optimal);
@@ -193,7 +203,10 @@ fn vendor_dialects_round_trip() {
         let port = rng.gen_range(0u16..64);
         let clear = rng.gen_bool(0.5);
         let passband = (!clear).then(|| {
-            PixelRange::new(rng.gen_range(0u32..370), PixelWidth::new(rng.gen_range(1u16..13)))
+            PixelRange::new(
+                rng.gen_range(0u32..370),
+                PixelWidth::new(rng.gen_range(1u16..13)),
+            )
         });
         let cfg = StandardConfig::MuxPort { port, passband };
         for v in Vendor::ALL {
@@ -389,11 +402,18 @@ fn planned_wavelengths_respect_spectrum_and_reach() {
         } else {
             SpectrumGrid::new(rng.gen_range(16u32..64))
         };
-        let cfg = PlannerConfig { grid, k_paths: 2, ..PlannerConfig::default() };
+        let cfg = PlannerConfig {
+            grid,
+            k_paths: 2,
+            ..PlannerConfig::default()
+        };
         for &scheme in Scheme::ALL.iter() {
             let p = plan(scheme, &g, &ip, &cfg);
             for w in &p.wavelengths {
-                assert!(grid.contains(&w.channel), "{scheme}: channel outside the grid");
+                assert!(
+                    grid.contains(&w.channel),
+                    "{scheme}: channel outside the grid"
+                );
                 assert!(
                     w.format.reach_km >= w.path.length_km,
                     "{scheme}: reach {} km < path {} km",
@@ -439,7 +459,10 @@ fn restoration_uses_only_surviving_fibers() {
             let p = plan(scheme, &g, &ip, &cfg);
             for scenario in &one_fiber_scenarios(&g) {
                 let r = restore(&p, &g, &ip, scenario, &[], &cfg);
-                assert!(r.restored_gbps <= r.affected_gbps, "{scheme}: revived more than lost");
+                assert!(
+                    r.restored_gbps <= r.affected_gbps,
+                    "{scheme}: revived more than lost"
+                );
                 let surviving: Vec<_> = p
                     .wavelengths
                     .iter()
@@ -448,10 +471,19 @@ fn restoration_uses_only_surviving_fibers() {
                 for rw in &r.restored {
                     let w = &rw.wavelength;
                     for &e in &w.path.edges {
-                        assert!(!scenario.is_cut(e), "{scheme}: restored path crosses a cut fiber");
+                        assert!(
+                            !scenario.is_cut(e),
+                            "{scheme}: restored path crosses a cut fiber"
+                        );
                     }
-                    assert!(cfg.grid.contains(&w.channel), "{scheme}: restored channel off-grid");
-                    assert!(w.format.reach_km >= w.path.length_km, "{scheme}: restored over reach");
+                    assert!(
+                        cfg.grid.contains(&w.channel),
+                        "{scheme}: restored channel off-grid"
+                    );
+                    assert!(
+                        w.format.reach_km >= w.path.length_km,
+                        "{scheme}: restored over reach"
+                    );
                     for s in &surviving {
                         let share = w.path.edges.iter().any(|e| s.path.edges.contains(e));
                         assert!(

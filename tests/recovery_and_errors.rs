@@ -50,15 +50,24 @@ fn dyn_errors_downcast_to_their_concrete_types() {
     assert!(errs[4].downcast_ref::<ClusterError>().is_some());
     assert!(errs[5].downcast_ref::<OpticalError>().is_some());
     assert!(errs[6].downcast_ref::<LoadError>().is_some());
-    assert!(errs[0].downcast_ref::<TxError>().is_none(), "downcast is type-exact");
+    assert!(
+        errs[0].downcast_ref::<TxError>().is_none(),
+        "downcast is type-exact"
+    );
 }
 
 #[test]
 fn load_error_chains_its_json_source() {
     let bad = flexwan::io::TopologyFile::from_json("{ not json").unwrap_err();
     let e: Box<dyn Error> = Box::new(bad);
-    assert!(matches!(e.downcast_ref::<LoadError>(), Some(LoadError::Json(_))));
-    assert!(e.source().is_some(), "the JSON cause is reachable via source()");
+    assert!(matches!(
+        e.downcast_ref::<LoadError>(),
+        Some(LoadError::Json(_))
+    ));
+    assert!(
+        e.source().is_some(),
+        "the JSON cause is reachable via source()"
+    );
     // Semantic errors have no upstream cause.
     let invalid: Box<dyn Error> = Box::new(LoadError::Invalid("empty".into()));
     assert!(invalid.source().is_none());
@@ -88,7 +97,12 @@ fn pixel_wise_recovery_matrix_is_all_zero_touch() {
                 port,
                 PixelRange::new(start, PixelWidth::new(width)),
             );
-            assert_eq!(out, RecoveryOutcome::ZeroTouch { reconfigured_port: port });
+            assert_eq!(
+                out,
+                RecoveryOutcome::ZeroTouch {
+                    reconfigured_port: port
+                }
+            );
         }
     }
 }
@@ -99,7 +113,9 @@ fn fixed_grid_recovery_matrix_matches_the_factory_ladder() {
     // pixel p·spacing and exactly spacing wide; everything else is a
     // truck roll.
     for spacing in [4u16, 6, 8] {
-        let wss = WssKind::FixedGrid { spacing: PixelWidth::new(spacing) };
+        let wss = WssKind::FixedGrid {
+            spacing: PixelWidth::new(spacing),
+        };
         for port in 0u16..6 {
             for slot in 0u16..6 {
                 for width in [spacing, spacing - 1] {
@@ -127,7 +143,9 @@ fn fixed_grid_recovery_matrix_matches_the_factory_ladder() {
 
 #[test]
 fn off_grid_channel_is_never_recoverable_on_fixed_grid() {
-    let wss = WssKind::FixedGrid { spacing: PixelWidth::new(6) };
+    let wss = WssKind::FixedGrid {
+        spacing: PixelWidth::new(6),
+    };
     // Starts that are not multiples of the spacing can match no port.
     for start in [1u32, 5, 7, 13] {
         for port in 0u16..8 {

@@ -41,7 +41,10 @@ fn random_instance(seed: u64) -> (Graph, IpTopology, PlannerConfig) {
 
 #[test]
 fn greedy_restoration_close_to_exact() {
-    let opts = SolveOptions { max_nodes: 50_000, ..Default::default() };
+    let opts = SolveOptions {
+        max_nodes: 50_000,
+        ..Default::default()
+    };
     let mut compared = 0;
     for seed in 0..12u64 {
         let (g, ip, cfg) = random_instance(seed);
@@ -78,6 +81,63 @@ fn greedy_restoration_close_to_exact() {
         }
     }
     assert!(compared >= 20, "only {compared} comparisons ran");
+}
+
+/// Exact-vs-greedy parity with non-zero `extra_spares`: the spare-pool
+/// path of both restorers is exercised, greedy stays bounded by the
+/// optimum, and granting spares never reduces the exact optimum.
+#[test]
+fn greedy_restoration_close_to_exact_with_spares() {
+    let opts = SolveOptions {
+        max_nodes: 50_000,
+        ..Default::default()
+    };
+    let mut compared = 0;
+    for seed in 0..8u64 {
+        let (g, ip, cfg) = random_instance(seed);
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        if !p.is_feasible() {
+            continue;
+        }
+        let spares = vec![1u32; ip.links().len()];
+        for scenario in one_fiber_scenarios(&g) {
+            let greedy = restore(&p, &g, &ip, &scenario, &spares, &cfg);
+            let Some(exact) = solve_restoration_exact(&p, &g, &ip, &scenario, &spares, &cfg, &opts)
+            else {
+                continue;
+            };
+            let Some(plain) = solve_restoration_exact(&p, &g, &ip, &scenario, &[], &cfg, &opts)
+            else {
+                continue;
+            };
+            assert_eq!(greedy.affected_gbps, exact.affected_gbps, "seed {seed}");
+            assert!(
+                greedy.restored_gbps <= exact.restored_gbps,
+                "seed {seed} scenario {}: greedy {} > exact {}",
+                scenario.id,
+                greedy.restored_gbps,
+                exact.restored_gbps
+            );
+            assert!(
+                exact.restored_gbps >= plain.restored_gbps,
+                "seed {seed} scenario {}: extra spares reduced the optimum ({} < {})",
+                scenario.id,
+                exact.restored_gbps,
+                plain.restored_gbps
+            );
+            if exact.restored_gbps > 0 {
+                assert!(
+                    greedy.restored_gbps as f64 >= 0.7 * exact.restored_gbps as f64,
+                    "seed {seed} scenario {}: greedy {} far below exact {}",
+                    scenario.id,
+                    greedy.restored_gbps,
+                    exact.restored_gbps
+                );
+            }
+            compared += 1;
+        }
+    }
+    assert!(compared >= 15, "only {compared} comparisons ran");
 }
 
 #[test]
