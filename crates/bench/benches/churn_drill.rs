@@ -1,0 +1,48 @@
+//! Churn drill: reaction-time quantiles and ladder behaviour of the
+//! always-on churn service vs the per-tick deadline budget.
+//!
+//! Not a statistical microbenchmark — a drill. For each budget it
+//! replays the same seeded mixed event stream (cuts, repairs, demand
+//! deltas, drift) through a faulty transport and reports how fast the
+//! service reacted and which ladder rungs the ticks landed on. An
+//! unlimited budget should keep every tick on the warm rung; shrinking
+//! budgets push ticks down to the heuristic and protection rungs
+//! instead of stalling the loop.
+//!
+//! Run with `cargo bench --features bench --bench churn_drill`.
+
+use flexwan_bench::churn::{churn_drill, ChurnDrillConfig};
+
+fn main() {
+    println!(
+        "{:>12} {:>6} {:>7} {:>7} {:>9} {:>6} {:>6} {:>6} {:>10} {:>10}",
+        "budget", "ticks", "events", "warm", "rebuilds", "L0", "L1", "L2", "p50_ms", "p99_ms"
+    );
+    for (label, budget_ns) in [
+        ("unlimited", u64::MAX),
+        ("250ms", 250_000_000),
+        ("25ms", 25_000_000),
+        ("2.5ms", 2_500_000),
+    ] {
+        let rep = churn_drill(&ChurnDrillConfig {
+            events: 120,
+            seed: 7,
+            batch: 4,
+            tick_budget_ns: budget_ns,
+        });
+        let c = &rep.counters;
+        println!(
+            "{:>12} {:>6} {:>7} {:>7} {:>9} {:>6} {:>6} {:>6} {:>10.2} {:>10.2}",
+            label,
+            c.ticks,
+            c.events_applied,
+            c.warm_mutations,
+            c.rebuilds,
+            c.level_ticks[0],
+            c.level_ticks[1],
+            c.level_ticks[2],
+            rep.reaction_p50_ms,
+            rep.reaction_p99_ms
+        );
+    }
+}

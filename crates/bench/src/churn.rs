@@ -1,0 +1,283 @@
+//! Churn drill: reaction-time distribution of the always-on churn
+//! service (DESIGN.md §10) under a deterministic mixed event stream.
+//!
+//! Not a statistical microbenchmark — a drill. It stands up a
+//! [`ChurnService`] over a small diverse backbone, pushes a seeded
+//! stream of demand deltas, fiber cuts, repairs and telemetry drift
+//! through the event-stream fault injector (drops, duplicates,
+//! reorders, stale redeliveries), and reports per-tick reaction-time
+//! quantiles plus the deterministic work counters (events applied,
+//! warm mutations, rebuilds, ladder-level ticks). The counters are
+//! exact-reproducible for a given `(events, seed)` pair — the CI gate
+//! pins them — while the timings get a tolerance like every other
+//! wall-clock section of `BENCH_eval.json`.
+
+use flexwan_core::planning::PlannerConfig;
+use flexwan_core::Scheme;
+use flexwan_ctrl::faults::StreamFaults;
+use flexwan_ctrl::service::{ChurnEvent, ChurnService, EventLog, SeqEvent, ServiceConfig};
+use flexwan_ctrl::{FaultInjector, FaultPlan};
+use flexwan_obs::Obs;
+use flexwan_optical::spectrum::SpectrumGrid;
+use flexwan_topo::graph::{EdgeId, Graph};
+use flexwan_topo::ip::{IpLinkId, IpTopology};
+
+/// Drill parameters.
+#[derive(Debug, Clone)]
+pub struct ChurnDrillConfig {
+    /// Canonical events to generate.
+    pub events: usize,
+    /// Stream-generator seed (the fault injector derives its own).
+    pub seed: u64,
+    /// Delivery batch size (events per service tick, before faults).
+    pub batch: usize,
+    /// Per-tick deadline budget, ns (`u64::MAX` disables degradation —
+    /// required when the counters must be machine-independent).
+    pub tick_budget_ns: u64,
+}
+
+impl Default for ChurnDrillConfig {
+    fn default() -> Self {
+        ChurnDrillConfig {
+            events: 120,
+            seed: 7,
+            batch: 4,
+            tick_budget_ns: u64::MAX,
+        }
+    }
+}
+
+/// Deterministic work done by one drill run. Independent of the machine
+/// (and of the wall clock) for a fixed [`ChurnDrillConfig`] with an
+/// unlimited budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnDrillCounters {
+    /// Service ticks executed.
+    pub ticks: u64,
+    /// Canonical events applied (equals the stream length).
+    pub events_applied: u64,
+    /// Warm standing-model mutations.
+    pub warm_mutations: u64,
+    /// Full standing-model rebuilds.
+    pub rebuilds: u64,
+    /// Ticks that blew their deadline budget.
+    pub deadline_blown: u64,
+    /// Ticks whose restoration landed on each ladder level.
+    pub level_ticks: [u64; 3],
+    /// Capacity restored, summed over every tick, Gbps.
+    pub restored_gbps_total: u64,
+}
+
+/// One drill run: deterministic counters plus wall-clock reaction-time
+/// quantiles (exact order statistics over the per-tick samples, not
+/// histogram-bucket interpolation).
+#[derive(Debug, Clone)]
+pub struct ChurnDrillReport {
+    /// Machine-independent work counters.
+    pub counters: ChurnDrillCounters,
+    /// Median per-tick reaction time, ms.
+    pub reaction_p50_ms: f64,
+    /// 99th-percentile per-tick reaction time, ms.
+    pub reaction_p99_ms: f64,
+}
+
+/// The drill backbone: 4 nodes with detour diversity, so every cut the
+/// stream can issue — including the (0,1) double cut — leaves an
+/// alternate route. Deliberately small spectrum grid so exact B&B stays
+/// fast even in debug builds (same sizing as the soak test).
+fn drill_backbone() -> (Graph, IpTopology, PlannerConfig) {
+    let mut g = Graph::new();
+    let a = g.add_node("a");
+    let b = g.add_node("b");
+    let c = g.add_node("c");
+    let d = g.add_node("d");
+    g.add_edge(a, b, 400);
+    g.add_edge(b, c, 400);
+    g.add_edge(a, c, 900);
+    g.add_edge(c, d, 400);
+    g.add_edge(a, d, 900);
+    let mut ip = IpTopology::new();
+    ip.add_link(a, c, 300);
+    ip.add_link(a, d, 200);
+    let cfg = PlannerConfig {
+        grid: SpectrumGrid::new(12),
+        k_paths: 2,
+        ..Default::default()
+    };
+    (g, ip, cfg)
+}
+
+/// Split-mix generator: the drill only needs reproducibility.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A deterministic mixed-churn stream: 50% sub-threshold drift, 20%
+/// demand resizes, 20% cuts of fibers {0, 1}, 10% repairs; every cut is
+/// eventually repaired. The emitted per-fiber drift sum is bounded to
+/// ±9.5 dB (out-of-band deltas are flipped), so the service-side
+/// accumulator — a difference of two in-band sums, reset on repair —
+/// never reaches the 20 dB cut-escalation threshold regardless of
+/// stream length.
+fn churn_stream(n: usize, seed: u64) -> Vec<ChurnEvent> {
+    let mut mix = Mix(seed);
+    let mut cut: Vec<EdgeId> = Vec::new();
+    let mut drift = [0.0f64; 5];
+    let mut events = Vec::with_capacity(n + 2);
+    while events.len() < n {
+        match mix.below(10) {
+            0..=4 => {
+                let f = mix.below(5) as usize;
+                let mut delta = if mix.below(2) == 0 { -0.5 } else { 0.4 };
+                if (drift[f] + delta).abs() >= 9.5 {
+                    delta = if delta < 0.0 { 0.4 } else { -0.5 };
+                }
+                drift[f] += delta;
+                events.push(ChurnEvent::TelemetryDrift {
+                    fiber: EdgeId(f as u32),
+                    delta_db: delta,
+                });
+            }
+            5 | 6 => events.push(ChurnEvent::DemandDelta {
+                link: IpLinkId(mix.below(2) as u32),
+                demand_gbps: 100 * (2 + mix.below(2)),
+            }),
+            7 | 8 => {
+                let f = EdgeId(mix.below(2) as u32);
+                if !cut.contains(&f) {
+                    cut.push(f);
+                    events.push(ChurnEvent::FiberCut(f));
+                }
+            }
+            _ => {
+                if !cut.is_empty() {
+                    events.push(ChurnEvent::FiberRepair(cut.remove(0)));
+                }
+            }
+        }
+    }
+    for f in cut {
+        events.push(ChurnEvent::FiberRepair(f));
+    }
+    events
+}
+
+/// Exact order-statistic quantile (nearest-rank on the sorted samples).
+fn quantile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() as f64 * q).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 / 1e6
+}
+
+/// Runs the churn drill: a seeded event stream delivered through a
+/// faulty transport, one service tick per delivery batch, followed by a
+/// flush of whatever the faults dropped. Panics if the service fails to
+/// converge (missed events) — the drill doubles as a soak assertion.
+pub fn churn_drill(dc: &ChurnDrillConfig) -> ChurnDrillReport {
+    let (g, ip, cfg) = drill_backbone();
+    let svc_cfg = ServiceConfig {
+        tick_budget_ns: dc.tick_budget_ns,
+        ..ServiceConfig::default()
+    };
+    let mut svc = ChurnService::new(&g, &ip, Scheme::FlexWan, cfg, svc_cfg)
+        .expect("drill backbone is feasible");
+    svc.set_obs(Obs::new());
+
+    let mut log = EventLog::new();
+    let stamped: Vec<SeqEvent> = churn_stream(dc.events, dc.seed)
+        .into_iter()
+        .map(|e| log.append(e))
+        .collect();
+    let injector = FaultInjector::new(
+        FaultPlan {
+            seed: dc.seed.wrapping_mul(31).wrapping_add(99),
+            ..FaultPlan::none()
+        }
+        .with_stream(StreamFaults {
+            drop_prob: 0.10,
+            duplicate_prob: 0.10,
+            reorder_prob: 0.10,
+            stale_prob: 0.05,
+        }),
+    );
+
+    let mut reactions: Vec<u64> = Vec::new();
+    let mut restored_total: u64 = 0;
+    for batch in stamped.chunks(dc.batch.max(1)) {
+        let perturbed = injector.perturb_stream(batch);
+        let rep = svc.deliver(&log, &perturbed);
+        reactions.push(rep.reaction_ns);
+        restored_total += rep.restored_gbps;
+    }
+    let tail = svc.flush(&log);
+    if tail.applied > 0 {
+        reactions.push(tail.reaction_ns);
+        restored_total += tail.restored_gbps;
+    }
+    assert_eq!(
+        svc.state().next_seq,
+        log.len(),
+        "drill did not converge: events left behind"
+    );
+
+    let stats = svc.stats();
+    let counters = ChurnDrillCounters {
+        ticks: svc.journal().len() as u64,
+        events_applied: stats.events_applied,
+        warm_mutations: stats.warm_mutations,
+        rebuilds: stats.rebuilds,
+        deadline_blown: stats.deadline_blown,
+        level_ticks: stats.level_ticks,
+        restored_gbps_total: restored_total,
+    };
+    reactions.sort_unstable();
+    ChurnDrillReport {
+        counters,
+        reaction_p50_ms: quantile_ms(&reactions, 0.50),
+        reaction_p99_ms: quantile_ms(&reactions, 0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drill_counters_are_reproducible() {
+        let dc = ChurnDrillConfig {
+            events: 24,
+            ..ChurnDrillConfig::default()
+        };
+        let a = churn_drill(&dc);
+        let b = churn_drill(&dc);
+        assert_eq!(a.counters, b.counters, "same seed, same work");
+        assert_eq!(a.counters.events_applied as usize, count_stream(&dc));
+        assert!(a.reaction_p50_ms <= a.reaction_p99_ms);
+    }
+
+    fn count_stream(dc: &ChurnDrillConfig) -> usize {
+        churn_stream(dc.events, dc.seed).len()
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1_000_000).collect();
+        assert_eq!(quantile_ms(&ns, 0.50), 50.0);
+        assert_eq!(quantile_ms(&ns, 0.99), 99.0);
+        assert_eq!(quantile_ms(&[], 0.99), 0.0);
+    }
+}

@@ -142,6 +142,71 @@ impl WavelengthVarSpace {
         space
     }
 
+    /// Appends extra candidate paths to `slot` after the initial
+    /// enumeration, enumerating their admissible γ columns into `m`
+    /// exactly as [`WavelengthVarSpace::enumerate`] would have (same
+    /// format walk, same aligned-start grid, same naming scheme, `ki`
+    /// continuing the slot's candidate numbering). Existing γ ids keep
+    /// their positions and every bucket grows strictly at its tail, so
+    /// the pinned enumeration-order contract over the original space is
+    /// untouched. Returns the new γ handles.
+    ///
+    /// This is the column-generation hook behind on-demand restoration
+    /// candidates: a simultaneous-cut scenario whose detours were not
+    /// pre-enumerated extends the standing space instead of rebuilding
+    /// it.
+    pub fn extend_slot(
+        &mut self,
+        m: &mut Model,
+        scheme: Scheme,
+        prefix: &str,
+        slot: usize,
+        new_paths: Vec<Path>,
+        mut admit: impl FnMut(&Path, &PixelRange) -> bool,
+    ) -> Vec<GammaId> {
+        let align = scheme.alignment_pixels();
+        let model_t = scheme.transponder();
+        let pixels = self.pixels;
+        let mut added = Vec::new();
+        for path in new_paths {
+            let ki = self.paths_per_slot[slot].len();
+            self.paths_per_slot[slot].push(path);
+            let path = &self.paths_per_slot[slot][ki];
+            for format in reachable_formats(model_t, path.length_km) {
+                let w = u32::from(format.spacing.pixels());
+                let mut q = 0u32;
+                while q + w <= pixels {
+                    let range = PixelRange::new(q, format.spacing);
+                    if admit(path, &range) {
+                        let var = m.binary(format!(
+                            "{prefix}{slot}_k{ki}_d{}_y{}_q{q}",
+                            format.data_rate_gbps,
+                            format.spacing.pixels()
+                        ));
+                        let id = GammaId(self.gammas.len());
+                        self.by_slot[slot].push(id);
+                        for e in &path.edges {
+                            for px in q..q + w {
+                                self.by_fiber_pixel[e.0 as usize * pixels as usize + px as usize]
+                                    .push(id);
+                            }
+                        }
+                        self.gammas.push(GammaVar {
+                            slot,
+                            path_index: ki,
+                            format,
+                            start: q,
+                            var,
+                        });
+                        added.push(id);
+                    }
+                    q += align;
+                }
+            }
+        }
+        added
+    }
+
     /// All γ variables, in enumeration order (`GammaId` order).
     pub fn gammas(&self) -> &[GammaVar] {
         &self.gammas

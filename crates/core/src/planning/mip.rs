@@ -72,6 +72,12 @@ pub struct MutatedRestoration {
     pub affected_gbps: u64,
     /// The restoration wavelengths placed by the mutated solve.
     pub wavelengths: Vec<Wavelength>,
+    /// Banned-path γ columns generated on demand for this scenario (zero
+    /// when the standing space already contained every §8 restoration
+    /// path — always the case for single-fiber cuts on a
+    /// [`PlanModel::build_restorable`] model). Non-zero marks the solve
+    /// cold (the layout changed) but still on the mutation path.
+    pub added_columns: usize,
     /// Solver counters for the mutated re-solve (`warm_solves` vs
     /// `cold_solves` shows whether the planning basis was reused).
     pub stats: SolverStats,
@@ -86,16 +92,27 @@ pub struct MutatedRestoration {
 pub struct PlanModel {
     solver: IncrementalSolver,
     space: WavelengthVarSpace,
+    scheme: Scheme,
     /// `capacity` group rows, one per IP link (same index).
     capacity_rows: Vec<RowId>,
     /// `conflict` group rows, bucketed per fiber.
     conflict_rows: Vec<(EdgeId, Vec<RowId>)>,
+    /// (fiber, pixel) → its conflict row, for entering on-demand columns
+    /// into existing rows (cells empty at build time have no row until a
+    /// generated column first occupies them).
+    conflict_row_at: std::collections::HashMap<(EdgeId, u32), RowId>,
     link_ids: Vec<IpLinkId>,
     /// Endpoints per IP link, for re-deriving §8 restoration path sets.
     link_ends: Vec<(flexwan_topo::graph::NodeId, flexwan_topo::graph::NodeId)>,
     k_paths: usize,
     /// The planning objective, kept to restore it after a mutation.
     objective: LinExpr,
+    /// γ ids at or past this watermark were generated on demand for a
+    /// restoration scenario: they participate only while their scenario's
+    /// mutation is live and stay pinned to 0 for planning solves, so the
+    /// planning optimum (and its pinned goldens) never shifts under
+    /// column generation.
+    restore_only_from: usize,
     /// The last planning solution (mutations need to know which γ won).
     solution: Option<Solution>,
 }
@@ -197,15 +214,33 @@ impl PlanModel {
         let objective = space.weighted_expr(|g| 1.0 + cfg.epsilon * g.format.spacing.ghz());
         m.set_objective(Sense::Minimize, objective.clone());
 
+        // Re-derive the (fiber, pixel) → row map from the same walk
+        // `conflict_rows` took: per fiber, pixels ascending, empty
+        // buckets skipped (min_terms = 1).
+        let mut conflict_row_at = std::collections::HashMap::new();
+        for (fiber, rows) in &conflict_rows {
+            let mut it = rows.iter();
+            for px in 0..pixels {
+                if !space.fiber_pixel_gammas(*fiber, px).is_empty() {
+                    conflict_row_at
+                        .insert((*fiber, px), *it.next().expect("row per non-empty cell"));
+                }
+            }
+        }
+
+        let restore_only_from = space.gammas().len();
         PlanModel {
             solver: IncrementalSolver::new(m),
             space,
+            scheme,
             capacity_rows,
             conflict_rows,
+            conflict_row_at,
             link_ids: ip.links().iter().map(|l| l.id).collect(),
             link_ends: ip.links().iter().map(|l| (l.src, l.dst)).collect(),
             k_paths: cfg.k_paths,
             objective,
+            restore_only_from,
             solution: None,
         }
     }
@@ -226,6 +261,126 @@ impl PlanModel {
     /// bench harness.
     pub fn drop_basis(&mut self) {
         self.solver.invalidate_basis();
+    }
+
+    /// Replaces the capacity demand `c_e` asserted by `link`'s capacity
+    /// row — the warm-mutation path for demand-delta events: one rhs
+    /// change, then a warm re-[`solve`](Self::solve). The stored
+    /// planning solution goes stale until that re-solve.
+    pub fn change_demand(&mut self, link: IpLinkId, demand_gbps: u64) {
+        let slot = self
+            .link_ids
+            .iter()
+            .position(|&l| l == link)
+            .expect("unknown IP link");
+        self.solver
+            .change_rhs(self.capacity_rows[slot], demand_gbps as f64);
+    }
+
+    /// Generates any §8 restoration columns `scenario` needs that the
+    /// standing variable space lacks, across every IP link: for each
+    /// link, the K shortest paths avoiding the scenario's cut set are
+    /// recomputed and missing ones enter the model as on-demand γ
+    /// columns (capacity-row terms, conflict-row terms, fresh conflict
+    /// rows for previously-empty spectrum cells). Returns the number of
+    /// columns added — zero whenever the space already covers the
+    /// scenario, which [`build_restorable`](Self::build_restorable)
+    /// guarantees for single-fiber cuts.
+    ///
+    /// Generated columns are *restoration-only*: pinned to 0 except
+    /// while a mutation for a covering scenario is live, so planning
+    /// optima (and their pinned goldens) never shift under column
+    /// generation. [`restore_after_cut`](Self::restore_after_cut) calls
+    /// this internally for the affected links; the public entry point
+    /// exists to pre-warm the space for anticipated scenarios.
+    pub fn ensure_restoration_columns(
+        &mut self,
+        optical: &Graph,
+        scenario: &FailureScenario,
+    ) -> usize {
+        let slots: Vec<usize> = (0..self.link_ids.len()).collect();
+        self.ensure_columns_for(optical, &scenario.banned(), &slots)
+    }
+
+    fn ensure_columns_for(
+        &mut self,
+        optical: &Graph,
+        banned: &std::collections::HashSet<EdgeId>,
+        slots: &[usize],
+    ) -> usize {
+        let mut total = 0usize;
+        let mut new_cells: Vec<(EdgeId, u32)> = Vec::new();
+        for &slot in slots {
+            let (src, dst) = self.link_ends[slot];
+            let want = k_shortest_paths(optical, src, dst, self.k_paths, banned);
+            let have: std::collections::HashSet<Vec<EdgeId>> = self
+                .space
+                .paths(slot)
+                .iter()
+                .map(|p| p.edges.clone())
+                .collect();
+            let missing: Vec<Path> = want
+                .into_iter()
+                .filter(|p| !have.contains(&p.edges))
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            let added = self.space.extend_slot(
+                self.solver.model_mut(),
+                self.scheme,
+                "g_e",
+                slot,
+                missing,
+                |_, _| true,
+            );
+            for &id in &added {
+                let g = self.space.get(id).clone();
+                // Restoration-only until a mutation frees it.
+                self.solver.set_var_bounds(g.var, 0.0, 0.0);
+                self.solver.add_term(
+                    self.capacity_rows[slot],
+                    g.var,
+                    f64::from(g.format.data_rate_gbps),
+                );
+                let w = u32::from(g.format.spacing.pixels());
+                let edges = self.space.path_of(&g).edges.clone();
+                for e in edges {
+                    for px in g.start..g.start + w {
+                        match self.conflict_row_at.get(&(e, px)) {
+                            Some(&row) => self.solver.add_term(row, g.var, 1.0),
+                            None => {
+                                if !new_cells.contains(&(e, px)) {
+                                    new_cells.push((e, px));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            total += added.len();
+        }
+        // Spectrum cells first occupied by generated columns get fresh
+        // conflict rows over their (generated-only) buckets.
+        if !new_cells.is_empty() {
+            self.solver.model_mut().group("conflict");
+            for (fiber, px) in new_cells {
+                let expr = LinExpr::sum(
+                    self.space
+                        .fiber_pixel_gammas(fiber, px)
+                        .iter()
+                        .map(|&id| 1.0 * self.space.get(id).var),
+                );
+                let row = self.solver.add_constraint(expr, Cmp::Le, 1.0);
+                self.conflict_row_at.insert((fiber, px), row);
+                match self.conflict_rows.iter_mut().find(|(f, _)| *f == fiber) {
+                    Some((_, rows)) => rows.push(row),
+                    None => self.conflict_rows.push((fiber, vec![row])),
+                }
+            }
+            self.solver.model_mut().end_group();
+        }
+        total
     }
 
     /// Solves (or re-solves) the standing planning model. Warm-starts
@@ -280,16 +435,18 @@ impl PlanModel {
     /// so the residual-spectrum constraint (9) is enforced structurally.
     /// The candidate set is the standing enumeration restricted to the
     /// §8 restoration path set `P'_{e,k}` (the K shortest paths avoiding
-    /// the cut, recomputed here): when the standing space contains those
-    /// paths — guaranteed by [`build_restorable`](Self::build_restorable)
-    /// for single-fiber cuts — the mutated model's feasible set equals
-    /// the from-scratch §8 model's, so their optima coincide. With a
-    /// plain [`build`](Self::build) (or multi-fiber cuts) missing detour
-    /// paths can only shrink the candidate set, so the mutated optimum
-    /// lower-bounds the from-scratch one. `optical` must be the graph
-    /// the model was built on. The mutation is fully reverted before
-    /// returning, leaving the standing model solvable as a planning
-    /// model again.
+    /// the cut, recomputed here). Restoration paths the standing space
+    /// lacks — a simultaneous multi-fiber cut on any build, or any cut
+    /// on a plain [`build`](Self::build) — are generated **on demand**
+    /// as extra γ columns
+    /// ([`ensure_restoration_columns`](Self::ensure_restoration_columns))
+    /// before the pins are placed, so the mutated model's feasible set
+    /// always equals the from-scratch §8 model's and their optima
+    /// coincide; with [`build_restorable`](Self::build_restorable) and a
+    /// single-fiber cut nothing is missing and the solve stays warm.
+    /// `optical` must be the graph the model was built on. The mutation
+    /// is fully reverted before returning, leaving the standing model
+    /// solvable as a planning model again.
     pub fn restore_after_cut(
         &mut self,
         optical: &Graph,
@@ -329,6 +486,7 @@ impl PlanModel {
                 restored_gbps: 0,
                 affected_gbps: 0,
                 wavelengths: Vec::new(),
+                added_columns: 0,
                 stats: SolverStats::default(),
             });
         }
@@ -337,6 +495,14 @@ impl PlanModel {
                 entry.1 += extra_spares[slot];
             }
         }
+
+        // On-demand banned-path columns: a simultaneous-cut scenario
+        // whose detours were not pre-enumerated extends the standing
+        // space here instead of forcing a from-scratch rebuild. The
+        // layout change drops the basis (this solve runs cold) but
+        // every row, group, and handle survives — still the mutation
+        // path, and the refreshed basis re-warms the solve after next.
+        let added_columns = self.ensure_columns_for(optical, &banned, &lost_order);
 
         // §8 candidate paths per affected link: the K shortest paths
         // avoiding the cut. Restricting the free variables to exactly
@@ -362,7 +528,9 @@ impl PlanModel {
         let mut candidates: Vec<GammaId> = Vec::new();
         for (i, g) in self.space.gammas().iter().enumerate() {
             let id = GammaId(i);
-            let selected = sol.value(g.var) > 0.5;
+            // Columns generated above postdate the planning solution —
+            // they are unselected by construction.
+            let selected = g.var.0 < sol.values.len() && sol.value(g.var) > 0.5;
             if crosses(&self.space, id) {
                 self.solver.set_var_bounds(g.var, 0.0, 0.0);
             } else if selected {
@@ -371,7 +539,10 @@ impl PlanModel {
                 .get(&g.slot)
                 .is_some_and(|set| set.contains(&self.space.path_of(g).edges))
             {
-                candidates.push(id); // free: a restoration candidate
+                // Free: a restoration candidate (restoration-only
+                // columns arrive pinned to 0 and must be re-opened).
+                self.solver.set_var_bounds(g.var, 0.0, 1.0);
+                candidates.push(id);
             } else {
                 self.solver.set_var_bounds(g.var, 0.0, 0.0);
             }
@@ -429,9 +600,12 @@ impl PlanModel {
 
         // Revert the mutation: the standing model is a planning model
         // again (the appended caps stay allocated but inactive, keeping
-        // every RowId stable).
-        for g in self.space.gammas() {
-            self.solver.set_var_bounds(g.var, 0.0, 1.0);
+        // every RowId stable). Generated restoration-only columns go
+        // back to their pinned-zero rest state so the planning optimum
+        // is untouched by column generation.
+        for (i, g) in self.space.gammas().iter().enumerate() {
+            let upper = if i < self.restore_only_from { 1.0 } else { 0.0 };
+            self.solver.set_var_bounds(g.var, 0.0, upper);
         }
         for &slot in &lost_order {
             self.solver.activate_row(self.capacity_rows[slot]);
@@ -480,6 +654,7 @@ impl PlanModel {
             restored_gbps,
             affected_gbps,
             wavelengths,
+            added_columns,
             stats,
         })
     }
@@ -651,6 +826,140 @@ mod tests {
             probability: 1.0,
         };
         assert!(pm.restore_after_cut(&g, &cut, &[], &opts()).is_none());
+    }
+
+    /// A 5-node ring: a–b has a 2-hop detour (a–e–b) and a 3-hop detour
+    /// (a–d–c–b), so cutting the primary *and* the short detour at once
+    /// leaves a restoration path no single-fiber KSP enumeration saw.
+    fn ring5() -> (Graph, IpTopology) {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        let e = g.add_node("e");
+        g.add_edge(a, b, 300); // 0: primary
+        g.add_edge(a, e, 300); // 1
+        g.add_edge(e, b, 300); // 2: a–e–b detour
+        g.add_edge(a, d, 300); // 3
+        g.add_edge(d, c, 300); // 4
+        g.add_edge(c, b, 300); // 5: a–d–c–b detour
+        let mut ip = IpTopology::new();
+        ip.add_link(a, b, 300);
+        (g, ip)
+    }
+
+    #[test]
+    fn simultaneous_cut_generates_columns_and_matches_rebuild() {
+        let (g, ip) = ring5();
+        let pc = PlannerConfig {
+            k_paths: 1, // keep the long detour out of the standing space
+            ..cfg(16)
+        };
+        let mut pm = PlanModel::build_restorable(Scheme::FlexWan, &g, &ip, &pc);
+        let plan = pm.solve(&opts()).unwrap();
+        let vars_before = pm.model().num_vars();
+
+        // Cut the primary and the short detour simultaneously.
+        let cut = FailureScenario {
+            id: 7,
+            cuts: vec![EdgeId(0), EdgeId(1)],
+            probability: 1.0,
+        };
+        let r = pm.restore_after_cut(&g, &cut, &[], &opts()).unwrap();
+        assert!(
+            r.added_columns > 0,
+            "the a–d–c–b detour must be generated on demand"
+        );
+        assert!(pm.model().num_vars() > vars_before);
+        // The planner provisions one 400 G @ 75 GHz wavelength for the
+        // 300 G demand (same cost as 300 G @ 75 GHz, more capacity).
+        assert_eq!(r.affected_gbps, 400);
+        assert_eq!(r.restored_gbps, 400, "FlexWAN revives the link via a–d–c–b");
+        for w in &r.wavelengths {
+            assert!(!w.path.uses_edge(EdgeId(0)) && !w.path.uses_edge(EdgeId(1)));
+            assert!(w.format.reach_km >= w.path.length_km);
+        }
+
+        // Same scenario on a from-scratch standing model whose space was
+        // *pre-built* with both detours: optima must coincide.
+        let wide = PlannerConfig { k_paths: 2, ..pc };
+        let mut full = PlanModel::build_restorable(Scheme::FlexWan, &g, &ip, &wide);
+        full.solve(&opts()).unwrap();
+        let f = full.restore_after_cut(&g, &cut, &[], &opts()).unwrap();
+        assert_eq!(f.added_columns, 0, "wide build already has the detour");
+        assert_eq!(r.restored_gbps, f.restored_gbps);
+        assert_eq!(r.affected_gbps, f.affected_gbps);
+
+        // Column generation must not disturb the standing planning
+        // optimum: re-solving reproduces the original plan bit-for-bit.
+        let again = pm.solve(&opts()).unwrap();
+        assert_eq!(again.objective.to_bits(), plan.objective.to_bits());
+        assert_eq!(again.wavelengths, plan.wavelengths);
+
+        // The same scenario again adds nothing (columns are remembered)
+        // and reproduces the same restoration.
+        let r2 = pm.restore_after_cut(&g, &cut, &[], &opts()).unwrap();
+        assert_eq!(r2.added_columns, 0);
+        assert_eq!(r2.restored_gbps, r.restored_gbps);
+        assert_eq!(r2.wavelengths, r.wavelengths);
+    }
+
+    #[test]
+    fn ensure_columns_prewarms_without_shifting_planning() {
+        let (g, ip) = ring5();
+        let pc = PlannerConfig {
+            k_paths: 1,
+            ..cfg(16)
+        };
+        let mut pm = PlanModel::build_restorable(Scheme::FlexWan, &g, &ip, &pc);
+        let plan = pm.solve(&opts()).unwrap();
+        let cut = FailureScenario {
+            id: 7,
+            cuts: vec![EdgeId(0), EdgeId(1)],
+            probability: 1.0,
+        };
+        let added = pm.ensure_restoration_columns(&g, &cut);
+        assert!(added > 0);
+        assert_eq!(pm.ensure_restoration_columns(&g, &cut), 0, "idempotent");
+        // Pre-warmed columns stay pinned: planning is unchanged.
+        let again = pm.solve(&opts()).unwrap();
+        assert_eq!(again.objective.to_bits(), plan.objective.to_bits());
+        assert_eq!(again.wavelengths, plan.wavelengths);
+        // And the restoration that needs them adds nothing further.
+        let r = pm.restore_after_cut(&g, &cut, &[], &opts()).unwrap();
+        assert_eq!(r.added_columns, 0);
+        assert_eq!(r.restored_gbps, r.affected_gbps);
+    }
+
+    #[test]
+    fn change_demand_warm_resolves() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, 200);
+        let mut ip = IpTopology::new();
+        let l = ip.add_link(a, b, 400);
+        let mut pm = PlanModel::build(Scheme::FlexWan, &g, &ip, &cfg(24));
+        let p1 = pm.solve(&opts()).unwrap();
+
+        pm.change_demand(l, 800);
+        let p2 = pm.solve(&opts()).unwrap();
+        let carried: u64 = p2
+            .wavelengths
+            .iter()
+            .map(|w| u64::from(w.format.data_rate_gbps))
+            .sum();
+        assert!(carried >= 800, "re-solve must meet the raised demand");
+        assert!(p2.objective > p1.objective);
+
+        // Matches a from-scratch build at the new demand, bit-for-bit.
+        let mut ip2 = ip.clone();
+        ip2.set_demand(l, 800);
+        let scratch = PlanModel::build(Scheme::FlexWan, &g, &ip2, &cfg(24))
+            .solve(&opts())
+            .unwrap();
+        assert_eq!(p2.objective.to_bits(), scratch.objective.to_bits());
     }
 
     #[test]

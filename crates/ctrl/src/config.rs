@@ -195,7 +195,7 @@ mod tests {
         ConfigDocument {
             revision: 7,
             config: StandardConfig::Transponder {
-                format: TransponderFormat::derive(400, PixelWidth::from_ghz(100.0).unwrap(), 1500),
+                format: TransponderFormat::derive(400, PixelWidth::new(8), 1500),
                 channel: PixelRange::new(16, PixelWidth::new(8)),
                 enabled: true,
             },

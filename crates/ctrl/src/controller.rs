@@ -252,6 +252,28 @@ pub struct ConvergeReport {
     pub converged: bool,
 }
 
+/// The device-plane footprint of one applied wavelength, remembered so
+/// [`Controller::release_wavelength_atomic`] can undo exactly what the
+/// apply did (which transponders were spawned, which MUX ports were
+/// claimed — the ROADM expresses are re-derivable from the wavelength).
+#[derive(Debug, Clone)]
+struct LightpathAlloc {
+    transponders: Vec<DeviceId>,
+    mux_ports: Vec<(NodeId, u16)>,
+}
+
+/// Identity of a lightpath on the device plane: same route + same
+/// spectrum ⇒ same footprint shape (allocations stack for duplicates).
+type LightpathKey = (Vec<EdgeId>, u32, u16);
+
+fn lightpath_key(w: &flexwan_core::Wavelength) -> LightpathKey {
+    (
+        w.path.edges.clone(),
+        w.channel.start,
+        w.channel.width.pixels(),
+    )
+}
+
 /// The centralized controller.
 pub struct Controller {
     /// Device manager.
@@ -259,6 +281,12 @@ pub struct Controller {
     mux_at: HashMap<NodeId, DeviceId>,
     roadm_at: HashMap<NodeId, DeviceId>,
     next_port: HashMap<NodeId, u16>,
+    /// Filter ports handed back by released lightpaths, reused before
+    /// `next_port` grows — without this the monotonic counter exhausts
+    /// the 64 ports of a site MUX under sustained cut/repair churn.
+    free_ports: HashMap<NodeId, Vec<u16>>,
+    /// Live lightpath footprints, keyed by route + spectrum.
+    live_paths: HashMap<LightpathKey, Vec<LightpathAlloc>>,
     degree_of: HashMap<(NodeId, EdgeId), u16>,
     revision: u64,
     journal: ConfigJournal,
@@ -304,6 +332,8 @@ impl Controller {
             mux_at,
             roadm_at,
             next_port: HashMap::new(),
+            free_ports: HashMap::new(),
+            live_paths: HashMap::new(),
             degree_of,
             revision: 0,
             journal: ConfigJournal::new(),
@@ -424,6 +454,25 @@ impl Controller {
         std::thread::sleep(Duration::from_nanos(jittered));
     }
 
+    /// Claims a MUX filter port at `site`: lowest released port first
+    /// (deterministic), else the next never-used one.
+    fn alloc_port(&mut self, site: NodeId) -> u16 {
+        if let Some(free) = self.free_ports.get_mut(&site) {
+            if let Some(pos) = (0..free.len()).min_by_key(|&i| free[i]) {
+                return free.swap_remove(pos);
+            }
+        }
+        let p = self.next_port.entry(site).or_insert(0);
+        let port = *p;
+        *p += 1;
+        port
+    }
+
+    /// Returns a filter port to `site`'s free list.
+    fn release_port(&mut self, site: NodeId, port: u16) {
+        self.free_ports.entry(site).or_default().push(port);
+    }
+
     fn send(&mut self, id: DeviceId, cfg: StandardConfig) -> Result<(), (DeviceId, String)> {
         self.stats.sends += 1;
         self.count("ctrl_sends_total");
@@ -524,12 +573,7 @@ impl Controller {
             // 2. MUX filter ports at both ends, passband = the channel.
             for site in [w.path.source(), w.path.destination()] {
                 let mux = self.mux_at[&site];
-                let port = {
-                    let p = self.next_port.entry(site).or_insert(0);
-                    let port = *p;
-                    *p += 1;
-                    port
-                };
+                let port = self.alloc_port(site);
                 if port >= MUX_PORTS {
                     report
                         .rejections
@@ -587,18 +631,105 @@ impl Controller {
         &mut self,
         w: &flexwan_core::Wavelength,
     ) -> Result<usize, TxError> {
-        let tx = self.wavelength_transaction(w);
-        match self.obs.clone() {
+        self.apply_wavelength_atomic_with_budget(w, usize::MAX)
+    }
+
+    /// Tears one wavelength's configuration down **atomically**: disables
+    /// its transponders, clears its endpoint MUX filter ports and releases
+    /// the intermediate ROADM expresses — the exact inverse of
+    /// [`apply_wavelength_atomic`](Self::apply_wavelength_atomic). A
+    /// mid-path rejection rolls the already-released prefix back, so the
+    /// lightpath is either fully up or fully down. On success the MUX
+    /// ports return to the site free list for reuse. Releasing a
+    /// wavelength this controller never applied is a counted no-op.
+    pub fn release_wavelength_atomic(
+        &mut self,
+        w: &flexwan_core::Wavelength,
+    ) -> Result<usize, TxError> {
+        let key = lightpath_key(w);
+        let Some(alloc) = self.live_paths.get_mut(&key).and_then(|v| v.pop()) else {
+            self.count("ctrl_release_untracked_total");
+            return Ok(0);
+        };
+        let mut tx = Transaction::new();
+        // Inverse step list: every forward config is the apply's undo and
+        // vice versa, so a failed release rolls back to fully-applied.
+        for &t in &alloc.transponders {
+            tx.step(
+                t,
+                StandardConfig::Transponder {
+                    format: w.format,
+                    channel: w.channel,
+                    enabled: false,
+                },
+                StandardConfig::Transponder {
+                    format: w.format,
+                    channel: w.channel,
+                    enabled: true,
+                },
+            );
+        }
+        for &(site, port) in &alloc.mux_ports {
+            tx.step(
+                self.mux_at[&site],
+                StandardConfig::MuxPort {
+                    port,
+                    passband: None,
+                },
+                StandardConfig::MuxPort {
+                    port,
+                    passband: Some(w.channel),
+                },
+            );
+        }
+        for i in 1..w.path.nodes.len().saturating_sub(1) {
+            let node = w.path.nodes[i];
+            let from = self.degree_of[&(node, w.path.edges[i - 1])];
+            let to = self.degree_of[&(node, w.path.edges[i])];
+            tx.step(
+                self.roadm_at[&node],
+                StandardConfig::RoadmRelease {
+                    from_degree: from,
+                    to_degree: to,
+                    passband: w.channel,
+                },
+                StandardConfig::RoadmExpress {
+                    from_degree: from,
+                    to_degree: to,
+                    passband: w.channel,
+                },
+            );
+        }
+        let result = match self.obs.clone() {
             Some(obs) => tx.execute_observed(&obs, usize::MAX, |d, cfg| {
                 self.send(d, cfg.clone()).map_err(|(_, e)| e)
             }),
             None => tx.execute(|d, cfg| self.send(d, cfg.clone()).map_err(|(_, e)| e)),
+        };
+        match &result {
+            Ok(_) => {
+                for (site, port) in alloc.mux_ports {
+                    self.release_port(site, port);
+                }
+                self.count("ctrl_releases_total");
+            }
+            // Rolled back to fully-applied: the footprint is still live.
+            Err(_) => self.live_paths.entry(key).or_default().push(alloc),
         }
+        result
     }
 
-    /// Builds the transactional step list lighting wavelength `w`.
-    fn wavelength_transaction(&mut self, w: &flexwan_core::Wavelength) -> Transaction {
+    /// Builds the transactional step list lighting wavelength `w`, plus
+    /// the footprint record a later release needs.
+    fn wavelength_transaction(
+        &mut self,
+        w: &flexwan_core::Wavelength,
+    ) -> (Transaction, LightpathAlloc) {
         let mut tx = Transaction::new();
+        let mut alloc = LightpathAlloc {
+            transponders: Vec::new(),
+            mux_ports: Vec::new(),
+        };
         // 1. Transponders (registered up front; rollback disables them).
         for site in [w.path.source(), w.path.destination()] {
             let vendor = Vendor::ALL[site.0 as usize % Vendor::ALL.len()];
@@ -608,6 +739,7 @@ impl Controller {
                 site,
                 Hardware::Transponder(None),
             );
+            alloc.transponders.push(t);
             tx.step(
                 t,
                 StandardConfig::Transponder {
@@ -625,9 +757,8 @@ impl Controller {
         // 2. Endpoint MUX filter ports.
         for site in [w.path.source(), w.path.destination()] {
             let mux = self.mux_at[&site];
-            let p = self.next_port.entry(site).or_insert(0);
-            let port = *p;
-            *p += 1;
+            let port = self.alloc_port(site);
+            alloc.mux_ports.push((site, port));
             tx.step(
                 mux,
                 StandardConfig::MuxPort {
@@ -659,7 +790,7 @@ impl Controller {
                 },
             );
         }
-        tx
+        (tx, alloc)
     }
 
     /// Repairs configuration drift: re-audits `plan` against live device
@@ -684,9 +815,7 @@ impl Controller {
                     }
                 };
                 if !passes {
-                    let p = self.next_port.entry(site).or_insert(0);
-                    let port = *p;
-                    *p += 1;
+                    let port = self.alloc_port(site);
                     match self.send(
                         mux_id,
                         StandardConfig::MuxPort {
@@ -900,15 +1029,31 @@ impl Controller {
         w: &flexwan_core::Wavelength,
         budget: usize,
     ) -> Result<usize, TxError> {
-        let tx = self.wavelength_transaction(w);
-        match self.obs.clone() {
+        let (tx, alloc) = self.wavelength_transaction(w);
+        let result = match self.obs.clone() {
             Some(obs) => tx.execute_observed(&obs, budget, |d, cfg| {
                 self.send(d, cfg.clone()).map_err(|(_, e)| e)
             }),
             None => tx.execute_with_budget(budget, |d, cfg| {
                 self.send(d, cfg.clone()).map_err(|(_, e)| e)
             }),
+        };
+        match &result {
+            // Remember the footprint so the lightpath can be released.
+            Ok(_) => self
+                .live_paths
+                .entry(lightpath_key(w))
+                .or_default()
+                .push(alloc),
+            // Rolled back: the claimed ports go straight back to the
+            // free list (the rollback already cleared them on-device).
+            Err(_) => {
+                for (site, port) in alloc.mux_ports {
+                    self.release_port(site, port);
+                }
+            }
         }
+        result
     }
 }
 
@@ -1085,6 +1230,70 @@ mod tests {
             rep2.transponders_configured + rep2.mux_ports_configured + rep2.expresses_configured;
         assert_eq!(legacy.journal().len(), total2);
         assert!(legacy.journal().len() < ctrl.journal().len());
+    }
+
+    #[test]
+    fn release_undoes_apply_on_the_device_plane() {
+        let (g, ip) = backbone();
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        };
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+        for w in &p.wavelengths {
+            ctrl.apply_wavelength_atomic(w).unwrap();
+        }
+        assert!(ctrl.audit_plan(&p).is_empty());
+        let released = ctrl.release_wavelength_atomic(&p.wavelengths[0]).unwrap();
+        assert!(released >= 4, "2 transponders + 2 mux ports at least");
+        // The released wavelength now audits as inconsistent; the rest of
+        // the plan is untouched.
+        let findings = ctrl.audit_plan(&p);
+        assert!(
+            findings.iter().all(|f| f.starts_with("wavelength 0")),
+            "{findings:?}"
+        );
+        assert!(!findings.is_empty());
+    }
+
+    #[test]
+    fn released_ports_are_reused_not_leaked() {
+        // Apply/release the same wavelength more times than a site MUX
+        // has filter ports: with the free list this cycles port 0/1
+        // forever; with the old monotonic counter it exhausts at 64.
+        let (g, ip) = backbone();
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        };
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        let w = &p.wavelengths[0];
+        let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+        for cycle in 0..(MUX_PORTS + 8) {
+            ctrl.apply_wavelength_atomic(w)
+                .unwrap_or_else(|e| panic!("cycle {cycle}: {e}"));
+            ctrl.release_wavelength_atomic(w).unwrap();
+        }
+        // Only the two endpoint ports were ever claimed.
+        for site in [w.path.source(), w.path.destination()] {
+            assert!(ctrl.next_port[&site] <= 1, "ports leaked at {site:?}");
+        }
+    }
+
+    #[test]
+    fn releasing_an_unapplied_wavelength_is_a_noop() {
+        let (g, ip) = backbone();
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(96),
+            ..Default::default()
+        };
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+        assert_eq!(
+            ctrl.release_wavelength_atomic(&p.wavelengths[0]).unwrap(),
+            0
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub struct TelemetryStore {
     window: usize,
     series: HashMap<EdgeId, Vec<(u64, f64)>>,
     max_tick: u64,
+    stale_dropped: u64,
     obs: Option<Obs>,
 }
 
@@ -39,6 +40,7 @@ impl TelemetryStore {
             window,
             series: HashMap::new(),
             max_tick: 0,
+            stale_dropped: 0,
             obs: None,
         }
     }
@@ -50,7 +52,12 @@ impl TelemetryStore {
         self.obs = Some(obs);
     }
 
-    /// Ingests one sample (samples are expected in tick order per fiber).
+    /// Ingests one sample. The transport re-delivers, reorders, and delays
+    /// (see `FaultInjector::perturb_stream`), so the store is the point of
+    /// idempotence: a sample at or before the fiber's newest retained tick
+    /// is a duplicate or stale re-delivery and is dropped (counted, never
+    /// asserted on) rather than corrupting the time series the cut
+    /// detector differentiates.
     pub fn ingest(&mut self, s: TelemetrySample) {
         self.max_tick = self.max_tick.max(s.tick);
         if let Some(obs) = &self.obs {
@@ -60,14 +67,24 @@ impl TelemetryStore {
                 .set((self.max_tick - s.tick) as f64);
         }
         let v = self.series.entry(s.fiber).or_default();
-        debug_assert!(
-            v.last().is_none_or(|&(t, _)| t <= s.tick),
-            "out-of-order sample"
-        );
+        if v.last().is_some_and(|&(t, _)| s.tick <= t) {
+            self.stale_dropped += 1;
+            if let Some(obs) = &self.obs {
+                obs.registry()
+                    .counter("telemetry_stale_dropped_total")
+                    .inc();
+            }
+            return;
+        }
         v.push((s.tick, s.rx_power_dbm));
         if v.len() > self.window {
             v.remove(0);
         }
+    }
+
+    /// How many duplicate/out-of-order samples were dropped at ingest.
+    pub fn stale_dropped(&self) -> u64 {
+        self.stale_dropped
     }
 
     /// The most recent (tick, power) for `fiber`.
@@ -250,6 +267,24 @@ mod tests {
             sim.tick(&mut store, t, &[EdgeId(0)]);
             assert!(det.is_cut(&store, EdgeId(0)), "tick {t}");
         }
+    }
+
+    #[test]
+    fn stale_and_duplicate_samples_are_dropped_not_asserted() {
+        let mut store = TelemetryStore::new(10);
+        let sample = |tick, power| TelemetrySample {
+            fiber: EdgeId(0),
+            tick,
+            rx_power_dbm: power,
+        };
+        store.ingest(sample(5, -3.0));
+        store.ingest(sample(6, -3.0));
+        store.ingest(sample(6, -60.0)); // duplicate tick, conflicting value
+        store.ingest(sample(2, -60.0)); // stale re-delivery
+        assert_eq!(store.stale_dropped(), 2);
+        assert_eq!(store.latest(EdgeId(0)), Some((6, -3.0)));
+        assert_eq!(store.previous(EdgeId(0)), Some((5, -3.0)));
+        assert!(!FiberCutDetector::default().is_cut(&store, EdgeId(0)));
     }
 
     #[test]

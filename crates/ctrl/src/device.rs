@@ -132,6 +132,20 @@ impl DeviceState {
     }
 }
 
+/// Renders an error with its full `source()` chain, so a rejection cause
+/// carries the root failure (e.g. the optical-layer grid violation behind
+/// a dialect decode error) and not just the outermost message.
+fn error_chain(e: &dyn std::error::Error) -> String {
+    let mut cause = e.to_string();
+    let mut src = e.source();
+    while let Some(s) = src {
+        cause.push_str(": ");
+        cause.push_str(&s.to_string());
+        src = s.source();
+    }
+    cause
+}
+
 /// A running simulated device: descriptor + session; the thread exits when
 /// the handle is dropped.
 #[derive(Debug)]
@@ -179,7 +193,7 @@ pub fn spawn_device(descriptor: DeviceDescriptor, hardware: Hardware) -> DeviceH
                     let reply = match vendor::decode(vendor_kind, &native) {
                         Err(e) => NetconfReply::Rejected {
                             revision,
-                            cause: e.to_string(),
+                            cause: error_chain(&e),
                         },
                         Ok(cfg) => match state.apply(&cfg) {
                             Ok(()) => {

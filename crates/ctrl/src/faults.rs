@@ -64,6 +64,34 @@ impl DeviceFaults {
     }
 }
 
+/// Delivery faults applied to the churn **event stream** itself (the
+/// transport between whatever emits demand/cut/repair/drift events and
+/// the service loop consuming them). Same philosophy as [`DeviceFaults`]:
+/// probabilities per event, all decisions from the injector's seeded RNG,
+/// so a perturbed delivery sequence replays bit-identically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamFaults {
+    /// Probability an event is dropped in flight (never delivered; the
+    /// consumer must detect the sequence gap and re-fetch).
+    pub drop_prob: f64,
+    /// Probability an event is delivered twice back-to-back (at-least-once
+    /// transports redeliver on ack loss).
+    pub duplicate_prob: f64,
+    /// Probability an event swaps places with its successor (delivery
+    /// order ≠ emission order).
+    pub reorder_prob: f64,
+    /// Probability an already-delivered event is re-delivered again much
+    /// later, arbitrarily stale.
+    pub stale_prob: f64,
+}
+
+impl StreamFaults {
+    /// Whether this is the all-zeros (fault-free) plan.
+    pub fn is_none(&self) -> bool {
+        *self == StreamFaults::default()
+    }
+}
+
 /// A seeded, per-device fault plan.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
@@ -74,6 +102,9 @@ pub struct FaultPlan {
     pub default: DeviceFaults,
     /// Per-device overrides.
     pub per_device: HashMap<DeviceId, DeviceFaults>,
+    /// Faults applied to the churn event stream
+    /// ([`FaultInjector::perturb_stream`]).
+    pub stream: StreamFaults,
 }
 
 impl FaultPlan {
@@ -88,12 +119,19 @@ impl FaultPlan {
             seed,
             default: faults,
             per_device: HashMap::new(),
+            stream: StreamFaults::default(),
         }
     }
 
     /// Builder: override the faults for one device.
     pub fn device(mut self, id: DeviceId, faults: DeviceFaults) -> Self {
         self.per_device.insert(id, faults);
+        self
+    }
+
+    /// Builder: apply `faults` to the churn event stream.
+    pub fn with_stream(mut self, faults: StreamFaults) -> Self {
+        self.stream = faults;
         self
     }
 
@@ -144,6 +182,14 @@ pub struct FaultStats {
     pub crashes: u64,
     /// Stale state snapshots served.
     pub stale_reads: u64,
+    /// Stream events dropped in flight.
+    pub events_dropped: u64,
+    /// Stream events delivered twice back-to-back.
+    pub events_duplicated: u64,
+    /// Adjacent stream-event pairs swapped.
+    pub events_reordered: u64,
+    /// Stream events re-delivered arbitrarily late.
+    pub events_stale: u64,
 }
 
 #[derive(Debug)]
@@ -250,6 +296,57 @@ impl FaultInjector {
         }
         g.stats.delivered += 1;
         StateVerdict::Deliver
+    }
+
+    /// Applies the plan's [`StreamFaults`] to a canonical, in-order event
+    /// stream, returning the perturbed delivery sequence the consumer
+    /// actually sees. One pass, RNG consumed in event order, so the same
+    /// plan + the same canonical stream perturbs bit-identically:
+    ///
+    /// 1. each event is dropped with `drop_prob`, else delivered — and
+    ///    then duplicated back-to-back with `duplicate_prob` and/or
+    ///    scheduled for a late stale re-delivery with `stale_prob`;
+    /// 2. adjacent delivered pairs swap with `reorder_prob`;
+    /// 3. stale re-deliveries are spliced in a few positions after their
+    ///    original slot (clamped to the end of the stream).
+    pub fn perturb_stream<T: Clone>(&self, events: &[T]) -> Vec<T> {
+        let mut g = self.inner.lock().expect("injector poisoned");
+        let faults = g.plan.stream.clone();
+        let mut out: Vec<T> = Vec::with_capacity(events.len());
+        let mut stale: Vec<(usize, T)> = Vec::new();
+        for ev in events {
+            if faults.drop_prob > 0.0 && g.rng.gen_f64() < faults.drop_prob {
+                g.stats.events_dropped += 1;
+                continue;
+            }
+            out.push(ev.clone());
+            if faults.duplicate_prob > 0.0 && g.rng.gen_f64() < faults.duplicate_prob {
+                g.stats.events_duplicated += 1;
+                out.push(ev.clone());
+            }
+            if faults.stale_prob > 0.0 && g.rng.gen_f64() < faults.stale_prob {
+                g.stats.events_stale += 1;
+                let lag = g.rng.gen_range(2usize..8);
+                stale.push((out.len() + lag, ev.clone()));
+            }
+        }
+        if faults.reorder_prob > 0.0 && out.len() > 1 {
+            let mut i = 0;
+            while i + 1 < out.len() {
+                if g.rng.gen_f64() < faults.reorder_prob {
+                    out.swap(i, i + 1);
+                    g.stats.events_reordered += 1;
+                    i += 2; // a swapped pair is settled
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for (at, ev) in stale {
+            let at = at.min(out.len());
+            out.insert(at, ev);
+        }
+        out
     }
 
     /// Records a fresh state read (the pool stale reads are served from).
@@ -551,5 +648,56 @@ mod tests {
         assert!(s.is_cut(long));
         let s2 = physical_scenario(1, &[PhysicalFault::FiberCut(short)], &g, &tb);
         assert!(s2.is_cut(short), "a cut always takes the fiber down");
+    }
+
+    #[test]
+    fn perturb_stream_without_faults_is_identity() {
+        let inj = FaultInjector::new(FaultPlan::none());
+        let events: Vec<u32> = (0..50).collect();
+        assert_eq!(inj.perturb_stream(&events), events);
+        let s = inj.stats();
+        assert_eq!(
+            s.events_dropped + s.events_duplicated + s.events_reordered + s.events_stale,
+            0
+        );
+    }
+
+    #[test]
+    fn perturb_stream_is_deterministic_per_seed() {
+        let plan = FaultPlan::none().with_stream(StreamFaults {
+            drop_prob: 0.1,
+            duplicate_prob: 0.1,
+            reorder_prob: 0.1,
+            stale_prob: 0.1,
+        });
+        let events: Vec<u32> = (0..200).collect();
+        let a = FaultInjector::new(plan.clone()).perturb_stream(&events);
+        let b = FaultInjector::new(plan).perturb_stream(&events);
+        assert_eq!(a, b);
+        assert_ne!(a, events, "faults at 10% must perturb 200 events");
+    }
+
+    #[test]
+    fn perturb_stream_counts_each_fault_kind() {
+        let plan = FaultPlan::none().with_stream(StreamFaults {
+            drop_prob: 0.2,
+            duplicate_prob: 0.2,
+            reorder_prob: 0.2,
+            stale_prob: 0.2,
+        });
+        let inj = FaultInjector::new(plan);
+        let events: Vec<u32> = (0..500).collect();
+        let out = inj.perturb_stream(&events);
+        let s = inj.stats();
+        assert!(s.events_dropped > 0);
+        assert!(s.events_duplicated > 0);
+        assert!(s.events_reordered > 0);
+        assert!(s.events_stale > 0);
+        // Every delivered event is a copy of a canonical one; the count
+        // balances drops against duplicates and stale re-deliveries.
+        assert_eq!(
+            out.len() as u64,
+            events.len() as u64 - s.events_dropped + s.events_duplicated + s.events_stale
+        );
     }
 }

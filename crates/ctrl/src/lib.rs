@@ -20,7 +20,11 @@
 //!   evolution cost model (§9);
 //! * [`ha`] — geo-replicated controller failover (§4.4 fault tolerance);
 //! * [`faults`] — the deterministic fault-injection harness (session,
-//!   cluster, and physical-plant faults) driving the chaos tests.
+//!   cluster, physical-plant, and event-stream faults) driving the
+//!   chaos tests;
+//! * [`service`] — the always-on churn service: a deadline-budgeted
+//!   event loop with a graceful-degradation ladder over the standing
+//!   incremental planning model (DESIGN.md §10).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +41,7 @@ pub mod model;
 pub mod netconf;
 pub mod orchestrator;
 pub mod recovery;
+pub mod service;
 pub mod transaction;
 pub mod vendor;
 
@@ -57,4 +62,8 @@ pub use model::{DeviceDescriptor, DeviceId, DeviceKind, Vendor};
 pub use netconf::{NetconfSession, SessionError};
 pub use orchestrator::{Orchestrator, TickOutcome};
 pub use recovery::{recover_misconnection, recover_misconnection_observed, RecoveryOutcome};
+pub use service::{
+    ChurnEvent, ChurnService, EventLog, SeqEvent, ServiceConfig, ServiceState, ServiceStats,
+    TickRecord, TickReport, LADDER_HEURISTIC, LADDER_PROTECT, LADDER_WARM,
+};
 pub use transaction::{Transaction, TxError};

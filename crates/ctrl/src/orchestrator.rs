@@ -41,8 +41,13 @@ pub enum TickOutcome {
     Repaired {
         /// The fibers that came back.
         fibers: Vec<EdgeId>,
-        /// Restoration wavelengths retired.
+        /// Restoration wavelengths retired (released on the device
+        /// plane, spectrum and MUX ports returned).
         retired: usize,
+        /// Wavelengths re-applied for fibers still cut — a partial
+        /// repair retires everything and re-restores the remainder
+        /// rather than leaving surviving cuts unprotected.
+        re_restored: usize,
     },
 }
 
@@ -128,10 +133,15 @@ impl<'a> Orchestrator<'a> {
                     reg.counter("orchestrator_apply_rejections_total")
                         .add(*apply_rejections as u64);
                 }
-                TickOutcome::Repaired { fibers, retired } => {
+                TickOutcome::Repaired {
+                    fibers,
+                    retired,
+                    re_restored,
+                } => {
                     span.field("outcome", "repaired");
                     span.field("fibers", fibers.len());
                     span.field("retired", *retired);
+                    span.field("re_restored", *re_restored);
                     reg.counter("orchestrator_repairs_total").inc();
                 }
             }
@@ -150,34 +160,49 @@ impl<'a> Orchestrator<'a> {
     ) -> TickOutcome {
         let flagged: HashSet<EdgeId> = self.detector.scan(store).into_iter().collect();
 
-        // Repair first: fibers that were cut and are now clean.
-        let repaired: Vec<EdgeId> = self.active_cuts.difference(&flagged).copied().collect();
+        let mut repaired: Vec<EdgeId> = self.active_cuts.difference(&flagged).copied().collect();
+        let mut new_cuts: Vec<EdgeId> = flagged.difference(&self.active_cuts).copied().collect();
+        repaired.sort();
+        new_cuts.sort();
+        if repaired.is_empty() && new_cuts.is_empty() {
+            return TickOutcome::Quiet;
+        }
+
+        // Repairs: release every live restoration wavelength through the
+        // device plane (spectrum and MUX ports return to the pool; the
+        // original plan's wavelengths resume on the repaired fibers). If
+        // any cut survives — a partial repair, or a repair landing on the
+        // same tick as a fresh cut — restoration for the surviving set is
+        // recomputed below instead of leaving it unprotected.
+        let mut retired = 0;
         if !repaired.is_empty() {
             for f in &repaired {
                 self.active_cuts.remove(f);
             }
-            // Retire all restoration wavelengths; the original plan's
-            // wavelengths resume on the repaired fibers. (Production
-            // systems revert lazily; retiring eagerly keeps the invariant
-            // "restoration exists iff cuts exist" simple and testable.)
-            let retired = self.restoration.len();
-            self.restoration.clear();
+            for w in std::mem::take(&mut self.restoration) {
+                // A failed release rolls back to fully-applied; dropping
+                // it from the live set anyway matches the recompute below
+                // (reconcile picks up any stragglers).
+                let _ = controller.release_wavelength_atomic(&w);
+                retired += 1;
+            }
+        }
+        self.active_cuts.extend(new_cuts.iter().copied());
+
+        if self.active_cuts.is_empty() {
             return TickOutcome::Repaired {
                 fibers: repaired,
                 retired,
+                re_restored: 0,
             };
         }
 
-        // New cuts.
-        let new_cuts: Vec<EdgeId> = flagged.difference(&self.active_cuts).copied().collect();
-        if new_cuts.is_empty() {
-            return TickOutcome::Quiet;
-        }
-        self.active_cuts.extend(new_cuts.iter().copied());
         self.scenario_counter += 1;
+        let mut cuts: Vec<EdgeId> = self.active_cuts.iter().copied().collect();
+        cuts.sort();
         let scenario = FailureScenario {
             id: self.scenario_counter,
-            cuts: self.active_cuts.iter().copied().collect(),
+            cuts,
             probability: 1.0,
         };
         let plan_span = span.map(|s| s.child("orch.restore_plan"));
@@ -200,6 +225,14 @@ impl<'a> Orchestrator<'a> {
             } else {
                 self.restoration.push(rw.wavelength.clone());
             }
+        }
+        if new_cuts.is_empty() {
+            // Partial repair: cuts remain, restoration recomputed.
+            return TickOutcome::Repaired {
+                fibers: repaired,
+                retired,
+                re_restored: self.restoration.len(),
+            };
         }
         TickOutcome::Restored {
             cuts: new_cuts,
@@ -279,14 +312,148 @@ mod tests {
         // Repair.
         sim.tick(&mut store, 7, &[]);
         match orch.tick(&store, &mut ctrl) {
-            TickOutcome::Repaired { fibers, retired } => {
+            TickOutcome::Repaired {
+                fibers,
+                retired,
+                re_restored,
+            } => {
                 assert_eq!(fibers, vec![primary]);
                 assert_eq!(retired, 1);
+                assert_eq!(re_restored, 0);
             }
             other => panic!("expected repair, got {other:?}"),
         }
         assert!(orch.active_cuts().is_empty());
         assert!(orch.live_restoration().is_empty());
+    }
+
+    #[test]
+    fn cut_repair_cut_of_same_fiber_leaks_nothing() {
+        // The satellite regression: churn the same fiber through many
+        // cut → repair cycles. Every cycle must restore afresh (the
+        // repair released the previous restoration's spectrum and MUX
+        // ports back to the pool) — before the release path existed the
+        // monotonic port counter exhausted the 64-port site MUX.
+        let (g, ip, cfg) = world();
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        let primary = p.wavelengths[0].path.edges[0];
+        let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+        let mut orch = Orchestrator::new(&g, &ip, p, cfg, Vec::new());
+        let sim = TelemetrySim::new(&g);
+        let mut store = TelemetryStore::new(30);
+        let mut t = 0;
+        sim.tick(&mut store, t, &[]);
+        assert_eq!(orch.tick(&store, &mut ctrl), TickOutcome::Quiet);
+        for cycle in 0..80 {
+            t += 1;
+            sim.tick(&mut store, t, &[primary]);
+            match orch.tick(&store, &mut ctrl) {
+                TickOutcome::Restored {
+                    revived_gbps,
+                    apply_rejections,
+                    ..
+                } => {
+                    assert_eq!(revived_gbps, 300, "cycle {cycle}: revival degraded");
+                    assert_eq!(apply_rejections, 0, "cycle {cycle}: device plane leaked");
+                }
+                other => panic!("cycle {cycle}: expected restoration, got {other:?}"),
+            }
+            assert_eq!(orch.live_restoration().len(), 1);
+            t += 1;
+            sim.tick(&mut store, t, &[]);
+            match orch.tick(&store, &mut ctrl) {
+                TickOutcome::Repaired {
+                    retired,
+                    re_restored,
+                    ..
+                } => {
+                    assert_eq!(retired, 1, "cycle {cycle}");
+                    assert_eq!(re_restored, 0, "cycle {cycle}");
+                }
+                other => panic!("cycle {cycle}: expected repair, got {other:?}"),
+            }
+            assert!(orch.active_cuts().is_empty(), "cycle {cycle}");
+            assert!(orch.live_restoration().is_empty(), "cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn partial_repair_re_restores_surviving_cut() {
+        // Two fibers cut; one comes back. The repair must not strand the
+        // still-cut fiber without restoration (the old early return
+        // cleared everything and forgot the survivor).
+        let (g, ip, cfg) = world();
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        let primary = p.wavelengths[0].path.edges[0];
+        let spare = EdgeId(1); // carries no planned traffic
+        let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+        let mut orch = Orchestrator::new(&g, &ip, p, cfg, Vec::new());
+        let sim = TelemetrySim::new(&g);
+        let mut store = TelemetryStore::new(30);
+        sim.tick(&mut store, 0, &[]);
+        assert_eq!(orch.tick(&store, &mut ctrl), TickOutcome::Quiet);
+        sim.tick(&mut store, 1, &[primary, spare]);
+        match orch.tick(&store, &mut ctrl) {
+            // Both the working fiber and the only detour are down:
+            // nothing can be revived yet.
+            TickOutcome::Restored { revived_gbps, .. } => assert_eq!(revived_gbps, 0),
+            other => panic!("expected restoration, got {other:?}"),
+        }
+        assert!(orch.live_restoration().is_empty());
+        // The spare repairs; primary stays cut — and its repair is what
+        // makes the detour restorable again.
+        sim.tick(&mut store, 2, &[primary]);
+        match orch.tick(&store, &mut ctrl) {
+            TickOutcome::Repaired {
+                fibers,
+                retired,
+                re_restored,
+            } => {
+                assert_eq!(fibers, vec![spare]);
+                assert_eq!(retired, 0, "nothing was live to retire");
+                assert_eq!(re_restored, 1, "surviving cut must get restored");
+            }
+            other => panic!("expected partial repair, got {other:?}"),
+        }
+        assert_eq!(orch.active_cuts().len(), 1);
+        assert!(orch.active_cuts().contains(&primary));
+        assert_eq!(orch.live_restoration().len(), 1);
+        assert!(!orch.live_restoration()[0].path.uses_edge(primary));
+    }
+
+    #[test]
+    fn repair_and_new_cut_on_the_same_tick() {
+        // The repaired fiber's restoration is released and the new cut is
+        // restored in one tick — the old repair-first early return would
+        // have skipped the new cut entirely until the next tick.
+        let (g, ip, cfg) = world();
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        let primary = p.wavelengths[0].path.edges[0];
+        let spare = EdgeId(1);
+        let mut ctrl = Controller::build(&g, WssKind::PixelWise, cfg.grid);
+        let mut orch = Orchestrator::new(&g, &ip, p, cfg, Vec::new());
+        let sim = TelemetrySim::new(&g);
+        let mut store = TelemetryStore::new(30);
+        sim.tick(&mut store, 0, &[]);
+        assert_eq!(orch.tick(&store, &mut ctrl), TickOutcome::Quiet);
+        sim.tick(&mut store, 1, &[spare]);
+        assert!(matches!(
+            orch.tick(&store, &mut ctrl),
+            TickOutcome::Restored { .. }
+        ));
+        // spare repairs exactly as primary goes down.
+        sim.tick(&mut store, 2, &[primary]);
+        match orch.tick(&store, &mut ctrl) {
+            TickOutcome::Restored {
+                cuts, revived_gbps, ..
+            } => {
+                assert_eq!(cuts, vec![primary]);
+                assert_eq!(revived_gbps, 300);
+            }
+            other => panic!("expected restoration, got {other:?}"),
+        }
+        assert_eq!(orch.active_cuts().len(), 1);
+        assert!(orch.active_cuts().contains(&primary));
     }
 
     #[test]

@@ -11,21 +11,59 @@ use flexwan_util::json;
 use flexwan_util::json::Value;
 
 use flexwan_optical::spectrum::{PixelRange, PixelWidth, PIXEL_GHZ};
+use flexwan_optical::OpticalError;
 
 use crate::config::StandardConfig;
 use crate::model::Vendor;
 
 /// Translation error: the native document was malformed or off-grid.
+///
+/// When the failure originates in the optical layer (an off-grid width
+/// or start), the underlying [`OpticalError`] is preserved and exposed
+/// through [`std::error::Error::source`] so callers can report — or
+/// match on — the root cause instead of a flattened string.
 #[derive(Debug, Clone, PartialEq)]
-pub struct DialectError(pub String);
+pub struct DialectError {
+    msg: String,
+    source: Option<OpticalError>,
+}
 
-impl std::fmt::Display for DialectError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "vendor dialect error: {}", self.0)
+impl DialectError {
+    /// A translation error with no deeper cause.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DialectError {
+            msg: msg.into(),
+            source: None,
+        }
+    }
+
+    /// A translation error caused by an optical-layer rejection.
+    pub fn with_source(msg: impl Into<String>, source: OpticalError) -> Self {
+        DialectError {
+            msg: msg.into(),
+            source: Some(source),
+        }
+    }
+
+    /// The dialect-level message (without the source chain).
+    pub fn message(&self) -> &str {
+        &self.msg
     }
 }
 
-impl std::error::Error for DialectError {}
+impl std::fmt::Display for DialectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vendor dialect error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DialectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_ref()
+            .map(|e| e as &(dyn std::error::Error + 'static))
+    }
+}
 
 /// Encodes a pixel range in the vendor's native spectrum addressing.
 fn encode_range(vendor: Vendor, r: &PixelRange) -> Value {
@@ -51,13 +89,13 @@ fn encode_range(vendor: Vendor, r: &PixelRange) -> Value {
 fn get_u64(v: &Value, key: &str) -> Result<u64, DialectError> {
     v.get(key)
         .and_then(Value::as_u64)
-        .ok_or_else(|| DialectError(format!("missing integer field {key}")))
+        .ok_or_else(|| DialectError::new(format!("missing integer field {key}")))
 }
 
 fn get_f64(v: &Value, key: &str) -> Result<f64, DialectError> {
     v.get(key)
         .and_then(Value::as_f64)
-        .ok_or_else(|| DialectError(format!("missing numeric field {key}")))
+        .ok_or_else(|| DialectError::new(format!("missing numeric field {key}")))
 }
 
 /// Decodes a vendor-native spectrum address back to pixels.
@@ -76,11 +114,14 @@ fn decode_range(vendor: Vendor, v: &Value) -> Result<PixelRange, DialectError> {
             (low, get_u64(v, "f_max_mhz")? as f64 / 1000.0 - low)
         }
     };
-    let width = PixelWidth::from_ghz(width_ghz)
-        .map_err(|e| DialectError(format!("native width off-grid: {e}")))?;
+    let width = PixelWidth::from_ghz(width_ghz).map_err(|e| {
+        DialectError::with_source(format!("native width {width_ghz} GHz is off-grid"), e)
+    })?;
     let start = low_ghz / PIXEL_GHZ;
     if (start - start.round()).abs() > 1e-6 || start < 0.0 {
-        return Err(DialectError(format!("native start {low_ghz} GHz off-grid")));
+        return Err(DialectError::new(format!(
+            "native start {low_ghz} GHz off-grid"
+        )));
     }
     Ok(PixelRange::new(start.round() as u32, width))
 }
@@ -140,13 +181,13 @@ pub fn decode(vendor: Vendor, v: &Value) -> Result<StandardConfig, DialectError>
     let op = v
         .get("op")
         .and_then(Value::as_str)
-        .ok_or_else(|| DialectError("missing op".into()))?;
+        .ok_or_else(|| DialectError::new("missing op"))?;
     match op {
         "line-config" => {
             let channel = decode_range(
                 vendor,
                 v.get("spectrum")
-                    .ok_or_else(|| DialectError("missing spectrum".into()))?,
+                    .ok_or_else(|| DialectError::new("missing spectrum"))?,
             )?;
             let rate = get_u64(v, "rate_gbps")? as u32;
             let reach = get_u64(v, "reach_km")? as u32;
@@ -173,7 +214,7 @@ pub fn decode(vendor: Vendor, v: &Value) -> Result<StandardConfig, DialectError>
             let passband = decode_range(
                 vendor,
                 v.get("passband")
-                    .ok_or_else(|| DialectError("missing passband".into()))?,
+                    .ok_or_else(|| DialectError::new("missing passband"))?,
             )?;
             Ok(if op == "express-add" {
                 StandardConfig::RoadmExpress {
@@ -192,7 +233,7 @@ pub fn decode(vendor: Vendor, v: &Value) -> Result<StandardConfig, DialectError>
         "gain" => Ok(StandardConfig::AmplifierGain {
             gain_db: get_f64(v, "gain_db")?,
         }),
-        other => Err(DialectError(format!("unknown op {other}"))),
+        other => Err(DialectError::new(format!("unknown op {other}"))),
     }
 }
 
@@ -205,7 +246,7 @@ mod tests {
         let r = PixelRange::new(10, PixelWidth::new(7));
         vec![
             StandardConfig::Transponder {
-                format: TransponderFormat::derive(500, PixelWidth::from_ghz(87.5).unwrap(), 600),
+                format: TransponderFormat::derive(500, PixelWidth::new(7), 600),
                 channel: PixelRange::new(10, PixelWidth::new(7)),
                 enabled: true,
             },
@@ -290,6 +331,21 @@ mod tests {
             "passband": json!({ "low_ghz": 0.0, "high_ghz": 55.0 }),
         });
         assert!(decode(Vendor::VendorA, &bad).is_err());
+    }
+
+    #[test]
+    fn off_grid_width_preserves_optical_source() {
+        // The width is off the 12.5 GHz grid, so the optical layer is the
+        // root cause and must survive the translation into DialectError.
+        let bad = json!({
+            "op": "filter-port",
+            "port": 1,
+            "passband": json!({ "low_ghz": 0.0, "high_ghz": 55.0 }),
+        });
+        let err = decode(Vendor::VendorA, &bad).unwrap_err();
+        assert!(err.message().contains("off-grid"), "{err}");
+        let source = std::error::Error::source(&err).expect("optical cause preserved");
+        assert!(source.to_string().contains("12.5"), "root cause: {source}");
     }
 
     #[test]

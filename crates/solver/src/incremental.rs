@@ -33,7 +33,9 @@ use std::sync::Arc;
 
 use crate::branch_bound::solve_mip_with_root;
 use crate::expr::{LinExpr, Var};
-use crate::model::{Cmp, Model, RowId, Sense, Solution, SolveOptions, SolverStats, Status};
+use crate::model::{
+    Cmp, Model, RowId, Sense, Solution, SolveOptions, SolverStats, Status, VarKind,
+};
 use crate::simplex::{relax, BasisState, Ctx, Instance, LpOutcome};
 
 /// A model plus the basis of its last solve, re-solved warm after
@@ -94,6 +96,36 @@ impl IncrementalSolver {
     /// re-optimizes from it.
     pub fn set_objective(&mut self, sense: Sense, expr: impl Into<LinExpr>) {
         self.model.set_objective(sense, expr);
+    }
+
+    /// Adds a fresh variable that enters the given existing rows with the
+    /// given coefficients — column generation over the standing model.
+    /// Every row keeps its handle, index, group tag, and dual position;
+    /// only the variable layout changes, so the stored basis is dropped
+    /// and the next solve is cold. This is still a *mutation* of the
+    /// standing model (nothing is re-enumerated or re-built), and the
+    /// solve after next warm-starts from the refreshed basis as usual.
+    pub fn add_column(
+        &mut self,
+        name: impl Into<String>,
+        kind: VarKind,
+        lower: f64,
+        upper: f64,
+        entries: &[(RowId, f64)],
+    ) -> Var {
+        let v = self.model.add_var(name, kind, lower, upper);
+        for &(row, coeff) in entries {
+            self.model.add_term(row, v, coeff);
+        }
+        v
+    }
+
+    /// Appends `coeff · v` to an existing row (see [`Model::add_term`]).
+    /// Row handles and the stored basis both survive: appending a term
+    /// for an existing variable is row data the dual simplex re-chases,
+    /// exactly like a changed rhs.
+    pub fn add_term(&mut self, row: RowId, v: Var, coeff: f64) {
+        self.model.add_term(row, v, coeff);
     }
 
     /// Discards the stored basis; the next solve is cold. Useful when a
@@ -364,6 +396,66 @@ mod tests {
             "layout changed: must re-solve cold, got {s:?}"
         );
         assert!((sol.objective - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn added_column_matches_scratch_and_rewarms() {
+        // Column generation: a new variable enters two existing rows.
+        let (m, r0, r1) = lp();
+        let mut inc = IncrementalSolver::new(m.clone());
+        inc.solve(&SolveOptions::default());
+
+        let z = inc.add_column(
+            "z",
+            VarKind::Continuous,
+            0.0,
+            f64::INFINITY,
+            &[(r0, 1.0), (r1, 1.0)],
+        );
+        let (x, y) = (Var(0), Var(1));
+        inc.set_objective(Sense::Maximize, 3.0 * x + 2.0 * y + 4.0 * z);
+        let (sol, s) = inc.solve(&SolveOptions::default());
+        assert!(
+            s.cold_solves > 0,
+            "layout changed: must re-solve cold, got {s:?}"
+        );
+
+        let mut scratch = Model::new();
+        let sx = scratch.nonneg("x");
+        let sy = scratch.nonneg("y");
+        let sz = scratch.nonneg("z");
+        scratch.le(sx + sy + sz, 4.0);
+        scratch.le(sx + 3.0 * sy + sz, 6.0);
+        scratch.set_objective(Sense::Maximize, 3.0 * sx + 2.0 * sy + 4.0 * sz);
+        assert_same_solution(&sol, &scratch.solve());
+
+        // The refreshed basis covers the new layout: next solve is warm.
+        inc.change_rhs(r0, 3.0);
+        let (warm, s2) = inc.solve(&SolveOptions::default());
+        assert!(s2.warm_solves > 0 && s2.cold_solves == 0, "{s2:?}");
+        scratch.change_rhs(RowId(0), 3.0);
+        assert_same_solution(&warm, &scratch.solve());
+    }
+
+    #[test]
+    fn appended_term_on_existing_var_matches_scratch() {
+        // x enters r1 with an extra coefficient after the first solve; the
+        // stored basis either survives (repaired) or degrades cold — the
+        // answer must match a from-scratch build either way.
+        let (m, _, r1) = lp();
+        let mut inc = IncrementalSolver::new(m.clone());
+        inc.solve(&SolveOptions::default());
+
+        inc.add_term(r1, Var(0), 1.0); // x + 3y ≤ 6 becomes 2x + 3y ≤ 6
+        let (sol, _) = inc.solve(&SolveOptions::default());
+
+        let mut scratch = Model::new();
+        let sx = scratch.nonneg("x");
+        let sy = scratch.nonneg("y");
+        scratch.le(sx + sy, 4.0);
+        scratch.le(2.0 * sx + 3.0 * sy, 6.0);
+        scratch.set_objective(Sense::Maximize, 3.0 * sx + 2.0 * sy);
+        assert_same_solution(&sol, &scratch.solve());
     }
 
     /// MIP path: knapsack, then tighten the capacity and re-solve.

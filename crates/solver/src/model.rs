@@ -484,6 +484,28 @@ impl Model {
         self.constraints[row.0].rhs = rhs;
     }
 
+    /// Appends `coeff · v` to an existing row's left-hand side — the
+    /// column half of the mutation vocabulary: a variable created after
+    /// the row was built can enter it without rebuilding the model. The
+    /// row keeps its handle, index, group tag, and dual position. A
+    /// non-finite coefficient marks the model malformed (solves then
+    /// fail closed), mirroring [`Model::change_rhs`].
+    pub fn add_term(&mut self, row: RowId, v: Var, coeff: f64) {
+        assert!(
+            v.0 < self.vars.len(),
+            "row term references unknown variable"
+        );
+        if !coeff.is_finite() {
+            self.malformed.push(format!(
+                "constraint {}: appended coefficient of {:?} is {coeff}",
+                row.0, self.vars[v.0].name
+            ));
+        }
+        let expr = &mut self.constraints[row.0].expr;
+        expr.add_term(v, coeff);
+        *expr = expr.simplified();
+    }
+
     /// Removes a row from the feasible-set definition without removing
     /// its slot: handles, row indices, and dual positions all stay valid,
     /// which is what lets a warm-started basis survive the mutation.
@@ -854,6 +876,33 @@ mod tests {
         assert!((m.solve().objective - 2.0).abs() < 1e-9);
         m.set_var_bounds(x, 5.0, 2.0); // empty domain → malformed
         assert_eq!(m.solve().status, Status::Error);
+    }
+
+    #[test]
+    fn add_term_extends_row_in_place() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let r = m.le(1.0 * x, 6.0);
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        assert!((m.solve().objective - 6.0).abs() < 1e-9);
+        let y = m.nonneg("y");
+        m.add_term(r, y, 2.0); // x + 2y ≤ 6
+        m.set_objective(Sense::Maximize, x + 5.0 * y);
+        assert!((m.solve().objective - 15.0).abs() < 1e-9);
+        // Merging onto an existing variable folds coefficients.
+        m.add_term(r, x, 1.0); // 2x + 2y ≤ 6
+        assert_eq!(m.row(r).expr.terms.len(), 2);
+        m.add_term(r, x, f64::NAN);
+        assert_eq!(m.solve().status, Status::Error);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn add_term_rejects_foreign_vars() {
+        let mut m = Model::new();
+        let x = m.nonneg("x");
+        let r = m.le(1.0 * x, 1.0);
+        m.add_term(r, Var(7), 1.0);
     }
 
     #[test]

@@ -54,6 +54,14 @@ impl IpTopology {
         id
     }
 
+    /// Replaces the bandwidth-capacity demand of an existing link — the
+    /// topology-side half of a demand-delta event (operators resize IP
+    /// links under churn; endpoints never change in place).
+    pub fn set_demand(&mut self, id: IpLinkId, demand_gbps: u64) {
+        assert!(demand_gbps > 0, "IP link demand must be positive");
+        self.links[id.0 as usize].demand_gbps = demand_gbps;
+    }
+
     /// All IP links.
     pub fn links(&self) -> &[IpLink] {
         &self.links

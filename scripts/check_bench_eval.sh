@@ -4,7 +4,8 @@
 # Compares a freshly generated BENCH_eval.json (first argument) against
 # the checked-in baseline (second argument, default
 # results/BENCH_eval.json): for each timed section (plan / restore /
-# sweep, and the exact-model build/solve/re-solve timings) the new
+# sweep, the exact-model build/solve/re-solve timings, and the churn
+# service's p50/p99 reaction time) the new
 # wall-times may be at most TOLERANCE_PCT percent slower than the
 # baseline (the exact-model timings, which time a single branch-and-bound
 # solve rather than a large aggregate and so see much more scheduler
@@ -98,6 +99,39 @@ for key in gammas_small gammas_large; do
     bad=1
   else
     printf '%-7s %-18s %s (unchanged)\n' scaling "$key" "$b"
+  fi
+done
+
+# Churn gate: the service loop's p99 reaction time is the headline SLO
+# (it is an order statistic over ~30 tick samples, so it gets its own
+# looser CHURN_TOLERANCE_PCT), and the drill's work counters are
+# deterministic for the pinned stream seed — a changed counter means the
+# classification or ladder logic itself changed, not the machine.
+churn_tolerance_pct="${CHURN_TOLERANCE_PCT:-100}"
+for kind in reaction_p50_ms reaction_p99_ms; do
+  b=$(field "$base" churn "$kind")
+  n=$(field "$new" churn "$kind")
+  if [ -z "$b" ] || [ -z "$n" ]; then
+    echo "FAIL: churn.$kind missing (baseline='$b' new='$n')"
+    bad=1
+    continue
+  fi
+  ok=$(awk -v b="$b" -v n="$n" -v tol="$churn_tolerance_pct" \
+    'BEGIN { print (n <= b * (1 + tol / 100)) ? 1 : 0 }')
+  verdict=ok
+  if [ "$ok" != 1 ]; then verdict="REGRESSED (>${churn_tolerance_pct}%)"; bad=1; fi
+  printf '%-7s %-18s baseline %10.2fms  new %10.2fms  %s\n' \
+    churn "$kind" "$b" "$n" "$verdict"
+done
+
+for key in ticks events_applied warm_mutations rebuilds restored_gbps_total; do
+  b=$(field "$base" churn "$key")
+  n=$(field "$new" churn "$key")
+  if [ "$b" != "$n" ]; then
+    echo "FAIL: churn.$key changed: baseline $b, new $n"
+    bad=1
+  else
+    printf '%-7s %-18s %s (unchanged)\n' churn "$key" "$b"
   fi
 done
 

@@ -9,12 +9,14 @@ use std::sync::Arc;
 
 use flexwan::core::planning::{plan, Plan, PlannerConfig};
 use flexwan::core::Scheme;
+use flexwan::ctrl::datastream::TelemetrySample;
 use flexwan::ctrl::ha::{ClusterError, ControllerCluster, HEARTBEAT_TOLERANCE};
 use flexwan::ctrl::issues::ConfiguredChannel;
 use flexwan::ctrl::model::Vendor;
 use flexwan::ctrl::{
     find_conflicts, find_inconsistencies, BreakerState, ClusterFaultSchedule, Controller,
     CtrlStats, DeviceFaults, DeviceId, FaultInjector, FaultPlan, FaultStats, Hardware,
+    Orchestrator, TelemetrySim, TelemetryStore, TickOutcome,
 };
 use flexwan::optical::spectrum::{PixelRange, SpectrumGrid};
 use flexwan::optical::WssKind;
@@ -418,4 +420,141 @@ fn losing_every_region_is_a_hard_error() {
     }
     assert_eq!(c.primary(), Err(ClusterError::NoHealthyReplica));
     assert!(c.submit().is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Orchestrator-tick idempotence under faulty telemetry delivery: the
+// store drops duplicate and stale samples instead of asserting, so the
+// closed loop never double-restores a cut and never un-restores one on
+// the strength of old data.
+// ---------------------------------------------------------------------------
+
+/// Shared setup: plan the backbone, build the device plane, return the
+/// closed-loop pieces plus the first planned fiber (the cut target).
+fn closed_loop<'a>(
+    g: &'a Graph,
+    ip: &'a IpTopology,
+    cfg: &PlannerConfig,
+) -> (
+    Controller,
+    Orchestrator<'a>,
+    TelemetryStore,
+    flexwan::topo::graph::EdgeId,
+) {
+    let p = plan(Scheme::FlexWan, g, ip, cfg);
+    let primary = p.wavelengths[0].path.edges[0];
+    let ctrl = Controller::build(g, WssKind::PixelWise, cfg.grid);
+    let orch = Orchestrator::new(g, ip, p, cfg.clone(), Vec::new());
+    let store = TelemetryStore::new(30);
+    (ctrl, orch, store, primary)
+}
+
+#[test]
+fn duplicate_cut_telemetry_never_double_restores() {
+    let (g, ip, cfg) = backbone();
+    let (mut ctrl, mut orch, mut store, primary) = closed_loop(&g, &ip, &cfg);
+    let sim = TelemetrySim::new(&g);
+
+    sim.tick(&mut store, 1, &[]);
+    assert_eq!(orch.tick(&store, &mut ctrl), TickOutcome::Quiet);
+
+    sim.tick(&mut store, 2, &[primary]);
+    let restored = match orch.tick(&store, &mut ctrl) {
+        TickOutcome::Restored { revived_gbps, .. } => revived_gbps,
+        other => panic!("expected restoration, got {other:?}"),
+    };
+    assert!(restored > 0);
+    let live_before = orch.live_restoration().to_vec();
+
+    // The transport redelivers tick 2's samples verbatim (duplicate) and
+    // tick 1's healthy samples (stale). The store drops both classes;
+    // the next orchestrator tick must be a no-op, not a second
+    // restoration and not a spurious repair.
+    for fiber in 0..g.num_edges() {
+        let fiber = flexwan::topo::graph::EdgeId(fiber as u32);
+        store.ingest(TelemetrySample {
+            fiber,
+            tick: 2,
+            rx_power_dbm: if fiber == primary { -60.0 } else { -3.0 },
+        });
+        store.ingest(TelemetrySample {
+            fiber,
+            tick: 1,
+            rx_power_dbm: -3.0,
+        });
+    }
+    assert!(
+        store.stale_dropped() > 0,
+        "store must count dropped samples"
+    );
+    assert_eq!(orch.tick(&store, &mut ctrl), TickOutcome::Quiet);
+    assert_eq!(
+        orch.live_restoration(),
+        &live_before[..],
+        "duplicate telemetry changed the restoration set"
+    );
+
+    // The cut persisting across later ticks is equally idempotent.
+    sim.tick(&mut store, 3, &[primary]);
+    assert_eq!(orch.tick(&store, &mut ctrl), TickOutcome::Quiet);
+}
+
+#[test]
+fn stale_healthy_sample_does_not_unrestore_a_cut() {
+    let (g, ip, cfg) = backbone();
+    let (mut ctrl, mut orch, mut store, primary) = closed_loop(&g, &ip, &cfg);
+    let sim = TelemetrySim::new(&g);
+
+    // Healthy history, then the cut.
+    for t in 1..=4 {
+        sim.tick(&mut store, t, &[]);
+        orch.tick(&store, &mut ctrl);
+    }
+    sim.tick(&mut store, 5, &[primary]);
+    assert!(matches!(
+        orch.tick(&store, &mut ctrl),
+        TickOutcome::Restored { .. }
+    ));
+
+    // A healthy reading from BEFORE the cut arrives late. If the store
+    // accepted it as current, the detector would see a repair and the
+    // orchestrator would tear down a restoration that is still needed.
+    store.ingest(TelemetrySample {
+        fiber: primary,
+        tick: 3,
+        rx_power_dbm: -3.0,
+    });
+    assert_eq!(orch.tick(&store, &mut ctrl), TickOutcome::Quiet);
+    assert!(
+        !orch.live_restoration().is_empty(),
+        "stale healthy sample un-restored a live cut"
+    );
+    assert!(orch.active_cuts().contains(&primary));
+}
+
+#[test]
+fn reordered_telemetry_converges_to_the_newest_tick() {
+    let (g, ip, cfg) = backbone();
+    let (mut ctrl, mut orch, mut store, primary) = closed_loop(&g, &ip, &cfg);
+    let sim = TelemetrySim::new(&g);
+
+    sim.tick(&mut store, 1, &[]);
+    orch.tick(&store, &mut ctrl);
+    sim.tick(&mut store, 2, &[primary]);
+    assert!(matches!(
+        orch.tick(&store, &mut ctrl),
+        TickOutcome::Restored { .. }
+    ));
+
+    // Ticks 4 (repaired) and 3 (still cut) arrive out of order. The
+    // store keeps tick 4 and drops tick 3 as stale, so the loop sees
+    // exactly one repair and no cut/repair flapping.
+    sim.tick(&mut store, 4, &[]);
+    sim.tick(&mut store, 3, &[primary]);
+    match orch.tick(&store, &mut ctrl) {
+        TickOutcome::Repaired { fibers, .. } => assert_eq!(fibers, vec![primary]),
+        other => panic!("expected repair, got {other:?}"),
+    }
+    assert!(orch.live_restoration().is_empty());
+    assert_eq!(orch.tick(&store, &mut ctrl), TickOutcome::Quiet);
 }
