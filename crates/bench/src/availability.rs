@@ -1,0 +1,139 @@
+//! The availability-surface experiment: multi-failure × demand-uncertainty
+//! scenario sweeps over a backbone, aggregated per (k, spare-budget) cell.
+//!
+//! A thin harness over [`flexwan_core::scenario`]: it generates the
+//! scenario suite (exhaustive k-cuts where they fit, seeded samples
+//! past the limit), the demand-perturbation set, optionally stands up
+//! the exact model as the ladder's top rung, and runs the engine. The
+//! output is byte-stable — the regeneration binary and the CI sweep
+//! gate diff the rendered surface verbatim.
+
+use flexwan_core::planning::{PlanModel, PlannerConfig};
+use flexwan_core::scenario::{
+    demand_scenarios, scenario_suite, AvailabilitySurface, EngineConfig, ScenarioEngine,
+};
+use flexwan_core::Scheme;
+use flexwan_topo::cache::RouteCache;
+use flexwan_topo::tbackbone::Backbone;
+
+/// Knobs for one availability sweep.
+#[derive(Debug, Clone)]
+pub struct AvailabilityConfig {
+    /// Largest simultaneous-cut count (surface rows are `k ∈ 1..=k_max`).
+    pub k_max: usize,
+    /// Enumerate a k row exhaustively while `C(fibers, k)` fits here.
+    pub exhaustive_limit: usize,
+    /// Seeded sample size for rows past the exhaustive limit.
+    pub samples: usize,
+    /// Seed for sampled cuts and demand perturbations.
+    pub seed: u64,
+    /// Perturbed demand scenarios alongside the nominal one.
+    pub demand_scenarios: usize,
+    /// Multiplicative demand spread (factors in `[1 − s, 1 + s]`).
+    pub demand_spread: f64,
+    /// Engine knobs: spare budgets, threads, warm-solve options,
+    /// protection rung.
+    pub engine: EngineConfig,
+    /// Stand up the exact model ([`PlanModel::build_restorable`]) as
+    /// the ladder's top rung for nominal-demand scenarios.
+    pub exact: bool,
+}
+
+impl Default for AvailabilityConfig {
+    fn default() -> Self {
+        AvailabilityConfig {
+            k_max: 3,
+            exhaustive_limit: 64,
+            samples: 24,
+            seed: 7,
+            demand_scenarios: 2,
+            demand_spread: 0.2,
+            engine: EngineConfig::default(),
+            exact: false,
+        }
+    }
+}
+
+/// Runs one availability sweep: suite generation, demand perturbation,
+/// optional exact-rung attach, engine evaluation. Deterministic for a
+/// given `(backbone, cfg, scheme, acfg)`; `cache` is shared memoization
+/// and never changes results.
+pub fn availability_surface(
+    backbone: &Backbone,
+    cfg: &PlannerConfig,
+    scheme: Scheme,
+    acfg: &AvailabilityConfig,
+    cache: &RouteCache,
+) -> AvailabilitySurface {
+    let suite = scenario_suite(
+        &backbone.optical,
+        acfg.k_max,
+        acfg.exhaustive_limit,
+        acfg.samples,
+        acfg.seed,
+    );
+    let demands = demand_scenarios(
+        &backbone.ip,
+        acfg.demand_scenarios,
+        acfg.demand_spread,
+        acfg.seed,
+    );
+    let mut engine = ScenarioEngine::new(
+        scheme,
+        &backbone.optical,
+        &backbone.ip,
+        cfg,
+        cache,
+        acfg.engine.clone(),
+    );
+    if acfg.exact {
+        // Warm mutations pin survivors of the *standing* solution, so
+        // the model must hold a solved baseline before it is attached.
+        let mut model = PlanModel::build_restorable(scheme, &backbone.optical, &backbone.ip, cfg);
+        model
+            .solve(&acfg.engine.solve)
+            .expect("exact baseline plan is feasible");
+        engine.attach_exact(model);
+    }
+    engine.evaluate(&suite, &demands)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexwan_topo::tbackbone::{t_backbone, TBackboneConfig};
+
+    fn small_backbone() -> Backbone {
+        t_backbone(&TBackboneConfig {
+            regions: 2,
+            nodes_per_region: 3,
+            ip_links: 6,
+            seed: 35,
+            metro_fiber_pairs: 2,
+            longhaul_fiber_pairs: 2,
+        })
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_thread_invariant() {
+        let b = small_backbone();
+        let cfg = PlannerConfig {
+            k_paths: 3,
+            ..PlannerConfig::default()
+        };
+        let acfg = AvailabilityConfig {
+            k_max: 2,
+            exhaustive_limit: 32,
+            samples: 8,
+            demand_scenarios: 1,
+            ..AvailabilityConfig::default()
+        };
+        let base = availability_surface(&b, &cfg, Scheme::FlexWan, &acfg, &RouteCache::new());
+        for threads in [1usize, 4] {
+            let mut a2 = acfg.clone();
+            a2.engine.threads = threads;
+            let s = availability_surface(&b, &cfg, Scheme::FlexWan, &a2, &RouteCache::new());
+            assert_eq!(s.render(), base.render(), "threads={threads}");
+        }
+    }
+}

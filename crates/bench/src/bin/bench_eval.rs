@@ -15,19 +15,22 @@
 
 use std::time::Instant;
 
+use flexwan_bench::availability::{availability_surface, AvailabilityConfig};
 use flexwan_bench::churn::{churn_drill, ChurnDrillConfig};
 use flexwan_bench::experiments::{cost_vs_scale_threads, restoration_results};
 use flexwan_bench::instances::{default_config, tbackbone_instance};
 use flexwan_core::planning::{PlanModel, PlannerConfig};
 use flexwan_core::restore::one_fiber_scenarios;
+use flexwan_core::scenario::{EngineConfig, LEVEL_EXACT, LEVEL_PROTECT};
 use flexwan_core::Scheme;
-use flexwan_core::{record_opt_model, record_route_cache};
+use flexwan_core::{record_availability_surface, record_opt_model, record_route_cache};
 use flexwan_obs::Obs;
 use flexwan_optical::spectrum::SpectrumGrid;
 use flexwan_solver::SolveOptions;
 use flexwan_topo::cache::RouteCache;
 use flexwan_topo::graph::Graph;
 use flexwan_topo::ip::IpTopology;
+use flexwan_topo::tbackbone::Backbone;
 use flexwan_util::json::{Num, Value};
 use flexwan_util::pool;
 
@@ -256,6 +259,84 @@ fn main() {
     }
     let churn_counters = churn_counters.expect("REPS > 0");
 
+    // Scenario engine: the multi-failure × demand-uncertainty sweep on
+    // the exact instance with the standing model attached as the
+    // ladder's top rung — k ∈ 1..=2 exhaustively, two demand scenarios,
+    // two spare budgets. The rendered surface must be byte-identical
+    // across repetitions (enforced by `ms`) and across thread counts;
+    // its counters are machine-independent and gated exactly.
+    let scen_backbone = {
+        let (eg, eip, _) = exact_instance();
+        Backbone {
+            optical: eg,
+            ip: eip,
+        }
+    };
+    let (_, _, scen_cfg) = exact_instance();
+    let scen_acfg = AvailabilityConfig {
+        k_max: 2,
+        exhaustive_limit: 16,
+        samples: 8,
+        seed: 7,
+        demand_scenarios: 1,
+        demand_spread: 0.2,
+        engine: EngineConfig {
+            spare_budgets: vec![0, 1],
+            threads: 1,
+            solve: eopts.clone(),
+            protection: true,
+        },
+        exact: true,
+    };
+    let (scen_render_s, scen_s_ms) = ms(|| {
+        availability_surface(
+            &scen_backbone,
+            &scen_cfg,
+            Scheme::FlexWan,
+            &scen_acfg,
+            &RouteCache::new(),
+        )
+        .render()
+    });
+    let mut scen_acfg_p = scen_acfg.clone();
+    scen_acfg_p.engine.threads = threads;
+    let (scen_render_p, scen_p_ms) = ms(|| {
+        availability_surface(
+            &scen_backbone,
+            &scen_cfg,
+            Scheme::FlexWan,
+            &scen_acfg_p,
+            &RouteCache::new(),
+        )
+        .render()
+    });
+    assert_eq!(
+        scen_render_s, scen_render_p,
+        "availability surface must be thread-count-invariant"
+    );
+    let scen_surface = availability_surface(
+        &scen_backbone,
+        &scen_cfg,
+        Scheme::FlexWan,
+        &scen_acfg_p,
+        &RouteCache::new(),
+    );
+    assert_eq!(scen_surface.render(), scen_render_p);
+    record_availability_surface(&obs, "bench_eval.scenario", &scen_surface);
+    let scen_evals: u64 = scen_surface.cells.iter().map(|c| c.scenarios).sum();
+    let scen_survived: u64 = scen_surface.cells.iter().map(|c| c.survived).sum();
+    let scen_restored: u64 = scen_surface.cells.iter().map(|c| c.restored_gbps).sum();
+    let scen_exact: u64 = scen_surface
+        .cells
+        .iter()
+        .map(|c| c.level_scenarios[LEVEL_EXACT])
+        .sum();
+    let scen_protect: u64 = scen_surface
+        .cells
+        .iter()
+        .map(|c| c.level_scenarios[LEVEL_PROTECT])
+        .sum();
+
     let doc = Value::obj([
         (
             "threads",
@@ -324,6 +405,22 @@ fn main() {
                 ("entries", Value::Number(Num::U(cache.len() as u64))),
             ]),
         ),
+        (
+            "scenario",
+            Value::obj([
+                ("serial_ms", Value::Number(Num::F(scen_s_ms))),
+                ("parallel_ms", Value::Number(Num::F(scen_p_ms))),
+                (
+                    "cells",
+                    Value::Number(Num::U(scen_surface.cells.len() as u64)),
+                ),
+                ("evaluations", Value::Number(Num::U(scen_evals))),
+                ("survived", Value::Number(Num::U(scen_survived))),
+                ("restored_gbps_total", Value::Number(Num::U(scen_restored))),
+                ("exact_evaluations", Value::Number(Num::U(scen_exact))),
+                ("protect_evaluations", Value::Number(Num::U(scen_protect))),
+            ]),
+        ),
     ]);
     let text = flexwan_util::json::to_string_pretty(&doc);
     std::fs::write(&out_path, format!("{text}\n")).expect("write BENCH_eval.json");
@@ -359,6 +456,12 @@ fn main() {
         churn_counters.warm_mutations,
         churn_counters.rebuilds,
         churn_counters.restored_gbps_total
+    );
+    println!(
+        "scenario: {scen_s_ms:.1}ms -> {scen_p_ms:.1}ms | {} cells, {scen_evals} evaluations \
+         ({scen_survived} survived, {scen_restored} Gbps restored; levels \
+         {scen_exact} exact / {scen_protect} protect)",
+        scen_surface.cells.len()
     );
     print!("{}", obs.metrics_prometheus());
     eprintln!("wrote {out_path}");

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod availability;
 pub mod churn;
 pub mod experiments;
 pub mod instances;

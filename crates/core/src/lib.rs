@@ -10,6 +10,9 @@
 //!   exact MIP + scalable heuristic + reporting;
 //! * [`mod@restore`] — optical restoration (§8): failure scenarios, greedy and
 //!   exact restorers, capability reporting;
+//! * [`scenario`] — the multi-failure × demand-uncertainty scenario
+//!   engine (beyond the paper): k-cut enumeration/sampling, demand
+//!   perturbations, and the availability surface;
 //! * [`te`] — IP-layer traffic engineering (path-based multi-commodity
 //!   flow) quantifying what planned/restored capacity means for traffic;
 //! * [`observe`] — observed wrappers recording planning/restoration runs
@@ -26,14 +29,22 @@ pub mod opt;
 pub mod planning;
 pub mod protect;
 pub mod restore;
+pub mod scenario;
 pub mod scheme;
 pub mod te;
 pub mod wavelength;
 
-pub use observe::{plan_observed, record_opt_model, record_route_cache, restore_observed};
+pub use observe::{
+    plan_observed, record_availability_surface, record_opt_model, record_route_cache,
+    restore_observed,
+};
 pub use opt::{FlowVarSpace, GammaId, GammaVar, WavelengthVarSpace};
 pub use planning::{max_feasible_scale, plan, plan_cached, Plan, PlannerConfig};
 pub use protect::{plan_protected, plan_protected_cached, ProtectedPlan};
 pub use restore::{one_fiber_scenarios, restore, restore_cached, FailureScenario, Restoration};
+pub use scenario::{
+    demand_scenarios, k_cut_scenarios, sampled_k_cut_scenarios, scenario_suite,
+    AvailabilitySurface, DemandScenario, EngineConfig, ScenarioEngine, SurfaceCell,
+};
 pub use scheme::Scheme;
 pub use wavelength::Wavelength;

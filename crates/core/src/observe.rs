@@ -114,6 +114,36 @@ pub fn record_opt_model(obs: &Obs, name: &str, model: &crate::planning::PlanMode
         .set(model.model().num_active_constraints() as f64);
 }
 
+/// Snapshots an [`AvailabilitySurface`](crate::scenario::AvailabilitySurface)
+/// into `obs` as gauges, one series per (k, spare-budget) cell labeled by
+/// `surface`: `scenario_availability`, `scenario_survived`,
+/// `scenario_restored_gbps`, plus the cell count
+/// (`scenario_surface_cells`) and total evaluations
+/// (`scenario_evaluations`). Call after an engine sweep to watch the
+/// surface move as budgets or scenario sets change.
+pub fn record_availability_surface(
+    obs: &Obs,
+    name: &str,
+    surface: &crate::scenario::AvailabilitySurface,
+) {
+    let reg = obs.registry();
+    reg.gauge_with("scenario_surface_cells", &[("surface", name)])
+        .set(surface.cells.len() as f64);
+    reg.gauge_with("scenario_evaluations", &[("surface", name)])
+        .set(surface.cells.iter().map(|c| c.scenarios).sum::<u64>() as f64);
+    for c in &surface.cells {
+        let k = c.k.to_string();
+        let spares = c.spare_budget.to_string();
+        let labels = [("surface", name), ("k", k.as_str()), ("spares", &spares)];
+        reg.gauge_with("scenario_availability", &labels)
+            .set(c.availability());
+        reg.gauge_with("scenario_survived", &labels)
+            .set(c.survived as f64);
+        reg.gauge_with("scenario_restored_gbps", &labels)
+            .set(c.restored_gbps as f64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

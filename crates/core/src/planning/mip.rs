@@ -548,17 +548,21 @@ impl PlanModel {
             }
         }
 
-        // (2) retire the rows the failure invalidates.
-        for &slot in &lost_order {
-            self.solver.deactivate_row(self.capacity_rows[slot]);
-        }
-        for (fiber, rows) in &self.conflict_rows {
-            if banned.contains(fiber) {
-                for &r in rows {
-                    self.solver.deactivate_row(r);
-                }
-            }
-        }
+        // (2) retire the rows the failure invalidates — one batched
+        // multi-row ban covering every affected capacity row and every
+        // cut fiber's conflict rows, so a k-fiber scenario is a single
+        // mutation, not k sequential ones.
+        let banned_rows: Vec<RowId> = lost_order
+            .iter()
+            .map(|&slot| self.capacity_rows[slot])
+            .chain(
+                self.conflict_rows
+                    .iter()
+                    .filter(|(fiber, _)| banned.contains(fiber))
+                    .flat_map(|(_, rows)| rows.iter().copied()),
+            )
+            .collect();
+        self.solver.deactivate_rows(&banned_rows);
 
         // (3) append the §8 caps over the candidates of each affected
         // link, under named groups on the standing model.
@@ -607,19 +611,8 @@ impl PlanModel {
             let upper = if i < self.restore_only_from { 1.0 } else { 0.0 };
             self.solver.set_var_bounds(g.var, 0.0, upper);
         }
-        for &slot in &lost_order {
-            self.solver.activate_row(self.capacity_rows[slot]);
-        }
-        for (fiber, rows) in &self.conflict_rows {
-            if banned.contains(fiber) {
-                for &r in rows {
-                    self.solver.activate_row(r);
-                }
-            }
-        }
-        for r in added {
-            self.solver.deactivate_row(r);
-        }
+        self.solver.activate_rows(&banned_rows);
+        self.solver.deactivate_rows(&added);
         self.solver
             .set_objective(Sense::Minimize, self.objective.clone());
 
@@ -657,6 +650,32 @@ impl PlanModel {
             added_columns,
             stats,
         })
+    }
+
+    /// [`restore_after_cut`](Self::restore_after_cut) over a plain slice
+    /// of simultaneously cut fibers: the whole set is pinned/banned as
+    /// **one** mutation (duplicates ignored). Restoring a k-cut as k
+    /// sequential single-cut mutations is wrong — the first mutation's
+    /// candidates may ride a fiber the next cut takes down, stranding
+    /// "restored" wavelengths on dark fiber; the single multi-fiber
+    /// mutation bans every cut fiber before any candidate is opened
+    /// (`tests/restore_mutation.rs` pins the 2-cut ordering).
+    pub fn restore_after_cuts(
+        &mut self,
+        optical: &Graph,
+        cuts: &[EdgeId],
+        extra_spares: &[u32],
+        opts: &SolveOptions,
+    ) -> Option<MutatedRestoration> {
+        let mut sorted: Vec<EdgeId> = cuts.to_vec();
+        sorted.sort_unstable_by_key(|e| e.0);
+        sorted.dedup();
+        let scenario = FailureScenario {
+            id: 0,
+            cuts: sorted,
+            probability: 1.0,
+        };
+        self.restore_after_cut(optical, &scenario, extra_spares, opts)
     }
 }
 

@@ -1,0 +1,808 @@
+//! Multi-failure × demand-uncertainty scenario engine (beyond the paper).
+//!
+//! The paper (and the §8 evaluation) scores restoration against
+//! single-fiber cuts. This module sweeps *scenario sets* — every
+//! k-subset of fibers up to an enumeration budget, seeded sampled
+//! k-cuts when the subset space is too large, and multiplicative
+//! demand-uncertainty perturbations in the spirit of robust IP/optical
+//! design — and folds the per-scenario outcomes into an
+//! [`AvailabilitySurface`]: for every (k, spare-transponder budget)
+//! cell, how many scenarios the backbone survived, how much capacity
+//! came back, and which rung of the degradation ladder delivered it.
+//!
+//! **Evaluation ladder.** Each scenario is scored exactly like a churn
+//! tick (DESIGN.md §10): the top rung is a warm mutation of a standing
+//! [`PlanModel`] ([`PlanModel::restore_after_cut`] — multi-fiber
+//! pin/ban/re-solve, attached via [`ScenarioEngine::attach_exact`];
+//! nominal demand only, since the standing model is built for the
+//! nominal demand set), falling back to the greedy §8 heuristic
+//! ([`restore_cached`]) and finally to pre-provisioned 1+1 protection
+//! ([`ProtectedPlan::capability_under`]). The rung that produced each
+//! cell's outcome is recorded in its ladder histogram.
+//!
+//! **Spare budgets are allowances, not obligations.** The cell at
+//! budget `s` reports the best outcome achievable with *at most* `s`
+//! extra spare transponders per link (a running maximum over the
+//! ascending budget axis), so availability is monotone non-decreasing
+//! in the spare budget by construction — the greedy restorer itself is
+//! not guaranteed monotone under spectrum contention, an operator
+//! deploying fewer spares is always admissible.
+//!
+//! **Determinism.** Scenario enumeration is lexicographic, sampling is
+//! seeded ([`ChaCha8Rng`]), and the evaluation fans out on the
+//! deterministic pool ([`flexwan_util::pool::par_map`]: fixed chunking,
+//! index-slot reassembly) over pure per-item work with a shared
+//! [`RouteCache`] that memoizes but never alters results. The surface
+//! is byte-identical at any thread count.
+
+use std::collections::HashSet;
+
+use flexwan_solver::SolveOptions;
+use flexwan_topo::cache::RouteCache;
+use flexwan_topo::graph::{EdgeId, Graph};
+use flexwan_topo::ip::IpTopology;
+use flexwan_util::pool;
+use flexwan_util::rng::ChaCha8Rng;
+
+use crate::planning::{plan_cached, Plan, PlanModel, PlannerConfig};
+use crate::protect::{plan_protected_cached, ProtectedPlan};
+use crate::restore::{restore_cached, FailureScenario};
+use crate::scheme::Scheme;
+
+/// Ladder rung 0: warm mutation of the standing exact model.
+pub const LEVEL_EXACT: usize = 0;
+/// Ladder rung 1: greedy §8 heuristic restoration.
+pub const LEVEL_HEURISTIC: usize = 1;
+/// Ladder rung 2: pre-provisioned 1+1 protection.
+pub const LEVEL_PROTECT: usize = 2;
+
+/// `C(n, k)` saturating at `u128::MAX` (enumeration-budget checks only).
+fn n_choose_k(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    acc
+}
+
+/// Every exactly-`k`-fiber-cut scenario, in lexicographic fiber-index
+/// order, uniformly weighted. For `k = 1` this is exactly
+/// [`one_fiber_scenarios`](crate::restore::one_fiber_scenarios) — same
+/// ids, same cut sets, same probabilities — which is what lets the
+/// surface's k=1 column be cross-checked against the existing
+/// single-cut restoration sweep.
+pub fn k_cut_scenarios(g: &Graph, k: usize) -> Vec<FailureScenario> {
+    let n = g.num_edges();
+    assert!(k >= 1 && k <= n, "k must be in 1..=num_edges");
+    let ids: Vec<EdgeId> = g.edges().iter().map(|e| e.id).collect();
+    let mut subsets: Vec<Vec<EdgeId>> = Vec::new();
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        subsets.push(idx.iter().map(|&i| ids[i]).collect());
+        // Next lexicographic combination of {0..n} choose k.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                let total = subsets.len();
+                return subsets
+                    .into_iter()
+                    .enumerate()
+                    .map(|(id, cuts)| FailureScenario {
+                        id,
+                        cuts,
+                        probability: 1.0 / total as f64,
+                    })
+                    .collect();
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                idx[i] += 1;
+                for j in i + 1..k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Up to `n` *distinct* seeded k-fiber-cut scenarios, uniformly
+/// weighted. Each draw takes `k` distinct fibers by a partial
+/// Fisher–Yates shuffle of the edge ids; duplicate subsets are
+/// rejected, so the returned set never repeats a cut set (and may be
+/// shorter than `n` when the subset space is nearly exhausted).
+/// Deterministic for a given `(g, k, n, seed)`.
+pub fn sampled_k_cut_scenarios(g: &Graph, k: usize, n: usize, seed: u64) -> Vec<FailureScenario> {
+    let edges = g.num_edges();
+    assert!(k >= 1 && k <= edges, "k must be in 1..=num_edges");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut pool_ids: Vec<EdgeId> = g.edges().iter().map(|e| e.id).collect();
+    let mut seen: HashSet<Vec<EdgeId>> = HashSet::new();
+    let mut subsets: Vec<Vec<EdgeId>> = Vec::new();
+    let mut attempts = 0usize;
+    let max_attempts = n * 32 + 64;
+    while subsets.len() < n && attempts < max_attempts {
+        attempts += 1;
+        for i in 0..k {
+            let j = rng.gen_range(i..pool_ids.len());
+            pool_ids.swap(i, j);
+        }
+        let mut cuts: Vec<EdgeId> = pool_ids[..k].to_vec();
+        cuts.sort_unstable_by_key(|e| e.0);
+        if seen.insert(cuts.clone()) {
+            subsets.push(cuts);
+        }
+    }
+    let total = subsets.len();
+    subsets
+        .into_iter()
+        .enumerate()
+        .map(|(id, cuts)| FailureScenario {
+            id,
+            cuts,
+            probability: 1.0 / total as f64,
+        })
+        .collect()
+}
+
+/// The scenario suite for a surface: per `k ∈ 1..=k_max`, the full
+/// lexicographic enumeration when `C(num_edges, k)` fits inside
+/// `exhaustive_limit`, otherwise `samples` seeded distinct k-cuts (the
+/// per-k seed is derived from `seed` so adding a k row never reshuffles
+/// another row's sample).
+pub fn scenario_suite(
+    g: &Graph,
+    k_max: usize,
+    exhaustive_limit: usize,
+    samples: usize,
+    seed: u64,
+) -> Vec<(usize, Vec<FailureScenario>)> {
+    (1..=k_max)
+        .map(|k| {
+            let set = if n_choose_k(g.num_edges(), k) <= exhaustive_limit as u128 {
+                k_cut_scenarios(g, k)
+            } else {
+                let k_seed = seed ^ (k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                sampled_k_cut_scenarios(g, k, samples, k_seed)
+            };
+            (k, set)
+        })
+        .collect()
+}
+
+/// A multiplicative demand perturbation: one factor per IP link, in
+/// link order. Factor 1.0 everywhere is the nominal demand set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandScenario {
+    /// Scenario index within its set (0 = nominal).
+    pub id: usize,
+    /// Per-link multiplicative factors, `ip.links()` order.
+    pub factors: Vec<f64>,
+}
+
+impl DemandScenario {
+    /// The nominal (unperturbed) demand scenario.
+    pub fn nominal(ip: &IpTopology) -> DemandScenario {
+        DemandScenario {
+            id: 0,
+            factors: vec![1.0; ip.num_links()],
+        }
+    }
+
+    /// Whether every factor is exactly 1.0 (the exact rung only runs on
+    /// the nominal demand — the standing model was built for it).
+    pub fn is_nominal(&self) -> bool {
+        self.factors.iter().all(|&f| f == 1.0)
+    }
+
+    /// The perturbed topology: each link's demand scaled by its factor
+    /// and rounded to the planner's 100 Gbps demand grid (never below
+    /// 100 — demands must stay positive multiples of 100).
+    pub fn apply(&self, ip: &IpTopology) -> IpTopology {
+        assert_eq!(self.factors.len(), ip.num_links());
+        let mut out = IpTopology::new();
+        for (l, &f) in ip.links().iter().zip(&self.factors) {
+            let units = (l.demand_gbps as f64 * f / 100.0).round().max(1.0) as u64;
+            out.add_link(l.src, l.dst, units * 100);
+        }
+        out
+    }
+}
+
+/// The nominal scenario plus `n` seeded multiplicative perturbations
+/// with per-link factors uniform in `[1 − spread, 1 + spread]`.
+/// Deterministic for a given `(ip, n, spread, seed)`.
+pub fn demand_scenarios(ip: &IpTopology, n: usize, spread: f64, seed: u64) -> Vec<DemandScenario> {
+    assert!((0.0..1.0).contains(&spread), "spread must be in [0, 1)");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = vec![DemandScenario::nominal(ip)];
+    for id in 1..=n {
+        let factors = (0..ip.num_links())
+            .map(|_| 1.0 + spread * (2.0 * rng.gen_f64() - 1.0))
+            .collect();
+        out.push(DemandScenario { id, factors });
+    }
+    out
+}
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Spare-transponder budgets, strictly increasing. Budget `s` adds
+    /// up to `s` spares on every IP link (an allowance — see module
+    /// docs for the monotonicity contract).
+    pub spare_budgets: Vec<u32>,
+    /// Pool workers for the scenario fan-out (0 = auto, 1 = serial).
+    /// The surface is byte-identical at any value.
+    pub threads: usize,
+    /// Options for every warm mutation on the attached exact model.
+    pub solve: SolveOptions,
+    /// Arm the 1+1 protection rung (a [`ProtectedPlan`] per demand
+    /// scenario, consulted when the upper rungs under-restore).
+    pub protection: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            spare_budgets: vec![0, 1, 2, 4],
+            threads: 0,
+            solve: SolveOptions::default(),
+            protection: true,
+        }
+    }
+}
+
+/// One (k, spare-budget) cell of the surface, aggregated over every
+/// cut scenario × demand scenario evaluated for that k.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurfaceCell {
+    /// Simultaneous cut count of the row's scenario set.
+    pub k: usize,
+    /// Spare-transponder allowance per link.
+    pub spare_budget: u32,
+    /// Scenario evaluations aggregated into this cell.
+    pub scenarios: u64,
+    /// Evaluations that kept every affected Gbps alive.
+    pub survived: u64,
+    /// Total capacity the cuts took down, Gbps.
+    pub affected_gbps: u64,
+    /// Total capacity revived (or held by protection), Gbps.
+    pub restored_gbps: u64,
+    /// Evaluations whose outcome came from ladder rung 0/1/2.
+    pub level_scenarios: [u64; 3],
+}
+
+impl SurfaceCell {
+    /// Fraction of evaluations survived.
+    pub fn availability(&self) -> f64 {
+        if self.scenarios == 0 {
+            1.0
+        } else {
+            self.survived as f64 / self.scenarios as f64
+        }
+    }
+}
+
+/// The availability surface: cells in row-major order (k ascending,
+/// then spare budget ascending).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilitySurface {
+    /// The spare-budget axis, ascending.
+    pub budgets: Vec<u32>,
+    /// The cells, row-major (k, then budget).
+    pub cells: Vec<SurfaceCell>,
+}
+
+impl AvailabilitySurface {
+    /// The cell at `(k, spare_budget)`, if evaluated.
+    pub fn cell(&self, k: usize, spare_budget: u32) -> Option<&SurfaceCell> {
+        self.cells
+            .iter()
+            .find(|c| c.k == k && c.spare_budget == spare_budget)
+    }
+
+    /// Canonical text rendering: one availability row per k plus a
+    /// per-cell detail block. Byte-stable across thread counts and
+    /// machines; golden tests and the CI sweep gate pin it verbatim.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "availability surface: survived/scenarios (availability) per k cuts x spare budget"
+        )
+        .expect("write to String");
+        let mut header = format!("{:<6}", "k");
+        for b in &self.budgets {
+            header.push_str(&format!(" | {:>14}", format!("spares+{b}")));
+        }
+        writeln!(out, "{header}").expect("write to String");
+        let ks: Vec<usize> = {
+            let mut ks: Vec<usize> = self.cells.iter().map(|c| c.k).collect();
+            ks.dedup();
+            ks
+        };
+        for &k in &ks {
+            let mut row = format!("k={k:<4}");
+            for &b in &self.budgets {
+                let c = self.cell(k, b).expect("row-major surface is complete");
+                row.push_str(&format!(
+                    " | {:>14}",
+                    format!("{}/{} {:.3}", c.survived, c.scenarios, c.availability())
+                ));
+            }
+            writeln!(out, "{row}").expect("write to String");
+        }
+        writeln!(out).expect("write to String");
+        writeln!(
+            out,
+            "cells: restored/affected Gbps and ladder levels (warm/heuristic/protect)"
+        )
+        .expect("write to String");
+        for c in &self.cells {
+            writeln!(
+                out,
+                "k={} spares+{}: restored {}/{} Gbps, levels {}/{}/{}",
+                c.k,
+                c.spare_budget,
+                c.restored_gbps,
+                c.affected_gbps,
+                c.level_scenarios[LEVEL_EXACT],
+                c.level_scenarios[LEVEL_HEURISTIC],
+                c.level_scenarios[LEVEL_PROTECT],
+            )
+            .expect("write to String");
+        }
+        out
+    }
+}
+
+/// The outcome of one (cut scenario, demand scenario, budget)
+/// evaluation after ladder selection and budget-allowance folding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Outcome {
+    level: usize,
+    affected_gbps: u64,
+    restored_gbps: u64,
+}
+
+/// The scenario engine: a scheme + backbone + shared route cache, with
+/// an optional standing exact model on top. See the module docs for
+/// the ladder and determinism contracts.
+pub struct ScenarioEngine<'a> {
+    scheme: Scheme,
+    optical: &'a Graph,
+    ip: &'a IpTopology,
+    cfg: &'a PlannerConfig,
+    cache: &'a RouteCache,
+    config: EngineConfig,
+    exact: Option<PlanModel>,
+}
+
+impl<'a> ScenarioEngine<'a> {
+    /// A new engine over `optical`/`ip` for `scheme`. Candidate routes
+    /// (planning and every cut set's detours) are served by `cache`,
+    /// shared freely with other sweeps — memoization never changes
+    /// results.
+    pub fn new(
+        scheme: Scheme,
+        optical: &'a Graph,
+        ip: &'a IpTopology,
+        cfg: &'a PlannerConfig,
+        cache: &'a RouteCache,
+        config: EngineConfig,
+    ) -> Self {
+        assert!(
+            !config.spare_budgets.is_empty()
+                && config.spare_budgets.windows(2).all(|w| w[0] < w[1]),
+            "spare budgets must be non-empty and strictly increasing"
+        );
+        ScenarioEngine {
+            scheme,
+            optical,
+            ip,
+            cfg,
+            cache,
+            config,
+            exact: None,
+        }
+    }
+
+    /// Attaches a standing exact model (built on the *nominal* demand
+    /// set) as the ladder's top rung: each nominal-demand scenario is
+    /// first tried as a warm multi-fiber mutation
+    /// ([`PlanModel::restore_after_cut`]), falling back to the greedy
+    /// heuristic when the mutation fails. Perturbed-demand scenarios
+    /// stay on the heuristic rung — the standing model's demand rows
+    /// do not match theirs.
+    ///
+    /// The model must hold a solved baseline
+    /// ([`PlanModel::solve`](crate::planning::PlanModel::solve) has
+    /// succeeded): warm mutations pin survivors of the *standing*
+    /// solution, and with no incumbent every mutation fails back to
+    /// the heuristic rung.
+    pub fn attach_exact(&mut self, model: PlanModel) {
+        self.exact = Some(model);
+    }
+
+    /// Evaluates every (cut scenario × demand scenario × spare budget)
+    /// and folds the outcomes into the availability surface. `cut_sets`
+    /// is the suite shape of [`scenario_suite`]: `(k, scenarios)` rows,
+    /// one surface row per entry. Byte-identical at any
+    /// [`EngineConfig::threads`] value.
+    pub fn evaluate(
+        &mut self,
+        cut_sets: &[(usize, Vec<FailureScenario>)],
+        demands: &[DemandScenario],
+    ) -> AvailabilitySurface {
+        assert!(!demands.is_empty(), "need at least the nominal demand");
+        let (optical, cfg, cache) = (self.optical, self.cfg, self.cache);
+        let budgets = self.config.spare_budgets.clone();
+        let n_links = self.ip.num_links();
+
+        // One planned world per demand scenario (serial, order-fixed).
+        let worlds: Vec<(IpTopology, Plan, Option<ProtectedPlan>)> = demands
+            .iter()
+            .map(|d| {
+                let ip_d = d.apply(self.ip);
+                let plan_d = plan_cached(self.scheme, optical, &ip_d, cfg, cache);
+                let prot_d = self
+                    .config
+                    .protection
+                    .then(|| plan_protected_cached(self.scheme, optical, &ip_d, cfg, cache));
+                (ip_d, plan_d, prot_d)
+            })
+            .collect();
+
+        // Flat deterministic item order: set, scenario, demand, budget
+        // (budget innermost so the allowance fold works on contiguous
+        // runs).
+        let mut items: Vec<(usize, usize, usize, usize)> = Vec::new();
+        for (si, (_, scens)) in cut_sets.iter().enumerate() {
+            for ci in 0..scens.len() {
+                for di in 0..demands.len() {
+                    for bi in 0..budgets.len() {
+                        items.push((si, ci, di, bi));
+                    }
+                }
+            }
+        }
+
+        // Pure rungs (heuristic, protection) fanned out on the pool.
+        let mut outcomes: Vec<Outcome> =
+            pool::par_map(&items, self.config.threads, |&(si, ci, di, bi)| {
+                let scen = &cut_sets[si].1[ci];
+                let (ip_d, plan_d, prot_d) = &worlds[di];
+                let extra = vec![budgets[bi]; n_links];
+                let r = restore_cached(plan_d, optical, ip_d, scen, &extra, cfg, cache);
+                let mut o = Outcome {
+                    level: LEVEL_HEURISTIC,
+                    affected_gbps: r.affected_gbps,
+                    restored_gbps: r.restored_gbps,
+                };
+                protect_rung(&mut o, prot_d.as_ref(), ip_d, scen);
+                o
+            });
+
+        // Exact rung: warm mutations of the standing model, serially
+        // (the model is mutated in place and fully reverted per
+        // scenario, so the order carries no state across items).
+        if let Some(model) = self.exact.as_mut() {
+            for (pos, &(si, ci, di, bi)) in items.iter().enumerate() {
+                if !demands[di].is_nominal() {
+                    continue;
+                }
+                let scen = &cut_sets[si].1[ci];
+                let extra = vec![budgets[bi]; n_links];
+                if let Some(mr) = model.restore_after_cut(optical, scen, &extra, &self.config.solve)
+                {
+                    let o = &mut outcomes[pos];
+                    *o = Outcome {
+                        level: LEVEL_EXACT,
+                        affected_gbps: mr.affected_gbps,
+                        restored_gbps: mr.restored_gbps,
+                    };
+                    let (ip_d, _, prot_d) = &worlds[di];
+                    protect_rung(o, prot_d.as_ref(), ip_d, scen);
+                }
+            }
+        }
+
+        // Budget-allowance fold: each contiguous run is one (scenario,
+        // demand) across the ascending budgets; a smaller budget's
+        // better outcome carries forward (see module docs).
+        for run in outcomes.chunks_mut(budgets.len()) {
+            for i in 1..run.len() {
+                if run[i - 1].restored_gbps > run[i].restored_gbps {
+                    run[i].restored_gbps = run[i - 1].restored_gbps;
+                    run[i].level = run[i - 1].level;
+                }
+            }
+        }
+
+        // Aggregate row-major cells.
+        let mut cells: Vec<SurfaceCell> = Vec::with_capacity(cut_sets.len() * budgets.len());
+        for (si, (k, _)) in cut_sets.iter().enumerate() {
+            for (bi, &b) in budgets.iter().enumerate() {
+                cells.push(SurfaceCell {
+                    k: *k,
+                    spare_budget: b,
+                    scenarios: 0,
+                    survived: 0,
+                    affected_gbps: 0,
+                    restored_gbps: 0,
+                    level_scenarios: [0; 3],
+                });
+                let cell = cells.last_mut().expect("just pushed");
+                for (&(isi, _, _, ibi), o) in items.iter().zip(&outcomes) {
+                    if isi != si || ibi != bi {
+                        continue;
+                    }
+                    cell.scenarios += 1;
+                    cell.affected_gbps += o.affected_gbps;
+                    cell.restored_gbps += o.restored_gbps;
+                    cell.level_scenarios[o.level] += 1;
+                    if o.restored_gbps == o.affected_gbps {
+                        cell.survived += 1;
+                    }
+                }
+            }
+        }
+        AvailabilitySurface { budgets, cells }
+    }
+}
+
+/// The protection rung: when the selected rung under-restored and the
+/// 1+1 plan fully covers the scenario's working losses, the scenario
+/// survives on reserved capacity — no computation, like a churn tick
+/// landing on `LADDER_PROTECT`.
+fn protect_rung(
+    o: &mut Outcome,
+    prot: Option<&ProtectedPlan>,
+    ip: &IpTopology,
+    scen: &FailureScenario,
+) {
+    if o.restored_gbps < o.affected_gbps {
+        if let Some(p) = prot {
+            if p.capability_under(ip, scen) >= 1.0 {
+                o.level = LEVEL_PROTECT;
+                o.restored_gbps = o.affected_gbps;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restore::one_fiber_scenarios;
+    use flexwan_optical::spectrum::SpectrumGrid;
+
+    /// 4-node world with detour diversity (same shape as the churn
+    /// soak backbone).
+    fn world() -> (Graph, IpTopology, PlannerConfig) {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 400);
+        g.add_edge(b, c, 400);
+        g.add_edge(a, c, 900);
+        g.add_edge(c, d, 400);
+        g.add_edge(a, d, 900);
+        let mut ip = IpTopology::new();
+        ip.add_link(a, c, 300);
+        ip.add_link(a, d, 200);
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(24),
+            k_paths: 2,
+            ..Default::default()
+        };
+        (g, ip, cfg)
+    }
+
+    #[test]
+    fn k_cut_enumeration_is_lexicographic_and_complete() {
+        let (g, _, _) = world();
+        let s1 = k_cut_scenarios(&g, 1);
+        assert_eq!(s1.len(), 5);
+        // k=1 must equal the §8 single-fiber set, element for element.
+        let base = one_fiber_scenarios(&g);
+        assert_eq!(s1, base);
+        let s2 = k_cut_scenarios(&g, 2);
+        assert_eq!(s2.len(), 10, "C(5,2)");
+        for w in s2.windows(2) {
+            assert!(w[0].cuts < w[1].cuts, "lexicographic order");
+        }
+        let s5 = k_cut_scenarios(&g, 5);
+        assert_eq!(s5.len(), 1);
+        assert_eq!(s5[0].cuts.len(), 5);
+    }
+
+    #[test]
+    fn sampled_cuts_are_distinct_sorted_and_seeded() {
+        let (g, _, _) = world();
+        let a = sampled_k_cut_scenarios(&g, 2, 6, 42);
+        let b = sampled_k_cut_scenarios(&g, 2, 6, 42);
+        assert_eq!(a, b, "same seed, same sample");
+        let mut seen = HashSet::new();
+        for s in &a {
+            assert_eq!(s.cuts.len(), 2);
+            assert!(s.cuts[0].0 < s.cuts[1].0, "sorted cut set");
+            assert!(seen.insert(s.cuts.clone()), "duplicate subset");
+        }
+        assert_ne!(a, sampled_k_cut_scenarios(&g, 2, 6, 43));
+    }
+
+    #[test]
+    fn suite_switches_to_sampling_past_the_limit() {
+        let (g, _, _) = world();
+        let suite = scenario_suite(&g, 3, 6, 4, 7);
+        assert_eq!(suite.len(), 3);
+        assert_eq!(suite[0].1.len(), 5, "C(5,1)=5 <= 6: exhaustive");
+        assert_eq!(suite[1].1.len(), 4, "C(5,2)=10 > 6: sampled");
+        assert_eq!(suite[2].1.len(), 4, "C(5,3)=10 > 6: sampled");
+    }
+
+    #[test]
+    fn demand_scenarios_are_seeded_and_bounded() {
+        let (_, ip, _) = world();
+        let d = demand_scenarios(&ip, 3, 0.2, 11);
+        assert_eq!(d.len(), 4);
+        assert!(d[0].is_nominal());
+        assert_eq!(d[0].apply(&ip).links(), ip.links());
+        for s in &d[1..] {
+            assert!(!s.is_nominal());
+            for &f in &s.factors {
+                assert!((0.8..=1.2).contains(&f));
+            }
+        }
+        assert_eq!(d, demand_scenarios(&ip, 3, 0.2, 11));
+    }
+
+    #[test]
+    fn k1_column_matches_direct_single_cut_sweep() {
+        let (g, ip, cfg) = world();
+        let cache = RouteCache::new();
+        let mut engine = ScenarioEngine::new(
+            Scheme::FlexWan,
+            &g,
+            &ip,
+            &cfg,
+            &cache,
+            EngineConfig {
+                spare_budgets: vec![0],
+                ..Default::default()
+            },
+        );
+        let suite = vec![(1, k_cut_scenarios(&g, 1))];
+        let demands = vec![DemandScenario::nominal(&ip)];
+        let surface = engine.evaluate(&suite, &demands);
+        let cell = surface.cell(1, 0).expect("k=1 cell");
+
+        let plan = plan_cached(Scheme::FlexWan, &g, &ip, &cfg, &cache);
+        let mut affected = 0u64;
+        let mut restored = 0u64;
+        for s in &one_fiber_scenarios(&g) {
+            let r = restore_cached(&plan, &g, &ip, s, &[], &cfg, &cache);
+            affected += r.affected_gbps;
+            restored += r.restored_gbps;
+        }
+        assert_eq!(cell.affected_gbps, affected);
+        // Protection can only hold *more* capacity than the heuristic
+        // revived; with it disarmed the totals must match exactly.
+        let mut bare = ScenarioEngine::new(
+            Scheme::FlexWan,
+            &g,
+            &ip,
+            &cfg,
+            &cache,
+            EngineConfig {
+                spare_budgets: vec![0],
+                protection: false,
+                ..Default::default()
+            },
+        );
+        let bare_cell_surface = bare.evaluate(&suite, &demands);
+        let bare_cell = bare_cell_surface.cell(1, 0).expect("k=1 cell");
+        assert_eq!(bare_cell.restored_gbps, restored);
+        assert_eq!(bare_cell.affected_gbps, affected);
+        assert!(cell.restored_gbps >= restored);
+    }
+
+    #[test]
+    fn surface_is_thread_count_invariant_and_budget_monotone() {
+        let (g, ip, cfg) = world();
+        let cache = RouteCache::new();
+        let suite = scenario_suite(&g, 2, 16, 8, 3);
+        let demands = demand_scenarios(&ip, 2, 0.25, 9);
+        let render = |threads: usize| {
+            let mut engine = ScenarioEngine::new(
+                Scheme::FlexWan,
+                &g,
+                &ip,
+                &cfg,
+                &cache,
+                EngineConfig {
+                    spare_budgets: vec![0, 1, 3],
+                    threads,
+                    ..Default::default()
+                },
+            );
+            engine.evaluate(&suite, &demands).render()
+        };
+        let one = render(1);
+        assert_eq!(one, render(2), "2 threads diverged");
+        assert_eq!(one, render(4), "4 threads diverged");
+        // Budget monotonicity (the allowance fold makes it structural).
+        let mut engine = ScenarioEngine::new(
+            Scheme::FlexWan,
+            &g,
+            &ip,
+            &cfg,
+            &cache,
+            EngineConfig {
+                spare_budgets: vec![0, 1, 3],
+                ..Default::default()
+            },
+        );
+        let surface = engine.evaluate(&suite, &demands);
+        for k in [1usize, 2] {
+            for w in [(0u32, 1u32), (1, 3)] {
+                let lo = surface.cell(k, w.0).expect("cell");
+                let hi = surface.cell(k, w.1).expect("cell");
+                assert!(hi.survived >= lo.survived, "survived dipped at k={k}");
+                assert!(
+                    hi.restored_gbps >= lo.restored_gbps,
+                    "restored dipped at k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_rung_runs_on_nominal_demand_and_is_recorded() {
+        let (g, ip, cfg) = world();
+        let cache = RouteCache::new();
+        let mut engine = ScenarioEngine::new(
+            Scheme::FlexWan,
+            &g,
+            &ip,
+            &cfg,
+            &cache,
+            EngineConfig {
+                spare_budgets: vec![0],
+                protection: false,
+                ..Default::default()
+            },
+        );
+        let mut pm = PlanModel::build_restorable(Scheme::FlexWan, &g, &ip, &cfg);
+        pm.solve(&SolveOptions::default())
+            .expect("world is feasible");
+        engine.attach_exact(pm);
+        let suite = vec![(1, k_cut_scenarios(&g, 1))];
+        let demands = demand_scenarios(&ip, 1, 0.2, 5);
+        let surface = engine.evaluate(&suite, &demands);
+        let cell = surface.cell(1, 0).expect("cell");
+        // 5 nominal evaluations land on the exact rung, 5 perturbed on
+        // the heuristic rung.
+        assert_eq!(cell.level_scenarios[LEVEL_EXACT], 5);
+        assert_eq!(cell.level_scenarios[LEVEL_HEURISTIC], 5);
+        assert_eq!(cell.level_scenarios[LEVEL_PROTECT], 0);
+    }
+
+    #[test]
+    fn n_choose_k_basics() {
+        assert_eq!(n_choose_k(5, 1), 5);
+        assert_eq!(n_choose_k(5, 2), 10);
+        assert_eq!(n_choose_k(5, 5), 1);
+        assert_eq!(n_choose_k(4, 5), 0);
+        assert_eq!(n_choose_k(60, 3), 34220);
+    }
+}

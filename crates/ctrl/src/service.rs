@@ -65,6 +65,11 @@ pub enum ChurnEvent {
         /// Power change since the last sample, dB.
         delta_db: f64,
     },
+    /// Several fibers went dark at once (shared-risk event: a conduit
+    /// cut, an amplifier-hut outage). Coalesces exactly like the same
+    /// fibers cut as individual [`ChurnEvent::FiberCut`] events in the
+    /// same batch — one multi-cut restoration, not one per fiber.
+    SimultaneousCuts(Vec<EdgeId>),
 }
 
 /// A sequenced event as published by the [`EventLog`].
@@ -810,6 +815,12 @@ impl<'a> ChurnService<'a> {
             ChurnEvent::TelemetryDrift { fiber, delta_db } => {
                 net.drift.push((fiber, delta_db));
             }
+            ChurnEvent::SimultaneousCuts(fibers) => {
+                for f in fibers {
+                    net.cuts_removed.remove(&f);
+                    net.cuts_added.insert(f);
+                }
+            }
         }
     }
 
@@ -1096,6 +1107,36 @@ mod tests {
         assert_eq!(svc.state().demands, vec![400]);
         assert!(svc.active_cuts().contains(&EdgeId(0)));
         assert!(!svc.live_restoration().is_empty());
+    }
+
+    #[test]
+    fn simultaneous_cuts_match_individual_cuts_in_one_batch() {
+        let (g, ip, cfg) = world();
+        let mut multi = ChurnService::new(
+            &g,
+            &ip,
+            Scheme::FlexWan,
+            cfg.clone(),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let mut log_multi = EventLog::new();
+        let ev = log_multi.append(ChurnEvent::SimultaneousCuts(vec![EdgeId(0), EdgeId(2)]));
+        let rep_multi = multi.deliver(&log_multi, &[ev]);
+
+        let mut single =
+            ChurnService::new(&g, &ip, Scheme::FlexWan, cfg, ServiceConfig::default()).unwrap();
+        let mut log_single = EventLog::new();
+        let e0 = log_single.append(ChurnEvent::FiberCut(EdgeId(0)));
+        let e1 = log_single.append(ChurnEvent::FiberCut(EdgeId(2)));
+        let rep_single = single.deliver(&log_single, &[e0, e1]);
+
+        assert_eq!(multi.active_cuts(), single.active_cuts());
+        assert_eq!(rep_multi.restored_gbps, rep_single.restored_gbps);
+        assert_eq!(rep_multi.restore_level, rep_single.restore_level);
+        // Same state modulo the log position (one event vs two).
+        assert_eq!(multi.live_restoration(), single.live_restoration());
+        assert_eq!(multi.state().demands, single.state().demands);
     }
 
     #[test]

@@ -86,6 +86,26 @@ impl IncrementalSolver {
         self.model.activate_row(row);
     }
 
+    /// Deactivates a batch of rows in one pass — the multi-row ban a
+    /// simultaneous k-fiber cut issues (every conflict row of every cut
+    /// fiber plus the affected capacity rows). Semantically identical
+    /// to deactivating each row in turn; batching exists so callers ban
+    /// a whole cut set as one mutation instead of k sequential ones.
+    pub fn deactivate_rows(&mut self, rows: &[RowId]) {
+        for &r in rows {
+            self.model.deactivate_row(r);
+        }
+    }
+
+    /// Re-arms a batch of deactivated rows (the inverse of
+    /// [`deactivate_rows`](Self::deactivate_rows), used when a
+    /// multi-fiber mutation is reverted).
+    pub fn activate_rows(&mut self, rows: &[RowId]) {
+        for &r in rows {
+            self.model.activate_row(r);
+        }
+    }
+
     /// Replaces a variable's bounds (see [`Model::set_var_bounds`]).
     pub fn set_var_bounds(&mut self, v: Var, lower: f64, upper: f64) {
         self.model.set_var_bounds(v, lower, upper);
@@ -313,6 +333,33 @@ mod tests {
         let mut orig = scratch;
         orig.activate_row(r1);
         assert_same_solution(&rearmed, &orig.solve());
+    }
+
+    #[test]
+    fn batched_row_bans_match_sequential_and_revert() {
+        // Deactivate both rows as one batch (the multi-fiber ban), then
+        // re-arm them as one batch: each stage must match a from-scratch
+        // build with the same active set.
+        let (m, r0, r1) = lp();
+        let mut inc = IncrementalSolver::new(m.clone());
+        inc.solve(&SolveOptions::default());
+
+        // Minimize while both rows are down (maximizing over nonnegative
+        // x, y with no rows left would be unbounded).
+        let (x, y) = (Var(0), Var(1));
+        inc.deactivate_rows(&[r0, r1]);
+        inc.set_objective(Sense::Minimize, 1.0 * x + 1.0 * y);
+        let (banned, _) = inc.solve(&SolveOptions::default());
+        let mut scratch = m.clone();
+        scratch.deactivate_row(r0);
+        scratch.deactivate_row(r1);
+        scratch.set_objective(Sense::Minimize, 1.0 * x + 1.0 * y);
+        assert_same_solution(&banned, &scratch.solve());
+
+        inc.activate_rows(&[r0, r1]);
+        inc.set_objective(Sense::Maximize, 3.0 * x + 2.0 * y);
+        let (rearmed, _) = inc.solve(&SolveOptions::default());
+        assert_same_solution(&rearmed, &m.clone().solve());
     }
 
     #[test]

@@ -4,7 +4,8 @@
 # Compares a freshly generated BENCH_eval.json (first argument) against
 # the checked-in baseline (second argument, default
 # results/BENCH_eval.json): for each timed section (plan / restore /
-# sweep, the exact-model build/solve/re-solve timings, and the churn
+# sweep, the availability-scenario sweep, the exact-model
+# build/solve/re-solve timings, and the churn
 # service's p50/p99 reaction time) the new
 # wall-times may be at most TOLERANCE_PCT percent slower than the
 # baseline (the exact-model timings, which time a single branch-and-bound
@@ -132,6 +133,39 @@ for key in ticks events_applied warm_mutations rebuilds restored_gbps_total; do
     bad=1
   else
     printf '%-7s %-18s %s (unchanged)\n' churn "$key" "$b"
+  fi
+done
+
+# Scenario gate: the availability-surface sweep is timed serial and
+# parallel (same TOLERANCE_PCT as the other aggregate sections), and its
+# counters — cells, ladder evaluations, survival/restoration totals, and
+# the per-rung split — are deterministic for the pinned seeds. A changed
+# counter means scenario generation or the ladder itself changed.
+for kind in serial_ms parallel_ms; do
+  b=$(field "$base" scenario "$kind")
+  n=$(field "$new" scenario "$kind")
+  if [ -z "$b" ] || [ -z "$n" ]; then
+    echo "FAIL: scenario.$kind missing (baseline='$b' new='$n')"
+    bad=1
+    continue
+  fi
+  ok=$(awk -v b="$b" -v n="$n" -v tol="$tolerance_pct" \
+    'BEGIN { print (n <= b * (1 + tol / 100)) ? 1 : 0 }')
+  verdict=ok
+  if [ "$ok" != 1 ]; then verdict="REGRESSED (>${tolerance_pct}%)"; bad=1; fi
+  printf '%-8s %-18s baseline %10.2fms  new %10.2fms  %s\n' \
+    scenario "$kind" "$b" "$n" "$verdict"
+done
+
+for key in cells evaluations survived restored_gbps_total \
+           exact_evaluations protect_evaluations; do
+  b=$(field "$base" scenario "$key")
+  n=$(field "$new" scenario "$key")
+  if [ "$b" != "$n" ]; then
+    echo "FAIL: scenario.$key changed: baseline $b, new $n"
+    bad=1
+  else
+    printf '%-8s %-18s %s (unchanged)\n' scenario "$key" "$b"
   fi
 done
 

@@ -81,14 +81,15 @@ impl Mix {
 
 /// A deterministic mixed-churn event stream. Cuts come only from fibers
 /// 0/1 (the a–c detour pair) so restoration always has work; every cut
-/// is eventually repaired.
+/// is eventually repaired. Roughly one event in twelve is a
+/// simultaneous-cut burst taking down both fibers in one event.
 fn churn_stream(n: usize, seed: u64) -> Vec<ChurnEvent> {
     let mut mix = Mix(seed);
     let mut cut: Vec<EdgeId> = Vec::new();
     let mut drift = [0.0f64; 5];
     let mut events = Vec::with_capacity(n + 2);
     while events.len() < n {
-        match mix.below(10) {
+        match mix.below(12) {
             // 50%: drift. The emitted per-fiber sum is bounded to ±9.5 dB
             // (a delta that would leave the band is flipped): the service
             // resets its accumulator on repair, so its view is a
@@ -119,7 +120,16 @@ fn churn_stream(n: usize, seed: u64) -> Vec<ChurnEvent> {
                     events.push(ChurnEvent::FiberCut(f));
                 }
             }
-            // 10%: repair the oldest dark fiber.
+            // ~8%: a shared-risk burst — both fibers go dark in ONE
+            // event (only when both are currently up).
+            9 => {
+                if cut.is_empty() {
+                    cut.push(EdgeId(0));
+                    cut.push(EdgeId(1));
+                    events.push(ChurnEvent::SimultaneousCuts(vec![EdgeId(0), EdgeId(1)]));
+                }
+            }
+            // ~17%: repair the oldest dark fiber.
             _ => {
                 if !cut.is_empty() {
                     events.push(ChurnEvent::FiberRepair(cut.remove(0)));
@@ -211,6 +221,80 @@ fn soak_faulty_delivery_replays_bit_for_bit() {
 
     // Journal roll-forward: bit-for-bit equality, including the JSON
     // encoding (the strongest equality we can state).
+    let replayed =
+        ChurnService::replay(&g, &ip, Scheme::FlexWan, cfg, svc_cfg, &log, live.journal()).unwrap();
+    assert_eq!(replayed.state(), live.state());
+    assert_eq!(
+        replayed.state().canonical_json(),
+        live.state().canonical_json(),
+        "journal replay is not bit-identical"
+    );
+}
+
+/// Simultaneous-cut bursts through a faulty transport: the multi-fiber
+/// [`ChurnEvent::SimultaneousCuts`] events coalesce into the same
+/// single-tick multi-cut restoration as per-fiber cuts, the journal
+/// roll-forward reproduces the live state bit-for-bit, and every tick's
+/// ladder decision lands in the per-level SLO counters (reported by
+/// `slo_json`).
+#[test]
+fn soak_bursts_replay_and_record_ladder_slos() {
+    let (g, ip, cfg) = backbone();
+    let svc_cfg = ServiceConfig::default();
+    let mut live =
+        ChurnService::new(&g, &ip, Scheme::FlexWan, cfg.clone(), svc_cfg.clone()).unwrap();
+    live.set_obs(Obs::new());
+
+    let events = churn_stream(soak_events(), 21);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ChurnEvent::SimultaneousCuts(_))),
+        "stream carries no burst — change the seed"
+    );
+    let mut log = EventLog::new();
+    let stamped: Vec<SeqEvent> = events.into_iter().map(|e| log.append(e)).collect();
+
+    let injector = FaultInjector::new(
+        FaultPlan {
+            seed: 4242,
+            ..FaultPlan::none()
+        }
+        .with_stream(StreamFaults {
+            drop_prob: 0.10,
+            duplicate_prob: 0.10,
+            reorder_prob: 0.10,
+            stale_prob: 0.05,
+        }),
+    );
+    for batch in stamped.chunks(4) {
+        let perturbed = injector.perturb_stream(batch);
+        let rep = live.deliver(&log, &perturbed);
+        assert!(rep.restore_level <= LADDER_PROTECT, "undocumented level");
+    }
+    live.flush(&log);
+    assert_eq!(live.state().next_seq, log.len(), "no event left behind");
+    assert!(live.active_cuts().is_empty(), "stream repairs every cut");
+
+    // Per-level SLOs: every tick is accounted to exactly one rung, and
+    // the counters surface in the SLO report.
+    let stats = live.stats();
+    let level_total: u64 = stats.level_ticks.iter().sum();
+    assert_eq!(
+        level_total,
+        live.state().tick,
+        "a tick escaped the ladder SLOs"
+    );
+    assert!(
+        stats.level_ticks[LADDER_WARM as usize] > 0,
+        "no tick ever took the warm rung"
+    );
+    let slo = live.slo_json();
+    for key in ["ticks_level0", "ticks_level1", "ticks_level2"] {
+        assert!(slo.contains(key), "slo_json lost {key}: {slo}");
+    }
+
+    // Journal roll-forward over the burst-bearing log: bit-for-bit.
     let replayed =
         ChurnService::replay(&g, &ip, Scheme::FlexWan, cfg, svc_cfg, &log, live.journal()).unwrap();
     assert_eq!(replayed.state(), live.state());

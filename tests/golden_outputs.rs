@@ -184,6 +184,48 @@ fn headline_numbers_match_golden() {
     assert_golden("headline_numbers.txt", &out);
 }
 
+/// The availability surface on the suite backbone, exact: a scenario
+/// suite (exhaustive single cuts, sampled 2- and 3-cuts) crossed with
+/// demand perturbations and spare budgets under the FlexWAN ladder.
+/// Any movement in scenario generation, the restorers, protection, or
+/// the budget-allowance fold shows up as a one-line diff.
+#[test]
+fn availability_surface_matches_golden() {
+    use flexwan::core::scenario::{demand_scenarios, scenario_suite, EngineConfig, ScenarioEngine};
+    use flexwan::topo::cache::RouteCache;
+
+    let (b, cfg) = instance();
+    // The §8 overloaded regime — same 5x scaling as the headline
+    // restoration numbers — so the surface has structure to pin.
+    let ip5 = b.ip.scaled(5);
+    let suite = scenario_suite(&b.optical, 3, 256, 16, 7);
+    let demands = demand_scenarios(&ip5, 2, 0.2, 7);
+    let cache = RouteCache::new();
+    let mut engine = ScenarioEngine::new(
+        Scheme::FlexWan,
+        &b.optical,
+        &ip5,
+        &cfg,
+        &cache,
+        EngineConfig::default(),
+    );
+    let surface = engine.evaluate(&suite, &demands);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Availability surface, T-backbone default instance at 5x, k_paths=5."
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# k=1 exhaustive (252 cuts); k=2,3 sampled (16 each, seed 7); 3 demand scenarios."
+    )
+    .unwrap();
+    out.push_str(&surface.render());
+    assert_golden("availability_surface.txt", &out);
+}
+
 /// Figure 14 shapes as exact numbers: median reach gap and mean spectral
 /// efficiency per scheme.
 #[test]

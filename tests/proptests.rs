@@ -510,3 +510,103 @@ fn restoration_uses_only_surviving_fibers() {
         }
     }
 }
+
+/// k-cut restoration invariant on random instances: for every sampled
+/// multi-fiber cut, no restored route traverses *any* cut fiber, and
+/// revived capacity never exceeds what was lost.
+#[test]
+fn k_cut_restoration_avoids_every_cut_fiber() {
+    use flexwan::core::planning::{plan, PlannerConfig};
+    use flexwan::core::restore::restore;
+    use flexwan::core::scenario::sampled_k_cut_scenarios;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA00C);
+    for case in 0..12 {
+        let (g, ip) = random_instance(&mut rng);
+        if ip.num_links() == 0 {
+            continue;
+        }
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(rng.gen_range(24u32..80)),
+            k_paths: 2,
+            ..PlannerConfig::default()
+        };
+        let p = plan(Scheme::FlexWan, &g, &ip, &cfg);
+        for k in 2..=3usize.min(g.num_edges()) {
+            for scenario in &sampled_k_cut_scenarios(&g, k, 6, 0xC0FFEE ^ case) {
+                let r = restore(&p, &g, &ip, scenario, &[], &cfg);
+                assert!(r.restored_gbps <= r.affected_gbps, "revived more than lost");
+                for rw in &r.restored {
+                    for &e in &rw.wavelength.path.edges {
+                        assert!(
+                            !scenario.is_cut(e),
+                            "k={k}: restored path crosses a cut fiber"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Availability-surface properties on random instances: cell
+/// availability is monotone non-decreasing along the spare-budget axis
+/// (budgets are allowances), and the whole surface renders byte-identically
+/// at 1, 2 and 4 pool threads.
+#[test]
+fn availability_surface_is_monotone_and_thread_invariant() {
+    use flexwan::core::planning::PlannerConfig;
+    use flexwan::core::scenario::{demand_scenarios, scenario_suite, EngineConfig, ScenarioEngine};
+    use flexwan::topo::cache::RouteCache;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA00D);
+    let mut evaluated = 0usize;
+    for _case in 0..6 {
+        let (g, ip) = random_instance(&mut rng);
+        if ip.num_links() == 0 {
+            continue;
+        }
+        let cfg = PlannerConfig {
+            grid: SpectrumGrid::new(rng.gen_range(24u32..64)),
+            k_paths: 2,
+            ..PlannerConfig::default()
+        };
+        let suite = scenario_suite(&g, 2, 12, 6, 0xFEED);
+        let demands = demand_scenarios(&ip, 1, 0.2, 0xFEED);
+        let budgets = vec![0u32, 1, 3];
+        let cache = RouteCache::new();
+        let mut renders = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut engine = ScenarioEngine::new(
+                Scheme::FlexWan,
+                &g,
+                &ip,
+                &cfg,
+                &cache,
+                EngineConfig {
+                    spare_budgets: budgets.clone(),
+                    threads,
+                    ..EngineConfig::default()
+                },
+            );
+            let surface = engine.evaluate(&suite, &demands);
+            for cells in surface.cells.chunks(budgets.len()) {
+                for w in cells.windows(2) {
+                    assert!(
+                        w[1].availability() >= w[0].availability(),
+                        "availability dropped with a larger spare allowance"
+                    );
+                    assert!(
+                        w[1].restored_gbps >= w[0].restored_gbps,
+                        "restored Gbps dropped with a larger spare allowance"
+                    );
+                }
+            }
+            renders.push(surface.render());
+        }
+        assert_eq!(renders[0], renders[1], "1 vs 2 threads");
+        assert_eq!(renders[0], renders[2], "1 vs 4 threads");
+        evaluated += 1;
+    }
+    assert!(evaluated >= 3, "only {evaluated} instances evaluated");
+}

@@ -194,3 +194,87 @@ fn mutation_agrees_with_exact_restoration_model() {
     }
     assert!(compared >= 12, "only {compared} comparisons ran");
 }
+
+/// Regression for 2-cut pin/ban ordering: a simultaneous two-fiber cut
+/// taking down both the primary route and its preferred detour must ban
+/// every crossing row in one batch *before* the re-solve (sequential
+/// per-fiber mutation would strand the first cut's restoration on the
+/// about-to-die detour). The surviving direct fiber is the only legal
+/// restoration, warm and cold agree bit-for-bit, and the cut-slice
+/// order does not matter.
+#[test]
+fn two_cut_ban_is_batched_and_order_independent() {
+    let opts = opts();
+    // Primary a-b-c (600 km), preferred detour a-d-c (700 km), direct
+    // fallback a-c (900 km). Cutting {a-b, a-d} kills the primary AND
+    // the preferred detour; only the direct fiber survives.
+    let mut g = Graph::new();
+    let a = g.add_node("a");
+    let b = g.add_node("b");
+    let c = g.add_node("c");
+    let d = g.add_node("d");
+    let e_ab = g.add_edge(a, b, 300);
+    let _e_bc = g.add_edge(b, c, 300);
+    let e_ad = g.add_edge(a, d, 350);
+    let _e_dc = g.add_edge(d, c, 350);
+    let e_ac = g.add_edge(a, c, 900);
+    let mut ip = IpTopology::new();
+    ip.add_link(a, c, 200);
+    let cfg = PlannerConfig {
+        grid: SpectrumGrid::new(12),
+        k_paths: 2,
+        ..Default::default()
+    };
+
+    let mut warm_pm = PlanModel::build_restorable(Scheme::FlexWan, &g, &ip, &cfg);
+    warm_pm.solve(&opts).expect("baseline plan is feasible");
+    let mut cold_pm = PlanModel::build_restorable(Scheme::FlexWan, &g, &ip, &cfg);
+    cold_pm.solve(&opts).expect("baseline plan is feasible");
+
+    let warm = warm_pm
+        .restore_after_cuts(&g, &[e_ab, e_ad], &[], &opts)
+        .expect("2-cut mutated re-solve found no incumbent");
+    assert!(warm.affected_gbps > 0, "the 2-cut must hit the primary");
+    assert_eq!(
+        warm.restored_gbps, warm.affected_gbps,
+        "the direct fiber restores everything"
+    );
+    for w in &warm.wavelengths {
+        assert!(!w.path.uses_edge(e_ab), "restoration crossed cut a-b");
+        assert!(!w.path.uses_edge(e_ad), "restoration crossed cut a-d");
+        assert!(w.path.uses_edge(e_ac), "only the direct fiber survives");
+    }
+
+    cold_pm.drop_basis();
+    let cold = cold_pm
+        .restore_after_cuts(&g, &[e_ab, e_ad], &[], &opts)
+        .expect("cold 2-cut mutated solve found no incumbent");
+    assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+    assert_eq!(warm.restored_gbps, cold.restored_gbps);
+    assert_eq!(
+        sorted(warm.wavelengths.clone()),
+        sorted(cold.wavelengths.clone())
+    );
+
+    // Slice order is irrelevant: cuts are canonicalized before the ban.
+    let swapped = warm_pm
+        .restore_after_cuts(&g, &[e_ad, e_ab], &[], &opts)
+        .expect("swapped-order 2-cut re-solve found no incumbent");
+    assert_eq!(warm.objective.to_bits(), swapped.objective.to_bits());
+    assert_eq!(
+        sorted(warm.wavelengths.clone()),
+        sorted(swapped.wavelengths)
+    );
+
+    // The standing model is fully reverted: a later single-fiber cut
+    // behaves as if the 2-cut drill never happened.
+    let single = warm_pm
+        .restore_after_cut(&g, &one_fiber_scenarios(&g)[0], &[], &opts)
+        .expect("post-drill single-cut re-solve");
+    cold_pm.drop_basis();
+    let single_cold = cold_pm
+        .restore_after_cut(&g, &one_fiber_scenarios(&g)[0], &[], &opts)
+        .expect("post-drill cold single-cut re-solve");
+    assert_eq!(single.objective.to_bits(), single_cold.objective.to_bits());
+    assert_eq!(sorted(single.wavelengths), sorted(single_cold.wavelengths));
+}
